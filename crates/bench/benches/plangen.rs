@@ -1,0 +1,47 @@
+//! E6/E7 (timing side) — end-to-end plan generation under each order
+//! framework: TPC-R Query 8 and representative random join graphs.
+//! Criterion's statistics complement the table binaries' single-shot
+//! numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ofw_catalog::Catalog;
+use ofw_core::{OrderingFramework, PruneConfig};
+use ofw_plangen::PlanGen;
+use ofw_query::extract::ExtractOptions;
+use ofw_query::{ExtractedQuery, Query};
+use ofw_simmen::SimmenFramework;
+use ofw_workload::{q8_query, random_query, RandomQueryConfig};
+
+fn bench_pair(c: &mut Criterion, label: &str, catalog: &Catalog, query: &Query, ex: &ExtractedQuery) {
+    c.bench_function(&format!("plangen/{label}/dfsm"), |b| {
+        b.iter(|| {
+            let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+            PlanGen::new(catalog, query, ex, &fw).run().cost
+        })
+    });
+    c.bench_function(&format!("plangen/{label}/simmen"), |b| {
+        b.iter(|| {
+            let fw = SimmenFramework::prepare(&ex.spec);
+            PlanGen::new(catalog, query, ex, &fw).run().cost
+        })
+    });
+}
+
+fn plangen(c: &mut Criterion) {
+    let (catalog, query) = q8_query();
+    let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+    bench_pair(c, "q8", &catalog, &query, &ex);
+
+    for (n, extra, label) in [(5, 0, "chain5"), (7, 1, "n7+1"), (9, 2, "n9+2")] {
+        let (catalog, query) = random_query(&RandomQueryConfig {
+            num_relations: n,
+            extra_edges: extra,
+            seed: 4242,
+        });
+        let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+        bench_pair(c, label, &catalog, &query, &ex);
+    }
+}
+
+criterion_group!(benches, plangen);
+criterion_main!(benches);

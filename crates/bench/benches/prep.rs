@@ -1,0 +1,48 @@
+//! E5 (timing side) — the one-time preparation step (Fig. 3): NFSM
+//! construction, pruning, determinization and precomputation for TPC-R
+//! Query 8, with and without the §5.7 techniques, plus a random-query
+//! preparation at several sizes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ofw_core::{OrderingFramework, PruneConfig};
+use ofw_query::extract::ExtractOptions;
+use ofw_workload::{q8_query, random_query, RandomQueryConfig};
+
+fn prep(c: &mut Criterion) {
+    let (catalog, query) = q8_query();
+    let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+
+    c.bench_function("prep/q8/with-pruning", |b| {
+        b.iter_batched(
+            || ex.spec.clone(),
+            |spec| OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("prep/q8/without-pruning", |b| {
+        b.iter_batched(
+            || ex.spec.clone(),
+            |spec| OrderingFramework::prepare(&spec, PruneConfig::none()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    for n in [5usize, 8, 10] {
+        let (catalog, query) = random_query(&RandomQueryConfig {
+            num_relations: n,
+            extra_edges: 1,
+            seed: 99,
+        });
+        let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+        c.bench_function(&format!("prep/random-n{n}"), |b| {
+            b.iter_batched(
+                || ex.spec.clone(),
+                |spec| OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, prep);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Dense id types for schema objects.
+//!
+//! Attribute ids are the alphabet of every ordering in the system; they are
+//! plain `u32` newtypes so that orderings are small, comparisons are integer
+//! comparisons, and hot maps can use fast integer hashing (per the
+//! performance guide: smaller integers + handles over strings).
+
+/// Identifier of an attribute (column), unique across the whole catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u32);
+
+/// Identifier of a relation (table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl AttrId {
+    /// The raw index, usable for dense arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelId {
+    /// The raw index, usable for dense arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl std::fmt::Debug for RelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<AttrId>(), 4);
+        assert_eq!(std::mem::size_of::<RelId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<AttrId>>(), 8);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", AttrId(3)), "a3");
+        assert_eq!(format!("{:?}", RelId(1)), "r1");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(AttrId(1) < AttrId(2));
+        assert_eq!(AttrId(7).index(), 7);
+    }
+}

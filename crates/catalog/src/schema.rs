@@ -1,0 +1,197 @@
+//! The catalog: relations, attributes, indexes, cardinalities.
+
+use crate::attr::{AttrId, RelId};
+use ofw_common::FxHashMap;
+
+/// Physical index metadata: scanning it yields tuples ordered by `key`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Index {
+    /// Attributes of the index key, major first.
+    pub key: Vec<AttrId>,
+    /// Clustered indexes scan at sequential-I/O cost; unclustered ones pay
+    /// a random-access penalty in the cost model.
+    pub clustered: bool,
+}
+
+/// A base relation with its physical metadata.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    /// Relation name (unique in the catalog).
+    pub name: String,
+    /// Estimated tuple count, the basis of all cardinality estimation.
+    pub cardinality: f64,
+    /// Attributes owned by this relation, in declaration order.
+    pub attrs: Vec<AttrId>,
+    /// Available indexes.
+    pub indexes: Vec<Index>,
+}
+
+/// A schema catalog mapping names to dense ids and back.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    relations: Vec<Relation>,
+    attr_names: Vec<String>,
+    attr_rel: Vec<RelId>,
+    rel_by_name: FxHashMap<String, RelId>,
+    attr_by_name: FxHashMap<String, AttrId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a relation with the given attributes; returns its id.
+    ///
+    /// Attribute names are qualified as `"<rel>.<attr>"` in the global
+    /// name map, so the same column name may appear in several relations.
+    /// Unqualified names also resolve when unambiguous.
+    pub fn add_relation(
+        &mut self,
+        name: &str,
+        cardinality: f64,
+        attr_names: &[&str],
+    ) -> RelId {
+        assert!(
+            !self.rel_by_name.contains_key(name),
+            "duplicate relation {name}"
+        );
+        let rel_id = RelId(u32::try_from(self.relations.len()).expect("too many relations"));
+        let mut attrs = Vec::with_capacity(attr_names.len());
+        for attr in attr_names {
+            let attr_id = AttrId(u32::try_from(self.attr_names.len()).expect("too many attrs"));
+            self.attr_names.push(format!("{name}.{attr}"));
+            self.attr_rel.push(rel_id);
+            self.attr_by_name
+                .insert(format!("{name}.{attr}"), attr_id);
+            // Unqualified alias: first writer wins; ambiguous names must be
+            // qualified by callers.
+            self.attr_by_name
+                .entry((*attr).to_string())
+                .or_insert(attr_id);
+            attrs.push(attr_id);
+        }
+        self.relations.push(Relation {
+            name: name.to_string(),
+            cardinality,
+            attrs,
+            indexes: Vec::new(),
+        });
+        self.rel_by_name.insert(name.to_string(), rel_id);
+        rel_id
+    }
+
+    /// Registers an index on `rel`.
+    pub fn add_index(&mut self, rel: RelId, key: Vec<AttrId>, clustered: bool) {
+        assert!(!key.is_empty(), "index key must be non-empty");
+        self.relations[rel.index()].indexes.push(Index { key, clustered });
+    }
+
+    /// Resolves a relation by name.
+    pub fn relation_id(&self, name: &str) -> Option<RelId> {
+        self.rel_by_name.get(name).copied()
+    }
+
+    /// Resolves an attribute by (possibly qualified) name.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attr_by_name.get(name).copied()
+    }
+
+    /// Resolves an attribute, panicking with a useful message if unknown.
+    pub fn attr(&self, name: &str) -> AttrId {
+        self.attr_id(name)
+            .unwrap_or_else(|| panic!("unknown attribute {name}"))
+    }
+
+    /// The relation owning `attr`.
+    pub fn attr_relation(&self, attr: AttrId) -> RelId {
+        self.attr_rel[attr.index()]
+    }
+
+    /// The qualified name of `attr`.
+    pub fn attr_name(&self, attr: AttrId) -> &str {
+        &self.attr_names[attr.index()]
+    }
+
+    /// Relation metadata.
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.relations[rel.index()]
+    }
+
+    /// All relations in id order.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Total number of attributes across all relations.
+    pub fn num_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Renders an ordering (attribute sequence) with qualified names —
+    /// used by examples and debugging output.
+    pub fn render_ordering(&self, attrs: &[AttrId]) -> String {
+        let names: Vec<&str> = attrs.iter().map(|&a| self.attr_name(a)).collect();
+        format!("({})", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation("persons", 10_000.0, &["id", "name", "jobid"]);
+        c.add_relation("jobs", 100.0, &["id", "salary"]);
+        c
+    }
+
+    #[test]
+    fn relations_and_attrs_resolve() {
+        let c = sample();
+        let persons = c.relation_id("persons").unwrap();
+        let jobs = c.relation_id("jobs").unwrap();
+        assert_ne!(persons, jobs);
+        assert_eq!(c.relation(persons).attrs.len(), 3);
+        assert_eq!(c.relation(jobs).cardinality, 100.0);
+        assert_eq!(c.num_attrs(), 5);
+    }
+
+    #[test]
+    fn qualified_names_disambiguate() {
+        let c = sample();
+        let pid = c.attr("persons.id");
+        let jid = c.attr("jobs.id");
+        assert_ne!(pid, jid);
+        // Unqualified "id" resolves to the first declaration.
+        assert_eq!(c.attr("id"), pid);
+        assert_eq!(c.attr_name(jid), "jobs.id");
+        assert_eq!(c.attr_relation(jid), c.relation_id("jobs").unwrap());
+    }
+
+    #[test]
+    fn indexes_attach_to_relations() {
+        let mut c = sample();
+        let jobs = c.relation_id("jobs").unwrap();
+        let jid = c.attr("jobs.id");
+        c.add_index(jobs, vec![jid], true);
+        assert_eq!(c.relation(jobs).indexes.len(), 1);
+        assert!(c.relation(jobs).indexes[0].clustered);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation")]
+    fn duplicate_relation_panics() {
+        let mut c = sample();
+        c.add_relation("persons", 1.0, &["x"]);
+    }
+
+    #[test]
+    fn render_ordering_is_readable() {
+        let c = sample();
+        let s = c.render_ordering(&[c.attr("persons.id"), c.attr("persons.name")]);
+        assert_eq!(s, "(persons.id, persons.name)");
+    }
+}

@@ -1,0 +1,110 @@
+//! The TPC-H / TPC-R schema subset used by the paper's §6.2 experiment
+//! (TPC-R Query 8).
+//!
+//! Cardinalities are the scale-factor-1 row counts from the TPC
+//! specification. Only the eight relations Query 8 touches are modeled;
+//! order optimization needs no table data, just schema + statistics.
+
+use crate::schema::Catalog;
+use crate::RelId;
+
+/// Row counts at scale factor 1 (TPC Benchmark R, revision 1.2.0).
+pub const SF1_CARDINALITIES: [(&str, f64); 8] = [
+    ("part", 200_000.0),
+    ("supplier", 10_000.0),
+    ("lineitem", 6_001_215.0),
+    ("orders", 1_500_000.0),
+    ("customer", 150_000.0),
+    ("nation1", 25.0),
+    ("nation2", 25.0),
+    ("region", 5.0),
+];
+
+/// Builds the Query-8 relevant subset of the TPC-H schema.
+///
+/// `nation` appears twice in Query 8 (`n1`, `n2`); following the query's
+/// aliasing we register it as two relations `nation1`/`nation2` so every
+/// attribute occurrence gets a distinct id, exactly as an optimizer's
+/// range-table would.
+pub fn tpch_q8_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_relation(
+        "part",
+        200_000.0,
+        &["p_partkey", "p_name", "p_type", "p_retailprice"],
+    );
+    c.add_relation(
+        "supplier",
+        10_000.0,
+        &["s_suppkey", "s_name", "s_nationkey"],
+    );
+    c.add_relation(
+        "lineitem",
+        6_001_215.0,
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_extendedprice",
+            "l_discount",
+        ],
+    );
+    c.add_relation(
+        "orders",
+        1_500_000.0,
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_year"],
+    );
+    c.add_relation("customer", 150_000.0, &["c_custkey", "c_nationkey"]);
+    c.add_relation("nation1", 25.0, &["n1_nationkey", "n1_name", "n1_regionkey"]);
+    c.add_relation("nation2", 25.0, &["n2_nationkey", "n2_name", "n2_regionkey"]);
+    c.add_relation("region", 5.0, &["r_regionkey", "r_name"]);
+
+    // Primary-key indexes (clustered), as any TPC system would have.
+    let pk = |c: &Catalog, r: &str, a: &str| (c.relation_id(r).unwrap(), c.attr(a));
+    let keys: Vec<(RelId, crate::AttrId)> = vec![
+        pk(&c, "part", "p_partkey"),
+        pk(&c, "supplier", "s_suppkey"),
+        pk(&c, "orders", "o_orderkey"),
+        pk(&c, "customer", "c_custkey"),
+        pk(&c, "nation1", "n1_nationkey"),
+        pk(&c, "nation2", "n2_nationkey"),
+        pk(&c, "region", "r_regionkey"),
+    ];
+    for (rel, attr) in keys {
+        c.add_index(rel, vec![attr], true);
+    }
+    // lineitem is clustered by orderkey in most TPC deployments.
+    let li = c.relation_id("lineitem").unwrap();
+    let lo = c.attr("l_orderkey");
+    c.add_index(li, vec![lo], true);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_all_eight_relations() {
+        let c = tpch_q8_catalog();
+        for (name, card) in SF1_CARDINALITIES {
+            let rel = c
+                .relation_id(name)
+                .unwrap_or_else(|| panic!("missing relation {name}"));
+            assert_eq!(c.relation(rel).cardinality, card, "cardinality of {name}");
+        }
+    }
+
+    #[test]
+    fn nation_aliases_have_distinct_attrs() {
+        let c = tpch_q8_catalog();
+        assert_ne!(c.attr("n1_nationkey"), c.attr("n2_nationkey"));
+    }
+
+    #[test]
+    fn pk_indexes_exist() {
+        let c = tpch_q8_catalog();
+        let orders = c.relation_id("orders").unwrap();
+        assert!(c.relation(orders).indexes.iter().any(|i| i.clustered));
+    }
+}

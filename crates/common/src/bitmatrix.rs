@@ -1,0 +1,141 @@
+//! A dense 2-D bit matrix.
+//!
+//! Backs the precomputed `contains` table of the paper (§5.5, Fig. 9):
+//! rows are DFSM states, columns are interesting orders, and
+//! `contains(state, order)` is a single bit probe. Rows are word-aligned so
+//! the row-subset test used for plan-domination pruning is word-parallel.
+
+/// A rows × cols matrix of bits with O(1) probe and word-parallel row ops.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    row_blocks: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        let row_blocks = cols.div_ceil(64).max(1);
+        BitMatrix {
+            rows,
+            cols,
+            row_blocks,
+            bits: vec![0; rows * row_blocks],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Heap bytes consumed.
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.capacity() * 8
+    }
+
+    /// Sets bit (`row`, `col`).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.bits[row * self.row_blocks + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Reads bit (`row`, `col`).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.bits[row * self.row_blocks + col / 64] & (1u64 << (col % 64)) != 0
+    }
+
+    /// True if every bit set in row `b` is also set in row `a`.
+    ///
+    /// This is the plan-domination test: DFSM state `a` satisfies at least
+    /// the interesting orders state `b` does.
+    #[inline]
+    pub fn row_is_superset(&self, a: usize, b: usize) -> bool {
+        let ra = &self.bits[a * self.row_blocks..(a + 1) * self.row_blocks];
+        let rb = &self.bits[b * self.row_blocks..(b + 1) * self.row_blocks];
+        ra.iter().zip(rb).all(|(x, y)| x & y == *y)
+    }
+
+    /// Number of set bits in a row.
+    pub fn row_count(&self, row: usize) -> usize {
+        self.bits[row * self.row_blocks..(row + 1) * self.row_blocks]
+            .iter()
+            .map(|b| b.count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates the set columns of a row in ascending order.
+    pub fn row_iter(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        let blocks = &self.bits[row * self.row_blocks..(row + 1) * self.row_blocks];
+        blocks.iter().enumerate().flat_map(|(bi, &b)| {
+            (0..64)
+                .filter(move |bit| b & (1u64 << bit) != 0)
+                .map(move |bit| bi * 64 + bit)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get() {
+        let mut m = BitMatrix::new(3, 70);
+        m.set(0, 0);
+        m.set(1, 63);
+        m.set(1, 64);
+        m.set(2, 69);
+        assert!(m.get(0, 0) && m.get(1, 63) && m.get(1, 64) && m.get(2, 69));
+        assert!(!m.get(0, 1) && !m.get(2, 0));
+    }
+
+    #[test]
+    fn row_superset() {
+        let mut m = BitMatrix::new(3, 130);
+        for c in [1usize, 5, 127] {
+            m.set(0, c);
+        }
+        for c in [1usize, 5] {
+            m.set(1, c);
+        }
+        m.set(2, 6);
+        assert!(m.row_is_superset(0, 1));
+        assert!(!m.row_is_superset(1, 0));
+        assert!(!m.row_is_superset(0, 2));
+        // Every row is a superset of itself.
+        for r in 0..3 {
+            assert!(m.row_is_superset(r, r));
+        }
+    }
+
+    #[test]
+    fn row_iter_and_count() {
+        let mut m = BitMatrix::new(2, 100);
+        for c in [0usize, 64, 99] {
+            m.set(1, c);
+        }
+        assert_eq!(m.row_iter(1).collect::<Vec<_>>(), vec![0, 64, 99]);
+        assert_eq!(m.row_count(1), 3);
+        assert_eq!(m.row_count(0), 0);
+    }
+
+    #[test]
+    fn zero_cols_is_safe() {
+        let m = BitMatrix::new(4, 0);
+        assert_eq!(m.rows(), 4);
+        assert!(m.row_is_superset(0, 3));
+    }
+}

@@ -1,0 +1,231 @@
+//! A growable bit set over `u64` blocks.
+//!
+//! Used for subsets of NFSM states during the powerset construction
+//! (Appendix A of the paper) where sets are dense and set-algebra speed
+//! dominates. All operations are word-parallel.
+
+/// A fixed-universe bit set (universe size chosen at construction).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold `universe` elements (`0..universe`).
+    pub fn new(universe: usize) -> Self {
+        BitSet {
+            blocks: vec![0; universe.div_ceil(64)],
+        }
+    }
+
+    /// Number of `u64` blocks backing the set.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Heap bytes consumed by this set.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.blocks.capacity() * 8
+    }
+
+    /// Inserts `i`. Panics if `i` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        self.blocks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `i` if present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        if let Some(b) = self.blocks.get_mut(i / 64) {
+            *b &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Tests membership of `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.blocks
+            .get(i / 64)
+            .is_some_and(|b| b & (1u64 << (i % 64)) != 0)
+    }
+
+    /// True if no element is set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `self |= other`. Both sets must share the same universe.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= *b;
+        }
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= *b;
+        }
+    }
+
+    /// `self -= other` (set difference).
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !*b;
+        }
+    }
+
+    /// True if `self ⊇ other`.
+    pub fn is_superset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.blocks.len(), other.blocks.len());
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// True if the sets share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates set elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            BlockBits { block }.map(move |bit| bi * 64 + bit)
+        })
+    }
+
+    /// Removes all elements, keeping the universe size.
+    pub fn clear(&mut self) {
+        self.blocks.fill(0);
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the largest element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let universe = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(universe);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+struct BlockBits {
+    block: u64,
+}
+
+impl Iterator for BlockBits {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.block == 0 {
+            return None;
+        }
+        let bit = self.block.trailing_zeros() as usize;
+        self.block &= self.block - 1;
+        Some(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(200);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(199);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(199));
+        assert!(!s.contains(1) && !s.contains(100));
+        assert_eq!(s.len(), 4);
+        s.remove(63);
+        assert!(!s.contains(63));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: BitSet = [5usize, 1, 130, 64].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 5, 64, 130]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1usize, 2, 3, 100].into_iter().collect();
+        let b: BitSet = [2usize, 3, 4, 100].into_iter().collect();
+        // Pad to same universe.
+        let mut a2 = BitSet::new(101);
+        for i in a.iter() {
+            a2.insert(i);
+        }
+        let mut b2 = BitSet::new(101);
+        for i in b.iter() {
+            b2.insert(i);
+        }
+        let mut u = a2.clone();
+        u.union_with(&b2);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 100]);
+        let mut i = a2.clone();
+        i.intersect_with(&b2);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 3, 100]);
+        let mut d = a2.clone();
+        d.difference_with(&b2);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1]);
+        assert!(u.is_superset(&a2) && u.is_superset(&b2));
+        assert!(!a2.is_superset(&b2));
+        assert!(a2.intersects(&b2));
+    }
+
+    #[test]
+    fn superset_and_equality_hash() {
+        use std::collections::HashSet;
+        let mut seen: HashSet<BitSet> = HashSet::new();
+        let a: BitSet = [1usize, 2].into_iter().collect();
+        let mut b = BitSet::new(3);
+        b.insert(1);
+        b.insert(2);
+        seen.insert(a);
+        assert!(seen.contains(&b));
+    }
+
+    #[test]
+    fn clear_keeps_universe() {
+        let mut s = BitSet::new(130);
+        s.insert(129);
+        s.clear();
+        assert!(s.is_empty());
+        s.insert(129);
+        assert!(s.contains(129));
+    }
+}

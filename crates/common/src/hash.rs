@@ -1,0 +1,144 @@
+//! FxHash: the fast, non-cryptographic hash used throughout the workspace.
+//!
+//! This is a from-scratch implementation of the well-known Fx algorithm
+//! (originally from Firefox, popularized by `rustc`). We re-implement it in
+//! ~40 lines instead of adding a dependency; the algorithm is public domain
+//! folklore: `state = (state.rotate_left(5) ^ word) * SEED`.
+//!
+//! HashDoS resistance is irrelevant here: all hashed values are internal
+//! (interned ids, orderings, state sets), never attacker-controlled.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx seed (`π`-derived constant used by rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic [`Hasher`] (the Fx algorithm).
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_word(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_word(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_word(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_eq!(hash_of(&"abc"), hash_of(&"abc"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&vec![1u32, 2]), hash_of(&vec![2u32, 1]));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<Vec<u32>, usize> = FxHashMap::default();
+        for i in 0..1000usize {
+            m.insert(vec![i as u32, (i * 7) as u32], i);
+        }
+        for i in 0..1000usize {
+            assert_eq!(m[&vec![i as u32, (i * 7) as u32]], i);
+        }
+    }
+
+    #[test]
+    fn mixed_width_writes_differ_from_concatenation() {
+        // Sanity: writing (1u32, 2u32) differs from writing 1u64<<32|2 as
+        // one word often enough that buckets spread; just check inequality
+        // of two obviously different streams.
+        let mut a = FxHasher::default();
+        a.write_u32(1);
+        a.write_u32(2);
+        let mut b = FxHasher::default();
+        b.write_u32(2);
+        b.write_u32(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn byte_tail_handling() {
+        // Lengths 0..=9 exercise the 8-byte, 4-byte and tail paths.
+        let data: Vec<u8> = (0u8..9).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=data.len() {
+            let mut h = FxHasher::default();
+            h.write(&data[..len]);
+            seen.insert(h.finish());
+        }
+        // All prefixes should hash differently (no accidental collisions
+        // in this tiny deterministic set — except possibly the empty one).
+        assert!(seen.len() >= data.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! Generic value interning.
+//!
+//! The paper's precomputation step (§5.5) replaces "every occurrence of an
+//! interesting order or functional dependency … by a handle" so that
+//! comparisons run in constant time. [`Interner`] is that mechanism: it
+//! assigns dense `u32` handles to values in first-seen order and supports
+//! O(1) handle → value and (expected) O(1) value → handle lookups.
+
+use crate::hash::FxHashMap;
+use std::hash::Hash;
+
+/// Interns values of type `T`, handing out dense `u32` handles.
+#[derive(Clone, Debug)]
+pub struct Interner<T> {
+    values: Vec<T>,
+    index: FxHashMap<T, u32>,
+}
+
+impl<T: Clone + Eq + Hash> Default for Interner<T> {
+    fn default() -> Self {
+        Interner {
+            values: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+}
+
+impl<T: Clone + Eq + Hash> Interner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `value`, returning its handle (existing or new).
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&h) = self.index.get(&value) {
+            return h;
+        }
+        let h = u32::try_from(self.values.len()).expect("interner overflow");
+        self.values.push(value.clone());
+        self.index.insert(value, h);
+        h
+    }
+
+    /// Looks up the handle for `value` without interning.
+    pub fn get(&self, value: &T) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// Resolves a handle back to its value.
+    #[inline]
+    pub fn resolve(&self, handle: u32) -> &T {
+        &self.values[handle as usize]
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(handle, value)` pairs in handle order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i: Interner<String> = Interner::new();
+        let a = i.intern("a".to_string());
+        let b = i.intern("b".to_string());
+        let a2 = i.intern("a".to_string());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i: Interner<Vec<u32>> = Interner::new();
+        let h = i.intern(vec![1, 2, 3]);
+        assert_eq!(i.resolve(h), &vec![1, 2, 3]);
+        assert_eq!(i.get(&vec![1, 2, 3]), Some(h));
+        assert_eq!(i.get(&vec![9]), None);
+    }
+
+    #[test]
+    fn handles_are_dense_and_ordered() {
+        let mut i: Interner<u64> = Interner::new();
+        for v in 0..100u64 {
+            assert_eq!(i.intern(v * 10), v as u32);
+        }
+        let pairs: Vec<(u32, u64)> = i.iter().map(|(h, &v)| (h, v)).collect();
+        assert_eq!(pairs.len(), 100);
+        assert_eq!(pairs[7], (7, 70));
+    }
+}

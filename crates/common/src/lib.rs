@@ -1,0 +1,28 @@
+//! Shared infrastructure for the `ofw` order-optimization workspace.
+//!
+//! This crate deliberately contains no order-optimization logic. It provides
+//! the performance-oriented substrate the other crates are built on:
+//!
+//! * [`hash`] — an FxHash implementation and `HashMap`/`HashSet` aliases
+//!   using it (the default SipHash is too slow for the hot interning and
+//!   memoization paths; see the Rust Performance Book).
+//! * [`bitset`] — a growable `u64`-block bit set used for NFSM state
+//!   subsets during determinization.
+//! * [`bitmatrix`] — a dense 2-D bit matrix used for the precomputed
+//!   `contains` table (DFSM state × interesting order).
+//! * [`interner`] — a generic value interner handing out dense `u32`
+//!   handles so hot-path comparisons are integer comparisons.
+//! * [`mem`] — a byte-accurate memory meter used to reproduce the paper's
+//!   memory-consumption experiments (Fig. 14).
+
+pub mod bitmatrix;
+pub mod bitset;
+pub mod hash;
+pub mod interner;
+pub mod mem;
+
+pub use bitmatrix::BitMatrix;
+pub use bitset::BitSet;
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use interner::Interner;
+pub use mem::MemoryMeter;

@@ -1,0 +1,122 @@
+//! Property-based tests for the substrate data structures: the bit set,
+//! bit matrix and interner must behave exactly like their obvious
+//! `std::collections` models.
+
+use ofw_common::{BitMatrix, BitSet, Interner};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const UNIVERSE: usize = 200;
+
+fn arb_elems() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..UNIVERSE, 0..64)
+}
+
+proptest! {
+    /// BitSet behaves like BTreeSet for membership and iteration order.
+    #[test]
+    fn bitset_models_btreeset(elems in arb_elems(), removals in arb_elems()) {
+        let mut bs = BitSet::new(UNIVERSE);
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        for &e in &elems {
+            bs.insert(e);
+            model.insert(e);
+        }
+        for &r in &removals {
+            bs.remove(r);
+            model.remove(&r);
+        }
+        prop_assert_eq!(bs.len(), model.len());
+        prop_assert!(bs.is_empty() == model.is_empty());
+        let collected: Vec<usize> = bs.iter().collect();
+        let expected: Vec<usize> = model.iter().copied().collect();
+        prop_assert_eq!(collected, expected, "ascending iteration");
+        for probe in 0..UNIVERSE {
+            prop_assert_eq!(bs.contains(probe), model.contains(&probe));
+        }
+    }
+
+    /// Set algebra agrees with the model.
+    #[test]
+    fn bitset_algebra_models_btreeset(a in arb_elems(), b in arb_elems()) {
+        let build = |v: &[usize]| {
+            let mut s = BitSet::new(UNIVERSE);
+            for &e in v {
+                s.insert(e);
+            }
+            s
+        };
+        let (sa, sb) = (build(&a), build(&b));
+        let (ma, mb): (BTreeSet<usize>, BTreeSet<usize>) =
+            (a.iter().copied().collect(), b.iter().copied().collect());
+
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        prop_assert_eq!(
+            u.iter().collect::<Vec<_>>(),
+            ma.union(&mb).copied().collect::<Vec<_>>()
+        );
+
+        let mut i = sa.clone();
+        i.intersect_with(&sb);
+        prop_assert_eq!(
+            i.iter().collect::<Vec<_>>(),
+            ma.intersection(&mb).copied().collect::<Vec<_>>()
+        );
+
+        let mut d = sa.clone();
+        d.difference_with(&sb);
+        prop_assert_eq!(
+            d.iter().collect::<Vec<_>>(),
+            ma.difference(&mb).copied().collect::<Vec<_>>()
+        );
+
+        prop_assert_eq!(sa.is_superset(&sb), mb.is_subset(&ma));
+        prop_assert_eq!(sa.intersects(&sb), !ma.is_disjoint(&mb));
+    }
+
+    /// Row-subset tests on the matrix agree with per-bit comparison.
+    #[test]
+    fn bitmatrix_row_superset_models_bits(
+        rows in proptest::collection::vec(arb_elems(), 2..6),
+    ) {
+        let cols = UNIVERSE;
+        let mut m = BitMatrix::new(rows.len(), cols);
+        for (r, elems) in rows.iter().enumerate() {
+            for &c in elems {
+                m.set(r, c);
+            }
+        }
+        for a in 0..rows.len() {
+            prop_assert_eq!(m.row_count(a), {
+                let s: BTreeSet<usize> = rows[a].iter().copied().collect();
+                s.len()
+            });
+            for b in 0..rows.len() {
+                let expected = (0..cols).all(|c| !m.get(b, c) || m.get(a, c));
+                prop_assert_eq!(m.row_is_superset(a, b), expected, "rows {} {}", a, b);
+            }
+        }
+    }
+
+    /// Interning is a bijection between first-seen values and handles.
+    #[test]
+    fn interner_is_bijective(values in proptest::collection::vec(0u64..50, 1..100)) {
+        let mut interner: Interner<u64> = Interner::new();
+        let handles: Vec<u32> = values.iter().map(|&v| interner.intern(v)).collect();
+        // Same value ⇒ same handle; different values ⇒ different handles.
+        for (i, &vi) in values.iter().enumerate() {
+            for (j, &vj) in values.iter().enumerate() {
+                prop_assert_eq!(handles[i] == handles[j], vi == vj);
+            }
+        }
+        // Resolution round-trips.
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(*interner.resolve(handles[i]), v);
+            prop_assert_eq!(interner.get(&v), Some(handles[i]));
+        }
+        // Handles are dense.
+        let distinct: BTreeSet<u64> = values.iter().copied().collect();
+        prop_assert_eq!(interner.len(), distinct.len());
+    }
+}

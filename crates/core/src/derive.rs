@@ -1,0 +1,345 @@
+//! Ordering derivation: the `o ⊢_f O′` relation of §2 and its transitive,
+//! heuristically bounded closure `Ω` of §5.7.
+//!
+//! Given an ordering `o` and a dependency `f`:
+//!
+//! * `lhs → rhs`: `rhs` may be inserted at any position after the last
+//!   occurrence of the `lhs` attributes (all of which must occur in `o`);
+//! * `a = b`: behaves like `{a→b, b→a}` *plus* in-place substitution of
+//!   `a` by `b` and vice versa (the paper notes `a = b` is stronger than
+//!   the FD pair — e.g. the `(id) → (jobid)` edge in Fig. 11);
+//! * `∅ → a`: `a` may be inserted at any position.
+//!
+//! Derived orderings stay duplicate-free (inserting an attribute that is
+//! already present adds no information), and the §5.7 heuristics bound the
+//! result: a global length cutoff at the longest interesting order, and a
+//! prefix filter that discards insertions no interesting order can ever
+//! profit from (with truncation to the longest matching interesting
+//! order). Both heuristics are toggleable so the paper's "without
+//! pruning" configuration can be measured.
+
+use crate::eqclass::EqClasses;
+use crate::fd::Fd;
+use crate::filter::PrefixFilter;
+use crate::ordering::Ordering;
+use ofw_common::FxHashSet;
+
+/// Shared context for derivation: equivalence classes, the prefix filter,
+/// and the global length cutoff.
+pub struct DeriveCtx<'a> {
+    /// Equivalence classes from all equations of the query.
+    pub eq: &'a EqClasses,
+    /// Prefix filter over the interesting orders (§5.7).
+    pub filter: &'a PrefixFilter,
+    /// Global cutoff: derived orderings longer than this are truncated
+    /// (`usize::MAX` disables the cutoff).
+    pub max_len: usize,
+}
+
+impl<'a> DeriveCtx<'a> {
+    /// Applies a single dependency to `o` once, appending each derived
+    /// ordering to `out`. Results never equal `o`.
+    ///
+    /// Besides the paper's insertion and substitution rules, we derive
+    /// *removals*: an occurrence of a functionally determined attribute
+    /// whose determinants all precede it never decides a lexicographic
+    /// comparison (when the comparison reaches it, the determinants are
+    /// tied, so it is tied too), and the same holds for constants
+    /// anywhere. This matches the power of Simmen's reduction — e.g.
+    /// `(a,b,c)` under `a→b` also satisfies `(a,c)`.
+    pub fn apply_fd(&self, o: &Ordering, fd: &Fd, out: &mut Vec<Ordering>) {
+        match fd {
+            Fd::Functional { lhs, rhs } => {
+                if let Some(p) = o.position(*rhs) {
+                    let implied = lhs.iter().all(|&l| o.position(l).is_some_and(|q| q < p));
+                    if implied {
+                        out.push(o.remove_at(p));
+                    }
+                } else {
+                    self.insertions(o, lhs, *rhs, out);
+                }
+            }
+            Fd::Constant(a) => {
+                if let Some(p) = o.position(*a) {
+                    out.push(o.remove_at(p));
+                } else {
+                    self.insertions(o, &[], *a, out);
+                }
+            }
+            Fd::Equation(a, b) => {
+                self.insertions(o, std::slice::from_ref(a), *b, out);
+                self.insertions(o, std::slice::from_ref(b), *a, out);
+                self.substitutions(o, *a, *b, out);
+                self.substitutions(o, *b, *a, out);
+            }
+        }
+    }
+
+    /// Insertion rule: add `rhs` at any position after all of `lhs`.
+    fn insertions(&self, o: &Ordering, lhs: &[ofw_catalog::AttrId], rhs: ofw_catalog::AttrId, out: &mut Vec<Ordering>) {
+        if o.contains_attr(rhs) {
+            return;
+        }
+        // Earliest legal insert position: one past the last lhs attribute.
+        let mut first = 0usize;
+        for &l in lhs {
+            match o.position(l) {
+                Some(p) => first = first.max(p + 1),
+                None => return, // lhs not satisfied by o
+            }
+        }
+        let last = o.len().min(self.max_len.saturating_sub(1));
+        for pos in first..=last {
+            let candidate = o.insert_at(pos, rhs);
+            let allowed = self
+                .filter
+                .admitted_len(candidate.attrs(), self.eq, self.max_len);
+            // The inserted attribute itself must survive the truncation,
+            // otherwise the result carries no new information.
+            if allowed > pos {
+                let derived = candidate.truncate(allowed);
+                debug_assert!(derived.contains_attr(rhs));
+                out.push(derived);
+            }
+        }
+    }
+
+    /// Substitution rule for equations: replace an occurrence of `from`
+    /// by `to` in place. When *both* attributes occur, the later one can
+    /// never decide a lexicographic comparison (the earlier occurrence
+    /// of its equal partner already tied), so it may be dropped — e.g.
+    /// `(a,b)` under `a = b` also satisfies `(a)`, and transitively
+    /// `(b)` and `(b,a)`.
+    fn substitutions(&self, o: &Ordering, from: ofw_catalog::AttrId, to: ofw_catalog::AttrId, out: &mut Vec<Ordering>) {
+        let Some(pos) = o.position(from) else {
+            return;
+        };
+        if let Some(to_pos) = o.position(to) {
+            // `from` is redundant only if `to` precedes it; the
+            // symmetric substitution call covers the other orientation.
+            if to_pos < pos {
+                out.push(o.remove_at(pos));
+            }
+            return;
+        }
+        if pos >= self.max_len {
+            return;
+        }
+        let candidate = o.replace_at(pos, to);
+        let allowed = self
+            .filter
+            .admitted_len(candidate.attrs(), self.eq, self.max_len);
+        if allowed > pos {
+            out.push(candidate.truncate(allowed));
+        }
+    }
+
+    /// The bounded transitive closure `Ω({o}, fds) \ prefix-closure(o)`:
+    /// every ordering reachable from `o` (or from prefixes of derived
+    /// orderings) by repeatedly applying any of `fds`.
+    ///
+    /// Prefixes of derived orderings participate as derivation *sources*
+    /// (the paper's `Ω` is prefix-closed at every step) but only actually
+    /// derived orderings are reported — in the NFSM, prefixes are separate
+    /// nodes reached by ε-edges.
+    pub fn closure(&self, o: &Ordering, fds: &[Fd]) -> Vec<Ordering> {
+        let mut seen: FxHashSet<Ordering> = FxHashSet::default();
+        let mut result: Vec<Ordering> = Vec::new();
+        let mut work: Vec<Ordering> = vec![o.clone()];
+        seen.insert(o.clone());
+        // Prefixes of o are separate NFSM nodes with their own edges, but
+        // mark them seen so we do not re-derive and report them.
+        for p in o.proper_prefixes() {
+            seen.insert(p.clone());
+            work.push(p);
+        }
+        let mut buf: Vec<Ordering> = Vec::new();
+        while let Some(cur) = work.pop() {
+            for fd in fds {
+                buf.clear();
+                self.apply_fd(&cur, fd, &mut buf);
+                for d in buf.drain(..) {
+                    if seen.insert(d.clone()) {
+                        // Report the derivation and recurse both into it
+                        // and into its prefixes (prefix closure of Ω).
+                        for p in d.proper_prefixes() {
+                            if seen.insert(p.clone()) {
+                                work.push(p.clone());
+                                result.push(p);
+                            }
+                        }
+                        work.push(d.clone());
+                        result.push(d);
+                    }
+                }
+            }
+        }
+        // Everything reported must be genuinely new (not o, not a prefix
+        // of o) — guaranteed because those were pre-seeded into `seen`,
+        // except prefixes of derived orderings that happen to be prefixes
+        // of o; filter those.
+        result.retain(|r| !(r.is_prefix_of(o)));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofw_catalog::AttrId;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+    const D: AttrId = AttrId(3);
+
+    fn o(ids: &[AttrId]) -> Ordering {
+        Ordering::new(ids.to_vec())
+    }
+
+    /// Context with all heuristics disabled (unbounded derivation).
+    fn open_ctx<'a>(eq: &'a EqClasses, filter: &'a PrefixFilter) -> DeriveCtx<'a> {
+        DeriveCtx {
+            eq,
+            filter,
+            max_len: usize::MAX,
+        }
+    }
+
+    fn unbounded(orderings: &Ordering, fds: &[Fd]) -> Vec<Ordering> {
+        let eq = EqClasses::from_fds(fds.iter());
+        let filter = PrefixFilter::new(std::iter::empty(), &[], &eq, false);
+        let ctx = open_ctx(&eq, &filter);
+        let mut r = ctx.closure(orderings, fds);
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn functional_insertion_positions() {
+        // (a,b) + b→c: c goes after b: (a,b,c).
+        let r = unbounded(&o(&[A, B]), &[Fd::functional(&[B], C)]);
+        assert_eq!(r, vec![o(&[A, B, C])]);
+        // (b,a) + b→c: c can go between or after: (b,c,a), (b,a,c)
+        // plus the prefix (b,c) of (b,c,a).
+        let r = unbounded(&o(&[B, A]), &[Fd::functional(&[B], C)]);
+        assert_eq!(r, vec![o(&[B, A, C]), o(&[B, C]), o(&[B, C, A])]);
+    }
+
+    #[test]
+    fn functional_requires_lhs_present() {
+        let r = unbounded(&o(&[A]), &[Fd::functional(&[B], C)]);
+        assert!(r.is_empty());
+        // Multi-attribute lhs: both must precede.
+        let r = unbounded(&o(&[A, B]), &[Fd::functional(&[A, B], C)]);
+        assert_eq!(r, vec![o(&[A, B, C])]);
+        let r = unbounded(&o(&[A]), &[Fd::functional(&[A, B], C)]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn rhs_already_present_is_noop() {
+        let r = unbounded(&o(&[B, C]), &[Fd::functional(&[B], C)]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn constants_insert_anywhere() {
+        // §2 intro example: (a,b) + x = const yields all interleavings.
+        let x = D;
+        let mut r = unbounded(&o(&[A, B]), &[Fd::constant(x)]);
+        r.sort();
+        let mut expect = vec![
+            o(&[x, A, B]),
+            o(&[A, x, B]),
+            o(&[A, B, x]),
+            o(&[x, A]), // prefix of (x,a,b)
+            o(&[A, x]), // prefix of (a,x,b)
+            o(&[x]),    // prefix of (x,a)
+        ];
+        expect.sort();
+        assert_eq!(r, expect);
+    }
+
+    #[test]
+    fn equation_substitutes_in_place() {
+        // (a) + a=b: (a,b), (b,a), (b) — substitution reaches (b) directly.
+        let r = unbounded(&o(&[A]), &[Fd::equation(A, B)]);
+        assert_eq!(r, vec![o(&[A, B]), o(&[B]), o(&[B, A])]);
+    }
+
+    #[test]
+    fn transitive_closure_chains_fds() {
+        // (a) + {a→b, b→c}: reaches (a,b,c) in two steps, and then
+        // (a,c) by dropping the functionally determined b (b is fixed
+        // once a is tied, so it never decides a comparison).
+        let r = unbounded(
+            &o(&[A]),
+            &[Fd::functional(&[A], B), Fd::functional(&[B], C)],
+        );
+        assert!(r.contains(&o(&[A, B])));
+        assert!(r.contains(&o(&[A, B, C])));
+        assert!(r.contains(&o(&[A, C])));
+        // But (c,…) stays out: nothing ever orders by c first.
+        assert!(!r.iter().any(|d| d.attrs().first() == Some(&C)));
+    }
+
+    #[test]
+    fn removal_of_determined_attributes() {
+        // (a,b,c) + a→b satisfies (a,c) — Simmen's reduction agrees.
+        let r = unbounded(&o(&[A, B, C]), &[Fd::functional(&[A], B)]);
+        assert!(r.contains(&o(&[A, C])));
+        // Constants are removable anywhere: (a,x,b) + x=const ⊢ (a,b).
+        let x = D;
+        let r = unbounded(&o(&[A, x, B]), &[Fd::constant(x)]);
+        assert!(r.contains(&o(&[A, B])));
+        // Equation duplicates: (a,b) + a=b ⊢ (b), (b,a) — and (a) via
+        // prefix closure, which `closure` leaves to the ε-edges.
+        let r = unbounded(&o(&[A, B]), &[Fd::equation(A, B)]);
+        assert!(r.contains(&o(&[B])));
+        assert!(r.contains(&o(&[B, A])));
+    }
+
+    #[test]
+    fn prefix_filter_blocks_useless_insertions() {
+        // Interesting order (a,b); from (b), inserting c is useless.
+        let fds = [Fd::functional(&[B], C)];
+        let eq = EqClasses::new();
+        let interesting = [o(&[A, B])];
+        let filter = PrefixFilter::new(interesting.iter(), &fds, &eq, true);
+        let ctx = DeriveCtx {
+            eq: &eq,
+            filter: &filter,
+            max_len: 2,
+        };
+        assert!(ctx.closure(&o(&[B]), &fds).is_empty());
+    }
+
+    #[test]
+    fn truncation_to_longest_matching_interesting_order() {
+        // Interesting order (a,b), FD a→c, cap 2: inserting c at the
+        // tail of (a,b) is pointless (it would only rebuild (a,b)) and
+        // is dropped. The middle insertion survives as (a,c) — c is
+        // strippable after a, so the admission DP keeps it as a
+        // potential enabler (a deliberate, sound over-admission).
+        let fds = [Fd::functional(&[A], C)];
+        let eq = EqClasses::new();
+        let interesting = [o(&[A, B])];
+        let filter = PrefixFilter::new(interesting.iter(), &fds, &eq, true);
+        let ctx = DeriveCtx {
+            eq: &eq,
+            filter: &filter,
+            max_len: 2,
+        };
+        let r = ctx.closure(&o(&[A, B]), &fds);
+        assert_eq!(r, vec![o(&[A, C])], "only the enabler candidate remains");
+    }
+
+    #[test]
+    fn closure_never_reports_prefixes_of_source() {
+        let r = unbounded(&o(&[A, B, C]), &[Fd::functional(&[A], D)]);
+        for d in &r {
+            assert!(!d.is_prefix_of(&o(&[A, B, C])), "{d:?}");
+        }
+    }
+}

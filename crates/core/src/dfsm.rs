@@ -1,0 +1,357 @@
+//! NFSM → DFSM conversion (paper §5.4 and Appendix A) and the
+//! precomputed tables of §5.5.
+//!
+//! The classic subset construction, lifted from automata to state
+//! machines (no accepting states; instead we must know which interesting
+//! orders each state implies). Two deviations worth calling out:
+//!
+//! * **ε-closure**: a DFSM state is always ε-closed, so a state holding
+//!   `(a,b,c)` also holds `(a,b)` and `(a)` — that is how `contains` on
+//!   prefixes works with a single bit probe.
+//! * **self-retention**: logical orderings *survive* the application of
+//!   an operator (`Ω` is monotone: `Ω_i ⊇ Ω_{i-1}`), so the successor of
+//!   state `S` under symbol `f` is `ε-closure(S ∪ targets(S, f))`, i.e.
+//!   every NFSM node implicitly carries a self-loop on every symbol.
+//!   This matches Fig. 10, where state 1 = {(b)} stays in state 1 under
+//!   `{b→c}` after the artificial node `(b,c)` has been pruned.
+//!
+//! After construction, two dense tables make the plan-generation ADT
+//! O(1): a transition table (`state × symbol → state`) and a `contains`
+//! bit matrix (`state × interesting order → bool`), together with a
+//! start row mapping each *produced* order to its entry state (the `*`
+//! row of Fig. 10).
+
+use crate::nfsm::{BuildError, Nfsm, NodeId};
+use crate::ordering::Ordering;
+use crate::prune::PruneConfig;
+use ofw_common::{BitMatrix, BitSet, FxHashMap, Interner};
+
+/// The deterministic FSM plus the §5.5 precomputed tables.
+pub struct Dfsm {
+    /// Subset of NFSM nodes per DFSM state (kept for introspection,
+    /// examples and tests; not needed during plan generation).
+    pub states: Vec<BitSet>,
+    /// Row-major transition table: `transitions[state * num_symbols + sym]`.
+    pub transitions: Vec<u32>,
+    /// Number of FD-set symbols.
+    pub num_symbols: usize,
+    /// Entry state for a tuple stream with no ordering (`()`).
+    pub empty_state: u32,
+    /// Entry states (`*` row): per *produced* interesting order, the
+    /// state for a stream physically ordered that way.
+    pub start: FxHashMap<Ordering, u32>,
+    /// `contains` bit matrix: rows = DFSM states, cols = interesting
+    /// orders (prefix-closed), indexed by [`Dfsm::order_columns`] order.
+    pub contains: BitMatrix,
+    /// Column index per interesting order.
+    pub order_columns: FxHashMap<Ordering, u32>,
+    /// Plan-domination matrix: bit (a, b) set iff state `a`'s NFSM node
+    /// set is a superset of `b`'s. Node-set inclusion is *future-proof*:
+    /// transitions are monotone w.r.t. set inclusion, so a dominating
+    /// state keeps satisfying at least the same interesting orders under
+    /// every subsequent FD application. (The weaker contains-row
+    /// superset is NOT sound for pruning: an artificial node present in
+    /// only one state can later derive an interesting order.)
+    /// `None` when the DFSM is too large to precompute pairs; callers
+    /// then fall back to state equality.
+    pub dominance: Option<BitMatrix>,
+}
+
+/// Above this state count the quadratic dominance matrix is skipped.
+const DOMINANCE_STATE_LIMIT: usize = 1 << 12;
+
+impl Dfsm {
+    /// Runs the subset construction over `nfsm`.
+    pub fn build(nfsm: &Nfsm, config: &PruneConfig) -> Result<Dfsm, BuildError> {
+        let n = nfsm.num_nodes();
+        // ε-closures per node. ε-edge lists already point at *all*
+        // proper prefixes, but pruning may have relinked chains, so
+        // close transitively for safety.
+        let eps_closure: Vec<BitSet> = (0..n)
+            .map(|v| {
+                let mut set = BitSet::new(n);
+                let mut work = vec![v as NodeId];
+                set.insert(v);
+                while let Some(u) = work.pop() {
+                    for &p in &nfsm.eps[u as usize] {
+                        if !set.contains(p as usize) {
+                            set.insert(p as usize);
+                            work.push(p);
+                        }
+                    }
+                }
+                set
+            })
+            .collect();
+
+        let mut states: Interner<BitSet> = Interner::new();
+        let mut transitions: Vec<u32> = Vec::new();
+        let num_symbols = nfsm.num_symbols;
+
+        fn intern_state(
+            states: &mut Interner<BitSet>,
+            transitions: &mut Vec<u32>,
+            num_symbols: usize,
+            max_states: usize,
+            set: BitSet,
+        ) -> Result<u32, BuildError> {
+            let before = states.len();
+            let id = states.intern(set);
+            if states.len() > before {
+                if states.len() > max_states {
+                    return Err(BuildError::TooManyDfsmStates(max_states));
+                }
+                transitions.extend(std::iter::repeat_n(u32::MAX, num_symbols));
+            }
+            Ok(id)
+        }
+        let max_states = config.max_dfsm_states;
+
+        // Entry states: the empty stream and one per produced order.
+        let empty_state = intern_state(
+            &mut states,
+            &mut transitions,
+            num_symbols,
+            max_states,
+            eps_closure[0].clone(),
+        )?;
+        let mut start: FxHashMap<Ordering, u32> = FxHashMap::default();
+        for (node, ordering) in nfsm.orderings.iter() {
+            if nfsm.info[node as usize].produced {
+                let id = intern_state(
+                    &mut states,
+                    &mut transitions,
+                    num_symbols,
+                    max_states,
+                    eps_closure[node as usize].clone(),
+                )?;
+                start.insert(ordering.clone(), id);
+            }
+        }
+
+        // Breadth-first subset construction.
+        let mut next = 0u32;
+        while (next as usize) < states.len() {
+            let state = next;
+            next += 1;
+            let subset = states.resolve(state).clone();
+            for sym in 0..num_symbols {
+                let mut succ = subset.clone();
+                for v in subset.iter() {
+                    for &t in &nfsm.edges[v][sym] {
+                        succ.union_with(&eps_closure[t as usize]);
+                    }
+                }
+                let target = if succ == subset {
+                    state
+                } else {
+                    intern_state(&mut states, &mut transitions, num_symbols, max_states, succ)?
+                };
+                transitions[state as usize * num_symbols + sym] = target;
+            }
+        }
+
+        // Precompute the contains matrix over interesting nodes.
+        let mut order_columns: FxHashMap<Ordering, u32> = FxHashMap::default();
+        let mut col_of_node: Vec<Option<u32>> = vec![None; n];
+        for (node, ordering) in nfsm.orderings.iter() {
+            if nfsm.info[node as usize].interesting {
+                let col = order_columns.len() as u32;
+                order_columns.insert(ordering.clone(), col);
+                col_of_node[node as usize] = Some(col);
+            }
+        }
+        let mut contains = BitMatrix::new(states.len(), order_columns.len());
+        for state in 0..states.len() {
+            for v in states.resolve(state as u32).iter() {
+                if let Some(col) = col_of_node[v] {
+                    contains.set(state, col as usize);
+                }
+            }
+        }
+
+        let state_sets: Vec<BitSet> = (0..states.len() as u32)
+            .map(|s| states.resolve(s).clone())
+            .collect();
+        let dominance = (state_sets.len() <= DOMINANCE_STATE_LIMIT).then(|| {
+            let mut m = BitMatrix::new(state_sets.len(), state_sets.len());
+            for (a, sa) in state_sets.iter().enumerate() {
+                for (b, sb) in state_sets.iter().enumerate() {
+                    if sa.is_superset(sb) {
+                        m.set(a, b);
+                    }
+                }
+            }
+            m
+        });
+
+        Ok(Dfsm {
+            states: state_sets,
+            transitions,
+            num_symbols,
+            empty_state,
+            start,
+            contains,
+            order_columns,
+            dominance,
+        })
+    }
+
+    /// Number of DFSM states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Successor state under an FD-set symbol — one array lookup (§5.6).
+    #[inline]
+    pub fn step(&self, state: u32, sym: usize) -> u32 {
+        self.transitions[state as usize * self.num_symbols + sym]
+    }
+
+    /// Bytes of the precomputed data a plan generator needs at runtime
+    /// (transition table + contains matrix + start row). The state
+    /// subsets are debugging metadata and excluded, matching the paper's
+    /// "precomputed data" accounting in §6.2.
+    pub fn precomputed_bytes(&self) -> usize {
+        self.transitions.len() * std::mem::size_of::<u32>()
+            + self.contains.heap_bytes()
+            + self.start.len() * std::mem::size_of::<u32>()
+            + self.dominance.as_ref().map_or(0, BitMatrix::heap_bytes)
+    }
+
+    /// Future-proof plan domination: `a`'s node set ⊇ `b`'s (falls back
+    /// to equality when the dominance matrix was not precomputed).
+    #[inline]
+    pub fn state_dominates(&self, a: u32, b: u32) -> bool {
+        match &self.dominance {
+            Some(m) => m.get(a as usize, b as usize),
+            None => a == b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eqclass::EqClasses;
+    use crate::fd::Fd;
+    use crate::prune::{prune_fds, prune_nfsm};
+    use crate::spec::InputSpec;
+    use ofw_catalog::AttrId;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+    const D: AttrId = AttrId(3);
+
+    fn o(ids: &[AttrId]) -> Ordering {
+        Ordering::new(ids.to_vec())
+    }
+
+    /// Full §5 pipeline for the running example.
+    fn running_example_dfsm(config: &PruneConfig) -> (Nfsm, Dfsm) {
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[B]));
+        spec.add_produced(o(&[A, B]));
+        spec.add_tested(o(&[A, B, C]));
+        spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        spec.add_fd_set(vec![Fd::functional(&[B], D)]);
+        let eq = EqClasses::new();
+        let (sets, _) = if config.prune_fds {
+            prune_fds(&spec, &eq, config)
+        } else {
+            (spec.fd_sets().to_vec(), 0)
+        };
+        let nfsm = Nfsm::build(&spec, &sets, &eq, config).unwrap();
+        let nfsm = prune_nfsm(nfsm, config);
+        let dfsm = Dfsm::build(&nfsm, config).unwrap();
+        (nfsm, dfsm)
+    }
+
+    /// Fig. 8: three states (plus our explicit empty-stream state).
+    #[test]
+    fn running_example_matches_fig8() {
+        let (nfsm, dfsm) = running_example_dfsm(&PruneConfig::default());
+        assert_eq!(dfsm.num_states(), 4, "3 states of Fig. 8 + empty");
+
+        let state_with = |ord: &Ordering| dfsm.start[ord];
+        let s_b = state_with(&o(&[B]));
+        let s_ab = state_with(&o(&[A, B]));
+        assert_ne!(s_b, s_ab);
+
+        // Fig. 9 contains matrix.
+        let col = |ord: &Ordering| dfsm.order_columns[ord] as usize;
+        let probe = |s: u32, ord: &Ordering| dfsm.contains.get(s as usize, col(ord));
+        // State 1 = {(b)}.
+        assert!(probe(s_b, &o(&[B])));
+        assert!(!probe(s_b, &o(&[A])));
+        // State 2 = {(a),(a,b)}.
+        assert!(probe(s_ab, &o(&[A])));
+        assert!(probe(s_ab, &o(&[A, B])));
+        assert!(!probe(s_ab, &o(&[A, B, C])));
+        assert!(!probe(s_ab, &o(&[B])));
+
+        // Fig. 10 transitions on {b→c} (symbol 0).
+        let s3 = dfsm.step(s_ab, 0);
+        assert_ne!(s3, s_ab, "(a,b) advances to {{(a),(a,b),(a,b,c)}}");
+        assert!(probe(s3, &o(&[A, B, C])));
+        assert_eq!(dfsm.step(s3, 0), s3, "state 3 is a fixpoint");
+        assert_eq!(dfsm.step(s_b, 0), s_b, "state 1 loops (Fig. 10 row 1)");
+        // Pruned {b→d} (symbol 1) is the identity everywhere.
+        for s in [s_b, s_ab, s3] {
+            assert_eq!(dfsm.step(s, 1), s);
+        }
+        let _ = nfsm;
+    }
+
+    /// Without any pruning the DFSM still behaves identically on the
+    /// interesting orders (pruning is behaviour-preserving).
+    #[test]
+    fn unpruned_dfsm_behaves_identically() {
+        let (_, pruned) = running_example_dfsm(&PruneConfig::default());
+        let (_, raw) = running_example_dfsm(&PruneConfig::none());
+        assert!(raw.num_states() >= pruned.num_states());
+
+        for start_order in [o(&[B]), o(&[A, B])] {
+            for syms in [vec![], vec![0], vec![1], vec![0, 1], vec![1, 0]] {
+                let mut sp = pruned.start[&start_order];
+                let mut sr = raw.start[&start_order];
+                for &sym in &syms {
+                    sp = pruned.step(sp, sym);
+                    sr = raw.step(sr, sym);
+                }
+                for ord in [o(&[A]), o(&[B]), o(&[A, B]), o(&[A, B, C])] {
+                    let cp = pruned.contains.get(sp as usize, pruned.order_columns[&ord] as usize);
+                    let cr = raw.contains.get(sr as usize, raw.order_columns[&ord] as usize);
+                    assert_eq!(cp, cr, "order {ord:?} after {syms:?} from {start_order:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_state_with_constant_gains_ordering() {
+        // Heap scan (no ordering) + selection x = const ⇒ stream is
+        // logically ordered by (x).
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A]));
+        let f = spec.add_fd_set(vec![Fd::constant(A)]);
+        let eq = EqClasses::new();
+        let config = PruneConfig::default();
+        let nfsm = Nfsm::build(&spec, spec.fd_sets(), &eq, &config).unwrap();
+        let nfsm = prune_nfsm(nfsm, &config);
+        let dfsm = Dfsm::build(&nfsm, &config).unwrap();
+        let col = dfsm.order_columns[&o(&[A])] as usize;
+        assert!(!dfsm.contains.get(dfsm.empty_state as usize, col));
+        let s = dfsm.step(dfsm.empty_state, f.index());
+        assert!(dfsm.contains.get(s as usize, col));
+    }
+
+    #[test]
+    fn precomputed_bytes_counts_tables() {
+        let (_, dfsm) = running_example_dfsm(&PruneConfig::default());
+        let bytes = dfsm.precomputed_bytes();
+        assert!(bytes >= dfsm.transitions.len() * 4);
+        assert!(bytes < 16 * 1024, "tiny example must stay tiny: {bytes}");
+    }
+}

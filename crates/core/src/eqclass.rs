@@ -1,0 +1,122 @@
+//! Equivalence classes induced by equations (paper §5.7).
+//!
+//! Equations `a = b` let derivations substitute attributes in the *prefix*
+//! of an ordering, which defeats the naive prefix test of the §5.7
+//! pruning heuristic. The paper's fix: pick a representative per
+//! equivalence class and run the prefix test on representative-mapped
+//! attributes. This module is a small union-find over attribute ids.
+
+use ofw_catalog::AttrId;
+use ofw_common::FxHashMap;
+
+/// Union-find over the attributes mentioned in equations.
+///
+/// Attributes never mentioned in any equation are their own
+/// representative and are not stored.
+#[derive(Clone, Debug, Default)]
+pub struct EqClasses {
+    parent: FxHashMap<AttrId, AttrId>,
+}
+
+impl EqClasses {
+    /// Creates the trivial partition (every attribute alone).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the partition from all equations in an iterator of FDs.
+    pub fn from_fds<'a>(fds: impl Iterator<Item = &'a crate::fd::Fd>) -> Self {
+        let mut eq = EqClasses::new();
+        for fd in fds {
+            if let crate::fd::Fd::Equation(a, b) = fd {
+                eq.union(*a, *b);
+            }
+        }
+        eq
+    }
+
+    /// Merges the classes of `a` and `b`.
+    pub fn union(&mut self, a: AttrId, b: AttrId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Deterministic representative: the smaller id wins, so the
+            // mapping is stable independent of insertion order.
+            let (keep, fold) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent.insert(fold, keep);
+        }
+    }
+
+    /// The representative of `a`'s class.
+    pub fn find(&self, a: AttrId) -> AttrId {
+        let mut cur = a;
+        while let Some(&p) = self.parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        cur
+    }
+
+    /// True if `a` and `b` are known equal.
+    pub fn same(&self, a: AttrId, b: AttrId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Maps every attribute of `attrs` to its representative.
+    pub fn map_slice(&self, attrs: &[AttrId]) -> Vec<AttrId> {
+        attrs.iter().map(|&a| self.find(a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+    const D: AttrId = AttrId(3);
+
+    #[test]
+    fn union_find_basics() {
+        let mut eq = EqClasses::new();
+        assert!(!eq.same(A, B));
+        eq.union(A, B);
+        eq.union(C, D);
+        assert!(eq.same(A, B));
+        assert!(eq.same(C, D));
+        assert!(!eq.same(A, C));
+        eq.union(B, C);
+        assert!(eq.same(A, D));
+    }
+
+    #[test]
+    fn representative_is_smallest_id() {
+        let mut eq = EqClasses::new();
+        eq.union(D, B);
+        eq.union(B, C);
+        assert_eq!(eq.find(D), B);
+        assert_eq!(eq.find(C), B);
+        assert_eq!(eq.find(A), A);
+    }
+
+    #[test]
+    fn from_fds_only_uses_equations() {
+        let fds = [Fd::equation(A, B),
+            Fd::functional(&[C], D),
+            Fd::constant(C)];
+        let eq = EqClasses::from_fds(fds.iter());
+        assert!(eq.same(A, B));
+        assert!(!eq.same(C, D));
+    }
+
+    #[test]
+    fn map_slice_normalizes() {
+        let mut eq = EqClasses::new();
+        eq.union(A, C);
+        assert_eq!(eq.map_slice(&[C, B, A]), vec![A, B, A]);
+    }
+}

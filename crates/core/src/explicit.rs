@@ -1,0 +1,180 @@
+//! The naive explicit-set implementation of `LogicalOrderings` (paper §2,
+//! "the intuitive approach").
+//!
+//! Maintains the full, prefix-closed set of logical orderings a stream
+//! satisfies and recomputes the closure on every inference. The paper
+//! dismisses it for production use (the set grows quadratically with
+//! every `v = const` predicate), but it is the perfect *test oracle*: it
+//! applies the derivation rules of §2 directly, with no NFSM, no
+//! determinization, and no §5.7 heuristics. Our property tests check the
+//! DFSM framework agrees with it on every interesting order after every
+//! operator sequence.
+
+use crate::derive::DeriveCtx;
+use crate::eqclass::EqClasses;
+use crate::fd::FdSet;
+use crate::filter::PrefixFilter;
+use crate::ordering::Ordering;
+use ofw_common::FxHashSet;
+
+/// Explicitly materialized, prefix-closed set of logical orderings.
+#[derive(Clone, Debug)]
+pub struct ExplicitOrderings {
+    set: FxHashSet<Ordering>,
+}
+
+impl ExplicitOrderings {
+    /// A stream with no ordering (satisfies only `()`).
+    pub fn unordered() -> Self {
+        let mut set = FxHashSet::default();
+        set.insert(Ordering::empty());
+        ExplicitOrderings { set }
+    }
+
+    /// A stream physically ordered by `o` (satisfies `o` and prefixes).
+    pub fn from_physical(o: &Ordering) -> Self {
+        let mut e = Self::unordered();
+        e.set.insert(o.clone());
+        for p in o.proper_prefixes() {
+            e.set.insert(p);
+        }
+        e
+    }
+
+    /// `contains`: exact membership in the closed set.
+    pub fn contains(&self, o: &Ordering) -> bool {
+        self.set.contains(o)
+    }
+
+    /// `inferNewLogicalOrderings`: closes the set under `fd_set`,
+    /// unbounded (no §5.7 heuristics — this is the ground truth for the
+    /// paper's *sequential* semantics, where each operator's FD set is
+    /// applied exactly once, at the operator).
+    pub fn infer(&mut self, fd_set: &FdSet) {
+        self.close_under(fd_set.fds());
+    }
+
+    /// Closes the set under an arbitrary dependency list. Feeding the
+    /// *accumulated* dependencies of all operators applied so far models
+    /// the stronger persistent-FD semantics (dependencies keep holding
+    /// for the stream): Simmen's environment-based `contains` exploits
+    /// that, the FSM framework deliberately does not (§5.6 applies each
+    /// edge once).
+    pub fn close_under(&mut self, fds: &[crate::fd::Fd]) {
+        let eq = EqClasses::new(); // unused by an unfiltered context
+        let filter = PrefixFilter::new(std::iter::empty(), &[], &eq, false);
+        let ctx = DeriveCtx {
+            eq: &eq,
+            filter: &filter,
+            max_len: usize::MAX,
+        };
+        let snapshot: Vec<Ordering> = self.set.iter().cloned().collect();
+        for o in snapshot {
+            for d in ctx.closure(&o, fds) {
+                for p in d.proper_prefixes() {
+                    self.set.insert(p);
+                }
+                self.set.insert(d);
+            }
+        }
+    }
+
+    /// Number of orderings currently materialized — the quantity whose
+    /// quadratic growth motivates the paper (§2).
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Always at least `()`.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates the materialized orderings.
+    pub fn iter(&self) -> impl Iterator<Item = &Ordering> {
+        self.set.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+    use ofw_catalog::AttrId;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+    const X: AttrId = AttrId(3);
+
+    fn o(ids: &[AttrId]) -> Ordering {
+        Ordering::new(ids.to_vec())
+    }
+
+    #[test]
+    fn physical_ordering_implies_prefixes() {
+        let e = ExplicitOrderings::from_physical(&o(&[A, B, C]));
+        assert!(e.contains(&o(&[A])));
+        assert!(e.contains(&o(&[A, B])));
+        assert!(e.contains(&o(&[A, B, C])));
+        assert!(e.contains(&Ordering::empty()));
+        assert!(!e.contains(&o(&[B])));
+    }
+
+    #[test]
+    fn section_2_intro_example() {
+        // §2: sort by (a,b), then selection x = const gives
+        // {(x,a,b),(a,x,b),(a,b,x),(x,a),(a,x),(x)} plus the originals.
+        let mut e = ExplicitOrderings::from_physical(&o(&[A, B]));
+        e.infer(&FdSet::new(vec![Fd::constant(X)]));
+        for expect in [
+            o(&[X, A, B]),
+            o(&[A, X, B]),
+            o(&[A, B, X]),
+            o(&[X, A]),
+            o(&[A, X]),
+            o(&[X]),
+            o(&[A, B]),
+            o(&[A]),
+        ] {
+            assert!(e.contains(&expect), "missing {expect:?}");
+        }
+        assert!(!e.contains(&o(&[B])));
+        // (), (a), (a,b) + 6 new = 9.
+        assert_eq!(e.len(), 9);
+    }
+
+    #[test]
+    fn quadratic_growth_with_constants() {
+        // Each additional v = const predicate multiplies the set.
+        let mut e = ExplicitOrderings::from_physical(&o(&[A]));
+        let sizes: Vec<usize> = (1..=3)
+            .map(|i| {
+                e.infer(&FdSet::new(vec![Fd::constant(AttrId(10 + i))]));
+                e.len()
+            })
+            .collect();
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2]);
+        assert!(sizes[2] > 20, "3 constants blow the set up: {sizes:?}");
+    }
+
+    #[test]
+    fn inference_is_cumulative() {
+        let mut e = ExplicitOrderings::from_physical(&o(&[A]));
+        e.infer(&FdSet::new(vec![Fd::functional(&[A], B)]));
+        assert!(e.contains(&o(&[A, B])));
+        e.infer(&FdSet::new(vec![Fd::functional(&[B], C)]));
+        assert!(e.contains(&o(&[A, B, C])));
+        // Old orderings survive.
+        assert!(e.contains(&o(&[A])));
+    }
+
+    #[test]
+    fn equation_substitution_ground_truth() {
+        let mut e = ExplicitOrderings::from_physical(&o(&[A]));
+        e.infer(&FdSet::new(vec![Fd::equation(A, B)]));
+        assert!(e.contains(&o(&[B])));
+        assert!(e.contains(&o(&[A, B])));
+        assert!(e.contains(&o(&[B, A])));
+    }
+}

@@ -1,0 +1,397 @@
+//! The prefix-filter heuristic of §5.7, strengthened for completeness.
+//!
+//! During closure computation, the candidate space of derived orderings
+//! explodes combinatorially (the paper's example: three single-attribute
+//! interesting orders plus four FDs yield *all permutations* of three
+//! attributes). Two observations bound it:
+//!
+//! 1. positions beyond the longest interesting order can never be tested,
+//!    so derived orderings may be **cut off** at that length;
+//! 2. a derived ordering is only worth materializing if some interesting
+//!    order can still be *completed* from it by later derivations.
+//!
+//! The paper's formulation of (2) — "check if there is an interesting
+//! order with the prefix `(o₁..o_{i-1}, b)`", modulo equivalence-class
+//! representatives — is *incomplete*: later dependencies can insert
+//! attributes **to the left** (a constant lands anywhere; an FD's
+//! right-hand side lands anywhere after its left-hand side) and can
+//! *remove* attributes (constants and functionally determined
+//! attributes never decide comparisons). Example: with interesting
+//! order `(x, a)` and `x = const`, the candidate `(a)` must be kept — a
+//! later selection inserts `x` in front; with interesting order `(a)`
+//! and `x = const`, the candidate `(x, a)` must be kept — `x` is
+//! removable.
+//!
+//! [`PrefixFilter::admitted_len`] therefore solves a tiny alignment
+//! problem per interesting order: walk the candidate and the interesting
+//! order simultaneously where a step may **match** (equal
+//! representatives), **skip** an interesting-order position whose
+//! attribute is derivable from what the candidate already provides
+//! (constant closure), or **strip** a candidate attribute that is
+//! removable (a constant, a duplicate representative, or an FD rhs whose
+//! determinants precede it). Because match/strip can conflict, this is a
+//! small reachability DP, not a greedy scan — candidates are at most as
+//! long as the longest interesting order, so the state space is tiny.
+
+use crate::eqclass::EqClasses;
+use crate::fd::Fd;
+use crate::ordering::Ordering;
+use ofw_catalog::AttrId;
+use ofw_common::FxHashSet;
+
+/// One dependency in representative space.
+#[derive(Debug)]
+struct RepFd {
+    lhs: Vec<AttrId>,
+    rhs: AttrId,
+}
+
+/// Bounded-derivation filter over the interesting orders.
+#[derive(Debug)]
+pub struct PrefixFilter {
+    /// Representative-mapped interesting orders.
+    orders: Vec<Vec<AttrId>>,
+    /// Representatives of constant-bound attributes.
+    const_reps: FxHashSet<AttrId>,
+    /// Representative-space FDs.
+    rep_fds: Vec<RepFd>,
+    /// Classes (representatives) participating in a *multi-attribute*
+    /// left-hand side. Derivation matches left-hand sides on concrete
+    /// attributes, so an ordering may need several equal-by-equation
+    /// attributes present at once — e.g. `[a,b] → c` with `a = b` fires
+    /// only from orderings containing both `a` and `b`, which in
+    /// representative space look like useless duplicates.
+    multi_lhs_reps: FxHashSet<AttrId>,
+    enabled: bool,
+}
+
+impl PrefixFilter {
+    /// Builds the filter. `fds` must be (a superset of) the dependencies
+    /// the closure will apply — they determine which gaps are fillable
+    /// and which candidate attributes are removable. When `enabled` is
+    /// false every query permissively allows everything (the paper's
+    /// "w/o pruning" configuration).
+    pub fn new<'a>(
+        interesting: impl Iterator<Item = &'a Ordering>,
+        fds: &[Fd],
+        eq: &EqClasses,
+        enabled: bool,
+    ) -> Self {
+        let orders: Vec<Vec<AttrId>> = interesting.map(|o| eq.map_slice(o.attrs())).collect();
+        let mut const_reps = FxHashSet::default();
+        let mut rep_fds = Vec::new();
+        let mut multi_lhs_reps = FxHashSet::default();
+        for fd in fds {
+            match fd {
+                Fd::Constant(a) => {
+                    const_reps.insert(eq.find(*a));
+                }
+                Fd::Functional { lhs, rhs } => {
+                    if lhs.len() >= 2 {
+                        for &l in lhs.iter() {
+                            multi_lhs_reps.insert(eq.find(l));
+                        }
+                    }
+                    let lhs: Vec<AttrId> = lhs.iter().map(|&a| eq.find(a)).collect();
+                    let rhs = eq.find(*rhs);
+                    if !lhs.contains(&rhs) {
+                        rep_fds.push(RepFd { lhs, rhs });
+                    }
+                }
+                // In representative space an equation is the identity.
+                Fd::Equation(_, _) => {}
+            }
+        }
+        PrefixFilter {
+            orders,
+            const_reps,
+            rep_fds,
+            multi_lhs_reps,
+            enabled,
+        }
+    }
+
+    /// How much of `candidate` is worth keeping, at most `cap` long?
+    /// Returns the longest useful prefix length not exceeding `cap`
+    /// (0 = the candidate serves no interesting order at all). A useful
+    /// prefix always ends in an attribute that *matches* an interesting-
+    /// order position — trailing strippable attributes are dead weight
+    /// and cut. Returns `cap` itself when the filter is disabled.
+    pub fn admitted_len(&self, candidate: &[AttrId], eq: &EqClasses, cap: usize) -> usize {
+        if !self.enabled {
+            return cap;
+        }
+        let cand: Vec<AttrId> = candidate.iter().map(|&a| eq.find(a)).collect();
+
+        // avail[i]: constant closure of the candidate's first i attrs —
+        // everything insertable *somewhere after position i*.
+        let mut avail: Vec<FxHashSet<AttrId>> = Vec::with_capacity(cand.len() + 1);
+        let mut cur: FxHashSet<AttrId> = self.const_reps.clone();
+        self.close(&mut cur);
+        avail.push(cur.clone());
+        for &c in &cand {
+            cur.insert(c);
+            self.close(&mut cur);
+            avail.push(cur.clone());
+        }
+
+        // strippable[i]: candidate attr i is removable given what
+        // precedes it.
+        let prefix_reps = |i: usize| -> FxHashSet<AttrId> {
+            cand[..i].iter().copied().collect()
+        };
+        let strippable: Vec<bool> = cand
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let before = prefix_reps(i);
+                if self.const_reps.contains(&c) || before.contains(&c) {
+                    return true;
+                }
+                self.rep_fds
+                    .iter()
+                    .any(|fd| fd.rhs == c && fd.lhs.iter().all(|l| before.contains(l)))
+            })
+            .collect();
+
+        let mut best = 0usize;
+        for io in &self.orders {
+            best = best.max(self.align(&cand, io, &avail, &strippable, cap));
+            if best >= cand.len().min(cap) {
+                break;
+            }
+        }
+        // Multi-attribute-lhs enablers: a duplicate class member right
+        // after the useful prefix is kept if its class participates in a
+        // multi-attribute left-hand side — the concrete derivation needs
+        // both equal attributes physically present.
+        while best > 0 && best < cand.len() && best < cap {
+            let r = cand[best];
+            if self.multi_lhs_reps.contains(&r) && cand[..best].contains(&r) {
+                best += 1;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Reachability DP over (candidate index, io index). Returns the
+    /// largest candidate index ≤ `cap` reached by a *match* move.
+    fn align(
+        &self,
+        cand: &[AttrId],
+        io: &[AttrId],
+        avail: &[FxHashSet<AttrId>],
+        strippable: &[bool],
+        cap: usize,
+    ) -> usize {
+        let nc = cand.len();
+        let ni = io.len();
+        let mut reach = vec![false; (nc + 1) * (ni + 1)];
+        let idx = |ci: usize, ii: usize| ci * (ni + 1) + ii;
+        reach[idx(0, 0)] = true;
+        let mut best = 0usize;
+        // All moves increase ci or ii, so row-major order is topological.
+        for ci in 0..=nc {
+            for ii in 0..=ni {
+                if !reach[idx(ci, ii)] || ci == nc {
+                    continue;
+                }
+                // Strip cand[ci] (removable later). While the io still
+                // has open positions, the stripped attribute may be the
+                // *enabler* of a later fill (inserted, used as a
+                // determinant, removed again), so it extends the useful
+                // prefix; once the io is exhausted it is dead weight.
+                if strippable[ci] {
+                    reach[idx(ci + 1, ii)] = true;
+                    if ii < ni && ci < cap {
+                        best = best.max(ci + 1);
+                    }
+                }
+                if ii < ni {
+                    // Match equal representatives.
+                    if io[ii] == cand[ci] {
+                        reach[idx(ci + 1, ii + 1)] = true;
+                        if ci < cap {
+                            best = best.max(ci + 1);
+                        }
+                    }
+                    // Skip a fillable io position.
+                    if avail[ci].contains(&io[ii]) {
+                        reach[idx(ci, ii + 1)] = true;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn close(&self, set: &mut FxHashSet<AttrId>) {
+        loop {
+            let mut grew = false;
+            for fd in &self.rep_fds {
+                if !set.contains(&fd.rhs) && fd.lhs.iter().all(|l| set.contains(l)) {
+                    set.insert(fd.rhs);
+                    grew = true;
+                }
+            }
+            if !grew {
+                return;
+            }
+        }
+    }
+
+    /// Whether the filter is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+    const D: AttrId = AttrId(3);
+    const X: AttrId = AttrId(4);
+
+    fn o(ids: &[AttrId]) -> Ordering {
+        Ordering::new(ids.to_vec())
+    }
+
+    fn filter(orders: &[Ordering], fds: &[Fd], eq: &EqClasses) -> PrefixFilter {
+        PrefixFilter::new(orders.iter(), fds, eq, true)
+    }
+
+    /// Shorthand: admitted length with no cap.
+    fn admit(f: &PrefixFilter, cand: &[AttrId], eq: &EqClasses) -> usize {
+        f.admitted_len(cand, eq, usize::MAX)
+    }
+
+    #[test]
+    fn admits_prefixes_of_interesting_orders() {
+        let eq = EqClasses::new();
+        let f = filter(&[o(&[A, B, C]), o(&[B])], &[], &eq);
+        assert_eq!(admit(&f, &[A], &eq), 1);
+        assert_eq!(admit(&f, &[A, B], &eq), 2);
+        assert_eq!(admit(&f, &[A, B, C], &eq), 3);
+        assert_eq!(admit(&f, &[B], &eq), 1);
+        // (b,c) is useless: nothing can ever put an `a` before `b`.
+        assert_eq!(admit(&f, &[B, C], &eq), 1);
+        assert_eq!(admit(&f, &[C], &eq), 0);
+    }
+
+    #[test]
+    fn constants_fill_gaps_on_the_left() {
+        // Interesting (x, a) with x = const: candidate (a) is useful —
+        // a later selection inserts x in front.
+        let eq = EqClasses::new();
+        let f = filter(&[o(&[X, A])], &[Fd::constant(X)], &eq);
+        assert_eq!(admit(&f, &[A], &eq), 1);
+        // Without the constant it is dead.
+        let g = filter(&[o(&[X, A])], &[], &eq);
+        assert_eq!(admit(&g, &[A], &eq), 0);
+    }
+
+    #[test]
+    fn constants_are_strippable_from_the_candidate() {
+        // Interesting (a); candidate (x, a) with x = const is useful —
+        // x is removable, leaving (a).
+        let eq = EqClasses::new();
+        let f = filter(&[o(&[A])], &[Fd::constant(X)], &eq);
+        assert_eq!(admit(&f, &[X, A], &eq), 2);
+        let g = filter(&[o(&[A])], &[], &eq);
+        assert_eq!(admit(&g, &[X, A], &eq), 0);
+    }
+
+    #[test]
+    fn strip_vs_match_requires_search() {
+        // Interesting (a2, a0) with a0 = const and a0→a2: candidate
+        // (a0, a2) must be fully admitted — strip the constant a0, match
+        // a2, refill a0 later. A greedy matcher that binds the leading
+        // a0 to the io's trailing a0 would reject this.
+        let eq = EqClasses::new();
+        let f = filter(
+            &[o(&[C, A])],
+            &[Fd::constant(A), Fd::functional(&[A], C)],
+            &eq,
+        );
+        assert_eq!(admit(&f, &[A, C], &eq), 2);
+    }
+
+    #[test]
+    fn fd_rhs_gaps_are_fillable_after_lhs() {
+        // Interesting (a, y, c) with a→y: candidate (a, c) is useful.
+        let eq = EqClasses::new();
+        let f = filter(&[o(&[A, X, C])], &[Fd::functional(&[A], X)], &eq);
+        assert_eq!(admit(&f, &[A, C], &eq), 2);
+        // But (c, …) is dead: nothing fills the leading a.
+        assert_eq!(admit(&f, &[C], &eq), 0);
+    }
+
+    #[test]
+    fn determined_candidate_attrs_are_strippable() {
+        // Interesting (a, c) with a→b: candidate (a, b, c) is useful —
+        // b is removable after a.
+        let eq = EqClasses::new();
+        let f = filter(&[o(&[A, C])], &[Fd::functional(&[A], B)], &eq);
+        assert_eq!(admit(&f, &[A, B, C], &eq), 3);
+        // Without the FD, only the (a) prefix helps.
+        let g = filter(&[o(&[A, C])], &[], &eq);
+        assert_eq!(admit(&g, &[A, B, C], &eq), 1);
+    }
+
+    #[test]
+    fn equivalence_classes_widen_the_filter() {
+        // With a = d, the candidate (d, b) matches interesting (a, b).
+        let mut eq = EqClasses::new();
+        eq.union(A, D);
+        let f = filter(&[o(&[A, B])], &[Fd::equation(A, D)], &eq);
+        assert_eq!(admit(&f, &[D, B], &eq), 2);
+        assert_eq!(admit(&f, &[A, B], &eq), 2);
+        assert_eq!(admit(&f, &[B, A], &eq), 0, "nothing fills a leading a");
+    }
+
+    #[test]
+    fn duplicate_representatives_are_strippable() {
+        // a = x: candidate (a, x, c) — the second class member never
+        // decides, so it matches interesting (a, c).
+        let mut eq = EqClasses::new();
+        eq.union(A, X);
+        let f = filter(&[o(&[A, C])], &[Fd::equation(A, X)], &eq);
+        assert_eq!(admit(&f, &[A, X, C], &eq), 3);
+    }
+
+    #[test]
+    fn bound_is_longest_useful_prefix() {
+        let eq = EqClasses::new();
+        let f = filter(&[o(&[A, B]), o(&[A, B, C, D])], &[], &eq);
+        assert_eq!(admit(&f, &[A, B, C], &eq), 3);
+        assert_eq!(admit(&f, &[A, B, D], &eq), 2, "d only fits after c");
+    }
+
+    #[test]
+    fn transitive_fd_fills() {
+        // (a, y, z, c) with a→y, y→z: both gaps fillable from a.
+        let eq = EqClasses::new();
+        let f = filter(
+            &[o(&[A, X, D, C])],
+            &[Fd::functional(&[A], X), Fd::functional(&[X], D)],
+            &eq,
+        );
+        assert_eq!(admit(&f, &[A, C], &eq), 2);
+        // Without y→z the z gap is not fillable.
+        let g = filter(&[o(&[A, X, D, C])], &[Fd::functional(&[A], X)], &eq);
+        assert_eq!(admit(&g, &[A, C], &eq), 1);
+    }
+
+    #[test]
+    fn disabled_filter_allows_everything() {
+        let eq = EqClasses::new();
+        let f = PrefixFilter::new([o(&[A])].iter(), &[], &eq, false);
+        assert_eq!(f.admitted_len(&[C, D], &eq, 7), 7, "disabled filter returns the cap");
+    }
+}

@@ -1,0 +1,329 @@
+//! The public order-optimization ADT (paper §5.6).
+//!
+//! [`OrderingFramework::prepare`] runs the whole preparation phase of
+//! Fig. 3 once per query; afterwards the ADT `LogicalOrderings` is the
+//! 4-byte [`State`], and all plan-generation operations are single array
+//! or bit lookups:
+//!
+//! | paper operation              | here                    | cost |
+//! |------------------------------|-------------------------|------|
+//! | constructor (scan/sort)      | [`OrderingFramework::produce`] | O(1) |
+//! | `contains(o)`                | [`OrderingFramework::satisfies`] | O(1) |
+//! | `inferNewLogicalOrderings(F)`| [`OrderingFramework::infer`] | O(1) |
+
+use crate::dfsm::Dfsm;
+use crate::eqclass::EqClasses;
+use crate::fd::FdSetId;
+use crate::nfsm::{BuildError, Nfsm};
+use crate::ordering::Ordering;
+use crate::prune::{prune_fds, prune_nfsm, PruneConfig};
+use crate::spec::InputSpec;
+use ofw_common::FxHashMap;
+use std::time::{Duration, Instant};
+
+/// The per-plan-node annotation: a DFSM state. Four bytes, `Copy` — the
+/// O(1) space bound of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct State(pub u32);
+
+impl std::fmt::Debug for State {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Handle of an interesting order (paper §5.5: handles replace orderings
+/// so comparisons are constant-time).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OrderHandle(pub u32);
+
+impl std::fmt::Debug for OrderHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Preparation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrepareError(pub BuildError);
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "order-framework preparation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+/// Metrics of the preparation phase — the quantities of the paper's
+/// §6.2 table (NFSM size, DFSM size, total time, precomputed bytes).
+#[derive(Clone, Debug, Default)]
+pub struct PrepStats {
+    /// NFSM nodes before step 2(d) pruning.
+    pub nfsm_nodes_before_prune: usize,
+    /// NFSM nodes after pruning.
+    pub nfsm_nodes: usize,
+    /// NFSM FD-edge count after pruning.
+    pub nfsm_edges: usize,
+    /// DFSM states (including the empty-stream state).
+    pub dfsm_states: usize,
+    /// Functional dependencies removed by step 2(b).
+    pub pruned_fds: usize,
+    /// Bytes of precomputed runtime data (transition + contains tables).
+    pub precomputed_bytes: usize,
+    /// Wall-clock time of the whole preparation phase.
+    pub prep_time: Duration,
+}
+
+/// The prepared order-optimization framework for one query.
+pub struct OrderingFramework {
+    dfsm: Dfsm,
+    nfsm: Nfsm,
+    /// Interesting order (prefix-closed) → contains-column handle.
+    handles: FxHashMap<Ordering, OrderHandle>,
+    /// Produced order → entry state (the `*` row).
+    start_of: FxHashMap<OrderHandle, State>,
+    stats: PrepStats,
+}
+
+impl OrderingFramework {
+    /// Runs the preparation phase of Fig. 3: FD filtering, NFSM
+    /// construction, NFSM pruning, determinization, precomputation.
+    pub fn prepare(spec: &InputSpec, config: PruneConfig) -> Result<Self, PrepareError> {
+        let t0 = Instant::now();
+        let eq = EqClasses::from_fds(spec.fd_sets().iter().flat_map(|s| s.fds().iter()));
+        let (fd_sets, pruned_fds) = if config.prune_fds {
+            prune_fds(spec, &eq, &config)
+        } else {
+            (spec.fd_sets().to_vec(), 0)
+        };
+        let nfsm = Nfsm::build(spec, &fd_sets, &eq, &config).map_err(PrepareError)?;
+        let nfsm_nodes_before_prune = nfsm.num_nodes();
+        let nfsm = prune_nfsm(nfsm, &config);
+        let dfsm = Dfsm::build(&nfsm, &config).map_err(PrepareError)?;
+
+        let mut handles: FxHashMap<Ordering, OrderHandle> = FxHashMap::default();
+        for (o, &col) in &dfsm.order_columns {
+            handles.insert(o.clone(), OrderHandle(col));
+        }
+        let mut start_of: FxHashMap<OrderHandle, State> = FxHashMap::default();
+        for (o, &s) in &dfsm.start {
+            start_of.insert(handles[o], State(s));
+        }
+
+        let stats = PrepStats {
+            nfsm_nodes_before_prune,
+            nfsm_nodes: nfsm.num_nodes(),
+            nfsm_edges: nfsm.num_edges(),
+            dfsm_states: dfsm.num_states(),
+            pruned_fds,
+            precomputed_bytes: dfsm.precomputed_bytes(),
+            prep_time: t0.elapsed(),
+        };
+        Ok(OrderingFramework {
+            dfsm,
+            nfsm,
+            handles,
+            start_of,
+            stats,
+        })
+    }
+
+    /// Handle of an interesting order (or of a prefix of one — `Q_I` is
+    /// prefix-closed). `None` if the ordering was never interesting,
+    /// meaning no operator may ask about it.
+    pub fn handle(&self, o: &Ordering) -> Option<OrderHandle> {
+        self.handles.get(o).copied()
+    }
+
+    /// ADT constructor for an operator that *physically produces* an
+    /// ordering (sort, ordered index scan): the `*`-row lookup of
+    /// Fig. 10. Panics if `h` is not a produced interesting order —
+    /// plan generators must only sort on members of `O_P`.
+    #[inline]
+    pub fn produce(&self, h: OrderHandle) -> State {
+        self.start_of
+            .get(&h)
+            .copied()
+            .unwrap_or_else(|| panic!("{h:?} is not a produced interesting order"))
+    }
+
+    /// Whether `h` may be produced (is in `O_P`).
+    pub fn is_producible(&self, h: OrderHandle) -> bool {
+        self.start_of.contains_key(&h)
+    }
+
+    /// ADT constructor for an unordered tuple stream (heap scan).
+    #[inline]
+    pub fn produce_empty(&self) -> State {
+        State(self.dfsm.empty_state)
+    }
+
+    /// `inferNewLogicalOrderings`: applies an operator's FD set — one
+    /// transition-table lookup.
+    #[inline]
+    pub fn infer(&self, s: State, f: FdSetId) -> State {
+        State(self.dfsm.step(s.0, f.index()))
+    }
+
+    /// `contains`: does a stream in state `s` satisfy the interesting
+    /// order `h`? One bit probe.
+    #[inline]
+    pub fn satisfies(&self, s: State, h: OrderHandle) -> bool {
+        self.dfsm.contains.get(s.0 as usize, h.0 as usize)
+    }
+
+    /// Plan-domination: `a`'s underlying NFSM node set is a superset of
+    /// `b`'s, so `a` satisfies at least every interesting order `b` does
+    /// — now and after any further FD application (transitions are
+    /// monotone in the node set). One precomputed bit probe. Because
+    /// DFSM states carry only query-relevant information, this prunes
+    /// more plans than Simmen's ordering+FD-set comparability — the
+    /// paper's explanation for the lower `#Plans` in §7.
+    #[inline]
+    pub fn dominates(&self, a: State, b: State) -> bool {
+        a == b || self.dfsm.state_dominates(a.0, b.0)
+    }
+
+    /// All interesting orders (prefix-closed) with their handles.
+    pub fn orders(&self) -> impl Iterator<Item = (&Ordering, OrderHandle)> {
+        self.handles.iter().map(|(o, &h)| (o, h))
+    }
+
+    /// Preparation metrics.
+    pub fn stats(&self) -> &PrepStats {
+        &self.stats
+    }
+
+    /// The pruned NFSM (introspection for examples/tests).
+    pub fn nfsm(&self) -> &Nfsm {
+        &self.nfsm
+    }
+
+    /// The DFSM (introspection for examples/tests).
+    pub fn dfsm(&self) -> &Dfsm {
+        &self.dfsm
+    }
+
+    /// Bytes of order-annotation storage a plan with `num_plan_nodes`
+    /// nodes needs under this framework: 4 bytes per node plus the
+    /// shared precomputed tables.
+    pub fn memory_bytes(&self, num_plan_nodes: usize) -> usize {
+        num_plan_nodes * std::mem::size_of::<State>() + self.stats.precomputed_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+    use ofw_catalog::AttrId;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+    const D: AttrId = AttrId(3);
+
+    fn o(ids: &[AttrId]) -> Ordering {
+        Ordering::new(ids.to_vec())
+    }
+
+    fn running_example() -> (InputSpec, FdSetId, FdSetId) {
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[B]));
+        spec.add_produced(o(&[A, B]));
+        spec.add_tested(o(&[A, B, C]));
+        let f_bc = spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        let f_bd = spec.add_fd_set(vec![Fd::functional(&[B], D)]);
+        (spec, f_bc, f_bd)
+    }
+
+    #[test]
+    fn section_5_6_walkthrough() {
+        // "a sort by (a,b) results in a subplan with ordering 2 … after
+        // applying an operator which induces b→c, the ordering changes
+        // to 3, which also satisfies (a,b,c)".
+        let (spec, f_bc, _) = running_example();
+        let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+        let h_a = fw.handle(&o(&[A])).unwrap();
+        let h_ab = fw.handle(&o(&[A, B])).unwrap();
+        let h_abc = fw.handle(&o(&[A, B, C])).unwrap();
+        let h_b = fw.handle(&o(&[B])).unwrap();
+
+        let s = fw.produce(h_ab);
+        assert!(fw.satisfies(s, h_a));
+        assert!(fw.satisfies(s, h_ab));
+        assert!(!fw.satisfies(s, h_abc));
+        assert!(!fw.satisfies(s, h_b));
+
+        let s2 = fw.infer(s, f_bc);
+        assert!(fw.satisfies(s2, h_abc));
+        assert!(fw.satisfies(s2, h_ab));
+        // Inference is monotone and idempotent.
+        assert_eq!(fw.infer(s2, f_bc), s2);
+    }
+
+    #[test]
+    fn pruned_fd_set_is_identity() {
+        let (spec, _, f_bd) = running_example();
+        let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+        let s = fw.produce(fw.handle(&o(&[A, B])).unwrap());
+        assert_eq!(fw.infer(s, f_bd), s);
+        assert_eq!(fw.stats().pruned_fds, 1);
+    }
+
+    #[test]
+    fn tested_only_orders_are_not_producible() {
+        let (spec, _, _) = running_example();
+        let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+        let h_abc = fw.handle(&o(&[A, B, C])).unwrap();
+        assert!(!fw.is_producible(h_abc));
+        assert!(fw.is_producible(fw.handle(&o(&[B])).unwrap()));
+        // (a) is interesting (prefix) but not producible either.
+        assert!(!fw.is_producible(fw.handle(&o(&[A])).unwrap()));
+    }
+
+    #[test]
+    fn domination_is_contains_superset() {
+        let (spec, f_bc, _) = running_example();
+        let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+        let s_ab = fw.produce(fw.handle(&o(&[A, B])).unwrap());
+        let s_b = fw.produce(fw.handle(&o(&[B])).unwrap());
+        let s_abc = fw.infer(s_ab, f_bc);
+        assert!(fw.dominates(s_abc, s_ab));
+        assert!(!fw.dominates(s_ab, s_abc));
+        assert!(!fw.dominates(s_ab, s_b));
+        assert!(!fw.dominates(s_b, s_ab));
+        assert!(fw.dominates(s_b, s_b));
+        // The empty state is dominated by everything.
+        assert!(fw.dominates(s_b, fw.produce_empty()));
+    }
+
+    #[test]
+    fn state_is_four_bytes() {
+        assert_eq!(std::mem::size_of::<State>(), 4);
+    }
+
+    #[test]
+    fn unknown_ordering_has_no_handle() {
+        let (spec, _, _) = running_example();
+        let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+        assert!(fw.handle(&o(&[C])).is_none());
+        assert!(fw.handle(&o(&[B, A])).is_none());
+    }
+
+    #[test]
+    fn stats_report_prep_metrics() {
+        let (spec, _, _) = running_example();
+        let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+        let st = fw.stats();
+        assert_eq!(st.dfsm_states, 4);
+        assert!(st.nfsm_nodes <= st.nfsm_nodes_before_prune);
+        assert!(st.precomputed_bytes > 0);
+        // Memory: O(1) per plan node.
+        assert_eq!(
+            fw.memory_bytes(1000) - fw.memory_bytes(0),
+            4000
+        );
+    }
+}

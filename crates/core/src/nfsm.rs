@@ -1,0 +1,396 @@
+//! NFSM construction (paper §5.3).
+//!
+//! States are orderings. `Q_I` (interesting states) is the *prefix
+//! closure* of the interesting orders — the paper's Fig. 9 has a
+//! `contains` column for `(a)` even though only `(a,b)` and `(a,b,c)`
+//! were specified, because a prefix of an interesting order is itself
+//! testable. `Q_A` (artificial states) holds every other ordering the
+//! closure reaches. Node 0 is the empty ordering `()`: every stream
+//! satisfies it, every node has an ε-edge to it, and constants derive
+//! from it (a scan with no ordering followed by `x = const` yields a
+//! stream logically ordered by `(x)`).
+//!
+//! Edges:
+//! * ε-edges from each node to **all** of its proper prefixes (prefix
+//!   closure; kept direct rather than chained so pruning a node never
+//!   breaks reachability of the remaining prefixes);
+//! * for each FD-set symbol `f`, edges to every ordering in the bounded
+//!   transitive closure `Ω({o},{f})` — consuming one symbol reaches all
+//!   transitively derivable orderings, matching the paper's `D_FD`
+//!   definition via `o ⊢_f o′`.
+//!
+//! The artificial start node `q0` with its produced-order entry edges is
+//! kept virtual; the DFSM construction materializes its row (`*` in
+//! Fig. 10).
+
+use crate::derive::DeriveCtx;
+use crate::eqclass::EqClasses;
+use crate::fd::FdSet;
+use crate::filter::PrefixFilter;
+use crate::ordering::Ordering;
+use crate::prune::PruneConfig;
+use crate::spec::InputSpec;
+use ofw_common::Interner;
+
+/// Index of an NFSM node.
+pub type NodeId = u32;
+
+/// Classification of an NFSM node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Member of `Q_I`: contains() may be asked about it.
+    pub interesting: bool,
+    /// Member of `O_P`: some physical operator can produce it directly,
+    /// so the start node has an artificial edge to it.
+    pub produced: bool,
+}
+
+/// The non-deterministic FSM over orderings.
+pub struct Nfsm {
+    /// Node id ↔ ordering (node 0 is the empty ordering).
+    pub orderings: Interner<Ordering>,
+    /// Per-node classification.
+    pub info: Vec<NodeInfo>,
+    /// ε-edges: node → all proper prefixes (incl. node 0).
+    pub eps: Vec<Vec<NodeId>>,
+    /// FD edges: `edges[node][fd_set_id]` → derivable nodes.
+    pub edges: Vec<Vec<Vec<NodeId>>>,
+    /// Number of FD-set symbols (fixed for the query).
+    pub num_symbols: usize,
+}
+
+/// Construction failure: the state space exceeded a configured cap
+/// (only plausible with pruning disabled on adversarial inputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// More NFSM nodes than `PruneConfig::max_nodes`.
+    TooManyNodes(usize),
+    /// More DFSM states than `PruneConfig::max_dfsm_states`.
+    TooManyDfsmStates(usize),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::TooManyNodes(n) => {
+                write!(f, "NFSM exceeded the configured node limit ({n})")
+            }
+            BuildError::TooManyDfsmStates(n) => {
+                write!(f, "DFSM exceeded the configured state limit ({n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl Nfsm {
+    /// Builds the NFSM for `spec` (steps 2(a)–2(c) of Fig. 3). FD
+    /// filtering and node pruning (steps 2(b), 2(d)) live in
+    /// [`crate::prune`] and are orchestrated by
+    /// [`OrderingFramework::prepare`](crate::OrderingFramework::prepare);
+    /// this function takes the (possibly already filtered) FD sets.
+    pub fn build(
+        spec: &InputSpec,
+        fd_sets: &[FdSet],
+        eq: &EqClasses,
+        config: &PruneConfig,
+    ) -> Result<Nfsm, BuildError> {
+        let all_fds: Vec<crate::fd::Fd> = fd_sets
+            .iter()
+            .flat_map(|s| s.fds().iter().cloned())
+            .collect();
+        let filter = PrefixFilter::new(spec.interesting(), &all_fds, eq, config.prefix_filter);
+        // The blanket length cutoff only applies when the admission
+        // filter is off: the filter computes a per-candidate bound that
+        // generalizes it (useful orderings can exceed the longest
+        // interesting order by removable attributes, e.g. a constant
+        // prefix that a later removal strips away).
+        let max_len = if !config.prefix_filter && config.length_cutoff {
+            spec.max_interesting_len()
+        } else {
+            usize::MAX
+        };
+        let ctx = DeriveCtx {
+            eq,
+            filter: &filter,
+            max_len,
+        };
+
+        let mut nfsm = Nfsm {
+            orderings: Interner::new(),
+            info: Vec::new(),
+            eps: Vec::new(),
+            edges: Vec::new(),
+            num_symbols: fd_sets.len(),
+        };
+        // Node 0: the empty ordering.
+        let root = nfsm.add_node(Ordering::empty(), config)?;
+        debug_assert_eq!(root, 0);
+
+        // Interesting nodes: prefix closure of O_P ∪ O_T.
+        for o in spec.interesting() {
+            let id = nfsm.add_node(o.clone(), config)?;
+            nfsm.info[id as usize].interesting = true;
+            for p in o.proper_prefixes() {
+                let pid = nfsm.add_node(p, config)?;
+                nfsm.info[pid as usize].interesting = true;
+            }
+        }
+        for o in spec.produced() {
+            let id = nfsm.add_node(o.clone(), config)?;
+            nfsm.info[id as usize].produced = true;
+        }
+
+        // Worklist closure: compute FD edges, materializing new nodes
+        // (and their prefixes) as they appear.
+        let mut next: u32 = 0;
+        while (next as usize) < nfsm.orderings.len() {
+            let node = next;
+            next += 1;
+            let ordering = nfsm.orderings.resolve(node).clone();
+            for (sym, fd_set) in fd_sets.iter().enumerate() {
+                if fd_set.is_empty() {
+                    continue;
+                }
+                let derived = ctx.closure(&ordering, fd_set.fds());
+                let mut targets: Vec<NodeId> = Vec::with_capacity(derived.len());
+                for d in derived {
+                    // Materialize the target and all its proper prefixes.
+                    for p in d.proper_prefixes() {
+                        nfsm.add_node(p, config)?;
+                    }
+                    targets.push(nfsm.add_node(d, config)?);
+                }
+                targets.sort_unstable();
+                targets.dedup();
+                nfsm.edges[node as usize][sym] = targets;
+            }
+        }
+        // ε-edges to every existing proper prefix, plus node 0.
+        for node in 0..nfsm.orderings.len() as u32 {
+            let ordering = nfsm.orderings.resolve(node).clone();
+            let mut eps: Vec<NodeId> = Vec::new();
+            if node != 0 {
+                eps.push(0);
+            }
+            for p in ordering.proper_prefixes() {
+                if let Some(pid) = nfsm.orderings.get(&p) {
+                    eps.push(pid);
+                }
+            }
+            eps.sort_unstable();
+            eps.dedup();
+            nfsm.eps[node as usize] = eps;
+        }
+        Ok(nfsm)
+    }
+
+    /// Interns `o` as a node, growing the side tables; errors out past
+    /// the configured cap.
+    fn add_node(&mut self, o: Ordering, config: &PruneConfig) -> Result<NodeId, BuildError> {
+        let before = self.orderings.len();
+        let id = self.orderings.intern(o);
+        if self.orderings.len() > before {
+            if self.orderings.len() > config.max_nodes {
+                return Err(BuildError::TooManyNodes(config.max_nodes));
+            }
+            self.info.push(NodeInfo::default());
+            self.eps.push(Vec::new());
+            self.edges.push(vec![Vec::new(); self.num_symbols]);
+        }
+        Ok(id)
+    }
+
+    /// Number of nodes, counting the implicit empty-ordering node.
+    pub fn num_nodes(&self) -> usize {
+        self.orderings.len()
+    }
+
+    /// Total FD-edge count (each target counted once).
+    pub fn num_edges(&self) -> usize {
+        self.edges
+            .iter()
+            .map(|per_sym| per_sym.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Node lookup by ordering.
+    pub fn node_of(&self, o: &Ordering) -> Option<NodeId> {
+        self.orderings.get(o)
+    }
+
+    /// Rebuilds the NFSM keeping only nodes with `keep[node] == true`,
+    /// renumbering densely. Edge targets pointing at dropped nodes must
+    /// already have been redirected by the caller. Node 0 must be kept.
+    pub(crate) fn compact(self, keep: &[bool]) -> Nfsm {
+        assert!(keep[0], "the empty-ordering node is permanent");
+        let mut remap: Vec<Option<NodeId>> = vec![None; self.orderings.len()];
+        let mut orderings = Interner::new();
+        let mut info = Vec::new();
+        for (old, o) in self.orderings.iter() {
+            if keep[old as usize] {
+                let new = orderings.intern(o.clone());
+                remap[old as usize] = Some(new);
+                info.push(self.info[old as usize]);
+            }
+        }
+        let map_list = |list: &[NodeId]| -> Vec<NodeId> {
+            let mut v: Vec<NodeId> = list
+                .iter()
+                .filter_map(|&t| remap[t as usize])
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let mut eps = vec![Vec::new(); orderings.len()];
+        let mut edges = vec![vec![Vec::new(); self.num_symbols]; orderings.len()];
+        #[allow(clippy::needless_range_loop)] // old indexes three parallel tables
+        for old in 0..self.orderings.len() {
+            let Some(new) = remap[old] else { continue };
+            eps[new as usize] = map_list(&self.eps[old]);
+            for sym in 0..self.num_symbols {
+                edges[new as usize][sym] = map_list(&self.edges[old][sym]);
+            }
+        }
+        Nfsm {
+            orderings,
+            info,
+            eps,
+            edges,
+            num_symbols: self.num_symbols,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+
+    use ofw_catalog::AttrId;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+    const D: AttrId = AttrId(3);
+
+    fn o(ids: &[AttrId]) -> Ordering {
+        Ordering::new(ids.to_vec())
+    }
+
+    /// The paper's running example before pruning (Figs. 4–5): interesting
+    /// orders (b), (a,b) produced and (a,b,c) tested; FDs {b→c}, {b→d}.
+    fn running_example() -> (InputSpec, Vec<FdSet>, EqClasses) {
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[B]));
+        spec.add_produced(o(&[A, B]));
+        spec.add_tested(o(&[A, B, C]));
+        spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        spec.add_fd_set(vec![Fd::functional(&[B], D)]);
+        let fd_sets = spec.fd_sets().to_vec();
+        let eq = EqClasses::from_fds(fd_sets.iter().flat_map(|s| s.fds().iter()));
+        (spec, fd_sets, eq)
+    }
+
+    #[test]
+    fn running_example_with_filter_matches_fig7_nodes() {
+        // Fig. 7 is the NFSM *after* step 2(b) removed {b→d}; with the
+        // dependency still present the admission filter keeps the
+        // removable-d orderings (a,b,d,c)/(a,b,d) alive, as it must.
+        let (spec, _, eq) = running_example();
+        let (fd_sets, removed) = crate::prune::prune_fds(&spec, &eq, &PruneConfig::default());
+        assert_eq!(removed, 1);
+        let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &PruneConfig::default()).unwrap();
+        // Fig. 7 nodes: (a), (b), (a,b), (a,b,c)  — plus our explicit ().
+        // (b,c) and anything with d is kept out by the prefix filter
+        // (d never occurs in an interesting order, (b,c) extends nothing).
+        let expected = [o(&[A]), o(&[B]), o(&[A, B]), o(&[A, B, C])];
+        assert_eq!(nfsm.num_nodes(), expected.len() + 1);
+        for e in &expected {
+            assert!(nfsm.node_of(e).is_some(), "missing node {e:?}");
+        }
+        // The {b→c} edge from (a,b) to (a,b,c) of Fig. 7.
+        let ab = nfsm.node_of(&o(&[A, B])).unwrap();
+        let abc = nfsm.node_of(&o(&[A, B, C])).unwrap();
+        assert_eq!(nfsm.edges[ab as usize][0], vec![abc]);
+        // No {b→d} edges anywhere.
+        for n in 0..nfsm.num_nodes() {
+            assert!(nfsm.edges[n][1].is_empty());
+        }
+    }
+
+    #[test]
+    fn running_example_without_heuristics_matches_fig5_nodes() {
+        let (spec, fd_sets, eq) = running_example();
+        let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &PruneConfig::none()).unwrap();
+        // Fig. 5 draws (a), (b), (b,c), (a,b), (a,b,c) (d-orderings exist
+        // too since {b→d} has not been filtered in step 2(b) yet).
+        for e in [o(&[A]), o(&[B]), o(&[B, C]), o(&[A, B]), o(&[A, B, C])] {
+            assert!(nfsm.node_of(&e).is_some(), "missing node {e:?}");
+        }
+        // (b) --{b→c}--> (b,c) edge of Fig. 5.
+        let b = nfsm.node_of(&o(&[B])).unwrap();
+        let bc = nfsm.node_of(&o(&[B, C])).unwrap();
+        assert!(nfsm.edges[b as usize][0].contains(&bc));
+        // {b→d} creates d-orderings, e.g. (a,b,d).
+        assert!(nfsm.node_of(&o(&[A, B, D])).is_some());
+    }
+
+    #[test]
+    fn eps_edges_point_to_all_prefixes() {
+        let (spec, fd_sets, eq) = running_example();
+        let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &PruneConfig::default()).unwrap();
+        let abc = nfsm.node_of(&o(&[A, B, C])).unwrap();
+        let ab = nfsm.node_of(&o(&[A, B])).unwrap();
+        let a = nfsm.node_of(&o(&[A])).unwrap();
+        let mut eps = nfsm.eps[abc as usize].clone();
+        eps.sort_unstable();
+        let mut expect = vec![0, a, ab];
+        expect.sort_unstable();
+        assert_eq!(eps, expect);
+    }
+
+    #[test]
+    fn interesting_prefix_closure_is_marked() {
+        let (spec, fd_sets, eq) = running_example();
+        let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &PruneConfig::default()).unwrap();
+        // (a) is interesting (prefix of (a,b)) but not produced.
+        let a = nfsm.node_of(&o(&[A])).unwrap();
+        assert!(nfsm.info[a as usize].interesting);
+        assert!(!nfsm.info[a as usize].produced);
+        let b = nfsm.node_of(&o(&[B])).unwrap();
+        assert!(nfsm.info[b as usize].produced);
+    }
+
+    #[test]
+    fn node_cap_is_enforced() {
+        let (spec, fd_sets, eq) = running_example();
+        let config = PruneConfig {
+            max_nodes: 3,
+            ..PruneConfig::default()
+        };
+        match Nfsm::build(&spec, &fd_sets, &eq, &config) {
+            Err(BuildError::TooManyNodes(3)) => {}
+            Err(e) => panic!("wrong error: {e}"),
+            Ok(_) => panic!("expected the node cap to trip"),
+        }
+    }
+
+    #[test]
+    fn transitive_edges_within_one_symbol() {
+        // One operator introducing {a→b, b→c} must reach (a,b,c) in a
+        // single transition.
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A]));
+        spec.add_tested(o(&[A, B, C]));
+        spec.add_fd_set(vec![Fd::functional(&[A], B), Fd::functional(&[B], C)]);
+        let fd_sets = spec.fd_sets().to_vec();
+        let eq = EqClasses::new();
+        let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &PruneConfig::default()).unwrap();
+        let a = nfsm.node_of(&o(&[A])).unwrap();
+        let abc = nfsm.node_of(&o(&[A, B, C])).unwrap();
+        assert!(nfsm.edges[a as usize][0].contains(&abc));
+    }
+}

@@ -1,0 +1,131 @@
+//! The input to the preparation phase (paper §5.2).
+//!
+//! Before plan generation, the optimizer determines (1) the interesting
+//! orders — split into those *produced* by some physical operator (`O_P`)
+//! and those only *tested for* (`O_T`) — and (2) the set of sets of
+//! functional dependencies `F`, one [`FdSet`] per operator that changes
+//! logical orderings. [`InputSpec`] carries exactly this.
+
+use crate::fd::{Fd, FdSet, FdSetId};
+use crate::ordering::Ordering;
+
+/// Interesting orders + FD sets extracted from one query.
+#[derive(Clone, Debug, Default)]
+pub struct InputSpec {
+    produced: Vec<Ordering>,
+    tested: Vec<Ordering>,
+    fd_sets: Vec<FdSet>,
+}
+
+impl InputSpec {
+    /// An empty specification.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an interesting order in `O_P`: producible by a physical
+    /// operator (sort, index scan, …) and therefore reachable through an
+    /// artificial start edge. Produced orders are implicitly also
+    /// testable. Duplicates are ignored.
+    pub fn add_produced(&mut self, o: Ordering) {
+        assert!(!o.is_empty(), "the empty ordering is implicit");
+        if !self.produced.contains(&o) {
+            self.produced.push(o);
+        }
+    }
+
+    /// Registers an interesting order in `O_T`: only tested for (e.g. a
+    /// merge-join requirement no operator produces directly).
+    pub fn add_tested(&mut self, o: Ordering) {
+        assert!(!o.is_empty(), "the empty ordering is implicit");
+        if !self.tested.contains(&o) && !self.produced.contains(&o) {
+            self.tested.push(o);
+        }
+    }
+
+    /// Registers the FD set of one operator and returns its handle — the
+    /// value the plan generator later feeds to
+    /// [`OrderingFramework::infer`](crate::OrderingFramework::infer).
+    /// Identical sets share a handle.
+    pub fn add_fd_set(&mut self, fds: Vec<Fd>) -> FdSetId {
+        let set = FdSet::new(fds);
+        if let Some(pos) = self.fd_sets.iter().position(|s| *s == set) {
+            return FdSetId(pos as u32);
+        }
+        let id = FdSetId(self.fd_sets.len() as u32);
+        self.fd_sets.push(set);
+        id
+    }
+
+    /// `O_P` — produced interesting orders.
+    pub fn produced(&self) -> &[Ordering] {
+        &self.produced
+    }
+
+    /// `O_T` — tested-only interesting orders.
+    pub fn tested(&self) -> &[Ordering] {
+        &self.tested
+    }
+
+    /// All interesting orders `O_I = O_P ∪ O_T` (produced first).
+    pub fn interesting(&self) -> impl Iterator<Item = &Ordering> {
+        self.produced.iter().chain(self.tested.iter())
+    }
+
+    /// The registered FD sets, indexable by [`FdSetId`].
+    pub fn fd_sets(&self) -> &[FdSet] {
+        &self.fd_sets
+    }
+
+    /// Length of the longest interesting order — the global cutoff used by
+    /// the §5.7 heuristics.
+    pub fn max_interesting_len(&self) -> usize {
+        self.interesting().map(Ordering::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofw_catalog::AttrId;
+
+    fn o(ids: &[u32]) -> Ordering {
+        Ordering::new(ids.iter().map(|&i| AttrId(i)).collect())
+    }
+
+    #[test]
+    fn produced_wins_over_tested() {
+        let mut s = InputSpec::new();
+        s.add_produced(o(&[1]));
+        s.add_tested(o(&[1]));
+        assert_eq!(s.produced().len(), 1);
+        assert_eq!(s.tested().len(), 0);
+    }
+
+    #[test]
+    fn fd_sets_dedup_to_same_handle() {
+        let mut s = InputSpec::new();
+        let f1 = s.add_fd_set(vec![Fd::equation(AttrId(0), AttrId(1))]);
+        let f2 = s.add_fd_set(vec![Fd::equation(AttrId(1), AttrId(0))]);
+        let f3 = s.add_fd_set(vec![Fd::constant(AttrId(2))]);
+        assert_eq!(f1, f2);
+        assert_ne!(f1, f3);
+        assert_eq!(s.fd_sets().len(), 2);
+    }
+
+    #[test]
+    fn max_interesting_len() {
+        let mut s = InputSpec::new();
+        assert_eq!(s.max_interesting_len(), 0);
+        s.add_produced(o(&[1]));
+        s.add_tested(o(&[2, 3, 4]));
+        assert_eq!(s.max_interesting_len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ordering")]
+    fn empty_interesting_order_rejected() {
+        let mut s = InputSpec::new();
+        s.add_produced(Ordering::empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # ofw-plangen — a bottom-up dynamic-programming plan generator
+//!
+//! The experimental vehicle of the paper's §7: "we implemented both our
+//! algorithm and the algorithm proposed by Simmen et al. and integrated
+//! them into a bottom-up plan generator based on [Lohman 1988]". This
+//! crate is that generator: dynamic programming over connected
+//! subgraphs, a physical algebra with order-sensitive operators (sort,
+//! merge join, ordered index scan) and order-agnostic ones (heap scan,
+//! hash join, nested-loop join), a textbook cost model, and Pareto
+//! pruning on (cost, order state).
+//!
+//! Order optimization is accessed exclusively through the
+//! [`OrderOracle`] trait, implemented by both
+//! [`ofw_core::OrderingFramework`] (the paper's DFSM, O(1) per call) and
+//! [`ofw_simmen::SimmenFramework`] (the Ω(n) baseline), so the two run
+//! under *identical* call patterns — the fairness requirement of §7.
+
+pub mod cost;
+pub mod dp;
+pub mod exec;
+pub mod oracle;
+pub mod plan;
+
+pub use dp::{PlanGen, PlanGenResult, PlanGenStats};
+pub use exec::{execute, synthetic_data, Table};
+pub use oracle::OrderOracle;
+pub use plan::{PlanId, PlanNode, PlanOp};

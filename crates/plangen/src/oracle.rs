@@ -1,0 +1,208 @@
+//! The order-optimization interface the plan generator programs against.
+//!
+//! This is the ADT of the paper's §2 (`contains`,
+//! `inferNewLogicalOrderings`, constructors), plus the plan-domination
+//! test of §7 and memory accounting for Fig. 14. Both the DFSM framework
+//! and the Simmen baseline implement it, so the DP code is shared
+//! verbatim between the two experiment arms.
+
+use ofw_core::fd::FdSetId;
+use ofw_core::ordering::Ordering;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Order-optimization ADT as seen by the plan generator.
+pub trait OrderOracle {
+    /// Per-plan-node order annotation.
+    type State: Copy + Eq + Hash + Debug;
+    /// Pre-resolved handle of an interesting order.
+    type Key: Copy + Debug;
+
+    /// Resolves an ordering to a handle once per query (cold path).
+    fn resolve(&self, o: &Ordering) -> Option<Self::Key>;
+
+    /// Whether a sort/scan may produce this ordering (`O_P`).
+    fn is_producible(&self, k: Self::Key) -> bool;
+
+    /// Constructor: unordered stream.
+    fn produce_empty(&self) -> Self::State;
+
+    /// Constructor: stream physically ordered by the order behind `k`
+    /// (must be producible).
+    fn produce(&self, k: Self::Key) -> Self::State;
+
+    /// `inferNewLogicalOrderings`: one operator's FD set is applied.
+    fn infer(&self, s: Self::State, f: FdSetId) -> Self::State;
+
+    /// `contains`: does a stream in state `s` satisfy order `k`?
+    fn satisfies(&self, s: Self::State, k: Self::Key) -> bool;
+
+    /// Order-wise plan domination (`a` at least as ordered as `b`).
+    fn dominates(&self, a: Self::State, b: Self::State) -> bool;
+
+    /// Bytes of order-annotation storage for `plan_nodes` plan nodes,
+    /// including shared structures.
+    fn memory_bytes(&self, plan_nodes: usize) -> usize;
+
+    /// Display name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+impl OrderOracle for ofw_core::OrderingFramework {
+    type State = ofw_core::State;
+    type Key = ofw_core::OrderHandle;
+
+    fn resolve(&self, o: &Ordering) -> Option<Self::Key> {
+        self.handle(o)
+    }
+
+    fn is_producible(&self, k: Self::Key) -> bool {
+        OrderingFrameworkExt::is_producible(self, k)
+    }
+
+    fn produce_empty(&self) -> Self::State {
+        ofw_core::OrderingFramework::produce_empty(self)
+    }
+
+    fn produce(&self, k: Self::Key) -> Self::State {
+        ofw_core::OrderingFramework::produce(self, k)
+    }
+
+    #[inline]
+    fn infer(&self, s: Self::State, f: FdSetId) -> Self::State {
+        ofw_core::OrderingFramework::infer(self, s, f)
+    }
+
+    #[inline]
+    fn satisfies(&self, s: Self::State, k: Self::Key) -> bool {
+        ofw_core::OrderingFramework::satisfies(self, s, k)
+    }
+
+    #[inline]
+    fn dominates(&self, a: Self::State, b: Self::State) -> bool {
+        ofw_core::OrderingFramework::dominates(self, a, b)
+    }
+
+    fn memory_bytes(&self, plan_nodes: usize) -> usize {
+        ofw_core::OrderingFramework::memory_bytes(self, plan_nodes)
+    }
+
+    fn name(&self) -> &'static str {
+        "nfsm/dfsm (ours)"
+    }
+}
+
+/// Disambiguation shim (the inherent method has the same name).
+trait OrderingFrameworkExt {
+    fn is_producible(&self, k: ofw_core::OrderHandle) -> bool;
+}
+
+impl OrderingFrameworkExt for ofw_core::OrderingFramework {
+    fn is_producible(&self, k: ofw_core::OrderHandle) -> bool {
+        ofw_core::OrderingFramework::is_producible(self, k)
+    }
+}
+
+impl OrderOracle for ofw_simmen::SimmenFramework {
+    type State = ofw_simmen::SimmenState;
+    type Key = ofw_simmen::SimmenOrderKey;
+
+    fn resolve(&self, o: &Ordering) -> Option<Self::Key> {
+        self.key(o)
+    }
+
+    fn is_producible(&self, k: Self::Key) -> bool {
+        ofw_simmen::SimmenFramework::is_producible(self, k)
+    }
+
+    fn produce_empty(&self) -> Self::State {
+        ofw_simmen::SimmenFramework::produce_empty(self)
+    }
+
+    fn produce(&self, k: Self::Key) -> Self::State {
+        ofw_simmen::SimmenFramework::produce(self, k)
+    }
+
+    #[inline]
+    fn infer(&self, s: Self::State, f: FdSetId) -> Self::State {
+        ofw_simmen::SimmenFramework::infer(self, s, f)
+    }
+
+    #[inline]
+    fn satisfies(&self, s: Self::State, k: Self::Key) -> bool {
+        ofw_simmen::SimmenFramework::satisfies(self, s, k)
+    }
+
+    #[inline]
+    fn dominates(&self, a: Self::State, b: Self::State) -> bool {
+        ofw_simmen::SimmenFramework::dominates(self, a, b)
+    }
+
+    fn memory_bytes(&self, plan_nodes: usize) -> usize {
+        ofw_simmen::SimmenFramework::memory_bytes(self, plan_nodes)
+    }
+
+    fn name(&self) -> &'static str {
+        "simmen"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofw_catalog::AttrId;
+    use ofw_core::fd::Fd;
+    use ofw_core::{InputSpec, OrderingFramework, PruneConfig};
+    use ofw_simmen::SimmenFramework;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+
+    fn o(ids: &[AttrId]) -> Ordering {
+        Ordering::new(ids.to_vec())
+    }
+
+    fn spec() -> InputSpec {
+        let mut s = InputSpec::new();
+        s.add_produced(o(&[A]));
+        s.add_produced(o(&[A, B]));
+        s.add_fd_set(vec![Fd::functional(&[B], C)]);
+        s.add_fd_set(vec![Fd::equation(A, B)]);
+        s
+    }
+
+    /// Both oracles must agree on satisfied interesting orders for the
+    /// same call sequence (generic over the trait).
+    fn agree<O: OrderOracle>(oracle: &O, f_eq: FdSetId) -> Vec<bool> {
+        let k_a = oracle.resolve(&o(&[A])).unwrap();
+        let k_ab = oracle.resolve(&o(&[A, B])).unwrap();
+        let s0 = oracle.produce(k_a);
+        let s1 = oracle.infer(s0, f_eq);
+        vec![
+            oracle.satisfies(s0, k_a),
+            oracle.satisfies(s0, k_ab),
+            oracle.satisfies(s1, k_a),
+            oracle.satisfies(s1, k_ab),
+        ]
+    }
+
+    #[test]
+    fn oracles_agree_through_the_trait() {
+        let spec = spec();
+        let ours = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+        let simmen = SimmenFramework::prepare(&spec);
+        let f_eq = FdSetId(1);
+        assert_eq!(agree(&ours, f_eq), agree(&simmen, f_eq));
+        // (a) + a=b ⇒ (a,b) satisfied.
+        assert_eq!(agree(&ours, f_eq), vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn names_differ() {
+        let spec = spec();
+        let ours = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+        let simmen = SimmenFramework::prepare(&spec);
+        assert_ne!(OrderOracle::name(&ours), OrderOracle::name(&simmen));
+    }
+}

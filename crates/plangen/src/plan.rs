@@ -1,0 +1,234 @@
+//! Physical plans: an arena of operator nodes.
+//!
+//! Plan nodes live in one flat arena (`Vec`) and reference each other by
+//! dense [`PlanId`] — the representation the paper assumes when it talks
+//! about "millions of subplans" whose per-node order annotation must be
+//! tiny. The node's order state is the generic parameter `S` (4 bytes
+//! for the DFSM framework, ordering+environment handles for Simmen).
+
+/// Index of a plan node in the arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanId(pub u32);
+
+impl std::fmt::Debug for PlanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A physical operator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanOp {
+    /// Unordered full scan of a query relation.
+    Scan { qrel: usize },
+    /// Ordered scan of an index of the relation.
+    IndexScan { qrel: usize, index: usize },
+    /// Explicit sort enforcer to an interesting order.
+    Sort {
+        input: PlanId,
+        /// The produced sort key (attribute sequence).
+        key: Vec<ofw_catalog::AttrId>,
+    },
+    /// Merge join: both inputs sorted on the join attributes of `edge`.
+    MergeJoin {
+        left: PlanId,
+        right: PlanId,
+        edge: usize,
+    },
+    /// Hash join on `edge` (build right, probe left; preserves the
+    /// probe side's physical order).
+    HashJoin {
+        left: PlanId,
+        right: PlanId,
+        edge: usize,
+    },
+    /// Nested-loop join (any predicates; preserves outer order).
+    NestedLoopJoin { left: PlanId, right: PlanId },
+    /// Group-by aggregation; `streaming` requires (and exploits) input
+    /// ordered by the grouping attributes, hashing does not.
+    Aggregate { input: PlanId, streaming: bool },
+}
+
+/// One plan node: operator, covered relations, estimates, order state.
+#[derive(Clone, Debug)]
+pub struct PlanNode<S> {
+    /// The operator.
+    pub op: PlanOp,
+    /// Bitmask of covered query relations.
+    pub mask: u64,
+    /// Cumulative cost estimate.
+    pub cost: f64,
+    /// Output cardinality estimate.
+    pub card: f64,
+    /// Order-oracle state (the ADT instance of §5.6).
+    pub state: S,
+    /// Bitmask of FD-set handles applied beneath this node — what a sort
+    /// enforcer must replay ("following the edge … and then another edge
+    /// corresponding to the set of functional dependencies that
+    /// currently hold", §5.6).
+    pub applied_fds: u64,
+}
+
+/// The arena.
+#[derive(Clone, Debug, Default)]
+pub struct PlanArena<S> {
+    nodes: Vec<PlanNode<S>>,
+}
+
+impl<S: Copy> PlanArena<S> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        PlanArena { nodes: Vec::new() }
+    }
+
+    /// Allocates a node; every allocation counts towards the paper's
+    /// `#Plans` metric.
+    pub fn push(&mut self, node: PlanNode<S>) -> PlanId {
+        let id = PlanId(u32::try_from(self.nodes.len()).expect("plan arena overflow"));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Node lookup.
+    #[inline]
+    pub fn node(&self, id: PlanId) -> &PlanNode<S> {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Total nodes ever allocated (`#Plans`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True before the first allocation.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Renders a plan tree as an indented string (for examples/tests).
+    pub fn render(&self, id: PlanId, relation_name: &dyn Fn(usize) -> String) -> String {
+        let mut out = String::new();
+        self.render_into(id, relation_name, 0, &mut out);
+        out
+    }
+
+    fn render_into(
+        &self,
+        id: PlanId,
+        relation_name: &dyn Fn(usize) -> String,
+        depth: usize,
+        out: &mut String,
+    ) {
+        use std::fmt::Write;
+        let n = self.node(id);
+        let indent = "  ".repeat(depth);
+        match &n.op {
+            PlanOp::Scan { qrel } => {
+                let _ = writeln!(out, "{indent}Scan({}) cost={:.0}", relation_name(*qrel), n.cost);
+            }
+            PlanOp::IndexScan { qrel, index } => {
+                let _ = writeln!(
+                    out,
+                    "{indent}IndexScan({}, idx#{index}) cost={:.0}",
+                    relation_name(*qrel),
+                    n.cost
+                );
+            }
+            PlanOp::Sort { input, .. } => {
+                let _ = writeln!(out, "{indent}Sort cost={:.0}", n.cost);
+                self.render_into(*input, relation_name, depth + 1, out);
+            }
+            PlanOp::MergeJoin { left, right, edge } => {
+                let _ = writeln!(out, "{indent}MergeJoin(edge#{edge}) cost={:.0}", n.cost);
+                self.render_into(*left, relation_name, depth + 1, out);
+                self.render_into(*right, relation_name, depth + 1, out);
+            }
+            PlanOp::HashJoin { left, right, edge } => {
+                let _ = writeln!(out, "{indent}HashJoin(edge#{edge}) cost={:.0}", n.cost);
+                self.render_into(*left, relation_name, depth + 1, out);
+                self.render_into(*right, relation_name, depth + 1, out);
+            }
+            PlanOp::NestedLoopJoin { left, right } => {
+                let _ = writeln!(out, "{indent}NestedLoopJoin cost={:.0}", n.cost);
+                self.render_into(*left, relation_name, depth + 1, out);
+                self.render_into(*right, relation_name, depth + 1, out);
+            }
+            PlanOp::Aggregate { input, streaming } => {
+                let kind = if *streaming { "Streaming" } else { "Hash" };
+                let _ = writeln!(out, "{indent}{kind}Aggregate cost={:.0}", n.cost);
+                self.render_into(*input, relation_name, depth + 1, out);
+            }
+        }
+    }
+
+    /// Counts operators in the tree rooted at `id`.
+    pub fn tree_size(&self, id: PlanId) -> usize {
+        match &self.node(id).op {
+            PlanOp::Scan { .. } | PlanOp::IndexScan { .. } => 1,
+            PlanOp::Sort { input, .. } | PlanOp::Aggregate { input, .. } => {
+                1 + self.tree_size(*input)
+            }
+            PlanOp::MergeJoin { left, right, .. }
+            | PlanOp::HashJoin { left, right, .. }
+            | PlanOp::NestedLoopJoin { left, right } => {
+                1 + self.tree_size(*left) + self.tree_size(*right)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(mask: u64) -> PlanNode<u32> {
+        PlanNode {
+            op: PlanOp::Scan { qrel: mask.trailing_zeros() as usize },
+            mask,
+            cost: 10.0,
+            card: 10.0,
+            state: 0,
+            applied_fds: 0,
+        }
+    }
+
+    #[test]
+    fn arena_allocates_densely() {
+        let mut a: PlanArena<u32> = PlanArena::new();
+        let p0 = a.push(leaf(1));
+        let p1 = a.push(leaf(2));
+        assert_eq!(p0, PlanId(0));
+        assert_eq!(p1, PlanId(1));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.node(p1).mask, 2);
+    }
+
+    #[test]
+    fn tree_size_and_render() {
+        let mut a: PlanArena<u32> = PlanArena::new();
+        let l = a.push(leaf(1));
+        let r = a.push(leaf(2));
+        let j = a.push(PlanNode {
+            op: PlanOp::MergeJoin { left: l, right: r, edge: 0 },
+            mask: 3,
+            cost: 30.0,
+            card: 5.0,
+            state: 0,
+            applied_fds: 1,
+        });
+        let s = a.push(PlanNode {
+            op: PlanOp::Sort { input: j, key: vec![] },
+            mask: 3,
+            cost: 60.0,
+            card: 5.0,
+            state: 1,
+            applied_fds: 1,
+        });
+        assert_eq!(a.tree_size(s), 4);
+        let txt = a.render(s, &|q| format!("r{q}"));
+        assert!(txt.contains("Sort"));
+        assert!(txt.contains("MergeJoin"));
+        assert!(txt.contains("Scan(r0)"));
+        assert!(txt.contains("Scan(r1)"));
+    }
+}

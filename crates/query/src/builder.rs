@@ -1,0 +1,144 @@
+//! Fluent, catalog-aware query construction.
+
+use crate::graph::{ConstPred, FilterPred, JoinEdge, Query};
+use ofw_catalog::Catalog;
+
+/// Builds a [`Query`] against a [`Catalog`] using attribute names.
+///
+/// ```
+/// use ofw_catalog::Catalog;
+/// use ofw_query::QueryBuilder;
+///
+/// let mut c = Catalog::new();
+/// c.add_relation("persons", 10_000.0, &["id", "name", "jobid"]);
+/// c.add_relation("jobs", 100.0, &["id", "salary"]);
+/// let q = QueryBuilder::new(&c)
+///     .relation("persons")
+///     .relation("jobs")
+///     .join("persons.jobid", "jobs.id", 0.01)
+///     .filter("jobs.salary", 0.3)
+///     .order_by(&["jobs.id", "persons.name"])
+///     .build();
+/// assert!(q.is_fully_connected());
+/// ```
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    query: Query,
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Starts an empty query over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        QueryBuilder {
+            catalog,
+            query: Query::new(),
+        }
+    }
+
+    /// Adds a relation (by catalog name) to the `from` clause.
+    pub fn relation(mut self, name: &str) -> Self {
+        let rel = self
+            .catalog
+            .relation_id(name)
+            .unwrap_or_else(|| panic!("unknown relation {name}"));
+        self.query.add_relation(self.catalog, rel);
+        self
+    }
+
+    /// Adds an equi-join predicate `left = right`.
+    pub fn join(mut self, left: &str, right: &str, selectivity: f64) -> Self {
+        assert!(selectivity > 0.0 && selectivity <= 1.0);
+        self.query.joins.push(JoinEdge {
+            left: self.catalog.attr(left),
+            right: self.catalog.attr(right),
+            selectivity,
+        });
+        self
+    }
+
+    /// Adds a constant predicate `attr = const`.
+    pub fn constant(mut self, attr: &str, selectivity: f64) -> Self {
+        assert!(selectivity > 0.0 && selectivity <= 1.0);
+        self.query.constants.push(ConstPred {
+            attr: self.catalog.attr(attr),
+            selectivity,
+        });
+        self
+    }
+
+    /// Adds a non-equality filter (no functional dependency).
+    pub fn filter(mut self, attr: &str, selectivity: f64) -> Self {
+        assert!(selectivity > 0.0 && selectivity <= 1.0);
+        self.query.filters.push(FilterPred {
+            attr: self.catalog.attr(attr),
+            selectivity,
+        });
+        self
+    }
+
+    /// Sets the `group by` attribute list.
+    pub fn group_by(mut self, attrs: &[&str]) -> Self {
+        self.query.group_by = attrs.iter().map(|a| self.catalog.attr(a)).collect();
+        self
+    }
+
+    /// Sets the `order by` attribute list.
+    pub fn order_by(mut self, attrs: &[&str]) -> Self {
+        self.query.order_by = attrs.iter().map(|a| self.catalog.attr(a)).collect();
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Query {
+        self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation("persons", 10_000.0, &["id", "name", "jobid"]);
+        c.add_relation("jobs", 100.0, &["id", "salary"]);
+        c
+    }
+
+    #[test]
+    fn builds_the_section_6_1_query() {
+        // select * from persons, jobs
+        // where persons.jobid = jobs.id and jobs.salary > 50000
+        // order by jobs.id, persons.name
+        let c = catalog();
+        let q = QueryBuilder::new(&c)
+            .relation("persons")
+            .relation("jobs")
+            .join("persons.jobid", "jobs.id", 0.01)
+            .filter("jobs.salary", 0.3)
+            .order_by(&["jobs.id", "persons.name"])
+            .build();
+        assert_eq!(q.num_relations(), 2);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.filters.len(), 1);
+        assert_eq!(q.order_by.len(), 2);
+        assert_eq!(q.owner(c.attr("jobs.id")), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relation")]
+    fn unknown_relation_panics() {
+        let c = catalog();
+        let _ = QueryBuilder::new(&c).relation("nope");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_selectivity_rejected() {
+        let c = catalog();
+        let _ = QueryBuilder::new(&c)
+            .relation("persons")
+            .relation("jobs")
+            .join("persons.jobid", "jobs.id", 0.0);
+    }
+}

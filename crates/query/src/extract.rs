@@ -1,0 +1,210 @@
+//! Determining the order-optimization input from a query (paper §5.2 and
+//! the Q8 walkthrough in §6.2).
+//!
+//! * every join attribute and every `group by`/`order by` prefix is an
+//!   interesting order that a sort (or ordered index scan) can *produce*;
+//! * each equi-join predicate contributes the FD set `{l = r}` — applied
+//!   by the join operator that evaluates it;
+//! * each constant predicate contributes `{∅ → attr}` — applied by the
+//!   selection;
+//! * optionally, selection attributes are added as *tested-only* orders
+//!   ("a selection operator never sorts but might exploit ordering").
+
+use crate::graph::Query;
+use ofw_catalog::Catalog;
+use ofw_core::fd::{Fd, FdSetId};
+use ofw_core::ordering::Ordering;
+use ofw_core::spec::InputSpec;
+
+/// Extraction tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ExtractOptions {
+    /// Register index key prefixes as produced interesting orders.
+    pub index_orders: bool,
+    /// Add constant/filter attributes as tested-only interesting orders
+    /// (the paper's optional `O_T^I = {(r_name), (o_orderdate)}`).
+    pub tested_selection_orders: bool,
+}
+
+impl Default for ExtractOptions {
+    fn default() -> Self {
+        ExtractOptions {
+            index_orders: true,
+            tested_selection_orders: false,
+        }
+    }
+}
+
+/// The order-optimization input for one query, with the operator → FD-set
+/// mapping the plan generator needs.
+#[derive(Clone, Debug)]
+pub struct ExtractedQuery {
+    /// Interesting orders and FD sets (input to framework preparation).
+    pub spec: InputSpec,
+    /// FD-set handle per join edge (parallel to `Query::joins`).
+    pub join_fd: Vec<FdSetId>,
+    /// FD-set handle per constant predicate (parallel to
+    /// `Query::constants`).
+    pub const_fd: Vec<FdSetId>,
+}
+
+/// Runs the extraction.
+pub fn extract(catalog: &Catalog, query: &Query, options: &ExtractOptions) -> ExtractedQuery {
+    let mut spec = InputSpec::new();
+
+    // Join attributes: single-attribute produced orders (what a merge
+    // join tests for and a sort can produce) — §6.2's O_P^I.
+    for j in &query.joins {
+        spec.add_produced(Ordering::new(vec![j.left]));
+        spec.add_produced(Ordering::new(vec![j.right]));
+    }
+    // Grouping/ordering requirements are producible by a sort.
+    if !query.group_by.is_empty() {
+        spec.add_produced(Ordering::new(query.group_by.clone()));
+    }
+    if !query.order_by.is_empty() {
+        spec.add_produced(Ordering::new(query.order_by.clone()));
+    }
+    // Index scan outputs.
+    if options.index_orders {
+        for &rel in &query.relations {
+            for index in &catalog.relation(rel).indexes {
+                spec.add_produced(Ordering::new(index.key.clone()));
+            }
+        }
+    }
+    // Selection attributes, tested only.
+    if options.tested_selection_orders {
+        for c in &query.constants {
+            spec.add_tested(Ordering::new(vec![c.attr]));
+        }
+        for f in &query.filters {
+            spec.add_tested(Ordering::new(vec![f.attr]));
+        }
+    }
+
+    // One FD set per operator that changes logical orderings.
+    let join_fd = query
+        .joins
+        .iter()
+        .map(|j| spec.add_fd_set(vec![Fd::equation(j.left, j.right)]))
+        .collect();
+    let const_fd = query
+        .constants
+        .iter()
+        .map(|c| spec.add_fd_set(vec![Fd::constant(c.attr)]))
+        .collect();
+
+    ExtractedQuery {
+        spec,
+        join_fd,
+        const_fd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+
+    fn simple() -> (Catalog, Query) {
+        let mut c = Catalog::new();
+        c.add_relation("persons", 10_000.0, &["id", "name", "jobid"]);
+        c.add_relation("jobs", 100.0, &["id", "salary"]);
+        let jobs = c.relation_id("jobs").unwrap();
+        let jid = c.attr("jobs.id");
+        c.add_index(jobs, vec![jid], true);
+        let q = QueryBuilder::new(&c)
+            .relation("persons")
+            .relation("jobs")
+            .join("persons.jobid", "jobs.id", 0.01)
+            .filter("jobs.salary", 0.3)
+            .order_by(&["jobs.id", "persons.name"])
+            .build();
+        (c, q)
+    }
+
+    #[test]
+    fn section_6_1_interesting_orders() {
+        // §6.1: Q_I^P = {(id), (jobid), (id,name)}, Q_I^T = {(salary)};
+        // F = {jobid = id}. Our (id,name) comes from the order-by —
+        // order by jobs.id, persons.name.
+        let (c, q) = simple();
+        let ex = extract(
+            &c,
+            &q,
+            &ExtractOptions {
+                tested_selection_orders: true,
+                ..ExtractOptions::default()
+            },
+        );
+        let produced: Vec<&Ordering> = ex.spec.produced().iter().collect();
+        let jid = c.attr("jobs.id");
+        let pjobid = c.attr("persons.jobid");
+        let pname = c.attr("persons.name");
+        assert!(produced.contains(&&Ordering::new(vec![jid])));
+        assert!(produced.contains(&&Ordering::new(vec![pjobid])));
+        assert!(produced.contains(&&Ordering::new(vec![jid, pname])));
+        assert_eq!(produced.len(), 3);
+        // (salary) tested only.
+        let sal = c.attr("jobs.salary");
+        assert_eq!(ex.spec.tested(), &[Ordering::new(vec![sal])]);
+        // One FD set: the equation.
+        assert_eq!(ex.spec.fd_sets().len(), 1);
+        assert_eq!(ex.join_fd.len(), 1);
+        assert!(ex.const_fd.is_empty());
+    }
+
+    #[test]
+    fn duplicate_fd_sets_share_handles() {
+        let mut c = Catalog::new();
+        c.add_relation("a", 10.0, &["x"]);
+        c.add_relation("b", 10.0, &["y"]);
+        let mut q = QueryBuilder::new(&c)
+            .relation("a")
+            .relation("b")
+            .join("a.x", "b.y", 0.5)
+            .build();
+        // The same predicate twice (e.g. listed redundantly).
+        q.joins.push(q.joins[0].clone());
+        let ex = extract(&c, &q, &ExtractOptions::default());
+        assert_eq!(ex.join_fd[0], ex.join_fd[1]);
+        assert_eq!(ex.spec.fd_sets().len(), 1);
+    }
+
+    #[test]
+    fn group_by_becomes_produced_order() {
+        let mut c = Catalog::new();
+        c.add_relation("t", 10.0, &["g", "v"]);
+        c.add_relation("u", 10.0, &["w"]);
+        let q = QueryBuilder::new(&c)
+            .relation("t")
+            .relation("u")
+            .join("t.v", "u.w", 0.1)
+            .group_by(&["t.g"])
+            .build();
+        let ex = extract(&c, &q, &ExtractOptions::default());
+        let g = c.attr("t.g");
+        assert!(ex
+            .spec
+            .produced()
+            .contains(&Ordering::new(vec![g])));
+    }
+
+    #[test]
+    fn constants_become_fd_sets() {
+        let mut c = Catalog::new();
+        c.add_relation("t", 10.0, &["g", "v"]);
+        c.add_relation("u", 10.0, &["w"]);
+        let q = QueryBuilder::new(&c)
+            .relation("t")
+            .relation("u")
+            .join("t.v", "u.w", 0.1)
+            .constant("t.g", 0.05)
+            .build();
+        let ex = extract(&c, &q, &ExtractOptions::default());
+        assert_eq!(ex.const_fd.len(), 1);
+        assert_ne!(ex.const_fd[0], ex.join_fd[0]);
+        assert_eq!(ex.spec.fd_sets().len(), 2);
+    }
+}

@@ -1,0 +1,204 @@
+//! The select-project-join query model.
+//!
+//! Relations participating in a query are numbered `0..n` ("query
+//! relations"); sets of them are `u64` bitmasks, which caps queries at 64
+//! relations — far beyond what dynamic-programming join enumeration can
+//! handle anyway (the paper evaluates up to 10).
+
+use ofw_catalog::{AttrId, Catalog, RelId};
+use ofw_common::FxHashMap;
+
+/// An equi-join predicate `left = right` between two query relations.
+#[derive(Clone, Debug)]
+pub struct JoinEdge {
+    /// Attribute on one side.
+    pub left: AttrId,
+    /// Attribute on the other side.
+    pub right: AttrId,
+    /// Join selectivity estimate in `(0, 1]`.
+    pub selectivity: f64,
+}
+
+/// An equality-with-constant predicate `attr = const`.
+#[derive(Clone, Debug)]
+pub struct ConstPred {
+    /// The bound attribute.
+    pub attr: AttrId,
+    /// Selectivity estimate in `(0, 1]`.
+    pub selectivity: f64,
+}
+
+/// A non-equality filter (e.g. `salary > 50000`): affects cardinality
+/// but induces no functional dependency.
+#[derive(Clone, Debug)]
+pub struct FilterPred {
+    /// The filtered attribute.
+    pub attr: AttrId,
+    /// Selectivity estimate in `(0, 1]`.
+    pub selectivity: f64,
+}
+
+/// A query over a catalog: relations, predicates, grouping and ordering.
+#[derive(Clone, Debug, Default)]
+pub struct Query {
+    /// Catalog relations in query-relation order (index = query-relation id).
+    pub relations: Vec<RelId>,
+    /// Equi-join predicates.
+    pub joins: Vec<JoinEdge>,
+    /// `attr = const` predicates.
+    pub constants: Vec<ConstPred>,
+    /// Non-FD filters.
+    pub filters: Vec<FilterPred>,
+    /// `group by` attributes (treated as one interesting order).
+    pub group_by: Vec<AttrId>,
+    /// `order by` attributes (the query's required output order).
+    pub order_by: Vec<AttrId>,
+    /// Owning query relation per attribute.
+    attr_owner: FxHashMap<AttrId, usize>,
+}
+
+impl Query {
+    /// Creates an empty query.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a catalog relation; returns its query-relation index.
+    pub fn add_relation(&mut self, catalog: &Catalog, rel: RelId) -> usize {
+        let q = self.relations.len();
+        assert!(q < 64, "at most 64 relations per query");
+        for &a in &catalog.relation(rel).attrs {
+            self.attr_owner.insert(a, q);
+        }
+        self.relations.push(rel);
+        q
+    }
+
+    /// Query relation owning `attr` (panics for foreign attributes).
+    pub fn owner(&self, attr: AttrId) -> usize {
+        self.attr_owner[&attr]
+    }
+
+    /// Number of query relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Bitmask with every query relation set.
+    pub fn all_relations_mask(&self) -> u64 {
+        if self.relations.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.relations.len()) - 1
+        }
+    }
+
+    /// Join edges applicable when joining relation sets `a` and `b`
+    /// (edges with one endpoint in each) as indexes into `joins`.
+    pub fn connecting_joins(&self, a: u64, b: u64) -> impl Iterator<Item = usize> + '_ {
+        self.joins.iter().enumerate().filter_map(move |(i, j)| {
+            let l = 1u64 << self.owner(j.left);
+            let r = 1u64 << self.owner(j.right);
+            let cross = (l & a != 0 && r & b != 0) || (l & b != 0 && r & a != 0);
+            cross.then_some(i)
+        })
+    }
+
+    /// True if the join graph restricted to `mask` is connected.
+    pub fn is_connected(&self, mask: u64) -> bool {
+        if mask == 0 {
+            return false;
+        }
+        let mut seen = 1u64 << mask.trailing_zeros();
+        loop {
+            let mut grew = false;
+            for j in &self.joins {
+                let l = 1u64 << self.owner(j.left);
+                let r = 1u64 << self.owner(j.right);
+                if (l | r) & mask != (l | r) {
+                    continue; // edge leaves the subgraph
+                }
+                if (seen & l != 0) != (seen & r != 0) {
+                    seen |= l | r;
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        seen & mask == mask
+    }
+
+    /// Whether the whole query graph is connected.
+    pub fn is_fully_connected(&self) -> bool {
+        self.is_connected(self.all_relations_mask())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> (Catalog, Query) {
+        let mut c = Catalog::new();
+        let mut q = Query::new();
+        let mut prev: Option<AttrId> = None;
+        for i in 0..n {
+            let rel = c.add_relation(&format!("r{i}"), 1000.0, &["k", "f"]);
+            q.add_relation(&c, rel);
+            let k = c.attr(&format!("r{i}.k"));
+            let f = c.attr(&format!("r{i}.f"));
+            if let Some(p) = prev {
+                q.joins.push(JoinEdge {
+                    left: p,
+                    right: k,
+                    selectivity: 0.01,
+                });
+            }
+            prev = Some(f);
+        }
+        (c, q)
+    }
+
+    #[test]
+    fn ownership_and_masks() {
+        let (c, q) = chain(3);
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.all_relations_mask(), 0b111);
+        assert_eq!(q.owner(c.attr("r0.k")), 0);
+        assert_eq!(q.owner(c.attr("r2.f")), 2);
+    }
+
+    #[test]
+    fn connectivity_of_chain() {
+        let (_, q) = chain(4);
+        assert!(q.is_fully_connected());
+        assert!(q.is_connected(0b0011));
+        assert!(q.is_connected(0b0110));
+        assert!(!q.is_connected(0b0101), "r0 and r2 are not adjacent");
+        assert!(q.is_connected(0b0001));
+        assert!(!q.is_connected(0));
+    }
+
+    #[test]
+    fn connecting_joins_cross_the_cut() {
+        let (_, q) = chain(3);
+        // Edge 0 joins r0–r1, edge 1 joins r1–r2.
+        let between: Vec<usize> = q.connecting_joins(0b001, 0b010).collect();
+        assert_eq!(between, vec![0]);
+        let between: Vec<usize> = q.connecting_joins(0b011, 0b100).collect();
+        assert_eq!(between, vec![1]);
+        let none: Vec<usize> = q.connecting_joins(0b001, 0b100).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn disconnected_pieces_are_detected() {
+        let (_, mut q) = chain(3);
+        q.joins.pop(); // drop r1–r2
+        assert!(!q.is_fully_connected());
+        assert!(q.is_connected(0b011));
+        assert!(!q.is_connected(0b110));
+    }
+}

@@ -1,0 +1,223 @@
+//! FD environments: the per-plan-node dependency sets of Simmen's
+//! representation, with the "specially tailored memory management" the
+//! paper used for a fair comparison.
+//!
+//! A plan node's environment is the multiset of FD sets applied on the
+//! path below it. Environments are immutable and *interned*: extending
+//! an environment by an operator's `FdSetId` yields a handle, and equal
+//! extension chains share one handle (and one materialized FD vector).
+//! This keeps `inferNewLogicalOrderings` cheap and makes the memory
+//! accounting reflect sharing, exactly like an arena of persistent
+//! environment nodes would.
+
+use ofw_common::{FxHashMap, MemoryMeter};
+use ofw_core::fd::{Fd, FdSet, FdSetId};
+
+/// Handle of an interned FD environment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FdEnvId(pub u32);
+
+impl std::fmt::Debug for FdEnvId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "env{}", self.0)
+    }
+}
+
+/// One interned environment: a sorted set of applied `FdSetId`s plus the
+/// flattened dependency list used by reduction.
+#[derive(Debug)]
+pub struct FdEnv {
+    /// Sorted, deduplicated applied FD-set handles.
+    pub sets: Box<[FdSetId]>,
+    /// All member dependencies, flattened (what `reduce` iterates).
+    pub fds: Box<[Fd]>,
+}
+
+/// Interning store for environments.
+pub struct EnvStore {
+    all_sets: Vec<FdSet>,
+    envs: Vec<FdEnv>,
+    by_sets: FxHashMap<Box<[FdSetId]>, FdEnvId>,
+    /// Extension cache: (env, applied set) → extended env.
+    extend_cache: FxHashMap<(FdEnvId, FdSetId), FdEnvId>,
+    meter: MemoryMeter,
+}
+
+impl EnvStore {
+    /// Creates a store over the query's FD sets, with the empty
+    /// environment pre-interned as id 0.
+    pub fn new(all_sets: Vec<FdSet>) -> Self {
+        let mut store = EnvStore {
+            all_sets,
+            envs: Vec::new(),
+            by_sets: FxHashMap::default(),
+            extend_cache: FxHashMap::default(),
+            meter: MemoryMeter::new(),
+        };
+        let empty = store.intern(Box::new([]));
+        debug_assert_eq!(empty, FdEnvId(0));
+        store
+    }
+
+    /// The empty environment.
+    pub fn empty(&self) -> FdEnvId {
+        FdEnvId(0)
+    }
+
+    /// Environment extended by one operator's FD set.
+    pub fn extend(&mut self, env: FdEnvId, set: FdSetId) -> FdEnvId {
+        if let Some(&hit) = self.extend_cache.get(&(env, set)) {
+            return hit;
+        }
+        let mut sets: Vec<FdSetId> = self.envs[env.0 as usize].sets.to_vec();
+        match sets.binary_search(&set) {
+            Ok(_) => {
+                self.extend_cache.insert((env, set), env);
+                env
+            }
+            Err(pos) => {
+                sets.insert(pos, set);
+                let id = self.intern(sets.into_boxed_slice());
+                self.extend_cache.insert((env, set), id);
+                id
+            }
+        }
+    }
+
+    fn intern(&mut self, sets: Box<[FdSetId]>) -> FdEnvId {
+        if let Some(&id) = self.by_sets.get(&sets) {
+            return id;
+        }
+        let fds: Vec<Fd> = sets
+            .iter()
+            .flat_map(|s| self.all_sets[s.index()].fds().iter().cloned())
+            .collect();
+        let id = FdEnvId(self.envs.len() as u32);
+        self.meter.alloc(
+            sets.len() * std::mem::size_of::<FdSetId>()
+                + fds.iter().map(fd_bytes).sum::<usize>()
+                + std::mem::size_of::<FdEnv>(),
+        );
+        self.envs.push(FdEnv {
+            sets: sets.clone(),
+            fds: fds.into_boxed_slice(),
+        });
+        self.by_sets.insert(sets, id);
+        id
+    }
+
+    /// Resolves a handle.
+    pub fn env(&self, id: FdEnvId) -> &FdEnv {
+        &self.envs[id.0 as usize]
+    }
+
+    /// True if every FD set of `b` is also in `a` — the comparability
+    /// test the plan generator uses for pruning ("the set of functional
+    /// dependencies is equal (respectively a subset)", §7).
+    pub fn is_superset(&self, a: FdEnvId, b: FdEnvId) -> bool {
+        if a == b {
+            return true;
+        }
+        let (sa, sb) = (&self.envs[a.0 as usize].sets, &self.envs[b.0 as usize].sets);
+        if sb.len() > sa.len() {
+            return false;
+        }
+        // Both sorted: subset check by merge.
+        let mut i = 0;
+        for &x in sb.iter() {
+            while i < sa.len() && sa[i] < x {
+                i += 1;
+            }
+            if i == sa.len() || sa[i] != x {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Bytes held by all interned environments.
+    pub fn memory_bytes(&self) -> usize {
+        self.meter.current()
+    }
+
+    /// Number of distinct environments.
+    pub fn len(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Never empty (the empty environment always exists).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+fn fd_bytes(fd: &Fd) -> usize {
+    std::mem::size_of::<Fd>()
+        + match fd {
+            Fd::Functional { lhs, .. } => lhs.len() * std::mem::size_of::<ofw_catalog::AttrId>(),
+            _ => 0,
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofw_catalog::AttrId;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+
+    fn sets() -> Vec<FdSet> {
+        vec![
+            FdSet::new(vec![Fd::equation(A, B)]),
+            FdSet::new(vec![Fd::functional(&[B], C)]),
+            FdSet::new(vec![Fd::constant(C)]),
+        ]
+    }
+
+    #[test]
+    fn extension_is_interned_and_order_insensitive() {
+        let mut store = EnvStore::new(sets());
+        let e0 = store.empty();
+        let tmp = store.extend(e0, FdSetId(0));
+        let e01 = store.extend(tmp, FdSetId(1));
+        let tmp = store.extend(e0, FdSetId(1));
+        let e10 = store.extend(tmp, FdSetId(0));
+        assert_eq!(e01, e10, "same set of applied FD sets, same env");
+        assert_eq!(store.env(e01).fds.len(), 2);
+    }
+
+    #[test]
+    fn reapplying_a_set_is_identity() {
+        let mut store = EnvStore::new(sets());
+        let e = store.extend(store.empty(), FdSetId(2));
+        assert_eq!(store.extend(e, FdSetId(2)), e);
+    }
+
+    #[test]
+    fn superset_check() {
+        let mut store = EnvStore::new(sets());
+        let e0 = store.empty();
+        let e1 = store.extend(e0, FdSetId(0));
+        let e12 = store.extend(e1, FdSetId(2));
+        assert!(store.is_superset(e12, e1));
+        assert!(store.is_superset(e1, e0));
+        assert!(!store.is_superset(e1, e12));
+        let e2 = store.extend(e0, FdSetId(2));
+        assert!(!store.is_superset(e1, e2));
+        assert!(store.is_superset(e12, e2));
+    }
+
+    #[test]
+    fn memory_grows_with_distinct_envs_only() {
+        let mut store = EnvStore::new(sets());
+        let before = store.memory_bytes();
+        let e1 = store.extend(store.empty(), FdSetId(0));
+        let grown = store.memory_bytes();
+        assert!(grown > before);
+        let _again = store.extend(store.empty(), FdSetId(0));
+        assert_eq!(store.memory_bytes(), grown, "interning shares");
+        let _ = e1;
+    }
+}

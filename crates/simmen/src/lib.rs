@@ -1,0 +1,38 @@
+//! # ofw-simmen — the Simmen et al. baseline
+//!
+//! The order-optimization component of *Simmen, Shekita & Malkemus,
+//! "Fundamental Techniques for Order Optimization"* (SIGMOD 1996), as
+//! described (and tuned) in §3 and §7 of the Neumann & Moerkotte paper.
+//!
+//! Representation per plan node: the physical ordering plus the set of
+//! functional dependencies that hold for the stream — Ω(n) space.
+//! `contains` runs the *reduction* algorithm on both the node's ordering
+//! and the required ordering and then tests for a prefix — Ω(n) time.
+//! `inferNewLogicalOrderings` appends the operator's FD set — Ω(n) when
+//! the environment must be copied.
+//!
+//! We apply the same tuning the paper applied to make the comparison
+//! fair (§7):
+//!
+//! * **reduction caching** — "the most important measure was to cache
+//!   results in order to eliminate repeated calls to the very expensive
+//!   reduce operation";
+//! * **tailored memory management** — FD environments are immutable,
+//!   interned and shared between plan nodes instead of deep-copied
+//!   ("since Simmen's algorithm requires dynamic memory, we implemented
+//!   a specially tailored memory management").
+//!
+//! The paper also observes that Simmen's rewrite system is **not
+//! confluent**: reducing under `{a→b, ab→c}` yields different normal
+//! forms depending on application order, so `contains` can answer
+//! `false` where `true` is correct and "some orderings remain
+//! unexploited". We reproduce that behaviour faithfully (see the
+//! non-confluence test in [`reduce`]).
+
+pub mod env;
+pub mod oracle;
+pub mod reduce;
+
+pub use env::{EnvStore, FdEnv, FdEnvId};
+pub use oracle::SimmenOrderKey;
+pub use oracle::{SimmenFramework, SimmenState};

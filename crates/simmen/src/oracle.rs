@@ -1,0 +1,311 @@
+//! The Simmen-style order-optimization framework, exposing the same
+//! plan-generation interface as `ofw_core::OrderingFramework` so the plan
+//! generator can run with either implementation (§7's experiment setup).
+//!
+//! Interior mutability (`RefCell`) hides the caches behind `&self`
+//! methods — the plan generator calls `infer`/`satisfies` through shared
+//! references millions of times, and the caches are pure memoization.
+
+use crate::env::{EnvStore, FdEnvId};
+use crate::reduce::reduce;
+use ofw_common::{FxHashMap, Interner};
+use ofw_core::fd::FdSetId;
+use ofw_core::ordering::Ordering;
+use ofw_core::spec::InputSpec;
+use std::cell::RefCell;
+
+/// Per-plan-node annotation under Simmen's scheme: the physical ordering
+/// (interned) plus the FD environment. Conceptually this is
+/// Ω(n)-sized state; the handles point into shared stores whose bytes
+/// are charged to [`SimmenFramework::memory_bytes`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimmenState {
+    /// Interned physical ordering.
+    pub phys: u32,
+    /// Interned FD environment.
+    pub env: FdEnvId,
+}
+
+impl std::fmt::Debug for SimmenState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}/{:?}", self.phys, self.env)
+    }
+}
+
+/// Handle of an interesting order, pre-resolved once per query.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SimmenOrderKey(u32);
+
+struct Caches {
+    orderings: Interner<Ordering>,
+    envs: EnvStore,
+    /// Reduction cache: (interned ordering, environment) → reduced
+    /// interned ordering — the paper's single most important tuning.
+    reduce_cache: FxHashMap<(u32, FdEnvId), u32>,
+}
+
+/// The prepared Simmen-style framework for one query.
+pub struct SimmenFramework {
+    caches: RefCell<Caches>,
+    /// Interesting orders (prefix-closed), indexable by key.
+    orders: Vec<Ordering>,
+    order_keys: FxHashMap<Ordering, SimmenOrderKey>,
+    producible: Vec<bool>,
+}
+
+impl SimmenFramework {
+    /// "Preparation" for Simmen's algorithm is trivial (that is its
+    /// advantage; the paper's point is that it loses during plan
+    /// generation): intern the interesting orders and set up stores.
+    pub fn prepare(spec: &InputSpec) -> Self {
+        let mut caches = Caches {
+            orderings: Interner::new(),
+            envs: EnvStore::new(spec.fd_sets().to_vec()),
+            reduce_cache: FxHashMap::default(),
+        };
+        caches.orderings.intern(Ordering::empty());
+
+        let mut orders: Vec<Ordering> = Vec::new();
+        let mut order_keys = FxHashMap::default();
+        let mut producible = Vec::new();
+        let add = |o: &Ordering, prod: bool, orders: &mut Vec<Ordering>, producible: &mut Vec<bool>, order_keys: &mut FxHashMap<Ordering, SimmenOrderKey>| {
+            if let Some(k) = order_keys.get(o) {
+                let SimmenOrderKey(i) = *k;
+                producible[i as usize] = producible[i as usize] || prod;
+                return;
+            }
+            order_keys.insert(o.clone(), SimmenOrderKey(orders.len() as u32));
+            orders.push(o.clone());
+            producible.push(prod);
+        };
+        for o in spec.produced() {
+            add(o, true, &mut orders, &mut producible, &mut order_keys);
+            for p in o.proper_prefixes() {
+                add(&p, false, &mut orders, &mut producible, &mut order_keys);
+            }
+        }
+        for o in spec.tested() {
+            add(o, false, &mut orders, &mut producible, &mut order_keys);
+            for p in o.proper_prefixes() {
+                add(&p, false, &mut orders, &mut producible, &mut order_keys);
+            }
+        }
+        for o in &orders {
+            caches.orderings.intern(o.clone());
+        }
+        SimmenFramework {
+            caches: RefCell::new(caches),
+            orders,
+            order_keys,
+            producible,
+        }
+    }
+
+    /// Key of an interesting order (or a prefix of one).
+    pub fn key(&self, o: &Ordering) -> Option<SimmenOrderKey> {
+        self.order_keys.get(o).copied()
+    }
+
+    /// Whether the order behind `k` is in `O_P`.
+    pub fn is_producible(&self, k: SimmenOrderKey) -> bool {
+        self.producible[k.0 as usize]
+    }
+
+    /// State of an unordered stream with no dependencies.
+    pub fn produce_empty(&self) -> SimmenState {
+        SimmenState {
+            phys: 0,
+            env: FdEnvId(0),
+        }
+    }
+
+    /// State of a stream physically ordered by the order behind `k`
+    /// (sort or ordered scan output) with no dependencies yet.
+    pub fn produce(&self, k: SimmenOrderKey) -> SimmenState {
+        let mut caches = self.caches.borrow_mut();
+        let phys = caches.orderings.intern(self.orders[k.0 as usize].clone());
+        SimmenState {
+            phys,
+            env: FdEnvId(0),
+        }
+    }
+
+    /// `inferNewLogicalOrderings`: extends the node's FD environment.
+    pub fn infer(&self, s: SimmenState, f: FdSetId) -> SimmenState {
+        let mut caches = self.caches.borrow_mut();
+        let env = caches.envs.extend(s.env, f);
+        SimmenState { phys: s.phys, env }
+    }
+
+    /// `contains`: reduce both orderings under the environment, then
+    /// prefix-test (cached).
+    pub fn satisfies(&self, s: SimmenState, k: SimmenOrderKey) -> bool {
+        let mut caches = self.caches.borrow_mut();
+        let required = caches.orderings.get(&self.orders[k.0 as usize]).unwrap();
+        let rp = reduced(&mut caches, s.phys, s.env);
+        let rr = reduced(&mut caches, required, s.env);
+        let rp = caches.orderings.resolve(rp).clone();
+        let rr = caches.orderings.resolve(rr);
+        rr.is_prefix_of(&rp)
+    }
+
+    /// Plan comparability (§7): same physical ordering, environment a
+    /// superset — Simmen's scheme cannot see that extra dependencies are
+    /// irrelevant, which is why it prunes fewer plans.
+    pub fn dominates(&self, a: SimmenState, b: SimmenState) -> bool {
+        if a.phys != b.phys {
+            return false;
+        }
+        self.caches.borrow().envs.is_superset(a.env, b.env)
+    }
+
+    /// Bytes of order-annotation storage for a plan with
+    /// `num_plan_nodes` nodes: the per-node states plus the shared
+    /// interned environments, orderings and the reduction cache.
+    pub fn memory_bytes(&self, num_plan_nodes: usize) -> usize {
+        let caches = self.caches.borrow();
+        let ordering_bytes: usize = caches
+            .orderings
+            .iter()
+            .map(|(_, o)| o.heap_bytes() + std::mem::size_of::<Ordering>())
+            .sum();
+        num_plan_nodes * std::mem::size_of::<SimmenState>()
+            + caches.envs.memory_bytes()
+            + ordering_bytes
+            + caches.reduce_cache.len()
+                * (std::mem::size_of::<(u32, FdEnvId)>() + std::mem::size_of::<u32>())
+    }
+
+    /// All interesting orders with their keys.
+    pub fn orders(&self) -> impl Iterator<Item = (&Ordering, SimmenOrderKey)> {
+        self.orders
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o, SimmenOrderKey(i as u32)))
+    }
+
+    /// Reduction-cache size (for diagnostics).
+    pub fn cache_entries(&self) -> usize {
+        self.caches.borrow().reduce_cache.len()
+    }
+}
+
+/// Cached reduction of the interned ordering `phys` under `env`.
+fn reduced(caches: &mut Caches, phys: u32, env: FdEnvId) -> u32 {
+    if let Some(&hit) = caches.reduce_cache.get(&(phys, env)) {
+        return hit;
+    }
+    let o = caches.orderings.resolve(phys).clone();
+    let fds: Vec<ofw_core::fd::Fd> = caches.envs.env(env).fds.to_vec();
+    let r = reduce(&o, &fds);
+    let id = caches.orderings.intern(r);
+    caches.reduce_cache.insert((phys, env), id);
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofw_core::fd::Fd;
+    use ofw_catalog::AttrId;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+    const D: AttrId = AttrId(3);
+
+    fn o(ids: &[AttrId]) -> Ordering {
+        Ordering::new(ids.to_vec())
+    }
+
+    fn running_example() -> (InputSpec, FdSetId, FdSetId) {
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[B]));
+        spec.add_produced(o(&[A, B]));
+        spec.add_tested(o(&[A, B, C]));
+        let f_bc = spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        let f_bd = spec.add_fd_set(vec![Fd::functional(&[B], D)]);
+        (spec, f_bc, f_bd)
+    }
+
+    #[test]
+    fn mirrors_core_walkthrough() {
+        let (spec, f_bc, _) = running_example();
+        let fw = SimmenFramework::prepare(&spec);
+        let k_a = fw.key(&o(&[A])).unwrap();
+        let k_ab = fw.key(&o(&[A, B])).unwrap();
+        let k_abc = fw.key(&o(&[A, B, C])).unwrap();
+
+        let s = fw.produce(k_ab);
+        assert!(fw.satisfies(s, k_a));
+        assert!(fw.satisfies(s, k_ab));
+        assert!(!fw.satisfies(s, k_abc));
+
+        let s2 = fw.infer(s, f_bc);
+        assert!(fw.satisfies(s2, k_abc));
+        assert!(fw.satisfies(s2, k_ab));
+        assert_eq!(fw.infer(s2, f_bc), s2);
+    }
+
+    #[test]
+    fn domination_needs_same_ordering_and_env_superset() {
+        let (spec, f_bc, f_bd) = running_example();
+        let fw = SimmenFramework::prepare(&spec);
+        let k_ab = fw.key(&o(&[A, B])).unwrap();
+        let base = fw.produce(k_ab);
+        let with_bc = fw.infer(base, f_bc);
+        let with_both = fw.infer(with_bc, f_bd);
+        assert!(fw.dominates(with_bc, base));
+        assert!(fw.dominates(with_both, with_bc));
+        assert!(!fw.dominates(base, with_bc));
+        // Unlike the DFSM framework, Simmen's scheme cannot see that
+        // b→d is irrelevant: with_both does NOT equal with_bc, so two
+        // otherwise identical plans stay alive.
+        assert_ne!(with_both, with_bc);
+        // Different physical orderings never compare.
+        let k_b = fw.key(&o(&[B])).unwrap();
+        assert!(!fw.dominates(fw.produce(k_b), base));
+    }
+
+    #[test]
+    fn reduce_cache_fills_and_memory_is_accounted(){
+        let (spec, f_bc, _) = running_example();
+        let fw = SimmenFramework::prepare(&spec);
+        let k_ab = fw.key(&o(&[A, B])).unwrap();
+        let m0 = fw.memory_bytes(0);
+        let s = fw.infer(fw.produce(k_ab), f_bc);
+        let k_abc = fw.key(&o(&[A, B, C])).unwrap();
+        assert!(fw.satisfies(s, k_abc));
+        assert!(fw.satisfies(s, k_abc)); // second probe hits the cache
+        assert!(fw.cache_entries() >= 2);
+        assert!(fw.memory_bytes(0) > m0);
+        // Per-plan-node cost is the 8-byte state.
+        assert_eq!(
+            fw.memory_bytes(100) - fw.memory_bytes(0),
+            100 * std::mem::size_of::<SimmenState>()
+        );
+    }
+
+    #[test]
+    fn produce_empty_satisfies_nothing_until_constants() {
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A]));
+        let f = spec.add_fd_set(vec![Fd::constant(A)]);
+        let fw = SimmenFramework::prepare(&spec);
+        let k_a = fw.key(&o(&[A])).unwrap();
+        let s = fw.produce_empty();
+        assert!(!fw.satisfies(s, k_a));
+        let s2 = fw.infer(s, f);
+        assert!(fw.satisfies(s2, k_a), "a=const ⇒ stream ordered by (a)");
+    }
+
+    #[test]
+    fn prefixes_of_interesting_orders_have_keys() {
+        let (spec, _, _) = running_example();
+        let fw = SimmenFramework::prepare(&spec);
+        assert!(fw.key(&o(&[A])).is_some());
+        assert!(fw.key(&o(&[C])).is_none());
+        assert!(fw.is_producible(fw.key(&o(&[B])).unwrap()));
+        assert!(!fw.is_producible(fw.key(&o(&[A])).unwrap()));
+    }
+}

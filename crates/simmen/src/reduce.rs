@@ -1,0 +1,182 @@
+//! Simmen's reduction algorithm (described in §3 of the Neumann &
+//! Moerkotte paper).
+//!
+//! Reduction "roughly does the opposite of deducing more orderings": an
+//! occurrence of an attribute is removed if it is implied by what
+//! precedes it. Concretely:
+//!
+//! 1. attributes bound by a constant (`∅ → a`) are removed anywhere;
+//! 2. equations partition attributes into equivalence classes; both
+//!    orderings are normalized to class representatives (and a second
+//!    occurrence of the same class is implied by the first, so it is
+//!    dropped);
+//! 3. for an FD `lhs → rhs`, an occurrence of `rhs` is removed if all of
+//!    `lhs` precede it.
+//!
+//! `contains` then reduces both the node's physical ordering and the
+//! required ordering and tests whether the reduced requirement is a
+//! prefix of the reduced physical ordering.
+//!
+//! The induced rewrite system is **not confluent** (paper §3): under
+//! `{a→b, ab→c}` the ordering `(a,b,c)` reduces to `(a)` or to `(a,c)`
+//! depending on application order. Like the original, we apply the
+//! dependencies in their environment order and live with occasionally
+//! missing an exploitable ordering — the paper shows this costs plan
+//! quality for Simmen's side, not correctness.
+
+use ofw_catalog::AttrId;
+use ofw_core::eqclass::EqClasses;
+use ofw_core::fd::Fd;
+use ofw_core::ordering::Ordering;
+use ofw_common::FxHashSet;
+
+/// Reduces `o` under the dependencies `fds` (deterministic order: the
+/// slice order, each applied to a fixpoint).
+pub fn reduce(o: &Ordering, fds: &[Fd]) -> Ordering {
+    // Pass 1: equivalence classes and the constant closure over them.
+    let eq = EqClasses::from_fds(fds.iter());
+    let mut const_reps: FxHashSet<AttrId> = FxHashSet::default();
+    for fd in fds {
+        if let Fd::Constant(a) = fd {
+            const_reps.insert(eq.find(*a));
+        }
+    }
+
+    // Pass 2: normalize to representatives, dropping constants and
+    // repeated class members.
+    let mut attrs: Vec<AttrId> = Vec::with_capacity(o.len());
+    let mut seen: FxHashSet<AttrId> = FxHashSet::default();
+    for &a in o.attrs() {
+        let r = eq.find(a);
+        if const_reps.contains(&r) || !seen.insert(r) {
+            continue;
+        }
+        attrs.push(r);
+    }
+
+    // Pass 3: FD removals to a fixpoint, in slice order.
+    loop {
+        let mut changed = false;
+        for fd in fds {
+            let Fd::Functional { lhs, rhs } = fd else {
+                continue;
+            };
+            let rhs_rep = eq.find(*rhs);
+            // Remove an occurrence of rhs if all lhs attrs precede it;
+            // re-scan after each removal until this FD is exhausted.
+            while let Some(pos) = attrs.iter().position(|&a| a == rhs_rep) {
+                let before = &attrs[..pos];
+                let implied = lhs
+                    .iter()
+                    .all(|&l| before.contains(&eq.find(l)));
+                if implied {
+                    attrs.remove(pos);
+                    changed = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ordering::new(attrs)
+}
+
+/// The `contains` test: does a stream physically ordered by `physical`
+/// (with `fds` holding) satisfy `required`?
+pub fn contains(physical: &Ordering, required: &Ordering, fds: &[Fd]) -> bool {
+    let rp = reduce(physical, fds);
+    let rr = reduce(required, fds);
+    rr.is_prefix_of(&rp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+    const X: AttrId = AttrId(3);
+
+    fn o(ids: &[AttrId]) -> Ordering {
+        Ordering::new(ids.to_vec())
+    }
+
+    #[test]
+    fn paper_reduction_example() {
+        // §3: physical (a), required (a,b,c), FDs {a→b, a,b→c}.
+        // Reducing (a,b,c) with a,b→c first yields (a,b), then a→b
+        // yields (a); prefix of (a) ⇒ contained.
+        let fds = [Fd::functional(&[A, B], C), Fd::functional(&[A], B)];
+        assert_eq!(reduce(&o(&[A, B, C]), &fds), o(&[A]));
+        assert_eq!(reduce(&o(&[A]), &fds), o(&[A]));
+        assert!(contains(&o(&[A]), &o(&[A, B, C]), &fds));
+    }
+
+    #[test]
+    fn non_confluence_paper_example() {
+        // With the FDs in the other order, a→b fires first: (a,b,c)
+        // loses b, leaving (a,c) — "no further reduction is possible".
+        let fds = [Fd::functional(&[A], B), Fd::functional(&[A, B], C)];
+        assert_eq!(reduce(&o(&[A, B, C]), &fds), o(&[A, C]));
+        // The consequence the paper describes: contains answers false
+        // although true is correct — the ordering goes unexploited.
+        assert!(!contains(&o(&[A]), &o(&[A, B, C]), &fds));
+    }
+
+    #[test]
+    fn constants_are_removed_anywhere() {
+        let fds = [Fd::constant(X)];
+        assert_eq!(reduce(&o(&[X, A, B]), &fds), o(&[A, B]));
+        assert_eq!(reduce(&o(&[A, X, B]), &fds), o(&[A, B]));
+        // §2 intro: sorted on (a), selection x = const ⇒ satisfies
+        // (x,a), (a,x), (x)…
+        assert!(contains(&o(&[A]), &o(&[X, A]), &fds));
+        assert!(contains(&o(&[A]), &o(&[A, X]), &fds));
+        assert!(contains(&o(&[A]), &o(&[X]), &fds));
+        assert!(!contains(&o(&[A]), &o(&[B]), &fds));
+    }
+
+    #[test]
+    fn equations_normalize_both_sides() {
+        // Intro example: sorted on a, predicate a = b ⇒ stream satisfies
+        // (a,b), (b,a), (b).
+        let fds = [Fd::equation(A, B)];
+        assert!(contains(&o(&[A]), &o(&[A, B]), &fds));
+        assert!(contains(&o(&[A]), &o(&[B, A]), &fds));
+        assert!(contains(&o(&[A]), &o(&[B]), &fds));
+        assert!(!contains(&o(&[A]), &o(&[C]), &fds));
+    }
+
+    #[test]
+    fn plain_fd_removal_requires_full_lhs() {
+        let fds = [Fd::functional(&[A, B], C)];
+        // c preceded by a only: not implied.
+        assert_eq!(reduce(&o(&[A, C, B]), &fds), o(&[A, C, B]));
+        assert_eq!(reduce(&o(&[A, B, C]), &fds), o(&[A, B]));
+    }
+
+    #[test]
+    fn reduction_is_idempotent() {
+        let fds = [
+            Fd::functional(&[A], B),
+            Fd::equation(B, C),
+            Fd::constant(X),
+        ];
+        for ord in [o(&[A, B, C, X]), o(&[C, A]), o(&[X]), o(&[B, A])] {
+            let once = reduce(&ord, &fds);
+            assert_eq!(reduce(&once, &fds), once, "input {ord:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_never_lengthens() {
+        let fds = [Fd::functional(&[A], B), Fd::equation(A, C)];
+        for ord in [o(&[A, B, C]), o(&[C, B]), o(&[B]), o(&[A, B])] {
+            assert!(reduce(&ord, &fds).len() <= ord.len());
+        }
+    }
+}

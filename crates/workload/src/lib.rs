@@ -1,0 +1,17 @@
+//! # ofw-workload — experiment workloads
+//!
+//! The two workload families of the paper's evaluation:
+//!
+//! * [`random`] — randomly generated join queries: "we generated queries
+//!   with 5–10 relations and a varying number of join predicates … We
+//!   always started from a chain query and then randomly added some
+//!   edges" (§7, Figs. 13–14). Fully deterministic given a seed.
+//! * [`tpch`] — TPC-R Query 8 exactly as analyzed in §6.2: eight
+//!   relations, seven equi-join predicates, two constant predicates, a
+//!   date range filter and `group by o_year`.
+
+pub mod random;
+pub mod tpch;
+
+pub use random::{random_query, RandomQueryConfig};
+pub use tpch::q8_query;

@@ -1,0 +1,201 @@
+//! Random join-graph queries (paper §7).
+//!
+//! A query over `n` relations starts as a chain `r0 — r1 — … — r(n-1)`
+//! and gains `extra_edges` random additional join predicates between
+//! non-adjacent relations; `extra_edges` ∈ {0, 1, 2} corresponds to the
+//! paper's `n-1`, `n`, `n+1` edge rows. Each edge consumes a fresh
+//! attribute on both endpoints (so different predicates never reuse a
+//! column). Cardinalities are log-uniform, selectivities roughly
+//! key/foreign-key-like, and about half of the relations get a clustered
+//! index on their first join attribute so ordered scans exist.
+
+use ofw_catalog::Catalog;
+use ofw_query::{JoinEdge, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a random query.
+#[derive(Clone, Debug)]
+pub struct RandomQueryConfig {
+    /// Number of relations (the paper sweeps 5–10).
+    pub num_relations: usize,
+    /// Join edges beyond the chain's `n-1` (the paper sweeps 0–2).
+    pub extra_edges: usize,
+    /// RNG seed — same seed, same query.
+    pub seed: u64,
+}
+
+/// Generates a deterministic random query with its private catalog.
+pub fn random_query(config: &RandomQueryConfig) -> (Catalog, Query) {
+    let n = config.num_relations;
+    assert!(n >= 2, "need at least two relations to join");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Every relation gets one column per potential edge incident to it —
+    // chain degree ≤ 2 plus the extra edges.
+    let max_degree = 2 + config.extra_edges + 1;
+    let mut catalog = Catalog::new();
+    let mut query = Query::new();
+    let mut degree_used = vec![0usize; n];
+    for i in 0..n {
+        // Log-uniform cardinalities between 1e2 and 1e6.
+        let exponent = rng.gen_range(2.0..6.0);
+        let card = 10f64.powf(exponent).round();
+        let cols: Vec<String> = (0..max_degree).map(|k| format!("c{k}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let rel = catalog.add_relation(&format!("r{i}"), card, &col_refs);
+        query.add_relation(&catalog, rel);
+    }
+
+    let next_attr = |catalog: &Catalog, degree_used: &mut Vec<usize>, rel: usize| {
+        let k = degree_used[rel];
+        degree_used[rel] += 1;
+        catalog.attr(&format!("r{rel}.c{k}"))
+    };
+
+    let mut adjacent = vec![false; n * n];
+    let add_edge = |query: &mut Query,
+                        catalog: &Catalog,
+                        degree_used: &mut Vec<usize>,
+                        adjacent: &mut Vec<bool>,
+                        rng: &mut StdRng,
+                        a: usize,
+                        b: usize| {
+        let left = next_attr(catalog, degree_used, a);
+        let right = next_attr(catalog, degree_used, b);
+        // Key/foreign-key-flavored selectivity.
+        let smaller = catalog
+            .relation(query.relations[a])
+            .cardinality
+            .min(catalog.relation(query.relations[b]).cardinality);
+        let jitter = rng.gen_range(0.5..2.0);
+        let selectivity = (jitter / smaller).min(1.0);
+        query.joins.push(JoinEdge {
+            left,
+            right,
+            selectivity,
+        });
+        adjacent[a * n + b] = true;
+        adjacent[b * n + a] = true;
+    };
+
+    // The chain.
+    for i in 0..n - 1 {
+        add_edge(
+            &mut query,
+            &catalog,
+            &mut degree_used,
+            &mut adjacent,
+            &mut rng,
+            i,
+            i + 1,
+        );
+    }
+    // Extra random edges between non-adjacent relations.
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < config.extra_edges && attempts < 1000 {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b || adjacent[a * n + b] {
+            continue;
+        }
+        add_edge(
+            &mut query,
+            &catalog,
+            &mut degree_used,
+            &mut adjacent,
+            &mut rng,
+            a.min(b),
+            a.max(b),
+        );
+        added += 1;
+    }
+
+    // Clustered indexes on roughly half the relations (on their first
+    // join attribute) so ordered base plans exist.
+    #[allow(clippy::needless_range_loop)] // i identifies the relation
+    for i in 0..n {
+        if degree_used[i] > 0 && rng.gen_bool(0.5) {
+            let attr = catalog.attr(&format!("r{i}.c0"));
+            catalog.add_index(query.relations[i], vec![attr], true);
+        }
+    }
+
+    // Half the queries order their output by a random join attribute.
+    if rng.gen_bool(0.5) {
+        let j = rng.gen_range(0..query.joins.len());
+        query.order_by = vec![query.joins[j].left];
+    }
+
+    (catalog, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize, extra: usize, seed: u64) -> RandomQueryConfig {
+        RandomQueryConfig {
+            num_relations: n,
+            extra_edges: extra,
+            seed,
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (c1, q1) = random_query(&config(6, 1, 42));
+        let (c2, q2) = random_query(&config(6, 1, 42));
+        assert_eq!(q1.joins.len(), q2.joins.len());
+        for (a, b) in q1.joins.iter().zip(&q2.joins) {
+            assert_eq!(a.left, b.left);
+            assert_eq!(a.right, b.right);
+            assert_eq!(a.selectivity, b.selectivity);
+        }
+        assert_eq!(c1.num_attrs(), c2.num_attrs());
+        assert_eq!(q1.order_by, q2.order_by);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (_, q1) = random_query(&config(6, 1, 1));
+        let (_, q2) = random_query(&config(6, 1, 2));
+        let same = q1
+            .joins
+            .iter()
+            .zip(&q2.joins)
+            .all(|(a, b)| a.selectivity == b.selectivity);
+        assert!(!same);
+    }
+
+    #[test]
+    fn edge_counts_match_the_paper_rows() {
+        for n in 5..=10 {
+            for extra in 0..=2 {
+                let (_, q) = random_query(&config(n, extra, 7));
+                assert_eq!(q.joins.len(), n - 1 + extra, "n={n} extra={extra}");
+                assert!(q.is_fully_connected());
+            }
+        }
+    }
+
+    #[test]
+    fn attributes_are_not_reused_across_edges() {
+        let (_, q) = random_query(&config(8, 2, 3));
+        let mut seen = std::collections::HashSet::new();
+        for j in &q.joins {
+            assert!(seen.insert(j.left), "attribute reused");
+            assert!(seen.insert(j.right), "attribute reused");
+        }
+    }
+
+    #[test]
+    fn selectivities_are_sane() {
+        let (_, q) = random_query(&config(10, 2, 9));
+        for j in &q.joins {
+            assert!(j.selectivity > 0.0 && j.selectivity <= 1.0);
+        }
+    }
+}

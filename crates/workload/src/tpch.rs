@@ -1,0 +1,105 @@
+//! TPC-R Query 8, modeled exactly as the paper's §6.2 analyzes it.
+//!
+//! ```sql
+//! select o_year, sum(case when nation = '[NATION]' then volume else 0 end)
+//!        / sum(volume) as mkt_share
+//! from ( select extract(year from o_orderdate) as o_year, …
+//!        from part, supplier, lineitem, orders, customer,
+//!             nation n1, nation n2, region
+//!        where p_partkey = l_partkey and s_suppkey = l_suppkey
+//!          and l_orderkey = o_orderkey and o_custkey = c_custkey
+//!          and c_nationkey = n1.n_nationkey
+//!          and n1.n_regionkey = r_regionkey and r_name = '[REGION]'
+//!          and s_nationkey = n2.n_nationkey
+//!          and o_orderdate between … and p_type = '[TYPE]' ) as all_nations
+//! group by o_year order by o_year
+//! ```
+//!
+//! The paper extracts seven equations, two constants (`r_name`,
+//! `p_type`) and the grouping order `(o_year)`; the date range is a
+//! plain filter (no FD).
+
+use ofw_catalog::{tpch::tpch_q8_catalog, Catalog};
+use ofw_query::{Query, QueryBuilder};
+
+/// Builds TPC-R Query 8 over the scale-factor-1 catalog.
+pub fn q8_query() -> (Catalog, Query) {
+    let catalog = tpch_q8_catalog();
+    let query = QueryBuilder::new(&catalog)
+        .relation("part")
+        .relation("supplier")
+        .relation("lineitem")
+        .relation("orders")
+        .relation("customer")
+        .relation("nation1")
+        .relation("nation2")
+        .relation("region")
+        // Join predicates, selectivity ≈ 1/|pk side|.
+        .join("p_partkey", "l_partkey", 1.0 / 200_000.0)
+        .join("s_suppkey", "l_suppkey", 1.0 / 10_000.0)
+        .join("l_orderkey", "o_orderkey", 1.0 / 1_500_000.0)
+        .join("o_custkey", "c_custkey", 1.0 / 150_000.0)
+        .join("c_nationkey", "n1_nationkey", 1.0 / 25.0)
+        .join("n1_regionkey", "r_regionkey", 1.0 / 5.0)
+        .join("s_nationkey", "n2_nationkey", 1.0 / 25.0)
+        // r_name = '[REGION]' (one of five regions).
+        .constant("r_name", 1.0 / 5.0)
+        // p_type = '[TYPE]' (one of 150 types).
+        .constant("p_type", 1.0 / 150.0)
+        // o_orderdate between 1995-01-01 and 1996-12-31 (≈ 2/7 years).
+        .filter("o_orderdate", 0.3)
+        .group_by(&["o_year"])
+        .order_by(&["o_year"])
+        .build();
+    (catalog, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ofw_query::extract::ExtractOptions;
+
+    #[test]
+    fn shape_matches_section_6_2() {
+        let (_, q) = q8_query();
+        assert_eq!(q.num_relations(), 8);
+        assert_eq!(q.joins.len(), 7);
+        assert_eq!(q.constants.len(), 2);
+        assert_eq!(q.filters.len(), 1);
+        assert!(q.is_fully_connected());
+    }
+
+    #[test]
+    fn extraction_matches_the_paper() {
+        // §6.2: F has 9 entries — 7 equations + 2 constants.
+        let (c, q) = q8_query();
+        let ex = ofw_query::extract(&c, &q, &ExtractOptions::default());
+        assert_eq!(ex.spec.fd_sets().len(), 9);
+        // O_P: 14 join attributes + (o_year); the PK index orders
+        // coincide with join attributes except lineitem's l_orderkey
+        // (also a join attribute) — 15 distinct singles.
+        let produced = ex.spec.produced().len();
+        assert!(
+            (15..=17).contains(&produced),
+            "paper lists 16 produced orders, got {produced}"
+        );
+        // All interesting orders are single attributes, as in the paper.
+        assert!(ex.spec.interesting().all(|o| o.len() == 1));
+    }
+
+    #[test]
+    fn with_tested_selection_orders() {
+        // The paper's optional O_T^I = {(r_name), (o_orderdate)}; our
+        // extraction also lists (p_type).
+        let (c, q) = q8_query();
+        let ex = ofw_query::extract(
+            &c,
+            &q,
+            &ExtractOptions {
+                tested_selection_orders: true,
+                ..ExtractOptions::default()
+            },
+        );
+        assert_eq!(ex.spec.tested().len(), 3);
+    }
+}

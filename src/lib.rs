@@ -1,0 +1,39 @@
+//! # ofw — an efficient framework for order optimization
+//!
+//! A faithful, production-quality reproduction of
+//! *Neumann & Moerkotte, "An Efficient Framework for Order Optimization"*
+//! (ICDE 2004). The crate tracks *interesting orders* during query
+//! optimization with a precomputed deterministic finite state machine, so
+//! that during plan generation
+//!
+//! * testing whether a subplan satisfies a required ordering
+//!   ([`OrderingFramework::satisfies`](ofw_core::OrderingFramework::satisfies)), and
+//! * inferring new logical orderings when an operator adds functional
+//!   dependencies ([`OrderingFramework::infer`](ofw_core::OrderingFramework::infer))
+//!
+//! both run in **O(1)**, and every plan node carries only a 4-byte state.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`core`] | the paper's contribution: NFSM/DFSM order framework |
+//! | [`simmen`] | the Simmen et al. (SIGMOD'96) baseline |
+//! | [`catalog`] | schema/catalog substrate (incl. a TPC-H subset) |
+//! | [`query`] | query graphs + interesting-order/FD extraction |
+//! | [`plangen`] | bottom-up DP plan generator exercising both frameworks |
+//! | [`workload`] | random join-graph workloads and TPC-R Query 8 |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the paper's running example (§5) built
+//! end to end — from interesting orders and functional dependencies to the
+//! DFSM of Fig. 8 and the precomputed tables of Figs. 9–10.
+
+pub use ofw_catalog as catalog;
+pub use ofw_common as common;
+pub use ofw_core as core;
+pub use ofw_plangen as plangen;
+pub use ofw_query as query;
+pub use ofw_simmen as simmen;
+pub use ofw_workload as workload;

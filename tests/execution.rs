@@ -1,0 +1,112 @@
+//! Physical validation: execute winning plans on synthetic data and
+//! check that **every** logical ordering the O(1) framework claims for
+//! the output actually holds on the physical tuple stream — the §2
+//! stream-satisfaction condition, evaluated on real rows.
+//!
+//! This closes the loop the property tests leave open: `tests/props.rs`
+//! proves the DFSM agrees with the formal derivation rules; this test
+//! proves the derivation rules agree with reality.
+
+use ofw::core::{OrderingFramework, PruneConfig};
+use ofw::plangen::{execute, synthetic_data, PlanGen};
+use ofw::query::extract::ExtractOptions;
+use ofw::workload::{q8_query, random_query, RandomQueryConfig};
+
+/// For the winning plan of each random query: every interesting order
+/// satisfied by the root's DFSM state must hold physically.
+#[test]
+fn claimed_orderings_hold_physically_on_random_queries() {
+    for n in [2usize, 3, 4, 5] {
+        for extra in 0..=1usize {
+            if n < 3 && extra > 0 {
+                continue;
+            }
+            for seed in 0..6u64 {
+                let (catalog, query) = random_query(&RandomQueryConfig {
+                    num_relations: n,
+                    extra_edges: extra,
+                    seed,
+                });
+                let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
+                let fw =
+                    OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+                let result = PlanGen::new(&catalog, &query, &ex, &fw).run();
+
+                let data = synthetic_data(&catalog, &query, 8, 4, seed.wrapping_mul(31) + 7);
+                let output = execute(&result.arena, result.best, &catalog, &query, &data);
+
+                let root_state = result.arena.node(result.best).state;
+                for (ordering, handle) in fw.orders() {
+                    if fw.satisfies(root_state, handle) {
+                        assert!(
+                            output.satisfies_ordering(ordering.attrs()),
+                            "n={n} extra={extra} seed={seed}: framework claims {:?} \
+                             but the physical stream violates it\nplan:\n{}",
+                            ordering,
+                            result.arena.render(result.best, &|q| catalog
+                                .relation(query.relations[q])
+                                .name
+                                .clone()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Same check on every *intermediate* Pareto plan of a small query, not
+/// just the winner — order states must be physically right everywhere
+/// the DP relies on them.
+#[test]
+fn claimed_orderings_hold_for_intermediate_plans() {
+    for seed in 0..8u64 {
+        let (catalog, query) = random_query(&RandomQueryConfig {
+            num_relations: 3,
+            extra_edges: 0,
+            seed,
+        });
+        let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
+        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        let result = PlanGen::new(&catalog, &query, &ex, &fw).run();
+        let data = synthetic_data(&catalog, &query, 6, 3, seed + 100);
+
+        // Execute *every* allocated subplan (the arena holds them all).
+        for id in 0..result.arena.len() as u32 {
+            let pid = ofw::plangen::PlanId(id);
+            let node = result.arena.node(pid);
+            let output = execute(&result.arena, pid, &catalog, &query, &data);
+            for (ordering, handle) in fw.orders() {
+                // Only orderings over attributes the subplan covers.
+                let covered = ordering
+                    .attrs()
+                    .iter()
+                    .all(|&a| node.mask & (1u64 << query.owner(a)) != 0);
+                if covered && fw.satisfies(node.state, handle) {
+                    assert!(
+                        output.satisfies_ordering(ordering.attrs()),
+                        "seed={seed} plan {pid:?}: claims {ordering:?} physically violated"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Q8 end to end on synthetic rows: the output is physically grouped by
+/// o_year.
+#[test]
+fn q8_output_is_physically_ordered() {
+    let (catalog, query) = q8_query();
+    let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
+    let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+    let result = PlanGen::new(&catalog, &query, &ex, &fw).run();
+
+    let data = synthetic_data(&catalog, &query, 6, 3, 42);
+    let output = execute(&result.arena, result.best, &catalog, &query, &data);
+    let o_year = catalog.attr("o_year");
+    assert!(
+        output.satisfies_ordering(&[o_year]),
+        "Q8 output must come out ordered by o_year"
+    );
+}

@@ -1,0 +1,137 @@
+//! End-to-end integration: query → extraction → both order frameworks →
+//! DP plan generation, across workload families.
+
+use ofw::core::{OrderingFramework, PruneConfig};
+use ofw::plangen::{PlanGen, PlanOp};
+use ofw::query::extract::ExtractOptions;
+use ofw::simmen::SimmenFramework;
+use ofw::workload::{q8_query, random_query, RandomQueryConfig};
+
+/// §7's setup invariant: both order frameworks, run through the same
+/// plan generator, find equally cheap plans — checked across a spread of
+/// random join graphs.
+#[test]
+fn both_frameworks_agree_on_optimal_cost_across_seeds() {
+    for n in [3usize, 5, 7] {
+        for extra in 0..=2usize {
+            for seed in 0..4u64 {
+                let (catalog, query) = random_query(&RandomQueryConfig {
+                    num_relations: n,
+                    extra_edges: extra,
+                    seed,
+                });
+                let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
+
+                let ours_fw =
+                    OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+                let ours = PlanGen::new(&catalog, &query, &ex, &ours_fw).run();
+
+                let simmen_fw = SimmenFramework::prepare(&ex.spec);
+                let simmen = PlanGen::new(&catalog, &query, &ex, &simmen_fw).run();
+
+                let rel = (ours.cost - simmen.cost).abs() / ours.cost.max(1.0);
+                assert!(
+                    rel < 1e-9,
+                    "n={n} extra={extra} seed={seed}: ours={} simmen={}",
+                    ours.cost,
+                    simmen.cost
+                );
+                assert!(
+                    ours.stats.plans <= simmen.stats.plans,
+                    "n={n} extra={extra} seed={seed}: the DFSM framework must prune \
+                     at least as hard ({} vs {})",
+                    ours.stats.plans,
+                    simmen.stats.plans
+                );
+            }
+        }
+    }
+}
+
+/// Unpruned and pruned DFSM frameworks drive the plan generator to the
+/// same optimum (pruning only removes irrelevant information).
+#[test]
+fn pruning_does_not_change_the_optimal_plan() {
+    for seed in 0..5u64 {
+        let (catalog, query) = random_query(&RandomQueryConfig {
+            num_relations: 6,
+            extra_edges: 1,
+            seed,
+        });
+        let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
+        let pruned = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        let raw = OrderingFramework::prepare(&ex.spec, PruneConfig::none()).unwrap();
+        let a = PlanGen::new(&catalog, &query, &ex, &pruned).run();
+        let b = PlanGen::new(&catalog, &query, &ex, &raw).run();
+        assert!(
+            (a.cost - b.cost).abs() / a.cost.max(1.0) < 1e-9,
+            "seed {seed}: {} vs {}",
+            a.cost,
+            b.cost
+        );
+    }
+}
+
+/// Q8 end to end: valid complete plan covering all eight relations, the
+/// final operator chain honors the group-by/order-by requirement, and
+/// the DFSM framework uses far less memory.
+#[test]
+fn q8_end_to_end() {
+    let (catalog, query) = q8_query();
+    let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
+    let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+    let result = PlanGen::new(&catalog, &query, &ex, &fw).run();
+
+    let root = result.arena.node(result.best);
+    assert_eq!(root.mask, query.all_relations_mask(), "covers all 8 relations");
+    assert!(result.cost.is_finite() && result.cost > 0.0);
+
+    // The root's order state must satisfy (o_year).
+    let o_year = catalog.attr("o_year");
+    let h = fw
+        .handle(&ofw::core::Ordering::new(vec![o_year]))
+        .expect("(o_year) is interesting");
+    assert!(fw.satisfies(root.state, h), "output is grouped by o_year");
+
+    // The plan tree is well-formed: 8 leaves, 7 joins, possibly sorts.
+    let mut leaves = 0;
+    let mut joins = 0;
+    let mut stack = vec![result.best];
+    while let Some(p) = stack.pop() {
+        match &result.arena.node(p).op {
+            PlanOp::Scan { .. } | PlanOp::IndexScan { .. } => leaves += 1,
+            PlanOp::Sort { input, .. } | PlanOp::Aggregate { input, .. } => stack.push(*input),
+            PlanOp::MergeJoin { left, right, .. }
+            | PlanOp::HashJoin { left, right, .. }
+            | PlanOp::NestedLoopJoin { left, right } => {
+                joins += 1;
+                stack.push(*left);
+                stack.push(*right);
+            }
+        }
+    }
+    assert_eq!(leaves, 8);
+    assert_eq!(joins, 7);
+
+    let simmen_fw = SimmenFramework::prepare(&ex.spec);
+    let simmen = PlanGen::new(&catalog, &query, &ex, &simmen_fw).run();
+    assert!(
+        result.stats.memory_bytes * 2 < simmen.stats.memory_bytes,
+        "DFSM memory {} should be well under half of Simmen's {}",
+        result.stats.memory_bytes,
+        simmen.stats.memory_bytes
+    );
+}
+
+/// The prepared framework for a query is reusable across plan-generation
+/// runs (the preparation step is per query, not per plan).
+#[test]
+fn framework_is_reusable() {
+    let (catalog, query) = q8_query();
+    let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
+    let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+    let a = PlanGen::new(&catalog, &query, &ex, &fw).run();
+    let b = PlanGen::new(&catalog, &query, &ex, &fw).run();
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.stats.plans, b.stats.plans);
+}
