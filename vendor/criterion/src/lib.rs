@@ -1,0 +1,228 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the subset of criterion 0.5's API the workspace benches use
+//! ([`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`]) backed by a simple wall-clock harness: a short
+//! warm-up, then timed batches, then a `median / mean / total iters`
+//! report per benchmark. No statistics beyond that — swap in the real
+//! criterion when the registry is reachable to get its full analysis.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported with criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in only uses this
+/// to pick the number of routine calls per timed batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many calls per batch.
+    SmallInput,
+    /// Large inputs: few calls per batch.
+    LargeInput,
+    /// One call per batch.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// The benchmark context handed to `bench_function` closures.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(150),
+            measure: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints a one-line report.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            samples: Vec::new(),
+            total_iters: 0,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    /// Per-iteration wall-clock samples, in nanoseconds.
+    samples: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` in adaptively sized batches.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch costs ≳ 1/20 of the measurement budget.
+        let mut batch: u64 = 1;
+        let warm_deadline = Instant::now() + self.warm_up;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if Instant::now() >= warm_deadline {
+                if dt < self.measure / 20 {
+                    batch = batch.saturating_mul(2);
+                }
+                break;
+            }
+            if dt < self.measure / 20 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / batch as f64);
+            self.total_iters += batch;
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch = size.batch_len();
+
+        let warm_deadline = Instant::now() + self.warm_up;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = t0.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / batch as f64);
+            self.total_iters += batch as u64;
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{id:<40} median {:>12} mean {:>12} ({} iters)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            self.total_iters
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(20),
+        };
+        c.bench_function("smoke/iter", |b| b.iter(|| black_box(2u64).pow(10)));
+        c.bench_function("smoke/iter_batched", |b| {
+            b.iter_batched(
+                || vec![3u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1_200.0), "1.20 µs");
+        assert_eq!(fmt_ns(1_200_000.0), "1.20 ms");
+        assert_eq!(fmt_ns(1_200_000_000.0), "1.20 s");
+    }
+}

@@ -1,0 +1,61 @@
+//! Test configuration and the deterministic RNG behind strategies.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` block configuration (`ProptestConfig` in the
+/// prelude). Only `cases` is honoured by the stand-in.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream proptest's default case count.
+        Config { cases: 256 }
+    }
+}
+
+/// The RNG handed to [`Strategy::generate`](crate::strategy::Strategy::generate).
+///
+/// Seeded from the test's name, so every run of a given test sees the
+/// same case sequence and failures reproduce without seed persistence.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// An RNG deterministically derived from `label` (FNV-1a).
+    pub fn deterministic(label: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in label.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Uniform `usize` in `[lo, hi]`.
+    pub fn gen_usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.rng.next_u64() % span) as usize
+    }
+
+    /// The underlying `rand` generator, for range sampling.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
