@@ -12,7 +12,13 @@ use ofw_query::{ExtractedQuery, Query};
 use ofw_simmen::SimmenFramework;
 use ofw_workload::{q8_query, random_query, RandomQueryConfig};
 
-fn bench_pair(c: &mut Criterion, label: &str, catalog: &Catalog, query: &Query, ex: &ExtractedQuery) {
+fn bench_pair(
+    c: &mut Criterion,
+    label: &str,
+    catalog: &Catalog,
+    query: &Query,
+    ex: &ExtractedQuery,
+) {
     c.bench_function(&format!("plangen/{label}/dfsm"), |b| {
         b.iter(|| {
             let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();

@@ -9,16 +9,76 @@ fn main() {
     let none = PruneConfig::none();
     let variants: Vec<(&str, PruneConfig)> = vec![
         ("none", none.clone()),
-        ("only fd-pruning", PruneConfig { prune_fds: true, ..none.clone() }),
-        ("only merge", PruneConfig { merge_artificial: true, ..none.clone() }),
-        ("only eps-replace", PruneConfig { eps_replace: true, ..none.clone() }),
-        ("only prefix-filter", PruneConfig { prefix_filter: true, ..none.clone() }),
-        ("only length-cutoff", PruneConfig { length_cutoff: true, ..none.clone() }),
-        ("all minus fd-pruning", PruneConfig { prune_fds: false, ..all.clone() }),
-        ("all minus merge", PruneConfig { merge_artificial: false, ..all.clone() }),
-        ("all minus eps-replace", PruneConfig { eps_replace: false, ..all.clone() }),
-        ("all minus prefix-filter", PruneConfig { prefix_filter: false, ..all.clone() }),
-        ("all minus length-cutoff", PruneConfig { length_cutoff: false, ..all.clone() }),
+        (
+            "only fd-pruning",
+            PruneConfig {
+                prune_fds: true,
+                ..none.clone()
+            },
+        ),
+        (
+            "only merge",
+            PruneConfig {
+                merge_artificial: true,
+                ..none.clone()
+            },
+        ),
+        (
+            "only eps-replace",
+            PruneConfig {
+                eps_replace: true,
+                ..none.clone()
+            },
+        ),
+        (
+            "only prefix-filter",
+            PruneConfig {
+                prefix_filter: true,
+                ..none.clone()
+            },
+        ),
+        (
+            "only length-cutoff",
+            PruneConfig {
+                length_cutoff: true,
+                ..none.clone()
+            },
+        ),
+        (
+            "all minus fd-pruning",
+            PruneConfig {
+                prune_fds: false,
+                ..all.clone()
+            },
+        ),
+        (
+            "all minus merge",
+            PruneConfig {
+                merge_artificial: false,
+                ..all.clone()
+            },
+        ),
+        (
+            "all minus eps-replace",
+            PruneConfig {
+                eps_replace: false,
+                ..all.clone()
+            },
+        ),
+        (
+            "all minus prefix-filter",
+            PruneConfig {
+                prefix_filter: false,
+                ..all.clone()
+            },
+        ),
+        (
+            "all minus length-cutoff",
+            PruneConfig {
+                length_cutoff: false,
+                ..all.clone()
+            },
+        ),
         ("all", all),
     ];
 

@@ -14,8 +14,17 @@ fn main() {
     println!();
     println!(
         "{:>2} {:>7} | {:>9} {:>9} {:>8} | {:>9} {:>9} {:>8} | {:>6} {:>8} {:>9}",
-        "n", "#Edges", "t(ms) S", "#Plans S", "t/p S", "t(ms) O", "#Plans O", "t/p O",
-        "% t", "% #Plans", "% t/plan"
+        "n",
+        "#Edges",
+        "t(ms) S",
+        "#Plans S",
+        "t/p S",
+        "t(ms) O",
+        "#Plans O",
+        "t/p O",
+        "% t",
+        "% #Plans",
+        "% t/plan"
     );
     for extra in 0..=2usize {
         let edge_label = ["n-1", "n", "n+1"][extra];

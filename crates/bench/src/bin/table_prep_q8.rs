@@ -15,10 +15,7 @@ fn main() {
     let (without, with) = ofw_bench::prep_q8();
     println!("TPC-R Query 8 — preparation step (paper §6.2)");
     println!();
-    println!(
-        "{:<22} {:>14} {:>14}",
-        "", "w/o pruning", "with pruning"
-    );
+    println!("{:<22} {:>14} {:>14}", "", "w/o pruning", "with pruning");
     println!(
         "{:<22} {:>8} nodes {:>8} nodes",
         "NFSM size", without.nfsm_nodes, with.nfsm_nodes
@@ -38,7 +35,5 @@ fn main() {
         "precomputed data", without.precomputed_bytes, with.precomputed_bytes
     );
     println!();
-    println!(
-        "paper: NFSM 376 -> 38, DFSM 80 -> 24, time 16ms -> 0.2ms, bytes 3040 -> 912"
-    );
+    println!("paper: NFSM 376 -> 38, DFSM 80 -> 24, time 16ms -> 0.2ms, bytes 3040 -> 912");
 }

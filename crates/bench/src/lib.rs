@@ -96,12 +96,7 @@ pub fn run_simmen(catalog: &Catalog, query: &Query, ex: &ExtractedQuery) -> Plan
     finish_row(&fw, t0, result.stats, result.cost)
 }
 
-fn finish_row<O: OrderOracle>(
-    fw: &O,
-    t0: Instant,
-    stats: PlanGenStats,
-    best_cost: f64,
-) -> PlanRow {
+fn finish_row<O: OrderOracle>(fw: &O, t0: Instant, stats: PlanGenStats, best_cost: f64) -> PlanRow {
     let time = t0.elapsed();
     PlanRow {
         framework: fw.name(),

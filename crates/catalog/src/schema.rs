@@ -47,12 +47,7 @@ impl Catalog {
     /// Attribute names are qualified as `"<rel>.<attr>"` in the global
     /// name map, so the same column name may appear in several relations.
     /// Unqualified names also resolve when unambiguous.
-    pub fn add_relation(
-        &mut self,
-        name: &str,
-        cardinality: f64,
-        attr_names: &[&str],
-    ) -> RelId {
+    pub fn add_relation(&mut self, name: &str, cardinality: f64, attr_names: &[&str]) -> RelId {
         assert!(
             !self.rel_by_name.contains_key(name),
             "duplicate relation {name}"
@@ -63,8 +58,7 @@ impl Catalog {
             let attr_id = AttrId(u32::try_from(self.attr_names.len()).expect("too many attrs"));
             self.attr_names.push(format!("{name}.{attr}"));
             self.attr_rel.push(rel_id);
-            self.attr_by_name
-                .insert(format!("{name}.{attr}"), attr_id);
+            self.attr_by_name.insert(format!("{name}.{attr}"), attr_id);
             // Unqualified alias: first writer wins; ambiguous names must be
             // qualified by callers.
             self.attr_by_name
@@ -85,7 +79,9 @@ impl Catalog {
     /// Registers an index on `rel`.
     pub fn add_index(&mut self, rel: RelId, key: Vec<AttrId>, clustered: bool) {
         assert!(!key.is_empty(), "index key must be non-empty");
-        self.relations[rel.index()].indexes.push(Index { key, clustered });
+        self.relations[rel.index()]
+            .indexes
+            .push(Index { key, clustered });
     }
 
     /// Resolves a relation by name.

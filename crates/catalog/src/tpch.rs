@@ -55,8 +55,16 @@ pub fn tpch_q8_catalog() -> Catalog {
         &["o_orderkey", "o_custkey", "o_orderdate", "o_year"],
     );
     c.add_relation("customer", 150_000.0, &["c_custkey", "c_nationkey"]);
-    c.add_relation("nation1", 25.0, &["n1_nationkey", "n1_name", "n1_regionkey"]);
-    c.add_relation("nation2", 25.0, &["n2_nationkey", "n2_name", "n2_regionkey"]);
+    c.add_relation(
+        "nation1",
+        25.0,
+        &["n1_nationkey", "n1_name", "n1_regionkey"],
+    );
+    c.add_relation(
+        "nation2",
+        25.0,
+        &["n2_nationkey", "n2_name", "n2_regionkey"],
+    );
     c.add_relation("region", 5.0, &["r_regionkey", "r_name"]);
 
     // Primary-key indexes (clustered), as any TPC system would have.

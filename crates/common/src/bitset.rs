@@ -105,9 +105,10 @@ impl BitSet {
 
     /// Iterates set elements in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
-            BlockBits { block }.map(move |bit| bi * 64 + bit)
-        })
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, &block)| BlockBits { block }.map(move |bit| bi * 64 + bit))
     }
 
     /// Removes all elements, keeping the universe size.

@@ -76,7 +76,13 @@ impl<'a> DeriveCtx<'a> {
     }
 
     /// Insertion rule: add `rhs` at any position after all of `lhs`.
-    fn insertions(&self, o: &Ordering, lhs: &[ofw_catalog::AttrId], rhs: ofw_catalog::AttrId, out: &mut Vec<Ordering>) {
+    fn insertions(
+        &self,
+        o: &Ordering,
+        lhs: &[ofw_catalog::AttrId],
+        rhs: ofw_catalog::AttrId,
+        out: &mut Vec<Ordering>,
+    ) {
         if o.contains_attr(rhs) {
             return;
         }
@@ -110,7 +116,13 @@ impl<'a> DeriveCtx<'a> {
     /// of its equal partner already tied), so it may be dropped — e.g.
     /// `(a,b)` under `a = b` also satisfies `(a)`, and transitively
     /// `(b)` and `(b,a)`.
-    fn substitutions(&self, o: &Ordering, from: ofw_catalog::AttrId, to: ofw_catalog::AttrId, out: &mut Vec<Ordering>) {
+    fn substitutions(
+        &self,
+        o: &Ordering,
+        from: ofw_catalog::AttrId,
+        to: ofw_catalog::AttrId,
+        out: &mut Vec<Ordering>,
+    ) {
         let Some(pos) = o.position(from) else {
             return;
         };

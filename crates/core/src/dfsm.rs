@@ -321,8 +321,12 @@ mod tests {
                     sr = raw.step(sr, sym);
                 }
                 for ord in [o(&[A]), o(&[B]), o(&[A, B]), o(&[A, B, C])] {
-                    let cp = pruned.contains.get(sp as usize, pruned.order_columns[&ord] as usize);
-                    let cr = raw.contains.get(sr as usize, raw.order_columns[&ord] as usize);
+                    let cp = pruned
+                        .contains
+                        .get(sp as usize, pruned.order_columns[&ord] as usize);
+                    let cr = raw
+                        .contains
+                        .get(sr as usize, raw.order_columns[&ord] as usize);
                     assert_eq!(cp, cr, "order {ord:?} after {syms:?} from {start_order:?}");
                 }
             }

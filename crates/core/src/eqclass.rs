@@ -105,9 +105,7 @@ mod tests {
 
     #[test]
     fn from_fds_only_uses_equations() {
-        let fds = [Fd::equation(A, B),
-            Fd::functional(&[C], D),
-            Fd::constant(C)];
+        let fds = [Fd::equation(A, B), Fd::functional(&[C], D), Fd::constant(C)];
         let eq = EqClasses::from_fds(fds.iter());
         assert!(eq.same(A, B));
         assert!(!eq.same(C, D));

@@ -137,9 +137,7 @@ impl PrefixFilter {
 
         // strippable[i]: candidate attr i is removable given what
         // precedes it.
-        let prefix_reps = |i: usize| -> FxHashSet<AttrId> {
-            cand[..i].iter().copied().collect()
-        };
+        let prefix_reps = |i: usize| -> FxHashSet<AttrId> { cand[..i].iter().copied().collect() };
         let strippable: Vec<bool> = cand
             .iter()
             .enumerate()
@@ -392,6 +390,10 @@ mod tests {
     fn disabled_filter_allows_everything() {
         let eq = EqClasses::new();
         let f = PrefixFilter::new([o(&[A])].iter(), &[], &eq, false);
-        assert_eq!(f.admitted_len(&[C, D], &eq, 7), 7, "disabled filter returns the cap");
+        assert_eq!(
+            f.admitted_len(&[C, D], &eq, 7),
+            7,
+            "disabled filter returns the cap"
+        );
     }
 }

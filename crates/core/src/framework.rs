@@ -321,9 +321,6 @@ mod tests {
         assert!(st.nfsm_nodes <= st.nfsm_nodes_before_prune);
         assert!(st.precomputed_bytes > 0);
         // Memory: O(1) per plan node.
-        assert_eq!(
-            fw.memory_bytes(1000) - fw.memory_bytes(0),
-            4000
-        );
+        assert_eq!(fw.memory_bytes(1000) - fw.memory_bytes(0), 4000);
     }
 }

@@ -236,10 +236,7 @@ impl Nfsm {
             }
         }
         let map_list = |list: &[NodeId]| -> Vec<NodeId> {
-            let mut v: Vec<NodeId> = list
-                .iter()
-                .filter_map(|&t| remap[t as usize])
-                .collect();
+            let mut v: Vec<NodeId> = list.iter().filter_map(|&t| remap[t as usize]).collect();
             v.sort_unstable();
             v.dedup();
             v

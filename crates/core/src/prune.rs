@@ -298,10 +298,7 @@ fn eps_replace_once(nfsm: &mut Nfsm) -> bool {
             // state, since ε-closure pulls them in).
             let mine = &nfsm.edges[node as usize][sym];
             let subsumed = mine.iter().all(|t| {
-                *t == node
-                    || eps
-                        .iter()
-                        .any(|&p| nfsm.edges[p as usize][sym].contains(t))
+                *t == node || eps.iter().any(|&p| nfsm.edges[p as usize][sym].contains(t))
             });
             if !subsumed {
                 continue 'nodes;
@@ -468,9 +465,7 @@ mod tests {
         spec.add_tested(o(&[A, B]));
         spec.add_fd_set(vec![Fd::functional(&[A], D)]);
         spec.add_fd_set(vec![Fd::equation(D, B)]);
-        let eq = EqClasses::from_fds(
-            spec.fd_sets().iter().flat_map(|s| s.fds().iter()),
-        );
+        let eq = EqClasses::from_fds(spec.fd_sets().iter().flat_map(|s| s.fds().iter()));
         let (sets, _) = prune_fds(&spec, &eq, &PruneConfig::default());
         assert_eq!(sets[0].len(), 1, "a→d must be kept");
         assert_eq!(sets[1].len(), 1, "d=b must be kept");

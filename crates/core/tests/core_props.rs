@@ -32,10 +32,9 @@ fn arb_fd() -> impl Strategy<Value = Fd> {
     prop_oneof![
         (arb_attr(), arb_attr())
             .prop_filter_map("trivial", |(a, b)| (a != b).then(|| Fd::equation(a, b))),
-        (proptest::collection::vec(arb_attr(), 1..=2), arb_attr()).prop_filter_map(
-            "trivial",
-            |(lhs, rhs)| (!lhs.contains(&rhs)).then(|| Fd::functional(&lhs, rhs))
-        ),
+        (proptest::collection::vec(arb_attr(), 1..=2), arb_attr())
+            .prop_filter_map("trivial", |(lhs, rhs)| (!lhs.contains(&rhs))
+                .then(|| Fd::functional(&lhs, rhs))),
         arb_attr().prop_map(Fd::constant),
     ]
 }

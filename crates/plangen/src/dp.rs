@@ -138,10 +138,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             let mut s1 = (mask - 1) & mask;
             while s1 != 0 {
                 let s2 = mask & !s1;
-                if s2 != 0
-                    && self.table.contains_key(&s1)
-                    && self.table.contains_key(&s2)
-                {
+                if s2 != 0 && self.table.contains_key(&s1) && self.table.contains_key(&s2) {
                     self.emit_joins(s1, s2, &mut set);
                 }
                 s1 = (s1 - 1) & mask;
@@ -328,7 +325,10 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 self.insert_pruned(set, hj);
                 // Nested-loop join.
                 let nl = self.arena.push(PlanNode {
-                    op: PlanOp::NestedLoopJoin { left: p1, right: p2 },
+                    op: PlanOp::NestedLoopJoin {
+                        left: p1,
+                        right: p2,
+                    },
                     mask,
                     cost: c1 + c2 + cost::nested_loop_join(d1, d2, out_card),
                     card: out_card,
@@ -384,12 +384,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     fn add_sorted_variants(&mut self, mask: u64, set: &mut Vec<PlanId>) {
         let Some(&cheapest) = set
             .iter()
-            .min_by(|&&a, &&b| {
-                self.arena
-                    .node(a)
-                    .cost
-                    .total_cmp(&self.arena.node(b).cost)
-            })
+            .min_by(|&&a, &&b| self.arena.node(a).cost.total_cmp(&self.arena.node(b).cost))
         else {
             return;
         };
@@ -489,7 +484,10 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         self.arena.push(PlanNode {
             op: PlanOp::Sort {
                 input: p,
-                key: required.expect("sort implies a requirement").attrs().to_vec(),
+                key: required
+                    .expect("sort implies a requirement")
+                    .attrs()
+                    .to_vec(),
             },
             mask: self.arena.node(p).mask,
             cost: total,
@@ -545,8 +543,12 @@ mod tests {
         let simmen = run_simmen(&c, &q);
         // §7: "we carefully observed that in all cases both order
         // optimization algorithms produced the same optimal plan".
-        assert!((ours.cost - simmen.cost).abs() < 1e-6,
-            "ours={} simmen={}", ours.cost, simmen.cost);
+        assert!(
+            (ours.cost - simmen.cost).abs() < 1e-6,
+            "ours={} simmen={}",
+            ours.cost,
+            simmen.cost
+        );
         assert!(ours.stats.plans > 0);
     }
 
@@ -595,16 +597,18 @@ mod tests {
                     stack.push(*right);
                 }
                 PlanOp::Sort { input, .. } => stack.push(*input),
-                PlanOp::HashJoin { left, right, .. }
-                | PlanOp::NestedLoopJoin { left, right } => {
+                PlanOp::HashJoin { left, right, .. } | PlanOp::NestedLoopJoin { left, right } => {
                     stack.push(*left);
                     stack.push(*right);
                 }
                 _ => {}
             }
         }
-        assert!(found_merge, "expected a merge join:\n{}",
-            r.arena.render(r.best, &|i| format!("r{i}")));
+        assert!(
+            found_merge,
+            "expected a merge join:\n{}",
+            r.arena.render(r.best, &|i| format!("r{i}"))
+        );
     }
 
     #[test]

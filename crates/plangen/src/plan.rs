@@ -124,7 +124,12 @@ impl<S: Copy> PlanArena<S> {
         let indent = "  ".repeat(depth);
         match &n.op {
             PlanOp::Scan { qrel } => {
-                let _ = writeln!(out, "{indent}Scan({}) cost={:.0}", relation_name(*qrel), n.cost);
+                let _ = writeln!(
+                    out,
+                    "{indent}Scan({}) cost={:.0}",
+                    relation_name(*qrel),
+                    n.cost
+                );
             }
             PlanOp::IndexScan { qrel, index } => {
                 let _ = writeln!(
@@ -183,7 +188,9 @@ mod tests {
 
     fn leaf(mask: u64) -> PlanNode<u32> {
         PlanNode {
-            op: PlanOp::Scan { qrel: mask.trailing_zeros() as usize },
+            op: PlanOp::Scan {
+                qrel: mask.trailing_zeros() as usize,
+            },
             mask,
             cost: 10.0,
             card: 10.0,
@@ -209,7 +216,11 @@ mod tests {
         let l = a.push(leaf(1));
         let r = a.push(leaf(2));
         let j = a.push(PlanNode {
-            op: PlanOp::MergeJoin { left: l, right: r, edge: 0 },
+            op: PlanOp::MergeJoin {
+                left: l,
+                right: r,
+                edge: 0,
+            },
             mask: 3,
             cost: 30.0,
             card: 5.0,
@@ -217,7 +228,10 @@ mod tests {
             applied_fds: 1,
         });
         let s = a.push(PlanNode {
-            op: PlanOp::Sort { input: j, key: vec![] },
+            op: PlanOp::Sort {
+                input: j,
+                key: vec![],
+            },
             mask: 3,
             cost: 60.0,
             card: 5.0,

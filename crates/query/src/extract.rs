@@ -185,10 +185,7 @@ mod tests {
             .build();
         let ex = extract(&c, &q, &ExtractOptions::default());
         let g = c.attr("t.g");
-        assert!(ex
-            .spec
-            .produced()
-            .contains(&Ordering::new(vec![g])));
+        assert!(ex.spec.produced().contains(&Ordering::new(vec![g])));
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl SimmenFramework {
         let mut orders: Vec<Ordering> = Vec::new();
         let mut order_keys = FxHashMap::default();
         let mut producible = Vec::new();
-        let add = |o: &Ordering, prod: bool, orders: &mut Vec<Ordering>, producible: &mut Vec<bool>, order_keys: &mut FxHashMap<Ordering, SimmenOrderKey>| {
+        let add = |o: &Ordering,
+                   prod: bool,
+                   orders: &mut Vec<Ordering>,
+                   producible: &mut Vec<bool>,
+                   order_keys: &mut FxHashMap<Ordering, SimmenOrderKey>| {
             if let Some(k) = order_keys.get(o) {
                 let SimmenOrderKey(i) = *k;
                 producible[i as usize] = producible[i as usize] || prod;
@@ -206,8 +210,8 @@ fn reduced(caches: &mut Caches, phys: u32, env: FdEnvId) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ofw_core::fd::Fd;
     use ofw_catalog::AttrId;
+    use ofw_core::fd::Fd;
 
     const A: AttrId = AttrId(0);
     const B: AttrId = AttrId(1);
@@ -268,7 +272,7 @@ mod tests {
     }
 
     #[test]
-    fn reduce_cache_fills_and_memory_is_accounted(){
+    fn reduce_cache_fills_and_memory_is_accounted() {
         let (spec, f_bc, _) = running_example();
         let fw = SimmenFramework::prepare(&spec);
         let k_ab = fw.key(&o(&[A, B])).unwrap();

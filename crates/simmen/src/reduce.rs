@@ -25,10 +25,10 @@
 //! quality for Simmen's side, not correctness.
 
 use ofw_catalog::AttrId;
+use ofw_common::FxHashSet;
 use ofw_core::eqclass::EqClasses;
 use ofw_core::fd::Fd;
 use ofw_core::ordering::Ordering;
-use ofw_common::FxHashSet;
 
 /// Reduces `o` under the dependencies `fds` (deterministic order: the
 /// slice order, each applied to a fixpoint).
@@ -66,9 +66,7 @@ pub fn reduce(o: &Ordering, fds: &[Fd]) -> Ordering {
             // re-scan after each removal until this FD is exhausted.
             while let Some(pos) = attrs.iter().position(|&a| a == rhs_rep) {
                 let before = &attrs[..pos];
-                let implied = lhs
-                    .iter()
-                    .all(|&l| before.contains(&eq.find(l)));
+                let implied = lhs.iter().all(|&l| before.contains(&eq.find(l)));
                 if implied {
                     attrs.remove(pos);
                     changed = true;
@@ -161,11 +159,7 @@ mod tests {
 
     #[test]
     fn reduction_is_idempotent() {
-        let fds = [
-            Fd::functional(&[A], B),
-            Fd::equation(B, C),
-            Fd::constant(X),
-        ];
+        let fds = [Fd::functional(&[A], B), Fd::equation(B, C), Fd::constant(X)];
         for ord in [o(&[A, B, C, X]), o(&[C, A]), o(&[X]), o(&[B, A])] {
             let once = reduce(&ord, &fds);
             assert_eq!(reduce(&once, &fds), once, "input {ord:?}");

@@ -27,10 +27,9 @@ fn arb_fds() -> impl Strategy<Value = Vec<Fd>> {
         prop_oneof![
             (arb_attr(), arb_attr())
                 .prop_filter_map("trivial", |(a, b)| (a != b).then(|| Fd::equation(a, b))),
-            (proptest::collection::vec(arb_attr(), 1..=2), arb_attr()).prop_filter_map(
-                "trivial",
-                |(lhs, rhs)| (!lhs.contains(&rhs)).then(|| Fd::functional(&lhs, rhs))
-            ),
+            (proptest::collection::vec(arb_attr(), 1..=2), arb_attr())
+                .prop_filter_map("trivial", |(lhs, rhs)| (!lhs.contains(&rhs))
+                    .then(|| Fd::functional(&lhs, rhs))),
             arb_attr().prop_map(Fd::constant),
         ],
         0..=4,

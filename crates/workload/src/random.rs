@@ -55,12 +55,12 @@ pub fn random_query(config: &RandomQueryConfig) -> (Catalog, Query) {
 
     let mut adjacent = vec![false; n * n];
     let add_edge = |query: &mut Query,
-                        catalog: &Catalog,
-                        degree_used: &mut Vec<usize>,
-                        adjacent: &mut Vec<bool>,
-                        rng: &mut StdRng,
-                        a: usize,
-                        b: usize| {
+                    catalog: &Catalog,
+                    degree_used: &mut Vec<usize>,
+                    adjacent: &mut Vec<bool>,
+                    rng: &mut StdRng,
+                    a: usize,
+                    b: usize| {
         let left = next_attr(catalog, degree_used, a);
         let right = next_attr(catalog, degree_used, b);
         // Key/foreign-key-flavored selectivity.

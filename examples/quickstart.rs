@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use ofw::core::{Fd, InputSpec, Ordering, OrderingFramework, PruneConfig};
 use ofw::catalog::AttrId;
+use ofw::core::{Fd, InputSpec, Ordering, OrderingFramework, PruneConfig};
 
 fn main() {
     let [a, b, c, d] = [AttrId(0), AttrId(1), AttrId(2), AttrId(3)];
@@ -27,8 +27,14 @@ fn main() {
     let stats = fw.stats();
     println!("== preparation (paper Fig. 3) ==");
     println!("NFSM nodes:        {}", stats.nfsm_nodes);
-    println!("DFSM states:       {} (Fig. 8 has 3 + our explicit empty state)", stats.dfsm_states);
-    println!("pruned FDs:        {} ({{b->d}} can never matter)", stats.pruned_fds);
+    println!(
+        "DFSM states:       {} (Fig. 8 has 3 + our explicit empty state)",
+        stats.dfsm_states
+    );
+    println!(
+        "pruned FDs:        {} ({{b->d}} can never matter)",
+        stats.pruned_fds
+    );
     println!("precomputed bytes: {}", stats.precomputed_bytes);
     println!("prep time:         {:?}", stats.prep_time);
     println!();

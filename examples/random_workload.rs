@@ -17,7 +17,10 @@ fn main() {
     let extra: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     let queries: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
 
-    println!("random queries: {n} relations, {} edges, {queries} seeds", n - 1 + extra);
+    println!(
+        "random queries: {n} relations, {} edges, {queries} seeds",
+        n - 1 + extra
+    );
     println!();
     println!(
         "{:>4} | {:>9} {:>9} | {:>9} {:>9} | {:>7} {:>9}",

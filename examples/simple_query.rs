@@ -69,12 +69,7 @@ fn main() {
     let s = fw.infer(s, ex.join_fd[0]);
     let pjobid = catalog.attr("persons.jobid");
     let pname = catalog.attr("persons.name");
-    for probe in [
-        vec![jid],
-        vec![pjobid],
-        vec![jid, pname],
-        vec![pjobid, jid],
-    ] {
+    for probe in [vec![jid], vec![pjobid], vec![jid, pname], vec![pjobid, jid]] {
         if let Some(h) = fw.handle(&ofw::core::Ordering::new(probe.clone())) {
             println!(
                 "  after id=jobid, scan(jobs.id) satisfies {}: {}",
@@ -87,7 +82,10 @@ fn main() {
 
     // Full plan generation.
     let result = PlanGen::new(&catalog, &query, &ex, &fw).run();
-    println!("== winning plan (cost {:.0}, {} subplans explored) ==", result.cost, result.stats.plans);
+    println!(
+        "== winning plan (cost {:.0}, {} subplans explored) ==",
+        result.cost, result.stats.plans
+    );
     let names = |q: usize| catalog.relation(query.relations[q]).name.clone();
     print!("{}", result.arena.render(result.best, &names));
 }

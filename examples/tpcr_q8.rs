@@ -44,16 +44,28 @@ fn main() {
     let ours = PlanGen::new(&catalog, &query, &ex, &ours_fw).run();
     let t_ours = t0.elapsed();
 
-    assert!((simmen.cost - ours.cost).abs() / ours.cost < 1e-9,
-        "both frameworks must find the same optimal plan");
+    assert!(
+        (simmen.cost - ours.cost).abs() / ours.cost < 1e-9,
+        "both frameworks must find the same optimal plan"
+    );
 
     println!("{:<12} {:>10} {:>10}", "", "simmen", "ours");
-    println!("{:<12} {:>10.2} {:>10.2}", "t (ms)",
-        t_simmen.as_secs_f64() * 1e3, t_ours.as_secs_f64() * 1e3);
-    println!("{:<12} {:>10} {:>10}", "#Plans", simmen.stats.plans, ours.stats.plans);
-    println!("{:<12} {:>10.1} {:>10.1}", "Memory (KB)",
+    println!(
+        "{:<12} {:>10.2} {:>10.2}",
+        "t (ms)",
+        t_simmen.as_secs_f64() * 1e3,
+        t_ours.as_secs_f64() * 1e3
+    );
+    println!(
+        "{:<12} {:>10} {:>10}",
+        "#Plans", simmen.stats.plans, ours.stats.plans
+    );
+    println!(
+        "{:<12} {:>10.1} {:>10.1}",
+        "Memory (KB)",
         simmen.stats.memory_bytes as f64 / 1024.0,
-        ours.stats.memory_bytes as f64 / 1024.0);
+        ours.stats.memory_bytes as f64 / 1024.0
+    );
     println!();
 
     println!("== winning plan ==");

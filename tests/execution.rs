@@ -28,8 +28,7 @@ fn claimed_orderings_hold_physically_on_random_queries() {
                     seed,
                 });
                 let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
-                let fw =
-                    OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+                let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
                 let result = PlanGen::new(&catalog, &query, &ex, &fw).run();
 
                 let data = synthetic_data(&catalog, &query, 8, 4, seed.wrapping_mul(31) + 7);

@@ -40,7 +40,11 @@ fn fig1_2_nfsm_and_dfsm_for_abc_with_b_to_d() {
         );
     }
     // The DFSM of Fig. 2: start + {a,ab,abc} + the merged d-state.
-    assert_eq!(fw.stats().dfsm_states, 3, "empty + the two states of Fig. 2");
+    assert_eq!(
+        fw.stats().dfsm_states,
+        3,
+        "empty + the two states of Fig. 2"
+    );
     let s1 = fw.produce(fw.handle(&o(&[A, B, C])).unwrap());
     let s2 = fw.infer(s1, f_bd);
     assert_ne!(s1, s2);
@@ -69,8 +73,14 @@ fn fig4_to_10_running_example() {
     for node in [o(&[A]), o(&[B]), o(&[A, B]), o(&[A, B, C])] {
         assert!(fw.nfsm().node_of(&node).is_some());
     }
-    assert!(fw.nfsm().node_of(&o(&[B, C])).is_none(), "(b,c) pruned (Fig. 6)");
-    assert!(fw.nfsm().node_of(&o(&[A, B, D])).is_none(), "{{b→d}} pruned");
+    assert!(
+        fw.nfsm().node_of(&o(&[B, C])).is_none(),
+        "(b,c) pruned (Fig. 6)"
+    );
+    assert!(
+        fw.nfsm().node_of(&o(&[A, B, D])).is_none(),
+        "{{b→d}} pruned"
+    );
 
     // Fig. 8: 3 DFSM states (+ our explicit empty state).
     assert_eq!(fw.stats().dfsm_states, 4);
@@ -81,7 +91,14 @@ fn fig4_to_10_running_example() {
     let s1 = fw.produce(h_b); // node 1 = {(b)}
     let s2 = fw.produce(h_ab); // node 2 = {(a),(a,b)}
     let s3 = fw.infer(s2, f_bc); // node 3 = {(a),(a,b),(a,b,c)}
-    let row = |s| [fw.satisfies(s, h_a), fw.satisfies(s, h_ab), fw.satisfies(s, h_abc), fw.satisfies(s, h_b)];
+    let row = |s| {
+        [
+            fw.satisfies(s, h_a),
+            fw.satisfies(s, h_ab),
+            fw.satisfies(s, h_abc),
+            fw.satisfies(s, h_b),
+        ]
+    };
     assert_eq!(row(s1), [false, false, false, true], "Fig. 9 row 1");
     assert_eq!(row(s2), [true, true, false, false], "Fig. 9 row 2");
     assert_eq!(row(s3), [true, true, true, false], "Fig. 9 row 3");
@@ -142,7 +159,10 @@ fn fig11_12_simple_query() {
     assert!(fw.satisfies(s, h_id));
     assert!(!fw.satisfies(s, h_jobid), "before the equation");
     let s = fw.infer(s, ex.join_fd[0]);
-    assert!(fw.satisfies(s, h_jobid), "after the equation (Fig. 11 edge)");
+    assert!(
+        fw.satisfies(s, h_jobid),
+        "after the equation (Fig. 11 edge)"
+    );
 
     // Fig. 12's big state: sorted by (id,name) + equation satisfies the
     // order-by and all single-attribute join orders at once.
@@ -182,7 +202,9 @@ fn section2_constant_example_via_dfsm() {
         o(&[A, B]),
         o(&[A]),
     ] {
-        let h = fw.handle(&probe).unwrap_or_else(|| panic!("{probe:?} not interesting"));
+        let h = fw
+            .handle(&probe)
+            .unwrap_or_else(|| panic!("{probe:?} not interesting"));
         assert!(fw.satisfies(s, h), "{probe:?} must hold");
     }
 }

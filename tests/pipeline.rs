@@ -22,8 +22,7 @@ fn both_frameworks_agree_on_optimal_cost_across_seeds() {
                 });
                 let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
 
-                let ours_fw =
-                    OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+                let ours_fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
                 let ours = PlanGen::new(&catalog, &query, &ex, &ours_fw).run();
 
                 let simmen_fw = SimmenFramework::prepare(&ex.spec);
@@ -83,7 +82,11 @@ fn q8_end_to_end() {
     let result = PlanGen::new(&catalog, &query, &ex, &fw).run();
 
     let root = result.arena.node(result.best);
-    assert_eq!(root.mask, query.all_relations_mask(), "covers all 8 relations");
+    assert_eq!(
+        root.mask,
+        query.all_relations_mask(),
+        "covers all 8 relations"
+    );
     assert!(result.cost.is_finite() && result.cost > 0.0);
 
     // The root's order state must satisfy (o_year).
