@@ -28,7 +28,10 @@ fn bench_oracle<O: OrderOracle>(
     let keys: Vec<O::Key> = spec
         .produced()
         .iter()
-        .filter_map(|o| fw.resolve(o))
+        .filter_map(|p| match p {
+            ofw_core::LogicalProperty::Ordering(o) => fw.resolve(o),
+            ofw_core::LogicalProperty::Grouping(g) => fw.resolve_grouping(g),
+        })
         .collect();
     let producible: Vec<O::Key> = keys
         .iter()

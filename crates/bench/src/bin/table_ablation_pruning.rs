@@ -88,6 +88,7 @@ fn main() {
         "{:<26} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "configuration", "NFSM pre", "NFSM", "DFSM", "bytes", "time(ms)"
     );
+    let mut json_rows: Vec<String> = Vec::new();
     for (label, config) in variants {
         let row = ofw_bench::prep_q8_with(label, config);
         println!(
@@ -99,5 +100,9 @@ fn main() {
             row.precomputed_bytes,
             ofw_bench::ms(row.total_time)
         );
+        json_rows.push(ofw_bench::prep_row_json(&row).build());
     }
+    let path = ofw_bench::json::write_bench("table_ablation_pruning", json_rows)
+        .expect("write BENCH json");
+    println!("machine-readable: {}", path.display());
 }

@@ -1,0 +1,139 @@
+//! Minimal hand-rolled JSON emission for the table binaries.
+//!
+//! Every `table_*` binary prints a human-readable table to stdout *and*
+//! writes the same rows as `BENCH_<name>.json` into the current
+//! directory, so CI and scripts can track the perf trajectory without
+//! scraping the tables. No serde — the workspace is offline, and the
+//! payloads are flat.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Escapes a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one flat JSON object (insertion order preserved).
+#[derive(Default)]
+pub struct Obj {
+    parts: Vec<String>,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.parts
+            .push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+        self
+    }
+
+    /// Adds a numeric field (finite floats; integers pass through
+    /// losslessly up to 2^53).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.parts.push(format!("\"{}\":{rendered}", escape(key)));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn int(mut self, key: &str, value: usize) -> Self {
+        self.parts.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (nested object/array).
+    pub fn raw(mut self, key: &str, value: String) -> Self {
+        self.parts.push(format!("\"{}\":{value}", escape(key)));
+        self
+    }
+
+    /// Renders the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// Renders a JSON array from pre-rendered values.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Writes `BENCH_<name>.json` with `{"bench": name, "rows": rows}` into
+/// `dir` and returns the path.
+pub fn write_bench_in(
+    dir: &std::path::Path,
+    name: &str,
+    rows: Vec<String>,
+) -> std::io::Result<PathBuf> {
+    let payload = Obj::new()
+        .str("bench", name)
+        .raw("rows", array(&rows))
+        .build();
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(payload.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+/// [`write_bench_in`] targeting the current directory (what the table
+/// binaries use).
+pub fn write_bench(name: &str, rows: Vec<String>) -> std::io::Result<PathBuf> {
+    write_bench_in(std::path::Path::new("."), name, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_and_nesting() {
+        let obj = Obj::new()
+            .str("name", "a \"quoted\"\nvalue")
+            .num("x", 1.5)
+            .int("n", 42)
+            .raw("inner", array(&[Obj::new().int("k", 1).build()]))
+            .build();
+        assert_eq!(
+            obj,
+            r#"{"name":"a \"quoted\"\nvalue","x":1.5,"n":42,"inner":[{"k":1}]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Obj::new().num("x", f64::NAN).build(), r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn write_bench_creates_the_file() {
+        let dir = std::env::temp_dir().join("ofw_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_bench_in(&dir, "unit_test", vec![Obj::new().int("a", 1).build()]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.trim(), r#"{"bench":"unit_test","rows":[{"a":1}]}"#);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -11,15 +11,24 @@
 //! | E7 | Fig. 13 join-graph sweep | `table_fig13` | [`sweep_cell`] |
 //! | E8 | Fig. 14 memory table | `table_fig14` | [`sweep_cell`] |
 //! | A1 | pruning ablation | `table_ablation_pruning` | [`prep_q8_with`] |
+//! | G1 | grouping workload sweep (VLDB'04 extension) | `table_grouping` | [`grouping_cell`] |
+//!
+//! Every table binary also emits its rows as machine-readable
+//! `BENCH_<name>.json` (see [`json`]) next to the stdout table, so the
+//! perf trajectory can be tracked across commits.
 
 use ofw_catalog::Catalog;
 use ofw_core::{OrderingFramework, PrepStats, PruneConfig};
-use ofw_plangen::{OrderOracle, PlanGen, PlanGenStats};
+use ofw_plangen::{ExplicitOracle, OrderOracle, PlanGen, PlanGenStats};
 use ofw_query::extract::ExtractOptions;
 use ofw_query::{ExtractedQuery, Query};
 use ofw_simmen::SimmenFramework;
-use ofw_workload::{q8_query, random_query, RandomQueryConfig};
+use ofw_workload::{
+    grouping_query, q8_query, random_query, GroupingQueryConfig, RandomQueryConfig,
+};
 use std::time::{Duration, Instant};
+
+pub mod json;
 
 /// One row of the §6.2 preparation table.
 #[derive(Clone, Debug)]
@@ -96,6 +105,37 @@ pub fn run_simmen(catalog: &Catalog, query: &Query, ex: &ExtractedQuery) -> Plan
     finish_row(&fw, t0, result.stats, result.cost)
 }
 
+/// Runs plan generation with the naive explicit-set oracle (the §2
+/// "intuitive approach") — the correctness arm for cross-checks.
+pub fn run_explicit(catalog: &Catalog, query: &Query, ex: &ExtractedQuery) -> PlanRow {
+    let t0 = Instant::now();
+    let fw = ExplicitOracle::prepare(&ex.spec);
+    let result = PlanGen::new(catalog, query, ex, &fw).run();
+    finish_row(&fw, t0, result.stats, result.cost)
+}
+
+/// A [`PlanRow`] as a flat JSON object for `BENCH_*.json` files.
+pub fn plan_row_json(row: &PlanRow) -> json::Obj {
+    json::Obj::new()
+        .str("framework", row.framework)
+        .num("time_ms", row.time.as_secs_f64() * 1e3)
+        .int("plans", row.plans)
+        .num("time_per_plan_us", row.time_per_plan.as_secs_f64() * 1e6)
+        .int("memory_bytes", row.memory_bytes)
+        .num("best_cost", row.best_cost)
+}
+
+/// A [`PrepRow`] as a flat JSON object for `BENCH_*.json` files.
+pub fn prep_row_json(row: &PrepRow) -> json::Obj {
+    json::Obj::new()
+        .str("label", &row.label)
+        .int("nfsm_nodes_before", row.nfsm_nodes_before)
+        .int("nfsm_nodes", row.nfsm_nodes)
+        .int("dfsm_nodes", row.dfsm_nodes)
+        .num("total_time_ms", row.total_time.as_secs_f64() * 1e3)
+        .int("precomputed_bytes", row.precomputed_bytes)
+}
+
 fn finish_row<O: OrderOracle>(fw: &O, t0: Instant, stats: PlanGenStats, best_cost: f64) -> PlanRow {
     let time = t0.elapsed();
     PlanRow {
@@ -166,6 +206,50 @@ pub fn sweep_cell(n: usize, extra: usize, queries: usize, seed0: u64) -> SweepCe
         let simmen = run_simmen(&catalog, &query, &ex);
         let ours = run_ours(&catalog, &query, &ex);
         assert_costs_agree(&simmen, &ours);
+        acc_s.add(&simmen);
+        acc_o.add(&ours);
+        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        dfsm_bytes += fw.stats().precomputed_bytes;
+    }
+    SweepCell {
+        n,
+        extra,
+        simmen: acc_s.avg(queries),
+        ours: acc_o.avg(queries),
+        dfsm_bytes: dfsm_bytes / queries,
+    }
+}
+
+/// One averaged cell of the grouping-workload sweep (G1): `n`
+/// relations, `queries` random grouping queries starting at `seed0`,
+/// DFSM framework vs Simmen baseline. With `check_explicit`, every
+/// query is additionally planned with the naive explicit-set oracle and
+/// all three optima are asserted equal (slow — meant for small `n`).
+pub fn grouping_cell(
+    n: usize,
+    extra: usize,
+    queries: usize,
+    seed0: u64,
+    check_explicit: bool,
+) -> SweepCell {
+    let mut acc_s = ZeroRow::new("simmen");
+    let mut acc_o = ZeroRow::new("nfsm/dfsm (ours)");
+    let mut dfsm_bytes = 0usize;
+    for q in 0..queries {
+        let config = GroupingQueryConfig {
+            num_relations: n,
+            extra_edges: extra,
+            seed: seed0 + q as u64,
+        };
+        let (catalog, query) = grouping_query(&config);
+        let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+        let simmen = run_simmen(&catalog, &query, &ex);
+        let ours = run_ours(&catalog, &query, &ex);
+        assert_costs_agree(&simmen, &ours);
+        if check_explicit {
+            let explicit = run_explicit(&catalog, &query, &ex);
+            assert_costs_agree(&ours, &explicit);
+        }
         acc_s.add(&simmen);
         acc_o.add(&ours);
         let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
@@ -282,5 +366,51 @@ mod tests {
         let cell = sweep_cell(5, 0, 2, 1000);
         assert!(cell.simmen.plans > 0 && cell.ours.plans > 0);
         assert!(cell.ours.plans <= cell.simmen.plans);
+    }
+
+    #[test]
+    fn small_grouping_cell_agrees_with_the_explicit_oracle() {
+        // The assertion work happens inside: DFSM == Simmen == explicit
+        // optimum for every grouping query in the cell.
+        let cell = grouping_cell(4, 0, 3, 2000, true);
+        assert!(cell.simmen.plans > 0 && cell.ours.plans > 0);
+        assert!(cell.ours.plans <= cell.simmen.plans);
+    }
+
+    #[test]
+    fn q13_style_query_uses_the_hash_group_enforcer() {
+        // The G1 acceptance scenario: a TPC-H-style aggregation query
+        // plans with early hash-grouping + streaming aggregation.
+        let (catalog, query) = ofw_workload::q13_style_query();
+        let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        let r = PlanGen::new(&catalog, &query, &ex, &fw).run();
+        let mut found_hash_group = false;
+        let mut found_streaming = false;
+        let mut stack = vec![r.best];
+        while let Some(p) = stack.pop() {
+            let op = &r.arena.node(p).op;
+            found_hash_group |= matches!(op, ofw_plangen::PlanOp::HashGroup { .. });
+            found_streaming |= matches!(
+                op,
+                ofw_plangen::PlanOp::Aggregate {
+                    streaming: true,
+                    ..
+                }
+            );
+            stack.extend(op.inputs());
+        }
+        assert!(
+            found_hash_group && found_streaming,
+            "expected hash-group + streaming aggregate:\n{}",
+            r.arena.render(r.best, &|i| catalog
+                .relation(query.relations[i])
+                .name
+                .clone())
+        );
+        // Simmen finds the same optimum through the same DP.
+        let s = run_simmen(&catalog, &query, &ex);
+        let o = run_ours(&catalog, &query, &ex);
+        assert_costs_agree(&s, &o);
     }
 }

@@ -20,8 +20,9 @@
 
 use crate::eqclass::EqClasses;
 use crate::fd::Fd;
-use crate::filter::PrefixFilter;
+use crate::filter::{GroupingFilter, PrefixFilter};
 use crate::ordering::Ordering;
+use crate::property::Grouping;
 use ofw_common::FxHashSet;
 
 /// Shared context for derivation: equivalence classes, the prefix filter,
@@ -195,6 +196,74 @@ impl<'a> DeriveCtx<'a> {
     }
 }
 
+/// Applies one dependency to a *grouping* once, appending each derived
+/// grouping to `out` (VLDB'04 set rules — strictly more permissive than
+/// the positional ordering rules, since a set has no positions):
+///
+/// * `lhs → rhs`: if `lhs ⊆ g`, then `g ∪ {rhs}` is a grouping (rows
+///   equal on `g` are equal on `rhs` too); conversely if `rhs ∈ g` and
+///   `lhs ⊆ g \ {rhs}`, then `g \ {rhs}` is a grouping (the determined
+///   attribute never splits a group);
+/// * `a = b`: behaves like the FD pair `{a→b, b→a}` — set substitution
+///   is insertion followed by removal;
+/// * `∅ → a`: `a` may be added to or removed from any grouping.
+///
+/// Results never equal `g`.
+pub fn apply_fd_grouping(g: &Grouping, fd: &Fd, out: &mut Vec<Grouping>) {
+    let functional = |g: &Grouping, lhs: &[ofw_catalog::AttrId], rhs, out: &mut Vec<Grouping>| {
+        if g.contains_attr(rhs) {
+            let rest = g.without(rhs);
+            if lhs.iter().all(|&l| rest.contains_attr(l)) {
+                out.push(rest);
+            }
+        } else if lhs.iter().all(|&l| g.contains_attr(l)) {
+            out.push(g.with(rhs));
+        }
+    };
+    match fd {
+        Fd::Functional { lhs, rhs } => functional(g, lhs, *rhs, out),
+        Fd::Constant(a) => {
+            if g.contains_attr(*a) {
+                out.push(g.without(*a));
+            } else {
+                out.push(g.with(*a));
+            }
+        }
+        Fd::Equation(a, b) => {
+            functional(g, std::slice::from_ref(a), *b, out);
+            functional(g, std::slice::from_ref(b), *a, out);
+        }
+    }
+}
+
+/// The transitive closure of grouping derivation: every grouping
+/// reachable from `g` by repeatedly applying any of `fds`, bounded by
+/// the admission `filter` (a derived grouping no interesting grouping
+/// can ever be completed from is dropped). `g` itself is not reported.
+pub fn grouping_closure(g: &Grouping, fds: &[Fd], filter: &GroupingFilter) -> Vec<Grouping> {
+    let mut seen: FxHashSet<Grouping> = FxHashSet::default();
+    let mut result: Vec<Grouping> = Vec::new();
+    let mut work: Vec<Grouping> = vec![g.clone()];
+    seen.insert(g.clone());
+    let mut buf: Vec<Grouping> = Vec::new();
+    while let Some(cur) = work.pop() {
+        for fd in fds {
+            buf.clear();
+            apply_fd_grouping(&cur, fd, &mut buf);
+            for d in buf.drain(..) {
+                if d.is_empty() || !filter.admits(&d) {
+                    continue;
+                }
+                if seen.insert(d.clone()) {
+                    work.push(d.clone());
+                    result.push(d);
+                }
+            }
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +422,78 @@ mod tests {
         for d in &r {
             assert!(!d.is_prefix_of(&o(&[A, B, C])), "{d:?}");
         }
+    }
+
+    fn g(ids: &[AttrId]) -> Grouping {
+        Grouping::new(ids.to_vec())
+    }
+
+    fn unbounded_groups(src: &Grouping, fds: &[Fd]) -> Vec<Grouping> {
+        let filter = GroupingFilter::permissive();
+        let mut r = grouping_closure(src, fds, &filter);
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn grouping_functional_insert_and_remove() {
+        // {a,b} + b→c: sets have no positions, so {a,b,c} is the only
+        // derivation regardless of where c "goes".
+        let r = unbounded_groups(&g(&[A, B]), &[Fd::functional(&[B], C)]);
+        assert_eq!(r, vec![g(&[A, B, C])]);
+        // {a,b,c} + b→c: c is determined by b ⊆ {a,b}, so it can be
+        // dropped (and re-added — both members of the closure).
+        let r = unbounded_groups(&g(&[A, B, C]), &[Fd::functional(&[B], C)]);
+        assert_eq!(r, vec![g(&[A, B])]);
+        // lhs must be inside the set.
+        let r = unbounded_groups(&g(&[A]), &[Fd::functional(&[B], C)]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn grouping_constants_and_equations() {
+        // Constants toggle membership freely.
+        let r = unbounded_groups(&g(&[A]), &[Fd::constant(C)]);
+        assert_eq!(r, vec![g(&[A, C])]);
+        let r = unbounded_groups(&g(&[A, C]), &[Fd::constant(C)]);
+        assert_eq!(r, vec![g(&[A])]);
+        // a = b: {a} reaches {a,b} and {b} (substitution via the set
+        // rules: insert b, then a is determined by b and drops).
+        let r = unbounded_groups(&g(&[A]), &[Fd::equation(A, B)]);
+        assert_eq!(r, vec![g(&[A, B]), g(&[B])]);
+    }
+
+    #[test]
+    fn grouping_closure_is_transitive() {
+        // {a} + {a→b, b→c} reaches {a,b}, then {a,b,c}, then {a,c}:
+        // b is determined by a (a→b with a ∈ {a,c}), so b may be
+        // dropped from {a,b,c} even though c stays.
+        let r = unbounded_groups(
+            &g(&[A]),
+            &[Fd::functional(&[A], B), Fd::functional(&[B], C)],
+        );
+        assert!(r.contains(&g(&[A, B])));
+        assert!(r.contains(&g(&[A, B, C])));
+        assert!(r.contains(&g(&[A, C])));
+        assert!(!r.contains(&g(&[C])), "a is not removable");
+    }
+
+    #[test]
+    fn grouping_filter_bounds_the_closure() {
+        // Interesting grouping {a,b}: from {a}, inserting d is useless —
+        // nothing can ever produce the missing b from {a,d}.
+        let fds = [Fd::functional(&[A], D)];
+        let eq = EqClasses::new();
+        let interesting = [g(&[A, B])];
+        let filter = GroupingFilter::new(interesting.iter(), &fds, &eq, true);
+        assert!(grouping_closure(&g(&[A]), &fds, &filter).is_empty());
+        // With a→b in play, {a,d} stays admitted (b is still derivable
+        // from it — the filter is deliberately permissive) and {a,b} is
+        // reached.
+        let fds = [Fd::functional(&[A], D), Fd::functional(&[A], B)];
+        let filter = GroupingFilter::new(interesting.iter(), &fds, &eq, true);
+        let mut r = grouping_closure(&g(&[A]), &fds, &filter);
+        r.sort();
+        assert_eq!(r, vec![g(&[A, B]), g(&[A, B, D]), g(&[A, D])]);
     }
 }

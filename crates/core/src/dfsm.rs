@@ -22,7 +22,7 @@
 //! row of Fig. 10).
 
 use crate::nfsm::{BuildError, Nfsm, NodeId};
-use crate::ordering::Ordering;
+use crate::property::LogicalProperty;
 use crate::prune::PruneConfig;
 use ofw_common::{BitMatrix, BitSet, FxHashMap, Interner};
 
@@ -37,14 +37,16 @@ pub struct Dfsm {
     pub num_symbols: usize,
     /// Entry state for a tuple stream with no ordering (`()`).
     pub empty_state: u32,
-    /// Entry states (`*` row): per *produced* interesting order, the
-    /// state for a stream physically ordered that way.
-    pub start: FxHashMap<Ordering, u32>,
+    /// Entry states (`*` row): per *produced* interesting property
+    /// (ordering or grouping), the state for a stream physically shaped
+    /// that way (sorted, respectively hash-grouped).
+    pub start: FxHashMap<LogicalProperty, u32>,
     /// `contains` bit matrix: rows = DFSM states, cols = interesting
-    /// orders (prefix-closed), indexed by [`Dfsm::order_columns`] order.
+    /// properties (orderings prefix-closed, groupings as-is), indexed by
+    /// [`Dfsm::columns`] order.
     pub contains: BitMatrix,
-    /// Column index per interesting order.
-    pub order_columns: FxHashMap<Ordering, u32>,
+    /// Column index per interesting property.
+    pub columns: FxHashMap<LogicalProperty, u32>,
     /// Plan-domination matrix: bit (a, b) set iff state `a`'s NFSM node
     /// set is a superset of `b`'s. Node-set inclusion is *future-proof*:
     /// transitions are monotone w.r.t. set inclusion, so a dominating
@@ -115,8 +117,8 @@ impl Dfsm {
             max_states,
             eps_closure[0].clone(),
         )?;
-        let mut start: FxHashMap<Ordering, u32> = FxHashMap::default();
-        for (node, ordering) in nfsm.orderings.iter() {
+        let mut start: FxHashMap<LogicalProperty, u32> = FxHashMap::default();
+        for (node, prop) in nfsm.props.iter() {
             if nfsm.info[node as usize].produced {
                 let id = intern_state(
                     &mut states,
@@ -125,7 +127,7 @@ impl Dfsm {
                     max_states,
                     eps_closure[node as usize].clone(),
                 )?;
-                start.insert(ordering.clone(), id);
+                start.insert(prop.clone(), id);
             }
         }
 
@@ -152,16 +154,16 @@ impl Dfsm {
         }
 
         // Precompute the contains matrix over interesting nodes.
-        let mut order_columns: FxHashMap<Ordering, u32> = FxHashMap::default();
+        let mut columns: FxHashMap<LogicalProperty, u32> = FxHashMap::default();
         let mut col_of_node: Vec<Option<u32>> = vec![None; n];
-        for (node, ordering) in nfsm.orderings.iter() {
+        for (node, prop) in nfsm.props.iter() {
             if nfsm.info[node as usize].interesting {
-                let col = order_columns.len() as u32;
-                order_columns.insert(ordering.clone(), col);
+                let col = columns.len() as u32;
+                columns.insert(prop.clone(), col);
                 col_of_node[node as usize] = Some(col);
             }
         }
-        let mut contains = BitMatrix::new(states.len(), order_columns.len());
+        let mut contains = BitMatrix::new(states.len(), columns.len());
         for state in 0..states.len() {
             for v in states.resolve(state as u32).iter() {
                 if let Some(col) = col_of_node[v] {
@@ -192,7 +194,7 @@ impl Dfsm {
             empty_state,
             start,
             contains,
-            order_columns,
+            columns,
             dominance,
         })
     }
@@ -235,6 +237,7 @@ mod tests {
     use super::*;
     use crate::eqclass::EqClasses;
     use crate::fd::Fd;
+    use crate::ordering::Ordering;
     use crate::prune::{prune_fds, prune_nfsm};
     use crate::spec::InputSpec;
     use ofw_catalog::AttrId;
@@ -244,8 +247,8 @@ mod tests {
     const C: AttrId = AttrId(2);
     const D: AttrId = AttrId(3);
 
-    fn o(ids: &[AttrId]) -> Ordering {
-        Ordering::new(ids.to_vec())
+    fn o(ids: &[AttrId]) -> LogicalProperty {
+        Ordering::new(ids.to_vec()).into()
     }
 
     /// Full §5 pipeline for the running example.
@@ -274,14 +277,14 @@ mod tests {
         let (nfsm, dfsm) = running_example_dfsm(&PruneConfig::default());
         assert_eq!(dfsm.num_states(), 4, "3 states of Fig. 8 + empty");
 
-        let state_with = |ord: &Ordering| dfsm.start[ord];
+        let state_with = |prop: &LogicalProperty| dfsm.start[prop];
         let s_b = state_with(&o(&[B]));
         let s_ab = state_with(&o(&[A, B]));
         assert_ne!(s_b, s_ab);
 
         // Fig. 9 contains matrix.
-        let col = |ord: &Ordering| dfsm.order_columns[ord] as usize;
-        let probe = |s: u32, ord: &Ordering| dfsm.contains.get(s as usize, col(ord));
+        let col = |prop: &LogicalProperty| dfsm.columns[prop] as usize;
+        let probe = |s: u32, prop: &LogicalProperty| dfsm.contains.get(s as usize, col(prop));
         // State 1 = {(b)}.
         assert!(probe(s_b, &o(&[B])));
         assert!(!probe(s_b, &o(&[A])));
@@ -323,10 +326,8 @@ mod tests {
                 for ord in [o(&[A]), o(&[B]), o(&[A, B]), o(&[A, B, C])] {
                     let cp = pruned
                         .contains
-                        .get(sp as usize, pruned.order_columns[&ord] as usize);
-                    let cr = raw
-                        .contains
-                        .get(sr as usize, raw.order_columns[&ord] as usize);
+                        .get(sp as usize, pruned.columns[&ord] as usize);
+                    let cr = raw.contains.get(sr as usize, raw.columns[&ord] as usize);
                     assert_eq!(cp, cr, "order {ord:?} after {syms:?} from {start_order:?}");
                 }
             }
@@ -345,7 +346,7 @@ mod tests {
         let nfsm = Nfsm::build(&spec, spec.fd_sets(), &eq, &config).unwrap();
         let nfsm = prune_nfsm(nfsm, &config);
         let dfsm = Dfsm::build(&nfsm, &config).unwrap();
-        let col = dfsm.order_columns[&o(&[A])] as usize;
+        let col = dfsm.columns[&o(&[A])] as usize;
         assert!(!dfsm.contains.get(dfsm.empty_state as usize, col));
         let s = dfsm.step(dfsm.empty_state, f.index());
         assert!(dfsm.contains.get(s as usize, col));

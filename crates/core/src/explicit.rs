@@ -1,52 +1,83 @@
 //! The naive explicit-set implementation of `LogicalOrderings` (paper §2,
-//! "the intuitive approach").
+//! "the intuitive approach"), extended to groupings.
 //!
 //! Maintains the full, prefix-closed set of logical orderings a stream
-//! satisfies and recomputes the closure on every inference. The paper
-//! dismisses it for production use (the set grows quadratically with
-//! every `v = const` predicate), but it is the perfect *test oracle*: it
-//! applies the derivation rules of §2 directly, with no NFSM, no
+//! satisfies — plus the set of groupings — and recomputes the closure on
+//! every inference. The paper dismisses it for production use (the set
+//! grows quadratically with every `v = const` predicate), but it is the
+//! perfect *test oracle*: it applies the derivation rules of §2 (and the
+//! VLDB'04 set rules for groupings) directly, with no NFSM, no
 //! determinization, and no §5.7 heuristics. Our property tests check the
-//! DFSM framework agrees with it on every interesting order after every
-//! operator sequence.
+//! DFSM framework agrees with it on every interesting property after
+//! every operator sequence.
+//!
+//! Grouping ground truth: a stream sorted by `o` is grouped by the
+//! attribute *set* of every prefix of `o`; a hash-grouped stream is
+//! grouped by exactly its key (and the empty set). Each inference closes
+//! the ordering set first, reseeds groupings from all orderings' prefix
+//! sets, then closes the grouping set under the operator's dependencies.
 
-use crate::derive::DeriveCtx;
+use crate::derive::{apply_fd_grouping, DeriveCtx};
 use crate::eqclass::EqClasses;
 use crate::fd::FdSet;
-use crate::filter::PrefixFilter;
+use crate::filter::{GroupingFilter, PrefixFilter};
 use crate::ordering::Ordering;
+use crate::property::Grouping;
 use ofw_common::FxHashSet;
 
-/// Explicitly materialized, prefix-closed set of logical orderings.
+/// Explicitly materialized, prefix-closed set of logical orderings plus
+/// the set of satisfied groupings.
 #[derive(Clone, Debug)]
 pub struct ExplicitOrderings {
     set: FxHashSet<Ordering>,
+    groups: FxHashSet<Grouping>,
 }
 
 impl ExplicitOrderings {
-    /// A stream with no ordering (satisfies only `()`).
+    /// A stream with no ordering (satisfies only `()` and `{}`).
     pub fn unordered() -> Self {
         let mut set = FxHashSet::default();
         set.insert(Ordering::empty());
-        ExplicitOrderings { set }
+        ExplicitOrderings {
+            set,
+            groups: FxHashSet::default(),
+        }
     }
 
-    /// A stream physically ordered by `o` (satisfies `o` and prefixes).
+    /// A stream physically ordered by `o` (satisfies `o`, its prefixes,
+    /// and the grouping of every prefix's attribute set).
     pub fn from_physical(o: &Ordering) -> Self {
         let mut e = Self::unordered();
         e.set.insert(o.clone());
         for p in o.proper_prefixes() {
             e.set.insert(p);
         }
+        e.reseed_groups_from_orderings();
         e
     }
 
-    /// `contains`: exact membership in the closed set.
+    /// A stream physically *grouped* by `g` (hash aggregation output):
+    /// satisfies the grouping `g` and no ordering but `()`.
+    pub fn from_grouping(g: &Grouping) -> Self {
+        let mut e = Self::unordered();
+        if !g.is_empty() {
+            e.groups.insert(g.clone());
+        }
+        e
+    }
+
+    /// `contains`: exact membership in the closed ordering set.
     pub fn contains(&self, o: &Ordering) -> bool {
         self.set.contains(o)
     }
 
-    /// `inferNewLogicalOrderings`: closes the set under `fd_set`,
+    /// `contains` for groupings: exact membership (the empty grouping
+    /// holds for every stream).
+    pub fn contains_grouping(&self, g: &Grouping) -> bool {
+        g.is_empty() || self.groups.contains(g)
+    }
+
+    /// `inferNewLogicalOrderings`: closes both sets under `fd_set`,
     /// unbounded (no §5.7 heuristics — this is the ground truth for the
     /// paper's *sequential* semantics, where each operator's FD set is
     /// applied exactly once, at the operator).
@@ -54,7 +85,7 @@ impl ExplicitOrderings {
         self.close_under(fd_set.fds());
     }
 
-    /// Closes the set under an arbitrary dependency list. Feeding the
+    /// Closes the sets under an arbitrary dependency list. Feeding the
     /// *accumulated* dependencies of all operators applied so far models
     /// the stronger persistent-FD semantics (dependencies keep holding
     /// for the stream): Simmen's environment-based `contains` exploits
@@ -77,12 +108,45 @@ impl ExplicitOrderings {
                 self.set.insert(d);
             }
         }
+        // Groupings: new orderings imply new prefix-set groupings, and
+        // the grouping set closes under the set-derivation rules.
+        self.reseed_groups_from_orderings();
+        let gfilter = GroupingFilter::permissive();
+        let mut work: Vec<Grouping> = self.groups.iter().cloned().collect();
+        let mut buf: Vec<Grouping> = Vec::new();
+        while let Some(cur) = work.pop() {
+            for fd in fds {
+                buf.clear();
+                apply_fd_grouping(&cur, fd, &mut buf);
+                for d in buf.drain(..) {
+                    if !d.is_empty() && gfilter.admits(&d) && self.groups.insert(d.clone()) {
+                        work.push(d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every prefix attribute set of every satisfied ordering is a
+    /// satisfied grouping (sorted ⇒ grouped).
+    fn reseed_groups_from_orderings(&mut self) {
+        let seeds: Vec<Grouping> = self
+            .set
+            .iter()
+            .flat_map(|o| (1..=o.len()).map(|l| Grouping::new(o.attrs()[..l].to_vec())))
+            .collect();
+        self.groups.extend(seeds);
     }
 
     /// Number of orderings currently materialized — the quantity whose
     /// quadratic growth motivates the paper (§2).
     pub fn len(&self) -> usize {
         self.set.len()
+    }
+
+    /// Number of groupings currently materialized.
+    pub fn num_groupings(&self) -> usize {
+        self.groups.len()
     }
 
     /// Always at least `()`.
@@ -93,6 +157,11 @@ impl ExplicitOrderings {
     /// Iterates the materialized orderings.
     pub fn iter(&self) -> impl Iterator<Item = &Ordering> {
         self.set.iter()
+    }
+
+    /// Iterates the materialized groupings.
+    pub fn iter_groupings(&self) -> impl Iterator<Item = &Grouping> {
+        self.groups.iter()
     }
 }
 
@@ -111,6 +180,10 @@ mod tests {
         Ordering::new(ids.to_vec())
     }
 
+    fn g(ids: &[AttrId]) -> Grouping {
+        Grouping::new(ids.to_vec())
+    }
+
     #[test]
     fn physical_ordering_implies_prefixes() {
         let e = ExplicitOrderings::from_physical(&o(&[A, B, C]));
@@ -119,6 +192,37 @@ mod tests {
         assert!(e.contains(&o(&[A, B, C])));
         assert!(e.contains(&Ordering::empty()));
         assert!(!e.contains(&o(&[B])));
+    }
+
+    #[test]
+    fn physical_ordering_implies_prefix_set_groupings() {
+        let e = ExplicitOrderings::from_physical(&o(&[B, A]));
+        assert!(e.contains_grouping(&g(&[B])));
+        assert!(e.contains_grouping(&g(&[A, B])), "sets ignore position");
+        assert!(!e.contains_grouping(&g(&[A])), "{{a}} needs a-adjacency");
+        assert!(e.contains_grouping(&Grouping::empty()));
+    }
+
+    #[test]
+    fn grouped_stream_satisfies_only_its_grouping() {
+        let e = ExplicitOrderings::from_grouping(&g(&[A, B]));
+        assert!(e.contains_grouping(&g(&[A, B])));
+        assert!(!e.contains_grouping(&g(&[A])));
+        assert!(!e.contains(&o(&[A])));
+        assert!(e.contains(&Ordering::empty()));
+    }
+
+    #[test]
+    fn grouping_closure_under_fds() {
+        // Grouped by {a}, then an operator induces a→b: grouped by
+        // {a,b} too; with b = const even {a,b}∖{b} round-trips.
+        let mut e = ExplicitOrderings::from_grouping(&g(&[A]));
+        e.infer(&FdSet::new(vec![Fd::functional(&[A], B)]));
+        assert!(e.contains_grouping(&g(&[A, B])));
+        assert!(!e.contains_grouping(&g(&[B])));
+        let mut e2 = ExplicitOrderings::from_grouping(&g(&[A, X]));
+        e2.infer(&FdSet::new(vec![Fd::constant(X)]));
+        assert!(e2.contains_grouping(&g(&[A])), "constants are removable");
     }
 
     #[test]
@@ -167,6 +271,8 @@ mod tests {
         assert!(e.contains(&o(&[A, B, C])));
         // Old orderings survive.
         assert!(e.contains(&o(&[A])));
+        // And the groupings of all the new prefixes appeared.
+        assert!(e.contains_grouping(&g(&[A, B, C])));
     }
 
     #[test]
@@ -176,5 +282,6 @@ mod tests {
         assert!(e.contains(&o(&[B])));
         assert!(e.contains(&o(&[A, B])));
         assert!(e.contains(&o(&[B, A])));
+        assert!(e.contains_grouping(&g(&[B])));
     }
 }

@@ -36,6 +36,7 @@
 use crate::eqclass::EqClasses;
 use crate::fd::Fd;
 use crate::ordering::Ordering;
+use crate::property::Grouping;
 use ofw_catalog::AttrId;
 use ofw_common::FxHashSet;
 
@@ -246,6 +247,113 @@ impl PrefixFilter {
     }
 }
 
+/// Admission filter for derived *groupings* — the set analogue of
+/// [`PrefixFilter`], and much simpler because sets have no positions.
+///
+/// A derived grouping `g` is only worth materializing if some
+/// interesting grouping `i` can still be reached from it. Every grouping
+/// reachable from `g` lies (in representative space) inside the FD
+/// closure of `reps(g) ∪ const_reps` — insertions only ever add
+/// attributes from that closure, removals only shrink the set — so the
+/// sound admission test is: some interesting grouping's representative
+/// set is a subset of that closure. Over-admission is harmless (the
+/// actual derivation rules decide satisfaction); under-admission would
+/// lose completeness, so the test is deliberately permissive.
+#[derive(Debug)]
+pub struct GroupingFilter {
+    /// Representative sets of the interesting groupings.
+    interesting: Vec<FxHashSet<AttrId>>,
+    /// Representatives of constant-bound attributes.
+    const_reps: FxHashSet<AttrId>,
+    /// Representative-space FDs (for the closure).
+    rep_fds: Vec<(Vec<AttrId>, AttrId)>,
+    /// Equivalence classes (candidates are mapped on the fly).
+    eq: EqClasses,
+    enabled: bool,
+}
+
+impl GroupingFilter {
+    /// Builds the filter over the interesting groupings. `fds` must be
+    /// (a superset of) the dependencies the closure will apply. With
+    /// `enabled` false everything is admitted (the "w/o pruning"
+    /// configuration).
+    pub fn new<'a>(
+        interesting: impl Iterator<Item = &'a Grouping>,
+        fds: &[Fd],
+        eq: &EqClasses,
+        enabled: bool,
+    ) -> Self {
+        let interesting: Vec<FxHashSet<AttrId>> = interesting
+            .map(|g| g.attrs().iter().map(|&a| eq.find(a)).collect())
+            .collect();
+        let mut const_reps = FxHashSet::default();
+        let mut rep_fds = Vec::new();
+        for fd in fds {
+            match fd {
+                Fd::Constant(a) => {
+                    const_reps.insert(eq.find(*a));
+                }
+                Fd::Functional { lhs, rhs } => {
+                    let lhs: Vec<AttrId> = lhs.iter().map(|&a| eq.find(a)).collect();
+                    let rhs = eq.find(*rhs);
+                    if !lhs.contains(&rhs) {
+                        rep_fds.push((lhs, rhs));
+                    }
+                }
+                // Identity in representative space.
+                Fd::Equation(_, _) => {}
+            }
+        }
+        GroupingFilter {
+            interesting,
+            const_reps,
+            rep_fds,
+            eq: eq.clone(),
+            enabled,
+        }
+    }
+
+    /// A filter admitting everything (no interesting groupings known).
+    pub fn permissive() -> Self {
+        GroupingFilter {
+            interesting: Vec::new(),
+            const_reps: FxHashSet::default(),
+            rep_fds: Vec::new(),
+            eq: EqClasses::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether some interesting grouping is still reachable from `g`.
+    pub fn admits(&self, g: &Grouping) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        let mut closure: FxHashSet<AttrId> = g.attrs().iter().map(|&a| self.eq.find(a)).collect();
+        closure.extend(self.const_reps.iter().copied());
+        loop {
+            let mut grew = false;
+            for (lhs, rhs) in &self.rep_fds {
+                if !closure.contains(rhs) && lhs.iter().all(|l| closure.contains(l)) {
+                    closure.insert(*rhs);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        self.interesting
+            .iter()
+            .any(|i| i.iter().all(|a| closure.contains(a)))
+    }
+
+    /// Whether the filter is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,5 +503,40 @@ mod tests {
             7,
             "disabled filter returns the cap"
         );
+    }
+
+    fn g(ids: &[AttrId]) -> Grouping {
+        Grouping::new(ids.to_vec())
+    }
+
+    #[test]
+    fn grouping_filter_reachability() {
+        let eq = EqClasses::new();
+        // Interesting {a,b}; FD c→b.
+        let fds = [Fd::functional(&[C], B)];
+        let f = GroupingFilter::new([g(&[A, B])].iter(), &fds, &eq, true);
+        assert!(f.admits(&g(&[A, B])), "interesting groupings self-admit");
+        assert!(f.admits(&g(&[A, C])), "b is derivable from c");
+        assert!(f.admits(&g(&[A, B, C])), "supersets may shed attrs");
+        assert!(!f.admits(&g(&[B, C])), "nothing produces a");
+        // Constants fill gaps.
+        let f = GroupingFilter::new([g(&[A, D])].iter(), &[Fd::constant(D)], &eq, true);
+        assert!(f.admits(&g(&[A])));
+        assert!(!f.admits(&g(&[D])));
+    }
+
+    #[test]
+    fn grouping_filter_uses_equivalence_classes() {
+        let mut eq = EqClasses::new();
+        eq.union(A, D);
+        let f = GroupingFilter::new([g(&[A, B])].iter(), &[], &eq, true);
+        assert!(f.admits(&g(&[D, B])), "d ≡ a");
+    }
+
+    #[test]
+    fn permissive_grouping_filter_admits_all() {
+        let f = GroupingFilter::permissive();
+        assert!(f.admits(&g(&[C, D])));
+        assert!(!f.is_enabled());
     }
 }

@@ -1,4 +1,5 @@
-//! The public order-optimization ADT (paper §5.6).
+//! The public order-and-grouping-optimization ADT (paper §5.6, extended
+//! to the combined framework of VLDB'04).
 //!
 //! [`OrderingFramework::prepare`] runs the whole preparation phase of
 //! Fig. 3 once per query; afterwards the ADT `LogicalOrderings` is the
@@ -8,14 +9,22 @@
 //! | paper operation              | here                    | cost |
 //! |------------------------------|-------------------------|------|
 //! | constructor (scan/sort)      | [`OrderingFramework::produce`] | O(1) |
+//! | constructor (hash grouping)  | [`OrderingFramework::produce_grouping`] | O(1) |
 //! | `contains(o)`                | [`OrderingFramework::satisfies`] | O(1) |
+//! | `contains(g)` (grouping)     | [`OrderingFramework::satisfies_grouping`] | O(1) |
 //! | `inferNewLogicalOrderings(F)`| [`OrderingFramework::infer`] | O(1) |
+//!
+//! Orderings and groupings share one handle space ([`OrderHandle`]) and
+//! one state space: a [`State`] annotates a plan node with *everything*
+//! the stream satisfies — the orderings it is sorted by and the
+//! groupings it is grouped by — still in four bytes.
 
 use crate::dfsm::Dfsm;
 use crate::eqclass::EqClasses;
 use crate::fd::FdSetId;
 use crate::nfsm::{BuildError, Nfsm};
 use crate::ordering::Ordering;
+use crate::property::{Grouping, LogicalProperty};
 use crate::prune::{prune_fds, prune_nfsm, PruneConfig};
 use crate::spec::InputSpec;
 use ofw_common::FxHashMap;
@@ -75,13 +84,25 @@ pub struct PrepStats {
     pub prep_time: Duration,
 }
 
-/// The prepared order-optimization framework for one query.
+/// The prepared order-and-grouping framework for one query.
+///
+/// Besides the ICDE'04 ordering operations, the framework answers
+/// grouping questions at the same O(1) cost on the same DFSM path:
+/// [`handle_grouping`](Self::handle_grouping) resolves an interesting
+/// grouping once (cold path), then
+/// [`satisfies_grouping`](Self::satisfies_grouping) is a single bit
+/// probe and [`produce_grouping`](Self::produce_grouping) a single row
+/// lookup, exactly like their ordering counterparts. An ordering on
+/// `(a,b)` satisfies the groupings `{a}` and `{a,b}`; FDs and
+/// equivalences apply to attribute *sets* (insertion and removal of
+/// determined attributes, constants, equation substitution).
 pub struct OrderingFramework {
     dfsm: Dfsm,
     nfsm: Nfsm,
-    /// Interesting order (prefix-closed) → contains-column handle.
-    handles: FxHashMap<Ordering, OrderHandle>,
-    /// Produced order → entry state (the `*` row).
+    /// Interesting property (orderings prefix-closed, groupings as-is)
+    /// → contains-column handle.
+    handles: FxHashMap<LogicalProperty, OrderHandle>,
+    /// Produced property → entry state (the `*` row).
     start_of: FxHashMap<OrderHandle, State>,
     stats: PrepStats,
 }
@@ -102,13 +123,13 @@ impl OrderingFramework {
         let nfsm = prune_nfsm(nfsm, &config);
         let dfsm = Dfsm::build(&nfsm, &config).map_err(PrepareError)?;
 
-        let mut handles: FxHashMap<Ordering, OrderHandle> = FxHashMap::default();
-        for (o, &col) in &dfsm.order_columns {
-            handles.insert(o.clone(), OrderHandle(col));
+        let mut handles: FxHashMap<LogicalProperty, OrderHandle> = FxHashMap::default();
+        for (p, &col) in &dfsm.columns {
+            handles.insert(p.clone(), OrderHandle(col));
         }
         let mut start_of: FxHashMap<OrderHandle, State> = FxHashMap::default();
-        for (o, &s) in &dfsm.start {
-            start_of.insert(handles[o], State(s));
+        for (p, &s) in &dfsm.start {
+            start_of.insert(handles[p], State(s));
         }
 
         let stats = PrepStats {
@@ -133,19 +154,43 @@ impl OrderingFramework {
     /// prefix-closed). `None` if the ordering was never interesting,
     /// meaning no operator may ask about it.
     pub fn handle(&self, o: &Ordering) -> Option<OrderHandle> {
-        self.handles.get(o).copied()
+        self.handles
+            .get(&LogicalProperty::Ordering(o.clone()))
+            .copied()
+    }
+
+    /// Handle of an interesting grouping. `None` if the grouping was
+    /// never declared interesting.
+    pub fn handle_grouping(&self, g: &Grouping) -> Option<OrderHandle> {
+        self.handles
+            .get(&LogicalProperty::Grouping(g.clone()))
+            .copied()
+    }
+
+    /// Handle of an interesting property of either kind.
+    pub fn handle_property(&self, p: &LogicalProperty) -> Option<OrderHandle> {
+        self.handles.get(p).copied()
     }
 
     /// ADT constructor for an operator that *physically produces* an
     /// ordering (sort, ordered index scan): the `*`-row lookup of
-    /// Fig. 10. Panics if `h` is not a produced interesting order —
+    /// Fig. 10. Panics if `h` is not a produced interesting property —
     /// plan generators must only sort on members of `O_P`.
     #[inline]
     pub fn produce(&self, h: OrderHandle) -> State {
         self.start_of
             .get(&h)
             .copied()
-            .unwrap_or_else(|| panic!("{h:?} is not a produced interesting order"))
+            .unwrap_or_else(|| panic!("{h:?} is not a produced interesting property"))
+    }
+
+    /// ADT constructor for an operator that *physically groups* its
+    /// output (hash aggregation, hash-based partitioning): same `*`-row
+    /// lookup as [`produce`](Self::produce), O(1). Panics if `h` is not
+    /// a produced interesting grouping.
+    #[inline]
+    pub fn produce_grouping(&self, h: OrderHandle) -> State {
+        self.produce(h)
     }
 
     /// Whether `h` may be produced (is in `O_P`).
@@ -173,6 +218,15 @@ impl OrderingFramework {
         self.dfsm.contains.get(s.0 as usize, h.0 as usize)
     }
 
+    /// `contains` for groupings: does a stream in state `s` satisfy the
+    /// interesting grouping `h`? Same single bit probe as
+    /// [`satisfies`](Self::satisfies) — groupings live in the same
+    /// contains matrix, so the grouping test is O(1) on the DFSM path.
+    #[inline]
+    pub fn satisfies_grouping(&self, s: State, h: OrderHandle) -> bool {
+        self.satisfies(s, h)
+    }
+
     /// Plan-domination: `a`'s underlying NFSM node set is a superset of
     /// `b`'s, so `a` satisfies at least every interesting order `b` does
     /// — now and after any further FD application (transitions are
@@ -185,9 +239,24 @@ impl OrderingFramework {
         a == b || self.dfsm.state_dominates(a.0, b.0)
     }
 
-    /// All interesting orders (prefix-closed) with their handles.
+    /// All interesting *orderings* (prefix-closed) with their handles.
     pub fn orders(&self) -> impl Iterator<Item = (&Ordering, OrderHandle)> {
-        self.handles.iter().map(|(o, &h)| (o, h))
+        self.handles
+            .iter()
+            .filter_map(|(p, &h)| p.as_ordering().map(|o| (o, h)))
+    }
+
+    /// All interesting *groupings* with their handles.
+    pub fn groupings(&self) -> impl Iterator<Item = (&Grouping, OrderHandle)> {
+        self.handles
+            .iter()
+            .filter_map(|(p, &h)| p.as_grouping().map(|g| (g, h)))
+    }
+
+    /// All interesting properties (orderings and groupings) with their
+    /// handles.
+    pub fn properties(&self) -> impl Iterator<Item = (&LogicalProperty, OrderHandle)> {
+        self.handles.iter().map(|(p, &h)| (p, h))
     }
 
     /// Preparation metrics.
@@ -302,6 +371,61 @@ mod tests {
     #[test]
     fn state_is_four_bytes() {
         assert_eq!(std::mem::size_of::<State>(), 4);
+    }
+
+    #[test]
+    fn grouping_walkthrough() {
+        // Combined framework: produced ordering (a,b), produced grouping
+        // {g_ab} (hash aggregation can generate it), FD b→c.
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A, B]));
+        spec.add_produced(Grouping::new(vec![A, B]));
+        spec.add_tested(Grouping::new(vec![A, B, C]));
+        let f_bc = spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+
+        let h_ab = fw.handle(&o(&[A, B])).unwrap();
+        let hg_ab = fw.handle_grouping(&Grouping::new(vec![A, B])).unwrap();
+        let hg_abc = fw.handle_grouping(&Grouping::new(vec![A, B, C])).unwrap();
+
+        // A sorted stream is grouped (by every prefix set)...
+        let s = fw.produce(h_ab);
+        assert!(fw.satisfies(s, h_ab));
+        assert!(fw.satisfies_grouping(s, hg_ab));
+        assert!(!fw.satisfies_grouping(s, hg_abc));
+        // ...and FDs extend groupings by set insertion.
+        let s2 = fw.infer(s, f_bc);
+        assert!(fw.satisfies_grouping(s2, hg_abc));
+        assert!(fw.satisfies(s2, h_ab), "ordering survives");
+
+        // A hash-grouped stream satisfies its grouping but no ordering.
+        let sg = fw.produce_grouping(hg_ab);
+        assert!(fw.satisfies_grouping(sg, hg_ab));
+        assert!(!fw.satisfies(sg, h_ab));
+        assert!(fw.satisfies_grouping(fw.infer(sg, f_bc), hg_abc));
+        // The sorted state dominates the merely-grouped one, never the
+        // other way around.
+        assert!(fw.dominates(s, sg));
+        assert!(!fw.dominates(sg, s));
+        // Groupings are enumerable separately from orderings.
+        assert_eq!(fw.groupings().count(), 2);
+        assert!(fw.orders().count() >= 2);
+    }
+
+    #[test]
+    fn ordering_on_any_permutation_satisfies_the_set_grouping() {
+        // Grouping {a,b} is satisfied by a stream sorted (b,a) — sets
+        // ignore position.
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[B, A]));
+        spec.add_tested(Grouping::new(vec![A, B]));
+        let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+        let s = fw.produce(fw.handle(&o(&[B, A])).unwrap());
+        let hg = fw.handle_grouping(&Grouping::new(vec![A, B])).unwrap();
+        assert!(fw.satisfies_grouping(s, hg));
+        // But {a} alone is NOT implied — only prefix sets are groupings,
+        // and (b,a)'s prefix sets are {b} and {a,b}.
+        assert!(fw.handle_grouping(&Grouping::new(vec![A])).is_none());
     }
 
     #[test]

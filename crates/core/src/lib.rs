@@ -1,16 +1,22 @@
 //! # ofw-core — the paper's contribution
 //!
 //! An implementation of *Neumann & Moerkotte, "An Efficient Framework for
-//! Order Optimization"* (ICDE 2004). The framework answers the two
-//! questions a plan generator asks millions of times:
+//! Order Optimization"* (ICDE 2004), extended to the combined ordering +
+//! grouping framework of the companion paper (*"A Combined Framework for
+//! Grouping and Order Optimization"*, VLDB 2004). The framework answers
+//! the questions a plan generator asks millions of times:
 //!
 //! 1. `contains` — does the output of a subplan satisfy a required logical
-//!    ordering?
-//! 2. `inferNewLogicalOrderings` — how does the set of logical orderings
+//!    ordering ([`OrderingFramework::satisfies`]) or a required logical
+//!    grouping ([`OrderingFramework::satisfies_grouping`])?
+//! 2. `inferNewLogicalOrderings` — how does the set of logical properties
 //!    change when an operator introduces functional dependencies?
 //!
 //! Both are answered in **O(1)** after a one-time preparation step, and a
-//! plan node's entire order annotation is a 4-byte [`State`].
+//! plan node's entire order/grouping annotation is a 4-byte [`State`].
+//! NFSM/DFSM states carry a generic [`LogicalProperty`] — an ordering
+//! *or* a grouping (an unordered attribute set, as produced by hash
+//! aggregation) — so grouping-aware plans cost nothing extra.
 //!
 //! ## Pipeline (paper Fig. 3)
 //!
@@ -52,6 +58,33 @@
 //! let s = fw.infer(s, f_bc);
 //! assert!(fw.satisfies(s, abc)); // now satisfied, via one table lookup
 //! ```
+//!
+//! ## Groupings (the VLDB'04 extension)
+//!
+//! ```
+//! use ofw_core::{Fd, Grouping, InputSpec, Ordering, OrderingFramework, PruneConfig};
+//! use ofw_catalog::AttrId;
+//!
+//! let [a, b, c] = [AttrId(0), AttrId(1), AttrId(2)];
+//! let mut spec = InputSpec::new();
+//! spec.add_produced(Ordering::new(vec![a, b]));     // sort can produce
+//! spec.add_produced(Grouping::new(vec![a, b]));     // hash-agg can produce
+//! spec.add_tested(Grouping::new(vec![a, b, c]));
+//! let f_bc = spec.add_fd_set(vec![Fd::functional(&[b], c)]);
+//!
+//! let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+//! let g_ab = fw.handle_grouping(&Grouping::new(vec![a, b])).unwrap();
+//! let g_abc = fw.handle_grouping(&Grouping::new(vec![a, b, c])).unwrap();
+//!
+//! // A sorted stream is grouped by every prefix set…
+//! let s = fw.produce(fw.handle(&Ordering::new(vec![a, b])).unwrap());
+//! assert!(fw.satisfies_grouping(s, g_ab));
+//! // …a hash-grouped stream satisfies its grouping but no ordering…
+//! let s = fw.produce_grouping(g_ab);
+//! assert!(fw.satisfies_grouping(s, g_ab));
+//! // …and FDs extend groupings by set insertion, still in O(1).
+//! assert!(fw.satisfies_grouping(fw.infer(s, f_bc), g_abc));
+//! ```
 
 pub mod derive;
 pub mod dfsm;
@@ -62,6 +95,7 @@ pub mod filter;
 pub mod framework;
 pub mod nfsm;
 pub mod ordering;
+pub mod property;
 pub mod prune;
 pub mod spec;
 
@@ -72,5 +106,6 @@ pub use fd::{Fd, FdSet, FdSetId};
 pub use framework::{OrderHandle, OrderingFramework, PrepStats, PrepareError, State};
 pub use nfsm::Nfsm;
 pub use ordering::Ordering;
+pub use property::{Grouping, LogicalProperty};
 pub use prune::PruneConfig;
 pub use spec::InputSpec;

@@ -1,33 +1,49 @@
-//! NFSM construction (paper §5.3).
+//! NFSM construction (paper §5.3, extended to groupings per VLDB'04).
 //!
-//! States are orderings. `Q_I` (interesting states) is the *prefix
-//! closure* of the interesting orders — the paper's Fig. 9 has a
-//! `contains` column for `(a)` even though only `(a,b)` and `(a,b,c)`
-//! were specified, because a prefix of an interesting order is itself
-//! testable. `Q_A` (artificial states) holds every other ordering the
-//! closure reaches. Node 0 is the empty ordering `()`: every stream
-//! satisfies it, every node has an ε-edge to it, and constants derive
-//! from it (a scan with no ordering followed by `x = const` yields a
-//! stream logically ordered by `(x)`).
+//! States are logical *properties* — orderings or groupings. `Q_I`
+//! (interesting states) is the *prefix closure* of the interesting
+//! orders — the paper's Fig. 9 has a `contains` column for `(a)` even
+//! though only `(a,b)` and `(a,b,c)` were specified, because a prefix of
+//! an interesting order is itself testable — plus the interesting
+//! groupings (groupings have no prefixes: `{a,b}` does not imply `{a}`).
+//! `Q_A` (artificial states) holds every other property the closure
+//! reaches. Node 0 is the empty ordering `()`: every stream satisfies
+//! it, every node has an ε-edge to it, and constants derive from it (a
+//! scan with no ordering followed by `x = const` yields a stream
+//! logically ordered by `(x)`).
 //!
 //! Edges:
-//! * ε-edges from each node to **all** of its proper prefixes (prefix
-//!   closure; kept direct rather than chained so pruning a node never
-//!   breaks reachability of the remaining prefixes);
-//! * for each FD-set symbol `f`, edges to every ordering in the bounded
-//!   transitive closure `Ω({o},{f})` — consuming one symbol reaches all
-//!   transitively derivable orderings, matching the paper's `D_FD`
-//!   definition via `o ⊢_f o′`.
+//! * ε-edges from each ordering node to **all** of its proper prefixes
+//!   (prefix closure; kept direct rather than chained so pruning a node
+//!   never breaks reachability of the remaining prefixes) **and** to the
+//!   grouping node of every prefix attribute *set* that exists — the
+//!   ordering→grouping crossover (a sorted stream is grouped by every
+//!   prefix set). Grouping nodes ε-step only to node 0.
+//! * for each FD-set symbol `f`, edges to every property in the bounded
+//!   transitive closure `Ω({p},{f})` — consuming one symbol reaches all
+//!   transitively derivable properties, matching the paper's `D_FD`
+//!   definition via `o ⊢_f o′`; grouping nodes use the set-derivation
+//!   rules of [`crate::derive::apply_fd_grouping`].
 //!
-//! The artificial start node `q0` with its produced-order entry edges is
-//! kept virtual; the DFSM construction materializes its row (`*` in
+//! Grouping nodes are only materialized when the spec declares
+//! interesting groupings — pure ordering queries build byte-identical
+//! automata to the ICDE'04 pipeline. When groupings are present, every
+//! ordering node seeds the grouping nodes of its prefix sets (subject to
+//! the [`crate::filter::GroupingFilter`] admission test), which is
+//! sufficient for completeness: any grouping derivable from a *derived*
+//! ordering is also derivable, by the more permissive set rules, from a
+//! prefix-set grouping of the source ordering.
+//!
+//! The artificial start node `q0` with its produced-property entry edges
+//! is kept virtual; the DFSM construction materializes its row (`*` in
 //! Fig. 10).
 
-use crate::derive::DeriveCtx;
+use crate::derive::{grouping_closure, DeriveCtx};
 use crate::eqclass::EqClasses;
 use crate::fd::FdSet;
-use crate::filter::PrefixFilter;
+use crate::filter::{GroupingFilter, PrefixFilter};
 use crate::ordering::Ordering;
+use crate::property::{Grouping, LogicalProperty};
 use crate::prune::PruneConfig;
 use crate::spec::InputSpec;
 use ofw_common::Interner;
@@ -45,13 +61,14 @@ pub struct NodeInfo {
     pub produced: bool,
 }
 
-/// The non-deterministic FSM over orderings.
+/// The non-deterministic FSM over logical properties.
 pub struct Nfsm {
-    /// Node id ↔ ordering (node 0 is the empty ordering).
-    pub orderings: Interner<Ordering>,
+    /// Node id ↔ property (node 0 is the empty ordering).
+    pub props: Interner<LogicalProperty>,
     /// Per-node classification.
     pub info: Vec<NodeInfo>,
-    /// ε-edges: node → all proper prefixes (incl. node 0).
+    /// ε-edges: ordering node → proper prefixes and prefix-set
+    /// groupings (incl. node 0).
     pub eps: Vec<Vec<NodeId>>,
     /// FD edges: `edges[node][fd_set_id]` → derivable nodes.
     pub edges: Vec<Vec<Vec<NodeId>>>,
@@ -100,7 +117,22 @@ impl Nfsm {
             .iter()
             .flat_map(|s| s.fds().iter().cloned())
             .collect();
-        let filter = PrefixFilter::new(spec.interesting(), &all_fds, eq, config.prefix_filter);
+        let filter = PrefixFilter::new(
+            spec.interesting_orderings(),
+            &all_fds,
+            eq,
+            config.prefix_filter,
+        );
+        // Groupings only enter the automaton when the query declares
+        // interesting groupings — otherwise the build is identical to
+        // the pure ordering pipeline.
+        let grouping_mode = spec.has_groupings();
+        let gfilter = GroupingFilter::new(
+            spec.interesting_groupings(),
+            &all_fds,
+            eq,
+            config.prefix_filter,
+        );
         // The blanket length cutoff only applies when the admission
         // filter is off: the filter computes a per-candidate bound that
         // generalizes it (useful orderings can exceed the longest
@@ -118,65 +150,110 @@ impl Nfsm {
         };
 
         let mut nfsm = Nfsm {
-            orderings: Interner::new(),
+            props: Interner::new(),
             info: Vec::new(),
             eps: Vec::new(),
             edges: Vec::new(),
             num_symbols: fd_sets.len(),
         };
         // Node 0: the empty ordering.
-        let root = nfsm.add_node(Ordering::empty(), config)?;
+        let root = nfsm.add_node(Ordering::empty().into(), config)?;
         debug_assert_eq!(root, 0);
 
-        // Interesting nodes: prefix closure of O_P ∪ O_T.
-        for o in spec.interesting() {
-            let id = nfsm.add_node(o.clone(), config)?;
+        // Interesting nodes: prefix closure of the interesting orderings
+        // plus the interesting groupings as-is.
+        for p in spec.interesting() {
+            let id = nfsm.add_node(p.clone(), config)?;
             nfsm.info[id as usize].interesting = true;
-            for p in o.proper_prefixes() {
-                let pid = nfsm.add_node(p, config)?;
-                nfsm.info[pid as usize].interesting = true;
+            if let LogicalProperty::Ordering(o) = p {
+                for prefix in o.proper_prefixes() {
+                    let pid = nfsm.add_node(prefix.into(), config)?;
+                    nfsm.info[pid as usize].interesting = true;
+                }
             }
         }
-        for o in spec.produced() {
-            let id = nfsm.add_node(o.clone(), config)?;
+        for p in spec.produced() {
+            let id = nfsm.add_node(p.clone(), config)?;
             nfsm.info[id as usize].produced = true;
         }
 
         // Worklist closure: compute FD edges, materializing new nodes
-        // (and their prefixes) as they appear.
+        // (and, for orderings, their prefixes and prefix-set groupings)
+        // as they appear.
         let mut next: u32 = 0;
-        while (next as usize) < nfsm.orderings.len() {
+        while (next as usize) < nfsm.props.len() {
             let node = next;
             next += 1;
-            let ordering = nfsm.orderings.resolve(node).clone();
-            for (sym, fd_set) in fd_sets.iter().enumerate() {
-                if fd_set.is_empty() {
-                    continue;
-                }
-                let derived = ctx.closure(&ordering, fd_set.fds());
-                let mut targets: Vec<NodeId> = Vec::with_capacity(derived.len());
-                for d in derived {
-                    // Materialize the target and all its proper prefixes.
-                    for p in d.proper_prefixes() {
-                        nfsm.add_node(p, config)?;
+            let prop = nfsm.props.resolve(node).clone();
+            match &prop {
+                LogicalProperty::Ordering(ordering) => {
+                    if grouping_mode && node != 0 {
+                        // Seed the grouping nodes this ordering implies
+                        // (its prefix attribute sets) — the crossover
+                        // sources for grouping derivation.
+                        for len in 1..=ordering.len() {
+                            let g = Grouping::new(ordering.attrs()[..len].to_vec());
+                            if gfilter.admits(&g) {
+                                nfsm.add_node(g.into(), config)?;
+                            }
+                        }
                     }
-                    targets.push(nfsm.add_node(d, config)?);
+                    for (sym, fd_set) in fd_sets.iter().enumerate() {
+                        if fd_set.is_empty() {
+                            continue;
+                        }
+                        let derived = ctx.closure(ordering, fd_set.fds());
+                        let mut targets: Vec<NodeId> = Vec::with_capacity(derived.len());
+                        for d in derived {
+                            // Materialize the target and its prefixes.
+                            for p in d.proper_prefixes() {
+                                nfsm.add_node(p.into(), config)?;
+                            }
+                            targets.push(nfsm.add_node(d.into(), config)?);
+                        }
+                        targets.sort_unstable();
+                        targets.dedup();
+                        nfsm.edges[node as usize][sym] = targets;
+                    }
                 }
-                targets.sort_unstable();
-                targets.dedup();
-                nfsm.edges[node as usize][sym] = targets;
+                LogicalProperty::Grouping(grouping) => {
+                    for (sym, fd_set) in fd_sets.iter().enumerate() {
+                        if fd_set.is_empty() {
+                            continue;
+                        }
+                        let derived = grouping_closure(grouping, fd_set.fds(), &gfilter);
+                        let mut targets: Vec<NodeId> = Vec::with_capacity(derived.len());
+                        for d in derived {
+                            targets.push(nfsm.add_node(d.into(), config)?);
+                        }
+                        targets.sort_unstable();
+                        targets.dedup();
+                        nfsm.edges[node as usize][sym] = targets;
+                    }
+                }
             }
         }
-        // ε-edges to every existing proper prefix, plus node 0.
-        for node in 0..nfsm.orderings.len() as u32 {
-            let ordering = nfsm.orderings.resolve(node).clone();
+        // ε-edges: node 0, every existing proper prefix, and (for
+        // orderings) every existing prefix-set grouping node.
+        for node in 0..nfsm.props.len() as u32 {
+            let prop = nfsm.props.resolve(node).clone();
             let mut eps: Vec<NodeId> = Vec::new();
             if node != 0 {
                 eps.push(0);
             }
-            for p in ordering.proper_prefixes() {
-                if let Some(pid) = nfsm.orderings.get(&p) {
-                    eps.push(pid);
+            if let LogicalProperty::Ordering(ordering) = &prop {
+                for p in ordering.proper_prefixes() {
+                    if let Some(pid) = nfsm.props.get(&p.into()) {
+                        eps.push(pid);
+                    }
+                }
+                if grouping_mode {
+                    for len in 1..=ordering.len() {
+                        let g = Grouping::new(ordering.attrs()[..len].to_vec());
+                        if let Some(gid) = nfsm.props.get(&g.into()) {
+                            eps.push(gid);
+                        }
+                    }
                 }
             }
             eps.sort_unstable();
@@ -186,13 +263,13 @@ impl Nfsm {
         Ok(nfsm)
     }
 
-    /// Interns `o` as a node, growing the side tables; errors out past
+    /// Interns `p` as a node, growing the side tables; errors out past
     /// the configured cap.
-    fn add_node(&mut self, o: Ordering, config: &PruneConfig) -> Result<NodeId, BuildError> {
-        let before = self.orderings.len();
-        let id = self.orderings.intern(o);
-        if self.orderings.len() > before {
-            if self.orderings.len() > config.max_nodes {
+    fn add_node(&mut self, p: LogicalProperty, config: &PruneConfig) -> Result<NodeId, BuildError> {
+        let before = self.props.len();
+        let id = self.props.intern(p);
+        if self.props.len() > before {
+            if self.props.len() > config.max_nodes {
                 return Err(BuildError::TooManyNodes(config.max_nodes));
             }
             self.info.push(NodeInfo::default());
@@ -204,7 +281,7 @@ impl Nfsm {
 
     /// Number of nodes, counting the implicit empty-ordering node.
     pub fn num_nodes(&self) -> usize {
-        self.orderings.len()
+        self.props.len()
     }
 
     /// Total FD-edge count (each target counted once).
@@ -217,7 +294,17 @@ impl Nfsm {
 
     /// Node lookup by ordering.
     pub fn node_of(&self, o: &Ordering) -> Option<NodeId> {
-        self.orderings.get(o)
+        self.props.get(&o.clone().into())
+    }
+
+    /// Node lookup by grouping.
+    pub fn node_of_grouping(&self, g: &Grouping) -> Option<NodeId> {
+        self.props.get(&g.clone().into())
+    }
+
+    /// Node lookup by property.
+    pub fn node_of_prop(&self, p: &LogicalProperty) -> Option<NodeId> {
+        self.props.get(p)
     }
 
     /// Rebuilds the NFSM keeping only nodes with `keep[node] == true`,
@@ -225,12 +312,12 @@ impl Nfsm {
     /// already have been redirected by the caller. Node 0 must be kept.
     pub(crate) fn compact(self, keep: &[bool]) -> Nfsm {
         assert!(keep[0], "the empty-ordering node is permanent");
-        let mut remap: Vec<Option<NodeId>> = vec![None; self.orderings.len()];
-        let mut orderings = Interner::new();
+        let mut remap: Vec<Option<NodeId>> = vec![None; self.props.len()];
+        let mut props = Interner::new();
         let mut info = Vec::new();
-        for (old, o) in self.orderings.iter() {
+        for (old, p) in self.props.iter() {
             if keep[old as usize] {
-                let new = orderings.intern(o.clone());
+                let new = props.intern(p.clone());
                 remap[old as usize] = Some(new);
                 info.push(self.info[old as usize]);
             }
@@ -241,10 +328,10 @@ impl Nfsm {
             v.dedup();
             v
         };
-        let mut eps = vec![Vec::new(); orderings.len()];
-        let mut edges = vec![vec![Vec::new(); self.num_symbols]; orderings.len()];
+        let mut eps = vec![Vec::new(); props.len()];
+        let mut edges = vec![vec![Vec::new(); self.num_symbols]; props.len()];
         #[allow(clippy::needless_range_loop)] // old indexes three parallel tables
-        for old in 0..self.orderings.len() {
+        for old in 0..self.props.len() {
             let Some(new) = remap[old] else { continue };
             eps[new as usize] = map_list(&self.eps[old]);
             for sym in 0..self.num_symbols {
@@ -252,7 +339,7 @@ impl Nfsm {
             }
         }
         Nfsm {
-            orderings,
+            props,
             info,
             eps,
             edges,
@@ -275,6 +362,10 @@ mod tests {
 
     fn o(ids: &[AttrId]) -> Ordering {
         Ordering::new(ids.to_vec())
+    }
+
+    fn g(ids: &[AttrId]) -> Grouping {
+        Grouping::new(ids.to_vec())
     }
 
     /// The paper's running example before pruning (Figs. 4–5): interesting
@@ -333,6 +424,54 @@ mod tests {
         assert!(nfsm.edges[b as usize][0].contains(&bc));
         // {b→d} creates d-orderings, e.g. (a,b,d).
         assert!(nfsm.node_of(&o(&[A, B, D])).is_some());
+    }
+
+    #[test]
+    fn no_grouping_nodes_without_interesting_groupings() {
+        let (spec, fd_sets, eq) = running_example();
+        let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &PruneConfig::none()).unwrap();
+        for node in 0..nfsm.num_nodes() as u32 {
+            assert!(
+                nfsm.props.resolve(node).as_grouping().is_none(),
+                "pure ordering spec grew a grouping node"
+            );
+        }
+    }
+
+    #[test]
+    fn interesting_grouping_gets_node_and_eps_from_orderings() {
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A, B]));
+        spec.add_tested(g(&[A, B]));
+        spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        let fd_sets = spec.fd_sets().to_vec();
+        let eq = EqClasses::new();
+        let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &PruneConfig::default()).unwrap();
+        let gid = nfsm.node_of_grouping(&g(&[A, B])).unwrap();
+        assert!(nfsm.info[gid as usize].interesting);
+        // The ordering (a,b) ε-steps into its full-prefix-set grouping.
+        let ab = nfsm.node_of(&o(&[A, B])).unwrap();
+        assert!(nfsm.eps[ab as usize].contains(&gid));
+        // The grouping node itself only ε-steps to node 0.
+        assert_eq!(nfsm.eps[gid as usize], vec![0]);
+    }
+
+    #[test]
+    fn grouping_edges_use_set_rules() {
+        // Interesting grouping {a,b}, produced ordering (a), FD a→b:
+        // the grouping {a} (seeded from the ordering) must derive {a,b}
+        // in one symbol — even though the *ordering* filter would drop
+        // the ordering (a,b) as uninteresting.
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A]));
+        spec.add_tested(g(&[A, B]));
+        spec.add_fd_set(vec![Fd::functional(&[A], B)]);
+        let fd_sets = spec.fd_sets().to_vec();
+        let eq = EqClasses::new();
+        let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &PruneConfig::default()).unwrap();
+        let ga = nfsm.node_of_grouping(&g(&[A])).expect("seeded grouping");
+        let gab = nfsm.node_of_grouping(&g(&[A, B])).unwrap();
+        assert!(nfsm.edges[ga as usize][0].contains(&gab));
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Logical properties: orderings *and* groupings.
+//!
+//! The ICDE'04 framework tracks logical *orderings*; its companion
+//! (Neumann & Moerkotte, "A Combined Framework for Grouping and Order
+//! Optimization", VLDB 2004) observes that the same NFSM/DFSM machinery
+//! can track *groupings* — unordered attribute sets, as produced by
+//! hash-based operators and exploited by aggregation — at the same O(1)
+//! per-plan-node cost. [`LogicalProperty`] is the sum type the whole
+//! pipeline is generic over:
+//!
+//! * an **ordering** `(a, b, c)` — tuples sorted lexicographically;
+//! * a **grouping** `{a, b}` — tuples with equal values on `{a, b}`
+//!   appear consecutively, with no order among or inside the groups.
+//!
+//! The two interact asymmetrically: a stream ordered by `(a, b)` is also
+//! grouped by `{a}` and `{a, b}` (every prefix's attribute *set* is a
+//! grouping), but a grouping implies no ordering, and — unlike ordering
+//! prefixes — a grouping `{a, b}` does **not** imply the sub-grouping
+//! `{a}` (rows with equal `a` may be separated by different `b` groups).
+
+use crate::ordering::Ordering;
+use ofw_catalog::AttrId;
+
+/// A grouping: a non-positional, duplicate-free attribute *set*, stored
+/// sorted so equal sets compare equal.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Grouping {
+    attrs: Box<[AttrId]>,
+}
+
+impl Grouping {
+    /// Creates a grouping from any attribute list (sorted, deduplicated).
+    pub fn new(mut attrs: Vec<AttrId>) -> Self {
+        attrs.sort_unstable();
+        attrs.dedup();
+        Grouping {
+            attrs: attrs.into_boxed_slice(),
+        }
+    }
+
+    /// The empty grouping `{}` — satisfied by every stream.
+    pub fn empty() -> Self {
+        Grouping {
+            attrs: Box::new([]),
+        }
+    }
+
+    /// The attribute set, ascending.
+    #[inline]
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True for the empty grouping.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Set membership.
+    pub fn contains_attr(&self, attr: AttrId) -> bool {
+        self.attrs.binary_search(&attr).is_ok()
+    }
+
+    /// True if every attribute of `self` occurs in `other`.
+    pub fn is_subset_of(&self, other: &Grouping) -> bool {
+        self.attrs.iter().all(|&a| other.contains_attr(a))
+    }
+
+    /// The grouping with `attr` added (no-op if present).
+    pub fn with(&self, attr: AttrId) -> Grouping {
+        if self.contains_attr(attr) {
+            return self.clone();
+        }
+        let mut v = self.attrs.to_vec();
+        let pos = v.partition_point(|&a| a < attr);
+        v.insert(pos, attr);
+        Grouping {
+            attrs: v.into_boxed_slice(),
+        }
+    }
+
+    /// The grouping with `attr` removed (no-op if absent).
+    pub fn without(&self, attr: AttrId) -> Grouping {
+        match self.attrs.binary_search(&attr) {
+            Ok(pos) => {
+                let mut v = self.attrs.to_vec();
+                v.remove(pos);
+                Grouping {
+                    attrs: v.into_boxed_slice(),
+                }
+            }
+            Err(_) => self.clone(),
+        }
+    }
+
+    /// Heap bytes held by this grouping (memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.attrs.len() * std::mem::size_of::<AttrId>()
+    }
+}
+
+impl std::fmt::Debug for Grouping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<Vec<AttrId>> for Grouping {
+    fn from(v: Vec<AttrId>) -> Self {
+        Grouping::new(v)
+    }
+}
+
+/// The generic logical property the NFSM/DFSM states carry.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LogicalProperty {
+    /// A logical ordering (lexicographic attribute sequence).
+    Ordering(Ordering),
+    /// A logical grouping (unordered attribute set).
+    Grouping(Grouping),
+}
+
+impl LogicalProperty {
+    /// The attribute list (positional for orderings, sorted for
+    /// groupings).
+    pub fn attrs(&self) -> &[AttrId] {
+        match self {
+            LogicalProperty::Ordering(o) => o.attrs(),
+            LogicalProperty::Grouping(g) => g.attrs(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs().len()
+    }
+
+    /// True for the empty ordering/grouping.
+    pub fn is_empty(&self) -> bool {
+        self.attrs().is_empty()
+    }
+
+    /// The ordering, if this is one.
+    pub fn as_ordering(&self) -> Option<&Ordering> {
+        match self {
+            LogicalProperty::Ordering(o) => Some(o),
+            LogicalProperty::Grouping(_) => None,
+        }
+    }
+
+    /// The grouping, if this is one.
+    pub fn as_grouping(&self) -> Option<&Grouping> {
+        match self {
+            LogicalProperty::Ordering(_) => None,
+            LogicalProperty::Grouping(g) => Some(g),
+        }
+    }
+
+    /// True for the grouping variant.
+    pub fn is_grouping(&self) -> bool {
+        matches!(self, LogicalProperty::Grouping(_))
+    }
+
+    /// Heap bytes (memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            LogicalProperty::Ordering(o) => o.heap_bytes(),
+            LogicalProperty::Grouping(g) => g.heap_bytes(),
+        }
+    }
+}
+
+impl std::fmt::Debug for LogicalProperty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogicalProperty::Ordering(o) => write!(f, "{o:?}"),
+            LogicalProperty::Grouping(g) => write!(f, "{g:?}"),
+        }
+    }
+}
+
+impl From<Ordering> for LogicalProperty {
+    fn from(o: Ordering) -> Self {
+        LogicalProperty::Ordering(o)
+    }
+}
+
+impl From<Grouping> for LogicalProperty {
+    fn from(g: Grouping) -> Self {
+        LogicalProperty::Grouping(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+
+    #[test]
+    fn grouping_is_canonical() {
+        assert_eq!(Grouping::new(vec![B, A]), Grouping::new(vec![A, B, A]));
+        assert_ne!(Grouping::new(vec![A]), Grouping::new(vec![A, B]));
+    }
+
+    #[test]
+    fn grouping_set_ops() {
+        let g = Grouping::new(vec![C, A]);
+        assert!(g.contains_attr(A) && g.contains_attr(C) && !g.contains_attr(B));
+        assert_eq!(g.with(B).attrs(), &[A, B, C]);
+        assert_eq!(g.with(A), g);
+        assert_eq!(g.without(C).attrs(), &[A]);
+        assert_eq!(g.without(B), g);
+        assert!(Grouping::new(vec![A]).is_subset_of(&g));
+        assert!(!g.is_subset_of(&Grouping::new(vec![A])));
+    }
+
+    #[test]
+    fn property_dispatch() {
+        let o: LogicalProperty = Ordering::new(vec![B, A]).into();
+        let g: LogicalProperty = Grouping::new(vec![B, A]).into();
+        assert_ne!(o, g, "an ordering is never equal to a grouping");
+        assert_eq!(o.attrs(), &[B, A], "orderings keep position");
+        assert_eq!(g.attrs(), &[A, B], "groupings are canonical sets");
+        assert!(o.as_ordering().is_some() && o.as_grouping().is_none());
+        assert!(g.as_grouping().is_some() && !o.is_grouping());
+    }
+
+    #[test]
+    fn debug_render() {
+        let g: LogicalProperty = Grouping::new(vec![B, A]).into();
+        assert_eq!(format!("{g:?}"), "{a0,a1}");
+        assert_eq!(format!("{:?}", Grouping::empty()), "{}");
+    }
+}

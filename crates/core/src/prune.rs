@@ -17,12 +17,13 @@
 //! 4. **Closure bounding** (`prefix_filter`, `length_cutoff`): applied
 //!    during derivation, see [`crate::filter`] and [`crate::derive`].
 
-use crate::derive::DeriveCtx;
+use crate::derive::{grouping_closure, DeriveCtx};
 use crate::eqclass::EqClasses;
 use crate::fd::{Fd, FdSet};
-use crate::filter::PrefixFilter;
+use crate::filter::{GroupingFilter, PrefixFilter};
 use crate::nfsm::{Nfsm, NodeId};
 use crate::ordering::Ordering;
+use crate::property::Grouping;
 use crate::spec::InputSpec;
 use ofw_common::{FxHashMap, FxHashSet};
 
@@ -103,7 +104,12 @@ pub fn prune_fds(spec: &InputSpec, eq: &EqClasses, config: &PruneConfig) -> (Vec
         .iter()
         .flat_map(|s| s.fds().iter().cloned())
         .collect();
-    let filter = PrefixFilter::new(spec.interesting(), &all_fds, eq, config.prefix_filter);
+    let filter = PrefixFilter::new(
+        spec.interesting_orderings(),
+        &all_fds,
+        eq,
+        config.prefix_filter,
+    );
     // Same cutoff policy as NFSM construction: the admission filter
     // subsumes the blanket length cutoff.
     let max_len = if !config.prefix_filter && config.length_cutoff {
@@ -119,12 +125,13 @@ pub fn prune_fds(spec: &InputSpec, eq: &EqClasses, config: &PruneConfig) -> (Vec
 
     // Interesting orders, prefix-closed and sorted for binary search.
     let mut interesting: Vec<Ordering> = Vec::new();
-    for o in spec.interesting() {
+    for o in spec.interesting_orderings() {
         interesting.push(o.clone());
         interesting.extend(o.proper_prefixes());
     }
     interesting.sort();
     interesting.dedup();
+    let interesting_groupings: Vec<Grouping> = spec.interesting_groupings().cloned().collect();
 
     // Phase 1: quick relevance test. A dependency whose producible
     // attributes (representatives) occur neither in any interesting
@@ -138,6 +145,11 @@ pub fn prune_fds(spec: &InputSpec, eq: &EqClasses, config: &PruneConfig) -> (Vec
     let mut relevant_reps: FxHashSet<ofw_catalog::AttrId> = FxHashSet::default();
     for o in &interesting {
         for &a in o.attrs() {
+            relevant_reps.insert(ctx.eq.find(a));
+        }
+    }
+    for g in &interesting_groupings {
+        for &a in g.attrs() {
             relevant_reps.insert(ctx.eq.find(a));
         }
     }
@@ -174,6 +186,31 @@ pub fn prune_fds(spec: &InputSpec, eq: &EqClasses, config: &PruneConfig) -> (Vec
     universe.sort();
     universe.dedup();
 
+    // The grouping universe: interesting groupings, the prefix sets of
+    // the ordering universe (the ordering→grouping crossover), and
+    // everything the surviving set derives from them. Empty when the
+    // spec declares no groupings — then the grouping comparison below is
+    // a no-op and phase 2 behaves exactly like the ordering-only
+    // framework.
+    let gfilter = GroupingFilter::permissive();
+    let mut guniverse: Vec<Grouping> = Vec::new();
+    if !interesting_groupings.is_empty() {
+        guniverse.extend(interesting_groupings.iter().cloned());
+        for o in &universe {
+            for len in 1..=o.len() {
+                guniverse.push(Grouping::new(o.attrs()[..len].to_vec()));
+            }
+        }
+        guniverse.sort();
+        guniverse.dedup();
+        let seeds = guniverse.clone();
+        for g in &seeds {
+            guniverse.extend(grouping_closure(g, &survivors, &gfilter));
+        }
+        guniverse.sort();
+        guniverse.dedup();
+    }
+
     // Orderings derivable from `w` under `fds`, as a canonical set.
     let reach = |w: &Ordering, fds: &[Fd]| -> Vec<Ordering> {
         let mut r = ctx.closure(w, fds);
@@ -181,9 +218,18 @@ pub fn prune_fds(spec: &InputSpec, eq: &EqClasses, config: &PruneConfig) -> (Vec
         r.dedup();
         r
     };
+    // Groupings derivable from `w` under `fds`, as a canonical set.
+    let greach = |w: &Grouping, fds: &[Fd]| -> Vec<Grouping> {
+        let mut r = grouping_closure(w, fds, &gfilter);
+        r.sort();
+        r
+    };
 
     // Phase 2: per-set sequential leave-one-out. Sequential because two
-    // mutually redundant dependencies in one set must not both go.
+    // mutually redundant dependencies in one set must not both go. A
+    // dependency must be redundant for *both* ordering and grouping
+    // derivation to be dropped — the set rules are more permissive, so
+    // an FD useless for orderings may still produce a grouping.
     let mut removed = 0usize;
     let sets = spec
         .fd_sets()
@@ -198,6 +244,8 @@ pub fn prune_fds(spec: &InputSpec, eq: &EqClasses, config: &PruneConfig) -> (Vec
                 .collect();
             let baseline: Vec<Vec<Ordering>> =
                 universe.iter().map(|w| reach(w, &current)).collect();
+            let gbaseline: Vec<Vec<Grouping>> =
+                guniverse.iter().map(|w| greach(w, &current)).collect();
             let mut i = 0;
             while i < current.len() {
                 let mut without = current.clone();
@@ -205,7 +253,11 @@ pub fn prune_fds(spec: &InputSpec, eq: &EqClasses, config: &PruneConfig) -> (Vec
                 let redundant = universe
                     .iter()
                     .enumerate()
-                    .all(|(w_i, w)| reach(w, &without) == baseline[w_i]);
+                    .all(|(w_i, w)| reach(w, &without) == baseline[w_i])
+                    && guniverse
+                        .iter()
+                        .enumerate()
+                        .all(|(w_i, w)| greach(w, &without) == gbaseline[w_i]);
                 if redundant {
                     current.remove(i);
                 } else {

@@ -9,7 +9,8 @@ use ofw_core::eqclass::EqClasses;
 use ofw_core::fd::Fd;
 use ofw_core::filter::PrefixFilter;
 use ofw_core::ordering::Ordering;
-use ofw_core::{InputSpec, OrderingFramework, PruneConfig};
+use ofw_core::property::{Grouping, LogicalProperty};
+use ofw_core::{ExplicitOrderings, FdSet, InputSpec, OrderingFramework, PruneConfig};
 use proptest::prelude::*;
 
 const NUM_ATTRS: u32 = 5;
@@ -26,6 +27,10 @@ fn arb_ordering() -> impl Strategy<Value = Ordering> {
             .all(|a| seen.insert(*a))
             .then(|| Ordering::new(attrs))
     })
+}
+
+fn arb_grouping() -> impl Strategy<Value = Grouping> {
+    proptest::collection::vec(arb_attr(), 1..=4).prop_map(Grouping::new)
 }
 
 fn arb_fd() -> impl Strategy<Value = Fd> {
@@ -154,6 +159,74 @@ proptest! {
                     break;
                 }
                 prop_assert!(rounds < 64, "no fixpoint after 64 rounds");
+            }
+        }
+    }
+
+    /// The combined framework's grouping answers agree with the
+    /// explicit-set ground truth: for random specs mixing produced
+    /// orderings and produced/tested groupings, every DFSM
+    /// `satisfies`/`satisfies_grouping` probe after every `infer`
+    /// sequence matches the oracle — from sorted *and* from
+    /// hash-grouped start states.
+    #[test]
+    fn grouping_dfsm_matches_explicit_oracle(
+        produced_orderings in proptest::collection::vec(arb_ordering(), 1..=2),
+        produced_groupings in proptest::collection::vec(arb_grouping(), 1..=2),
+        tested_groupings in proptest::collection::vec(arb_grouping(), 0..=2),
+        fd_sets in proptest::collection::vec(proptest::collection::vec(arb_fd(), 1..=2), 1..=3),
+        ops in proptest::collection::vec(0usize..3, 0..=4),
+    ) {
+        let mut spec = InputSpec::new();
+        for o in &produced_orderings {
+            spec.add_produced(o.clone());
+        }
+        for g in &produced_groupings {
+            spec.add_produced(g.clone());
+        }
+        for g in &tested_groupings {
+            spec.add_tested(g.clone());
+        }
+        let set_ids: Vec<_> = fd_sets.iter().map(|f| spec.add_fd_set(f.clone())).collect();
+        let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+
+        // Start states: one per produced property, of either kind.
+        let starts: Vec<(LogicalProperty, ofw_core::State, ExplicitOrderings)> = spec
+            .produced()
+            .iter()
+            .map(|p| {
+                let h = fw.handle_property(p).expect("produced properties are interesting");
+                let truth = match p {
+                    LogicalProperty::Ordering(o) => ExplicitOrderings::from_physical(o),
+                    LogicalProperty::Grouping(g) => ExplicitOrderings::from_grouping(g),
+                };
+                (p.clone(), fw.produce(h), truth)
+            })
+            .collect();
+
+        for (start, mut state, mut truth) in starts {
+            for &op in &ops {
+                if op >= set_ids.len() {
+                    continue;
+                }
+                state = fw.infer(state, set_ids[op]);
+                truth.infer(&FdSet::new(fd_sets[op].clone()));
+            }
+            // Every interesting property — orderings and groupings —
+            // must agree between the O(1) DFSM path and the oracle.
+            for (prop, handle) in fw.properties() {
+                let got = match prop {
+                    LogicalProperty::Ordering(_) => fw.satisfies(state, handle),
+                    LogicalProperty::Grouping(_) => fw.satisfies_grouping(state, handle),
+                };
+                let want = match prop {
+                    LogicalProperty::Ordering(o) => truth.contains(o),
+                    LogicalProperty::Grouping(g) => truth.contains_grouping(g),
+                };
+                prop_assert_eq!(
+                    got, want,
+                    "property {:?} from start {:?} after ops {:?}", prop, start, ops
+                );
             }
         }
     }

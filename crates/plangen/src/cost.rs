@@ -45,7 +45,7 @@ pub fn nested_loop_join(left: f64, right: f64, out: f64) -> f64 {
 }
 
 /// Cost of a streaming (sort-based) aggregation — requires the input to
-/// be ordered by the grouping attributes.
+/// be ordered *or grouped* by the grouping attributes.
 pub fn streaming_aggregate(card: f64) -> f64 {
     0.5 * card
 }
@@ -53,6 +53,14 @@ pub fn streaming_aggregate(card: f64) -> f64 {
 /// Cost of a hash aggregation — order-agnostic but pays for the table.
 pub fn hash_aggregate(card: f64) -> f64 {
     1.6 * card
+}
+
+/// Cost of the hash-grouping enforcer: one hash pass that makes equal
+/// key tuples adjacent without sorting. Linear — the grouping analogue
+/// of [`sort`], and the reason groupings are cheaper to enforce than
+/// orderings (the VLDB'04 motivation).
+pub fn hash_group(card: f64) -> f64 {
+    1.3 * card
 }
 
 #[cfg(test)]
@@ -90,6 +98,21 @@ mod tests {
         // If a sort must be paid first, hashing wins — the choice
         // depends on available orderings, like the join choice.
         assert!(hash_aggregate(card) < sort(card) + streaming_aggregate(card));
+    }
+
+    #[test]
+    fn hash_group_is_cheaper_than_sort_but_not_free() {
+        // Enforcing a grouping never pays off right under the aggregate
+        // (hash aggregation already groups), but it beats sorting on the
+        // small side of a join whose output feeds a streaming aggregate.
+        let card = 10_000.0;
+        assert!(hash_group(card) < sort(card));
+        assert!(hash_group(card) + streaming_aggregate(card) > hash_aggregate(card));
+        let (small, joined) = (100.0, 100_000.0);
+        assert!(
+            hash_group(small) + streaming_aggregate(joined) < hash_aggregate(joined),
+            "pre-grouping a small input wins once the join fans out"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::plan::{PlanArena, PlanId, PlanOp};
 use ofw_catalog::{AttrId, Catalog};
-use ofw_common::FxHashMap;
+use ofw_common::{BitSet, FxHashMap};
 use ofw_query::Query;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,6 +49,27 @@ impl Table {
             let ky: Vec<i64> = cols.iter().map(|&c| y[c]).collect();
             kx <= ky
         })
+    }
+
+    /// Does the physical tuple sequence satisfy the logical *grouping*
+    /// over `attrs` — are all tuples with equal values on `attrs`
+    /// consecutive? The VLDB'04 grouping-satisfaction condition,
+    /// evaluated directly.
+    pub fn satisfies_grouping(&self, attrs: &[AttrId]) -> bool {
+        let cols: Vec<usize> = attrs.iter().map(|&a| self.col(a)).collect();
+        let mut seen: std::collections::HashSet<Vec<i64>> = std::collections::HashSet::new();
+        let mut prev: Option<Vec<i64>> = None;
+        for row in &self.rows {
+            let key: Vec<i64> = cols.iter().map(|&c| row[c]).collect();
+            if prev.as_ref() == Some(&key) {
+                continue;
+            }
+            if !seen.insert(key.clone()) {
+                return false; // the group resumed after a break
+            }
+            prev = Some(key);
+        }
+        true
     }
 }
 
@@ -108,13 +129,17 @@ pub fn execute<S: Copy>(
         | PlanOp::NestedLoopJoin { left, right } => {
             let lt = execute(arena, *left, catalog, query, data);
             let rt = execute(arena, *right, catalog, query, data);
-            let lmask = arena.node(*left).mask;
-            let rmask = arena.node(*right).mask;
-            join(&lt, &rt, query, lmask, rmask)
+            let lmask = arena.node(*left).mask.clone();
+            let rmask = arena.node(*right).mask.clone();
+            join(&lt, &rt, query, &lmask, &rmask)
         }
         PlanOp::Aggregate { input, streaming } => {
             let t = execute(arena, *input, catalog, query, data);
-            aggregate(t, &query.group_by, *streaming)
+            aggregate(t, query.effective_group_by(), *streaming)
+        }
+        PlanOp::HashGroup { input, key } => {
+            let t = execute(arena, *input, catalog, query, data);
+            hash_group(t, key)
         }
     }
 }
@@ -155,8 +180,8 @@ fn sort_table(t: &mut Table, key: &[AttrId]) {
 /// Left-order-preserving join evaluating every connecting equi-join
 /// predicate between the two relation sets (the planner applies them
 /// all at this operator too).
-fn join(lt: &Table, rt: &Table, query: &Query, lmask: u64, rmask: u64) -> Table {
-    let edges: Vec<usize> = query.connecting_joins(lmask, rmask).collect();
+fn join(lt: &Table, rt: &Table, query: &Query, lmask: &BitSet, rmask: &BitSet) -> Table {
+    let edges: Vec<usize> = query.connecting_joins_set(lmask, rmask).collect();
     let mut attrs = lt.attrs.clone();
     attrs.extend_from_slice(&rt.attrs);
     let mut rows = Vec::new();
@@ -164,7 +189,7 @@ fn join(lt: &Table, rt: &Table, query: &Query, lmask: u64, rmask: u64) -> Table 
         for rrow in &rt.rows {
             let matches = edges.iter().all(|&e| {
                 let j = &query.joins[e];
-                let (la, ra) = if lmask & (1u64 << query.owner(j.left)) != 0 {
+                let (la, ra) = if lmask.contains(query.owner(j.left)) {
                     (j.left, j.right)
                 } else {
                     (j.right, j.left)
@@ -215,6 +240,41 @@ fn aggregate(t: Table, group: &[AttrId], streaming: bool) -> Table {
     Table {
         attrs: t.attrs,
         rows: out_rows,
+    }
+}
+
+/// The hash-group enforcer: rearranges rows so tuples equal on `key`
+/// become adjacent. Blocks keep the rows' relative order, but the block
+/// sequence is deterministically scrambled (like the hash aggregate) so
+/// no *ordering* claim can survive the operator by luck.
+fn hash_group(t: Table, key: &[AttrId]) -> Table {
+    let cols: Vec<usize> = key.iter().map(|&a| t.col(a)).collect();
+    let mut block_of: FxHashMap<Vec<i64>, usize> = FxHashMap::default();
+    let mut blocks: Vec<Vec<Vec<i64>>> = Vec::new();
+    for row in &t.rows {
+        let key: Vec<i64> = cols.iter().map(|&c| row[c]).collect();
+        let idx = *block_of.entry(key).or_insert_with(|| {
+            blocks.push(Vec::new());
+            blocks.len() - 1
+        });
+        blocks[idx].push(row.clone());
+    }
+    // Deterministic scramble of the block order (reverse + interleave).
+    let mut rev: Vec<Vec<Vec<i64>>> = blocks.into_iter().rev().collect();
+    let mut rows: Vec<Vec<i64>> = Vec::with_capacity(t.rows.len());
+    let mut i = 0;
+    while i < rev.len() {
+        rows.extend(std::mem::take(&mut rev[i]));
+        i += 2;
+    }
+    let mut i = 1;
+    while i < rev.len() {
+        rows.extend(std::mem::take(&mut rev[i]));
+        i += 2;
+    }
+    Table {
+        attrs: t.attrs,
+        rows,
     }
 }
 
@@ -272,5 +332,35 @@ mod tests {
         let agg = aggregate(t, &[A], true);
         assert_eq!(agg.rows.len(), 3);
         assert!(agg.satisfies_ordering(&[A]));
+    }
+
+    #[test]
+    fn satisfies_grouping_checks_adjacency() {
+        let grouped = table(&[[2, 0], [2, 1], [1, 0], [3, 0]]);
+        assert!(grouped.satisfies_grouping(&[A]));
+        assert!(!grouped.satisfies_ordering(&[A]), "grouped ≠ sorted");
+        let broken = table(&[[2, 0], [1, 0], [2, 1]]);
+        assert!(!broken.satisfies_grouping(&[A]));
+        assert!(grouped.satisfies_grouping(&[]));
+    }
+
+    #[test]
+    fn hash_group_makes_groups_adjacent_without_sorting() {
+        let t = table(&[[1, 0], [2, 0], [1, 1], [3, 0], [2, 1], [1, 2]]);
+        let g = hash_group(t, &[A]);
+        assert_eq!(g.rows.len(), 6, "no rows lost");
+        assert!(g.satisfies_grouping(&[A]));
+        assert!(!g.satisfies_ordering(&[A]), "scramble must destroy order");
+        // Rows within a block keep their relative order.
+        let ones: Vec<i64> = g.rows.iter().filter(|r| r[0] == 1).map(|r| r[1]).collect();
+        assert_eq!(ones, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn streaming_aggregate_works_on_grouped_input() {
+        let t = table(&[[2, 0], [2, 1], [1, 0], [3, 0]]);
+        let agg = aggregate(t, &[A], true);
+        assert_eq!(agg.rows.len(), 3, "one row per adjacent group");
+        assert!(agg.satisfies_grouping(&[A]));
     }
 }

@@ -23,5 +23,5 @@ pub mod plan;
 
 pub use dp::{PlanGen, PlanGenResult, PlanGenStats};
 pub use exec::{execute, synthetic_data, Table};
-pub use oracle::OrderOracle;
+pub use oracle::{ExplicitKey, ExplicitOracle, ExplicitStateId, OrderOracle};
 pub use plan::{PlanId, PlanNode, PlanOp};

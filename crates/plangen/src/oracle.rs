@@ -1,27 +1,38 @@
 //! The order-optimization interface the plan generator programs against.
 //!
 //! This is the ADT of the paper's §2 (`contains`,
-//! `inferNewLogicalOrderings`, constructors), plus the plan-domination
-//! test of §7 and memory accounting for Fig. 14. Both the DFSM framework
-//! and the Simmen baseline implement it, so the DP code is shared
-//! verbatim between the two experiment arms.
+//! `inferNewLogicalOrderings`, constructors), extended with the grouping
+//! operations of the combined VLDB'04 framework, plus the
+//! plan-domination test of §7 and memory accounting for Fig. 14. The
+//! DFSM framework, the Simmen baseline, and the naive explicit-set
+//! oracle all implement it, so the DP code is shared verbatim between
+//! every experiment arm.
 
-use ofw_core::fd::FdSetId;
+use ofw_common::FxHashMap;
+use ofw_core::fd::{FdSet, FdSetId};
 use ofw_core::ordering::Ordering;
+use ofw_core::property::{Grouping, LogicalProperty};
+use ofw_core::spec::InputSpec;
+use ofw_core::ExplicitOrderings;
+use std::cell::RefCell;
 use std::fmt::Debug;
 use std::hash::Hash;
 
-/// Order-optimization ADT as seen by the plan generator.
+/// Order/grouping-optimization ADT as seen by the plan generator.
 pub trait OrderOracle {
     /// Per-plan-node order annotation.
     type State: Copy + Eq + Hash + Debug;
-    /// Pre-resolved handle of an interesting order.
+    /// Pre-resolved handle of an interesting property.
     type Key: Copy + Debug;
 
     /// Resolves an ordering to a handle once per query (cold path).
     fn resolve(&self, o: &Ordering) -> Option<Self::Key>;
 
-    /// Whether a sort/scan may produce this ordering (`O_P`).
+    /// Resolves a grouping to a handle once per query (cold path).
+    fn resolve_grouping(&self, g: &Grouping) -> Option<Self::Key>;
+
+    /// Whether a sort/scan/hash operator may produce this property
+    /// (`O_P`).
     fn is_producible(&self, k: Self::Key) -> bool;
 
     /// Constructor: unordered stream.
@@ -31,13 +42,23 @@ pub trait OrderOracle {
     /// (must be producible).
     fn produce(&self, k: Self::Key) -> Self::State;
 
+    /// Constructor: stream physically *grouped* by the grouping behind
+    /// `k` — hash-aggregation or hash-partition output (must be
+    /// producible).
+    fn produce_grouping(&self, k: Self::Key) -> Self::State;
+
     /// `inferNewLogicalOrderings`: one operator's FD set is applied.
     fn infer(&self, s: Self::State, f: FdSetId) -> Self::State;
 
     /// `contains`: does a stream in state `s` satisfy order `k`?
     fn satisfies(&self, s: Self::State, k: Self::Key) -> bool;
 
-    /// Order-wise plan domination (`a` at least as ordered as `b`).
+    /// `contains` for groupings: does a stream in state `s` satisfy the
+    /// grouping behind `k`?
+    fn satisfies_grouping(&self, s: Self::State, k: Self::Key) -> bool;
+
+    /// Property-wise plan domination (`a` at least as ordered/grouped as
+    /// `b`).
     fn dominates(&self, a: Self::State, b: Self::State) -> bool;
 
     /// Bytes of order-annotation storage for `plan_nodes` plan nodes,
@@ -56,8 +77,12 @@ impl OrderOracle for ofw_core::OrderingFramework {
         self.handle(o)
     }
 
+    fn resolve_grouping(&self, g: &Grouping) -> Option<Self::Key> {
+        self.handle_grouping(g)
+    }
+
     fn is_producible(&self, k: Self::Key) -> bool {
-        OrderingFrameworkExt::is_producible(self, k)
+        ofw_core::OrderingFramework::is_producible(self, k)
     }
 
     fn produce_empty(&self) -> Self::State {
@@ -68,6 +93,10 @@ impl OrderOracle for ofw_core::OrderingFramework {
         ofw_core::OrderingFramework::produce(self, k)
     }
 
+    fn produce_grouping(&self, k: Self::Key) -> Self::State {
+        ofw_core::OrderingFramework::produce_grouping(self, k)
+    }
+
     #[inline]
     fn infer(&self, s: Self::State, f: FdSetId) -> Self::State {
         ofw_core::OrderingFramework::infer(self, s, f)
@@ -76,6 +105,11 @@ impl OrderOracle for ofw_core::OrderingFramework {
     #[inline]
     fn satisfies(&self, s: Self::State, k: Self::Key) -> bool {
         ofw_core::OrderingFramework::satisfies(self, s, k)
+    }
+
+    #[inline]
+    fn satisfies_grouping(&self, s: Self::State, k: Self::Key) -> bool {
+        ofw_core::OrderingFramework::satisfies_grouping(self, s, k)
     }
 
     #[inline]
@@ -92,23 +126,16 @@ impl OrderOracle for ofw_core::OrderingFramework {
     }
 }
 
-/// Disambiguation shim (the inherent method has the same name).
-trait OrderingFrameworkExt {
-    fn is_producible(&self, k: ofw_core::OrderHandle) -> bool;
-}
-
-impl OrderingFrameworkExt for ofw_core::OrderingFramework {
-    fn is_producible(&self, k: ofw_core::OrderHandle) -> bool {
-        ofw_core::OrderingFramework::is_producible(self, k)
-    }
-}
-
 impl OrderOracle for ofw_simmen::SimmenFramework {
     type State = ofw_simmen::SimmenState;
     type Key = ofw_simmen::SimmenOrderKey;
 
     fn resolve(&self, o: &Ordering) -> Option<Self::Key> {
         self.key(o)
+    }
+
+    fn resolve_grouping(&self, g: &Grouping) -> Option<Self::Key> {
+        self.grouping_key(g)
     }
 
     fn is_producible(&self, k: Self::Key) -> bool {
@@ -123,6 +150,10 @@ impl OrderOracle for ofw_simmen::SimmenFramework {
         ofw_simmen::SimmenFramework::produce(self, k)
     }
 
+    fn produce_grouping(&self, k: Self::Key) -> Self::State {
+        ofw_simmen::SimmenFramework::produce(self, k)
+    }
+
     #[inline]
     fn infer(&self, s: Self::State, f: FdSetId) -> Self::State {
         ofw_simmen::SimmenFramework::infer(self, s, f)
@@ -130,6 +161,11 @@ impl OrderOracle for ofw_simmen::SimmenFramework {
 
     #[inline]
     fn satisfies(&self, s: Self::State, k: Self::Key) -> bool {
+        ofw_simmen::SimmenFramework::satisfies(self, s, k)
+    }
+
+    #[inline]
+    fn satisfies_grouping(&self, s: Self::State, k: Self::Key) -> bool {
         ofw_simmen::SimmenFramework::satisfies(self, s, k)
     }
 
@@ -144,6 +180,181 @@ impl OrderOracle for ofw_simmen::SimmenFramework {
 
     fn name(&self) -> &'static str {
         "simmen"
+    }
+}
+
+/// Per-plan-node state under the explicit-set oracle: a handle into the
+/// interned set store (the sets themselves are Ω(2^n)-sized — that is
+/// the point).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExplicitStateId(pub u32);
+
+impl Debug for ExplicitStateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Key of an interesting property under the explicit oracle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ExplicitKey(u32);
+
+/// Canonical form of an explicit set (for interning).
+type Canon = (Vec<Ordering>, Vec<Grouping>);
+
+struct ExplicitStore {
+    states: Vec<ExplicitOrderings>,
+    canon: FxHashMap<Canon, u32>,
+    infer_cache: FxHashMap<(u32, FdSetId), u32>,
+}
+
+/// The §2 "intuitive approach" wrapped in the plan-generation interface:
+/// every state is a fully materialized, closed set of orderings and
+/// groupings, and `infer` recomputes the closure. Unusable at scale (the
+/// paper's motivation) but the perfect third arm for cross-checking the
+/// DFSM framework *inside* the plan generator — the `table_grouping`
+/// binary and the integration tests assert all arms agree on the
+/// optimal plan cost.
+pub struct ExplicitOracle {
+    fd_sets: Vec<FdSet>,
+    props: Vec<LogicalProperty>,
+    keys: FxHashMap<LogicalProperty, ExplicitKey>,
+    producible: Vec<bool>,
+    store: RefCell<ExplicitStore>,
+}
+
+impl ExplicitOracle {
+    /// Preparation: record the interesting properties; states are built
+    /// lazily.
+    pub fn prepare(spec: &InputSpec) -> Self {
+        let mut props: Vec<LogicalProperty> = Vec::new();
+        let mut keys = FxHashMap::default();
+        let mut producible = Vec::new();
+        for (p, prod) in spec.interesting_closure() {
+            keys.insert(p.clone(), ExplicitKey(props.len() as u32));
+            props.push(p);
+            producible.push(prod);
+        }
+        ExplicitOracle {
+            fd_sets: spec.fd_sets().to_vec(),
+            props,
+            keys,
+            producible,
+            store: RefCell::new(ExplicitStore {
+                states: Vec::new(),
+                canon: FxHashMap::default(),
+                infer_cache: FxHashMap::default(),
+            }),
+        }
+    }
+
+    fn intern(&self, e: ExplicitOrderings) -> ExplicitStateId {
+        let mut store = self.store.borrow_mut();
+        let mut orderings: Vec<Ordering> = e.iter().cloned().collect();
+        orderings.sort();
+        let mut groupings: Vec<Grouping> = e.iter_groupings().cloned().collect();
+        groupings.sort();
+        let canon = (orderings, groupings);
+        if let Some(&id) = store.canon.get(&canon) {
+            return ExplicitStateId(id);
+        }
+        let id = store.states.len() as u32;
+        store.states.push(e);
+        store.canon.insert(canon, id);
+        ExplicitStateId(id)
+    }
+}
+
+impl OrderOracle for ExplicitOracle {
+    type State = ExplicitStateId;
+    type Key = ExplicitKey;
+
+    fn resolve(&self, o: &Ordering) -> Option<Self::Key> {
+        self.keys
+            .get(&LogicalProperty::Ordering(o.clone()))
+            .copied()
+    }
+
+    fn resolve_grouping(&self, g: &Grouping) -> Option<Self::Key> {
+        self.keys
+            .get(&LogicalProperty::Grouping(g.clone()))
+            .copied()
+    }
+
+    fn is_producible(&self, k: Self::Key) -> bool {
+        self.producible[k.0 as usize]
+    }
+
+    fn produce_empty(&self) -> Self::State {
+        self.intern(ExplicitOrderings::unordered())
+    }
+
+    fn produce(&self, k: Self::Key) -> Self::State {
+        let e = match &self.props[k.0 as usize] {
+            LogicalProperty::Ordering(o) => ExplicitOrderings::from_physical(o),
+            LogicalProperty::Grouping(g) => ExplicitOrderings::from_grouping(g),
+        };
+        self.intern(e)
+    }
+
+    fn produce_grouping(&self, k: Self::Key) -> Self::State {
+        self.produce(k)
+    }
+
+    fn infer(&self, s: Self::State, f: FdSetId) -> Self::State {
+        if let Some(&hit) = self.store.borrow().infer_cache.get(&(s.0, f)) {
+            return ExplicitStateId(hit);
+        }
+        let mut e = self.store.borrow().states[s.0 as usize].clone();
+        e.infer(&self.fd_sets[f.index()]);
+        let id = self.intern(e);
+        self.store.borrow_mut().infer_cache.insert((s.0, f), id.0);
+        id
+    }
+
+    fn satisfies(&self, s: Self::State, k: Self::Key) -> bool {
+        let store = self.store.borrow();
+        let e = &store.states[s.0 as usize];
+        match &self.props[k.0 as usize] {
+            LogicalProperty::Ordering(o) => e.contains(o),
+            LogicalProperty::Grouping(g) => e.contains_grouping(g),
+        }
+    }
+
+    fn satisfies_grouping(&self, s: Self::State, k: Self::Key) -> bool {
+        self.satisfies(s, k)
+    }
+
+    fn dominates(&self, a: Self::State, b: Self::State) -> bool {
+        if a == b {
+            return true;
+        }
+        let store = self.store.borrow();
+        let (ea, eb) = (&store.states[a.0 as usize], &store.states[b.0 as usize]);
+        // Set inclusion is future-proof: derivation is monotone in the
+        // materialized sets.
+        eb.iter().all(|o| ea.contains(o)) && eb.iter_groupings().all(|g| ea.contains_grouping(g))
+    }
+
+    fn memory_bytes(&self, plan_nodes: usize) -> usize {
+        let store = self.store.borrow();
+        let set_bytes: usize = store
+            .states
+            .iter()
+            .map(|e| {
+                e.iter()
+                    .map(|o| o.heap_bytes() + std::mem::size_of::<Ordering>())
+                    .sum::<usize>()
+                    + e.iter_groupings()
+                        .map(|g| g.heap_bytes() + std::mem::size_of::<Grouping>())
+                        .sum::<usize>()
+            })
+            .sum();
+        plan_nodes * std::mem::size_of::<ExplicitStateId>() + set_bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "explicit set (oracle)"
     }
 }
 
@@ -163,27 +374,37 @@ mod tests {
         Ordering::new(ids.to_vec())
     }
 
+    fn g(ids: &[AttrId]) -> Grouping {
+        Grouping::new(ids.to_vec())
+    }
+
     fn spec() -> InputSpec {
         let mut s = InputSpec::new();
         s.add_produced(o(&[A]));
         s.add_produced(o(&[A, B]));
+        s.add_produced(g(&[A, B]));
         s.add_fd_set(vec![Fd::functional(&[B], C)]);
         s.add_fd_set(vec![Fd::equation(A, B)]);
         s
     }
 
-    /// Both oracles must agree on satisfied interesting orders for the
-    /// same call sequence (generic over the trait).
-    fn agree<O: OrderOracle>(oracle: &O, f_eq: FdSetId) -> Vec<bool> {
+    /// All oracles must agree on satisfied interesting properties for
+    /// the same call sequence (generic over the trait).
+    fn probe<O: OrderOracle>(oracle: &O, f_eq: FdSetId) -> Vec<bool> {
         let k_a = oracle.resolve(&o(&[A])).unwrap();
         let k_ab = oracle.resolve(&o(&[A, B])).unwrap();
+        let kg_ab = oracle.resolve_grouping(&g(&[A, B])).unwrap();
         let s0 = oracle.produce(k_a);
         let s1 = oracle.infer(s0, f_eq);
+        let sg = oracle.produce_grouping(kg_ab);
         vec![
             oracle.satisfies(s0, k_a),
             oracle.satisfies(s0, k_ab),
             oracle.satisfies(s1, k_a),
             oracle.satisfies(s1, k_ab),
+            oracle.satisfies_grouping(s1, kg_ab),
+            oracle.satisfies_grouping(sg, kg_ab),
+            oracle.satisfies(sg, k_a),
         ]
     }
 
@@ -192,10 +413,25 @@ mod tests {
         let spec = spec();
         let ours = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
         let simmen = SimmenFramework::prepare(&spec);
+        let explicit = ExplicitOracle::prepare(&spec);
         let f_eq = FdSetId(1);
-        assert_eq!(agree(&ours, f_eq), agree(&simmen, f_eq));
-        // (a) + a=b ⇒ (a,b) satisfied.
-        assert_eq!(agree(&ours, f_eq), vec![true, false, true, true]);
+        let expected = vec![true, false, true, true, true, true, false];
+        assert_eq!(probe(&ours, f_eq), expected, "dfsm");
+        assert_eq!(probe(&simmen, f_eq), expected, "simmen");
+        assert_eq!(probe(&explicit, f_eq), expected, "explicit");
+    }
+
+    #[test]
+    fn explicit_oracle_interns_states() {
+        let spec = spec();
+        let ex = ExplicitOracle::prepare(&spec);
+        let k = ex.resolve(&o(&[A])).unwrap();
+        let s1 = ex.produce(k);
+        let s2 = ex.produce(k);
+        assert_eq!(s1, s2, "equal sets share a state id");
+        let f = FdSetId(0);
+        assert_eq!(ex.infer(s1, f), ex.infer(s2, f));
+        assert!(ex.memory_bytes(10) > 0);
     }
 
     #[test]
@@ -203,6 +439,8 @@ mod tests {
         let spec = spec();
         let ours = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
         let simmen = SimmenFramework::prepare(&spec);
+        let explicit = ExplicitOracle::prepare(&spec);
         assert_ne!(OrderOracle::name(&ours), OrderOracle::name(&simmen));
+        assert_ne!(OrderOracle::name(&ours), OrderOracle::name(&explicit));
     }
 }

@@ -5,6 +5,10 @@
 //! about "millions of subplans" whose per-node order annotation must be
 //! tiny. The node's order state is the generic parameter `S` (4 bytes
 //! for the DFSM framework, ordering+environment handles for Simmen).
+//! Covered relation sets are [`BitSet`]s, so plans are not capped at 64
+//! relations.
+
+use ofw_common::BitSet;
 
 /// Index of a plan node in the arena.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,8 +49,35 @@ pub enum PlanOp {
     /// Nested-loop join (any predicates; preserves outer order).
     NestedLoopJoin { left: PlanId, right: PlanId },
     /// Group-by aggregation; `streaming` requires (and exploits) input
-    /// ordered by the grouping attributes, hashing does not.
+    /// ordered *or grouped* by the grouping attributes, hashing does
+    /// not (but its output is grouped by them).
     Aggregate { input: PlanId, streaming: bool },
+    /// Hash-grouping enforcer: rearranges the stream so tuples equal on
+    /// `key` become adjacent (the grouping analogue of the sort
+    /// enforcer — linear, no ordering produced).
+    HashGroup {
+        input: PlanId,
+        /// The produced grouping key (attribute set).
+        key: Vec<ofw_catalog::AttrId>,
+    },
+}
+
+impl PlanOp {
+    /// The operator's child plans (0, 1 or 2) — the single source of
+    /// truth for tree traversal, so adding an operator variant cannot
+    /// silently break a walker.
+    pub fn inputs(&self) -> impl Iterator<Item = PlanId> + '_ {
+        let (a, b) = match self {
+            PlanOp::Scan { .. } | PlanOp::IndexScan { .. } => (None, None),
+            PlanOp::Sort { input, .. }
+            | PlanOp::Aggregate { input, .. }
+            | PlanOp::HashGroup { input, .. } => (Some(*input), None),
+            PlanOp::MergeJoin { left, right, .. }
+            | PlanOp::HashJoin { left, right, .. }
+            | PlanOp::NestedLoopJoin { left, right } => (Some(*left), Some(*right)),
+        };
+        [a, b].into_iter().flatten()
+    }
 }
 
 /// One plan node: operator, covered relations, estimates, order state.
@@ -54,8 +85,8 @@ pub enum PlanOp {
 pub struct PlanNode<S> {
     /// The operator.
     pub op: PlanOp,
-    /// Bitmask of covered query relations.
-    pub mask: u64,
+    /// Set of covered query relations.
+    pub mask: BitSet,
     /// Cumulative cost estimate.
     pub cost: f64,
     /// Output cardinality estimate.
@@ -163,22 +194,21 @@ impl<S: Copy> PlanArena<S> {
                 let _ = writeln!(out, "{indent}{kind}Aggregate cost={:.0}", n.cost);
                 self.render_into(*input, relation_name, depth + 1, out);
             }
+            PlanOp::HashGroup { input, .. } => {
+                let _ = writeln!(out, "{indent}HashGroup cost={:.0}", n.cost);
+                self.render_into(*input, relation_name, depth + 1, out);
+            }
         }
     }
 
     /// Counts operators in the tree rooted at `id`.
     pub fn tree_size(&self, id: PlanId) -> usize {
-        match &self.node(id).op {
-            PlanOp::Scan { .. } | PlanOp::IndexScan { .. } => 1,
-            PlanOp::Sort { input, .. } | PlanOp::Aggregate { input, .. } => {
-                1 + self.tree_size(*input)
-            }
-            PlanOp::MergeJoin { left, right, .. }
-            | PlanOp::HashJoin { left, right, .. }
-            | PlanOp::NestedLoopJoin { left, right } => {
-                1 + self.tree_size(*left) + self.tree_size(*right)
-            }
-        }
+        1 + self
+            .node(id)
+            .op
+            .inputs()
+            .map(|c| self.tree_size(c))
+            .sum::<usize>()
     }
 }
 
@@ -186,12 +216,18 @@ impl<S: Copy> PlanArena<S> {
 mod tests {
     use super::*;
 
-    fn leaf(mask: u64) -> PlanNode<u32> {
+    fn set(bits: &[usize]) -> BitSet {
+        let mut s = BitSet::new(8);
+        for &b in bits {
+            s.insert(b);
+        }
+        s
+    }
+
+    fn leaf(qrel: usize) -> PlanNode<u32> {
         PlanNode {
-            op: PlanOp::Scan {
-                qrel: mask.trailing_zeros() as usize,
-            },
-            mask,
+            op: PlanOp::Scan { qrel },
+            mask: set(&[qrel]),
             cost: 10.0,
             card: 10.0,
             state: 0,
@@ -202,26 +238,26 @@ mod tests {
     #[test]
     fn arena_allocates_densely() {
         let mut a: PlanArena<u32> = PlanArena::new();
-        let p0 = a.push(leaf(1));
-        let p1 = a.push(leaf(2));
+        let p0 = a.push(leaf(0));
+        let p1 = a.push(leaf(1));
         assert_eq!(p0, PlanId(0));
         assert_eq!(p1, PlanId(1));
         assert_eq!(a.len(), 2);
-        assert_eq!(a.node(p1).mask, 2);
+        assert_eq!(a.node(p1).mask, set(&[1]));
     }
 
     #[test]
     fn tree_size_and_render() {
         let mut a: PlanArena<u32> = PlanArena::new();
-        let l = a.push(leaf(1));
-        let r = a.push(leaf(2));
+        let l = a.push(leaf(0));
+        let r = a.push(leaf(1));
         let j = a.push(PlanNode {
             op: PlanOp::MergeJoin {
                 left: l,
                 right: r,
                 edge: 0,
             },
-            mask: 3,
+            mask: set(&[0, 1]),
             cost: 30.0,
             card: 5.0,
             state: 0,
@@ -232,7 +268,7 @@ mod tests {
                 input: j,
                 key: vec![],
             },
-            mask: 3,
+            mask: set(&[0, 1]),
             cost: 60.0,
             card: 5.0,
             state: 1,

@@ -82,6 +82,13 @@ impl<'a> QueryBuilder<'a> {
         self
     }
 
+    /// Sets the `select distinct` attribute list (duplicate elimination
+    /// over these columns — a grouping-shaped requirement).
+    pub fn distinct(mut self, attrs: &[&str]) -> Self {
+        self.query.distinct = attrs.iter().map(|a| self.catalog.attr(a)).collect();
+        self
+    }
+
     /// Sets the `order by` attribute list.
     pub fn order_by(mut self, attrs: &[&str]) -> Self {
         self.query.order_by = attrs.iter().map(|a| self.catalog.attr(a)).collect();

@@ -1,8 +1,12 @@
 //! Determining the order-optimization input from a query (paper §5.2 and
-//! the Q8 walkthrough in §6.2).
+//! the Q8 walkthrough in §6.2), extended with interesting groupings.
 //!
 //! * every join attribute and every `group by`/`order by` prefix is an
 //!   interesting order that a sort (or ordered index scan) can *produce*;
+//! * each `group by` / `select distinct` attribute set is an interesting
+//!   *grouping* that a hash-based aggregate can produce (the VLDB'04
+//!   combined-framework extension) — next to the corresponding sort
+//!   ordering, so sort-based and hash-based aggregation compete;
 //! * each equi-join predicate contributes the FD set `{l = r}` — applied
 //!   by the join operator that evaluates it;
 //! * each constant predicate contributes `{∅ → attr}` — applied by the
@@ -14,6 +18,7 @@ use crate::graph::Query;
 use ofw_catalog::Catalog;
 use ofw_core::fd::{Fd, FdSetId};
 use ofw_core::ordering::Ordering;
+use ofw_core::property::Grouping;
 use ofw_core::spec::InputSpec;
 
 /// Extraction tuning knobs.
@@ -24,6 +29,10 @@ pub struct ExtractOptions {
     /// Add constant/filter attributes as tested-only interesting orders
     /// (the paper's optional `O_T^I = {(r_name), (o_orderdate)}`).
     pub tested_selection_orders: bool,
+    /// Register `group by`/`distinct` attribute sets as produced
+    /// interesting groupings (hash aggregation produces them). Off
+    /// reproduces the pure ICDE'04 ordering extraction.
+    pub grouping_properties: bool,
 }
 
 impl Default for ExtractOptions {
@@ -31,6 +40,7 @@ impl Default for ExtractOptions {
         ExtractOptions {
             index_orders: true,
             tested_selection_orders: false,
+            grouping_properties: true,
         }
     }
 }
@@ -58,9 +68,17 @@ pub fn extract(catalog: &Catalog, query: &Query, options: &ExtractOptions) -> Ex
         spec.add_produced(Ordering::new(vec![j.left]));
         spec.add_produced(Ordering::new(vec![j.right]));
     }
-    // Grouping/ordering requirements are producible by a sort.
+    // Grouping/ordering requirements are producible by a sort; the
+    // group-by/distinct attribute *set* is additionally producible as a
+    // grouping by a hash aggregate.
     if !query.group_by.is_empty() {
         spec.add_produced(Ordering::new(query.group_by.clone()));
+    }
+    if !query.distinct.is_empty() {
+        spec.add_produced(Ordering::new(query.distinct.clone()));
+    }
+    if options.grouping_properties && !query.effective_group_by().is_empty() {
+        spec.add_produced(Grouping::new(query.effective_group_by().to_vec()));
     }
     if !query.order_by.is_empty() {
         spec.add_produced(Ordering::new(query.order_by.clone()));
@@ -138,7 +156,12 @@ mod tests {
                 ..ExtractOptions::default()
             },
         );
-        let produced: Vec<&Ordering> = ex.spec.produced().iter().collect();
+        let produced: Vec<&Ordering> = ex
+            .spec
+            .produced()
+            .iter()
+            .filter_map(|p| p.as_ordering())
+            .collect();
         let jid = c.attr("jobs.id");
         let pjobid = c.attr("persons.jobid");
         let pname = c.attr("persons.name");
@@ -146,9 +169,14 @@ mod tests {
         assert!(produced.contains(&&Ordering::new(vec![pjobid])));
         assert!(produced.contains(&&Ordering::new(vec![jid, pname])));
         assert_eq!(produced.len(), 3);
+        assert_eq!(
+            ex.spec.interesting_groupings().count(),
+            0,
+            "no group-by, no groupings"
+        );
         // (salary) tested only.
         let sal = c.attr("jobs.salary");
-        assert_eq!(ex.spec.tested(), &[Ordering::new(vec![sal])]);
+        assert_eq!(ex.spec.tested(), &[Ordering::new(vec![sal]).into()]);
         // One FD set: the equation.
         assert_eq!(ex.spec.fd_sets().len(), 1);
         assert_eq!(ex.join_fd.len(), 1);
@@ -173,7 +201,7 @@ mod tests {
     }
 
     #[test]
-    fn group_by_becomes_produced_order() {
+    fn group_by_becomes_produced_order_and_grouping() {
         let mut c = Catalog::new();
         c.add_relation("t", 10.0, &["g", "v"]);
         c.add_relation("u", 10.0, &["w"]);
@@ -185,7 +213,42 @@ mod tests {
             .build();
         let ex = extract(&c, &q, &ExtractOptions::default());
         let g = c.attr("t.g");
-        assert!(ex.spec.produced().contains(&Ordering::new(vec![g])));
+        assert!(ex.spec.produced().contains(&Ordering::new(vec![g]).into()));
+        assert!(ex.spec.produced().contains(&Grouping::new(vec![g]).into()));
+        // With grouping extraction off, only the ordering remains.
+        let ex = extract(
+            &c,
+            &q,
+            &ExtractOptions {
+                grouping_properties: false,
+                ..ExtractOptions::default()
+            },
+        );
+        assert_eq!(ex.spec.interesting_groupings().count(), 0);
+    }
+
+    #[test]
+    fn distinct_becomes_produced_order_and_grouping() {
+        let mut c = Catalog::new();
+        c.add_relation("t", 10.0, &["g", "v"]);
+        c.add_relation("u", 10.0, &["w"]);
+        let q = QueryBuilder::new(&c)
+            .relation("t")
+            .relation("u")
+            .join("t.v", "u.w", 0.1)
+            .distinct(&["t.g", "t.v"])
+            .build();
+        let ex = extract(&c, &q, &ExtractOptions::default());
+        let g = c.attr("t.g");
+        let v = c.attr("t.v");
+        assert!(ex
+            .spec
+            .produced()
+            .contains(&Ordering::new(vec![g, v]).into()));
+        assert!(ex
+            .spec
+            .produced()
+            .contains(&Grouping::new(vec![g, v]).into()));
     }
 
     #[test]

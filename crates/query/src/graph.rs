@@ -1,12 +1,15 @@
 //! The select-project-join query model.
 //!
 //! Relations participating in a query are numbered `0..n` ("query
-//! relations"); sets of them are `u64` bitmasks, which caps queries at 64
-//! relations — far beyond what dynamic-programming join enumeration can
-//! handle anyway (the paper evaluates up to 10).
+//! relations"). Relation sets come in two flavors: the
+//! [`BitSet`]-based API (`*_set` methods) the plan generator uses, which
+//! scales to arbitrarily many relations, and a legacy `u64`-bitmask API
+//! kept for small-query convenience (capped at 64 relations, far beyond
+//! what exhaustive DP join enumeration can handle anyway — the paper
+//! evaluates up to 10).
 
 use ofw_catalog::{AttrId, Catalog, RelId};
-use ofw_common::FxHashMap;
+use ofw_common::{BitSet, FxHashMap};
 
 /// An equi-join predicate `left = right` between two query relations.
 #[derive(Clone, Debug)]
@@ -49,8 +52,12 @@ pub struct Query {
     pub constants: Vec<ConstPred>,
     /// Non-FD filters.
     pub filters: Vec<FilterPred>,
-    /// `group by` attributes (treated as one interesting order).
+    /// `group by` attributes (an interesting order *and* an interesting
+    /// grouping).
     pub group_by: Vec<AttrId>,
+    /// `select distinct` attributes — duplicate elimination over these
+    /// columns, a grouping-shaped requirement with no aggregates.
+    pub distinct: Vec<AttrId>,
     /// `order by` attributes (the query's required output order).
     pub order_by: Vec<AttrId>,
     /// Owning query relation per attribute.
@@ -63,15 +70,27 @@ impl Query {
         Self::default()
     }
 
-    /// Adds a catalog relation; returns its query-relation index.
+    /// Adds a catalog relation; returns its query-relation index. There
+    /// is no relation-count ceiling: the set-based API below handles any
+    /// width (only the legacy `u64` helpers are capped at 64).
     pub fn add_relation(&mut self, catalog: &Catalog, rel: RelId) -> usize {
         let q = self.relations.len();
-        assert!(q < 64, "at most 64 relations per query");
         for &a in &catalog.relation(rel).attrs {
             self.attr_owner.insert(a, q);
         }
         self.relations.push(rel);
         q
+    }
+
+    /// The grouping-shaped aggregation requirement: `group by` if
+    /// present, else `select distinct` (duplicate elimination is an
+    /// aggregation with no aggregate functions).
+    pub fn effective_group_by(&self) -> &[AttrId] {
+        if !self.group_by.is_empty() {
+            &self.group_by
+        } else {
+            &self.distinct
+        }
     }
 
     /// Query relation owning `attr` (panics for foreign attributes).
@@ -84,8 +103,10 @@ impl Query {
         self.relations.len()
     }
 
-    /// Bitmask with every query relation set.
+    /// Bitmask with every query relation set (legacy `u64` API, ≤ 64
+    /// relations).
     pub fn all_relations_mask(&self) -> u64 {
+        assert!(self.relations.len() <= 64, "use all_relations_set()");
         if self.relations.len() == 64 {
             u64::MAX
         } else {
@@ -93,9 +114,73 @@ impl Query {
         }
     }
 
+    /// Singleton relation set (universe = the query's relation count —
+    /// every set handed to the set-based API must share it).
+    pub fn relation_set(&self, qrel: usize) -> BitSet {
+        let mut s = BitSet::new(self.relations.len());
+        s.insert(qrel);
+        s
+    }
+
+    /// The set of all query relations.
+    pub fn all_relations_set(&self) -> BitSet {
+        let mut s = BitSet::new(self.relations.len());
+        for q in 0..self.relations.len() {
+            s.insert(q);
+        }
+        s
+    }
+
     /// Join edges applicable when joining relation sets `a` and `b`
-    /// (edges with one endpoint in each) as indexes into `joins`.
+    /// (edges with one endpoint in each) as indexes into `joins` —
+    /// the [`BitSet`] twin of [`connecting_joins`](Self::connecting_joins).
+    pub fn connecting_joins_set<'a>(
+        &'a self,
+        a: &'a BitSet,
+        b: &'a BitSet,
+    ) -> impl Iterator<Item = usize> + 'a {
+        self.joins.iter().enumerate().filter_map(move |(i, j)| {
+            let l = self.owner(j.left);
+            let r = self.owner(j.right);
+            let cross = (a.contains(l) && b.contains(r)) || (b.contains(l) && a.contains(r));
+            cross.then_some(i)
+        })
+    }
+
+    /// True if the join graph restricted to `set` is connected (the
+    /// [`BitSet`] twin of [`is_connected`](Self::is_connected)).
+    pub fn is_connected_set(&self, set: &BitSet) -> bool {
+        let Some(first) = set.iter().next() else {
+            return false;
+        };
+        let mut seen = BitSet::new(self.relations.len());
+        seen.insert(first);
+        loop {
+            let mut grew = false;
+            for j in &self.joins {
+                let l = self.owner(j.left);
+                let r = self.owner(j.right);
+                if !set.contains(l) || !set.contains(r) {
+                    continue; // edge leaves the subgraph
+                }
+                if seen.contains(l) != seen.contains(r) {
+                    seen.insert(l);
+                    seen.insert(r);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        set.iter().all(|q| seen.contains(q))
+    }
+
+    /// Join edges applicable when joining relation sets `a` and `b`
+    /// (edges with one endpoint in each) as indexes into `joins` —
+    /// legacy `u64` API, ≤ 64 relations.
     pub fn connecting_joins(&self, a: u64, b: u64) -> impl Iterator<Item = usize> + '_ {
+        assert!(self.relations.len() <= 64, "use connecting_joins_set()");
         self.joins.iter().enumerate().filter_map(move |(i, j)| {
             let l = 1u64 << self.owner(j.left);
             let r = 1u64 << self.owner(j.right);
@@ -104,8 +189,10 @@ impl Query {
         })
     }
 
-    /// True if the join graph restricted to `mask` is connected.
+    /// True if the join graph restricted to `mask` is connected (legacy
+    /// `u64` API, ≤ 64 relations).
     pub fn is_connected(&self, mask: u64) -> bool {
+        assert!(self.relations.len() <= 64, "use is_connected_set()");
         if mask == 0 {
             return false;
         }
@@ -132,7 +219,7 @@ impl Query {
 
     /// Whether the whole query graph is connected.
     pub fn is_fully_connected(&self) -> bool {
-        self.is_connected(self.all_relations_mask())
+        self.is_connected_set(&self.all_relations_set())
     }
 }
 
@@ -200,5 +287,38 @@ mod tests {
         assert!(!q.is_fully_connected());
         assert!(q.is_connected(0b011));
         assert!(!q.is_connected(0b110));
+    }
+
+    #[test]
+    fn set_api_mirrors_mask_api() {
+        let (_, q) = chain(4);
+        for mask in 1u64..=q.all_relations_mask() {
+            let set: BitSet = {
+                let mut s = BitSet::new(q.num_relations());
+                for i in 0..q.num_relations() {
+                    if mask & (1 << i) != 0 {
+                        s.insert(i);
+                    }
+                }
+                s
+            };
+            assert_eq!(q.is_connected(mask), q.is_connected_set(&set), "{mask:b}");
+        }
+        let a = q.relation_set(0);
+        let mut ab = a.clone();
+        ab.union_with(&q.relation_set(1));
+        let c = q.relation_set(2);
+        assert_eq!(q.connecting_joins_set(&ab, &c).collect::<Vec<_>>(), [1]);
+        assert_eq!(q.connecting_joins_set(&a, &c).count(), 0);
+    }
+
+    #[test]
+    fn effective_group_by_prefers_group_by() {
+        let (c, mut q) = chain(2);
+        assert!(q.effective_group_by().is_empty());
+        q.distinct = vec![c.attr("r0.k")];
+        assert_eq!(q.effective_group_by(), &[c.attr("r0.k")]);
+        q.group_by = vec![c.attr("r0.f")];
+        assert_eq!(q.effective_group_by(), &[c.attr("r0.f")]);
     }
 }

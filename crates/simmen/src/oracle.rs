@@ -5,22 +5,30 @@
 //! Interior mutability (`RefCell`) hides the caches behind `&self`
 //! methods — the plan generator calls `infer`/`satisfies` through shared
 //! references millions of times, and the caches are pure memoization.
+//!
+//! Grouping support mirrors the combined framework: a plan node's
+//! physical property may be a grouping (hash-aggregation output), and a
+//! grouping requirement is tested by closing the node's implied grouping
+//! set under its FD environment — an Ω(n)-per-probe computation (cached),
+//! which is exactly the asymmetry the DFSM framework removes.
 
 use crate::env::{EnvStore, FdEnvId};
 use crate::reduce::reduce;
-use ofw_common::{FxHashMap, Interner};
+use ofw_common::{FxHashMap, FxHashSet, Interner};
+use ofw_core::derive::apply_fd_grouping;
 use ofw_core::fd::FdSetId;
 use ofw_core::ordering::Ordering;
+use ofw_core::property::{Grouping, LogicalProperty};
 use ofw_core::spec::InputSpec;
 use std::cell::RefCell;
 
-/// Per-plan-node annotation under Simmen's scheme: the physical ordering
-/// (interned) plus the FD environment. Conceptually this is
-/// Ω(n)-sized state; the handles point into shared stores whose bytes
-/// are charged to [`SimmenFramework::memory_bytes`].
+/// Per-plan-node annotation under Simmen's scheme: the physical property
+/// (interned ordering or grouping) plus the FD environment. Conceptually
+/// this is Ω(n)-sized state; the handles point into shared stores whose
+/// bytes are charged to [`SimmenFramework::memory_bytes`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimmenState {
-    /// Interned physical ordering.
+    /// Interned physical property.
     pub phys: u32,
     /// Interned FD environment.
     pub env: FdEnvId,
@@ -32,85 +40,76 @@ impl std::fmt::Debug for SimmenState {
     }
 }
 
-/// Handle of an interesting order, pre-resolved once per query.
+/// Handle of an interesting property, pre-resolved once per query.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SimmenOrderKey(u32);
 
 struct Caches {
-    orderings: Interner<Ordering>,
+    props: Interner<LogicalProperty>,
     envs: EnvStore,
     /// Reduction cache: (interned ordering, environment) → reduced
     /// interned ordering — the paper's single most important tuning.
     reduce_cache: FxHashMap<(u32, FdEnvId), u32>,
+    /// Grouping cache: (interned property, environment) → set of
+    /// groupings the stream satisfies under the environment.
+    grouping_cache: FxHashMap<(u32, FdEnvId), FxHashSet<Grouping>>,
 }
 
 /// The prepared Simmen-style framework for one query.
 pub struct SimmenFramework {
     caches: RefCell<Caches>,
-    /// Interesting orders (prefix-closed), indexable by key.
-    orders: Vec<Ordering>,
-    order_keys: FxHashMap<Ordering, SimmenOrderKey>,
+    /// Interesting properties (orderings prefix-closed, groupings
+    /// as-is), indexable by key.
+    props: Vec<LogicalProperty>,
+    prop_keys: FxHashMap<LogicalProperty, SimmenOrderKey>,
     producible: Vec<bool>,
 }
 
 impl SimmenFramework {
     /// "Preparation" for Simmen's algorithm is trivial (that is its
     /// advantage; the paper's point is that it loses during plan
-    /// generation): intern the interesting orders and set up stores.
+    /// generation): intern the interesting properties and set up stores.
     pub fn prepare(spec: &InputSpec) -> Self {
         let mut caches = Caches {
-            orderings: Interner::new(),
+            props: Interner::new(),
             envs: EnvStore::new(spec.fd_sets().to_vec()),
             reduce_cache: FxHashMap::default(),
+            grouping_cache: FxHashMap::default(),
         };
-        caches.orderings.intern(Ordering::empty());
+        caches.props.intern(Ordering::empty().into());
 
-        let mut orders: Vec<Ordering> = Vec::new();
-        let mut order_keys = FxHashMap::default();
+        let mut props: Vec<LogicalProperty> = Vec::new();
+        let mut prop_keys = FxHashMap::default();
         let mut producible = Vec::new();
-        let add = |o: &Ordering,
-                   prod: bool,
-                   orders: &mut Vec<Ordering>,
-                   producible: &mut Vec<bool>,
-                   order_keys: &mut FxHashMap<Ordering, SimmenOrderKey>| {
-            if let Some(k) = order_keys.get(o) {
-                let SimmenOrderKey(i) = *k;
-                producible[i as usize] = producible[i as usize] || prod;
-                return;
-            }
-            order_keys.insert(o.clone(), SimmenOrderKey(orders.len() as u32));
-            orders.push(o.clone());
+        for (p, prod) in spec.interesting_closure() {
+            prop_keys.insert(p.clone(), SimmenOrderKey(props.len() as u32));
+            caches.props.intern(p.clone());
+            props.push(p);
             producible.push(prod);
-        };
-        for o in spec.produced() {
-            add(o, true, &mut orders, &mut producible, &mut order_keys);
-            for p in o.proper_prefixes() {
-                add(&p, false, &mut orders, &mut producible, &mut order_keys);
-            }
-        }
-        for o in spec.tested() {
-            add(o, false, &mut orders, &mut producible, &mut order_keys);
-            for p in o.proper_prefixes() {
-                add(&p, false, &mut orders, &mut producible, &mut order_keys);
-            }
-        }
-        for o in &orders {
-            caches.orderings.intern(o.clone());
         }
         SimmenFramework {
             caches: RefCell::new(caches),
-            orders,
-            order_keys,
+            props,
+            prop_keys,
             producible,
         }
     }
 
     /// Key of an interesting order (or a prefix of one).
     pub fn key(&self, o: &Ordering) -> Option<SimmenOrderKey> {
-        self.order_keys.get(o).copied()
+        self.prop_keys
+            .get(&LogicalProperty::Ordering(o.clone()))
+            .copied()
     }
 
-    /// Whether the order behind `k` is in `O_P`.
+    /// Key of an interesting grouping.
+    pub fn grouping_key(&self, g: &Grouping) -> Option<SimmenOrderKey> {
+        self.prop_keys
+            .get(&LogicalProperty::Grouping(g.clone()))
+            .copied()
+    }
+
+    /// Whether the property behind `k` is in `O_P`.
     pub fn is_producible(&self, k: SimmenOrderKey) -> bool {
         self.producible[k.0 as usize]
     }
@@ -123,11 +122,12 @@ impl SimmenFramework {
         }
     }
 
-    /// State of a stream physically ordered by the order behind `k`
-    /// (sort or ordered scan output) with no dependencies yet.
+    /// State of a stream physically shaped like the property behind `k`
+    /// (sort / ordered-scan output for an ordering, hash-aggregation
+    /// output for a grouping) with no dependencies yet.
     pub fn produce(&self, k: SimmenOrderKey) -> SimmenState {
         let mut caches = self.caches.borrow_mut();
-        let phys = caches.orderings.intern(self.orders[k.0 as usize].clone());
+        let phys = caches.props.intern(self.props[k.0 as usize].clone());
         SimmenState {
             phys,
             env: FdEnvId(0),
@@ -141,19 +141,38 @@ impl SimmenFramework {
         SimmenState { phys: s.phys, env }
     }
 
-    /// `contains`: reduce both orderings under the environment, then
-    /// prefix-test (cached).
+    /// `contains`: for an ordering requirement, reduce both orderings
+    /// under the environment and prefix-test (cached); a grouped stream
+    /// satisfies no ordering. For a grouping requirement, close the
+    /// stream's implied groupings under the environment (cached) and
+    /// test membership.
     pub fn satisfies(&self, s: SimmenState, k: SimmenOrderKey) -> bool {
         let mut caches = self.caches.borrow_mut();
-        let required = caches.orderings.get(&self.orders[k.0 as usize]).unwrap();
-        let rp = reduced(&mut caches, s.phys, s.env);
-        let rr = reduced(&mut caches, required, s.env);
-        let rp = caches.orderings.resolve(rp).clone();
-        let rr = caches.orderings.resolve(rr);
-        rr.is_prefix_of(&rp)
+        match &self.props[k.0 as usize] {
+            LogicalProperty::Ordering(required) => {
+                if caches.props.resolve(s.phys).is_grouping() {
+                    return false;
+                }
+                let required = caches
+                    .props
+                    .get(&required.clone().into())
+                    .expect("interesting orders are interned");
+                let rp = reduced(&mut caches, s.phys, s.env);
+                let rr = reduced(&mut caches, required, s.env);
+                let rp = match caches.props.resolve(rp).as_ordering() {
+                    Some(o) => o.clone(),
+                    None => return false,
+                };
+                let rr = caches.props.resolve(rr).as_ordering().cloned();
+                rr.is_some_and(|rr| rr.is_prefix_of(&rp))
+            }
+            LogicalProperty::Grouping(required) => {
+                groupings_contain(&mut caches, s.phys, s.env, required)
+            }
+        }
     }
 
-    /// Plan comparability (§7): same physical ordering, environment a
+    /// Plan comparability (§7): same physical property, environment a
     /// superset — Simmen's scheme cannot see that extra dependencies are
     /// irrelevant, which is why it prunes fewer plans.
     pub fn dominates(&self, a: SimmenState, b: SimmenState) -> bool {
@@ -165,27 +184,47 @@ impl SimmenFramework {
 
     /// Bytes of order-annotation storage for a plan with
     /// `num_plan_nodes` nodes: the per-node states plus the shared
-    /// interned environments, orderings and the reduction cache.
+    /// interned environments, properties and the memoization caches.
     pub fn memory_bytes(&self, num_plan_nodes: usize) -> usize {
         let caches = self.caches.borrow();
-        let ordering_bytes: usize = caches
-            .orderings
+        let prop_bytes: usize = caches
+            .props
             .iter()
-            .map(|(_, o)| o.heap_bytes() + std::mem::size_of::<Ordering>())
+            .map(|(_, p)| p.heap_bytes() + std::mem::size_of::<LogicalProperty>())
+            .sum();
+        let grouping_cache_bytes: usize = caches
+            .grouping_cache
+            .values()
+            .map(|set| {
+                std::mem::size_of::<(u32, FdEnvId)>()
+                    + set
+                        .iter()
+                        .map(|g| g.heap_bytes() + std::mem::size_of::<Grouping>())
+                        .sum::<usize>()
+            })
             .sum();
         num_plan_nodes * std::mem::size_of::<SimmenState>()
             + caches.envs.memory_bytes()
-            + ordering_bytes
+            + prop_bytes
+            + grouping_cache_bytes
             + caches.reduce_cache.len()
                 * (std::mem::size_of::<(u32, FdEnvId)>() + std::mem::size_of::<u32>())
     }
 
-    /// All interesting orders with their keys.
+    /// All interesting *orderings* with their keys.
     pub fn orders(&self) -> impl Iterator<Item = (&Ordering, SimmenOrderKey)> {
-        self.orders
+        self.props
             .iter()
             .enumerate()
-            .map(|(i, o)| (o, SimmenOrderKey(i as u32)))
+            .filter_map(|(i, p)| p.as_ordering().map(|o| (o, SimmenOrderKey(i as u32))))
+    }
+
+    /// All interesting *groupings* with their keys.
+    pub fn groupings(&self) -> impl Iterator<Item = (&Grouping, SimmenOrderKey)> {
+        self.props
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_grouping().map(|g| (g, SimmenOrderKey(i as u32))))
     }
 
     /// Reduction-cache size (for diagnostics).
@@ -199,12 +238,57 @@ fn reduced(caches: &mut Caches, phys: u32, env: FdEnvId) -> u32 {
     if let Some(&hit) = caches.reduce_cache.get(&(phys, env)) {
         return hit;
     }
-    let o = caches.orderings.resolve(phys).clone();
+    let o = caches
+        .props
+        .resolve(phys)
+        .as_ordering()
+        .expect("reduction is only defined on orderings")
+        .clone();
     let fds: Vec<ofw_core::fd::Fd> = caches.envs.env(env).fds.to_vec();
     let r = reduce(&o, &fds);
-    let id = caches.orderings.intern(r);
+    let id = caches.props.intern(r.into());
     caches.reduce_cache.insert((phys, env), id);
     id
+}
+
+/// Membership probe against the cached grouping set of the stream in
+/// physical property `phys` under `env`: prefix attribute sets of the
+/// physical ordering (or the grouping key itself), closed under the
+/// environment's dependencies — the persistent-FD ground truth,
+/// computed the expensive way once per (property, environment) and
+/// probed in place afterwards.
+fn groupings_contain(caches: &mut Caches, phys: u32, env: FdEnvId, required: &Grouping) -> bool {
+    if let Some(hit) = caches.grouping_cache.get(&(phys, env)) {
+        return hit.contains(required);
+    }
+    let mut set: FxHashSet<Grouping> = FxHashSet::default();
+    match caches.props.resolve(phys) {
+        LogicalProperty::Ordering(o) => {
+            for len in 1..=o.len() {
+                set.insert(Grouping::new(o.attrs()[..len].to_vec()));
+            }
+        }
+        LogicalProperty::Grouping(g) => {
+            set.insert(g.clone());
+        }
+    }
+    let fds: Vec<ofw_core::fd::Fd> = caches.envs.env(env).fds.to_vec();
+    let mut work: Vec<Grouping> = set.iter().cloned().collect();
+    let mut buf: Vec<Grouping> = Vec::new();
+    while let Some(cur) = work.pop() {
+        for fd in &fds {
+            buf.clear();
+            apply_fd_grouping(&cur, fd, &mut buf);
+            for d in buf.drain(..) {
+                if !d.is_empty() && set.insert(d.clone()) {
+                    work.push(d);
+                }
+            }
+        }
+    }
+    let contains = set.contains(required);
+    caches.grouping_cache.insert((phys, env), set);
+    contains
 }
 
 #[cfg(test)]
@@ -220,6 +304,10 @@ mod tests {
 
     fn o(ids: &[AttrId]) -> Ordering {
         Ordering::new(ids.to_vec())
+    }
+
+    fn g(ids: &[AttrId]) -> Grouping {
+        Grouping::new(ids.to_vec())
     }
 
     fn running_example() -> (InputSpec, FdSetId, FdSetId) {
@@ -311,5 +399,37 @@ mod tests {
         assert!(fw.key(&o(&[C])).is_none());
         assert!(fw.is_producible(fw.key(&o(&[B])).unwrap()));
         assert!(!fw.is_producible(fw.key(&o(&[A])).unwrap()));
+    }
+
+    #[test]
+    fn grouping_support_mirrors_the_combined_framework() {
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A, B]));
+        spec.add_produced(g(&[A, B]));
+        spec.add_tested(g(&[A, B, C]));
+        let f_bc = spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        let fw = SimmenFramework::prepare(&spec);
+
+        let k_ab = fw.key(&o(&[A, B])).unwrap();
+        let kg_ab = fw.grouping_key(&g(&[A, B])).unwrap();
+        let kg_abc = fw.grouping_key(&g(&[A, B, C])).unwrap();
+        assert!(fw.is_producible(kg_ab));
+        assert!(!fw.is_producible(kg_abc));
+
+        // Sorted stream: grouped by every prefix set; FD extends it.
+        let s = fw.produce(k_ab);
+        assert!(fw.satisfies(s, kg_ab));
+        assert!(!fw.satisfies(s, kg_abc));
+        let s2 = fw.infer(s, f_bc);
+        assert!(fw.satisfies(s2, kg_abc));
+
+        // Hash-grouped stream: its grouping, but no ordering.
+        let sg = fw.produce(kg_ab);
+        assert!(fw.satisfies(sg, kg_ab));
+        assert!(!fw.satisfies(sg, k_ab));
+        assert!(fw.satisfies(fw.infer(sg, f_bc), kg_abc));
+        // Different physical kinds never dominate each other.
+        assert!(!fw.dominates(s, sg));
+        assert_eq!(fw.groupings().count(), 2);
     }
 }

@@ -1,0 +1,134 @@
+//! Grouping-heavy workloads for the combined ordering + grouping
+//! framework (VLDB'04): random join graphs decorated with `group by` /
+//! `select distinct` requirements, plus a TPC-H-style aggregation query
+//! whose optimal plan exploits early hash-grouping.
+
+use crate::random::{random_query, RandomQueryConfig};
+use ofw_catalog::{tpch::tpch_q8_catalog, Catalog};
+use ofw_query::{Query, QueryBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a random grouping query.
+#[derive(Clone, Debug)]
+pub struct GroupingQueryConfig {
+    /// Number of relations.
+    pub num_relations: usize,
+    /// Join edges beyond the chain's `n-1`.
+    pub extra_edges: usize,
+    /// RNG seed — same seed, same query.
+    pub seed: u64,
+}
+
+/// Generates a deterministic random join query with an aggregation
+/// requirement: a `group by` (or, a quarter of the time, a `select
+/// distinct`) over one or two attributes of a random relation;
+/// sometimes an `order by` over the same attributes rides along, so
+/// sort-based and hash-based aggregation genuinely compete.
+pub fn grouping_query(config: &GroupingQueryConfig) -> (Catalog, Query) {
+    let (catalog, mut query) = random_query(&RandomQueryConfig {
+        num_relations: config.num_relations,
+        extra_edges: config.extra_edges,
+        seed: config.seed,
+    });
+    // Decorate deterministically from a decoupled stream, so the join
+    // graph stays byte-identical to the plain random workload.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x6752_0404);
+    let rel = rng.gen_range(0..config.num_relations);
+    let mut attrs = vec![catalog.attr(&format!("r{rel}.c0"))];
+    if rng.gen_bool(0.5) {
+        attrs.push(catalog.attr(&format!("r{rel}.c1")));
+    }
+    query.order_by.clear();
+    if rng.gen_bool(0.25) {
+        query.distinct = attrs.clone();
+    } else {
+        query.group_by = attrs.clone();
+        if rng.gen_bool(0.3) {
+            query.order_by = attrs;
+        }
+    }
+    (catalog, query)
+}
+
+/// A TPC-H-style aggregation query ("customers per nation", Q13/Q10
+/// flavored) over the Query-8 catalog:
+///
+/// ```sql
+/// select n1.n_name, count(*)
+/// from customer, orders, nation n1
+/// where o_custkey = c_custkey and c_nationkey = n1.n_nationkey
+/// group by n1.n_name
+/// ```
+///
+/// The grouping attribute lives on the tiny `nation` relation and has
+/// no index, while the joins fan out to 1.5M orders — the shape where
+/// hash-grouping the 25-row input early and streaming the aggregate
+/// beats both sort-based aggregation and hashing the full join output.
+pub fn q13_style_query() -> (Catalog, Query) {
+    let catalog = tpch_q8_catalog();
+    let query = QueryBuilder::new(&catalog)
+        .relation("customer")
+        .relation("orders")
+        .relation("nation1")
+        .join("o_custkey", "c_custkey", 1.0 / 150_000.0)
+        .join("c_nationkey", "n1_nationkey", 1.0 / 25.0)
+        .group_by(&["n1_name"])
+        .build();
+    (catalog, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_always_aggregating() {
+        for seed in 0..20u64 {
+            let config = GroupingQueryConfig {
+                num_relations: 5,
+                extra_edges: 1,
+                seed,
+            };
+            let (_, q1) = grouping_query(&config);
+            let (_, q2) = grouping_query(&config);
+            assert_eq!(q1.group_by, q2.group_by);
+            assert_eq!(q1.distinct, q2.distinct);
+            assert_eq!(q1.order_by, q2.order_by);
+            assert!(
+                !q1.effective_group_by().is_empty(),
+                "every grouping query aggregates"
+            );
+            assert!(q1.is_fully_connected());
+        }
+    }
+
+    #[test]
+    fn mixes_group_by_and_distinct() {
+        let mut group_by = 0;
+        let mut distinct = 0;
+        for seed in 0..40u64 {
+            let (_, q) = grouping_query(&GroupingQueryConfig {
+                num_relations: 4,
+                extra_edges: 0,
+                seed,
+            });
+            if q.distinct.is_empty() {
+                group_by += 1;
+            } else {
+                distinct += 1;
+            }
+        }
+        assert!(group_by > 0 && distinct > 0, "{group_by}/{distinct}");
+    }
+
+    #[test]
+    fn q13_style_shape() {
+        let (_, q) = q13_style_query();
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.order_by.is_empty());
+        assert!(q.is_fully_connected());
+    }
+}

@@ -1,6 +1,7 @@
 //! # ofw-workload — experiment workloads
 //!
-//! The two workload families of the paper's evaluation:
+//! The workload families of the paper's evaluation, plus the grouping
+//! extension's:
 //!
 //! * [`random`] — randomly generated join queries: "we generated queries
 //!   with 5–10 relations and a varying number of join predicates … We
@@ -9,9 +10,15 @@
 //! * [`tpch`] — TPC-R Query 8 exactly as analyzed in §6.2: eight
 //!   relations, seven equi-join predicates, two constant predicates, a
 //!   date range filter and `group by o_year`.
+//! * [`grouping`] — grouping-heavy workloads for the combined
+//!   ordering + grouping framework: random join graphs with `group by`
+//!   / `select distinct` requirements, and a TPC-H-style aggregation
+//!   query rewarding early hash-grouping.
 
+pub mod grouping;
 pub mod random;
 pub mod tpch;
 
+pub use grouping::{grouping_query, q13_style_query, GroupingQueryConfig};
 pub use random::{random_query, RandomQueryConfig};
 pub use tpch::q8_query;

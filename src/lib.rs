@@ -1,17 +1,20 @@
-//! # ofw — an efficient framework for order optimization
+//! # ofw — an efficient framework for order (and grouping) optimization
 //!
 //! A faithful, production-quality reproduction of
 //! *Neumann & Moerkotte, "An Efficient Framework for Order Optimization"*
-//! (ICDE 2004). The crate tracks *interesting orders* during query
-//! optimization with a precomputed deterministic finite state machine, so
-//! that during plan generation
+//! (ICDE 2004), extended to the combined ordering + grouping framework of
+//! the VLDB 2004 companion paper. The crate tracks *interesting orders
+//! and groupings* during query optimization with a precomputed
+//! deterministic finite state machine, so that during plan generation
 //!
 //! * testing whether a subplan satisfies a required ordering
-//!   ([`OrderingFramework::satisfies`](ofw_core::OrderingFramework::satisfies)), and
-//! * inferring new logical orderings when an operator adds functional
+//!   ([`OrderingFramework::satisfies`](ofw_core::OrderingFramework::satisfies)),
+//! * testing whether it satisfies a required *grouping*
+//!   ([`OrderingFramework::satisfies_grouping`](ofw_core::OrderingFramework::satisfies_grouping)), and
+//! * inferring new logical properties when an operator adds functional
 //!   dependencies ([`OrderingFramework::infer`](ofw_core::OrderingFramework::infer))
 //!
-//! both run in **O(1)**, and every plan node carries only a 4-byte state.
+//! all run in **O(1)**, and every plan node carries only a 4-byte state.
 //!
 //! This facade re-exports the workspace crates:
 //!

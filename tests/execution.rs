@@ -10,7 +10,9 @@
 use ofw::core::{OrderingFramework, PruneConfig};
 use ofw::plangen::{execute, synthetic_data, PlanGen};
 use ofw::query::extract::ExtractOptions;
-use ofw::workload::{q8_query, random_query, RandomQueryConfig};
+use ofw::workload::{
+    grouping_query, q8_query, random_query, GroupingQueryConfig, RandomQueryConfig,
+};
 
 /// For the winning plan of each random query: every interesting order
 /// satisfied by the root's DFSM state must hold physically.
@@ -80,12 +82,62 @@ fn claimed_orderings_hold_for_intermediate_plans() {
                 let covered = ordering
                     .attrs()
                     .iter()
-                    .all(|&a| node.mask & (1u64 << query.owner(a)) != 0);
+                    .all(|&a| node.mask.contains(query.owner(a)));
                 if covered && fw.satisfies(node.state, handle) {
                     assert!(
                         output.satisfies_ordering(ordering.attrs()),
                         "seed={seed} plan {pid:?}: claims {ordering:?} physically violated"
                     );
+                }
+            }
+        }
+    }
+}
+
+/// Grouping workloads: every ordering *and* every grouping the combined
+/// framework claims for any subplan must hold on the physical tuple
+/// stream — including through hash-group enforcers, grouping-preserving
+/// joins and aggregates.
+#[test]
+fn claimed_groupings_hold_physically() {
+    for n in [2usize, 3, 4] {
+        for seed in 0..8u64 {
+            let (catalog, query) = grouping_query(&GroupingQueryConfig {
+                num_relations: n,
+                extra_edges: 0,
+                seed,
+            });
+            let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
+            let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+            let result = PlanGen::new(&catalog, &query, &ex, &fw).run();
+            let data = synthetic_data(&catalog, &query, 7, 3, seed.wrapping_mul(17) + 3);
+
+            for id in 0..result.arena.len() as u32 {
+                let pid = ofw::plangen::PlanId(id);
+                let node = result.arena.node(pid);
+                let output = execute(&result.arena, pid, &catalog, &query, &data);
+                let covered = |attrs: &[ofw::catalog::AttrId]| {
+                    attrs.iter().all(|&a| node.mask.contains(query.owner(a)))
+                };
+                for (ordering, handle) in fw.orders() {
+                    if covered(ordering.attrs()) && fw.satisfies(node.state, handle) {
+                        assert!(
+                            output.satisfies_ordering(ordering.attrs()),
+                            "n={n} seed={seed} plan {pid:?}: ordering {ordering:?} violated"
+                        );
+                    }
+                }
+                for (grouping, handle) in fw.groupings() {
+                    if covered(grouping.attrs()) && fw.satisfies_grouping(node.state, handle) {
+                        assert!(
+                            output.satisfies_grouping(grouping.attrs()),
+                            "n={n} seed={seed} plan {pid:?}: grouping {grouping:?} violated\n{}",
+                            result.arena.render(pid, &|q| catalog
+                                .relation(query.relations[q])
+                                .name
+                                .clone()),
+                        );
+                    }
                 }
             }
         }

@@ -84,7 +84,7 @@ fn q8_end_to_end() {
     let root = result.arena.node(result.best);
     assert_eq!(
         root.mask,
-        query.all_relations_mask(),
+        query.all_relations_set(),
         "covers all 8 relations"
     );
     assert!(result.cost.is_finite() && result.cost > 0.0);
@@ -101,17 +101,15 @@ fn q8_end_to_end() {
     let mut joins = 0;
     let mut stack = vec![result.best];
     while let Some(p) = stack.pop() {
-        match &result.arena.node(p).op {
+        let op = &result.arena.node(p).op;
+        match op {
             PlanOp::Scan { .. } | PlanOp::IndexScan { .. } => leaves += 1,
-            PlanOp::Sort { input, .. } | PlanOp::Aggregate { input, .. } => stack.push(*input),
-            PlanOp::MergeJoin { left, right, .. }
-            | PlanOp::HashJoin { left, right, .. }
-            | PlanOp::NestedLoopJoin { left, right } => {
-                joins += 1;
-                stack.push(*left);
-                stack.push(*right);
+            PlanOp::MergeJoin { .. } | PlanOp::HashJoin { .. } | PlanOp::NestedLoopJoin { .. } => {
+                joins += 1
             }
+            _ => {}
         }
+        stack.extend(op.inputs());
     }
     assert_eq!(leaves, 8);
     assert_eq!(joins, 7);

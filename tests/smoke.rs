@@ -67,6 +67,31 @@ fn quickstart_running_example_matches_figs_9_and_10() {
     assert!(fw.satisfies(s, h_abc));
 }
 
+/// The combined-framework quickstart: groupings ride on the same
+/// 4-byte state and the same O(1) probes.
+#[test]
+fn grouping_quickstart() {
+    use ofw::core::Grouping;
+    let [a, b, c] = [AttrId(0), AttrId(1), AttrId(2)];
+    let mut spec = InputSpec::new();
+    spec.add_produced(o(&[a, b]));
+    spec.add_produced(Grouping::new(vec![a, b]));
+    spec.add_tested(Grouping::new(vec![a, b, c]));
+    let f_bc = spec.add_fd_set(vec![Fd::functional(&[b], c)]);
+    let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+
+    let g_ab = fw.handle_grouping(&Grouping::new(vec![a, b])).unwrap();
+    let g_abc = fw.handle_grouping(&Grouping::new(vec![a, b, c])).unwrap();
+    // Sorted ⇒ grouped; hash-grouped ⇒ grouped but unsorted.
+    let sorted = fw.produce(fw.handle(&o(&[a, b])).unwrap());
+    assert!(fw.satisfies_grouping(sorted, g_ab));
+    let grouped = fw.produce_grouping(g_ab);
+    assert!(fw.satisfies_grouping(grouped, g_ab));
+    assert!(!fw.satisfies(grouped, fw.handle(&o(&[a, b])).unwrap()));
+    // FDs extend groupings by set insertion, in O(1).
+    assert!(fw.satisfies_grouping(fw.infer(grouped, f_bc), g_abc));
+}
+
 /// Every facade module resolves and its headline type is usable: a
 /// stale `pub use` in `src/lib.rs` fails this test at compile time.
 #[test]
