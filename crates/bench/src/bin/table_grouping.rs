@@ -23,7 +23,7 @@ fn main() {
         "{:>2} {:>7} {:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>6} {:>8}",
         "n", "#Edges", "oracle✓", "t(ms) S", "#Plans S", "t(ms) O", "#Plans O", "% t", "% #Plans"
     );
-    let mut json_rows: Vec<String> = Vec::new();
+    let mut json_rows: Vec<String> = vec![ofw_bench::json::machine_meta_row().build()];
     for extra in 0..=1usize {
         let edge_label = ["n-1", "n"][extra];
         for n in 4..=max_n {

@@ -39,6 +39,7 @@ fn main() {
     let path = ofw_bench::json::write_bench(
         "table_prep_q8",
         vec![
+            ofw_bench::json::machine_meta_row().build(),
             ofw_bench::prep_row_json(&without).build(),
             ofw_bench::prep_row_json(&with).build(),
         ],

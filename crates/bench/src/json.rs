@@ -80,6 +80,18 @@ pub fn array(items: &[String]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// The standard leading meta row: marks the payload and records a
+/// machine proxy (`avail_threads`) so `scripts/bench_trend.py` can tell
+/// same-machine time regressions from cross-hardware noise.
+pub fn machine_meta_row() -> Obj {
+    Obj::new().int("meta", 1).int(
+        "avail_threads",
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    )
+}
+
 /// Writes `BENCH_<name>.json` with `{"bench": name, "rows": rows}` into
 /// `dir` and returns the path.
 pub fn write_bench_in(

@@ -12,10 +12,14 @@
 //! | E8 | Fig. 14 memory table | `table_fig14` | [`sweep_cell`] |
 //! | A1 | pruning ablation | `table_ablation_pruning` | [`prep_q8_with`] |
 //! | G1 | grouping workload sweep (VLDB'04 extension) | `table_grouping` | [`grouping_cell`] |
+//! | P1 | thread-scaling sweep (parallel DP) | `table_parallel` | [`parallel_cell`] |
 //!
 //! Every table binary also emits its rows as machine-readable
 //! `BENCH_<name>.json` (see [`json`]) next to the stdout table, so the
-//! perf trajectory can be tracked across commits.
+//! perf trajectory can be tracked across commits —
+//! `scripts/bench_trend.py` compares the smoke runs against the
+//! baselines committed under `baselines/` and fails CI on large
+//! plan-time regressions.
 
 use ofw_catalog::Catalog;
 use ofw_core::{OrderingFramework, PrepStats, PruneConfig};
@@ -29,6 +33,9 @@ use ofw_workload::{
 use std::time::{Duration, Instant};
 
 pub mod json;
+pub mod parallel;
+
+pub use parallel::{parallel_cell, parallel_row_json, parallel_row_line, ParallelRow};
 
 /// One row of the §6.2 preparation table.
 #[derive(Clone, Debug)]

@@ -1,0 +1,273 @@
+//! The thread-scaling experiment (P1): serial DP vs the work-stealing
+//! parallel driver, per oracle arm, across the large chain/star/clique
+//! topologies.
+//!
+//! Every parallel run is checked **byte-identical** to the serial run
+//! (full arena fingerprint, oracle states included) — the sweep measures
+//! speed, never different answers. Arms that cannot reach a cell's size
+//! are skipped by the caller: the Simmen baseline's weak dominance
+//! inflates Pareto widths until wide queries are out of reach (that
+//! asymmetry *is* the paper's result), and the explicit-set oracle is
+//! Ω(2ⁿ) by construction.
+
+use crate::ms;
+use ofw_catalog::Catalog;
+use ofw_common::FxHasher;
+use ofw_core::{OrderingFramework, PruneConfig};
+use ofw_parallel::ThreadPool;
+use ofw_plangen::{ExplicitOracle, OrderOracle, PlanGen, PlanGenResult};
+use ofw_query::extract::ExtractOptions;
+use ofw_query::{ExtractedQuery, Query};
+use ofw_simmen::SimmenFramework;
+use ofw_workload::{large_query, LargeQueryConfig, Topology};
+use std::fmt::Debug;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+/// One measured run of the thread-scaling sweep. `threads == 0` is the
+/// serial reference driver; `threads >= 1` is the pool driver.
+#[derive(Clone, Debug)]
+pub struct ParallelRow {
+    /// Join-graph shape.
+    pub topology: &'static str,
+    /// Relation count.
+    pub n: usize,
+    /// Lean extraction (no per-join interesting orders)?
+    pub lean: bool,
+    /// Oracle arm.
+    pub framework: &'static str,
+    /// Pool threads (0 = serial driver).
+    pub threads: usize,
+    /// Wall-clock plan-generation time (preparation excluded — it is
+    /// shared, read-mostly state across all thread counts).
+    pub time: Duration,
+    /// Subplans generated.
+    pub plans: usize,
+    /// Winning plan cost.
+    pub best_cost: f64,
+    /// Serial time / this time.
+    pub speedup: f64,
+    /// Arena byte-identical to the serial driver's?
+    pub identical: bool,
+}
+
+/// Order-*sensitive* 64-bit fingerprint of the full plan arena (nodes
+/// folded in allocation order — the splice order is part of the
+/// guarantee): operator tree, exact cost/card bit patterns, masks,
+/// applied FDs, oracle states, winner. Any schedule leak in the
+/// parallel driver changes it. Comparisons are valid because
+/// [`run_arm`] runs serial-first on one shared oracle instance, which
+/// pins even the memoizing oracles' interned state ids.
+fn fingerprint<S: Copy + Debug>(r: &PlanGenResult<S>) -> u64 {
+    let mut h = FxHasher::default();
+    for n in r.arena.nodes() {
+        format!("{:?}", n.op).hash(&mut h);
+        n.cost.to_bits().hash(&mut h);
+        n.card.to_bits().hash(&mut h);
+        for b in n.mask.iter() {
+            b.hash(&mut h);
+        }
+        for f in n.applied_fds.iter() {
+            f.hash(&mut h);
+        }
+        format!("{:?}", n.state).hash(&mut h);
+    }
+    format!("{:?}", r.best).hash(&mut h);
+    r.cost.to_bits().hash(&mut h);
+    (r.stats.plans as u64).hash(&mut h);
+    h.finish()
+}
+
+/// One cell's fixed context: the query, its extraction, and the cell's
+/// identity fields.
+struct CellCtx<'a> {
+    topology: Topology,
+    n: usize,
+    lean: bool,
+    catalog: &'a Catalog,
+    query: &'a Query,
+    ex: &'a ExtractedQuery,
+}
+
+/// Runs one oracle arm: the serial driver once, then the pool driver at
+/// each thread count, all against the same prepared (shared, read-
+/// mostly) framework.
+fn run_arm<O>(cell: &CellCtx<'_>, oracle: &O, threads: &[usize]) -> Vec<ParallelRow>
+where
+    O: OrderOracle + Sync,
+    O::Key: Sync,
+    O::State: Send + Sync + Debug,
+{
+    let mut rows = Vec::new();
+    let t0 = Instant::now();
+    let serial = PlanGen::new(cell.catalog, cell.query, cell.ex, oracle).run();
+    let serial_time = t0.elapsed();
+    let reference = fingerprint(&serial);
+    rows.push(ParallelRow {
+        topology: cell.topology.name(),
+        n: cell.n,
+        lean: cell.lean,
+        framework: oracle.name(),
+        threads: 0,
+        time: serial_time,
+        plans: serial.stats.plans,
+        best_cost: serial.cost,
+        speedup: 1.0,
+        identical: true,
+    });
+    for &t in threads {
+        let pool = ThreadPool::new(t);
+        let t0 = Instant::now();
+        let r = PlanGen::new(cell.catalog, cell.query, cell.ex, oracle).run_with(&pool);
+        let time = t0.elapsed();
+        rows.push(ParallelRow {
+            topology: cell.topology.name(),
+            n: cell.n,
+            lean: cell.lean,
+            framework: oracle.name(),
+            threads: t,
+            time,
+            plans: r.stats.plans,
+            best_cost: r.cost,
+            speedup: serial_time.as_secs_f64() / time.as_secs_f64().max(1e-12),
+            identical: fingerprint(&r) == reference,
+        });
+    }
+    rows
+}
+
+/// One cell of the thread-scaling sweep (P1): a `topology` query over
+/// `n` relations, planned serially and at each of `threads` pool sizes,
+/// for the DFSM arm plus (where the cell is within their reach) the
+/// Simmen and explicit-set arms.
+pub fn parallel_cell(
+    topology: Topology,
+    n: usize,
+    seed: u64,
+    lean: bool,
+    threads: &[usize],
+    with_simmen: bool,
+    with_explicit: bool,
+) -> Vec<ParallelRow> {
+    let (catalog, query) = large_query(&LargeQueryConfig {
+        topology,
+        num_relations: n,
+        seed,
+    });
+    let options = if lean {
+        ExtractOptions::lean()
+    } else {
+        ExtractOptions::default()
+    };
+    let ex = ofw_query::extract(&catalog, &query, &options);
+    let cell = CellCtx {
+        topology,
+        n,
+        lean,
+        catalog: &catalog,
+        query: &query,
+        ex: &ex,
+    };
+    let mut rows = Vec::new();
+
+    let dfsm = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).expect("prepare");
+    rows.extend(run_arm(&cell, &dfsm, threads));
+    if with_simmen {
+        let simmen = SimmenFramework::prepare(&ex.spec);
+        rows.extend(run_arm(&cell, &simmen, threads));
+    }
+    if with_explicit {
+        let explicit = ExplicitOracle::prepare(&ex.spec);
+        rows.extend(run_arm(&cell, &explicit, threads));
+    }
+
+    // Cross-arm agreement: every arm found an equally cheap plan.
+    let reference = rows[0].best_cost;
+    for row in &rows {
+        let rel = (row.best_cost - reference).abs() / reference.max(1.0);
+        assert!(
+            rel < 1e-9,
+            "optimal cost mismatch in {}/{n}: {} vs {}",
+            row.topology,
+            row.best_cost,
+            reference
+        );
+        assert!(
+            row.identical,
+            "{}/{n} at {} threads diverged from the serial driver",
+            row.framework, row.threads
+        );
+    }
+    rows
+}
+
+/// A [`ParallelRow`] as a flat JSON object for `BENCH_parallel.json`.
+pub fn parallel_row_json(row: &ParallelRow) -> crate::json::Obj {
+    crate::json::Obj::new()
+        .str("topology", row.topology)
+        .int("n", row.n)
+        .int("lean", usize::from(row.lean))
+        .str("framework", row.framework)
+        .int("threads", row.threads)
+        .num("time_ms", row.time.as_secs_f64() * 1e3)
+        .int("plans", row.plans)
+        .num("best_cost", row.best_cost)
+        .num("speedup", row.speedup)
+        .int("identical", usize::from(row.identical))
+}
+
+/// Renders one row for the stdout table.
+pub fn parallel_row_line(row: &ParallelRow) -> String {
+    let driver = if row.threads == 0 {
+        "serial".to_string()
+    } else {
+        format!("{}T", row.threads)
+    };
+    format!(
+        "{:>6} {:>4} {:>5} {:>22} {:>7} | {:>10} {:>9} {:>7.2}x {:>9}",
+        row.topology,
+        row.n,
+        if row.lean { "lean" } else { "full" },
+        row.framework,
+        driver,
+        ms(row.time),
+        row.plans,
+        row.speedup,
+        if row.identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_parallel_cell_is_identical_across_drivers() {
+        let rows = parallel_cell(Topology::Chain, 6, 42, false, &[1, 2], true, true);
+        // 3 arms × (serial + 2 thread counts).
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().all(|r| r.identical));
+        assert!(rows.iter().all(|r| r.plans > 0));
+        // The same arm allocates the same number of plans everywhere.
+        for arm in ["nfsm/dfsm (ours)", "simmen", "explicit set (oracle)"] {
+            let plans: Vec<usize> = rows
+                .iter()
+                .filter(|r| r.framework == arm)
+                .map(|r| r.plans)
+                .collect();
+            assert!(plans.windows(2).all(|w| w[0] == w[1]), "{arm}: {plans:?}");
+        }
+    }
+
+    #[test]
+    fn star_and_clique_cells_run() {
+        for topology in [Topology::Star, Topology::Clique] {
+            let rows = parallel_cell(topology, 5, 7, false, &[2], true, false);
+            assert!(rows.iter().all(|r| r.identical));
+        }
+    }
+}

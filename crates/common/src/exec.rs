@@ -1,0 +1,98 @@
+//! Ordered chunk execution — the seam between the DP drivers and the
+//! thread pool.
+//!
+//! The plan generator's size-layered DP hands each layer to an
+//! [`OrderedExecutor`]: "run `f(0), f(1), …, f(n-1)` and give me the
+//! results *in index order*". How the indices are scheduled is the
+//! executor's business — [`SerialExecutor`] runs them inline in order,
+//! the `ofw-parallel` work-stealing pool runs them on worker threads —
+//! but because results always come back in index order, the caller's
+//! behavior is independent of the schedule. That is the whole
+//! determinism story of the parallel DP: scheduling freedom below the
+//! seam, a fixed merge order above it.
+
+use std::ops::Range;
+
+/// Executes `n` independent tasks and returns their results in index
+/// order, regardless of execution order.
+pub trait OrderedExecutor {
+    /// Runs `f(i)` exactly once for every `i in 0..n`; `results[i]`
+    /// holds the value of `f(i)`.
+    fn run_ordered<R: Send>(&self, n: usize, f: &(dyn Fn(usize) -> R + Sync)) -> Vec<R>;
+
+    /// How many OS threads the executor may use (1 for serial).
+    fn thread_count(&self) -> usize {
+        1
+    }
+}
+
+/// The trivial executor: runs every task inline, in index order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialExecutor;
+
+impl OrderedExecutor for SerialExecutor {
+    fn run_ordered<R: Send>(&self, n: usize, f: &(dyn Fn(usize) -> R + Sync)) -> Vec<R> {
+        (0..n).map(f).collect()
+    }
+}
+
+/// Splits `0..len` into at most `parts` contiguous, balanced, non-empty
+/// ranges (fewer when `len < parts`). The first `len % parts` ranges are
+/// one element longer — the classic block partition, fully deterministic.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "cannot chunk into zero parts");
+    let parts = parts.min(len);
+    let mut out = Vec::with_capacity(parts);
+    if len == 0 {
+        return out;
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_executor_preserves_index_order() {
+        let r = SerialExecutor.run_ordered(5, &|i| i * 10);
+        assert_eq!(r, vec![0, 10, 20, 30, 40]);
+        assert_eq!(SerialExecutor.thread_count(), 1);
+    }
+
+    #[test]
+    fn empty_run_is_empty() {
+        let r: Vec<usize> = SerialExecutor.run_ordered(0, &|i| i);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in 0..40 {
+            for parts in 1..10 {
+                let ranges = chunk_ranges(len, parts);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                let expect: Vec<usize> = (0..len).collect();
+                assert_eq!(flat, expect, "len={len} parts={parts}");
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+                assert!(ranges.len() <= parts);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_are_balanced() {
+        let ranges = chunk_ranges(10, 4);
+        let sizes: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+}

@@ -12,17 +12,26 @@
 //!   `contains` table (DFSM state × interesting order).
 //! * [`interner`] — a generic value interner handing out dense `u32`
 //!   handles so hot-path comparisons are integer comparisons.
-//! * [`mem`] — a byte-accurate memory meter used to reproduce the paper's
-//!   memory-consumption experiments (Fig. 14).
+//! * [`smallset`] — a bit set with a single inline word that spills to
+//!   the heap past 64 elements (per-plan-node applied-FD masks).
+//! * [`mem`] — a byte-accurate, thread-shareable memory meter used to
+//!   reproduce the paper's memory-consumption experiments (Fig. 14).
+//! * [`exec`] — the ordered chunk-execution seam ([`OrderedExecutor`])
+//!   between the DP drivers and the `ofw-parallel` thread pool, plus the
+//!   deterministic block partitioner [`chunk_ranges`].
 
 pub mod bitmatrix;
 pub mod bitset;
+pub mod exec;
 pub mod hash;
 pub mod interner;
 pub mod mem;
+pub mod smallset;
 
 pub use bitmatrix::BitMatrix;
 pub use bitset::BitSet;
+pub use exec::{chunk_ranges, OrderedExecutor, SerialExecutor};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use interner::Interner;
 pub use mem::MemoryMeter;
+pub use smallset::SmallBitSet;

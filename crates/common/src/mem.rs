@@ -5,17 +5,23 @@
 //! having each framework report the bytes of its per-plan annotations and
 //! shared structures through a [`MemoryMeter`] instead of relying on a
 //! global allocator hook (which would also count plan-generator noise).
+//!
+//! The meter is atomic, so it is `Sync`: the parallel DP driver's
+//! workers all charge the one meter inside their shared oracle without
+//! any external locking. The counters are logical bytes, not allocator
+//! truth, so relaxed ordering is sufficient.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Tracks current and peak logical byte usage of one subsystem.
 ///
-/// Interior mutability (`Cell`) keeps the accounting callable from `&self`
-/// methods on oracles without threading `&mut` through the plan generator.
+/// Atomics keep the accounting callable from `&self` methods on oracles
+/// without threading `&mut` through the plan generator, and make the
+/// meter shareable across the parallel driver's worker threads.
 #[derive(Debug, Default)]
 pub struct MemoryMeter {
-    current: Cell<usize>,
-    peak: Cell<usize>,
+    current: AtomicUsize,
+    peak: AtomicUsize,
 }
 
 impl MemoryMeter {
@@ -26,32 +32,35 @@ impl MemoryMeter {
 
     /// Records an allocation of `bytes`.
     pub fn alloc(&self, bytes: usize) {
-        let cur = self.current.get() + bytes;
-        self.current.set(cur);
-        if cur > self.peak.get() {
-            self.peak.set(cur);
-        }
+        let cur = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(cur, Ordering::Relaxed);
     }
 
     /// Records a release of `bytes`.
     pub fn free(&self, bytes: usize) {
-        self.current.set(self.current.get().saturating_sub(bytes));
+        // Saturate at zero (a free may race another thread's alloc; the
+        // counter is logical, so clamping beats wrapping).
+        let _ = self
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            });
     }
 
     /// Bytes currently accounted.
     pub fn current(&self) -> usize {
-        self.current.get()
+        self.current.load(Ordering::Relaxed)
     }
 
     /// High-water mark in bytes.
     pub fn peak(&self) -> usize {
-        self.peak.get()
+        self.peak.load(Ordering::Relaxed)
     }
 
     /// Resets both counters to zero.
     pub fn reset(&self) {
-        self.current.set(0);
-        self.peak.set(0);
+        self.current.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
     }
 }
 
@@ -88,5 +97,22 @@ mod tests {
         m.reset();
         assert_eq!(m.current(), 0);
         assert_eq!(m.peak(), 0);
+    }
+
+    #[test]
+    fn meter_is_shareable_across_threads() {
+        let m = MemoryMeter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.alloc(3);
+                        m.free(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.current(), 4 * 1000 * 2);
+        assert!(m.peak() >= m.current());
     }
 }

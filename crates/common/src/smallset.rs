@@ -1,0 +1,223 @@
+//! A bit set optimized for the "almost always ≤ 64 elements" case.
+//!
+//! The plan generator tags every plan node with the set of FD sets
+//! applied beneath it. Queries have one FD set per predicate, so the set
+//! is nearly always ≤ 64 wide — but a 70-relation chain has 69 join
+//! predicates, and the DP must not fall over there. [`SmallBitSet`]
+//! stores indices `< 64` inline in a single `u64` (no heap, `Copy`-cheap
+//! clone) and transparently spills to a boxed word slice for wider
+//! universes, so the common case costs exactly what the old raw-`u64`
+//! mask did.
+
+/// A growable bit set: one inline word, spilling to the heap past 64.
+#[derive(Clone)]
+pub enum SmallBitSet {
+    /// Indices 0..64, inline.
+    Inline(u64),
+    /// Arbitrary width; `words[i]` holds indices `64i..64(i+1)`.
+    /// Trailing words may be zero — equality compares logical contents,
+    /// not representations.
+    Spill(Box<[u64]>),
+}
+
+impl PartialEq for SmallBitSet {
+    fn eq(&self, other: &Self) -> bool {
+        let (a, b) = (self.words(), other.words());
+        let n = a.len().max(b.len());
+        (0..n).all(|i| a.get(i).copied().unwrap_or(0) == b.get(i).copied().unwrap_or(0))
+    }
+}
+
+impl Eq for SmallBitSet {}
+
+impl Default for SmallBitSet {
+    fn default() -> Self {
+        SmallBitSet::Inline(0)
+    }
+}
+
+impl SmallBitSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True iff no bit is set.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            SmallBitSet::Inline(w) => *w == 0,
+            SmallBitSet::Spill(ws) => ws.iter().all(|&w| w == 0),
+        }
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        match self {
+            SmallBitSet::Inline(w) => w.count_ones() as usize,
+            SmallBitSet::Spill(ws) => ws.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+
+    /// Inserts index `i`, spilling to the heap if `i >= 64`.
+    pub fn insert(&mut self, i: usize) {
+        let word = i / 64;
+        let bit = 1u64 << (i % 64);
+        match self {
+            SmallBitSet::Inline(w) if word == 0 => *w |= bit,
+            SmallBitSet::Inline(w) => {
+                let mut words = vec![0u64; word + 1];
+                words[0] = *w;
+                words[word] |= bit;
+                *self = SmallBitSet::Spill(words.into_boxed_slice());
+            }
+            SmallBitSet::Spill(ws) => {
+                if word >= ws.len() {
+                    let mut words = ws.to_vec();
+                    words.resize(word + 1, 0);
+                    words[word] |= bit;
+                    *self = SmallBitSet::Spill(words.into_boxed_slice());
+                } else {
+                    ws[word] |= bit;
+                }
+            }
+        }
+    }
+
+    /// True iff index `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        let word = i / 64;
+        let bit = 1u64 << (i % 64);
+        match self {
+            SmallBitSet::Inline(w) => word == 0 && *w & bit != 0,
+            SmallBitSet::Spill(ws) => word < ws.len() && ws[word] & bit != 0,
+        }
+    }
+
+    /// `self |= other` — word-wise, with at most one reallocation.
+    pub fn union_with(&mut self, other: &SmallBitSet) {
+        if let (SmallBitSet::Inline(a), SmallBitSet::Inline(b)) = (&mut *self, other) {
+            *a |= *b;
+            return;
+        }
+        let theirs = other.words();
+        // OR in place when the spill is already wide enough.
+        if let SmallBitSet::Spill(ws) = &mut *self {
+            if theirs.len() <= ws.len() {
+                for (w, &o) in ws.iter_mut().zip(theirs) {
+                    *w |= o;
+                }
+                return;
+            }
+        }
+        let ours = self.words();
+        let mut words = vec![0u64; ours.len().max(theirs.len())];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = ours.get(i).copied().unwrap_or(0) | theirs.get(i).copied().unwrap_or(0);
+        }
+        *self = SmallBitSet::Spill(words.into_boxed_slice());
+    }
+
+    /// The backing words (one inline, or the spill slice).
+    fn words(&self) -> &[u64] {
+        match self {
+            SmallBitSet::Inline(w) => std::slice::from_ref(w),
+            SmallBitSet::Spill(ws) => ws,
+        }
+    }
+
+    /// Iterates the set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let words = self.words();
+        words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    /// Heap bytes owned by the set (0 while inline).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            SmallBitSet::Inline(_) => 0,
+            SmallBitSet::Spill(ws) => std::mem::size_of_val::<[u64]>(ws),
+        }
+    }
+}
+
+impl std::fmt::Debug for SmallBitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for SmallBitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = SmallBitSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_basics() {
+        let mut s = SmallBitSet::new();
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        assert!(matches!(s, SmallBitSet::Inline(_)));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && s.contains(63) && !s.contains(5));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63]);
+        assert_eq!(s.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn spills_past_64_and_keeps_contents() {
+        let mut s = SmallBitSet::new();
+        s.insert(3);
+        s.insert(64);
+        s.insert(130);
+        assert!(matches!(s, SmallBitSet::Spill(_)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 130]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64) && !s.contains(65));
+        assert!(s.heap_bytes() >= 3 * 8);
+    }
+
+    #[test]
+    fn union_mixes_representations() {
+        let a: SmallBitSet = [1usize, 5].into_iter().collect();
+        let b: SmallBitSet = [5usize, 70].into_iter().collect();
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 5, 70]);
+        let mut v = b;
+        v.union_with(&a);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![1, 5, 70]);
+        // Spill ∪ wider spill reallocates once and keeps everything.
+        let mut w: SmallBitSet = [65usize].into_iter().collect();
+        let wide: SmallBitSet = [2usize, 200].into_iter().collect();
+        w.union_with(&wide);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![2, 65, 200]);
+    }
+
+    #[test]
+    fn inline_union_is_wordwise() {
+        let a: SmallBitSet = [0usize, 2].into_iter().collect();
+        let mut b: SmallBitSet = [1usize].into_iter().collect();
+        b.union_with(&a);
+        assert_eq!(b, [0usize, 1, 2].into_iter().collect());
+    }
+}

@@ -17,14 +17,36 @@
 //! input's properties — the interplay that makes interesting properties
 //! pay off.
 //!
+//! # The two-driver layer API
+//!
+//! The DP advances layer by layer (subset size 2, 3, … n). Each layer is
+//! *planned* first — [`PlanGen::plan_layer`] enumerates every connected
+//! union of the layer together with all its ordered partitions, in a
+//! deterministic first-discovery order — and then *executed*: each
+//! union's Pareto set is built independently in a thread-local
+//! [`ArenaView`] and spliced onto the global arena **in layer order** at
+//! the layer barrier. Execution is delegated to an
+//! [`ofw_common::OrderedExecutor`]: [`SerialExecutor`] for the classic
+//! single-threaded driver ([`PlanGen::run`]), the `ofw-parallel`
+//! work-stealing pool for the sharded driver ([`PlanGen::run_with`]).
+//! Because the splice order and the per-union work are both schedule-
+//! independent, the final plan table — operators, masks, costs,
+//! cardinalities, applied FDs, winner — is byte-identical for every
+//! executor and thread count. Per-node oracle *state handles* are also
+//! bit-equal when the oracle assigns them schedule-independently: the
+//! DFSM framework always does (states precomputed before the DP);
+//! the memoizing oracles intern handles first-come, so bit-equality
+//! there additionally requires a warmed instance (serial run first) —
+//! cold, their handles stay semantically equal but may renumber.
+//!
 //! Every [`PlanNode`] allocation is counted: that is the paper's
 //! `#Plans` metric ("the time to introduce one plan operator").
 
 use crate::cost;
 use crate::oracle::OrderOracle;
-use crate::plan::{PlanArena, PlanId, PlanNode, PlanOp};
+use crate::plan::{ArenaView, PlanArena, PlanId, PlanNode, PlanOp, LOCAL_PLAN_BIT};
 use ofw_catalog::Catalog;
-use ofw_common::{BitSet, FxHashMap, FxHashSet};
+use ofw_common::{BitSet, FxHashMap, OrderedExecutor, SerialExecutor, SmallBitSet};
 use ofw_core::fd::FdSetId;
 use ofw_core::ordering::Ordering;
 use ofw_core::property::{Grouping, LogicalProperty};
@@ -69,6 +91,23 @@ struct EnforcerTarget<K> {
     grouping: bool,
 }
 
+/// One connected subset of a DP layer with all its ordered partitions —
+/// the unit of work the executor schedules. Pairs are stored as indices
+/// into the by-size subset lists (`(left size, left index, right
+/// index)`), in the deterministic order the pair loop discovered them.
+pub struct UnionWork {
+    /// The connected subset this work item builds plans for.
+    pub union: BitSet,
+    pairs: Vec<(u32, u32, u32)>,
+}
+
+impl UnionWork {
+    /// Number of ordered partitions feeding this subset.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
 /// The generator, parameterized by the order oracle.
 pub struct PlanGen<'a, O: OrderOracle> {
     catalog: &'a Catalog,
@@ -89,10 +128,6 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         oracle: &'a O,
     ) -> Self {
         assert!(query.is_fully_connected(), "cross products not supported");
-        assert!(
-            ex.spec.fd_sets().len() <= 64,
-            "applied-FD bitmask is 64 bits wide"
-        );
         // Pre-resolve every producible interesting property (cold path).
         let mut targets = Vec::new();
         for p in ex.spec.produced() {
@@ -136,9 +171,28 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         }
     }
 
-    /// Runs the DP and returns the cheapest complete plan that honors
-    /// the query's `order by` (adding a final sort if needed).
-    pub fn run(mut self) -> PlanGenResult<O::State> {
+    /// Runs the DP serially and returns the cheapest complete plan that
+    /// honors the query's `order by` (adding a final sort if needed).
+    pub fn run(self) -> PlanGenResult<O::State>
+    where
+        O: Sync,
+        O::Key: Sync,
+        O::State: Send + Sync,
+    {
+        self.run_with(&SerialExecutor)
+    }
+
+    /// Runs the DP with `exec` scheduling each layer's subsets. The
+    /// result — plan table, arena layout, winner — is identical for
+    /// every executor; a parallel executor only changes how fast it
+    /// arrives. (See the module docs for the one caveat: numeric state
+    /// handles of cold memoizing oracles.)
+    pub fn run_with<E: OrderedExecutor>(mut self, exec: &E) -> PlanGenResult<O::State>
+    where
+        O: Sync,
+        O::Key: Sync,
+        O::State: Send + Sync,
+    {
         let t0 = Instant::now();
         let n = self.query.num_relations();
         let all = self.query.all_relations_set();
@@ -146,54 +200,44 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         // Connected subsets discovered so far, grouped by size.
         let mut by_size: Vec<Vec<BitSet>> = vec![Vec::new(); n + 1];
 
-        // Base relations.
+        // Base relations (cheap — built inline on the driver thread).
         for qrel in 0..n {
             let mask = self.query.relation_set(qrel);
-            let plans = self.base_plans(qrel);
+            let mut view = ArenaView::new(&self.arena);
             let mut set = Vec::new();
+            let plans = self.base_plans(qrel, &mut view);
             for p in plans {
-                self.insert_pruned(&mut set, p);
+                self.insert_pruned(&view, &mut set, p);
             }
-            self.add_enforcer_variants(&mask, &mut set);
+            self.add_enforcer_variants(&mask, &mut set, &mut view);
+            let set = self.commit(view.into_local(), set);
             self.table.insert(mask.clone(), set);
             by_size[1].push(mask);
         }
 
         // Size-ordered DP: every connected set of size `s` is the union
         // of two disjoint connected sets with a connecting edge, both of
-        // smaller size — so all its ordered partitions (s1 = left/probe
-        // side) are enumerated here before the set is ever consumed.
+        // smaller size — so the layer plan below enumerates all its
+        // ordered partitions (s1 = left/probe side) before any plan for
+        // the set is built. Each union is one executor chunk; the layer
+        // barrier splices the thread-local arenas in layer order, which
+        // makes the arena independent of the schedule.
         for size in 2..=n {
-            let mut order: Vec<BitSet> = Vec::new();
-            let mut seen: FxHashSet<BitSet> = FxHashSet::default();
-            let mut pending: FxHashMap<BitSet, Vec<PlanId>> = FxHashMap::default();
-            for k in 1..size {
-                let left_sets = by_size[k].clone();
-                let right_sets = by_size[size - k].clone();
-                for s1 in &left_sets {
-                    for s2 in &right_sets {
-                        if s1.intersects(s2) {
-                            continue;
-                        }
-                        if self.query.connecting_joins_set(s1, s2).next().is_none() {
-                            continue; // would be a cross product
-                        }
-                        let mut union = s1.clone();
-                        union.union_with(s2);
-                        if seen.insert(union.clone()) {
-                            order.push(union.clone());
-                        }
-                        let mut set = pending.remove(&union).unwrap_or_default();
-                        self.emit_joins(s1, s2, &mut set);
-                        pending.insert(union, set);
-                    }
-                }
-            }
-            for union in order {
-                let mut set = pending.remove(&union).expect("pending plans");
-                self.add_enforcer_variants(&union, &mut set);
-                self.table.insert(union.clone(), set);
-                by_size[size].push(union);
+            let layer = self.plan_layer(size, &by_size);
+            let results = {
+                let this = &self;
+                let by_size = &by_size;
+                let layer = &layer;
+                exec.run_ordered(layer.len(), &|i| {
+                    let mut view = ArenaView::new(&this.arena);
+                    let set = this.process_union(size, &layer[i], by_size, &mut view);
+                    (view.into_local(), set)
+                })
+            };
+            for (work, (local, set)) in layer.into_iter().zip(results) {
+                let set = self.commit(local, set);
+                self.table.insert(work.union.clone(), set);
+                by_size[size].push(work.union);
             }
         }
 
@@ -231,6 +275,77 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         }
     }
 
+    /// Plans one DP layer: every connected subset of `size` relations,
+    /// in deterministic first-discovery order, with all its ordered
+    /// partitions in pair-loop order. Pure enumeration — no plans are
+    /// built — so it stays on the driver thread.
+    fn plan_layer(&self, size: usize, by_size: &[Vec<BitSet>]) -> Vec<UnionWork> {
+        let mut index: FxHashMap<BitSet, usize> = FxHashMap::default();
+        let mut layer: Vec<UnionWork> = Vec::new();
+        for k in 1..size {
+            for (li, s1) in by_size[k].iter().enumerate() {
+                for (ri, s2) in by_size[size - k].iter().enumerate() {
+                    if s1.intersects(s2) {
+                        continue;
+                    }
+                    if self.query.connecting_joins_set(s1, s2).next().is_none() {
+                        continue; // would be a cross product
+                    }
+                    let mut union = s1.clone();
+                    union.union_with(s2);
+                    let at = *index.entry(union.clone()).or_insert_with(|| {
+                        layer.push(UnionWork {
+                            union,
+                            pairs: Vec::new(),
+                        });
+                        layer.len() - 1
+                    });
+                    layer[at].pairs.push((k as u32, li as u32, ri as u32));
+                }
+            }
+        }
+        layer
+    }
+
+    /// Builds one subset's Pareto set from its ordered partitions —
+    /// the executor chunk. Reads only frozen earlier-layer state
+    /// (`table`, `by_size`, the oracle); writes only into `view`.
+    fn process_union(
+        &self,
+        size: usize,
+        work: &UnionWork,
+        by_size: &[Vec<BitSet>],
+        view: &mut ArenaView<'_, O::State>,
+    ) -> Vec<PlanId> {
+        let mut set = Vec::new();
+        for &(k, li, ri) in &work.pairs {
+            let s1 = &by_size[k as usize][li as usize];
+            let s2 = &by_size[size - k as usize][ri as usize];
+            self.emit_joins(s1, s2, &mut set, view);
+        }
+        self.add_enforcer_variants(&work.union, &mut set, view);
+        set
+    }
+
+    /// Splices a thread-local arena onto the global one, rewriting local
+    /// ids (the high [`LOCAL_PLAN_BIT`]) to their global positions, and
+    /// returns the remapped Pareto set.
+    fn commit(&mut self, local: PlanArena<O::State>, set: Vec<PlanId>) -> Vec<PlanId> {
+        let base = self.arena.len() as u32;
+        let remap = |p: PlanId| {
+            if p.0 & LOCAL_PLAN_BIT != 0 {
+                PlanId(base + (p.0 & !LOCAL_PLAN_BIT))
+            } else {
+                p
+            }
+        };
+        for mut node in local.into_nodes() {
+            node.op.remap_inputs(&mut |p| remap(p));
+            self.arena.push(node);
+        }
+        set.into_iter().map(remap).collect()
+    }
+
     /// Aggregation alternatives for every complete plan: streaming when
     /// the input satisfies the grouping as an ordering *or* a grouping
     /// (its output is a subsequence — first row per group — so every
@@ -245,9 +360,13 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             .resolve_grouping(&Grouping::new(group_attrs.clone()));
         // Tested-only groupings may be probed but never produced.
         let producible_group_key = group_key.filter(|&k| self.oracle.is_producible(k));
+        let mut view = ArenaView::new(&self.arena);
         let mut out: Vec<PlanId> = Vec::new();
         for &p in plans {
-            let (c, d, st, fd_bits) = self.snapshot(p);
+            let node = view.node(p);
+            let (c, d, st) = (node.cost, node.card, node.state);
+            let fd_bits = node.applied_fds.clone();
+            let mask = node.mask.clone();
             // Group count estimate: square-root staircase, at least 1.
             let groups = d.sqrt().max(1.0);
             let streaming = order_key.is_some_and(|k| self.oracle.satisfies(st, k))
@@ -257,41 +376,46 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             } else {
                 // Hash aggregation: output grouped by the group-by set.
                 let state = match producible_group_key {
-                    Some(k) => self.replay_fds(self.oracle.produce_grouping(k), fd_bits),
+                    Some(k) => self.replay_fds(self.oracle.produce_grouping(k), &fd_bits),
                     None => self.oracle.produce_empty(),
                 };
                 (cost::hash_aggregate(d), state)
             };
-            let agg = self.arena.push(PlanNode {
+            let agg = view.push(PlanNode {
                 op: PlanOp::Aggregate {
                     input: p,
                     streaming,
                 },
-                mask: self.arena.node(p).mask.clone(),
+                mask,
                 cost: c + op_cost,
                 card: groups,
                 state,
-                applied_fds: if streaming { fd_bits } else { 0 },
+                applied_fds: if streaming {
+                    fd_bits
+                } else {
+                    SmallBitSet::new()
+                },
             });
-            self.insert_pruned(&mut out, agg);
+            self.insert_pruned(&view, &mut out, agg);
         }
-        out
+        let local = view.into_local();
+        self.commit(local, out)
     }
 
     /// Scan and index-scan plans for one relation, with constant-
     /// predicate FDs applied and filter selectivities folded in.
-    fn base_plans(&mut self, qrel: usize) -> Vec<PlanId> {
+    fn base_plans(&self, qrel: usize, view: &mut ArenaView<'_, O::State>) -> Vec<PlanId> {
         let rel = self.query.relations[qrel];
         let raw_card = self.catalog.relation(rel).cardinality;
         let mut sel = 1.0;
-        let mut fd_bits: u64 = 0;
+        let mut fd_bits = SmallBitSet::new();
         let mut fds: Vec<FdSetId> = Vec::new();
         for (i, c) in self.query.constants.iter().enumerate() {
             if self.query.owner(c.attr) == qrel {
                 sel *= c.selectivity;
                 let f = self.ex.const_fd[i];
                 fds.push(f);
-                fd_bits |= 1u64 << f.index();
+                fd_bits.insert(f.index());
             }
         }
         for f in &self.query.filters {
@@ -308,13 +432,13 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         for &f in &fds {
             state = self.oracle.infer(state, f);
         }
-        out.push(self.arena.push(PlanNode {
+        out.push(view.push(PlanNode {
             op: PlanOp::Scan { qrel },
             mask: mask.clone(),
             cost: cost::scan(raw_card),
             card,
             state,
-            applied_fds: fd_bits,
+            applied_fds: fd_bits.clone(),
         }));
         // Index scans (only when the index order is interesting —
         // otherwise the order information is useless for this query and
@@ -331,20 +455,26 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             for &f in &fds {
                 state = self.oracle.infer(state, f);
             }
-            out.push(self.arena.push(PlanNode {
+            out.push(view.push(PlanNode {
                 op: PlanOp::IndexScan { qrel, index: idx },
                 mask: mask.clone(),
                 cost: cost::index_scan(raw_card, index.clustered),
                 card,
                 state,
-                applied_fds: fd_bits,
+                applied_fds: fd_bits.clone(),
             }));
         }
         out
     }
 
     /// All join alternatives for the ordered partition (s1, s2).
-    fn emit_joins(&mut self, s1: &BitSet, s2: &BitSet, set: &mut Vec<PlanId>) {
+    fn emit_joins(
+        &self,
+        s1: &BitSet,
+        s2: &BitSet,
+        set: &mut Vec<PlanId>,
+        view: &mut ArenaView<'_, O::State>,
+    ) {
         let edges: Vec<usize> = self.query.connecting_joins_set(s1, s2).collect();
         if edges.is_empty() {
             return; // would be a cross product
@@ -358,26 +488,31 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             m.union_with(s2);
             m
         };
-        let left_plans = self.table[s1].clone();
-        let right_plans = self.table[s2].clone();
-        for &p1 in &left_plans {
-            for &p2 in &right_plans {
-                let (c1, d1, st1, fd1) = self.snapshot(p1);
-                let (c2, d2, _st2, fd2) = self.snapshot(p2);
+        let left_plans = &self.table[s1];
+        let right_plans = &self.table[s2];
+        for &p1 in left_plans {
+            for &p2 in right_plans {
+                let n1 = view.node(p1);
+                let (c1, d1, st1) = (n1.cost, n1.card, n1.state);
+                let fd1 = n1.applied_fds.clone();
+                let n2 = view.node(p2);
+                let (c2, d2) = (n2.cost, n2.card);
+                let fd2 = n2.applied_fds.clone();
                 let out_card = (d1 * d2 * sel).max(1.0);
                 // Property state: the probe/outer (left) side's
                 // orderings and groupings survive; all connecting
                 // predicates' equations now hold.
                 let mut state = st1;
-                let mut fd_bits = fd1 | fd2;
+                let mut fd_bits = fd1;
+                fd_bits.union_with(&fd2);
                 for &e in &edges {
                     let f = self.ex.join_fd[e];
                     state = self.oracle.infer(state, f);
-                    fd_bits |= 1u64 << f.index();
+                    fd_bits.insert(f.index());
                 }
                 // Hash join (on the first edge; the rest are residual
                 // predicates either way).
-                let hj = self.arena.push(PlanNode {
+                let hj = view.push(PlanNode {
                     op: PlanOp::HashJoin {
                         left: p1,
                         right: p2,
@@ -387,11 +522,11 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     cost: c1 + c2 + cost::hash_join(d1, d2, out_card),
                     card: out_card,
                     state,
-                    applied_fds: fd_bits,
+                    applied_fds: fd_bits.clone(),
                 });
-                self.insert_pruned(set, hj);
+                self.insert_pruned(view, set, hj);
                 // Nested-loop join.
-                let nl = self.arena.push(PlanNode {
+                let nl = view.push(PlanNode {
                     op: PlanOp::NestedLoopJoin {
                         left: p1,
                         right: p2,
@@ -400,9 +535,9 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     cost: c1 + c2 + cost::nested_loop_join(d1, d2, out_card),
                     card: out_card,
                     state,
-                    applied_fds: fd_bits,
+                    applied_fds: fd_bits.clone(),
                 });
-                self.insert_pruned(set, nl);
+                self.insert_pruned(view, set, nl);
                 // Merge joins: need both inputs sorted on the edge.
                 for &e in &edges {
                     let j = &self.query.joins[e];
@@ -417,11 +552,11 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     ) else {
                         continue;
                     };
-                    let st2 = self.arena.node(p2).state;
+                    let st2 = view.node(p2).state;
                     if !self.oracle.satisfies(st1, kl) || !self.oracle.satisfies(st2, kr) {
                         continue;
                     }
-                    let mj = self.arena.push(PlanNode {
+                    let mj = view.push(PlanNode {
                         op: PlanOp::MergeJoin {
                             left: p1,
                             right: p2,
@@ -431,28 +566,21 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                         cost: c1 + c2 + cost::merge_join(d1, d2, out_card),
                         card: out_card,
                         state,
-                        applied_fds: fd_bits,
+                        applied_fds: fd_bits.clone(),
                     });
-                    self.insert_pruned(set, mj);
+                    self.insert_pruned(view, set, mj);
                 }
             }
         }
-    }
-
-    fn snapshot(&self, p: PlanId) -> (f64, f64, O::State, u64) {
-        let n = self.arena.node(p);
-        (n.cost, n.card, n.state, n.applied_fds)
     }
 
     /// Replays the FD sets that hold beneath a node onto a freshly
     /// produced state (§5.6: the enforcer's state follows the `*` edge,
     /// "and then another edge corresponding to the set of functional
     /// dependencies that currently hold").
-    fn replay_fds(&self, mut state: O::State, mut bits: u64) -> O::State {
-        while bits != 0 {
-            let f = bits.trailing_zeros();
-            bits &= bits - 1;
-            state = self.oracle.infer(state, FdSetId(f));
+    fn replay_fds(&self, mut state: O::State, bits: &SmallBitSet) -> O::State {
+        for f in bits.iter() {
+            state = self.oracle.infer(state, FdSetId(f as u32));
         }
         state
     }
@@ -462,10 +590,15 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// satisfies it yet — a sort for orderings, a linear hash-group for
     /// groupings (grouping-aware Pareto pruning keeps whichever
     /// combinations survive).
-    fn add_enforcer_variants(&mut self, mask: &BitSet, set: &mut Vec<PlanId>) {
+    fn add_enforcer_variants(
+        &self,
+        mask: &BitSet,
+        set: &mut Vec<PlanId>,
+        view: &mut ArenaView<'_, O::State>,
+    ) {
         let Some(&cheapest) = set
             .iter()
-            .min_by(|&&a, &&b| self.arena.node(a).cost.total_cmp(&self.arena.node(b).cost))
+            .min_by(|&&a, &&b| view.node(a).cost.total_cmp(&view.node(b).cost))
         else {
             return;
         };
@@ -484,12 +617,14 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             };
             if set
                 .iter()
-                .any(|&p| satisfied(self.oracle, self.arena.node(p).state))
+                .any(|&p| satisfied(self.oracle, view.node(p).state))
             {
                 continue;
             }
             let key_attrs = self.targets[t].attrs.clone();
-            let (c, d, _st, fd_bits) = self.snapshot(cheapest);
+            let node = view.node(cheapest);
+            let (c, d) = (node.cost, node.card);
+            let fd_bits = node.applied_fds.clone();
             let (op, op_cost, produced) = if grouping {
                 (
                     PlanOp::HashGroup {
@@ -509,8 +644,8 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     self.oracle.produce(key),
                 )
             };
-            let state = self.replay_fds(produced, fd_bits);
-            let enforced = self.arena.push(PlanNode {
+            let state = self.replay_fds(produced, &fd_bits);
+            let enforced = view.push(PlanNode {
                 op,
                 mask: mask.clone(),
                 cost: c + op_cost,
@@ -518,7 +653,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 state,
                 applied_fds: fd_bits,
             });
-            self.insert_pruned(set, enforced);
+            self.insert_pruned(view, set, enforced);
         }
     }
 
@@ -527,16 +662,17 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// cost. (The candidate is already allocated — pruned plans still
     /// count toward `#Plans`, as in the paper, which counts the "time to
     /// introduce one plan operator".)
-    fn insert_pruned(&mut self, set: &mut Vec<PlanId>, cand: PlanId) {
-        let (c_cost, _, c_state, _) = self.snapshot(cand);
+    fn insert_pruned(&self, view: &ArenaView<'_, O::State>, set: &mut Vec<PlanId>, cand: PlanId) {
+        let cand_node = view.node(cand);
+        let (c_cost, c_state) = (cand_node.cost, cand_node.state);
         for &p in set.iter() {
-            let n = self.arena.node(p);
+            let n = view.node(p);
             if n.cost <= c_cost && self.oracle.dominates(n.state, c_state) {
                 return;
             }
         }
         set.retain(|&p| {
-            let n = self.arena.node(p);
+            let n = view.node(p);
             !(c_cost <= n.cost && self.oracle.dominates(c_state, n.state))
         });
         set.push(cand);
@@ -572,9 +708,8 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         }
         // Materialize the final sort.
         let key = required_key.expect("unsatisfied requires a key");
-        let (_, d, _, fd_bits) = self.snapshot(p);
-        let state = self.replay_fds(self.oracle.produce(key), fd_bits);
-        let mask = self.arena.node(p).mask.clone();
+        let (d, fd_bits, mask) = (n.card, n.applied_fds.clone(), n.mask.clone());
+        let state = self.replay_fds(self.oracle.produce(key), &fd_bits);
         self.arena.push(PlanNode {
             op: PlanOp::Sort {
                 input: p,
@@ -874,5 +1009,49 @@ mod tests {
         let simmen = run_simmen(&c, &q);
         assert!(ours.stats.memory_bytes > 0);
         assert!(simmen.stats.memory_bytes > 0);
+    }
+
+    #[test]
+    fn layer_plan_covers_every_connected_subset_once() {
+        let mut c = Catalog::new();
+        for i in 0..5 {
+            c.add_relation(&format!("t{i}"), 1000.0, &["k", "f"]);
+        }
+        let mut qb = QueryBuilder::new(&c);
+        for i in 0..5 {
+            qb = qb.relation(&format!("t{i}"));
+        }
+        for i in 0..4 {
+            qb = qb.join(&format!("t{i}.f"), &format!("t{}.k", i + 1), 0.001);
+        }
+        let q = qb.build();
+        let ex = ofw_query::extract(&c, &q, &ExtractOptions::default());
+        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        let pg = PlanGen::new(&c, &q, &ex, &fw);
+        // Chain of 5: connected subsets of size s are the 6-s intervals,
+        // each with 2(s-1) ordered partitions.
+        let by_size: Vec<Vec<BitSet>> = {
+            let mut v = vec![Vec::new(); 6];
+            v[1] = (0..5).map(|i| q.relation_set(i)).collect();
+            #[allow(clippy::needless_range_loop)] // s is the subset size
+            for s in 2..=5usize {
+                for start in 0..=(5 - s) {
+                    let mut set = BitSet::new(5);
+                    for i in start..start + s {
+                        set.insert(i);
+                    }
+                    v[s].push(set);
+                }
+            }
+            v
+        };
+        for size in 2..=5usize {
+            let layer = pg.plan_layer(size, &by_size);
+            assert_eq!(layer.len(), 6 - size, "intervals of length {size}");
+            for work in &layer {
+                assert_eq!(work.union.len(), size);
+                assert_eq!(work.num_pairs(), 2 * (size - 1));
+            }
+        }
     }
 }

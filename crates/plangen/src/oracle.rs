@@ -7,6 +7,13 @@
 //! DFSM framework, the Simmen baseline, and the naive explicit-set
 //! oracle all implement it, so the DP code is shared verbatim between
 //! every experiment arm.
+//!
+//! All three implementations are `Sync` (statically asserted below), so
+//! all three run unchanged under the parallel DP driver. The DFSM
+//! framework is immutable after preparation — parallel probes contend on
+//! nothing, the property the paper's design buys. The baseline and the
+//! explicit oracle memoize behind a mutex and pay for the sharing,
+//! faithfully reproducing their cost profile on multicore.
 
 use ofw_common::FxHashMap;
 use ofw_core::fd::{FdSet, FdSetId};
@@ -14,9 +21,9 @@ use ofw_core::ordering::Ordering;
 use ofw_core::property::{Grouping, LogicalProperty};
 use ofw_core::spec::InputSpec;
 use ofw_core::ExplicitOrderings;
-use std::cell::RefCell;
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::sync::Mutex;
 
 /// Order/grouping-optimization ADT as seen by the plan generator.
 pub trait OrderOracle {
@@ -214,13 +221,15 @@ struct ExplicitStore {
 /// paper's motivation) but the perfect third arm for cross-checking the
 /// DFSM framework *inside* the plan generator — the `table_grouping`
 /// binary and the integration tests assert all arms agree on the
-/// optimal plan cost.
+/// optimal plan cost. The state store sits behind a mutex so the oracle
+/// is `Sync`; interning is content-addressed, so which thread interns a
+/// set first never changes what any state *means*.
 pub struct ExplicitOracle {
     fd_sets: Vec<FdSet>,
     props: Vec<LogicalProperty>,
     keys: FxHashMap<LogicalProperty, ExplicitKey>,
     producible: Vec<bool>,
-    store: RefCell<ExplicitStore>,
+    store: Mutex<ExplicitStore>,
 }
 
 impl ExplicitOracle {
@@ -240,7 +249,7 @@ impl ExplicitOracle {
             props,
             keys,
             producible,
-            store: RefCell::new(ExplicitStore {
+            store: Mutex::new(ExplicitStore {
                 states: Vec::new(),
                 canon: FxHashMap::default(),
                 infer_cache: FxHashMap::default(),
@@ -248,8 +257,8 @@ impl ExplicitOracle {
         }
     }
 
-    fn intern(&self, e: ExplicitOrderings) -> ExplicitStateId {
-        let mut store = self.store.borrow_mut();
+    /// Content-addressed interning under an already-held store lock.
+    fn intern_locked(store: &mut ExplicitStore, e: ExplicitOrderings) -> ExplicitStateId {
         let mut orderings: Vec<Ordering> = e.iter().cloned().collect();
         orderings.sort();
         let mut groupings: Vec<Grouping> = e.iter_groupings().cloned().collect();
@@ -262,6 +271,10 @@ impl ExplicitOracle {
         store.states.push(e);
         store.canon.insert(canon, id);
         ExplicitStateId(id)
+    }
+
+    fn intern(&self, e: ExplicitOrderings) -> ExplicitStateId {
+        Self::intern_locked(&mut self.store.lock().unwrap(), e)
     }
 }
 
@@ -302,18 +315,19 @@ impl OrderOracle for ExplicitOracle {
     }
 
     fn infer(&self, s: Self::State, f: FdSetId) -> Self::State {
-        if let Some(&hit) = self.store.borrow().infer_cache.get(&(s.0, f)) {
+        let mut store = self.store.lock().unwrap();
+        if let Some(&hit) = store.infer_cache.get(&(s.0, f)) {
             return ExplicitStateId(hit);
         }
-        let mut e = self.store.borrow().states[s.0 as usize].clone();
+        let mut e = store.states[s.0 as usize].clone();
         e.infer(&self.fd_sets[f.index()]);
-        let id = self.intern(e);
-        self.store.borrow_mut().infer_cache.insert((s.0, f), id.0);
+        let id = Self::intern_locked(&mut store, e);
+        store.infer_cache.insert((s.0, f), id.0);
         id
     }
 
     fn satisfies(&self, s: Self::State, k: Self::Key) -> bool {
-        let store = self.store.borrow();
+        let store = self.store.lock().unwrap();
         let e = &store.states[s.0 as usize];
         match &self.props[k.0 as usize] {
             LogicalProperty::Ordering(o) => e.contains(o),
@@ -329,7 +343,7 @@ impl OrderOracle for ExplicitOracle {
         if a == b {
             return true;
         }
-        let store = self.store.borrow();
+        let store = self.store.lock().unwrap();
         let (ea, eb) = (&store.states[a.0 as usize], &store.states[b.0 as usize]);
         // Set inclusion is future-proof: derivation is monotone in the
         // materialized sets.
@@ -337,7 +351,7 @@ impl OrderOracle for ExplicitOracle {
     }
 
     fn memory_bytes(&self, plan_nodes: usize) -> usize {
-        let store = self.store.borrow();
+        let store = self.store.lock().unwrap();
         let set_bytes: usize = store
             .states
             .iter()
@@ -432,6 +446,25 @@ mod tests {
         let f = FdSetId(0);
         assert_eq!(ex.infer(s1, f), ex.infer(s2, f));
         assert!(ex.memory_bytes(10) > 0);
+    }
+
+    /// The parallel driver shares one oracle across all workers; every
+    /// arm must be `Send + Sync` (states/keys ride inside plan nodes
+    /// between threads, so they must be too). A compile-time guarantee —
+    /// if an oracle regresses to non-thread-safe interior mutability,
+    /// this stops building.
+    #[test]
+    fn all_oracles_are_send_and_sync() {
+        fn assert_thread_safe<T: Send + Sync>() {}
+        assert_thread_safe::<ofw_core::OrderingFramework>();
+        assert_thread_safe::<ofw_simmen::SimmenFramework>();
+        assert_thread_safe::<ExplicitOracle>();
+        assert_thread_safe::<ofw_core::State>();
+        assert_thread_safe::<ofw_simmen::SimmenState>();
+        assert_thread_safe::<ExplicitStateId>();
+        assert_thread_safe::<ofw_core::OrderHandle>();
+        assert_thread_safe::<ofw_simmen::SimmenOrderKey>();
+        assert_thread_safe::<ExplicitKey>();
     }
 
     #[test]

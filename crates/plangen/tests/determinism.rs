@@ -1,0 +1,193 @@
+//! Determinism regression: the parallel DP driver must produce plans
+//! and costs **byte-identical** to the serial driver, at every thread
+//! count, for every oracle arm, across the random join and grouping
+//! workload generators.
+//!
+//! The fingerprint covers every arena node — operator tree, relation
+//! mask, exact cost/cardinality bit patterns, applied FDs, oracle state
+//! — plus the winner and the `#Plans` count. A schedule leak anywhere
+//! in the layered DP (union discovery order, splice order, Pareto
+//! insertion order) would show up here as a fingerprint mismatch at
+//! some thread count.
+//!
+//! Two protocols are pinned, matching the guarantee's two tiers:
+//!
+//! * **warm shared instance** (the full-fingerprint tests): serial
+//!   first, then every thread count on the *same* oracle — after the
+//!   serial run every reachable state is interned, so even the
+//!   memoizing oracles' numeric state handles are bit-stable;
+//! * **cold instance per run** (the structural test): a fresh memoizing
+//!   oracle interns state handles in schedule-dependent first-come
+//!   order, so only the state-blind fingerprint is required to match —
+//!   plans, costs, masks, FDs and winner identical, handle numbering
+//!   free. The DFSM arm has no such caveat (states precomputed), so it
+//!   must pass the full fingerprint even cold.
+
+use proptest::prelude::*;
+use std::fmt::Debug;
+use std::fmt::Write as _;
+
+use ofw_catalog::Catalog;
+use ofw_core::{OrderingFramework, PruneConfig};
+use ofw_parallel::ThreadPool;
+use ofw_plangen::{ExplicitOracle, OrderOracle, PlanGen, PlanGenResult};
+use ofw_query::extract::ExtractOptions;
+use ofw_query::Query;
+use ofw_simmen::SimmenFramework;
+use ofw_workload::{grouping_query, random_query, GroupingQueryConfig, RandomQueryConfig};
+
+/// Arena fingerprint; with `with_state`, includes the oracle state
+/// handles (bit-stable only for schedule-independent handle assignment
+/// — see the module docs).
+fn fingerprint_opt<S: Copy + Debug>(r: &PlanGenResult<S>, with_state: bool) -> String {
+    let mut out = String::new();
+    for n in r.arena.nodes() {
+        let _ = write!(
+            out,
+            "{:?}|{:?}|{:016x}|{:016x}|{:?}",
+            n.op,
+            n.mask,
+            n.cost.to_bits(),
+            n.card.to_bits(),
+            n.applied_fds,
+        );
+        if with_state {
+            let _ = write!(out, "|{:?}", n.state);
+        }
+        out.push('\n');
+    }
+    let _ = write!(
+        out,
+        "best={:?} cost={:016x} plans={}",
+        r.best,
+        r.cost.to_bits(),
+        r.stats.plans
+    );
+    out
+}
+
+/// Full byte-level fingerprint of a plan-generation result.
+fn fingerprint<S: Copy + Debug>(r: &PlanGenResult<S>) -> String {
+    fingerprint_opt(r, true)
+}
+
+/// Runs one oracle arm serially and at 1, 2 and 8 threads on the SAME
+/// prepared framework (shared read-mostly state — exactly how the
+/// parallel driver deploys it) and asserts byte-identical output.
+fn assert_arm_deterministic<O>(label: &str, catalog: &Catalog, query: &Query, oracle: &O)
+where
+    O: OrderOracle + Sync,
+    O::Key: Sync,
+    O::State: Send + Sync + Debug,
+{
+    let ex = ofw_query::extract(catalog, query, &ExtractOptions::default());
+    let serial = PlanGen::new(catalog, query, &ex, oracle).run();
+    let reference = fingerprint(&serial);
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let parallel = PlanGen::new(catalog, query, &ex, oracle).run_with(&pool);
+        let got = fingerprint(&parallel);
+        assert_eq!(
+            got, reference,
+            "{label}: parallel DP at {threads} threads diverged from serial"
+        );
+    }
+}
+
+fn check_query(catalog: &Catalog, query: &Query, with_explicit: bool) {
+    let ex = ofw_query::extract(catalog, query, &ExtractOptions::default());
+    let dfsm = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+    assert_arm_deterministic("dfsm", catalog, query, &dfsm);
+    let simmen = SimmenFramework::prepare(&ex.spec);
+    assert_arm_deterministic("simmen", catalog, query, &simmen);
+    if with_explicit {
+        let explicit = ExplicitOracle::prepare(&ex.spec);
+        assert_arm_deterministic("explicit", catalog, query, &explicit);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random join queries: all three oracle arms, byte-identical at
+    /// every thread count.
+    #[test]
+    fn parallel_dp_is_deterministic_on_join_workloads(seed in 0u64..1000, extra in 0usize..2) {
+        let (catalog, query) = random_query(&RandomQueryConfig {
+            num_relations: 6,
+            extra_edges: extra,
+            seed,
+        });
+        check_query(&catalog, &query, true);
+    }
+
+    /// Grouping queries (group by / distinct): all three oracle arms.
+    #[test]
+    fn parallel_dp_is_deterministic_on_grouping_workloads(seed in 0u64..1000) {
+        let (catalog, query) = grouping_query(&GroupingQueryConfig {
+            num_relations: 5,
+            extra_edges: 1,
+            seed,
+        });
+        check_query(&catalog, &query, true);
+    }
+}
+
+/// A denser, bigger single case (8 relations, 2 extra edges) so the
+/// layered merge sees real multi-union layers — DFSM and Simmen arms.
+#[test]
+fn parallel_dp_is_deterministic_on_a_dense_eight_relation_query() {
+    let (catalog, query) = random_query(&RandomQueryConfig {
+        num_relations: 8,
+        extra_edges: 2,
+        seed: 0xDECADE,
+    });
+    check_query(&catalog, &query, false);
+}
+
+/// The cold-instance tier of the guarantee: with a *fresh* memoizing
+/// oracle per run, the state-blind structure must still be byte-
+/// identical at every thread count (handle numbering is the only
+/// schedule-dependent freedom), and a cold DFSM instance must pass the
+/// full fingerprint including states.
+#[test]
+fn cold_oracle_instances_are_structurally_deterministic() {
+    let (catalog, query) = random_query(&RandomQueryConfig {
+        num_relations: 7,
+        extra_edges: 1,
+        seed: 0xC01D,
+    });
+    let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+
+    let fresh_simmen = || {
+        let oracle = SimmenFramework::prepare(&ex.spec);
+        PlanGen::new(&catalog, &query, &ex, &oracle).run()
+    };
+    let reference = fingerprint_opt(&fresh_simmen(), false);
+    for threads in [2usize, 8] {
+        let oracle = SimmenFramework::prepare(&ex.spec);
+        let pool = ThreadPool::new(threads);
+        let r = PlanGen::new(&catalog, &query, &ex, &oracle).run_with(&pool);
+        assert_eq!(
+            fingerprint_opt(&r, false),
+            reference,
+            "cold simmen structure diverged at {threads} threads"
+        );
+    }
+
+    let fresh_dfsm = |pool: Option<&ThreadPool>| {
+        let oracle = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        let pg = PlanGen::new(&catalog, &query, &ex, &oracle);
+        match pool {
+            None => pg.run(),
+            Some(p) => pg.run_with(p),
+        }
+    };
+    let dfsm_reference = fingerprint(&fresh_dfsm(None));
+    let pool = ThreadPool::new(8);
+    assert_eq!(
+        fingerprint(&fresh_dfsm(Some(&pool))),
+        dfsm_reference,
+        "cold dfsm must be fully byte-identical (states precomputed)"
+    );
+}

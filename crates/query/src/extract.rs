@@ -24,6 +24,13 @@ use ofw_core::spec::InputSpec;
 /// Extraction tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ExtractOptions {
+    /// Register every equi-join attribute as a produced interesting
+    /// order (what merge joins test for and sorts produce). On by
+    /// default — §6.2's `O_P^I`. Off shrinks the interesting-order set
+    /// to indexes/group-by/order-by, which keeps Pareto sets narrow on
+    /// very wide queries (the 40–100-relation scaling sweeps) where
+    /// per-join orders would otherwise multiply plans far past memory.
+    pub join_orders: bool,
     /// Register index key prefixes as produced interesting orders.
     pub index_orders: bool,
     /// Add constant/filter attributes as tested-only interesting orders
@@ -38,7 +45,24 @@ pub struct ExtractOptions {
 impl Default for ExtractOptions {
     fn default() -> Self {
         ExtractOptions {
+            join_orders: true,
             index_orders: true,
+            tested_selection_orders: false,
+            grouping_properties: true,
+        }
+    }
+}
+
+impl ExtractOptions {
+    /// Extraction profile for the very wide scaling sweeps: no per-join
+    /// or per-index interesting orders (only group-by/order-by
+    /// requirements survive), so the DP's Pareto sets stay narrow while
+    /// the join-FD sets — one per predicate, spilling past 64 — are
+    /// kept in full.
+    pub fn lean() -> Self {
+        ExtractOptions {
+            join_orders: false,
+            index_orders: false,
             tested_selection_orders: false,
             grouping_properties: true,
         }
@@ -64,9 +88,11 @@ pub fn extract(catalog: &Catalog, query: &Query, options: &ExtractOptions) -> Ex
 
     // Join attributes: single-attribute produced orders (what a merge
     // join tests for and a sort can produce) — §6.2's O_P^I.
-    for j in &query.joins {
-        spec.add_produced(Ordering::new(vec![j.left]));
-        spec.add_produced(Ordering::new(vec![j.right]));
+    if options.join_orders {
+        for j in &query.joins {
+            spec.add_produced(Ordering::new(vec![j.left]));
+            spec.add_produced(Ordering::new(vec![j.right]));
+        }
     }
     // Grouping/ordering requirements are producible by a sort; the
     // group-by/distinct attribute *set* is additionally producible as a
@@ -249,6 +275,25 @@ mod tests {
             .spec
             .produced()
             .contains(&Grouping::new(vec![g, v]).into()));
+    }
+
+    #[test]
+    fn lean_extraction_keeps_fds_but_drops_join_and_index_orders() {
+        let (c, q) = simple();
+        let ex = extract(&c, &q, &ExtractOptions::lean());
+        // All FD sets survive (the plan generator's inference needs
+        // them), but the only produced order left is the order-by.
+        assert_eq!(ex.spec.fd_sets().len(), 1);
+        assert_eq!(ex.join_fd.len(), 1);
+        let jid = c.attr("jobs.id");
+        let pname = c.attr("persons.name");
+        let produced: Vec<&Ordering> = ex
+            .spec
+            .produced()
+            .iter()
+            .filter_map(|p| p.as_ordering())
+            .collect();
+        assert_eq!(produced, vec![&Ordering::new(vec![jid, pname])]);
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct EnvStore {
     by_sets: FxHashMap<Box<[FdSetId]>, FdEnvId>,
     /// Extension cache: (env, applied set) → extended env.
     extend_cache: FxHashMap<(FdEnvId, FdSetId), FdEnvId>,
+    /// Derivation parent per env: the (smaller env, added FD set) pair
+    /// that first built it via [`EnvStore::extend`] — the backbone the
+    /// incremental grouping closure walks. `None` for the empty env.
+    parents: Vec<Option<(FdEnvId, FdSetId)>>,
     meter: MemoryMeter,
 }
 
@@ -52,9 +56,10 @@ impl EnvStore {
             envs: Vec::new(),
             by_sets: FxHashMap::default(),
             extend_cache: FxHashMap::default(),
+            parents: Vec::new(),
             meter: MemoryMeter::new(),
         };
-        let empty = store.intern(Box::new([]));
+        let empty = store.intern(Box::new([]), None);
         debug_assert_eq!(empty, FdEnvId(0));
         store
     }
@@ -77,14 +82,14 @@ impl EnvStore {
             }
             Err(pos) => {
                 sets.insert(pos, set);
-                let id = self.intern(sets.into_boxed_slice());
+                let id = self.intern(sets.into_boxed_slice(), Some((env, set)));
                 self.extend_cache.insert((env, set), id);
                 id
             }
         }
     }
 
-    fn intern(&mut self, sets: Box<[FdSetId]>) -> FdEnvId {
+    fn intern(&mut self, sets: Box<[FdSetId]>, parent: Option<(FdEnvId, FdSetId)>) -> FdEnvId {
         if let Some(&id) = self.by_sets.get(&sets) {
             return id;
         }
@@ -102,6 +107,7 @@ impl EnvStore {
             sets: sets.clone(),
             fds: fds.into_boxed_slice(),
         });
+        self.parents.push(parent);
         self.by_sets.insert(sets, id);
         id
     }
@@ -109,6 +115,19 @@ impl EnvStore {
     /// Resolves a handle.
     pub fn env(&self, id: FdEnvId) -> &FdEnv {
         &self.envs[id.0 as usize]
+    }
+
+    /// The (smaller env, added FD set) that first derived `id`, or
+    /// `None` for the empty environment — every interned environment is
+    /// reachable from the empty one through this chain, because the plan
+    /// generator only ever grows environments one operator at a time.
+    pub fn parent(&self, id: FdEnvId) -> Option<(FdEnvId, FdSetId)> {
+        self.parents[id.0 as usize]
+    }
+
+    /// The member dependencies of one FD set.
+    pub fn set_fds(&self, set: FdSetId) -> &[Fd] {
+        self.all_sets[set.index()].fds()
     }
 
     /// True if every FD set of `b` is also in `a` — the comparability
@@ -207,6 +226,18 @@ mod tests {
         let e2 = store.extend(e0, FdSetId(2));
         assert!(!store.is_superset(e1, e2));
         assert!(store.is_superset(e12, e2));
+    }
+
+    #[test]
+    fn parent_chain_reaches_the_empty_env() {
+        let mut store = EnvStore::new(sets());
+        let e0 = store.empty();
+        let e1 = store.extend(e0, FdSetId(1));
+        let e12 = store.extend(e1, FdSetId(2));
+        assert_eq!(store.parent(e0), None);
+        assert_eq!(store.parent(e1), Some((e0, FdSetId(1))));
+        assert_eq!(store.parent(e12), Some((e1, FdSetId(2))));
+        assert_eq!(store.set_fds(FdSetId(2)).len(), 1);
     }
 
     #[test]

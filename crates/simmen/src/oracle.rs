@@ -2,25 +2,35 @@
 //! plan-generation interface as `ofw_core::OrderingFramework` so the plan
 //! generator can run with either implementation (§7's experiment setup).
 //!
-//! Interior mutability (`RefCell`) hides the caches behind `&self`
+//! Interior mutability (a `Mutex`) hides the caches behind `&self`
 //! methods — the plan generator calls `infer`/`satisfies` through shared
 //! references millions of times, and the caches are pure memoization.
+//! The mutex (rather than a `RefCell`) makes the framework `Sync`, so
+//! the baseline runs under the parallel DP driver too — serializing on
+//! its own shared caches, which is an honest rendition of what a
+//! mutable-shared-state order representation costs on multicore.
 //!
 //! Grouping support mirrors the combined framework: a plan node's
 //! physical property may be a grouping (hash-aggregation output), and a
 //! grouping requirement is tested by closing the node's implied grouping
-//! set under its FD environment — an Ω(n)-per-probe computation (cached),
-//! which is exactly the asymmetry the DFSM framework removes.
+//! set under its FD environment. The closure is computed
+//! *incrementally*: an environment extends its derivation parent by one
+//! FD set, so the closure for `(property, env)` starts from the cached
+//! closure of `(property, parent)` and only chases consequences of the
+//! added dependencies (semi-naive evaluation), instead of re-running the
+//! full fixpoint per (state, environment) — still Ω(n) per fresh probe,
+//! which is exactly the asymmetry the DFSM framework removes, but no
+//! longer gratuitously so.
 
 use crate::env::{EnvStore, FdEnvId};
 use crate::reduce::reduce;
 use ofw_common::{FxHashMap, FxHashSet, Interner};
 use ofw_core::derive::apply_fd_grouping;
-use ofw_core::fd::FdSetId;
+use ofw_core::fd::{Fd, FdSetId};
 use ofw_core::ordering::Ordering;
 use ofw_core::property::{Grouping, LogicalProperty};
 use ofw_core::spec::InputSpec;
-use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// Per-plan-node annotation under Simmen's scheme: the physical property
 /// (interned ordering or grouping) plus the FD environment. Conceptually
@@ -57,7 +67,7 @@ struct Caches {
 
 /// The prepared Simmen-style framework for one query.
 pub struct SimmenFramework {
-    caches: RefCell<Caches>,
+    caches: Mutex<Caches>,
     /// Interesting properties (orderings prefix-closed, groupings
     /// as-is), indexable by key.
     props: Vec<LogicalProperty>,
@@ -88,7 +98,7 @@ impl SimmenFramework {
             producible.push(prod);
         }
         SimmenFramework {
-            caches: RefCell::new(caches),
+            caches: Mutex::new(caches),
             props,
             prop_keys,
             producible,
@@ -126,7 +136,7 @@ impl SimmenFramework {
     /// (sort / ordered-scan output for an ordering, hash-aggregation
     /// output for a grouping) with no dependencies yet.
     pub fn produce(&self, k: SimmenOrderKey) -> SimmenState {
-        let mut caches = self.caches.borrow_mut();
+        let mut caches = self.caches.lock().unwrap();
         let phys = caches.props.intern(self.props[k.0 as usize].clone());
         SimmenState {
             phys,
@@ -136,7 +146,7 @@ impl SimmenFramework {
 
     /// `inferNewLogicalOrderings`: extends the node's FD environment.
     pub fn infer(&self, s: SimmenState, f: FdSetId) -> SimmenState {
-        let mut caches = self.caches.borrow_mut();
+        let mut caches = self.caches.lock().unwrap();
         let env = caches.envs.extend(s.env, f);
         SimmenState { phys: s.phys, env }
     }
@@ -147,7 +157,7 @@ impl SimmenFramework {
     /// stream's implied groupings under the environment (cached) and
     /// test membership.
     pub fn satisfies(&self, s: SimmenState, k: SimmenOrderKey) -> bool {
-        let mut caches = self.caches.borrow_mut();
+        let mut caches = self.caches.lock().unwrap();
         match &self.props[k.0 as usize] {
             LogicalProperty::Ordering(required) => {
                 if caches.props.resolve(s.phys).is_grouping() {
@@ -179,14 +189,14 @@ impl SimmenFramework {
         if a.phys != b.phys {
             return false;
         }
-        self.caches.borrow().envs.is_superset(a.env, b.env)
+        self.caches.lock().unwrap().envs.is_superset(a.env, b.env)
     }
 
     /// Bytes of order-annotation storage for a plan with
     /// `num_plan_nodes` nodes: the per-node states plus the shared
     /// interned environments, properties and the memoization caches.
     pub fn memory_bytes(&self, num_plan_nodes: usize) -> usize {
-        let caches = self.caches.borrow();
+        let caches = self.caches.lock().unwrap();
         let prop_bytes: usize = caches
             .props
             .iter()
@@ -229,7 +239,7 @@ impl SimmenFramework {
 
     /// Reduction-cache size (for diagnostics).
     pub fn cache_entries(&self) -> usize {
-        self.caches.borrow().reduce_cache.len()
+        self.caches.lock().unwrap().reduce_cache.len()
     }
 }
 
@@ -254,41 +264,103 @@ fn reduced(caches: &mut Caches, phys: u32, env: FdEnvId) -> u32 {
 /// Membership probe against the cached grouping set of the stream in
 /// physical property `phys` under `env`: prefix attribute sets of the
 /// physical ordering (or the grouping key itself), closed under the
-/// environment's dependencies — the persistent-FD ground truth,
-/// computed the expensive way once per (property, environment) and
-/// probed in place afterwards.
+/// environment's dependencies — the persistent-FD ground truth, probed
+/// in place once computed.
+///
+/// Closures are built *incrementally* along the environment's
+/// derivation chain: `env` extends its parent by exactly one FD set, so
+/// the closure under `env` is the parent's closure (cached or computed
+/// on the way) plus the semi-naive delta of the added dependencies.
+/// Every environment on the chain gets its closure cached, so a probe
+/// on a deep environment both reuses and seeds the shallower ones.
 fn groupings_contain(caches: &mut Caches, phys: u32, env: FdEnvId, required: &Grouping) -> bool {
     if let Some(hit) = caches.grouping_cache.get(&(phys, env)) {
         return hit.contains(required);
     }
-    let mut set: FxHashSet<Grouping> = FxHashSet::default();
-    match caches.props.resolve(phys) {
-        LogicalProperty::Ordering(o) => {
-            for len in 1..=o.len() {
-                set.insert(Grouping::new(o.attrs()[..len].to_vec()));
+    // Walk up the derivation chain to the nearest cached ancestor (or
+    // the root environment).
+    let mut chain: Vec<(FdEnvId, FdSetId)> = Vec::new();
+    let mut anchor = env;
+    while !caches.grouping_cache.contains_key(&(phys, anchor)) {
+        match caches.envs.parent(anchor) {
+            Some((parent, added)) => {
+                chain.push((anchor, added));
+                anchor = parent;
             }
-        }
-        LogicalProperty::Grouping(g) => {
-            set.insert(g.clone());
+            None => break,
         }
     }
-    let fds: Vec<ofw_core::fd::Fd> = caches.envs.env(env).fds.to_vec();
-    let mut work: Vec<Grouping> = set.iter().cloned().collect();
+    // Closure at the anchor: cached, or the base set of the physical
+    // property closed under the (possibly empty) anchor environment.
+    let mut set: FxHashSet<Grouping> = match caches.grouping_cache.get(&(phys, anchor)) {
+        Some(hit) => hit.clone(),
+        None => {
+            let mut base: FxHashSet<Grouping> = FxHashSet::default();
+            match caches.props.resolve(phys) {
+                LogicalProperty::Ordering(o) => {
+                    for len in 1..=o.len() {
+                        base.insert(Grouping::new(o.attrs()[..len].to_vec()));
+                    }
+                }
+                LogicalProperty::Grouping(g) => {
+                    base.insert(g.clone());
+                }
+            }
+            let fds = caches.envs.env(anchor).fds.to_vec();
+            let seed: Vec<Grouping> = base.iter().cloned().collect();
+            close_under(&mut base, seed, &fds, &fds);
+            caches.grouping_cache.insert((phys, anchor), base.clone());
+            base
+        }
+    };
+    // Extend one derivation step at a time, reusing everything already
+    // closed: existing members only need the *added* set's dependencies
+    // applied; whatever that derives is then chased under the full
+    // environment.
+    for &(step_env, added) in chain.iter().rev() {
+        let new_fds = caches.envs.set_fds(added).to_vec();
+        let all_fds = caches.envs.env(step_env).fds.to_vec();
+        let seed: Vec<Grouping> = set.iter().cloned().collect();
+        close_under(&mut set, seed, &new_fds, &all_fds);
+        caches.grouping_cache.insert((phys, step_env), set.clone());
+    }
+    set.contains(required)
+}
+
+/// Semi-naive closure step: applies `delta_fds` to every seed grouping,
+/// then chases each *newly derived* grouping under `all_fds` to the
+/// fixpoint. When `delta_fds == all_fds` and the seeds are the whole
+/// set, this is the classic from-scratch fixpoint.
+fn close_under(
+    set: &mut FxHashSet<Grouping>,
+    seeds: Vec<Grouping>,
+    delta_fds: &[Fd],
+    all_fds: &[Fd],
+) {
     let mut buf: Vec<Grouping> = Vec::new();
-    while let Some(cur) = work.pop() {
-        for fd in &fds {
+    let mut fresh: Vec<Grouping> = Vec::new();
+    for cur in &seeds {
+        for fd in delta_fds {
             buf.clear();
-            apply_fd_grouping(&cur, fd, &mut buf);
+            apply_fd_grouping(cur, fd, &mut buf);
             for d in buf.drain(..) {
                 if !d.is_empty() && set.insert(d.clone()) {
-                    work.push(d);
+                    fresh.push(d);
                 }
             }
         }
     }
-    let contains = set.contains(required);
-    caches.grouping_cache.insert((phys, env), set);
-    contains
+    while let Some(cur) = fresh.pop() {
+        for fd in all_fds {
+            buf.clear();
+            apply_fd_grouping(&cur, fd, &mut buf);
+            for d in buf.drain(..) {
+                if !d.is_empty() && set.insert(d.clone()) {
+                    fresh.push(d);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -431,5 +503,54 @@ mod tests {
         // Different physical kinds never dominate each other.
         assert!(!fw.dominates(s, sg));
         assert_eq!(fw.groupings().count(), 2);
+    }
+
+    #[test]
+    fn incremental_closure_matches_stepwise_and_fresh_probes() {
+        // A chain of dependencies a→b→c→d. The grouping closure of a
+        // stream ordered by (a) must grow one attribute per applied FD
+        // set, and it must not matter whether intermediate environments
+        // were probed (warm parent-chain cache) or only the deepest one
+        // (closure built through the chain in one go).
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A]));
+        spec.add_tested(g(&[A, B]));
+        spec.add_tested(g(&[A, B, C]));
+        spec.add_tested(g(&[A, B, C, D]));
+        let f_ab = spec.add_fd_set(vec![Fd::functional(&[A], B)]);
+        let f_bc = spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        let f_cd = spec.add_fd_set(vec![Fd::functional(&[C], D)]);
+
+        let probe_all = |fw: &SimmenFramework, s: SimmenState| -> Vec<bool> {
+            [g(&[A, B]), g(&[A, B, C]), g(&[A, B, C, D])]
+                .into_iter()
+                .map(|gr| fw.satisfies(s, fw.grouping_key(&gr).unwrap()))
+                .collect()
+        };
+
+        // Stepwise: probe after every single infer (caches every chain
+        // link as it appears).
+        let fw = SimmenFramework::prepare(&spec);
+        let k_a = fw.key(&o(&[A])).unwrap();
+        let s0 = fw.produce(k_a);
+        let s1 = fw.infer(s0, f_ab);
+        assert_eq!(probe_all(&fw, s1), vec![true, false, false]);
+        let s2 = fw.infer(s1, f_bc);
+        assert_eq!(probe_all(&fw, s2), vec![true, true, false]);
+        let s3 = fw.infer(s2, f_cd);
+        assert_eq!(probe_all(&fw, s3), vec![true, true, true]);
+
+        // Fresh framework, deepest environment probed first: the chain
+        // walk computes ancestors on the way — same answers.
+        let fresh = SimmenFramework::prepare(&spec);
+        let t3 = fresh.infer(
+            fresh.infer(fresh.infer(fresh.produce(k_a), f_ab), f_bc),
+            f_cd,
+        );
+        assert_eq!(probe_all(&fresh, t3), vec![true, true, true]);
+        // ...and the intermediate environments were cached on the way,
+        // so shallower probes agree without recomputation.
+        let t1 = fresh.infer(fresh.produce(k_a), f_ab);
+        assert_eq!(probe_all(&fresh, t1), vec![true, false, false]);
     }
 }

@@ -1,0 +1,210 @@
+//! Large join-graph topologies for the parallel-DP scaling sweeps.
+//!
+//! Three classic shapes, sized well past the paper's 5–10 relations:
+//!
+//! * **chain** — `r0 — r1 — … — r(n-1)`. Connected subsets are the
+//!   O(n²) intervals, so exhaustive DP stays polynomial and the sweep
+//!   can run to 100+ relations. This is the shape that exercises the
+//!   >64-relation `BitSet` path end to end.
+//! * **star** — a center joined to `n-1` leaves (the canonical
+//!   snowflake/fact-table shape). Connected subsets are the center plus
+//!   any leaf subset: Θ(2ⁿ), so the sweep caps it low.
+//! * **clique** — every pair joined. Exhaustive DP visits Θ(3ⁿ) ordered
+//!   partitions, the densest per-layer parallelism available — and the
+//!   reason no exhaustive optimizer (serial or parallel) can sweep a
+//!   40-relation clique: at n = 40 the DP table alone would hold 2⁴⁰
+//!   subsets. The sweep sizes cliques so a cell stays in seconds.
+//!
+//! Generators are deterministic per seed. Roughly half the relations
+//! get a clustered index on their first join attribute and the query
+//! orders its output by one join attribute, so interesting orders exist
+//! and the order frameworks have real work at every scale.
+
+use ofw_catalog::Catalog;
+use ofw_query::{JoinEdge, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Join-graph shape of a [`large_query`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// `r0 — r1 — … — r(n-1)`: O(n²) connected subsets.
+    Chain,
+    /// Center `r0` joined to every other relation: Θ(2ⁿ) subsets.
+    Star,
+    /// Every pair joined: Θ(3ⁿ) ordered partitions.
+    Clique,
+}
+
+impl Topology {
+    /// Lower-case name for tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Topology::Chain => "chain",
+            Topology::Star => "star",
+            Topology::Clique => "clique",
+        }
+    }
+}
+
+/// Shape of a large scaling query.
+#[derive(Clone, Debug)]
+pub struct LargeQueryConfig {
+    /// Join-graph shape.
+    pub topology: Topology,
+    /// Number of relations.
+    pub num_relations: usize,
+    /// RNG seed — same seed, same query.
+    pub seed: u64,
+}
+
+/// Generates a deterministic large query with its private catalog.
+pub fn large_query(config: &LargeQueryConfig) -> (Catalog, Query) {
+    let n = config.num_relations;
+    assert!(n >= 2, "need at least two relations to join");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Column budget: one column per potential incident edge.
+    let max_degree = match config.topology {
+        Topology::Chain => 2,
+        Topology::Star => n - 1,
+        Topology::Clique => n - 1,
+    };
+
+    let mut catalog = Catalog::new();
+    let mut query = Query::new();
+    let mut degree_used = vec![0usize; n];
+    for i in 0..n {
+        // Log-uniform cardinalities between 1e2 and 1e5 (narrower than
+        // the small random workload so join outputs stay finite across
+        // 100-relation chains).
+        let exponent = rng.gen_range(2.0..5.0);
+        let card = 10f64.powf(exponent).round();
+        let cols: Vec<String> = (0..max_degree).map(|k| format!("c{k}")).collect();
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let rel = catalog.add_relation(&format!("r{i}"), card, &col_refs);
+        query.add_relation(&catalog, rel);
+    }
+
+    let mut add_edge =
+        |query: &mut Query, catalog: &Catalog, rng: &mut StdRng, a: usize, b: usize| {
+            let ka = degree_used[a];
+            let kb = degree_used[b];
+            degree_used[a] += 1;
+            degree_used[b] += 1;
+            let left = catalog.attr(&format!("r{a}.c{ka}"));
+            let right = catalog.attr(&format!("r{b}.c{kb}"));
+            // Key/foreign-key-flavored selectivity.
+            let smaller = catalog
+                .relation(query.relations[a])
+                .cardinality
+                .min(catalog.relation(query.relations[b]).cardinality);
+            let jitter = rng.gen_range(0.5..2.0);
+            let selectivity = (jitter / smaller).min(1.0);
+            query.joins.push(JoinEdge {
+                left,
+                right,
+                selectivity,
+            });
+        };
+
+    match config.topology {
+        Topology::Chain => {
+            for i in 0..n - 1 {
+                add_edge(&mut query, &catalog, &mut rng, i, i + 1);
+            }
+        }
+        Topology::Star => {
+            for leaf in 1..n {
+                add_edge(&mut query, &catalog, &mut rng, 0, leaf);
+            }
+        }
+        Topology::Clique => {
+            for a in 0..n {
+                for b in a + 1..n {
+                    add_edge(&mut query, &catalog, &mut rng, a, b);
+                }
+            }
+        }
+    }
+
+    // Clustered indexes on roughly half the relations (first join
+    // attribute), so ordered base plans exist.
+    #[allow(clippy::needless_range_loop)] // i identifies the relation
+    for i in 0..n {
+        if degree_used[i] > 0 && rng.gen_bool(0.5) {
+            let attr = catalog.attr(&format!("r{i}.c0"));
+            catalog.add_index(query.relations[i], vec![attr], true);
+        }
+    }
+
+    // Order the output by one join attribute so a required output order
+    // (and therefore enforcer/merge-join interplay) exists at any n.
+    let j = rng.gen_range(0..query.joins.len());
+    query.order_by = vec![query.joins[j].left];
+
+    (catalog, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(t: Topology, n: usize, seed: u64) -> LargeQueryConfig {
+        LargeQueryConfig {
+            topology: t,
+            num_relations: n,
+            seed,
+        }
+    }
+
+    #[test]
+    fn edge_counts_per_topology() {
+        let (_, chain) = large_query(&config(Topology::Chain, 70, 1));
+        assert_eq!(chain.joins.len(), 69);
+        assert!(chain.is_fully_connected());
+
+        let (_, star) = large_query(&config(Topology::Star, 12, 1));
+        assert_eq!(star.joins.len(), 11);
+        assert!(star.is_fully_connected());
+
+        let (_, clique) = large_query(&config(Topology::Clique, 8, 1));
+        assert_eq!(clique.joins.len(), 8 * 7 / 2);
+        assert!(clique.is_fully_connected());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        for t in [Topology::Chain, Topology::Star, Topology::Clique] {
+            let (c1, q1) = large_query(&config(t, 9, 77));
+            let (c2, q2) = large_query(&config(t, 9, 77));
+            assert_eq!(c1.num_attrs(), c2.num_attrs());
+            assert_eq!(q1.order_by, q2.order_by);
+            assert_eq!(q1.joins.len(), q2.joins.len());
+            for (a, b) in q1.joins.iter().zip(&q2.joins) {
+                assert_eq!((a.left, a.right), (b.left, b.right));
+                assert_eq!(a.selectivity, b.selectivity);
+            }
+        }
+    }
+
+    #[test]
+    fn attributes_are_not_reused_across_edges() {
+        for t in [Topology::Chain, Topology::Star, Topology::Clique] {
+            let (_, q) = large_query(&config(t, 7, 3));
+            let mut seen = std::collections::HashSet::new();
+            for j in &q.joins {
+                assert!(seen.insert(j.left), "attribute reused");
+                assert!(seen.insert(j.right), "attribute reused");
+            }
+            assert!(!q.order_by.is_empty());
+        }
+    }
+
+    #[test]
+    fn chains_scale_past_the_u64_boundary() {
+        let (_, q) = large_query(&config(Topology::Chain, 100, 5));
+        assert_eq!(q.num_relations(), 100);
+        assert_eq!(q.all_relations_set().len(), 100);
+    }
+}

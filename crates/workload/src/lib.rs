@@ -14,11 +14,15 @@
 //!   ordering + grouping framework: random join graphs with `group by`
 //!   / `select distinct` requirements, and a TPC-H-style aggregation
 //!   query rewarding early hash-grouping.
+//! * [`large`] — chain/star/clique topologies sized for the parallel-DP
+//!   scaling sweeps (10–100 relations, incl. the >64-relation regime).
 
 pub mod grouping;
+pub mod large;
 pub mod random;
 pub mod tpch;
 
 pub use grouping::{grouping_query, q13_style_query, GroupingQueryConfig};
+pub use large::{large_query, LargeQueryConfig, Topology};
 pub use random::{random_query, RandomQueryConfig};
 pub use tpch::q8_query;

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Bench-trend check: compare smoke-run BENCH_*.json files against the
+baselines committed under crates/bench/baselines/ and fail on large
+plan-time regressions.
+
+Usage:
+    python3 scripts/bench_trend.py [--update] BENCH_a.json [BENCH_b.json ...]
+
+For every file, rows are matched against the baseline rows by their
+*deterministic identity* — every field that is not a wall-clock
+measurement (so topology/n/framework/threads/labels **and** plan
+counts, which are deterministic per seed). For each matched row, every
+`*_ms`/`*_us` field is compared: if the new value exceeds the baseline
+by more than BENCH_TREND_MAX_REGRESSION percent (default 25), the check
+fails. Baselines under ten milliseconds (10.0 for `_ms` fields,
+10_000.0 for `_us` fields) are skipped — on small cells, scheduler
+jitter alone exceeds the threshold even on an idle machine.
+
+Two kinds of regression are enforced:
+
+* **counter regressions** — machine-independent, deterministic work
+  metrics (`plans`, NFSM/DFSM node counts, precomputed bytes): any
+  *increase* beyond the threshold fails on every machine, so the gate
+  enforces something real even when the baselines were recorded on
+  different hardware. Decreases (improvements) warn, as a reminder to
+  re-baseline.
+* **time regressions** — wall-clock comparisons across different
+  machines are noise, so when the machine proxy (the meta row's
+  `avail_threads`) disagrees between the baseline and the current run,
+  time regressions are demoted to warnings; on the same machine class
+  they fail. Regenerate baselines on the enforcing machine class with
+  --update.
+
+Rows that find no baseline counterpart (new cells, changed plan counts
+after a legitimate optimizer change) are reported as warnings — rerun
+with --update to re-baseline after reviewing them.
+
+Exit status: 0 = no regression, 1 = regression, 2 = usage/IO error.
+"""
+
+import json
+import os
+import shutil
+import sys
+
+BASELINE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "crates",
+    "bench",
+    "baselines",
+)
+# Wall-clock measurement fields: excluded from row identity, subject to
+# the regression threshold.
+TIME_SUFFIXES = ("_ms", "_us")
+# Derived-from-time or machine-dependent fields: excluded from identity,
+# not checked.
+VOLATILE = {"speedup", "memory_bytes", "avail_threads"}
+# Deterministic work counters: machine-independent, so enforced on every
+# machine. Excluded from identity (else a counter change would just
+# unmatch the row and dodge the gate).
+COUNTERS = {"plans", "nfsm_nodes", "nfsm_nodes_before", "dfsm_nodes", "precomputed_bytes"}
+
+
+def is_time_field(key):
+    return key.endswith(TIME_SUFFIXES)
+
+
+def min_baseline(key):
+    """Smallest baseline worth comparing: ten milliseconds, in the
+    field's own unit (below that, run-to-run jitter swamps the
+    threshold)."""
+    return 10_000.0 if key.endswith("_us") else 10.0
+
+
+def strip_volatile(value):
+    """Recursively drops time/volatile/counter fields (rows may nest
+    objects)."""
+    if isinstance(value, dict):
+        return {
+            k: strip_volatile(v)
+            for k, v in value.items()
+            if not is_time_field(k) and k not in VOLATILE and k not in COUNTERS
+        }
+    if isinstance(value, list):
+        return [strip_volatile(v) for v in value]
+    return value
+
+
+def identity(row):
+    """Hashable deterministic identity of a row."""
+    return json.dumps(strip_volatile(row), sort_keys=True)
+
+
+def load_rows(path):
+    with open(path) as f:
+        payload = json.load(f)
+    return payload.get("rows", [])
+
+
+def machine_proxy(rows):
+    """The file's machine fingerprint, if it records one."""
+    for row in rows:
+        if isinstance(row, dict) and row.get("meta") == 1:
+            return row.get("avail_threads")
+    return None
+
+
+def check_file(path, threshold_pct):
+    """Returns (regressions, warnings) for one BENCH file."""
+    base_path = os.path.join(BASELINE_DIR, os.path.basename(path))
+    if not os.path.exists(base_path):
+        return [], [f"{path}: no baseline at {base_path} (run with --update)"]
+    current = load_rows(path)
+    baseline_rows = load_rows(base_path)
+    baseline = {identity(r): r for r in baseline_rows}
+    regressions, warnings = [], []
+    same_machine = machine_proxy(current) == machine_proxy(baseline_rows)
+    if not same_machine:
+        warnings.append(
+            f"{path}: baseline was measured on different hardware "
+            f"(avail_threads {machine_proxy(baseline_rows)} vs "
+            f"{machine_proxy(current)}); time regressions demoted to warnings"
+        )
+    for row in current:
+        base = baseline.get(identity(row))
+        if base is None:
+            warnings.append(
+                f"{path}: no baseline row matches {json.dumps(row, sort_keys=True)[:120]}"
+            )
+            continue
+        label = json.dumps(identity_label(row))[:120]
+        found_times, found_counters = [], []
+        compare_rows(row, base, "", threshold_pct, found_times, found_counters)
+        for field, old_value, new_value, growth_pct in found_times:
+            message = (
+                f"{path}: {field} {old_value:.2f} -> {new_value:.2f} "
+                f"(+{growth_pct:.0f}% > {threshold_pct:.0f}%) in row {label}"
+            )
+            (regressions if same_machine else warnings).append(message)
+        for field, old_value, new_value, growth_pct in found_counters:
+            message = (
+                f"{path}: {field} {old_value} -> {new_value} "
+                f"({growth_pct:+.0f}%) in row {label}"
+            )
+            if growth_pct > threshold_pct:
+                regressions.append(message + " — deterministic counter regression")
+            else:
+                warnings.append(message + " — counter changed; re-baseline with --update")
+    return regressions, warnings
+
+
+def compare_rows(new, old, prefix, threshold_pct, out_times, out_counters):
+    """Walks matching structures, collecting regressed time fields and
+    changed deterministic counters."""
+    if isinstance(new, dict) and isinstance(old, dict):
+        for key, value in new.items():
+            old_value = old.get(key)
+            if is_time_field(key):
+                if (
+                    isinstance(value, (int, float))
+                    and isinstance(old_value, (int, float))
+                    and old_value >= min_baseline(key)
+                ):
+                    growth_pct = 100.0 * (value - old_value) / old_value
+                    if growth_pct > threshold_pct:
+                        out_times.append((prefix + key, old_value, value, growth_pct))
+            elif key in COUNTERS:
+                if (
+                    isinstance(value, (int, float))
+                    and isinstance(old_value, (int, float))
+                    and value != old_value
+                ):
+                    growth_pct = 100.0 * (value - old_value) / max(old_value, 1)
+                    out_counters.append((prefix + key, old_value, value, growth_pct))
+            elif isinstance(value, (dict, list)):
+                compare_rows(
+                    value, old_value, f"{prefix}{key}.", threshold_pct, out_times, out_counters
+                )
+    elif isinstance(new, list) and isinstance(old, list):
+        for i, (a, b) in enumerate(zip(new, old)):
+            compare_rows(a, b, f"{prefix}{i}.", threshold_pct, out_times, out_counters)
+
+
+def identity_label(row):
+    label = strip_volatile(row)
+    if isinstance(label, dict):
+        label.pop("best_cost", None)
+    return label
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--update"]
+    update = "--update" in argv[1:]
+    if not args:
+        print(__doc__)
+        return 2
+    if update:
+        os.makedirs(BASELINE_DIR, exist_ok=True)
+        for path in args:
+            dest = os.path.join(BASELINE_DIR, os.path.basename(path))
+            shutil.copyfile(path, dest)
+            print(f"baselined {path} -> {dest}")
+        return 0
+    threshold_pct = float(os.environ.get("BENCH_TREND_MAX_REGRESSION", "25"))
+    all_regressions, all_warnings = [], []
+    for path in args:
+        if not os.path.exists(path):
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+        regressions, warnings = check_file(path, threshold_pct)
+        all_regressions.extend(regressions)
+        all_warnings.extend(warnings)
+    for w in all_warnings:
+        print(f"warning: {w}")
+    if all_regressions:
+        print(f"\nFAIL: {len(all_regressions)} plan-time regression(s) > "
+              f"{threshold_pct:.0f}% vs committed baselines:")
+        for r in all_regressions:
+            print(f"  {r}")
+        return 1
+    print(f"bench trend OK ({len(args)} file(s), threshold {threshold_pct:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

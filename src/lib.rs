@@ -25,7 +25,8 @@
 //! | [`catalog`] | schema/catalog substrate (incl. a TPC-H subset) |
 //! | [`query`] | query graphs + interesting-order/FD extraction |
 //! | [`plangen`] | bottom-up DP plan generator exercising both frameworks |
-//! | [`workload`] | random join-graph workloads and TPC-R Query 8 |
+//! | [`parallel`] | deterministic work-stealing pool + parallel DP driver |
+//! | [`workload`] | random join-graph workloads, TPC-R Query 8, large topologies |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@
 pub use ofw_catalog as catalog;
 pub use ofw_common as common;
 pub use ofw_core as core;
+pub use ofw_parallel as parallel;
 pub use ofw_plangen as plangen;
 pub use ofw_query as query;
 pub use ofw_simmen as simmen;
