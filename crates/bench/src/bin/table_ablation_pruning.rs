@@ -88,7 +88,7 @@ fn main() {
         "{:<26} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "configuration", "NFSM pre", "NFSM", "DFSM", "bytes", "time(ms)"
     );
-    let mut json_rows: Vec<String> = Vec::new();
+    let mut sink = ofw_bench::json::BenchSink::new("table_ablation_pruning");
     for (label, config) in variants {
         let row = ofw_bench::prep_q8_with(label, config);
         println!(
@@ -100,9 +100,7 @@ fn main() {
             row.precomputed_bytes,
             ofw_bench::ms(row.total_time)
         );
-        json_rows.push(ofw_bench::prep_row_json(&row).build());
+        sink.push(ofw_bench::prep_row_json(&row));
     }
-    let path = ofw_bench::json::write_bench("table_ablation_pruning", json_rows)
-        .expect("write BENCH json");
-    println!("machine-readable: {}", path.display());
+    sink.finish();
 }

@@ -26,18 +26,17 @@ fn main() {
         "% #Plans",
         "% t/plan"
     );
-    let mut json_rows: Vec<String> = Vec::new();
+    let mut sink = ofw_bench::json::BenchSink::new("table_fig13");
     for extra in 0..=2usize {
         let edge_label = ["n-1", "n", "n+1"][extra];
         for n in 5..=max_n {
             let cell = ofw_bench::sweep_cell(n, extra, queries, 0xF13 + (n * 10 + extra) as u64);
-            json_rows.push(
+            sink.push(
                 ofw_bench::json::Obj::new()
                     .int("n", n)
                     .str("edges", edge_label)
                     .raw("simmen", ofw_bench::plan_row_json(&cell.simmen).build())
-                    .raw("ours", ofw_bench::plan_row_json(&cell.ours).build())
-                    .build(),
+                    .raw("ours", ofw_bench::plan_row_json(&cell.ours).build()),
             );
             let s = &cell.simmen;
             let o = &cell.ours;
@@ -59,6 +58,5 @@ fn main() {
         println!();
     }
     println!("S = Simmen et al., O = ours; %x = Simmen / ours (higher = larger win)");
-    let path = ofw_bench::json::write_bench("table_fig13", json_rows).expect("write BENCH json");
-    println!("machine-readable: {}", path.display());
+    sink.finish();
 }

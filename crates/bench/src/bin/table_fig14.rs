@@ -15,21 +15,20 @@ fn main() {
         "{:>2} {:>7} | {:>10} {:>14} {:>8}",
         "n", "#Edges", "Simmen", "Our Algorithm", "DFSM"
     );
-    let mut json_rows: Vec<String> = Vec::new();
+    let mut sink = ofw_bench::json::BenchSink::new("table_fig14");
     for extra in 0..=2usize {
         let label = ["n-1", "n+0", "n+1"][extra];
         for n in 5..=max_n {
             // Same seeds as table_fig13 so the two tables describe the
             // same queries, as in the paper.
             let cell = ofw_bench::sweep_cell(n, extra, queries, 0xF13 + (n * 10 + extra) as u64);
-            json_rows.push(
+            sink.push(
                 ofw_bench::json::Obj::new()
                     .int("n", n)
                     .str("edges", label)
                     .int("simmen_memory_bytes", cell.simmen.memory_bytes)
                     .int("ours_memory_bytes", cell.ours.memory_bytes)
-                    .int("dfsm_bytes", cell.dfsm_bytes)
-                    .build(),
+                    .int("dfsm_bytes", cell.dfsm_bytes),
             );
             println!(
                 "{:>2} {:>7} | {:>10} {:>14} {:>8}",
@@ -44,6 +43,5 @@ fn main() {
     }
     println!("paper shape: our algorithm uses roughly half of Simmen's memory;");
     println!("the DFSM itself stays tiny (a few KB).");
-    let path = ofw_bench::json::write_bench("table_fig14", json_rows).expect("write BENCH json");
-    println!("machine-readable: {}", path.display());
+    sink.finish();
 }

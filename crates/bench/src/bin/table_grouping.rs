@@ -23,7 +23,7 @@ fn main() {
         "{:>2} {:>7} {:>8} | {:>9} {:>9} | {:>9} {:>9} | {:>6} {:>8}",
         "n", "#Edges", "oracle✓", "t(ms) S", "#Plans S", "t(ms) O", "#Plans O", "% t", "% #Plans"
     );
-    let mut json_rows: Vec<String> = vec![ofw_bench::json::machine_meta_row().build()];
+    let mut sink = ofw_bench::json::BenchSink::new("table_grouping");
     for extra in 0..=1usize {
         let edge_label = ["n-1", "n"][extra];
         for n in 4..=max_n {
@@ -49,14 +49,13 @@ fn main() {
                 s.time.as_secs_f64() / o.time.as_secs_f64().max(1e-12),
                 s.plans as f64 / o.plans.max(1) as f64,
             );
-            json_rows.push(
+            sink.push(
                 ofw_bench::json::Obj::new()
                     .int("n", n)
                     .str("edges", edge_label)
                     .str("oracle_checked", if check_explicit { "yes" } else { "no" })
                     .raw("simmen", ofw_bench::plan_row_json(s).build())
-                    .raw("ours", ofw_bench::plan_row_json(o).build())
-                    .build(),
+                    .raw("ours", ofw_bench::plan_row_json(o).build()),
             );
         }
         println!();
@@ -90,13 +89,11 @@ fn main() {
         simmen.plans,
         ours.plans
     );
-    json_rows.push(
+    sink.push(
         ofw_bench::json::Obj::new()
             .str("query", "q13_style")
             .raw("simmen", ofw_bench::plan_row_json(&simmen).build())
-            .raw("ours", ofw_bench::plan_row_json(&ours).build())
-            .build(),
+            .raw("ours", ofw_bench::plan_row_json(&ours).build()),
     );
-    let path = ofw_bench::json::write_bench("table_grouping", json_rows).expect("write BENCH json");
-    println!("machine-readable: {}", path.display());
+    sink.finish();
 }

@@ -108,9 +108,7 @@ fn main() {
         "{:>6} {:>4} {:>5} {:>22} {:>7} | {:>10} {:>9} {:>8} {:>9}",
         "shape", "n", "extr", "framework", "driver", "t(ms)", "#Plans", "speedup", "plans=="
     );
-    let mut json_rows: Vec<String> = vec![ofw_bench::json::machine_meta_row()
-        .str("mode", label)
-        .build()];
+    let mut sink = ofw_bench::json::BenchSink::with_meta("parallel", |m| m.str("mode", label));
     for c in &cells {
         let rows = parallel_cell(
             c.topology,
@@ -123,11 +121,10 @@ fn main() {
         );
         for row in &rows {
             println!("{}", parallel_row_line(row));
-            json_rows.push(parallel_row_json(row).build());
+            sink.push(parallel_row_json(row));
         }
         println!();
     }
 
-    let path = ofw_bench::json::write_bench("parallel", json_rows).expect("write BENCH json");
-    println!("wrote {}", path.display());
+    sink.finish();
 }

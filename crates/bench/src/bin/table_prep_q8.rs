@@ -36,14 +36,8 @@ fn main() {
     );
     println!();
     println!("paper: NFSM 376 -> 38, DFSM 80 -> 24, time 16ms -> 0.2ms, bytes 3040 -> 912");
-    let path = ofw_bench::json::write_bench(
-        "table_prep_q8",
-        vec![
-            ofw_bench::json::machine_meta_row().build(),
-            ofw_bench::prep_row_json(&without).build(),
-            ofw_bench::prep_row_json(&with).build(),
-        ],
-    )
-    .expect("write BENCH json");
-    println!("machine-readable: {}", path.display());
+    let mut sink = ofw_bench::json::BenchSink::new("table_prep_q8");
+    sink.push(ofw_bench::prep_row_json(&without));
+    sink.push(ofw_bench::prep_row_json(&with));
+    sink.finish();
 }

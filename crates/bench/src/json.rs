@@ -116,6 +116,47 @@ pub fn write_bench(name: &str, rows: Vec<String>) -> std::io::Result<PathBuf> {
     write_bench_in(std::path::Path::new("."), name, rows)
 }
 
+/// The one way a table binary emits its machine-readable rows: starts
+/// with the standard machine-proxy meta row, collects data rows, and on
+/// [`finish`](Self::finish) writes `BENCH_<name>.json` and prints the
+/// standard "machine-readable: <path>" trailer. Replaces the
+/// copy-pasted meta-row + `write_bench` + `println!` boilerplate every
+/// binary used to carry.
+pub struct BenchSink {
+    name: String,
+    rows: Vec<String>,
+}
+
+impl BenchSink {
+    /// A sink for `BENCH_<name>.json`, meta row included.
+    pub fn new(name: &str) -> Self {
+        Self::with_meta(name, |meta| meta)
+    }
+
+    /// Like [`new`](Self::new), with extra fields appended to the meta
+    /// row (e.g. the run mode).
+    pub fn with_meta(name: &str, extend: impl FnOnce(Obj) -> Obj) -> Self {
+        BenchSink {
+            name: name.to_string(),
+            rows: vec![extend(machine_meta_row()).build()],
+        }
+    }
+
+    /// Appends one data row.
+    pub fn push(&mut self, row: Obj) {
+        self.rows.push(row.build());
+    }
+
+    /// Writes the file into the current directory and prints the
+    /// standard trailer. Panics on IO failure, like every table binary
+    /// did individually.
+    pub fn finish(self) -> PathBuf {
+        let path = write_bench(&self.name, self.rows).expect("write BENCH json");
+        println!("machine-readable: {}", path.display());
+        path
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +178,17 @@ mod tests {
     #[test]
     fn non_finite_numbers_become_null() {
         assert_eq!(Obj::new().num("x", f64::NAN).build(), r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn bench_sink_prepends_the_meta_row() {
+        let mut sink = BenchSink::with_meta("sink_unit_test", |m| m.str("mode", "smoke"));
+        sink.push(Obj::new().int("a", 1));
+        assert_eq!(sink.rows.len(), 2);
+        assert!(sink.rows[0].contains("\"meta\":1"));
+        assert!(sink.rows[0].contains("\"avail_threads\":"));
+        assert!(sink.rows[0].contains("\"mode\":\"smoke\""));
+        assert_eq!(sink.rows[1], r#"{"a":1}"#);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | A1 | pruning ablation | `table_ablation_pruning` | [`prep_q8_with`] |
 //! | G1 | grouping workload sweep (VLDB'04 extension) | `table_grouping` | [`grouping_cell`] |
 //! | P1 | thread-scaling sweep (parallel DP) | `table_parallel` | [`parallel_cell`] |
+//! | GJ1 | aggregation-placement sweep (group-join + eager push-down) | `table_groupjoin` | [`groupjoin_cell`] |
 //!
 //! Every table binary also emits its rows as machine-readable
 //! `BENCH_<name>.json` (see [`json`]) next to the stdout table, so the
@@ -28,7 +29,8 @@ use ofw_query::extract::ExtractOptions;
 use ofw_query::{ExtractedQuery, Query};
 use ofw_simmen::SimmenFramework;
 use ofw_workload::{
-    grouping_query, q8_query, random_query, GroupingQueryConfig, RandomQueryConfig,
+    grouping_query, q8_query, random_query, star_agg_query, GroupingQueryConfig, RandomQueryConfig,
+    StarAggConfig,
 };
 use std::time::{Duration, Instant};
 
@@ -271,6 +273,105 @@ pub fn grouping_cell(
     }
 }
 
+/// One averaged cell of the aggregation-placement sweep (GJ1): star
+/// queries with `dimensions` dimension tables, planned twice with the
+/// DFSM arm — aggregation placement enabled vs root-only aggregation —
+/// plus the placement win statistics.
+#[derive(Clone, Debug)]
+pub struct PlacementCell {
+    /// Dimension-table count (relations = `dimensions + 1`).
+    pub dimensions: usize,
+    /// Averaged DFSM row with placement disabled (root-only ceiling).
+    pub root_only: PlanRow,
+    /// Averaged DFSM row with placement enabled.
+    pub placed: PlanRow,
+    /// Largest per-query win (`root-only cost / placed cost`).
+    pub max_win: f64,
+    /// Queries where placement found a strictly cheaper plan.
+    pub wins: usize,
+    /// Queries in the cell.
+    pub queries: usize,
+}
+
+/// Runs plan generation with the DFSM framework and an explicit
+/// aggregation-placement switch (preparation time included).
+pub fn run_ours_placement(
+    catalog: &Catalog,
+    query: &Query,
+    ex: &ExtractedQuery,
+    placement: bool,
+) -> PlanRow {
+    let t0 = Instant::now();
+    let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).expect("prepare");
+    let result = PlanGen::new(catalog, query, ex, &fw)
+        .aggregation_placement(placement)
+        .run();
+    finish_row(&fw, t0, result.stats, result.cost)
+}
+
+/// Runs one cell of the aggregation-placement sweep. Every query is
+/// planned with placement on and off; placement must never be costlier
+/// (asserted). With `check_arms`, the placed optimum is additionally
+/// cross-checked against the Simmen and explicit-set arms (slow — meant
+/// for small cells).
+pub fn groupjoin_cell(
+    dimensions: usize,
+    queries: usize,
+    seed0: u64,
+    check_arms: bool,
+) -> PlacementCell {
+    let mut acc_root = ZeroRow::new("nfsm/dfsm (ours)");
+    let mut acc_placed = ZeroRow::new("nfsm/dfsm (ours)");
+    let mut max_win = 1.0f64;
+    let mut wins = 0usize;
+    for q in 0..queries {
+        let (catalog, query) = star_agg_query(&StarAggConfig {
+            dimensions,
+            seed: seed0 + q as u64,
+        });
+        let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+        let placed = run_ours_placement(&catalog, &query, &ex, true);
+        let root_only = run_ours_placement(&catalog, &query, &ex, false);
+        assert!(
+            placed.best_cost <= root_only.best_cost * (1.0 + 1e-9),
+            "placement can never be costlier: {} vs {}",
+            placed.best_cost,
+            root_only.best_cost
+        );
+        if placed.best_cost < root_only.best_cost * (1.0 - 1e-9) {
+            wins += 1;
+        }
+        max_win = max_win.max(root_only.best_cost / placed.best_cost);
+        if check_arms {
+            let simmen = run_simmen(&catalog, &query, &ex);
+            assert_costs_agree(&placed, &simmen);
+            let explicit = run_explicit(&catalog, &query, &ex);
+            assert_costs_agree(&placed, &explicit);
+        }
+        acc_root.add(&root_only);
+        acc_placed.add(&placed);
+    }
+    PlacementCell {
+        dimensions,
+        root_only: acc_root.avg(queries),
+        placed: acc_placed.avg(queries),
+        max_win,
+        wins,
+        queries,
+    }
+}
+
+/// A [`PlacementCell`] as a flat JSON object for `BENCH_groupjoin.json`.
+pub fn placement_cell_json(cell: &PlacementCell) -> json::Obj {
+    json::Obj::new()
+        .int("dimensions", cell.dimensions)
+        .int("queries", cell.queries)
+        .int("wins", cell.wins)
+        .num("max_win", cell.max_win)
+        .raw("root_only", plan_row_json(&cell.root_only).build())
+        .raw("placed", plan_row_json(&cell.placed).build())
+}
+
 struct ZeroRow {
     framework: &'static str,
     time: Duration,
@@ -385,6 +486,15 @@ mod tests {
     }
 
     #[test]
+    fn small_groupjoin_cell_wins_and_agrees_across_arms() {
+        let cell = groupjoin_cell(2, 3, 77, true);
+        assert!(cell.placed.plans > 0 && cell.root_only.plans > 0);
+        assert!(cell.placed.best_cost <= cell.root_only.best_cost);
+        assert!(cell.wins >= 1, "placement should win somewhere in the cell");
+        assert!(cell.max_win >= 1.0);
+    }
+
+    #[test]
     fn q13_style_query_uses_the_hash_group_enforcer() {
         // The G1 acceptance scenario: a TPC-H-style aggregation query
         // plans with early hash-grouping + streaming aggregation.
@@ -398,13 +508,7 @@ mod tests {
         while let Some(p) = stack.pop() {
             let op = &r.arena.node(p).op;
             found_hash_group |= matches!(op, ofw_plangen::PlanOp::HashGroup { .. });
-            found_streaming |= matches!(
-                op,
-                ofw_plangen::PlanOp::Aggregate {
-                    streaming: true,
-                    ..
-                }
-            );
+            found_streaming |= matches!(op, ofw_plangen::PlanOp::StreamAgg { partial: false, .. });
             stack.extend(op.inputs());
         }
         assert!(

@@ -34,6 +34,9 @@ pub struct Catalog {
     attr_rel: Vec<RelId>,
     rel_by_name: FxHashMap<String, RelId>,
     attr_by_name: FxHashMap<String, AttrId>,
+    /// Estimated distinct-value counts per attribute (sparse — unset
+    /// columns have no estimate and callers fall back to heuristics).
+    attr_distinct: FxHashMap<AttrId, f64>,
 }
 
 impl Catalog {
@@ -82,6 +85,31 @@ impl Catalog {
         self.relations[rel.index()]
             .indexes
             .push(Index { key, clustered });
+    }
+
+    /// Records an estimated distinct-value count for `attr` — the basis
+    /// of aggregate-output cardinality estimation. Clamped to at least
+    /// one; estimates above the owning relation's cardinality are
+    /// meaningless and clamped down to it.
+    pub fn set_distinct_values(&mut self, attr: AttrId, distinct: f64) {
+        let card = self.relations[self.attr_rel[attr.index()].index()].cardinality;
+        self.attr_distinct.insert(attr, distinct.clamp(1.0, card));
+    }
+
+    /// The estimated distinct-value count of `attr`, if one was recorded.
+    pub fn distinct_values(&self, attr: AttrId) -> Option<f64> {
+        self.attr_distinct.get(&attr).copied()
+    }
+
+    /// Whether `attr` is (estimated to be) unique within its relation —
+    /// its distinct count reaches the relation's cardinality. Unique
+    /// columns are keys: they functionally determine every other
+    /// attribute of the relation, which is what lets a join key
+    /// determine the aggregation group.
+    pub fn is_unique(&self, attr: AttrId) -> bool {
+        let card = self.relations[self.attr_rel[attr.index()].index()].cardinality;
+        self.distinct_values(attr)
+            .is_some_and(|d| d >= card && card > 0.0)
     }
 
     /// Resolves a relation by name.
@@ -182,6 +210,26 @@ mod tests {
     fn duplicate_relation_panics() {
         let mut c = sample();
         c.add_relation("persons", 1.0, &["x"]);
+    }
+
+    #[test]
+    fn distinct_values_are_recorded_and_clamped() {
+        let mut c = sample();
+        let pid = c.attr("persons.id");
+        let name = c.attr("persons.name");
+        assert_eq!(c.distinct_values(pid), None, "unset columns are sparse");
+        assert!(!c.is_unique(pid));
+        c.set_distinct_values(pid, 10_000.0);
+        assert_eq!(c.distinct_values(pid), Some(10_000.0));
+        assert!(c.is_unique(pid), "distinct == cardinality marks a key");
+        c.set_distinct_values(name, 50.0);
+        assert_eq!(c.distinct_values(name), Some(50.0));
+        assert!(!c.is_unique(name));
+        // Estimates are clamped into [1, cardinality].
+        c.set_distinct_values(name, 1e12);
+        assert_eq!(c.distinct_values(name), Some(10_000.0));
+        c.set_distinct_values(name, 0.0);
+        assert_eq!(c.distinct_values(name), Some(1.0));
     }
 
     #[test]

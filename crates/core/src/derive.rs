@@ -236,6 +236,80 @@ pub fn apply_fd_grouping(g: &Grouping, fd: &Fd, out: &mut Vec<Grouping>) {
     }
 }
 
+/// The classical attribute closure `seed⁺` under `fds`: every attribute
+/// functionally determined by `seed`. Equations count in both
+/// directions; constants are determined by anything (including the
+/// empty set).
+pub fn attr_closure(seed: &[ofw_catalog::AttrId], fds: &[Fd]) -> FxHashSet<ofw_catalog::AttrId> {
+    let mut set: FxHashSet<ofw_catalog::AttrId> = seed.iter().copied().collect();
+    loop {
+        let mut grew = false;
+        for fd in fds {
+            let derived = match fd {
+                Fd::Functional { lhs, rhs } => lhs
+                    .iter()
+                    .all(|l| set.contains(l))
+                    .then_some(*rhs)
+                    .filter(|r| !set.contains(r)),
+                Fd::Constant(a) => (!set.contains(a)).then_some(*a),
+                Fd::Equation(a, b) => {
+                    if set.contains(a) && !set.contains(b) {
+                        Some(*b)
+                    } else if set.contains(b) && !set.contains(a) {
+                        Some(*a)
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(d) = derived {
+                set.insert(d);
+                grew = true;
+            }
+        }
+        if !grew {
+            return set;
+        }
+    }
+}
+
+/// Whether `key` functionally determines every attribute of `targets`
+/// under `fds` — the admission test behind group-join ("the join key
+/// functionally determines the group") and eager aggregation keys.
+pub fn determines(
+    key: &[ofw_catalog::AttrId],
+    targets: &[ofw_catalog::AttrId],
+    fds: &[Fd],
+) -> bool {
+    let closure = attr_closure(key, fds);
+    targets.iter().all(|t| closure.contains(t))
+}
+
+/// Minimizes an aggregation-key grouping under `fds`: drops every
+/// attribute functionally determined by the remaining ones (rows equal
+/// on the rest are equal on it too, so it neither splits groups nor
+/// changes the group count). Deterministic — attributes are examined in
+/// ascending id order — so extraction and the plan generator derive the
+/// *same* canonical key for the same subset and the grouping registered
+/// as interesting is the grouping the partial aggregate produces.
+pub fn minimize_grouping_key(key: &Grouping, fds: &[Fd]) -> Grouping {
+    let mut attrs: Vec<ofw_catalog::AttrId> = key.attrs().to_vec();
+    let mut i = 0;
+    while i < attrs.len() {
+        let rest: Vec<ofw_catalog::AttrId> = attrs
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &a)| (j != i).then_some(a))
+            .collect();
+        if determines(&rest, &[attrs[i]], fds) {
+            attrs.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Grouping::new(attrs)
+}
+
 /// The transitive closure of grouping derivation: every grouping
 /// reachable from `g` by repeatedly applying any of `fds`, bounded by
 /// the admission `filter` (a derived grouping no interesting grouping
@@ -476,6 +550,38 @@ mod tests {
         assert!(r.contains(&g(&[A, B, C])));
         assert!(r.contains(&g(&[A, C])));
         assert!(!r.contains(&g(&[C])), "a is not removable");
+    }
+
+    #[test]
+    fn attr_closure_and_determines() {
+        let fds = [Fd::functional(&[A], B), Fd::equation(B, C), Fd::constant(D)];
+        let closure = attr_closure(&[A], &fds);
+        for x in [A, B, C, D] {
+            assert!(closure.contains(&x), "{x:?}");
+        }
+        assert!(determines(&[A], &[B, C, D], &fds));
+        assert!(determines(&[], &[D], &fds), "constants come for free");
+        assert!(!determines(&[B], &[A], &fds), "FDs are directional");
+        assert!(determines(&[C], &[B], &fds), "equations go both ways");
+    }
+
+    #[test]
+    fn key_minimization_drops_determined_attributes() {
+        // A key column determines its siblings: {a, b, c} with a→b and
+        // b=c minimizes to {a}.
+        let fds = [Fd::functional(&[A], B), Fd::equation(B, C)];
+        assert_eq!(minimize_grouping_key(&g(&[A, B, C]), &fds), g(&[A]));
+        // Nothing removable without dependencies.
+        assert_eq!(minimize_grouping_key(&g(&[A, B]), &[]), g(&[A, B]));
+        // Constants always drop.
+        assert_eq!(
+            minimize_grouping_key(&g(&[A, D]), &[Fd::constant(D)]),
+            g(&[A])
+        );
+        // Mutual determination keeps exactly one representative (the
+        // ascending scan drops the first removable attribute first).
+        let fds = [Fd::equation(A, B)];
+        assert_eq!(minimize_grouping_key(&g(&[A, B]), &fds), g(&[B]));
     }
 
     #[test]

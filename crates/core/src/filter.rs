@@ -534,6 +534,31 @@ mod tests {
     }
 
     #[test]
+    fn aggregation_keys_survive_admission() {
+        // Aggregation placement registers subset keys like {fk, g} as
+        // interesting groupings and relies on derivation chains through
+        // schema FDs (key → attribute) and join equations. The
+        // admission filter must keep every link of those chains alive:
+        // from the probe-side key {a} (≈ join attribute), the chain
+        // a = b (join edge), b → c (schema FD of the build side) must
+        // reach the group key {c} registered as interesting.
+        let eq = {
+            let mut eq = EqClasses::new();
+            eq.union(A, B);
+            eq
+        };
+        let fds = [Fd::equation(A, B), Fd::functional(&[B], C)];
+        let f = GroupingFilter::new([g(&[C]), g(&[A, D])].iter(), &fds, &eq, true);
+        assert!(f.admits(&g(&[A])), "the probe-side aggregation key");
+        assert!(f.admits(&g(&[A, B])), "after the join equation");
+        assert!(f.admits(&g(&[B, C])), "after the schema FD");
+        assert!(f.admits(&g(&[C])), "the group key itself");
+        // But a key that can never complete any interesting grouping
+        // (nothing derives d) stays out.
+        assert!(!f.admits(&g(&[X])));
+    }
+
+    #[test]
     fn permissive_grouping_filter_admits_all() {
         let f = GroupingFilter::permissive();
         assert!(f.admits(&g(&[C, D])));

@@ -63,6 +63,16 @@ pub fn hash_group(card: f64) -> f64 {
     1.3 * card
 }
 
+/// Cost of a group-join: a hash join and the final aggregation fused
+/// into one pass over a probe input whose groups are already adjacent.
+/// The join work is the hash join's; the aggregation folds into the
+/// probe loop for a fraction of a separate streaming aggregate's pass —
+/// which is why a grouped probe makes the fused operator strictly
+/// cheaper than any join-then-aggregate split.
+pub fn group_join(left: f64, right: f64, out: f64) -> f64 {
+    1.2 * right + 1.1 * left + 0.15 * out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +123,27 @@ mod tests {
             hash_group(small) + streaming_aggregate(joined) < hash_aggregate(joined),
             "pre-grouping a small input wins once the join fans out"
         );
+    }
+
+    #[test]
+    fn group_join_beats_every_join_then_aggregate_split() {
+        let (l, r, out) = (10_000.0, 1_000.0, 100_000.0);
+        assert!(group_join(l, r, out) < hash_join(l, r, out) + streaming_aggregate(out));
+        assert!(group_join(l, r, out) < hash_join(l, r, out) + hash_aggregate(out));
+        // But it is still a join: it cannot beat the join alone.
+        assert!(group_join(l, r, out) > hash_join(l, r, out));
+    }
+
+    #[test]
+    fn eager_aggregation_pays_when_the_join_fans_out() {
+        // Pre-aggregating a 1M-row fact table down to 1k groups, then
+        // joining, beats joining 1M rows and aggregating at the root —
+        // the Yan/Larson eager group-by payoff the placement dimension
+        // searches for.
+        let (fact, dim, groups) = (1_000_000.0, 100.0, 1_000.0);
+        let eager = hash_aggregate(fact) + hash_join(groups, dim, groups) + hash_aggregate(groups);
+        let lazy = hash_join(fact, dim, fact) + hash_aggregate(fact);
+        assert!(eager < lazy);
     }
 
     #[test]

@@ -17,6 +17,25 @@
 //! input's properties — the interplay that makes interesting properties
 //! pay off.
 //!
+//! # Aggregation as a plan-space dimension
+//!
+//! For queries computing aggregate functions over a `group by`,
+//! aggregation is *placed*, not bolted onto the root: every subset may
+//! additionally carry eagerly aggregated plans — a partial
+//! [`PlanOp::StreamAgg`]/[`PlanOp::HashAgg`] on the subset's canonical
+//! aggregation key (group-by attributes inside, join attributes
+//! crossing out, minimized under the subset's dependencies), legal per
+//! the aggregate functions' decomposability (eager group-by on the side
+//! carrying the aggregated attributes, eager-count on the opposite
+//! side) — and the root subset may fuse the top join with the final
+//! aggregation into a [`PlanOp::GroupJoin`] whenever the probe side's
+//! properties plus the join's dependencies make the groups adjacent.
+//! Plans with different aggregation histories compute different
+//! intermediate relations, so they live in separate comparability
+//! classes ([`AggMark`]) of the same Pareto set; the unaggregated class
+//! replicates the root-only search exactly, which is why enabling
+//! placement can never yield a costlier winner.
+//!
 //! # The two-driver layer API
 //!
 //! The DP advances layer by layer (subset size 2, 3, … n). Each layer is
@@ -44,8 +63,8 @@
 
 use crate::cost;
 use crate::oracle::OrderOracle;
-use crate::plan::{ArenaView, PlanArena, PlanId, PlanNode, PlanOp, LOCAL_PLAN_BIT};
-use ofw_catalog::Catalog;
+use crate::plan::{AggMark, ArenaView, PlanArena, PlanId, PlanNode, PlanOp, LOCAL_PLAN_BIT};
+use ofw_catalog::{AttrId, Catalog};
 use ofw_common::{BitSet, FxHashMap, OrderedExecutor, SerialExecutor, SmallBitSet};
 use ofw_core::fd::FdSetId;
 use ofw_core::ordering::Ordering;
@@ -108,6 +127,41 @@ impl UnionWork {
     }
 }
 
+/// Pre-resolved aggregation context: what placement enumeration needs
+/// to know at every subset (see the module docs on the aggregation
+/// dimension).
+struct AggInfo<K> {
+    /// The final aggregation key (`group by` / `distinct` attributes).
+    group_by: Vec<AttrId>,
+    /// Ordering handle of the final key (streaming-aggregate probe).
+    order_key: Option<K>,
+    /// Grouping handle of the final key.
+    group_key: Option<K>,
+    /// Relations owning aggregate input attributes.
+    input_owners: BitSet,
+    /// All aggregates decomposable — eager group-by push-down is legal
+    /// on the side carrying the aggregated attributes.
+    decomposable: bool,
+    /// All aggregates count-scalable or duplicate-insensitive —
+    /// eager-count push-down is legal on the opposite side.
+    count_scalable: bool,
+}
+
+/// Pre-resolved oracle handles for aggregating on one key (see
+/// [`PlanGen::resolve_agg_key`]).
+struct AggKeyHandles<K> {
+    /// The key attribute list (positional for the operator rendering;
+    /// `group by` order for the final key, canonical set order for
+    /// subset keys).
+    attrs: Vec<AttrId>,
+    /// Ordering handle of the key, if interesting.
+    order: Option<K>,
+    /// Grouping handle of the key, if interesting.
+    group: Option<K>,
+    /// The grouping handle when it is also producible.
+    producible: Option<K>,
+}
+
 /// The generator, parameterized by the order oracle.
 pub struct PlanGen<'a, O: OrderOracle> {
     catalog: &'a Catalog,
@@ -115,6 +169,14 @@ pub struct PlanGen<'a, O: OrderOracle> {
     ex: &'a ExtractedQuery,
     oracle: &'a O,
     targets: Vec<EnforcerTarget<O::Key>>,
+    /// Aggregation context (`Some` iff the query computes aggregates
+    /// over a group-by and extraction ran with placement enabled).
+    agg: Option<AggInfo<O::Key>>,
+    /// Enumerate aggregation placements (eager/eager-count partial
+    /// aggregates per subset, group-joins at the root)? Off restricts
+    /// aggregation to the plan root — the classic enforcer behavior and
+    /// the ceiling the placement search must beat.
+    placement: bool,
     arena: PlanArena<O::State>,
     table: FxHashMap<BitSet, Vec<PlanId>>,
 }
@@ -160,14 +222,70 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         // enforcer ("already satisfied"); added first, both variants
         // enter the Pareto set and the cost model decides.
         targets.sort_by_key(|t| !t.grouping);
+        let agg = ex.aggregation.then(|| {
+            let group_by = query.effective_group_by().to_vec();
+            let mut input_owners = BitSet::new(query.num_relations());
+            for a in query.agg_input_attrs() {
+                input_owners.insert(query.owner(a));
+            }
+            AggInfo {
+                order_key: oracle.resolve(&Ordering::new(group_by.clone())),
+                group_key: oracle.resolve_grouping(&Grouping::new(group_by.clone())),
+                group_by,
+                input_owners,
+                decomposable: query.aggregates.iter().all(|a| a.func.is_decomposable()),
+                count_scalable: query
+                    .aggregates
+                    .iter()
+                    .all(|a| a.func.count_scalable() || a.func.duplicate_insensitive()),
+            }
+        });
         PlanGen {
             catalog,
             query,
             ex,
             oracle,
             targets,
+            agg,
+            placement: true,
             arena: PlanArena::new(),
             table: FxHashMap::default(),
+        }
+    }
+
+    /// Enables/disables aggregation-placement enumeration (on by
+    /// default). With placement off, aggregation happens only at the
+    /// plan root — the baseline the placement search is measured
+    /// against; the plans of the root-only search are a strict subset
+    /// of the placement search, so placement can never be costlier.
+    pub fn aggregation_placement(mut self, enabled: bool) -> Self {
+        self.placement = enabled;
+        self
+    }
+
+    /// Estimated group count of aggregating `card` rows on `attrs`:
+    /// the product of per-attribute distinct-value estimates when the
+    /// catalog has them all, capped by the input cardinality; otherwise
+    /// the square-root staircase fallback.
+    fn group_count(&self, card: f64, attrs: &[AttrId]) -> f64 {
+        let mut prod = 1.0;
+        for &a in attrs {
+            match self.catalog.distinct_values(a) {
+                Some(dv) => prod *= dv,
+                None => return card.sqrt().max(1.0),
+            }
+        }
+        prod.min(card).max(1.0)
+    }
+
+    /// Group count of the *final* aggregation. Queries without an
+    /// aggregation context keep the legacy square-root estimate
+    /// bit-for-bit.
+    fn final_group_count(&self, card: f64, group_by: &[AttrId]) -> f64 {
+        if self.agg.is_some() {
+            self.group_count(card, group_by)
+        } else {
+            card.sqrt().max(1.0)
         }
     }
 
@@ -210,6 +328,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 self.insert_pruned(&view, &mut set, p);
             }
             self.add_enforcer_variants(&mask, &mut set, &mut view);
+            self.add_placement_variants(&mask, &mut set, &mut view);
             let set = self.commit(view.into_local(), set);
             self.table.insert(mask.clone(), set);
             by_size[1].push(mask);
@@ -245,10 +364,13 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         // *or grouped* by the grouping attributes; otherwise hash
         // aggregation (or sort/hash-group + stream, via the enforcer
         // variants already in the set) competes on cost. The property
-        // state decides which plans qualify.
+        // state decides which plans qualify. Under aggregation
+        // placement the root set also carries eagerly pre-aggregated
+        // plans (which still finalize here) and fused group-join plans
+        // (which do not).
         let mut final_set = self.table[&all].clone();
         if !self.query.effective_group_by().is_empty() {
-            final_set = self.aggregate_all(&final_set);
+            final_set = self.finalize_aggregates(&final_set);
         }
         let final_set = final_set;
 
@@ -324,6 +446,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             self.emit_joins(s1, s2, &mut set, view);
         }
         self.add_enforcer_variants(&work.union, &mut set, view);
+        self.add_placement_variants(&work.union, &mut set, view);
         set
     }
 
@@ -346,60 +469,160 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         set.into_iter().map(remap).collect()
     }
 
-    /// Aggregation alternatives for every complete plan: streaming when
-    /// the input satisfies the grouping as an ordering *or* a grouping
-    /// (its output is a subsequence — first row per group — so every
-    /// property of the input survives), hashing otherwise (destroys all
-    /// orderings but *produces* the grouping: one row per group is
-    /// trivially grouped).
-    fn aggregate_all(&mut self, plans: &[PlanId]) -> Vec<PlanId> {
-        let group_attrs = self.query.effective_group_by().to_vec();
-        let order_key = self.oracle.resolve(&Ordering::new(group_attrs.clone()));
-        let group_key = self
-            .oracle
-            .resolve_grouping(&Grouping::new(group_attrs.clone()));
-        // Tested-only groupings may be probed but never produced.
-        let producible_group_key = group_key.filter(|&k| self.oracle.is_producible(k));
+    /// Resolves the oracle handles for aggregating on `attrs` — the
+    /// ordering and grouping probes of the streaming admission test,
+    /// plus the producible grouping a hash aggregate constructs its
+    /// output state from (tested-only groupings may be probed but never
+    /// produced).
+    fn resolve_agg_key(&self, attrs: Vec<AttrId>) -> AggKeyHandles<O::Key> {
+        let order = self.oracle.resolve(&Ordering::new(attrs.clone()));
+        let group = self.oracle.resolve_grouping(&Grouping::new(attrs.clone()));
+        let producible = group.filter(|&k| self.oracle.is_producible(k));
+        AggKeyHandles {
+            attrs,
+            order,
+            group,
+            producible,
+        }
+    }
+
+    /// Builds one aggregate node on `keys` over plan `p` — the single
+    /// implementation behind final aggregates and pushed-down partials:
+    /// streaming when the input satisfies the key as an ordering *or* a
+    /// grouping (its output is a subsequence — first row per group — so
+    /// every input property and applied FD survives), hashing otherwise
+    /// (destroys all orderings but *produces* the key's grouping).
+    /// Whether the node is a partial follows from `mark`: final marks
+    /// combine partials, everything else *is* a partial.
+    fn push_aggregate(
+        &self,
+        view: &mut ArenaView<'_, O::State>,
+        p: PlanId,
+        keys: &AggKeyHandles<O::Key>,
+        mark: AggMark,
+        groups: f64,
+    ) -> PlanId {
+        let node = view.node(p);
+        let (c, d, st) = (node.cost, node.card, node.state);
+        let fd_bits = node.applied_fds.clone();
+        let mask = node.mask.clone();
+        let partial = !mark.is_final();
+        let streaming = keys.order.is_some_and(|k| self.oracle.satisfies(st, k))
+            || keys
+                .group
+                .is_some_and(|k| self.oracle.satisfies_grouping(st, k));
+        let (op_cost, state, fds_out) = if streaming {
+            (cost::streaming_aggregate(d), st, fd_bits)
+        } else {
+            let state = match keys.producible {
+                Some(k) => self.replay_fds(self.oracle.produce_grouping(k), &fd_bits),
+                None => self.oracle.produce_empty(),
+            };
+            (cost::hash_aggregate(d), state, SmallBitSet::new())
+        };
+        let op = if streaming {
+            PlanOp::StreamAgg {
+                input: p,
+                key: keys.attrs.clone(),
+                partial,
+            }
+        } else {
+            PlanOp::HashAgg {
+                input: p,
+                key: keys.attrs.clone(),
+                partial,
+            }
+        };
+        view.push(PlanNode {
+            op,
+            mask,
+            cost: c + op_cost,
+            card: groups,
+            state,
+            agg: mark,
+            applied_fds: fds_out,
+        })
+    }
+
+    /// Final-aggregation alternatives for every complete plan (streaming
+    /// vs hashing per [`push_aggregate`](Self::push_aggregate)). Eagerly
+    /// pre-aggregated plans finalize the same way — the root aggregate
+    /// combines their partials — while group-join plans are already
+    /// final and pass through untouched.
+    fn finalize_aggregates(&mut self, plans: &[PlanId]) -> Vec<PlanId> {
+        let keys = self.resolve_agg_key(self.query.effective_group_by().to_vec());
         let mut view = ArenaView::new(&self.arena);
         let mut out: Vec<PlanId> = Vec::new();
         for &p in plans {
             let node = view.node(p);
-            let (c, d, st) = (node.cost, node.card, node.state);
-            let fd_bits = node.applied_fds.clone();
-            let mask = node.mask.clone();
-            // Group count estimate: square-root staircase, at least 1.
-            let groups = d.sqrt().max(1.0);
-            let streaming = order_key.is_some_and(|k| self.oracle.satisfies(st, k))
-                || group_key.is_some_and(|k| self.oracle.satisfies_grouping(st, k));
-            let (op_cost, state) = if streaming {
-                (cost::streaming_aggregate(d), st)
-            } else {
-                // Hash aggregation: output grouped by the group-by set.
-                let state = match producible_group_key {
-                    Some(k) => self.replay_fds(self.oracle.produce_grouping(k), &fd_bits),
-                    None => self.oracle.produce_empty(),
-                };
-                (cost::hash_aggregate(d), state)
-            };
-            let agg = view.push(PlanNode {
-                op: PlanOp::Aggregate {
-                    input: p,
-                    streaming,
-                },
-                mask,
-                cost: c + op_cost,
-                card: groups,
-                state,
-                applied_fds: if streaming {
-                    fd_bits
-                } else {
-                    SmallBitSet::new()
-                },
-            });
+            if node.agg.is_final() {
+                // Group-join output: the aggregation already happened.
+                self.insert_pruned(&view, &mut out, p);
+                continue;
+            }
+            let mark = node.agg.union(AggMark::FINAL);
+            let groups = self.final_group_count(node.card, &keys.attrs);
+            let agg = self.push_aggregate(&mut view, p, &keys, mark, groups);
             self.insert_pruned(&view, &mut out, agg);
         }
         let local = view.into_local();
         self.commit(local, out)
+    }
+
+    /// Aggregation-placement variants for one subset — the tentpole of
+    /// the aggregation plan-space dimension. For every unaggregated plan
+    /// of the subset, an *eager* partial aggregate (on the side carrying
+    /// the aggregated attributes) or an *eager-count* partial aggregate
+    /// (on the opposite side) is placed above it when the aggregate
+    /// functions' decomposability permits. The aggregation key is the
+    /// subset's canonical key — group-by attributes inside, join
+    /// attributes crossing out, minimized under the subset's
+    /// dependencies — so every later join and the final combine remain
+    /// answerable. Streaming when the plan's properties already group
+    /// the key; hashing otherwise. The resulting plans live in their own
+    /// comparability class ([`AggMark`]), never evicting (or being
+    /// evicted by) the classic join-only plans: their payoff is the
+    /// collapsed cardinality every operator above them enjoys.
+    fn add_placement_variants(
+        &self,
+        mask: &BitSet,
+        set: &mut Vec<PlanId>,
+        view: &mut ArenaView<'_, O::State>,
+    ) {
+        if !self.placement {
+            return;
+        }
+        let Some(agg) = &self.agg else {
+            return;
+        };
+        // Never at the root set: a partial aggregate there could only
+        // feed the final aggregate it is redundant with.
+        if mask.len() == self.query.num_relations() {
+            return;
+        }
+        let eager = agg.decomposable && agg.input_owners.iter().all(|r| mask.contains(r));
+        let mark = if eager {
+            AggMark::EAGER
+        } else if agg.count_scalable && !agg.input_owners.iter().any(|r| mask.contains(r)) {
+            AggMark::EAGER_COUNT
+        } else {
+            return; // aggregate inputs split across the cut — no legal placement
+        };
+        let key = self.ex.subset_agg_key(self.query, mask);
+        if key.is_empty() {
+            return;
+        }
+        let keys = self.resolve_agg_key(key.attrs().to_vec());
+        let snapshot: Vec<PlanId> = set
+            .iter()
+            .copied()
+            .filter(|&p| view.node(p).agg.is_none())
+            .collect();
+        for p in snapshot {
+            let groups = self.group_count(view.node(p).card, &keys.attrs);
+            let placed = self.push_aggregate(view, p, &keys, mark, groups);
+            self.insert_pruned(view, set, placed);
+        }
     }
 
     /// Scan and index-scan plans for one relation, with constant-
@@ -417,6 +640,13 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 fds.push(f);
                 fd_bits.insert(f.index());
             }
+        }
+        // Schema (key-constraint) FDs hold from the scan onward: a
+        // unique column determines the relation's other attributes —
+        // what lets a join key determine the aggregation group.
+        if let Some(f) = self.ex.rel_fd.get(qrel).copied().flatten() {
+            fds.push(f);
+            fd_bits.insert(f.index());
         }
         for f in &self.query.filters {
             if self.query.owner(f.attr) == qrel {
@@ -438,6 +668,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             cost: cost::scan(raw_card),
             card,
             state,
+            agg: AggMark::NONE,
             applied_fds: fd_bits.clone(),
         }));
         // Index scans (only when the index order is interesting —
@@ -461,6 +692,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 cost: cost::index_scan(raw_card, index.clustered),
                 card,
                 state,
+                agg: AggMark::NONE,
                 applied_fds: fd_bits.clone(),
             }));
         }
@@ -488,6 +720,9 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             m.union_with(s2);
             m
         };
+        // Fused group-joins exist only at the root subset: they perform
+        // the query's *final* aggregation.
+        let at_root = mask.len() == self.query.num_relations();
         let left_plans = &self.table[s1];
         let right_plans = &self.table[s2];
         for &p1 in left_plans {
@@ -495,9 +730,11 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 let n1 = view.node(p1);
                 let (c1, d1, st1) = (n1.cost, n1.card, n1.state);
                 let fd1 = n1.applied_fds.clone();
+                let mark1 = n1.agg;
                 let n2 = view.node(p2);
                 let (c2, d2) = (n2.cost, n2.card);
                 let fd2 = n2.applied_fds.clone();
+                let mark = mark1.union(n2.agg);
                 let out_card = (d1 * d2 * sel).max(1.0);
                 // Property state: the probe/outer (left) side's
                 // orderings and groupings survive; all connecting
@@ -509,6 +746,19 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     let f = self.ex.join_fd[e];
                     state = self.oracle.infer(state, f);
                     fd_bits.insert(f.index());
+                }
+                // Schema FDs are key constraints — they hold on the
+                // join output no matter which side carried them, but
+                // only the probe side's chain is in `state`. Re-infer
+                // the build side's (idempotent when already applied);
+                // with the edge equations this is what makes a join key
+                // determine a build-side group column.
+                if self.agg.is_some() {
+                    for r in s2.iter() {
+                        if let Some(f) = self.ex.rel_fd.get(r).copied().flatten() {
+                            state = self.oracle.infer(state, f);
+                        }
+                    }
                 }
                 // Hash join (on the first edge; the rest are residual
                 // predicates either way).
@@ -522,6 +772,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     cost: c1 + c2 + cost::hash_join(d1, d2, out_card),
                     card: out_card,
                     state,
+                    agg: mark,
                     applied_fds: fd_bits.clone(),
                 });
                 self.insert_pruned(view, set, hj);
@@ -535,9 +786,44 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     cost: c1 + c2 + cost::nested_loop_join(d1, d2, out_card),
                     card: out_card,
                     state,
+                    agg: mark,
                     applied_fds: fd_bits.clone(),
                 });
                 self.insert_pruned(view, set, nl);
+                // Group-join: the top join fused with the final
+                // aggregation, admissible when the probe side's groups
+                // are already adjacent — its properties, the schema FDs,
+                // and the join's own equations together make the join
+                // key (or whatever the probe is grouped by) functionally
+                // determine the group, which is exactly what the
+                // post-inference `state` answers in O(1).
+                if at_root && self.placement && !mark.is_final() {
+                    if let Some(agg) = &self.agg {
+                        let streaming_ok = agg
+                            .order_key
+                            .is_some_and(|k| self.oracle.satisfies(state, k))
+                            || agg
+                                .group_key
+                                .is_some_and(|k| self.oracle.satisfies_grouping(state, k));
+                        if streaming_ok {
+                            let groups = self.group_count(out_card, &agg.group_by);
+                            let gj = view.push(PlanNode {
+                                op: PlanOp::GroupJoin {
+                                    left: p1,
+                                    right: p2,
+                                    edge: edges[0],
+                                },
+                                mask: mask.clone(),
+                                cost: c1 + c2 + cost::group_join(d1, d2, out_card),
+                                card: groups,
+                                state,
+                                agg: mark.union(AggMark::FINAL),
+                                applied_fds: fd_bits.clone(),
+                            });
+                            self.insert_pruned(view, set, gj);
+                        }
+                    }
+                }
                 // Merge joins: need both inputs sorted on the edge.
                 for &e in &edges {
                     let j = &self.query.joins[e];
@@ -566,6 +852,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                         cost: c1 + c2 + cost::merge_join(d1, d2, out_card),
                         card: out_card,
                         state,
+                        agg: mark,
                         applied_fds: fd_bits.clone(),
                     });
                     self.insert_pruned(view, set, mj);
@@ -589,7 +876,11 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// covered by `mask`, enforce it on the cheapest plan if nothing
     /// satisfies it yet — a sort for orderings, a linear hash-group for
     /// groupings (grouping-aware Pareto pruning keeps whichever
-    /// combinations survive).
+    /// combinations survive). Enforcers operate on the unaggregated
+    /// ([`AggMark::NONE`]) class only: that keeps the class an exact
+    /// replica of the root-only-aggregation search (the guarantee that
+    /// placement can never lose), and placement variants stacked on top
+    /// of the enforced plans inherit their properties anyway.
     fn add_enforcer_variants(
         &self,
         mask: &BitSet,
@@ -598,6 +889,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     ) {
         let Some(&cheapest) = set
             .iter()
+            .filter(|&&p| view.node(p).agg.is_none())
             .min_by(|&&a, &&b| view.node(a).cost.total_cmp(&view.node(b).cost))
         else {
             return;
@@ -617,6 +909,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             };
             if set
                 .iter()
+                .filter(|&&p| view.node(p).agg.is_none())
                 .any(|&p| satisfied(self.oracle, view.node(p).state))
             {
                 continue;
@@ -651,6 +944,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 cost: c + op_cost,
                 card: d,
                 state,
+                agg: AggMark::NONE,
                 applied_fds: fd_bits,
             });
             self.insert_pruned(view, set, enforced);
@@ -662,18 +956,41 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// cost. (The candidate is already allocated — pruned plans still
     /// count toward `#Plans`, as in the paper, which counts the "time to
     /// introduce one plan operator".)
+    ///
+    /// Aggregation placement adds a comparability dimension: plans with
+    /// different [`AggMark`]s compute different intermediate relations
+    /// and never prune each other, and plans *inside* an aggregated
+    /// class additionally compare output cardinality (two eager plans
+    /// with partial aggregates at different subsets produce genuinely
+    /// different row counts — the cheaper one is not better if it
+    /// carries more rows into every operator above). Unaggregated plans
+    /// of one subset all compute the same relation, so they keep the
+    /// classic cost-plus-property test bit-for-bit.
     fn insert_pruned(&self, view: &ArenaView<'_, O::State>, set: &mut Vec<PlanId>, cand: PlanId) {
         let cand_node = view.node(cand);
-        let (c_cost, c_state) = (cand_node.cost, cand_node.state);
+        let (c_cost, c_card, c_state, c_agg) = (
+            cand_node.cost,
+            cand_node.card,
+            cand_node.state,
+            cand_node.agg,
+        );
+        let card_ok = |dom_card: f64, sub_card: f64| c_agg.is_none() || dom_card <= sub_card;
         for &p in set.iter() {
             let n = view.node(p);
-            if n.cost <= c_cost && self.oracle.dominates(n.state, c_state) {
+            if n.agg == c_agg
+                && n.cost <= c_cost
+                && card_ok(n.card, c_card)
+                && self.oracle.dominates(n.state, c_state)
+            {
                 return;
             }
         }
         set.retain(|&p| {
             let n = view.node(p);
-            !(c_cost <= n.cost && self.oracle.dominates(c_state, n.state))
+            !(n.agg == c_agg
+                && c_cost <= n.cost
+                && card_ok(c_card, n.card)
+                && self.oracle.dominates(c_state, n.state))
         });
         set.push(cand);
     }
@@ -708,7 +1025,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         }
         // Materialize the final sort.
         let key = required_key.expect("unsatisfied requires a key");
-        let (d, fd_bits, mask) = (n.card, n.applied_fds.clone(), n.mask.clone());
+        let (d, fd_bits, mask, mark) = (n.card, n.applied_fds.clone(), n.mask.clone(), n.agg);
         let state = self.replay_fds(self.oracle.produce(key), &fd_bits);
         self.arena.push(PlanNode {
             op: PlanOp::Sort {
@@ -722,6 +1039,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             cost: total,
             card: d,
             state,
+            agg: mark,
             applied_fds: fd_bits,
         })
     }
@@ -885,13 +1203,7 @@ mod tests {
         let mut stack = vec![r.best];
         while let Some(p) = stack.pop() {
             let op = &r.arena.node(p).op;
-            found_streaming |= matches!(
-                op,
-                PlanOp::Aggregate {
-                    streaming: true,
-                    ..
-                }
-            );
+            found_streaming |= matches!(op, PlanOp::StreamAgg { partial: false, .. });
             stack.extend(op.inputs());
         }
         assert!(
@@ -922,7 +1234,7 @@ mod tests {
         let r = run_ours(&c, &q);
         let root = r.arena.node(r.best);
         match &root.op {
-            PlanOp::Aggregate { streaming, .. } => assert!(!streaming),
+            PlanOp::HashAgg { partial, .. } => assert!(!partial),
             other => panic!("expected a hash aggregate at the root, got {other:?}"),
         }
         // The root state satisfies the grouping {f.g} — hash aggregation
@@ -957,13 +1269,7 @@ mod tests {
         while let Some(p) = stack.pop() {
             let op = &r.arena.node(p).op;
             found_hash_group |= matches!(op, PlanOp::HashGroup { .. });
-            found_streaming |= matches!(
-                op,
-                PlanOp::Aggregate {
-                    streaming: true,
-                    ..
-                }
-            );
+            found_streaming |= matches!(op, PlanOp::StreamAgg { partial: false, .. });
             stack.extend(op.inputs());
         }
         assert!(
@@ -994,12 +1300,103 @@ mod tests {
         let mut stack = vec![r.best];
         while let Some(p) = stack.pop() {
             let op = &r.arena.node(p).op;
-            found_aggregate |= matches!(op, PlanOp::Aggregate { .. });
+            found_aggregate |= matches!(op, PlanOp::StreamAgg { .. } | PlanOp::HashAgg { .. });
             stack.extend(op.inputs());
         }
         assert!(found_aggregate, "distinct plans as an aggregation");
         let s = run_simmen(&c, &q);
         assert!((r.cost - s.cost).abs() < 1e-6);
+    }
+
+    fn contains_op(r: &PlanGenResult<ofw_core::State>, pred: &dyn Fn(&PlanOp) -> bool) -> bool {
+        let mut stack = vec![r.best];
+        while let Some(p) = stack.pop() {
+            let op = &r.arena.node(p).op;
+            if pred(op) {
+                return true;
+            }
+            stack.extend(op.inputs());
+        }
+        false
+    }
+
+    #[test]
+    fn group_join_wins_the_showcase() {
+        // "orders per customer": probe side clustered by the (unique)
+        // group key, no useful index on the fact side — the fused
+        // group-join must beat both eager pre-aggregation and any
+        // join-then-aggregate split.
+        let (c, q) = ofw_workload::groupjoin_showcase_query();
+        let ex = ofw_query::extract(&c, &q, &ExtractOptions::default());
+        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        let placed = PlanGen::new(&c, &q, &ex, &fw).run();
+        assert!(
+            contains_op(&placed, &|op| matches!(op, PlanOp::GroupJoin { .. })),
+            "expected a group-join:\n{}",
+            placed.arena.render(placed.best, &|i| format!("r{i}"))
+        );
+        // Root-only aggregation is strictly costlier.
+        let root_only = PlanGen::new(&c, &q, &ex, &fw)
+            .aggregation_placement(false)
+            .run();
+        assert!(
+            placed.cost < root_only.cost,
+            "placement {} must beat root-only {}",
+            placed.cost,
+            root_only.cost
+        );
+        // All three arms agree on the placed optimum.
+        let simmen = SimmenFramework::prepare(&ex.spec);
+        let s = PlanGen::new(&c, &q, &ex, &simmen).run();
+        assert!((placed.cost - s.cost).abs() / placed.cost < 1e-9);
+        let explicit = ExplicitOracle::prepare(&ex.spec);
+        let e = PlanGen::new(&c, &q, &ex, &explicit).run();
+        assert!((placed.cost - e.cost).abs() / placed.cost < 1e-9);
+    }
+
+    #[test]
+    fn eager_push_down_wins_by_orders_of_magnitude_on_a_star_schema() {
+        // A 10⁵–10⁶-row fact table joined to small dimensions with
+        // selective group keys: pre-aggregating the fact side collapses
+        // every join input, so the placed plan must win big and carry a
+        // partial aggregate strictly below the root.
+        let mut wins = 0usize;
+        let mut best_ratio = 1.0f64;
+        for seed in 0..12u64 {
+            let (c, q) = ofw_workload::star_agg_query(&ofw_workload::StarAggConfig {
+                dimensions: 3,
+                seed,
+            });
+            let ex = ofw_query::extract(&c, &q, &ExtractOptions::default());
+            let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+            let placed = PlanGen::new(&c, &q, &ex, &fw).run();
+            let root_only = PlanGen::new(&c, &q, &ex, &fw)
+                .aggregation_placement(false)
+                .run();
+            assert!(
+                placed.cost <= root_only.cost + 1e-9,
+                "seed {seed}: placement can never lose"
+            );
+            if placed.cost < root_only.cost * 0.999 {
+                wins += 1;
+                assert!(
+                    contains_op(&placed, &|op| matches!(
+                        op,
+                        PlanOp::StreamAgg { partial: true, .. }
+                            | PlanOp::HashAgg { partial: true, .. }
+                            | PlanOp::GroupJoin { .. }
+                    )),
+                    "seed {seed}: a winning placed plan must aggregate below the root:\n{}",
+                    placed.arena.render(placed.best, &|i| format!("r{i}"))
+                );
+            }
+            best_ratio = best_ratio.max(root_only.cost / placed.cost);
+        }
+        assert!(wins >= 8, "placement must usually win on stars ({wins}/12)");
+        assert!(
+            best_ratio > 10.0,
+            "the payoff must reach an order of magnitude (best {best_ratio:.1}x)"
+        );
     }
 
     #[test]

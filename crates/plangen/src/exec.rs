@@ -133,9 +133,23 @@ pub fn execute<S: Copy>(
             let rmask = arena.node(*right).mask.clone();
             join(&lt, &rt, query, &lmask, &rmask)
         }
-        PlanOp::Aggregate { input, streaming } => {
+        PlanOp::GroupJoin { left, right, .. } => {
+            // Join fused with the final aggregation: the probe side's
+            // groups are adjacent, so one streaming pass per group.
+            let lt = execute(arena, *left, catalog, query, data);
+            let rt = execute(arena, *right, catalog, query, data);
+            let lmask = arena.node(*left).mask.clone();
+            let rmask = arena.node(*right).mask.clone();
+            let joined = join(&lt, &rt, query, &lmask, &rmask);
+            aggregate(joined, query.effective_group_by(), true)
+        }
+        PlanOp::StreamAgg { input, key, .. } => {
             let t = execute(arena, *input, catalog, query, data);
-            aggregate(t, query.effective_group_by(), *streaming)
+            aggregate(t, key, true)
+        }
+        PlanOp::HashAgg { input, key, .. } => {
+            let t = execute(arena, *input, catalog, query, data);
+            aggregate(t, key, false)
         }
         PlanOp::HashGroup { input, key } => {
             let t = execute(arena, *input, catalog, query, data);

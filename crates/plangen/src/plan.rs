@@ -40,6 +40,58 @@ impl std::fmt::Debug for PlanId {
     }
 }
 
+/// Aggregation placement marks: which aggregation transformations have
+/// been applied somewhere in a subplan. Plans with different marks
+/// compute *different intermediate relations* for the same relation
+/// subset (an eagerly aggregated stream has fewer rows and partial
+/// per-group results), so Pareto pruning only ever compares plans with
+/// equal marks — the extra plan-space dimension of aggregation
+/// placement. Marks are OR-combined by joins.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AggMark(u8);
+
+impl AggMark {
+    /// No aggregation applied below — the classic join-only subplan.
+    pub const NONE: AggMark = AggMark(0);
+    /// An eager group-by partial aggregate was pushed below a join.
+    pub const EAGER: AggMark = AggMark(1);
+    /// An eager-count partial aggregate was pushed below a join.
+    pub const EAGER_COUNT: AggMark = AggMark(2);
+    /// The final aggregation happened (root aggregate or group-join).
+    pub const FINAL: AggMark = AggMark(4);
+
+    /// Marks of a join of two subplans (set union).
+    pub fn union(self, other: AggMark) -> AggMark {
+        AggMark(self.0 | other.0)
+    }
+
+    /// True when no aggregation has been applied below.
+    pub fn is_none(self) -> bool {
+        self == AggMark::NONE
+    }
+
+    /// True when the final aggregation already happened.
+    pub fn is_final(self) -> bool {
+        self.0 & AggMark::FINAL.0 != 0
+    }
+}
+
+impl std::fmt::Debug for AggMark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            return write!(f, "-");
+        }
+        let mut sep = "";
+        for (bit, name) in [(1u8, "E"), (2, "C"), (4, "F")] {
+            if self.0 & bit != 0 {
+                write!(f, "{sep}{name}")?;
+                sep = "+";
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A physical operator.
 #[derive(Clone, Debug, PartialEq)]
 pub enum PlanOp {
@@ -68,10 +120,38 @@ pub enum PlanOp {
     },
     /// Nested-loop join (any predicates; preserves outer order).
     NestedLoopJoin { left: PlanId, right: PlanId },
-    /// Group-by aggregation; `streaming` requires (and exploits) input
-    /// ordered *or grouped* by the grouping attributes, hashing does
-    /// not (but its output is grouped by them).
-    Aggregate { input: PlanId, streaming: bool },
+    /// Streaming (sort/group-based) aggregation on `key`: requires (and
+    /// exploits) input ordered *or grouped* by `key`, emits one row per
+    /// group in input group order (a subsequence — every input property
+    /// survives). `partial` marks a pushed-down eager aggregate whose
+    /// per-group results a final aggregate still combines.
+    StreamAgg {
+        input: PlanId,
+        /// The grouping key (attribute set).
+        key: Vec<ofw_catalog::AttrId>,
+        /// Pushed-down partial aggregate (eager placement)?
+        partial: bool,
+    },
+    /// Hash aggregation on `key`: order-agnostic, destroys every input
+    /// ordering, but its output *is* grouped by `key`. `partial` as in
+    /// [`PlanOp::StreamAgg`].
+    HashAgg {
+        input: PlanId,
+        /// The grouping key (attribute set).
+        key: Vec<ofw_catalog::AttrId>,
+        /// Pushed-down partial aggregate (eager placement)?
+        partial: bool,
+    },
+    /// Group-join: join and final aggregation fused into one pass over a
+    /// probe input whose groups are already adjacent (the join key — or
+    /// the probe's properties plus the join's dependencies —
+    /// functionally determines the group). Emits one row per group,
+    /// preserving the probe input's properties.
+    GroupJoin {
+        left: PlanId,
+        right: PlanId,
+        edge: usize,
+    },
     /// Hash-grouping enforcer: rearranges the stream so tuples equal on
     /// `key` become adjacent (the grouping analogue of the sort
     /// enforcer — linear, no ordering produced).
@@ -90,10 +170,12 @@ impl PlanOp {
         let (a, b) = match self {
             PlanOp::Scan { .. } | PlanOp::IndexScan { .. } => (None, None),
             PlanOp::Sort { input, .. }
-            | PlanOp::Aggregate { input, .. }
+            | PlanOp::StreamAgg { input, .. }
+            | PlanOp::HashAgg { input, .. }
             | PlanOp::HashGroup { input, .. } => (Some(*input), None),
             PlanOp::MergeJoin { left, right, .. }
             | PlanOp::HashJoin { left, right, .. }
+            | PlanOp::GroupJoin { left, right, .. }
             | PlanOp::NestedLoopJoin { left, right } => (Some(*left), Some(*right)),
         };
         [a, b].into_iter().flatten()
@@ -105,10 +187,12 @@ impl PlanOp {
         match self {
             PlanOp::Scan { .. } | PlanOp::IndexScan { .. } => {}
             PlanOp::Sort { input, .. }
-            | PlanOp::Aggregate { input, .. }
+            | PlanOp::StreamAgg { input, .. }
+            | PlanOp::HashAgg { input, .. }
             | PlanOp::HashGroup { input, .. } => *input = f(*input),
             PlanOp::MergeJoin { left, right, .. }
             | PlanOp::HashJoin { left, right, .. }
+            | PlanOp::GroupJoin { left, right, .. }
             | PlanOp::NestedLoopJoin { left, right } => {
                 *left = f(*left);
                 *right = f(*right);
@@ -130,6 +214,9 @@ pub struct PlanNode<S> {
     pub card: f64,
     /// Order-oracle state (the ADT instance of §5.6).
     pub state: S,
+    /// Aggregation placement marks — the comparability class of the
+    /// aggregation plan-space dimension (see [`AggMark`]).
+    pub agg: AggMark,
     /// Set of FD-set handles applied beneath this node — what a sort
     /// enforcer must replay ("following the edge … and then another edge
     /// corresponding to the set of functional dependencies that
@@ -237,10 +324,20 @@ impl<S: Copy> PlanArena<S> {
                 self.render_into(*left, relation_name, depth + 1, out);
                 self.render_into(*right, relation_name, depth + 1, out);
             }
-            PlanOp::Aggregate { input, streaming } => {
-                let kind = if *streaming { "Streaming" } else { "Hash" };
-                let _ = writeln!(out, "{indent}{kind}Aggregate cost={:.0}", n.cost);
+            PlanOp::StreamAgg { input, partial, .. } => {
+                let stage = if *partial { "partial " } else { "" };
+                let _ = writeln!(out, "{indent}StreamAgg ({stage}cost={:.0})", n.cost);
                 self.render_into(*input, relation_name, depth + 1, out);
+            }
+            PlanOp::HashAgg { input, partial, .. } => {
+                let stage = if *partial { "partial " } else { "" };
+                let _ = writeln!(out, "{indent}HashAgg ({stage}cost={:.0})", n.cost);
+                self.render_into(*input, relation_name, depth + 1, out);
+            }
+            PlanOp::GroupJoin { left, right, edge } => {
+                let _ = writeln!(out, "{indent}GroupJoin(edge#{edge}) cost={:.0}", n.cost);
+                self.render_into(*left, relation_name, depth + 1, out);
+                self.render_into(*right, relation_name, depth + 1, out);
             }
             PlanOp::HashGroup { input, .. } => {
                 let _ = writeln!(out, "{indent}HashGroup cost={:.0}", n.cost);
@@ -321,6 +418,7 @@ mod tests {
             cost: 10.0,
             card: 10.0,
             state: 0,
+            agg: AggMark::NONE,
             applied_fds: SmallBitSet::new(),
         }
     }
@@ -351,6 +449,7 @@ mod tests {
             cost: 30.0,
             card: 5.0,
             state: 0,
+            agg: AggMark::NONE,
             applied_fds: [0usize].into_iter().collect(),
         });
         let s = a.push(PlanNode {
@@ -362,6 +461,7 @@ mod tests {
             cost: 60.0,
             card: 5.0,
             state: 1,
+            agg: AggMark::NONE,
             applied_fds: [0usize].into_iter().collect(),
         });
         assert_eq!(a.tree_size(s), 4);
@@ -390,6 +490,7 @@ mod tests {
             cost: 30.0,
             card: 5.0,
             state: 0,
+            agg: AggMark::NONE,
             applied_fds: SmallBitSet::new(),
         });
         assert_eq!(view.node(j).op.inputs().count(), 2);

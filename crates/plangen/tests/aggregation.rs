@@ -1,0 +1,145 @@
+//! Aggregation-placement regression properties:
+//!
+//! 1. **Placement never loses** — the plan found with eager/lazy
+//!    aggregation placement enabled is never costlier than root-only
+//!    aggregation, on every oracle arm (the unaggregated comparability
+//!    class replicates the root-only search exactly, so its winner is
+//!    always still available).
+//! 2. **Determinism survives the new dimension** — with placement
+//!    enabled, the serial driver and the work-stealing parallel driver
+//!    at 1/2/8 threads produce byte-identical plan tables, for all
+//!    three oracle arms, across random star-schema aggregation
+//!    workloads (the same guarantee the join-only workloads already
+//!    pin, now with partial aggregates and group-joins in the arena).
+
+use proptest::prelude::*;
+use std::fmt::Debug;
+use std::fmt::Write as _;
+
+use ofw_catalog::Catalog;
+use ofw_core::{OrderingFramework, PruneConfig};
+use ofw_parallel::ThreadPool;
+use ofw_plangen::{ExplicitOracle, OrderOracle, PlanGen, PlanGenResult};
+use ofw_query::extract::ExtractOptions;
+use ofw_query::Query;
+use ofw_simmen::SimmenFramework;
+use ofw_workload::{star_agg_query, StarAggConfig};
+
+/// Full byte-level fingerprint of a plan-generation result (operator
+/// tree, masks, exact cost/card bits, FDs, aggregation marks, oracle
+/// states, winner).
+fn fingerprint<S: Copy + Debug>(r: &PlanGenResult<S>) -> String {
+    let mut out = String::new();
+    for n in r.arena.nodes() {
+        let _ = writeln!(
+            out,
+            "{:?}|{:?}|{:016x}|{:016x}|{:?}|{:?}|{:?}",
+            n.op,
+            n.mask,
+            n.cost.to_bits(),
+            n.card.to_bits(),
+            n.agg,
+            n.applied_fds,
+            n.state,
+        );
+    }
+    let _ = write!(
+        out,
+        "best={:?} cost={:016x} plans={}",
+        r.best,
+        r.cost.to_bits(),
+        r.stats.plans
+    );
+    out
+}
+
+/// Runs one warm oracle arm: placement ≤ root-only, and serial vs
+/// 1/2/8-thread parallel drivers byte-identical with placement enabled.
+fn check_arm<O>(label: &str, catalog: &Catalog, query: &Query, oracle: &O)
+where
+    O: OrderOracle + Sync,
+    O::Key: Sync,
+    O::State: Send + Sync + Debug,
+{
+    let ex = ofw_query::extract(catalog, query, &ExtractOptions::default());
+    let placed = PlanGen::new(catalog, query, &ex, oracle).run();
+    let root_only = PlanGen::new(catalog, query, &ex, oracle)
+        .aggregation_placement(false)
+        .run();
+    assert!(
+        placed.cost <= root_only.cost + 1e-9 * root_only.cost.abs(),
+        "{label}: placement ({}) must never be costlier than root-only ({})",
+        placed.cost,
+        root_only.cost
+    );
+    let reference = fingerprint(&placed);
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let parallel = PlanGen::new(catalog, query, &ex, oracle).run_with(&pool);
+        assert_eq!(
+            fingerprint(&parallel),
+            reference,
+            "{label}: parallel DP at {threads} threads diverged with placement enabled"
+        );
+    }
+}
+
+fn check_query(catalog: &Catalog, query: &Query) {
+    let ex = ofw_query::extract(catalog, query, &ExtractOptions::default());
+    assert!(ex.aggregation, "star queries must activate placement");
+    let dfsm = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+    check_arm("dfsm", catalog, query, &dfsm);
+    let simmen = SimmenFramework::prepare(&ex.spec);
+    check_arm("simmen", catalog, query, &simmen);
+    let explicit = ExplicitOracle::prepare(&ex.spec);
+    check_arm("explicit", catalog, query, &explicit);
+
+    // Cross-arm agreement on the placed optimum.
+    let a = PlanGen::new(catalog, query, &ex, &dfsm).run().cost;
+    let b = PlanGen::new(catalog, query, &ex, &simmen).run().cost;
+    let c = PlanGen::new(catalog, query, &ex, &explicit).run().cost;
+    assert!((a - b).abs() / a.max(1.0) < 1e-9, "dfsm {a} vs simmen {b}");
+    assert!(
+        (a - c).abs() / a.max(1.0) < 1e-9,
+        "dfsm {a} vs explicit {c}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random star-schema aggregation queries: placement never loses and
+    /// the parallel drivers stay byte-identical, all three oracle arms.
+    #[test]
+    fn placement_is_sound_and_deterministic(seed in 0u64..1000, dims in 1usize..4) {
+        let (catalog, query) = star_agg_query(&StarAggConfig {
+            dimensions: dims,
+            seed,
+        });
+        check_query(&catalog, &query);
+    }
+}
+
+/// The root-only arm of a placed run and a placement-disabled run agree
+/// exactly: the unaggregated class is a faithful replica (this is the
+/// structural invariant behind "placement never loses").
+#[test]
+fn root_only_winner_survives_inside_the_placed_search() {
+    for seed in [3u64, 9, 10] {
+        let (catalog, query) = star_agg_query(&StarAggConfig {
+            dimensions: 3,
+            seed,
+        });
+        let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        let placed = PlanGen::new(&catalog, &query, &ex, &fw).run();
+        let root_only = PlanGen::new(&catalog, &query, &ex, &fw)
+            .aggregation_placement(false)
+            .run();
+        assert!(placed.cost <= root_only.cost);
+        assert!(
+            placed.stats.plans >= root_only.stats.plans,
+            "the placed search strictly extends the root-only search"
+        );
+    }
+}

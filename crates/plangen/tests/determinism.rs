@@ -44,11 +44,12 @@ fn fingerprint_opt<S: Copy + Debug>(r: &PlanGenResult<S>, with_state: bool) -> S
     for n in r.arena.nodes() {
         let _ = write!(
             out,
-            "{:?}|{:?}|{:016x}|{:016x}|{:?}",
+            "{:?}|{:?}|{:016x}|{:016x}|{:?}|{:?}",
             n.op,
             n.mask,
             n.cost.to_bits(),
             n.card.to_bits(),
+            n.agg,
             n.applied_fds,
         );
         if with_state {

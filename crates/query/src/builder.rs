@@ -1,6 +1,6 @@
 //! Fluent, catalog-aware query construction.
 
-use crate::graph::{ConstPred, FilterPred, JoinEdge, Query};
+use crate::graph::{AggCall, AggFunc, ConstPred, FilterPred, JoinEdge, Query};
 use ofw_catalog::Catalog;
 
 /// Builds a [`Query`] against a [`Catalog`] using attribute names.
@@ -89,6 +89,25 @@ impl<'a> QueryBuilder<'a> {
         self
     }
 
+    /// Adds an aggregate call over an attribute, e.g.
+    /// `.aggregate(AggFunc::Sum, "lineitem.l_extendedprice")`.
+    pub fn aggregate(mut self, func: AggFunc, attr: &str) -> Self {
+        self.query.aggregates.push(AggCall {
+            func,
+            input: Some(self.catalog.attr(attr)),
+        });
+        self
+    }
+
+    /// Adds a `count(*)` aggregate call.
+    pub fn count_star(mut self) -> Self {
+        self.query.aggregates.push(AggCall {
+            func: AggFunc::Count,
+            input: None,
+        });
+        self
+    }
+
     /// Sets the `order by` attribute list.
     pub fn order_by(mut self, attrs: &[&str]) -> Self {
         self.query.order_by = attrs.iter().map(|a| self.catalog.attr(a)).collect();
@@ -130,6 +149,24 @@ mod tests {
         assert_eq!(q.filters.len(), 1);
         assert_eq!(q.order_by.len(), 2);
         assert_eq!(q.owner(c.attr("jobs.id")), 1);
+    }
+
+    #[test]
+    fn aggregates_attach_to_the_query() {
+        let c = catalog();
+        let q = QueryBuilder::new(&c)
+            .relation("persons")
+            .relation("jobs")
+            .join("persons.jobid", "jobs.id", 0.01)
+            .group_by(&["persons.jobid"])
+            .aggregate(AggFunc::Sum, "jobs.salary")
+            .count_star()
+            .build();
+        assert!(q.has_aggregates());
+        assert_eq!(q.aggregates.len(), 2);
+        assert_eq!(q.aggregates[0].func, AggFunc::Sum);
+        assert_eq!(q.aggregates[0].input, Some(c.attr("jobs.salary")));
+        assert_eq!(q.aggregates[1].input, None);
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   ("a selection operator never sorts but might exploit ordering").
 
 use crate::graph::Query;
-use ofw_catalog::Catalog;
+use ofw_catalog::{AttrId, Catalog};
+use ofw_common::{BitSet, FxHashSet};
+use ofw_core::derive::minimize_grouping_key;
 use ofw_core::fd::{Fd, FdSetId};
 use ofw_core::ordering::Ordering;
 use ofw_core::property::Grouping;
@@ -40,6 +42,13 @@ pub struct ExtractOptions {
     /// interesting groupings (hash aggregation produces them). Off
     /// reproduces the pure ICDE'04 ordering extraction.
     pub grouping_properties: bool,
+    /// Make aggregation a plan-space dimension: register schema
+    /// (key-constraint) FD sets from unique columns, and per-relation
+    /// partial-aggregation key groupings, so the DP can place eager/lazy
+    /// aggregates and group-joins below the plan root. Only does
+    /// anything for queries that actually compute aggregate functions
+    /// over a `group by` — everything else extracts byte-identically.
+    pub aggregation_placement: bool,
 }
 
 impl Default for ExtractOptions {
@@ -49,6 +58,7 @@ impl Default for ExtractOptions {
             index_orders: true,
             tested_selection_orders: false,
             grouping_properties: true,
+            aggregation_placement: true,
         }
     }
 }
@@ -65,6 +75,7 @@ impl ExtractOptions {
             index_orders: false,
             tested_selection_orders: false,
             grouping_properties: true,
+            aggregation_placement: true,
         }
     }
 }
@@ -80,6 +91,63 @@ pub struct ExtractedQuery {
     /// FD-set handle per constant predicate (parallel to
     /// `Query::constants`).
     pub const_fd: Vec<FdSetId>,
+    /// Schema (key-constraint) FD set per query relation, applied by the
+    /// scan like constant FDs: a unique column determines the relation's
+    /// other query-relevant attributes. Populated only under aggregation
+    /// placement; `None` for relations without unique columns.
+    pub rel_fd: Vec<Option<FdSetId>>,
+    /// Whether aggregation placement is active for this query (it has
+    /// aggregate functions over a `group by` and the option is on).
+    pub aggregation: bool,
+    /// The raw schema FDs, tagged with their owning query relation —
+    /// what [`subset_agg_key`](Self::subset_agg_key) replays.
+    schema_fds: Vec<(usize, Fd)>,
+}
+
+impl ExtractedQuery {
+    /// The canonical partial-aggregation key of a relation subset: the
+    /// `group by` attributes inside the subset plus the join attributes
+    /// crossing its boundary (everything a later join or the final
+    /// aggregate still needs to distinguish), minimized under the
+    /// dependencies that hold inside the subset — schema FDs, constant
+    /// predicates, and internal join equations. Deterministic, so the
+    /// leaf keys registered as interesting groupings at extraction time
+    /// are exactly the keys the DP derives for single-relation subsets.
+    pub fn subset_agg_key(&self, query: &Query, mask: &BitSet) -> Grouping {
+        let mut attrs: Vec<AttrId> = query
+            .effective_group_by()
+            .iter()
+            .copied()
+            .filter(|&a| mask.contains(query.owner(a)))
+            .collect();
+        for j in &query.joins {
+            let (lo, ro) = (query.owner(j.left), query.owner(j.right));
+            if mask.contains(lo) && !mask.contains(ro) {
+                attrs.push(j.left);
+            }
+            if mask.contains(ro) && !mask.contains(lo) {
+                attrs.push(j.right);
+            }
+        }
+        let mut fds: Vec<Fd> = self
+            .schema_fds
+            .iter()
+            .filter(|(r, _)| mask.contains(*r))
+            .map(|(_, f)| f.clone())
+            .collect();
+        for c in &query.constants {
+            if mask.contains(query.owner(c.attr)) {
+                fds.push(Fd::constant(c.attr));
+            }
+        }
+        for j in &query.joins {
+            let (lo, ro) = (query.owner(j.left), query.owner(j.right));
+            if mask.contains(lo) && mask.contains(ro) {
+                fds.push(Fd::equation(j.left, j.right));
+            }
+        }
+        minimize_grouping_key(&Grouping::new(attrs), &fds)
+    }
 }
 
 /// Runs the extraction.
@@ -139,11 +207,68 @@ pub fn extract(catalog: &Catalog, query: &Query, options: &ExtractOptions) -> Ex
         .map(|c| spec.add_fd_set(vec![Fd::constant(c.attr)]))
         .collect();
 
-    ExtractedQuery {
+    // Aggregation placement: schema FDs from unique columns and
+    // per-relation partial-aggregation key groupings. Gated on the query
+    // actually aggregating, so everything else extracts byte-identically
+    // to the pure ordering + grouping pipeline.
+    let aggregation = options.aggregation_placement
+        && query.has_aggregates()
+        && !query.effective_group_by().is_empty();
+    let mut rel_fd: Vec<Option<FdSetId>> = vec![None; query.num_relations()];
+    let mut schema_fds: Vec<(usize, Fd)> = Vec::new();
+    if aggregation {
+        // Attributes the query mentions anywhere — the only ones worth
+        // deriving: a dependency onto an unmentioned attribute can never
+        // reach an interesting property.
+        let mut relevant: FxHashSet<AttrId> = FxHashSet::default();
+        relevant.extend(query.joins.iter().flat_map(|j| [j.left, j.right]));
+        relevant.extend(query.constants.iter().map(|c| c.attr));
+        relevant.extend(query.filters.iter().map(|f| f.attr));
+        relevant.extend(query.group_by.iter().copied());
+        relevant.extend(query.distinct.iter().copied());
+        relevant.extend(query.order_by.iter().copied());
+        relevant.extend(query.agg_input_attrs());
+        for (qrel, &rel) in query.relations.iter().enumerate() {
+            let attrs = &catalog.relation(rel).attrs;
+            let mut fds: Vec<Fd> = Vec::new();
+            for &key in attrs.iter().filter(|&&a| relevant.contains(&a)) {
+                if !catalog.is_unique(key) {
+                    continue;
+                }
+                for &target in attrs.iter().filter(|&&a| relevant.contains(&a)) {
+                    if target != key {
+                        fds.push(Fd::functional(&[key], target));
+                    }
+                }
+            }
+            if !fds.is_empty() {
+                schema_fds.extend(fds.iter().cloned().map(|f| (qrel, f)));
+                rel_fd[qrel] = Some(spec.add_fd_set(fds));
+            }
+        }
+    }
+
+    let mut ex = ExtractedQuery {
         spec,
         join_fd,
         const_fd,
+        rel_fd,
+        aggregation,
+        schema_fds,
+    };
+    if aggregation {
+        // Leaf partial-aggregation keys: what an eager aggregate placed
+        // directly above a scan groups by. Registered as *produced*
+        // interesting groupings so hash partial aggregates can construct
+        // their state (and the hash-group enforcer can target them).
+        for qrel in 0..query.num_relations() {
+            let key = ex.subset_agg_key(query, &query.relation_set(qrel));
+            if !key.is_empty() {
+                ex.spec.add_produced(key);
+            }
+        }
     }
+    ex
 }
 
 #[cfg(test)]
@@ -294,6 +419,68 @@ mod tests {
             .filter_map(|p| p.as_ordering())
             .collect();
         assert_eq!(produced, vec![&Ordering::new(vec![jid, pname])]);
+    }
+
+    #[test]
+    fn aggregation_extraction_registers_schema_fds_and_leaf_keys() {
+        use crate::graph::AggFunc;
+        // dim(pk unique, g selective) ⋈ fact(fk, v), group by dim.g,
+        // sum(fact.v).
+        let mut c = Catalog::new();
+        c.add_relation("dim", 100.0, &["pk", "g"]);
+        c.add_relation("fact", 100_000.0, &["fk", "v"]);
+        c.set_distinct_values(c.attr("dim.pk"), 100.0);
+        c.set_distinct_values(c.attr("dim.g"), 10.0);
+        c.set_distinct_values(c.attr("fact.fk"), 100.0);
+        let q = QueryBuilder::new(&c)
+            .relation("dim")
+            .relation("fact")
+            .join("dim.pk", "fact.fk", 0.01)
+            .group_by(&["dim.g"])
+            .aggregate(AggFunc::Sum, "fact.v")
+            .build();
+        let ex = extract(&c, &q, &ExtractOptions::default());
+        assert!(ex.aggregation);
+        // dim has a unique relevant column (pk) → a schema FD set
+        // {pk → g}; fact has none.
+        assert!(ex.rel_fd[0].is_some());
+        assert!(ex.rel_fd[1].is_none());
+        // Leaf keys: dim's raw key {pk, g} minimizes to {pk} (pk → g);
+        // fact's key is its crossing join attribute {fk}.
+        let dim_key = ex.subset_agg_key(&q, &q.relation_set(0));
+        assert_eq!(dim_key, Grouping::new(vec![c.attr("dim.pk")]));
+        let fact_key = ex.subset_agg_key(&q, &q.relation_set(1));
+        assert_eq!(fact_key, Grouping::new(vec![c.attr("fact.fk")]));
+        // Both are registered as produced interesting groupings, next to
+        // the group-by grouping itself.
+        for g in [dim_key, fact_key, Grouping::new(vec![c.attr("dim.g")])] {
+            assert!(
+                ex.spec.produced().contains(&g.clone().into()),
+                "{g:?} must be producible"
+            );
+        }
+        // The full set has no crossing edges: its key is the group-by.
+        let all = ex.subset_agg_key(&q, &q.all_relations_set());
+        assert_eq!(all, Grouping::new(vec![c.attr("dim.g")]));
+
+        // Placement off (or no aggregates): byte-identical to the plain
+        // extraction.
+        let off = extract(
+            &c,
+            &q,
+            &ExtractOptions {
+                aggregation_placement: false,
+                ..ExtractOptions::default()
+            },
+        );
+        assert!(!off.aggregation);
+        assert!(off.rel_fd.iter().all(Option::is_none));
+        let mut no_agg = q.clone();
+        no_agg.aggregates.clear();
+        let plain = extract(&c, &no_agg, &ExtractOptions::default());
+        assert!(!plain.aggregation);
+        assert_eq!(off.spec.produced(), plain.spec.produced());
+        assert_eq!(off.spec.fd_sets().len(), plain.spec.fd_sets().len());
     }
 
     #[test]

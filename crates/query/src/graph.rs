@@ -41,6 +41,70 @@ pub struct FilterPred {
     pub selectivity: f64,
 }
 
+/// An aggregate function over `group by` groups.
+///
+/// The decomposability metadata drives aggregation *placement*: an
+/// aggregate can be pushed below a join only when partial per-group
+/// results computed early can be combined into the final result at the
+/// root (Yan & Larson's eager/lazy transformations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count(*)` / `count(attr)`.
+    Count,
+    /// `sum(attr)`.
+    Sum,
+    /// `min(attr)`.
+    Min,
+    /// `max(attr)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Whether partial aggregates can be combined into the final result
+    /// (SUM of SUMs, COUNT of COUNTs summed, MIN of MINs, MAX of MAXes)
+    /// — the precondition for *eager group-by* push-down on the side
+    /// carrying the aggregated attribute.
+    pub fn is_decomposable(&self) -> bool {
+        // All four classic functions decompose; AVG would be modeled as
+        // SUM + COUNT.
+        true
+    }
+
+    /// Whether join-induced row duplication leaves the final result
+    /// unchanged (MIN/MAX: seeing a value twice changes nothing). Such
+    /// functions tolerate *eager count* push-down on the opposite side
+    /// without any count column.
+    pub fn duplicate_insensitive(&self) -> bool {
+        matches!(self, AggFunc::Min | AggFunc::Max)
+    }
+
+    /// Whether duplicated partials can be repaired by multiplying with a
+    /// join-partner group count (COUNT and SUM scale linearly; MIN/MAX
+    /// need no scaling, but cannot *provide* a meaningful count either).
+    pub fn count_scalable(&self) -> bool {
+        matches!(self, AggFunc::Count | AggFunc::Sum)
+    }
+
+    /// Display name (`sum`, `count`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One aggregate call in the select list, e.g. `sum(l_extendedprice)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AggCall {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Its input attribute; `None` for `count(*)`.
+    pub input: Option<AttrId>,
+}
+
 /// A query over a catalog: relations, predicates, grouping and ordering.
 #[derive(Clone, Debug, Default)]
 pub struct Query {
@@ -60,6 +124,8 @@ pub struct Query {
     pub distinct: Vec<AttrId>,
     /// `order by` attributes (the query's required output order).
     pub order_by: Vec<AttrId>,
+    /// Aggregate functions computed per group (SUM/COUNT/MIN/MAX).
+    pub aggregates: Vec<AggCall>,
     /// Owning query relation per attribute.
     attr_owner: FxHashMap<AttrId, usize>,
 }
@@ -96,6 +162,17 @@ impl Query {
     /// Query relation owning `attr` (panics for foreign attributes).
     pub fn owner(&self, attr: AttrId) -> usize {
         self.attr_owner[&attr]
+    }
+
+    /// Whether the query computes any aggregate functions.
+    pub fn has_aggregates(&self) -> bool {
+        !self.aggregates.is_empty()
+    }
+
+    /// The input attributes of all aggregate calls (`count(*)`
+    /// contributes none).
+    pub fn agg_input_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        self.aggregates.iter().filter_map(|a| a.input)
     }
 
     /// Number of query relations.
@@ -310,6 +387,33 @@ mod tests {
         let c = q.relation_set(2);
         assert_eq!(q.connecting_joins_set(&ab, &c).collect::<Vec<_>>(), [1]);
         assert_eq!(q.connecting_joins_set(&a, &c).count(), 0);
+    }
+
+    #[test]
+    fn aggregate_metadata_classifies_placement_legality() {
+        for f in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            assert!(f.is_decomposable(), "{}", f.name());
+        }
+        assert!(AggFunc::Min.duplicate_insensitive());
+        assert!(AggFunc::Max.duplicate_insensitive());
+        assert!(!AggFunc::Sum.duplicate_insensitive());
+        assert!(!AggFunc::Count.duplicate_insensitive());
+        assert!(AggFunc::Sum.count_scalable());
+        assert!(AggFunc::Count.count_scalable());
+        assert!(!AggFunc::Min.count_scalable());
+
+        let (c, mut q) = chain(2);
+        assert!(!q.has_aggregates());
+        q.aggregates.push(AggCall {
+            func: AggFunc::Count,
+            input: None,
+        });
+        q.aggregates.push(AggCall {
+            func: AggFunc::Sum,
+            input: Some(c.attr("r1.f")),
+        });
+        assert!(q.has_aggregates());
+        assert_eq!(q.agg_input_attrs().collect::<Vec<_>>(), [c.attr("r1.f")]);
     }
 
     #[test]

@@ -2,13 +2,23 @@
 //! plan-generation interface as `ofw_core::OrderingFramework` so the plan
 //! generator can run with either implementation (§7's experiment setup).
 //!
-//! Interior mutability (a `Mutex`) hides the caches behind `&self`
-//! methods — the plan generator calls `infer`/`satisfies` through shared
-//! references millions of times, and the caches are pure memoization.
-//! The mutex (rather than a `RefCell`) makes the framework `Sync`, so
-//! the baseline runs under the parallel DP driver too — serializing on
-//! its own shared caches, which is an honest rendition of what a
-//! mutable-shared-state order representation costs on multicore.
+//! Interior mutability hides the caches behind `&self` methods — the
+//! plan generator calls `infer`/`satisfies` through shared references
+//! millions of times, and the caches are pure memoization. The storage
+//! is **two-tier** so the baseline's *contention* cost under the
+//! parallel DP driver is separated from its *algorithmic* Ω(n) cost:
+//!
+//! * a **read-mostly shared tier** (`RwLock`) holds the id-authoritative
+//!   stores — the property interner and the FD-environment store. Ids
+//!   handed out here are what [`SimmenState`]s carry, so every worker
+//!   resolves against the same numbering; after a warm-up run the tier
+//!   is read-only and probes share the read lock.
+//! * **per-worker cache shards** (one mutex each, picked by thread id)
+//!   hold the memoization maps — reduction, grouping closure, and
+//!   environment extension. Workers never contend on each other's
+//!   memoized probes; at worst two workers recompute the same reduction
+//!   into their own shards, which costs duplicated work, never a
+//!   different answer (all values are derived from the shared tier).
 //!
 //! Grouping support mirrors the combined framework: a plan node's
 //! physical property may be a grouping (hash-aggregation output), and a
@@ -24,13 +34,14 @@
 
 use crate::env::{EnvStore, FdEnvId};
 use crate::reduce::reduce;
-use ofw_common::{FxHashMap, FxHashSet, Interner};
+use ofw_common::{FxHashMap, FxHashSet, FxHasher, Interner};
 use ofw_core::derive::apply_fd_grouping;
 use ofw_core::fd::{Fd, FdSetId};
 use ofw_core::ordering::Ordering;
 use ofw_core::property::{Grouping, LogicalProperty};
 use ofw_core::spec::InputSpec;
-use std::sync::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, RwLock};
 
 /// Per-plan-node annotation under Simmen's scheme: the physical property
 /// (interned ordering or grouping) plus the FD environment. Conceptually
@@ -54,25 +65,49 @@ impl std::fmt::Debug for SimmenState {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct SimmenOrderKey(u32);
 
-struct Caches {
+/// The read-mostly shared tier: the id-authoritative stores every
+/// worker resolves against. Writes happen only when a genuinely new
+/// property or environment appears — after a warm-up run, never.
+struct SharedTier {
     props: Interner<LogicalProperty>,
     envs: EnvStore,
+}
+
+/// One worker's private memoization shard.
+#[derive(Default)]
+struct ShardCaches {
     /// Reduction cache: (interned ordering, environment) → reduced
     /// interned ordering — the paper's single most important tuning.
-    reduce_cache: FxHashMap<(u32, FdEnvId), u32>,
+    reduce: FxHashMap<(u32, FdEnvId), u32>,
     /// Grouping cache: (interned property, environment) → set of
     /// groupings the stream satisfies under the environment.
-    grouping_cache: FxHashMap<(u32, FdEnvId), FxHashSet<Grouping>>,
+    grouping: FxHashMap<(u32, FdEnvId), FxHashSet<Grouping>>,
+    /// Environment-extension cache: (environment, FD set) → extended
+    /// environment (fronting [`EnvStore::extend`]).
+    extend: FxHashMap<(FdEnvId, FdSetId), FdEnvId>,
+    /// `contains` result cache: (physical property, environment,
+    /// required key) → answer. Makes a warm probe one shard-mutex
+    /// acquisition — what keeps the sharded two-tier design no slower
+    /// than the old single-mutex layout on one thread.
+    contains: FxHashMap<(u32, FdEnvId, u32), bool>,
 }
+
+/// Number of cache shards — comfortably above the work-stealing pool's
+/// worker counts, so concurrent workers hash to distinct shards.
+const CACHE_SHARDS: usize = 16;
 
 /// The prepared Simmen-style framework for one query.
 pub struct SimmenFramework {
-    caches: Mutex<Caches>,
+    shared: RwLock<SharedTier>,
+    shards: Vec<Mutex<ShardCaches>>,
     /// Interesting properties (orderings prefix-closed, groupings
     /// as-is), indexable by key.
     props: Vec<LogicalProperty>,
     prop_keys: FxHashMap<LogicalProperty, SimmenOrderKey>,
     producible: Vec<bool>,
+    /// Interned physical-property id per key, fixed at preparation —
+    /// `produce` is a pure lookup, no lock.
+    phys_of_key: Vec<u32>,
 }
 
 impl SimmenFramework {
@@ -80,29 +115,38 @@ impl SimmenFramework {
     /// advantage; the paper's point is that it loses during plan
     /// generation): intern the interesting properties and set up stores.
     pub fn prepare(spec: &InputSpec) -> Self {
-        let mut caches = Caches {
+        let mut shared = SharedTier {
             props: Interner::new(),
             envs: EnvStore::new(spec.fd_sets().to_vec()),
-            reduce_cache: FxHashMap::default(),
-            grouping_cache: FxHashMap::default(),
         };
-        caches.props.intern(Ordering::empty().into());
+        shared.props.intern(Ordering::empty().into());
 
         let mut props: Vec<LogicalProperty> = Vec::new();
         let mut prop_keys = FxHashMap::default();
         let mut producible = Vec::new();
+        let mut phys_of_key = Vec::new();
         for (p, prod) in spec.interesting_closure() {
             prop_keys.insert(p.clone(), SimmenOrderKey(props.len() as u32));
-            caches.props.intern(p.clone());
+            phys_of_key.push(shared.props.intern(p.clone()));
             props.push(p);
             producible.push(prod);
         }
         SimmenFramework {
-            caches: Mutex::new(caches),
+            shared: RwLock::new(shared),
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
             props,
             prop_keys,
             producible,
+            phys_of_key,
         }
+    }
+
+    /// The calling worker's cache shard (hashed thread id; collisions
+    /// just share a shard — still correct, marginally more contended).
+    fn shard(&self) -> &Mutex<ShardCaches> {
+        let mut h = FxHasher::default();
+        std::thread::current().id().hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
     /// Key of an interesting order (or a prefix of one).
@@ -134,20 +178,24 @@ impl SimmenFramework {
 
     /// State of a stream physically shaped like the property behind `k`
     /// (sort / ordered-scan output for an ordering, hash-aggregation
-    /// output for a grouping) with no dependencies yet.
+    /// output for a grouping) with no dependencies yet. Pure lookup —
+    /// every interesting property was interned at preparation.
     pub fn produce(&self, k: SimmenOrderKey) -> SimmenState {
-        let mut caches = self.caches.lock().unwrap();
-        let phys = caches.props.intern(self.props[k.0 as usize].clone());
         SimmenState {
-            phys,
+            phys: self.phys_of_key[k.0 as usize],
             env: FdEnvId(0),
         }
     }
 
     /// `inferNewLogicalOrderings`: extends the node's FD environment.
+    /// Fast path: the worker's own extension cache; slow path: one
+    /// write-locked extension of the shared environment store.
     pub fn infer(&self, s: SimmenState, f: FdSetId) -> SimmenState {
-        let mut caches = self.caches.lock().unwrap();
-        let env = caches.envs.extend(s.env, f);
+        if let Some(&env) = self.shard().lock().unwrap().extend.get(&(s.env, f)) {
+            return SimmenState { phys: s.phys, env };
+        }
+        let env = self.shared.write().unwrap().envs.extend(s.env, f);
+        self.shard().lock().unwrap().extend.insert((s.env, f), env);
         SimmenState { phys: s.phys, env }
     }
 
@@ -157,29 +205,81 @@ impl SimmenFramework {
     /// stream's implied groupings under the environment (cached) and
     /// test membership.
     pub fn satisfies(&self, s: SimmenState, k: SimmenOrderKey) -> bool {
-        let mut caches = self.caches.lock().unwrap();
+        if let Some(&hit) = self
+            .shard()
+            .lock()
+            .unwrap()
+            .contains
+            .get(&(s.phys, s.env, k.0))
+        {
+            return hit;
+        }
+        let result = self.satisfies_uncached(s, k);
+        self.shard()
+            .lock()
+            .unwrap()
+            .contains
+            .insert((s.phys, s.env, k.0), result);
+        result
+    }
+
+    fn satisfies_uncached(&self, s: SimmenState, k: SimmenOrderKey) -> bool {
         match &self.props[k.0 as usize] {
-            LogicalProperty::Ordering(required) => {
-                if caches.props.resolve(s.phys).is_grouping() {
+            LogicalProperty::Ordering(_) => {
+                if self
+                    .shared
+                    .read()
+                    .unwrap()
+                    .props
+                    .resolve(s.phys)
+                    .is_grouping()
+                {
                     return false;
                 }
-                let required = caches
-                    .props
-                    .get(&required.clone().into())
-                    .expect("interesting orders are interned");
-                let rp = reduced(&mut caches, s.phys, s.env);
-                let rr = reduced(&mut caches, required, s.env);
-                let rp = match caches.props.resolve(rp).as_ordering() {
+                let required = self.phys_of_key[k.0 as usize];
+                let rp = self.reduced(s.phys, s.env);
+                let rr = self.reduced(required, s.env);
+                let shared = self.shared.read().unwrap();
+                let rp = match shared.props.resolve(rp).as_ordering() {
                     Some(o) => o.clone(),
                     None => return false,
                 };
-                let rr = caches.props.resolve(rr).as_ordering().cloned();
+                let rr = shared.props.resolve(rr).as_ordering().cloned();
+                drop(shared);
                 rr.is_some_and(|rr| rr.is_prefix_of(&rp))
             }
-            LogicalProperty::Grouping(required) => {
-                groupings_contain(&mut caches, s.phys, s.env, required)
-            }
+            LogicalProperty::Grouping(required) => self.groupings_contain(s.phys, s.env, required),
         }
+    }
+
+    /// Cached reduction of the interned ordering `phys` under `env`:
+    /// shard-local memoization over the shared tier (a cold shard
+    /// recomputes, re-interning resolves to the same shared id).
+    fn reduced(&self, phys: u32, env: FdEnvId) -> u32 {
+        if let Some(&hit) = self.shard().lock().unwrap().reduce.get(&(phys, env)) {
+            return hit;
+        }
+        let (o, fds) = {
+            let shared = self.shared.read().unwrap();
+            let o = shared
+                .props
+                .resolve(phys)
+                .as_ordering()
+                .expect("reduction is only defined on orderings")
+                .clone();
+            let fds: Vec<Fd> = shared.envs.env(env).fds.to_vec();
+            (o, fds)
+        };
+        let r: LogicalProperty = reduce(&o, &fds).into();
+        // Read-first interning: warm runs never take the write lock.
+        // (The read guard must drop before the write is attempted.)
+        let existing = { self.shared.read().unwrap().props.get(&r) };
+        let id = match existing {
+            Some(id) => id,
+            None => self.shared.write().unwrap().props.intern(r),
+        };
+        self.shard().lock().unwrap().reduce.insert((phys, env), id);
+        id
     }
 
     /// Plan comparability (§7): same physical property, environment a
@@ -189,36 +289,52 @@ impl SimmenFramework {
         if a.phys != b.phys {
             return false;
         }
-        self.caches.lock().unwrap().envs.is_superset(a.env, b.env)
+        if a.env == b.env {
+            return true;
+        }
+        self.shared.read().unwrap().envs.is_superset(a.env, b.env)
     }
 
     /// Bytes of order-annotation storage for a plan with
     /// `num_plan_nodes` nodes: the per-node states plus the shared
-    /// interned environments, properties and the memoization caches.
+    /// interned environments, properties and the memoization caches
+    /// (all shards).
     pub fn memory_bytes(&self, num_plan_nodes: usize) -> usize {
-        let caches = self.caches.lock().unwrap();
-        let prop_bytes: usize = caches
+        // Lock order everywhere: shard first, shared second — walk the
+        // shards *before* taking the shared guard (holding shared while
+        // acquiring shards would be the ABBA inversion of the probe
+        // paths, which hold a shard while taking a shared read).
+        let mut shard_bytes = 0usize;
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            shard_bytes += shard
+                .grouping
+                .values()
+                .map(|set| {
+                    std::mem::size_of::<(u32, FdEnvId)>()
+                        + set
+                            .iter()
+                            .map(|g| g.heap_bytes() + std::mem::size_of::<Grouping>())
+                            .sum::<usize>()
+                })
+                .sum::<usize>();
+            shard_bytes += shard.reduce.len()
+                * (std::mem::size_of::<(u32, FdEnvId)>() + std::mem::size_of::<u32>());
+            shard_bytes += shard.extend.len()
+                * (std::mem::size_of::<(FdEnvId, FdSetId)>() + std::mem::size_of::<FdEnvId>());
+            shard_bytes += shard.contains.len()
+                * (std::mem::size_of::<(u32, FdEnvId, u32)>() + std::mem::size_of::<bool>());
+        }
+        let shared = self.shared.read().unwrap();
+        let prop_bytes: usize = shared
             .props
             .iter()
             .map(|(_, p)| p.heap_bytes() + std::mem::size_of::<LogicalProperty>())
             .sum();
-        let grouping_cache_bytes: usize = caches
-            .grouping_cache
-            .values()
-            .map(|set| {
-                std::mem::size_of::<(u32, FdEnvId)>()
-                    + set
-                        .iter()
-                        .map(|g| g.heap_bytes() + std::mem::size_of::<Grouping>())
-                        .sum::<usize>()
-            })
-            .sum();
         num_plan_nodes * std::mem::size_of::<SimmenState>()
-            + caches.envs.memory_bytes()
+            + shared.envs.memory_bytes()
             + prop_bytes
-            + grouping_cache_bytes
-            + caches.reduce_cache.len()
-                * (std::mem::size_of::<(u32, FdEnvId)>() + std::mem::size_of::<u32>())
+            + shard_bytes
     }
 
     /// All interesting *orderings* with their keys.
@@ -237,94 +353,84 @@ impl SimmenFramework {
             .filter_map(|(i, p)| p.as_grouping().map(|g| (g, SimmenOrderKey(i as u32))))
     }
 
-    /// Reduction-cache size (for diagnostics).
+    /// Reduction-cache size across all shards (for diagnostics).
     pub fn cache_entries(&self) -> usize {
-        self.caches.lock().unwrap().reduce_cache.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().reduce.len())
+            .sum()
     }
-}
 
-/// Cached reduction of the interned ordering `phys` under `env`.
-fn reduced(caches: &mut Caches, phys: u32, env: FdEnvId) -> u32 {
-    if let Some(&hit) = caches.reduce_cache.get(&(phys, env)) {
-        return hit;
-    }
-    let o = caches
-        .props
-        .resolve(phys)
-        .as_ordering()
-        .expect("reduction is only defined on orderings")
-        .clone();
-    let fds: Vec<ofw_core::fd::Fd> = caches.envs.env(env).fds.to_vec();
-    let r = reduce(&o, &fds);
-    let id = caches.props.intern(r.into());
-    caches.reduce_cache.insert((phys, env), id);
-    id
-}
-
-/// Membership probe against the cached grouping set of the stream in
-/// physical property `phys` under `env`: prefix attribute sets of the
-/// physical ordering (or the grouping key itself), closed under the
-/// environment's dependencies — the persistent-FD ground truth, probed
-/// in place once computed.
-///
-/// Closures are built *incrementally* along the environment's
-/// derivation chain: `env` extends its parent by exactly one FD set, so
-/// the closure under `env` is the parent's closure (cached or computed
-/// on the way) plus the semi-naive delta of the added dependencies.
-/// Every environment on the chain gets its closure cached, so a probe
-/// on a deep environment both reuses and seeds the shallower ones.
-fn groupings_contain(caches: &mut Caches, phys: u32, env: FdEnvId, required: &Grouping) -> bool {
-    if let Some(hit) = caches.grouping_cache.get(&(phys, env)) {
-        return hit.contains(required);
-    }
-    // Walk up the derivation chain to the nearest cached ancestor (or
-    // the root environment).
-    let mut chain: Vec<(FdEnvId, FdSetId)> = Vec::new();
-    let mut anchor = env;
-    while !caches.grouping_cache.contains_key(&(phys, anchor)) {
-        match caches.envs.parent(anchor) {
-            Some((parent, added)) => {
-                chain.push((anchor, added));
-                anchor = parent;
-            }
-            None => break,
+    /// Membership probe against the cached grouping set of the stream in
+    /// physical property `phys` under `env`: prefix attribute sets of the
+    /// physical ordering (or the grouping key itself), closed under the
+    /// environment's dependencies — the persistent-FD ground truth,
+    /// probed in place once computed.
+    ///
+    /// Closures are built *incrementally* along the environment's
+    /// derivation chain: `env` extends its parent by exactly one FD set,
+    /// so the closure under `env` is the parent's closure (cached or
+    /// computed on the way) plus the semi-naive delta of the added
+    /// dependencies. Every environment on the chain gets its closure
+    /// cached — in the calling worker's own shard, so a probe on a deep
+    /// environment both reuses and seeds the shallower ones without
+    /// touching any other worker's cache.
+    fn groupings_contain(&self, phys: u32, env: FdEnvId, required: &Grouping) -> bool {
+        let mut shard = self.shard().lock().unwrap();
+        if let Some(hit) = shard.grouping.get(&(phys, env)) {
+            return hit.contains(required);
         }
-    }
-    // Closure at the anchor: cached, or the base set of the physical
-    // property closed under the (possibly empty) anchor environment.
-    let mut set: FxHashSet<Grouping> = match caches.grouping_cache.get(&(phys, anchor)) {
-        Some(hit) => hit.clone(),
-        None => {
-            let mut base: FxHashSet<Grouping> = FxHashSet::default();
-            match caches.props.resolve(phys) {
-                LogicalProperty::Ordering(o) => {
-                    for len in 1..=o.len() {
-                        base.insert(Grouping::new(o.attrs()[..len].to_vec()));
+        // Lock order everywhere: shard first, shared (read) second.
+        let shared = self.shared.read().unwrap();
+        // Walk up the derivation chain to the nearest cached ancestor
+        // (or the root environment).
+        let mut chain: Vec<(FdEnvId, FdSetId)> = Vec::new();
+        let mut anchor = env;
+        while !shard.grouping.contains_key(&(phys, anchor)) {
+            match shared.envs.parent(anchor) {
+                Some((parent, added)) => {
+                    chain.push((anchor, added));
+                    anchor = parent;
+                }
+                None => break,
+            }
+        }
+        // Closure at the anchor: cached, or the base set of the physical
+        // property closed under the (possibly empty) anchor environment.
+        let mut set: FxHashSet<Grouping> = match shard.grouping.get(&(phys, anchor)) {
+            Some(hit) => hit.clone(),
+            None => {
+                let mut base: FxHashSet<Grouping> = FxHashSet::default();
+                match shared.props.resolve(phys) {
+                    LogicalProperty::Ordering(o) => {
+                        for len in 1..=o.len() {
+                            base.insert(Grouping::new(o.attrs()[..len].to_vec()));
+                        }
+                    }
+                    LogicalProperty::Grouping(g) => {
+                        base.insert(g.clone());
                     }
                 }
-                LogicalProperty::Grouping(g) => {
-                    base.insert(g.clone());
-                }
+                let fds = shared.envs.env(anchor).fds.to_vec();
+                let seed: Vec<Grouping> = base.iter().cloned().collect();
+                close_under(&mut base, seed, &fds, &fds);
+                shard.grouping.insert((phys, anchor), base.clone());
+                base
             }
-            let fds = caches.envs.env(anchor).fds.to_vec();
-            let seed: Vec<Grouping> = base.iter().cloned().collect();
-            close_under(&mut base, seed, &fds, &fds);
-            caches.grouping_cache.insert((phys, anchor), base.clone());
-            base
+        };
+        // Extend one derivation step at a time, reusing everything
+        // already closed: existing members only need the *added* set's
+        // dependencies applied; whatever that derives is then chased
+        // under the full environment.
+        for &(step_env, added) in chain.iter().rev() {
+            let new_fds = shared.envs.set_fds(added).to_vec();
+            let all_fds = shared.envs.env(step_env).fds.to_vec();
+            let seed: Vec<Grouping> = set.iter().cloned().collect();
+            close_under(&mut set, seed, &new_fds, &all_fds);
+            shard.grouping.insert((phys, step_env), set.clone());
         }
-    };
-    // Extend one derivation step at a time, reusing everything already
-    // closed: existing members only need the *added* set's dependencies
-    // applied; whatever that derives is then chased under the full
-    // environment.
-    for &(step_env, added) in chain.iter().rev() {
-        let new_fds = caches.envs.set_fds(added).to_vec();
-        let all_fds = caches.envs.env(step_env).fds.to_vec();
-        let seed: Vec<Grouping> = set.iter().cloned().collect();
-        close_under(&mut set, seed, &new_fds, &all_fds);
-        caches.grouping_cache.insert((phys, step_env), set.clone());
+        set.contains(required)
     }
-    set.contains(required)
 }
 
 /// Semi-naive closure step: applies `delta_fds` to every seed grouping,
@@ -503,6 +609,40 @@ mod tests {
         // Different physical kinds never dominate each other.
         assert!(!fw.dominates(s, sg));
         assert_eq!(fw.groupings().count(), 2);
+    }
+
+    #[test]
+    fn sharded_caches_agree_across_threads() {
+        // Every worker memoizes into its own shard, but all ids come
+        // from the shared tier — so any thread's probe answers (and the
+        // states it builds) must be identical to the serial ones, warm
+        // or cold.
+        let (spec, f_bc, f_bd) = running_example();
+        let fw = SimmenFramework::prepare(&spec);
+        let k_ab = fw.key(&o(&[A, B])).unwrap();
+        let k_abc = fw.key(&o(&[A, B, C])).unwrap();
+        let probe = |fw: &SimmenFramework| -> (SimmenState, Vec<bool>) {
+            let s = fw.infer(fw.infer(fw.produce(k_ab), f_bc), f_bd);
+            let answers = vec![
+                fw.satisfies(s, k_ab),
+                fw.satisfies(s, k_abc),
+                fw.dominates(s, fw.produce(k_ab)),
+            ];
+            (s, answers)
+        };
+        let (serial_state, serial_answers) = probe(&fw);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let (s, answers) = probe(&fw);
+                    assert_eq!(s, serial_state, "shared-tier ids are authoritative");
+                    assert_eq!(answers, serial_answers);
+                });
+            }
+        });
+        // The per-thread shards each memoized their own reductions.
+        assert!(fw.cache_entries() >= 2);
+        assert!(fw.memory_bytes(0) > 0);
     }
 
     #[test]

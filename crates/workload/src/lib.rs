@@ -16,12 +16,17 @@
 //!   query rewarding early hash-grouping.
 //! * [`large`] — chain/star/clique topologies sized for the parallel-DP
 //!   scaling sweeps (10–100 relations, incl. the >64-relation regime).
+//! * [`aggregation`] — star-schema aggregation queries with selective
+//!   group keys and distinct-value statistics, the workload class where
+//!   eager aggregation push-down and group-joins pay off.
 
+pub mod aggregation;
 pub mod grouping;
 pub mod large;
 pub mod random;
 pub mod tpch;
 
+pub use aggregation::{groupjoin_showcase_query, star_agg_query, StarAggConfig};
 pub use grouping::{grouping_query, q13_style_query, GroupingQueryConfig};
 pub use large::{large_query, LargeQueryConfig, Topology};
 pub use random::{random_query, RandomQueryConfig};
