@@ -31,6 +31,7 @@ fn bench_oracle<O: OrderOracle>(
         .filter_map(|p| match p {
             ofw_core::LogicalProperty::Ordering(o) => fw.resolve(o),
             ofw_core::LogicalProperty::Grouping(g) => fw.resolve_grouping(g),
+            ofw_core::LogicalProperty::HeadTail(h) => fw.resolve_head_tail(h),
         })
         .collect();
     let producible: Vec<O::Key> = keys

@@ -1,0 +1,128 @@
+//! PS1 — the partial-sort table: `GROUP BY k ORDER BY k` star-schema
+//! aggregation queries planned with the partial-sort enforcer (head/tail
+//! properties) against the sort-only ceiling, DFSM arm, with the
+//! partial-sort optimum cross-checked against the Simmen and explicit-
+//! set arms and re-planned at 1/2/8 pool threads on the small cells.
+//! Ends with the acceptance scenario: a hash aggregate whose grouped
+//! output makes the root `ORDER BY` enforceable by a `PartialSort`
+//! instead of a full `Sort`.
+//!
+//! Usage: `table_partialsort [queries_per_cell] [max_dimensions]`
+//! (defaults 5, 4). Arm/thread cross-checks run for cells with ≤ 2
+//! dimensions.
+
+use ofw_core::{OrderingFramework, PruneConfig};
+use ofw_plangen::{PlanGen, PlanOp};
+use ofw_query::extract::ExtractOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let queries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let max_dims: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    println!("Partial sort — head/tail properties over grouped streams ({queries} queries/cell)");
+    println!();
+    println!(
+        "{:>2} {:>5} {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>5} {:>5} {:>8} {:>8}",
+        "d",
+        "#Rels",
+        "arms✓",
+        "t(ms) S",
+        "#Plans S",
+        "t(ms) P",
+        "#Plans P",
+        "wins",
+        "#PS",
+        "avg win",
+        "max win"
+    );
+    let mut sink = ofw_bench::json::BenchSink::new("partialsort");
+    for dims in 1..=max_dims {
+        let check_arms = dims <= 2;
+        let cell =
+            ofw_bench::partialsort_cell(dims, queries, 0x9501 + dims as u64 * 100, check_arms);
+        println!(
+            "{:>2} {:>5} {:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>2}/{:<2} {:>2}/{:<2} {:>8.2} {:>8.2}",
+            dims,
+            dims + 1,
+            if check_arms { "yes" } else { "-" },
+            ofw_bench::ms(cell.sort_only.time),
+            cell.sort_only.plans,
+            ofw_bench::ms(cell.partial.time),
+            cell.partial.plans,
+            cell.wins,
+            cell.queries,
+            cell.partial_sort_plans,
+            cell.queries,
+            cell.sort_only.best_cost / cell.partial.best_cost,
+            cell.max_win,
+        );
+        sink.push(ofw_bench::partialsort_cell_json(&cell));
+    }
+    println!();
+    println!("S = sort-only enforcement (ceiling), P = partial-sort enforcer enabled;");
+    println!("win = S cost / P cost; #PS = winners containing a PartialSort operator;");
+    println!("arms✓ = partial-sort optimum cross-checked against the Simmen and");
+    println!("explicit-set oracles and byte-stable at 1/2/8 pool threads.");
+    println!();
+
+    // The acceptance scenario: GROUP BY k ORDER BY k over a
+    // 150 000-value key with no useful index — hash aggregation wins,
+    // its grouped output turns the dominant root sort into a
+    // PartialSort, and the win is visible in the *total* plan cost.
+    let (catalog, query) = ofw_workload::partialsort_showcase_query();
+    let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+    let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+    let partial = PlanGen::new(&catalog, &query, &ex, &fw).run();
+    let sort_only = PlanGen::new(&catalog, &query, &ex, &fw)
+        .partial_sort(false)
+        .run();
+    println!("\"orders per customer, listed by customer\" (group by + order by o_custkey):");
+    print!(
+        "{}",
+        partial.arena.render(partial.best, &|i| catalog
+            .relation(query.relations[i])
+            .name
+            .clone())
+    );
+    let mut uses_partial_sort = false;
+    let mut stack = vec![partial.best];
+    while let Some(p) = stack.pop() {
+        let op = &partial.arena.node(p).op;
+        uses_partial_sort |= matches!(op, PlanOp::PartialSort { .. });
+        stack.extend(op.inputs());
+    }
+    assert!(
+        uses_partial_sort,
+        "the showcase optimum must use a partial sort"
+    );
+    assert!(partial.cost < sort_only.cost);
+    println!();
+    println!(
+        "showcase: cost {:.0} (sort-only {:.0}, win {:.2}x), partial sort: {}",
+        partial.cost,
+        sort_only.cost,
+        sort_only.cost / partial.cost,
+        uses_partial_sort,
+    );
+    sink.push(
+        ofw_bench::json::Obj::new()
+            .str("query", "star_group_by_order_by")
+            .int("uses_partial_sort", usize::from(uses_partial_sort))
+            .raw(
+                "partial",
+                ofw_bench::json::Obj::new()
+                    .num("best_cost", partial.cost)
+                    .int("plans", partial.stats.plans)
+                    .build(),
+            )
+            .raw(
+                "sort_only",
+                ofw_bench::json::Obj::new()
+                    .num("best_cost", sort_only.cost)
+                    .int("plans", sort_only.stats.plans)
+                    .build(),
+            ),
+    );
+    sink.finish();
+}

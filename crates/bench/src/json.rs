@@ -119,7 +119,7 @@ pub fn write_bench(name: &str, rows: Vec<String>) -> std::io::Result<PathBuf> {
 /// The one way a table binary emits its machine-readable rows: starts
 /// with the standard machine-proxy meta row, collects data rows, and on
 /// [`finish`](Self::finish) writes `BENCH_<name>.json` and prints the
-/// standard "machine-readable: <path>" trailer. Replaces the
+/// standard `machine-readable: <path>` trailer. Replaces the
 /// copy-pasted meta-row + `write_bench` + `println!` boilerplate every
 /// binary used to carry.
 pub struct BenchSink {

@@ -14,6 +14,7 @@
 //! | G1 | grouping workload sweep (VLDB'04 extension) | `table_grouping` | [`grouping_cell`] |
 //! | P1 | thread-scaling sweep (parallel DP) | `table_parallel` | [`parallel_cell`] |
 //! | GJ1 | aggregation-placement sweep (group-join + eager push-down) | `table_groupjoin` | [`groupjoin_cell`] |
+//! | PS1 | partial-sort sweep (head/tail properties, `GROUP BY k ORDER BY k`) | `table_partialsort` | [`partialsort_cell`] |
 //!
 //! Every table binary also emits its rows as machine-readable
 //! `BENCH_<name>.json` (see [`json`]) next to the stdout table, so the
@@ -24,7 +25,7 @@
 
 use ofw_catalog::Catalog;
 use ofw_core::{OrderingFramework, PrepStats, PruneConfig};
-use ofw_plangen::{ExplicitOracle, OrderOracle, PlanGen, PlanGenStats};
+use ofw_plangen::{ExplicitOracle, OrderOracle, PlanGen, PlanGenResult, PlanGenStats};
 use ofw_query::extract::ExtractOptions;
 use ofw_query::{ExtractedQuery, Query};
 use ofw_simmen::SimmenFramework;
@@ -361,6 +362,144 @@ pub fn groupjoin_cell(
     }
 }
 
+/// One averaged cell of the partial-sort sweep (PS1): `GROUP BY k
+/// ORDER BY k` star queries planned twice with the DFSM arm — the
+/// partial-sort enforcer enabled vs the sort-only ceiling.
+#[derive(Clone, Debug)]
+pub struct PartialSortCell {
+    /// Dimension-table count (relations = `dimensions + 1`).
+    pub dimensions: usize,
+    /// Averaged DFSM row with the partial-sort enforcer disabled (the
+    /// full-sort ceiling).
+    pub sort_only: PlanRow,
+    /// Averaged DFSM row with the partial-sort enforcer enabled.
+    pub partial: PlanRow,
+    /// Largest per-query win (`sort-only cost / partial cost`).
+    pub max_win: f64,
+    /// Queries where the partial sort found a strictly cheaper plan.
+    pub wins: usize,
+    /// Queries whose winning plan contains a `PartialSort` operator.
+    pub partial_sort_plans: usize,
+    /// Queries in the cell.
+    pub queries: usize,
+}
+
+/// Runs plan generation with the DFSM framework and an explicit
+/// partial-sort switch (preparation time included). Returns the
+/// measured row together with the prepared framework and the full
+/// result, so callers can walk the winning plan or reuse the run as a
+/// determinism baseline without re-planning.
+pub fn run_ours_partial_sort(
+    catalog: &Catalog,
+    query: &Query,
+    ex: &ExtractedQuery,
+    partial_sort: bool,
+) -> (PlanRow, OrderingFramework, PlanGenResult<ofw_core::State>) {
+    let t0 = Instant::now();
+    let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).expect("prepare");
+    let result = PlanGen::new(catalog, query, ex, &fw)
+        .partial_sort(partial_sort)
+        .run();
+    let row = finish_row(&fw, t0, result.stats.clone(), result.cost);
+    (row, fw, result)
+}
+
+/// Runs one cell of the partial-sort sweep over ordered star-schema
+/// aggregation queries. Every query is planned with the enforcer on and
+/// off; the partial-sort search must never be costlier (asserted). With
+/// `check_arms`, the partial-sort optimum is additionally cross-checked
+/// against the Simmen and explicit-set arms *and* re-planned under the
+/// work-stealing pool at 1, 2 and 8 threads with identical cost and
+/// plan count required (slow — meant for small cells).
+pub fn partialsort_cell(
+    dimensions: usize,
+    queries: usize,
+    seed0: u64,
+    check_arms: bool,
+) -> PartialSortCell {
+    let mut acc_sort = ZeroRow::new("nfsm/dfsm (ours)");
+    let mut acc_partial = ZeroRow::new("nfsm/dfsm (ours)");
+    let mut max_win = 1.0f64;
+    let mut wins = 0usize;
+    let mut partial_sort_plans = 0usize;
+    for q in 0..queries {
+        let (catalog, query) = ofw_workload::star_agg_query_ordered(&StarAggConfig {
+            dimensions,
+            seed: seed0 + q as u64,
+        });
+        let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+        // One prepared framework and one DP run per arm; the enabled
+        // run's result is reused below for the enforcer-usage walk and
+        // as the serial baseline of the thread-determinism check.
+        let (partial, fw, partial_result) = run_ours_partial_sort(&catalog, &query, &ex, true);
+        let (sort_only, _, _) = run_ours_partial_sort(&catalog, &query, &ex, false);
+        assert!(
+            partial.best_cost <= sort_only.best_cost * (1.0 + 1e-9),
+            "the partial-sort search can never be costlier: {} vs {}",
+            partial.best_cost,
+            sort_only.best_cost
+        );
+        if partial.best_cost < sort_only.best_cost * (1.0 - 1e-9) {
+            wins += 1;
+        }
+        max_win = max_win.max(sort_only.best_cost / partial.best_cost);
+        // Does the winner actually use the enforcer?
+        {
+            let mut stack = vec![partial_result.best];
+            let mut found = false;
+            while let Some(p) = stack.pop() {
+                let op = &partial_result.arena.node(p).op;
+                found |= matches!(op, ofw_plangen::PlanOp::PartialSort { .. });
+                stack.extend(op.inputs());
+            }
+            partial_sort_plans += usize::from(found);
+        }
+        if check_arms {
+            let simmen = run_simmen(&catalog, &query, &ex);
+            assert_costs_agree(&partial, &simmen);
+            let explicit = run_explicit(&catalog, &query, &ex);
+            assert_costs_agree(&partial, &explicit);
+            // Thread-count determinism: the same prepared oracle must
+            // reach the same partial-sort optimum under the
+            // work-stealing pool at 1, 2 and 8 threads.
+            for threads in [1usize, 2, 8] {
+                let pool = ofw_parallel::ThreadPool::new(threads);
+                let parallel = PlanGen::new(&catalog, &query, &ex, &fw).run_with(&pool);
+                assert!(
+                    (parallel.cost - partial_result.cost).abs() < 1e-9
+                        && parallel.stats.plans == partial_result.stats.plans
+                        && parallel.best == partial_result.best,
+                    "thread count {threads} changed the partial-sort plan"
+                );
+            }
+        }
+        acc_sort.add(&sort_only);
+        acc_partial.add(&partial);
+    }
+    PartialSortCell {
+        dimensions,
+        sort_only: acc_sort.avg(queries),
+        partial: acc_partial.avg(queries),
+        max_win,
+        wins,
+        partial_sort_plans,
+        queries,
+    }
+}
+
+/// A [`PartialSortCell`] as a flat JSON object for
+/// `BENCH_partialsort.json`.
+pub fn partialsort_cell_json(cell: &PartialSortCell) -> json::Obj {
+    json::Obj::new()
+        .int("dimensions", cell.dimensions)
+        .int("queries", cell.queries)
+        .int("wins", cell.wins)
+        .int("partial_sort_plans", cell.partial_sort_plans)
+        .num("max_win", cell.max_win)
+        .raw("sort_only", plan_row_json(&cell.sort_only).build())
+        .raw("partial", plan_row_json(&cell.partial).build())
+}
+
 /// A [`PlacementCell`] as a flat JSON object for `BENCH_groupjoin.json`.
 pub fn placement_cell_json(cell: &PlacementCell) -> json::Obj {
     json::Obj::new()
@@ -491,6 +630,18 @@ mod tests {
         assert!(cell.placed.plans > 0 && cell.root_only.plans > 0);
         assert!(cell.placed.best_cost <= cell.root_only.best_cost);
         assert!(cell.wins >= 1, "placement should win somewhere in the cell");
+        assert!(cell.max_win >= 1.0);
+    }
+
+    #[test]
+    fn small_partialsort_cell_wins_and_agrees_across_arms_and_threads() {
+        let cell = partialsort_cell(2, 3, 4242, true);
+        assert!(cell.partial.plans > 0 && cell.sort_only.plans > 0);
+        assert!(cell.partial.best_cost <= cell.sort_only.best_cost);
+        assert!(
+            cell.partial_sort_plans >= 1,
+            "some winner must carry a PartialSort"
+        );
         assert!(cell.max_win >= 1.0);
     }
 

@@ -20,9 +20,9 @@
 
 use crate::eqclass::EqClasses;
 use crate::fd::Fd;
-use crate::filter::{GroupingFilter, PrefixFilter};
+use crate::filter::{GroupingFilter, HeadTailFilter, PrefixFilter};
 use crate::ordering::Ordering;
-use crate::property::Grouping;
+use crate::property::{Grouping, HeadTail, LogicalProperty};
 use ofw_common::FxHashSet;
 
 /// Shared context for derivation: equivalence classes, the prefix filter,
@@ -310,6 +310,224 @@ pub fn minimize_grouping_key(key: &Grouping, fds: &[Fd]) -> Grouping {
     Grouping::new(attrs)
 }
 
+/// Applies one dependency to a *head/tail pair* once, appending each
+/// derived property to `out`. The two components react to a dependency
+/// independently — that is the pair's derivation signature:
+///
+/// * the **head** follows the grouping *set* rules of
+///   [`apply_fd_grouping`] (insert a determined attribute, remove a
+///   determined member, toggle constants) — the head groups are
+///   untouched by any of these, so the tail ordering inside them
+///   survives verbatim;
+/// * the **tail** follows the positional *ordering* rules of
+///   [`DeriveCtx::apply_fd`], with one extra power: inside a head group
+///   every head attribute is constant, so head members act as
+///   always-satisfied determinants — a dependency whose left-hand side
+///   sits (partly) in the head can insert its right-hand side at *any*
+///   tail position, and a tail attribute determined by head members
+///   alone is removable anywhere.
+///
+/// Results may degenerate: removing the last head member (a constant
+/// head) yields the plain tail [`Ordering`] — the whole stream is one
+/// group — and removing the last tail attribute yields the plain head
+/// [`Grouping`]. Results never equal the input pair.
+pub fn apply_fd_head_tail(ht: &HeadTail, fd: &Fd, out: &mut Vec<LogicalProperty>) {
+    let head = ht.head();
+    let tail = ht.tail();
+    // Head component: set insertion / removal, tail unchanged. A
+    // removal that would empty the head is dropped: the degenerate
+    // consequence (a constant head collapses the stream into one group,
+    // so the tail becomes a plain ordering) is sound, but it is a power
+    // the pair-free pipeline cannot mirror — deriving it would make
+    // `contains` answers depend on whether pair nodes happen to be
+    // materialized. All three oracle arms share this rule set, so the
+    // conservative choice keeps them in exact agreement.
+    let mut head_buf: Vec<Grouping> = Vec::new();
+    apply_fd_grouping(&head, fd, &mut head_buf);
+    for h in head_buf {
+        if !h.is_empty() {
+            out.push(LogicalProperty::head_tail(h, tail.clone()));
+        }
+    }
+    // Tail component: positional rules with the head as an ambient
+    // constant set.
+    let functional =
+        |lhs: &[ofw_catalog::AttrId], rhs: ofw_catalog::AttrId, out: &mut Vec<LogicalProperty>| {
+            if head.contains_attr(rhs) {
+                return; // constant inside a group: adds no tail information
+            }
+            if let Some(p) = tail.position(rhs) {
+                // Removal: every determinant is a head member (constant in
+                // the group) or precedes the occurrence in the tail.
+                let implied = lhs
+                    .iter()
+                    .all(|&l| head.contains_attr(l) || tail.position(l).is_some_and(|q| q < p));
+                if implied {
+                    out.push(LogicalProperty::head_tail(head.clone(), tail.remove_at(p)));
+                }
+            } else {
+                // Insertion: head determinants impose no position, tail
+                // determinants must precede.
+                let mut first = 0usize;
+                for &l in lhs {
+                    if head.contains_attr(l) {
+                        continue;
+                    }
+                    match tail.position(l) {
+                        Some(p) => first = first.max(p + 1),
+                        None => return, // lhs satisfied by neither component
+                    }
+                }
+                for pos in first..=tail.len() {
+                    out.push(LogicalProperty::head_tail(
+                        head.clone(),
+                        tail.insert_at(pos, rhs),
+                    ));
+                }
+            }
+        };
+    match fd {
+        Fd::Functional { lhs, rhs } => functional(lhs, *rhs, out),
+        Fd::Constant(a) => functional(&[], *a, out),
+        Fd::Equation(a, b) => {
+            functional(std::slice::from_ref(a), *b, out);
+            functional(std::slice::from_ref(b), *a, out);
+            // In-place tail substitution (the equation's extra power
+            // over the FD pair, as for plain orderings).
+            for (from, to) in [(*a, *b), (*b, *a)] {
+                let Some(pos) = tail.position(from) else {
+                    continue;
+                };
+                if head.contains_attr(to) {
+                    // `from` equals a within-group constant: removable.
+                    out.push(LogicalProperty::head_tail(
+                        head.clone(),
+                        tail.remove_at(pos),
+                    ));
+                } else if let Some(to_pos) = tail.position(to) {
+                    if to_pos < pos {
+                        out.push(LogicalProperty::head_tail(
+                            head.clone(),
+                            tail.remove_at(pos),
+                        ));
+                    }
+                } else {
+                    out.push(LogicalProperty::head_tail(
+                        head.clone(),
+                        tail.replace_at(pos, to),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Applies one dependency to a *grouping* to derive head/tail pairs:
+/// an attribute functionally determined by head members alone (or bound
+/// to a constant) is constant inside every group, so the grouped stream
+/// is trivially sorted by it within each group — `{a} + a→b ⊢ {a}(b)`.
+/// This is the crossover that lets grouped-but-unsorted streams (hash
+/// aggregation output) start accumulating within-group order.
+pub fn apply_fd_grouping_tails(g: &Grouping, fd: &Fd, out: &mut Vec<LogicalProperty>) {
+    let mut push = |rhs: ofw_catalog::AttrId| {
+        if !g.contains_attr(rhs) {
+            out.push(LogicalProperty::head_tail(
+                g.clone(),
+                Ordering::new(vec![rhs]),
+            ));
+        }
+    };
+    match fd {
+        Fd::Functional { lhs, rhs } => {
+            if lhs.iter().all(|&l| g.contains_attr(l)) {
+                push(*rhs);
+            }
+        }
+        Fd::Constant(a) => push(*a),
+        Fd::Equation(a, b) => {
+            if g.contains_attr(*a) {
+                push(*b);
+            }
+            if g.contains_attr(*b) {
+                push(*a);
+            }
+        }
+    }
+}
+
+/// The transitive closure of *mixed* property derivation from a pair or
+/// grouping source: every property reachable by repeatedly applying any
+/// of `fds` under the pair rules ([`apply_fd_head_tail`]) and the
+/// grouping set rules ([`apply_fd_grouping`],
+/// [`apply_fd_grouping_tails`]). Each admission filter bounds its own
+/// kind; the source itself is not reported.
+///
+/// The `Ordering` arms exist for totality over the public
+/// `LogicalProperty` input (an ordering *source* chases the positional
+/// rules of `ctx`), but the current rule set never *derives* an
+/// ordering from a pair or grouping — head removal deliberately keeps
+/// heads non-empty (see [`apply_fd_head_tail`]), so with a pair or
+/// grouping source the ordering branches stay cold. They are kept, not
+/// `unreachable!`, so a future property kind whose rules do emit
+/// orderings degrades gracefully instead of aborting.
+pub fn mixed_closure(
+    src: &LogicalProperty,
+    fds: &[Fd],
+    ctx: &DeriveCtx,
+    gfilter: &GroupingFilter,
+    hfilter: &HeadTailFilter,
+) -> Vec<LogicalProperty> {
+    let mut seen: FxHashSet<LogicalProperty> = FxHashSet::default();
+    let mut result: Vec<LogicalProperty> = Vec::new();
+    let mut work: Vec<LogicalProperty> = vec![src.clone()];
+    seen.insert(src.clone());
+    let mut buf: Vec<LogicalProperty> = Vec::new();
+    while let Some(cur) = work.pop() {
+        buf.clear();
+        match &cur {
+            LogicalProperty::HeadTail(ht) => {
+                for fd in fds {
+                    apply_fd_head_tail(ht, fd, &mut buf);
+                }
+            }
+            LogicalProperty::Grouping(g) => {
+                let mut gbuf: Vec<Grouping> = Vec::new();
+                for fd in fds {
+                    apply_fd_grouping(g, fd, &mut gbuf);
+                    apply_fd_grouping_tails(g, fd, &mut buf);
+                }
+                buf.extend(gbuf.into_iter().map(LogicalProperty::Grouping));
+            }
+            LogicalProperty::Ordering(o) => {
+                // Orderings only ever derive orderings; the bounded
+                // ordering closure is transitive already, so report its
+                // results without re-queueing them.
+                for d in ctx.closure(o, fds) {
+                    let p = LogicalProperty::Ordering(d);
+                    if seen.insert(p.clone()) {
+                        result.push(p);
+                    }
+                }
+                continue;
+            }
+        }
+        for d in buf.drain(..) {
+            let admitted = match &d {
+                LogicalProperty::HeadTail(h) => hfilter.admits(h),
+                LogicalProperty::Grouping(g) => !g.is_empty() && gfilter.admits(g),
+                LogicalProperty::Ordering(o) => {
+                    !o.is_empty() && ctx.filter.admitted_len(o.attrs(), ctx.eq, ctx.max_len) > 0
+                }
+            };
+            if admitted && seen.insert(d.clone()) {
+                work.push(d.clone());
+                result.push(d);
+            }
+        }
+    }
+    result
+}
+
 /// The transitive closure of grouping derivation: every grouping
 /// reachable from `g` by repeatedly applying any of `fds`, bounded by
 /// the admission `filter` (a derived grouping no interesting grouping
@@ -582,6 +800,109 @@ mod tests {
         // ascending scan drops the first removable attribute first).
         let fds = [Fd::equation(A, B)];
         assert_eq!(minimize_grouping_key(&g(&[A, B]), &fds), g(&[B]));
+    }
+
+    fn ht(head: &[AttrId], tail: &[AttrId]) -> HeadTail {
+        HeadTail::new(Grouping::new(head.to_vec()), Ordering::new(tail.to_vec()))
+    }
+
+    fn pair_derive(src: &HeadTail, fds: &[Fd]) -> Vec<LogicalProperty> {
+        let mut out = Vec::new();
+        for fd in fds {
+            apply_fd_head_tail(src, fd, &mut out);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn head_tail_head_follows_set_rules() {
+        // {a}(c) + a→b: b joins the head (rows equal on a are equal on
+        // b, so the groups are unchanged) — and the head rule never
+        // touches the tail.
+        let r = pair_derive(&ht(&[A], &[C]), &[Fd::functional(&[A], B)]);
+        assert!(r.contains(&ht(&[A, B], &[C]).into()));
+        // {a,b}(c) + a→b: b is determined by the rest of the head, so it
+        // may leave; the head never empties ({a}(c) + ∅→a keeps {a}).
+        let r = pair_derive(&ht(&[A, B], &[C]), &[Fd::functional(&[A], B)]);
+        assert!(r.contains(&ht(&[A], &[C]).into()));
+        let r = pair_derive(&ht(&[A], &[C]), &[Fd::constant(A)]);
+        assert!(r.iter().all(|p| p.is_head_tail()), "no degeneration: {r:?}");
+    }
+
+    #[test]
+    fn head_tail_tail_rules_use_head_as_constants() {
+        // {a}(b) + a→c: inside a group a is constant, so c is insertable
+        // at *any* tail position — including the front, which the
+        // positional ordering rules could never do.
+        let r = pair_derive(&ht(&[A], &[B]), &[Fd::functional(&[A], C)]);
+        assert!(r.contains(&ht(&[A], &[C, B]).into()));
+        assert!(r.contains(&ht(&[A], &[B, C]).into()));
+        // {a}(b,c) + b→c: c is determined by the preceding tail — it may
+        // leave; {a}(c,b) + b→c: it may not (b comes later).
+        let r = pair_derive(&ht(&[A], &[B, C]), &[Fd::functional(&[B], C)]);
+        assert!(r.contains(&ht(&[A], &[B]).into()));
+        let r = pair_derive(&ht(&[A], &[C, B]), &[Fd::functional(&[B], C)]);
+        assert!(!r.contains(&ht(&[A], &[B]).into()));
+        // {a}(b,c) + a→c: c is determined by the head alone — removable
+        // anywhere, leaving {a}(b).
+        let r = pair_derive(&ht(&[A], &[B, C]), &[Fd::functional(&[A], C)]);
+        assert!(r.contains(&ht(&[A], &[B]).into()));
+    }
+
+    #[test]
+    fn head_tail_tail_removal_can_degenerate_to_grouping() {
+        // {a}(b) + a→b: the only tail attribute is head-determined;
+        // removing it leaves the plain head grouping.
+        let r = pair_derive(&ht(&[A], &[B]), &[Fd::functional(&[A], B)]);
+        assert!(r.contains(&g(&[A]).into()));
+    }
+
+    #[test]
+    fn head_tail_equation_substitutes_in_the_tail() {
+        // {a}(b) + b=c: c substitutes in place; and since a=b puts b
+        // equal to a head member, b becomes removable.
+        let r = pair_derive(&ht(&[A], &[B]), &[Fd::equation(B, C)]);
+        assert!(r.contains(&ht(&[A], &[C]).into()));
+        let r = pair_derive(&ht(&[A], &[B]), &[Fd::equation(A, B)]);
+        assert!(r.contains(&g(&[A]).into()), "b ≡ head member ⇒ removable");
+    }
+
+    #[test]
+    fn grouping_tails_rule_spawns_pairs() {
+        // {a} + a→b: b is constant inside every a-group, so the grouped
+        // stream is trivially sorted by (b) within groups.
+        let mut out = Vec::new();
+        apply_fd_grouping_tails(&g(&[A]), &Fd::functional(&[A], B), &mut out);
+        assert_eq!(out, vec![ht(&[A], &[B]).into()]);
+        // Constants qualify with no determinant at all.
+        out.clear();
+        apply_fd_grouping_tails(&g(&[A]), &Fd::constant(C), &mut out);
+        assert_eq!(out, vec![ht(&[A], &[C]).into()]);
+        // Attributes already in the set do not (no information).
+        out.clear();
+        apply_fd_grouping_tails(&g(&[A]), &Fd::constant(A), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn mixed_closure_chains_kinds() {
+        // From the grouping {a}: a→b spawns the pair {a}(b), and b→c
+        // extends its tail to {a}(b,c) — transitive across kinds within
+        // one symbol, exactly what the NFSM edge needs.
+        let fds = [Fd::functional(&[A], B), Fd::functional(&[B], C)];
+        let eq = EqClasses::new();
+        let filter = PrefixFilter::new(std::iter::empty(), &[], &eq, false);
+        let ctx = open_ctx(&eq, &filter);
+        let gfilter = GroupingFilter::permissive();
+        let hfilter = crate::filter::HeadTailFilter::permissive();
+        let r = mixed_closure(&g(&[A]).into(), &fds, &ctx, &gfilter, &hfilter);
+        assert!(r.contains(&ht(&[A], &[B]).into()));
+        assert!(r.contains(&ht(&[A], &[B, C]).into()));
+        assert!(r.contains(&g(&[A, B]).into()));
+        assert!(r.contains(&g(&[A, B, C]).into()));
+        assert!(!r.iter().any(|p| p.as_ordering().is_some()));
     }
 
     #[test]

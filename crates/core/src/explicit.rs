@@ -17,20 +17,21 @@
 //! the ordering set first, reseeds groupings from all orderings' prefix
 //! sets, then closes the grouping set under the operator's dependencies.
 
-use crate::derive::{apply_fd_grouping, DeriveCtx};
+use crate::derive::{apply_fd_grouping, apply_fd_grouping_tails, apply_fd_head_tail, DeriveCtx};
 use crate::eqclass::EqClasses;
 use crate::fd::FdSet;
-use crate::filter::{GroupingFilter, PrefixFilter};
+use crate::filter::PrefixFilter;
 use crate::ordering::Ordering;
-use crate::property::Grouping;
+use crate::property::{Grouping, HeadTail, LogicalProperty};
 use ofw_common::FxHashSet;
 
 /// Explicitly materialized, prefix-closed set of logical orderings plus
-/// the set of satisfied groupings.
+/// the sets of satisfied groupings and head/tail pairs.
 #[derive(Clone, Debug)]
 pub struct ExplicitOrderings {
     set: FxHashSet<Ordering>,
     groups: FxHashSet<Grouping>,
+    pairs: FxHashSet<HeadTail>,
 }
 
 impl ExplicitOrderings {
@@ -41,11 +42,13 @@ impl ExplicitOrderings {
         ExplicitOrderings {
             set,
             groups: FxHashSet::default(),
+            pairs: FxHashSet::default(),
         }
     }
 
     /// A stream physically ordered by `o` (satisfies `o`, its prefixes,
-    /// and the grouping of every prefix's attribute set).
+    /// the grouping of every prefix's attribute set, and every
+    /// (prefix set, continuation) head/tail decomposition).
     pub fn from_physical(o: &Ordering) -> Self {
         let mut e = Self::unordered();
         e.set.insert(o.clone());
@@ -53,6 +56,7 @@ impl ExplicitOrderings {
             e.set.insert(p);
         }
         e.reseed_groups_from_orderings();
+        e.reseed_pairs_from_orderings();
         e
     }
 
@@ -62,6 +66,26 @@ impl ExplicitOrderings {
         let mut e = Self::unordered();
         if !g.is_empty() {
             e.groups.insert(g.clone());
+        }
+        e
+    }
+
+    /// A stream physically shaped as the head/tail pair `h` (partial
+    /// sort output): satisfies the pair, every sub-decomposition it
+    /// implies, and no ordering but `()`.
+    pub fn from_head_tail(h: &HeadTail) -> Self {
+        let mut e = Self::unordered();
+        e.pairs.insert(h.clone());
+        for implied in h.implications() {
+            match implied {
+                LogicalProperty::HeadTail(p) => {
+                    e.pairs.insert(p);
+                }
+                LogicalProperty::Grouping(g) => {
+                    e.groups.insert(g);
+                }
+                LogicalProperty::Ordering(_) => unreachable!("pairs never imply orderings"),
+            }
         }
         e
     }
@@ -77,7 +101,13 @@ impl ExplicitOrderings {
         g.is_empty() || self.groups.contains(g)
     }
 
-    /// `inferNewLogicalOrderings`: closes both sets under `fd_set`,
+    /// `contains` for head/tail pairs: exact membership in the closed
+    /// pair set.
+    pub fn contains_head_tail(&self, h: &HeadTail) -> bool {
+        self.pairs.contains(h)
+    }
+
+    /// `inferNewLogicalOrderings`: closes all sets under `fd_set`,
     /// unbounded (no §5.7 heuristics — this is the ground truth for the
     /// paper's *sequential* semantics, where each operator's FD set is
     /// applied exactly once, at the operator).
@@ -91,6 +121,16 @@ impl ExplicitOrderings {
     /// for the stream): Simmen's environment-based `contains` exploits
     /// that, the FSM framework deliberately does not (§5.6 applies each
     /// edge once).
+    ///
+    /// The three kinds close together to a joint fixpoint: orderings
+    /// imply groupings and pairs (decompositions), groupings derive
+    /// pairs (a determined attribute is a trivial within-group tail),
+    /// and pair derivation can degenerate back into plain groupings
+    /// (empty tail). Pairs never derive orderings: head removal
+    /// deliberately keeps heads non-empty (see
+    /// [`apply_fd_head_tail`]) — the one sound derivation all three
+    /// oracle arms refuse in lockstep, because the pair-free pipeline
+    /// could not mirror it.
     pub fn close_under(&mut self, fds: &[crate::fd::Fd]) {
         let eq = EqClasses::new(); // unused by an unfiltered context
         let filter = PrefixFilter::new(std::iter::empty(), &[], &eq, false);
@@ -99,43 +139,104 @@ impl ExplicitOrderings {
             filter: &filter,
             max_len: usize::MAX,
         };
-        let snapshot: Vec<Ordering> = self.set.iter().cloned().collect();
-        for o in snapshot {
-            for d in ctx.closure(&o, fds) {
-                for p in d.proper_prefixes() {
-                    self.set.insert(p);
+        loop {
+            let mut grew = false;
+            // Orderings: bounded-free positional closure.
+            let snapshot: Vec<Ordering> = self.set.iter().cloned().collect();
+            for o in snapshot {
+                for d in ctx.closure(&o, fds) {
+                    for p in d.proper_prefixes() {
+                        grew |= self.set.insert(p);
+                    }
+                    grew |= self.set.insert(d);
                 }
-                self.set.insert(d);
             }
-        }
-        // Groupings: new orderings imply new prefix-set groupings, and
-        // the grouping set closes under the set-derivation rules.
-        self.reseed_groups_from_orderings();
-        let gfilter = GroupingFilter::permissive();
-        let mut work: Vec<Grouping> = self.groups.iter().cloned().collect();
-        let mut buf: Vec<Grouping> = Vec::new();
-        while let Some(cur) = work.pop() {
-            for fd in fds {
-                buf.clear();
-                apply_fd_grouping(&cur, fd, &mut buf);
-                for d in buf.drain(..) {
-                    if !d.is_empty() && gfilter.admits(&d) && self.groups.insert(d.clone()) {
-                        work.push(d);
+            // Implications: sorted ⇒ grouped by prefix sets ⇒ every
+            // decomposition pair.
+            grew |= self.reseed_groups_from_orderings();
+            grew |= self.reseed_pairs_from_orderings();
+            // Groupings close under the set rules, and spawn pairs via
+            // the trivial-tail rule.
+            let mut mixed: Vec<LogicalProperty> = Vec::new();
+            let mut work: Vec<Grouping> = self.groups.iter().cloned().collect();
+            let mut buf: Vec<Grouping> = Vec::new();
+            while let Some(cur) = work.pop() {
+                for fd in fds {
+                    buf.clear();
+                    apply_fd_grouping(&cur, fd, &mut buf);
+                    apply_fd_grouping_tails(&cur, fd, &mut mixed);
+                    for d in buf.drain(..) {
+                        if !d.is_empty() && self.groups.insert(d.clone()) {
+                            grew = true;
+                            work.push(d);
+                        }
                     }
                 }
+            }
+            // Pairs close under the pair rules; derivations may be of
+            // any kind and sub-decomposition implications are expanded
+            // in place.
+            let mut pair_work: Vec<HeadTail> = self.pairs.iter().cloned().collect();
+            loop {
+                for cur in std::mem::take(&mut pair_work) {
+                    for fd in fds {
+                        apply_fd_head_tail(&cur, fd, &mut mixed);
+                    }
+                }
+                for d in std::mem::take(&mut mixed) {
+                    match d {
+                        LogicalProperty::HeadTail(h) => {
+                            if self.pairs.contains(&h) {
+                                continue;
+                            }
+                            grew = true;
+                            mixed.extend(h.implications());
+                            self.pairs.insert(h.clone());
+                            pair_work.push(h);
+                        }
+                        LogicalProperty::Grouping(g) => {
+                            if !g.is_empty() {
+                                grew |= self.groups.insert(g);
+                            }
+                        }
+                        LogicalProperty::Ordering(_) => {
+                            unreachable!("pairs never derive orderings (heads stay non-empty)")
+                        }
+                    }
+                }
+                if pair_work.is_empty() && mixed.is_empty() {
+                    break;
+                }
+            }
+            if !grew {
+                return;
             }
         }
     }
 
     /// Every prefix attribute set of every satisfied ordering is a
-    /// satisfied grouping (sorted ⇒ grouped).
-    fn reseed_groups_from_orderings(&mut self) {
+    /// satisfied grouping (sorted ⇒ grouped). Returns whether the
+    /// grouping set grew.
+    fn reseed_groups_from_orderings(&mut self) -> bool {
         let seeds: Vec<Grouping> = self
             .set
             .iter()
             .flat_map(|o| (1..=o.len()).map(|l| Grouping::new(o.attrs()[..l].to_vec())))
             .collect();
+        let before = self.groups.len();
         self.groups.extend(seeds);
+        self.groups.len() > before
+    }
+
+    /// Every (prefix set, continuation) decomposition of every satisfied
+    /// ordering is a satisfied pair (sorted ⇒ grouped by the prefix set,
+    /// sorted by the continuation within each group). Returns whether
+    /// the pair set grew.
+    fn reseed_pairs_from_orderings(&mut self) -> bool {
+        let seeds: Vec<HeadTail> = self.set.iter().flat_map(HeadTail::decompositions).collect();
+        let before = self.pairs.len();
+        self.pairs.extend(seeds);
+        self.pairs.len() > before
     }
 
     /// Number of orderings currently materialized — the quantity whose
@@ -147,6 +248,11 @@ impl ExplicitOrderings {
     /// Number of groupings currently materialized.
     pub fn num_groupings(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Number of head/tail pairs currently materialized.
+    pub fn num_head_tails(&self) -> usize {
+        self.pairs.len()
     }
 
     /// Always at least `()`.
@@ -162,6 +268,11 @@ impl ExplicitOrderings {
     /// Iterates the materialized groupings.
     pub fn iter_groupings(&self) -> impl Iterator<Item = &Grouping> {
         self.groups.iter()
+    }
+
+    /// Iterates the materialized head/tail pairs.
+    pub fn iter_head_tails(&self) -> impl Iterator<Item = &HeadTail> {
+        self.pairs.iter()
     }
 }
 

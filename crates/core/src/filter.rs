@@ -36,7 +36,7 @@
 use crate::eqclass::EqClasses;
 use crate::fd::Fd;
 use crate::ordering::Ordering;
-use crate::property::Grouping;
+use crate::property::{Grouping, HeadTail};
 use ofw_catalog::AttrId;
 use ofw_common::FxHashSet;
 
@@ -351,6 +351,58 @@ impl GroupingFilter {
     /// Whether the filter is active.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+}
+
+/// Admission filter for derived *head/tail pairs* — a thin wrapper
+/// delegating to [`GroupingFilter`], because the reachability argument
+/// is literally the same one over the pair's attribute *footprint*:
+/// every pair reachable from `(H, T)` (by FD derivation *or* by the
+/// ε-implications absorbing tail prefixes into the head) draws its
+/// attributes from the FD closure of `reps(H ∪ T) ∪ const_reps` —
+/// insertions only ever add closure members, removals only shrink — so
+/// a derived pair is worth keeping iff some interesting pair's full
+/// footprint lies inside that closure. Over-admission is harmless (the
+/// derivation rules decide satisfaction); under-admission would lose
+/// completeness. Tails stay naturally bounded: a tail is duplicate-free
+/// and disjoint from its head, so no pair outgrows the closure.
+#[derive(Debug)]
+pub struct HeadTailFilter(GroupingFilter);
+
+impl HeadTailFilter {
+    /// Builds the filter over the interesting pairs (each contributing
+    /// its footprint `H ∪ T` as a reachability target). `fds` must be
+    /// (a superset of) the dependencies the closure will apply. With
+    /// `enabled` false everything is admitted (the "w/o pruning"
+    /// configuration).
+    pub fn new<'a>(
+        interesting: impl Iterator<Item = &'a HeadTail>,
+        fds: &[Fd],
+        eq: &EqClasses,
+        enabled: bool,
+    ) -> Self {
+        let footprints: Vec<Grouping> = interesting
+            .map(|h| Grouping::new(h.attrs().to_vec()))
+            .collect();
+        HeadTailFilter(GroupingFilter::new(footprints.iter(), fds, eq, enabled))
+    }
+
+    /// A filter admitting everything (no interesting pairs known).
+    pub fn permissive() -> Self {
+        HeadTailFilter(GroupingFilter::permissive())
+    }
+
+    /// Whether some interesting pair is still reachable from `h`.
+    pub fn admits(&self, h: &HeadTail) -> bool {
+        if !self.0.is_enabled() {
+            return true;
+        }
+        self.0.admits(&Grouping::new(h.attrs().to_vec()))
+    }
+
+    /// Whether the filter is active.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_enabled()
     }
 }
 

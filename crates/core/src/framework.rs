@@ -24,7 +24,7 @@ use crate::eqclass::EqClasses;
 use crate::fd::FdSetId;
 use crate::nfsm::{BuildError, Nfsm};
 use crate::ordering::Ordering;
-use crate::property::{Grouping, LogicalProperty};
+use crate::property::{Grouping, HeadTail, LogicalProperty};
 use crate::prune::{prune_fds, prune_nfsm, PruneConfig};
 use crate::spec::InputSpec;
 use ofw_common::FxHashMap;
@@ -167,6 +167,14 @@ impl OrderingFramework {
             .copied()
     }
 
+    /// Handle of an interesting head/tail pair. `None` if the pair was
+    /// never declared interesting.
+    pub fn handle_head_tail(&self, h: &HeadTail) -> Option<OrderHandle> {
+        self.handles
+            .get(&LogicalProperty::HeadTail(h.clone()))
+            .copied()
+    }
+
     /// Handle of an interesting property of either kind.
     pub fn handle_property(&self, p: &LogicalProperty) -> Option<OrderHandle> {
         self.handles.get(p).copied()
@@ -227,6 +235,16 @@ impl OrderingFramework {
         self.satisfies(s, h)
     }
 
+    /// `contains` for head/tail pairs: is a stream in state `s` grouped
+    /// by the pair's head *and* sorted by its tail within each group?
+    /// Same single bit probe on the same 4-byte state — pair properties
+    /// are contains-matrix columns like everything else, which is what
+    /// keeps the partial-sort admission test O(1) in the plan generator.
+    #[inline]
+    pub fn satisfies_head_tail(&self, s: State, h: OrderHandle) -> bool {
+        self.satisfies(s, h)
+    }
+
     /// Plan-domination: `a`'s underlying NFSM node set is a superset of
     /// `b`'s, so `a` satisfies at least every interesting order `b` does
     /// — now and after any further FD application (transitions are
@@ -251,6 +269,13 @@ impl OrderingFramework {
         self.handles
             .iter()
             .filter_map(|(p, &h)| p.as_grouping().map(|g| (g, h)))
+    }
+
+    /// All interesting *head/tail pairs* with their handles.
+    pub fn head_tails(&self) -> impl Iterator<Item = (&HeadTail, OrderHandle)> {
+        self.handles
+            .iter()
+            .filter_map(|(p, &h)| p.as_head_tail().map(|ht| (ht, h)))
     }
 
     /// All interesting properties (orderings and groupings) with their
@@ -410,6 +435,47 @@ mod tests {
         // Groupings are enumerable separately from orderings.
         assert_eq!(fw.groupings().count(), 2);
         assert!(fw.orders().count() >= 2);
+    }
+
+    #[test]
+    fn head_tail_walkthrough() {
+        // The partial-sort scenario: hash output grouped by {a}, an FD
+        // a→b from a later operator, and the interesting pair {a}(b)
+        // the partial-sort admission asks about.
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A, B]));
+        spec.add_produced(Grouping::new(vec![A]));
+        spec.add_tested(HeadTail::new(
+            Grouping::new(vec![A]),
+            Ordering::new(vec![B]),
+        ));
+        let f_ab = spec.add_fd_set(vec![Fd::functional(&[A], B)]);
+        let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+
+        let pair = HeadTail::new(Grouping::new(vec![A]), Ordering::new(vec![B]));
+        let h_pair = fw.handle_head_tail(&pair).expect("interesting pair");
+        assert!(!fw.is_producible(h_pair), "pairs are tested-only here");
+
+        // A stream sorted by (a,b) satisfies the pair (decomposition).
+        let s_sorted = fw.produce(fw.handle(&o(&[A, B])).unwrap());
+        assert!(fw.satisfies_head_tail(s_sorted, h_pair));
+        // A stream merely grouped by {a} does not…
+        let hg_a = fw.handle_grouping(&Grouping::new(vec![A])).unwrap();
+        let s_grouped = fw.produce_grouping(hg_a);
+        assert!(!fw.satisfies_head_tail(s_grouped, h_pair));
+        // …until a→b holds: b is constant inside every a-group, so the
+        // grouped stream is trivially sorted by (b) within groups.
+        let s2 = fw.infer(s_grouped, f_ab);
+        assert!(fw.satisfies_head_tail(s2, h_pair));
+        assert!(
+            !fw.satisfies(s2, fw.handle(&o(&[A, B])).unwrap()),
+            "the pair is weaker than the full ordering"
+        );
+        // Sorted dominates pair-satisfying-grouped, not vice versa.
+        assert!(fw.dominates(fw.infer(s_sorted, f_ab), s2));
+        assert!(!fw.dominates(s2, s_sorted));
+        // Pairs are enumerable next to the other kinds.
+        assert_eq!(fw.head_tails().count(), 1);
     }
 
     #[test]

@@ -32,6 +32,23 @@
 //! The public entry point is [`OrderingFramework::prepare`], which runs the
 //! whole pipeline and exposes the O(1) ADT of §5.6.
 //!
+//! ## This crate as an oracle arm
+//!
+//! `OrderingFramework` is one of three interchangeable implementations
+//! of the plan generator's `OrderOracle` interface (the others live in
+//! `ofw-simmen` and `ofw-plangen`). Its arm invariants:
+//!
+//! * **immutable after preparation** — probes contend on nothing, so
+//!   the parallel DP driver runs it without locks;
+//! * **sequential FD semantics** — `infer` applies an operator's FD set
+//!   exactly once, at the operator (§5.6); enforcers must *replay* the
+//!   FD sets holding below them onto freshly produced states;
+//! * **exact agreement with the ground truth** — every
+//!   `satisfies`/`satisfies_grouping`/`satisfies_head_tail` answer
+//!   matches [`ExplicitOrderings`] after the same operator sequence
+//!   (property-tested); derivations all three arms deliberately refuse
+//!   (see `derive`) are refused here too.
+//!
 //! ## Example (the paper's running example, §5)
 //!
 //! ```
@@ -85,6 +102,41 @@
 //! // …and FDs extend groupings by set insertion, still in O(1).
 //! assert!(fw.satisfies_grouping(fw.infer(s, f_bc), g_abc));
 //! ```
+//!
+//! ## Head/tail pairs (the property lattice's middle rung)
+//!
+//! The third property kind — `{head}(tail)`, grouped by the head set and
+//! sorted by the tail *within* each group — sits between orderings and
+//! groupings: `Ordering (a,b) ⊑ HeadTail {a}(b) ⊑ Grouping {a}` (see
+//! `ARCHITECTURE.md`). It is what makes grouped-but-unsorted streams
+//! (hash-aggregate output) resumable toward a full ordering with a
+//! *partial* sort, and its probe is the same one-bit `contains` lookup:
+//!
+//! ```
+//! use ofw_core::{Fd, Grouping, HeadTail, InputSpec, Ordering, OrderingFramework, PruneConfig};
+//! use ofw_catalog::AttrId;
+//!
+//! let [a, b] = [AttrId(0), AttrId(1)];
+//! let mut spec = InputSpec::new();
+//! spec.add_produced(Ordering::new(vec![a, b]));
+//! spec.add_produced(Grouping::new(vec![a]));        // hash-agg output
+//! let pair = HeadTail::new(Grouping::new(vec![a]), Ordering::new(vec![b]));
+//! spec.add_tested(pair.clone());                    // partial sort probes it
+//! let f_ab = spec.add_fd_set(vec![Fd::functional(&[a], b)]);
+//!
+//! let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+//! let h = fw.handle_head_tail(&pair).unwrap();
+//!
+//! // A sorted stream satisfies every decomposition of its prefixes…
+//! let sorted = fw.produce(fw.handle(&Ordering::new(vec![a, b])).unwrap());
+//! assert!(fw.satisfies_head_tail(sorted, h));
+//! // …a merely grouped stream does not…
+//! let grouped = fw.produce_grouping(fw.handle_grouping(&Grouping::new(vec![a])).unwrap());
+//! assert!(!fw.satisfies_head_tail(grouped, h));
+//! // …until a→b holds: b is constant inside every a-group, so the
+//! // stream is trivially sorted by (b) within groups — one lookup.
+//! assert!(fw.satisfies_head_tail(fw.infer(grouped, f_ab), h));
+//! ```
 
 pub mod derive;
 pub mod dfsm;
@@ -106,6 +158,6 @@ pub use fd::{Fd, FdSet, FdSetId};
 pub use framework::{OrderHandle, OrderingFramework, PrepStats, PrepareError, State};
 pub use nfsm::Nfsm;
 pub use ordering::Ordering;
-pub use property::{Grouping, LogicalProperty};
+pub use property::{Grouping, HeadTail, LogicalProperty};
 pub use prune::PruneConfig;
 pub use spec::InputSpec;

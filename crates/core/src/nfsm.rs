@@ -38,12 +38,12 @@
 //! is kept virtual; the DFSM construction materializes its row (`*` in
 //! Fig. 10).
 
-use crate::derive::{grouping_closure, DeriveCtx};
+use crate::derive::{grouping_closure, mixed_closure, DeriveCtx};
 use crate::eqclass::EqClasses;
 use crate::fd::FdSet;
-use crate::filter::{GroupingFilter, PrefixFilter};
+use crate::filter::{GroupingFilter, HeadTailFilter, PrefixFilter};
 use crate::ordering::Ordering;
-use crate::property::{Grouping, LogicalProperty};
+use crate::property::{Grouping, HeadTail, LogicalProperty};
 use crate::prune::PruneConfig;
 use crate::spec::InputSpec;
 use ofw_common::Interner;
@@ -125,10 +125,27 @@ impl Nfsm {
         );
         // Groupings only enter the automaton when the query declares
         // interesting groupings — otherwise the build is identical to
-        // the pure ordering pipeline.
-        let grouping_mode = spec.has_groupings();
+        // the pure ordering pipeline. Head/tail pairs are gated the same
+        // way one level up: without interesting pairs the build is
+        // identical to the ordering + grouping pipeline.
+        let headtail_mode = spec.has_head_tails();
+        let grouping_mode = spec.has_groupings() || headtail_mode;
+        // Interesting pairs make their implied groupings (head plus any
+        // absorbed tail prefix) reachability targets for the grouping
+        // admission too — a grouping that can complete into an
+        // interesting pair's head must stay alive.
+        let pair_groupings: Vec<Grouping> = spec
+            .interesting_head_tails()
+            .flat_map(HeadTail::absorbed_heads)
+            .collect();
         let gfilter = GroupingFilter::new(
-            spec.interesting_groupings(),
+            spec.interesting_groupings().chain(pair_groupings.iter()),
+            &all_fds,
+            eq,
+            config.prefix_filter,
+        );
+        let hfilter = HeadTailFilter::new(
+            spec.interesting_head_tails(),
             &all_fds,
             eq,
             config.prefix_filter,
@@ -198,6 +215,19 @@ impl Nfsm {
                             }
                         }
                     }
+                    if headtail_mode && node != 0 {
+                        // Seed the pair nodes this ordering implies —
+                        // every (prefix set, continuation) decomposition
+                        // — so pair derivation has its crossover sources
+                        // (a pair can reach properties the positional
+                        // ordering rules cannot, e.g. inserting a
+                        // head-determined attribute at the tail front).
+                        for pair in HeadTail::decompositions(ordering) {
+                            if hfilter.admits(&pair) {
+                                nfsm.add_node(pair.into(), config)?;
+                            }
+                        }
+                    }
                     for (sym, fd_set) in fd_sets.iter().enumerate() {
                         if fd_set.is_empty() {
                             continue;
@@ -216,15 +246,33 @@ impl Nfsm {
                         nfsm.edges[node as usize][sym] = targets;
                     }
                 }
-                LogicalProperty::Grouping(grouping) => {
+                LogicalProperty::Grouping(_) | LogicalProperty::HeadTail(_) => {
                     for (sym, fd_set) in fd_sets.iter().enumerate() {
                         if fd_set.is_empty() {
                             continue;
                         }
-                        let derived = grouping_closure(grouping, fd_set.fds(), &gfilter);
+                        // Pure grouping pipeline: the set rules alone.
+                        // With pairs in play, groupings additionally
+                        // derive pairs (within-group constants become
+                        // one-attribute tails) and pairs derive across
+                        // both components — the mixed closure.
+                        let derived: Vec<LogicalProperty> = if headtail_mode {
+                            mixed_closure(&prop, fd_set.fds(), &ctx, &gfilter, &hfilter)
+                        } else {
+                            let g = prop.as_grouping().expect("pair without headtail_mode");
+                            grouping_closure(g, fd_set.fds(), &gfilter)
+                                .into_iter()
+                                .map(LogicalProperty::Grouping)
+                                .collect()
+                        };
                         let mut targets: Vec<NodeId> = Vec::with_capacity(derived.len());
                         for d in derived {
-                            targets.push(nfsm.add_node(d.into(), config)?);
+                            if let LogicalProperty::Ordering(o) = &d {
+                                for p in o.proper_prefixes() {
+                                    nfsm.add_node(p.into(), config)?;
+                                }
+                            }
+                            targets.push(nfsm.add_node(d, config)?);
                         }
                         targets.sort_unstable();
                         targets.dedup();
@@ -233,28 +281,49 @@ impl Nfsm {
                 }
             }
         }
-        // ε-edges: node 0, every existing proper prefix, and (for
-        // orderings) every existing prefix-set grouping node.
+        // ε-edges: node 0, every existing proper prefix, (for orderings)
+        // every existing prefix-set grouping node and — with pairs in
+        // play — every existing decomposition node: an ordering implies
+        // each (prefix set, continuation) pair, and a pair implies each
+        // of its sub-decompositions (tail prefix truncated and/or
+        // absorbed into the head).
         for node in 0..nfsm.props.len() as u32 {
             let prop = nfsm.props.resolve(node).clone();
             let mut eps: Vec<NodeId> = Vec::new();
             if node != 0 {
                 eps.push(0);
             }
-            if let LogicalProperty::Ordering(ordering) = &prop {
-                for p in ordering.proper_prefixes() {
-                    if let Some(pid) = nfsm.props.get(&p.into()) {
-                        eps.push(pid);
+            match &prop {
+                LogicalProperty::Ordering(ordering) => {
+                    for p in ordering.proper_prefixes() {
+                        if let Some(pid) = nfsm.props.get(&p.into()) {
+                            eps.push(pid);
+                        }
                     }
-                }
-                if grouping_mode {
-                    for len in 1..=ordering.len() {
-                        let g = Grouping::new(ordering.attrs()[..len].to_vec());
-                        if let Some(gid) = nfsm.props.get(&g.into()) {
-                            eps.push(gid);
+                    if grouping_mode {
+                        for len in 1..=ordering.len() {
+                            let g = Grouping::new(ordering.attrs()[..len].to_vec());
+                            if let Some(gid) = nfsm.props.get(&g.into()) {
+                                eps.push(gid);
+                            }
+                        }
+                    }
+                    if headtail_mode {
+                        for pair in HeadTail::decompositions(ordering) {
+                            if let Some(pid) = nfsm.props.get(&pair.into()) {
+                                eps.push(pid);
+                            }
                         }
                     }
                 }
+                LogicalProperty::HeadTail(ht) => {
+                    for implied in ht.implications() {
+                        if let Some(pid) = nfsm.props.get(&implied) {
+                            eps.push(pid);
+                        }
+                    }
+                }
+                LogicalProperty::Grouping(_) => {}
             }
             eps.sort_unstable();
             eps.dedup();
@@ -300,6 +369,11 @@ impl Nfsm {
     /// Node lookup by grouping.
     pub fn node_of_grouping(&self, g: &Grouping) -> Option<NodeId> {
         self.props.get(&g.clone().into())
+    }
+
+    /// Node lookup by head/tail pair.
+    pub fn node_of_head_tail(&self, h: &HeadTail) -> Option<NodeId> {
+        self.props.get(&h.clone().into())
     }
 
     /// Node lookup by property.
@@ -472,6 +546,93 @@ mod tests {
         let ga = nfsm.node_of_grouping(&g(&[A])).expect("seeded grouping");
         let gab = nfsm.node_of_grouping(&g(&[A, B])).unwrap();
         assert!(nfsm.edges[ga as usize][0].contains(&gab));
+    }
+
+    fn ht(head: &[AttrId], tail: &[AttrId]) -> HeadTail {
+        HeadTail::new(Grouping::new(head.to_vec()), Ordering::new(tail.to_vec()))
+    }
+
+    #[test]
+    fn no_pair_nodes_without_interesting_pairs() {
+        // Ordering + grouping specs must build automata with no pair
+        // node anywhere — the byte-identical guarantee for the two
+        // established pipelines.
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A, B]));
+        spec.add_produced(g(&[A, B]));
+        spec.add_tested(g(&[A, B, C]));
+        spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        let fd_sets = spec.fd_sets().to_vec();
+        let eq = EqClasses::new();
+        for config in [PruneConfig::default(), PruneConfig::none()] {
+            let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &config).unwrap();
+            for node in 0..nfsm.num_nodes() as u32 {
+                assert!(
+                    nfsm.props.resolve(node).as_head_tail().is_none(),
+                    "pair node materialized without interesting pairs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interesting_pair_reached_from_ordering_and_grouping() {
+        // Interesting pair {a}(b): a stream sorted by (a,b) implies it
+        // (ε through the decomposition), and a stream grouped by {a}
+        // derives it under a→b (the grouping-tails crossover).
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A, B]));
+        spec.add_produced(g(&[A]));
+        spec.add_tested(ht(&[A], &[B]));
+        spec.add_fd_set(vec![Fd::functional(&[A], B)]);
+        let fd_sets = spec.fd_sets().to_vec();
+        let eq = EqClasses::new();
+        let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &PruneConfig::default()).unwrap();
+        let pair = nfsm.node_of_head_tail(&ht(&[A], &[B])).unwrap();
+        assert!(nfsm.info[pair as usize].interesting);
+        // ε: (a,b) implies its decomposition {a}(b).
+        let ab = nfsm.node_of(&o(&[A, B])).unwrap();
+        assert!(nfsm.eps[ab as usize].contains(&pair));
+        // FD edge: {a} --{a→b}--> {a}(b).
+        let ga = nfsm.node_of_grouping(&g(&[A])).unwrap();
+        assert!(nfsm.edges[ga as usize][0].contains(&pair));
+        // The pair's own ε covers node 0 and its head grouping (plus
+        // any materialized absorbed-prefix grouping) — never an
+        // ordering node.
+        assert!(nfsm.eps[pair as usize].contains(&0));
+        assert!(nfsm.eps[pair as usize].contains(&ga));
+        for &t in &nfsm.eps[pair as usize] {
+            assert!(
+                nfsm.props.resolve(t).as_ordering().is_none() || t == 0,
+                "a pair must not imply an ordering"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_eps_cover_sub_decompositions() {
+        // {a}(b,c) implies {a}(b), {a,b}(c), {a,b} and {a,b,c}.
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[A, B, C]));
+        spec.add_tested(ht(&[A], &[B, C]));
+        spec.add_tested(ht(&[A], &[B]));
+        spec.add_tested(ht(&[A, B], &[C]));
+        spec.add_tested(g(&[A, B, C]));
+        spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        let fd_sets = spec.fd_sets().to_vec();
+        let eq = EqClasses::new();
+        let nfsm = Nfsm::build(&spec, &fd_sets, &eq, &PruneConfig::default()).unwrap();
+        let pair = nfsm.node_of_head_tail(&ht(&[A], &[B, C])).unwrap();
+        for implied in [
+            nfsm.node_of_head_tail(&ht(&[A], &[B])).unwrap(),
+            nfsm.node_of_head_tail(&ht(&[A, B], &[C])).unwrap(),
+            nfsm.node_of_grouping(&g(&[A, B, C])).unwrap(),
+        ] {
+            assert!(
+                nfsm.eps[pair as usize].contains(&implied),
+                "missing ε to node {implied}"
+            );
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Logical properties: orderings *and* groupings.
+//! Logical properties: orderings, groupings, *and head/tail pairs*.
 //!
 //! The ICDE'04 framework tracks logical *orderings*; its companion
 //! (Neumann & Moerkotte, "A Combined Framework for Grouping and Order
@@ -10,13 +10,31 @@
 //!
 //! * an **ordering** `(a, b, c)` — tuples sorted lexicographically;
 //! * a **grouping** `{a, b}` — tuples with equal values on `{a, b}`
-//!   appear consecutively, with no order among or inside the groups.
+//!   appear consecutively, with no order among or inside the groups;
+//! * a **head/tail pair** `{a}(b, c)` — tuples grouped by the *head*
+//!   set `{a}`, and *within* each head group sorted lexicographically
+//!   by the *tail* sequence `(b, c)`. The group blocks themselves are
+//!   in no particular order.
 //!
-//! The two interact asymmetrically: a stream ordered by `(a, b)` is also
-//! grouped by `{a}` and `{a, b}` (every prefix's attribute *set* is a
-//! grouping), but a grouping implies no ordering, and — unlike ordering
-//! prefixes — a grouping `{a, b}` does **not** imply the sub-grouping
-//! `{a}` (rows with equal `a` may be separated by different `b` groups).
+//! The three form a lattice of ordering strength:
+//! `Ordering (a,b) ⊑ HeadTail {a}(b) ⊑ Grouping {a}` — a fully sorted
+//! stream satisfies every head/tail decomposition of its prefix sets,
+//! and every head/tail pair satisfies its head grouping; the converses
+//! do not hold. The pair is what a *partial sort* produces (sorting
+//! inside already-adjacent groups without ordering the groups) and what
+//! makes grouped-but-unsorted streams — hash-aggregate output —
+//! resumable toward a full ordering at `O(n · log(n/groups))` instead
+//! of a full `O(n · log n)` sort.
+//!
+//! Orderings and groupings interact asymmetrically: a stream ordered by
+//! `(a, b)` is also grouped by `{a}` and `{a, b}` (every prefix's
+//! attribute *set* is a grouping), but a grouping implies no ordering,
+//! and — unlike ordering prefixes — a grouping `{a, b}` does **not**
+//! imply the sub-grouping `{a}` (rows with equal `a` may be separated
+//! by different `b` groups). Head/tail pairs inherit both behaviours:
+//! `{a}(b, c)` implies `{a}(b)` (tail prefixes), `{a, b}(c)` (absorbing
+//! a tail prefix into the head) and `{a, b, c}` (absorbing everything),
+//! but never any ordering and never a *smaller* head.
 
 use crate::ordering::Ordering;
 use ofw_catalog::AttrId;
@@ -125,6 +143,172 @@ impl From<Vec<AttrId>> for Grouping {
     }
 }
 
+/// A head/tail pair: grouped by the `head` attribute set, and sorted by
+/// the `tail` attribute sequence *within* each head group.
+///
+/// Canonical invariants (enforced by [`HeadTail::new`]):
+///
+/// * the head is a non-empty canonical set (sorted, deduplicated);
+/// * the tail is non-empty and contains no head attribute — inside one
+///   head group every head attribute is constant, so a head member in
+///   the tail could never decide a within-group comparison.
+///
+/// Degenerate pairs are represented by the plain variants instead: an
+/// empty tail is just the head [`Grouping`], an empty head is just the
+/// tail [`Ordering`] (one all-encompassing group). Use
+/// [`LogicalProperty::head_tail`] when a construction may degenerate.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HeadTail {
+    /// Head set (sorted) followed by the tail sequence.
+    attrs: Box<[AttrId]>,
+    /// Length of the head prefix inside `attrs`.
+    head_len: u32,
+}
+
+impl HeadTail {
+    /// Creates a pair from a head set and a tail sequence, canonicalizing
+    /// the tail (head members dropped). Panics (debug) if either side is
+    /// empty after canonicalization — use [`LogicalProperty::head_tail`]
+    /// for possibly-degenerate constructions.
+    pub fn new(head: Grouping, tail: Ordering) -> Self {
+        let tail: Vec<AttrId> = tail
+            .attrs()
+            .iter()
+            .copied()
+            .filter(|&a| !head.contains_attr(a))
+            .collect();
+        debug_assert!(!head.is_empty(), "degenerate pair: empty head");
+        debug_assert!(!tail.is_empty(), "degenerate pair: empty tail");
+        let head_len = head.len() as u32;
+        let mut attrs = head.attrs().to_vec();
+        attrs.extend(tail);
+        HeadTail {
+            attrs: attrs.into_boxed_slice(),
+            head_len,
+        }
+    }
+
+    /// The head attribute set, ascending.
+    #[inline]
+    pub fn head_attrs(&self) -> &[AttrId] {
+        &self.attrs[..self.head_len as usize]
+    }
+
+    /// The tail attribute sequence (positional).
+    #[inline]
+    pub fn tail_attrs(&self) -> &[AttrId] {
+        &self.attrs[self.head_len as usize..]
+    }
+
+    /// The head as a [`Grouping`].
+    pub fn head(&self) -> Grouping {
+        Grouping::new(self.head_attrs().to_vec())
+    }
+
+    /// The tail as an [`Ordering`].
+    pub fn tail(&self) -> Ordering {
+        Ordering::new(self.tail_attrs().to_vec())
+    }
+
+    /// Head and tail attributes, head first (the combined attribute
+    /// footprint of the property).
+    #[inline]
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Whether `attr` occurs in the head or the tail.
+    pub fn contains_attr(&self, attr: AttrId) -> bool {
+        self.attrs.contains(&attr)
+    }
+
+    /// Heap bytes held by this pair (memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.attrs.len() * std::mem::size_of::<AttrId>()
+    }
+
+    /// All (prefix set, continuation) decompositions of an ordering:
+    /// `(o₁ … oₙ)` satisfies `{o₁…oₖ}(oₖ₊₁ … oⱼ)` for every
+    /// `1 ≤ k < j ≤ n` — a sorted stream is grouped by each prefix's
+    /// attribute set and sorted by the continuation within those
+    /// groups. The single source of truth for this enumeration: the
+    /// NFSM's pair seeding and ε-implications, the explicit oracle's
+    /// reseeding, extraction's interesting-pair registration and the
+    /// partial-sort probe lists all iterate it, so they can never
+    /// drift apart.
+    pub fn decompositions(o: &Ordering) -> Vec<HeadTail> {
+        let mut out = Vec::new();
+        for split in 1..o.len() {
+            let head = Grouping::new(o.attrs()[..split].to_vec());
+            for end in split + 1..=o.len() {
+                out.push(HeadTail::new(
+                    head.clone(),
+                    Ordering::new(o.attrs()[split..end].to_vec()),
+                ));
+            }
+        }
+        out
+    }
+
+    /// The groupings this pair implies by absorbing within-group-sorted
+    /// tail prefixes into the head: `{H}`, `{H ∪ {t₁}}`, …,
+    /// `{H ∪ set(T)}`, shortest first.
+    pub fn absorbed_heads(&self) -> Vec<Grouping> {
+        let mut out = Vec::with_capacity(self.tail_attrs().len() + 1);
+        let mut g = self.head();
+        out.push(g.clone());
+        for &a in self.tail_attrs() {
+            g = g.with(a);
+            out.push(g.clone());
+        }
+        out
+    }
+
+    /// Every weaker property this pair implies, itself excluded:
+    /// absorbing a tail prefix into the head and/or truncating the tail
+    /// — `{a}(b,c)` implies `{a}(b)`, `{a,b}(c)`, `{a,b}` and
+    /// `{a,b,c}` (degenerate tails yield plain groupings; pairs never
+    /// imply orderings). Sorted and deduplicated.
+    pub fn implications(&self) -> Vec<LogicalProperty> {
+        let tail = self.tail();
+        let mut out = Vec::new();
+        for (absorb, head) in self.absorbed_heads().into_iter().enumerate() {
+            for cut in absorb..=tail.len() {
+                if absorb == 0 && cut == tail.len() {
+                    continue; // the pair itself
+                }
+                out.push(LogicalProperty::head_tail(
+                    head.clone(),
+                    Ordering::new(tail.attrs()[absorb..cut].to_vec()),
+                ));
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl std::fmt::Debug for HeadTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.head_attrs().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        write!(f, "}}(")?;
+        for (i, a) in self.tail_attrs().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
 /// The generic logical property the NFSM/DFSM states carry.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LogicalProperty {
@@ -132,15 +316,37 @@ pub enum LogicalProperty {
     Ordering(Ordering),
     /// A logical grouping (unordered attribute set).
     Grouping(Grouping),
+    /// A head/tail pair (grouped head, within-group tail ordering).
+    HeadTail(HeadTail),
 }
 
 impl LogicalProperty {
+    /// Canonicalizing pair constructor: degenerate pairs collapse to the
+    /// plain variants — an empty (post-canonicalization) tail yields the
+    /// head [`Grouping`], an empty head yields the tail [`Ordering`].
+    pub fn head_tail(head: Grouping, tail: Ordering) -> LogicalProperty {
+        let tail_attrs: Vec<AttrId> = tail
+            .attrs()
+            .iter()
+            .copied()
+            .filter(|&a| !head.contains_attr(a))
+            .collect();
+        if head.is_empty() {
+            return LogicalProperty::Ordering(Ordering::new(tail_attrs));
+        }
+        if tail_attrs.is_empty() {
+            return LogicalProperty::Grouping(head);
+        }
+        LogicalProperty::HeadTail(HeadTail::new(head, Ordering::new(tail_attrs)))
+    }
+
     /// The attribute list (positional for orderings, sorted for
-    /// groupings).
+    /// groupings, head-then-tail for pairs).
     pub fn attrs(&self) -> &[AttrId] {
         match self {
             LogicalProperty::Ordering(o) => o.attrs(),
             LogicalProperty::Grouping(g) => g.attrs(),
+            LogicalProperty::HeadTail(h) => h.attrs(),
         }
     }
 
@@ -158,15 +364,23 @@ impl LogicalProperty {
     pub fn as_ordering(&self) -> Option<&Ordering> {
         match self {
             LogicalProperty::Ordering(o) => Some(o),
-            LogicalProperty::Grouping(_) => None,
+            _ => None,
         }
     }
 
     /// The grouping, if this is one.
     pub fn as_grouping(&self) -> Option<&Grouping> {
         match self {
-            LogicalProperty::Ordering(_) => None,
             LogicalProperty::Grouping(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The head/tail pair, if this is one.
+    pub fn as_head_tail(&self) -> Option<&HeadTail> {
+        match self {
+            LogicalProperty::HeadTail(h) => Some(h),
+            _ => None,
         }
     }
 
@@ -175,11 +389,17 @@ impl LogicalProperty {
         matches!(self, LogicalProperty::Grouping(_))
     }
 
+    /// True for the head/tail variant.
+    pub fn is_head_tail(&self) -> bool {
+        matches!(self, LogicalProperty::HeadTail(_))
+    }
+
     /// Heap bytes (memory accounting).
     pub fn heap_bytes(&self) -> usize {
         match self {
             LogicalProperty::Ordering(o) => o.heap_bytes(),
             LogicalProperty::Grouping(g) => g.heap_bytes(),
+            LogicalProperty::HeadTail(h) => h.heap_bytes(),
         }
     }
 }
@@ -189,6 +409,7 @@ impl std::fmt::Debug for LogicalProperty {
         match self {
             LogicalProperty::Ordering(o) => write!(f, "{o:?}"),
             LogicalProperty::Grouping(g) => write!(f, "{g:?}"),
+            LogicalProperty::HeadTail(h) => write!(f, "{h:?}"),
         }
     }
 }
@@ -202,6 +423,12 @@ impl From<Ordering> for LogicalProperty {
 impl From<Grouping> for LogicalProperty {
     fn from(g: Grouping) -> Self {
         LogicalProperty::Grouping(g)
+    }
+}
+
+impl From<HeadTail> for LogicalProperty {
+    fn from(h: HeadTail) -> Self {
+        LogicalProperty::HeadTail(h)
     }
 }
 
@@ -247,5 +474,47 @@ mod tests {
         let g: LogicalProperty = Grouping::new(vec![B, A]).into();
         assert_eq!(format!("{g:?}"), "{a0,a1}");
         assert_eq!(format!("{:?}", Grouping::empty()), "{}");
+    }
+
+    const D: AttrId = AttrId(3);
+
+    #[test]
+    fn head_tail_is_canonical() {
+        let h = HeadTail::new(Grouping::new(vec![B, A]), Ordering::new(vec![C, D]));
+        assert_eq!(h.head_attrs(), &[A, B], "head is a canonical set");
+        assert_eq!(h.tail_attrs(), &[C, D], "tail keeps position");
+        assert_eq!(h.attrs(), &[A, B, C, D]);
+        assert!(h.contains_attr(A) && h.contains_attr(D));
+        assert_eq!(h.head(), Grouping::new(vec![A, B]));
+        assert_eq!(h.tail(), Ordering::new(vec![C, D]));
+        // Head members are stripped from the tail (constant inside a
+        // head group — they never decide a within-group comparison).
+        let h2 = HeadTail::new(Grouping::new(vec![A, B]), Ordering::new(vec![A, C, D]));
+        assert_eq!(h2, h);
+    }
+
+    #[test]
+    fn head_tail_smart_constructor_degenerates() {
+        // Empty tail (after canonicalization) → the head grouping.
+        let p = LogicalProperty::head_tail(Grouping::new(vec![A, B]), Ordering::new(vec![A]));
+        assert_eq!(p, Grouping::new(vec![A, B]).into());
+        // Empty head → the tail ordering.
+        let p = LogicalProperty::head_tail(Grouping::empty(), Ordering::new(vec![C, A]));
+        assert_eq!(p, Ordering::new(vec![C, A]).into());
+        // Proper pair.
+        let p = LogicalProperty::head_tail(Grouping::new(vec![A]), Ordering::new(vec![B]));
+        assert!(p.is_head_tail());
+        assert!(p.as_head_tail().is_some() && p.as_ordering().is_none());
+        assert_eq!(format!("{p:?}"), "{a0}(a1)");
+    }
+
+    #[test]
+    fn head_tail_never_equals_plain_kinds() {
+        let pair: LogicalProperty =
+            HeadTail::new(Grouping::new(vec![A]), Ordering::new(vec![B])).into();
+        assert_ne!(pair, Ordering::new(vec![A, B]).into());
+        assert_ne!(pair, Grouping::new(vec![A, B]).into());
+        assert_eq!(pair.attrs(), &[A, B]);
+        assert!(pair.heap_bytes() > 0);
     }
 }

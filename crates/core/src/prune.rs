@@ -131,7 +131,18 @@ pub fn prune_fds(spec: &InputSpec, eq: &EqClasses, config: &PruneConfig) -> (Vec
     }
     interesting.sort();
     interesting.dedup();
-    let interesting_groupings: Vec<Grouping> = spec.interesting_groupings().cloned().collect();
+    // Interesting pairs participate through their implied groupings
+    // (head plus any absorbed tail prefix): a dependency fires on a pair
+    // `(H, T)` exactly when it fires on one of these sets (both
+    // components draw determinants from `H ∪ T`), so redundancy w.r.t.
+    // the grouping universe is redundancy w.r.t. pairs too.
+    let mut interesting_groupings: Vec<Grouping> = spec.interesting_groupings().cloned().collect();
+    interesting_groupings.extend(
+        spec.interesting_head_tails()
+            .flat_map(crate::property::HeadTail::absorbed_heads),
+    );
+    interesting_groupings.sort();
+    interesting_groupings.dedup();
 
     // Phase 1: quick relevance test. A dependency whose producible
     // attributes (representatives) occur neither in any interesting

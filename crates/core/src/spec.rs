@@ -15,7 +15,7 @@
 
 use crate::fd::{Fd, FdSet, FdSetId};
 use crate::ordering::Ordering;
-use crate::property::{Grouping, LogicalProperty};
+use crate::property::{Grouping, HeadTail, LogicalProperty};
 use ofw_common::{FxHashMap, FxHashSet};
 
 /// Interesting orderings/groupings + FD sets extracted from one query.
@@ -101,10 +101,22 @@ impl InputSpec {
         self.interesting().filter_map(LogicalProperty::as_grouping)
     }
 
+    /// The interesting *head/tail pairs* only.
+    pub fn interesting_head_tails(&self) -> impl Iterator<Item = &HeadTail> {
+        self.interesting().filter_map(LogicalProperty::as_head_tail)
+    }
+
     /// Whether any interesting grouping was registered — when false the
     /// pipeline behaves exactly like the pure ordering framework.
     pub fn has_groupings(&self) -> bool {
         self.interesting().any(LogicalProperty::is_grouping)
+    }
+
+    /// Whether any interesting head/tail pair was registered — when
+    /// false no pair node is ever materialized and the pipeline behaves
+    /// exactly like the ordering + grouping framework.
+    pub fn has_head_tails(&self) -> bool {
+        self.interesting().any(LogicalProperty::is_head_tail)
     }
 
     /// The registered FD sets, indexable by [`FdSetId`].

@@ -199,6 +199,7 @@ proptest! {
                 let truth = match p {
                     LogicalProperty::Ordering(o) => ExplicitOrderings::from_physical(o),
                     LogicalProperty::Grouping(g) => ExplicitOrderings::from_grouping(g),
+                    LogicalProperty::HeadTail(h) => ExplicitOrderings::from_head_tail(h),
                 };
                 (p.clone(), fw.produce(h), truth)
             })
@@ -218,10 +219,12 @@ proptest! {
                 let got = match prop {
                     LogicalProperty::Ordering(_) => fw.satisfies(state, handle),
                     LogicalProperty::Grouping(_) => fw.satisfies_grouping(state, handle),
+                    LogicalProperty::HeadTail(_) => fw.satisfies_head_tail(state, handle),
                 };
                 let want = match prop {
                     LogicalProperty::Ordering(o) => truth.contains(o),
                     LogicalProperty::Grouping(g) => truth.contains_grouping(g),
+                    LogicalProperty::HeadTail(h) => truth.contains_head_tail(h),
                 };
                 prop_assert_eq!(
                     got, want,

@@ -29,6 +29,35 @@ pub fn sort(card: f64) -> f64 {
     n * n.log2()
 }
 
+/// Cost of partially sorting `card` tuples whose sort-key groups are
+/// already adjacent (`groups` distinct key blocks, from the catalog's
+/// distinct-value estimates). Only the residue *inside* each block
+/// (≈ `card/groups` tuples) is compared: `n · log₂(n/groups)`, with a
+/// linear floor for the pass that rearranges the blocks. Degenerates to
+/// a full [`sort`] when the input has a single group (`groups = 1` ⇒
+/// `n · log₂ n`) and to the linear floor when every block is a
+/// singleton — the grouped-but-unsorted hash-aggregate output the
+/// ROADMAP's head/tail item targets.
+///
+/// Modeling assumption, stated explicitly: arranging the blocks
+/// themselves charges **no comparison term**. A comparison sort of the
+/// blocks would add `groups · log₂(groups)` (making a partial sort of
+/// per-row groups as expensive as a full sort); this model instead
+/// assumes the operator arranges blocks with a *distribution* pass —
+/// the admission test guarantees the blocks are adjacent, and the
+/// catalog's distinct-value statistics hand the operator the block-key
+/// domain, so a bucket/counting pass keyed on it is linear in `n` and
+/// not subject to the comparison lower bound. That is as idealized as
+/// the rest of this textbook cost model (cf. [`hash_join`]'s flat
+/// per-tuple factors) and is what the `O(n · log(n/groups))` claim in
+/// the literature assumes; the plan-quality experiments measure plan
+/// *generation*, not execution.
+pub fn partial_sort(card: f64, groups: f64) -> f64 {
+    let n = card.max(2.0);
+    let per_group = (n / groups.clamp(1.0, n)).max(2.0);
+    n * per_group.log2()
+}
+
 /// Cost of a merge join over two sorted inputs.
 pub fn merge_join(left: f64, right: f64, out: f64) -> f64 {
     left + right + 0.1 * out
@@ -144,6 +173,25 @@ mod tests {
         let eager = hash_aggregate(fact) + hash_join(groups, dim, groups) + hash_aggregate(groups);
         let lazy = hash_join(fact, dim, fact) + hash_aggregate(fact);
         assert!(eager < lazy);
+    }
+
+    #[test]
+    fn partial_sort_interpolates_between_linear_and_full_sort() {
+        let n = 100_000.0;
+        // One group = a full sort; per-row groups = the linear floor.
+        assert!((partial_sort(n, 1.0) - sort(n)).abs() < 1e-6);
+        assert!((partial_sort(n, n) - n).abs() < 1e-6);
+        // Monotone: more groups (finer pre-grouping) = cheaper.
+        assert!(partial_sort(n, 1000.0) < partial_sort(n, 10.0));
+        assert!(partial_sort(n, 10.0) < sort(n));
+        // The acceptance shape: hash-aggregate output (one row per
+        // group) re-sorted by its group key is far cheaper than a full
+        // sort — that is the enforcer's whole reason to exist.
+        let groups = 10_000.0;
+        assert!(partial_sort(groups, groups) < 0.2 * sort(groups));
+        // Degenerate inputs stay positive and finite.
+        assert!(partial_sort(0.0, 1.0) > 0.0);
+        assert!(partial_sort(1.0, 5.0) > 0.0);
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! # The two-driver layer API
 //!
 //! The DP advances layer by layer (subset size 2, 3, … n). Each layer is
-//! *planned* first — [`PlanGen::plan_layer`] enumerates every connected
+//! *planned* first — `PlanGen::plan_layer` enumerates every connected
 //! union of the layer together with all its ordered partitions, in a
 //! deterministic first-discovery order — and then *executed*: each
 //! union's Pareto set is built independently in a thread-local
@@ -68,7 +68,7 @@ use ofw_catalog::{AttrId, Catalog};
 use ofw_common::{BitSet, FxHashMap, OrderedExecutor, SerialExecutor, SmallBitSet};
 use ofw_core::fd::FdSetId;
 use ofw_core::ordering::Ordering;
-use ofw_core::property::{Grouping, LogicalProperty};
+use ofw_core::property::{Grouping, HeadTail, LogicalProperty};
 use ofw_query::{ExtractedQuery, Query};
 use std::time::{Duration, Instant};
 
@@ -108,6 +108,21 @@ struct EnforcerTarget<K> {
     /// Grouping targets get a hash-group enforcer, ordering targets a
     /// sort.
     grouping: bool,
+    /// Partial-sort probes for ordering targets (see
+    /// [`PlanGen::partial_sort_probes`]); empty for grouping targets.
+    psort: Vec<PartialSortProbe<K>>,
+}
+
+/// One pre-resolved partial-sort admission probe: if a plan's state
+/// satisfies `key` (a head grouping over a prefix *set* of the target
+/// ordering, or a head/tail pair extending it with a within-group
+/// sorted continuation), a partial sort to the target only has to sort
+/// inside blocks of the first `covered` target attributes.
+struct PartialSortProbe<K> {
+    key: K,
+    /// How many leading target attributes the probed property covers —
+    /// the `groups` estimate of the cost model is taken over them.
+    covered: usize,
 }
 
 /// One connected subset of a DP layer with all its ordered partitions —
@@ -177,6 +192,11 @@ pub struct PlanGen<'a, O: OrderOracle> {
     /// aggregation to the plan root — the classic enforcer behavior and
     /// the ceiling the placement search must beat.
     placement: bool,
+    /// Enforce interesting orderings with the partial-sort enforcer
+    /// (next to the full sort) when the input already satisfies a head
+    /// grouping? Off reproduces the sort-only enforcer behavior — the
+    /// ceiling the partial-sort search is measured against.
+    partial_sort: bool,
     arena: PlanArena<O::State>,
     table: FxHashMap<BitSet, Vec<PlanId>>,
 }
@@ -191,6 +211,9 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     ) -> Self {
         assert!(query.is_fully_connected(), "cross products not supported");
         // Pre-resolve every producible interesting property (cold path).
+        // Head/tail pairs are tested-only (a partial sort *consumes*
+        // them and produces a full ordering), so they never become
+        // enforcer targets themselves.
         let mut targets = Vec::new();
         for p in ex.spec.produced() {
             let (key, grouping) = match p {
@@ -202,6 +225,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     Some(k) => (k, true),
                     None => continue,
                 },
+                LogicalProperty::HeadTail(_) => continue,
             };
             if !oracle.is_producible(key) {
                 continue;
@@ -210,11 +234,17 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             for &a in p.attrs() {
                 rel_mask.insert(query.owner(a));
             }
+            let psort = if grouping {
+                Vec::new()
+            } else {
+                Self::partial_sort_probes(oracle, p.attrs())
+            };
             targets.push(EnforcerTarget {
                 key,
                 attrs: p.attrs().to_vec(),
                 rel_mask,
                 grouping,
+                psort,
             });
         }
         // Grouping targets first: a sort satisfies the grouping too, so
@@ -248,9 +278,64 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             targets,
             agg,
             placement: true,
+            partial_sort: true,
             arena: PlanArena::new(),
             table: FxHashMap::default(),
         }
+    }
+
+    /// Pre-resolves the partial-sort admission probes for the ordering
+    /// `attrs` (cold path, once per target): for every head prefix
+    /// `attrs[..k]` the head grouping, and for every continuation
+    /// `attrs[k..j]` the head/tail pair — each probe records how many
+    /// leading target attributes it covers. Only properties the query
+    /// registered as interesting resolve; everything else simply yields
+    /// no probe (a pure-ordering query gets an empty list and the
+    /// enforcer behaves exactly as before). Probes are ordered by
+    /// descending coverage so the first satisfied probe is the best.
+    fn partial_sort_probes(oracle: &O, attrs: &[AttrId]) -> Vec<PartialSortProbe<O::Key>> {
+        let mut probes: Vec<PartialSortProbe<O::Key>> = Vec::new();
+        for k in 1..=attrs.len() {
+            let head = Grouping::new(attrs[..k].to_vec());
+            if let Some(key) = oracle.resolve_grouping(&head) {
+                probes.push(PartialSortProbe { key, covered: k });
+            }
+        }
+        for pair in HeadTail::decompositions(&Ordering::new(attrs.to_vec())) {
+            if let Some(key) = oracle.resolve_head_tail(&pair) {
+                probes.push(PartialSortProbe {
+                    key,
+                    covered: pair.attrs().len(),
+                });
+            }
+        }
+        probes.sort_by_key(|p| std::cmp::Reverse(p.covered));
+        probes
+    }
+
+    /// The cheapest admissible partial sort of a plan in `state` with
+    /// `card` rows to the ordering `attrs`: the first (deepest-coverage)
+    /// satisfied probe decides how much of the key the input's blocks
+    /// already cover, and the cost model charges only the within-block
+    /// residue. `None` when no head grouping (or pair) is satisfied —
+    /// then only the full sort can enforce the ordering.
+    fn best_partial_sort(
+        &self,
+        state: O::State,
+        card: f64,
+        attrs: &[AttrId],
+        probes: &[PartialSortProbe<O::Key>],
+    ) -> Option<(f64, usize)> {
+        if !self.partial_sort {
+            return None;
+        }
+        for p in probes {
+            if self.oracle.satisfies_head_tail(state, p.key) {
+                let groups = self.group_count(card, &attrs[..p.covered]);
+                return Some((cost::partial_sort(card, groups), p.covered));
+            }
+        }
+        None
     }
 
     /// Enables/disables aggregation-placement enumeration (on by
@@ -260,6 +345,16 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// of the placement search, so placement can never be costlier.
     pub fn aggregation_placement(mut self, enabled: bool) -> Self {
         self.placement = enabled;
+        self
+    }
+
+    /// Enables/disables the partial-sort enforcer (on by default). With
+    /// it off, only the full sort enforces orderings — the ceiling the
+    /// partial-sort search is measured against; the sort-only plans are
+    /// a strict subset of the partial-sort search, so enabling it can
+    /// never yield a costlier winner.
+    pub fn partial_sort(mut self, enabled: bool) -> Self {
+        self.partial_sort = enabled;
         self
     }
 
@@ -948,6 +1043,52 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 applied_fds: fd_bits,
             });
             self.insert_pruned(view, set, enforced);
+            // Partial-sort alternative for ordering targets: the best
+            // (input cost + partial-sort cost) over plans whose state
+            // already satisfies a head grouping — typically *not* the
+            // cheapest plan (a grouped plan costs a bit more but makes
+            // the enforcement nearly free). The full sort above stays in
+            // the set; Pareto pruning keeps whichever survives.
+            if grouping {
+                continue;
+            }
+            let mut best: Option<(f64, PlanId, f64, usize)> = None;
+            for &p in set.iter() {
+                let n = view.node(p);
+                if !n.agg.is_none() || satisfied(self.oracle, n.state) {
+                    continue;
+                }
+                let Some((ps_cost, covered)) = self.best_partial_sort(
+                    n.state,
+                    n.card,
+                    &self.targets[t].attrs,
+                    &self.targets[t].psort,
+                ) else {
+                    continue;
+                };
+                let total = n.cost + ps_cost;
+                if best.is_none_or(|(bt, ..)| total < bt) {
+                    best = Some((total, p, n.card, covered));
+                }
+            }
+            if let Some((total, input, card, covered)) = best {
+                let fd_bits = view.node(input).applied_fds.clone();
+                let state = self.replay_fds(self.oracle.produce(key), &fd_bits);
+                let enforced = view.push(PlanNode {
+                    op: PlanOp::PartialSort {
+                        input,
+                        key: self.targets[t].attrs.clone(),
+                        head: self.targets[t].attrs[..covered].to_vec(),
+                    },
+                    mask: mask.clone(),
+                    cost: total,
+                    card,
+                    state,
+                    agg: AggMark::NONE,
+                    applied_fds: fd_bits,
+                });
+                self.insert_pruned(view, set, enforced);
+            }
         }
     }
 
@@ -995,46 +1136,66 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         set.push(cand);
     }
 
-    /// Cheapest complete plan, sorting at the top if the required output
-    /// order is not satisfied.
+    /// Cheapest complete plan, enforcing the required output order at
+    /// the top if it is not satisfied — with a full sort, or with a
+    /// partial sort when the plan's output already satisfies a head
+    /// grouping of the requirement (the `ORDER BY group-key` case above
+    /// a hash aggregate, whose grouped output makes the root sort
+    /// nearly free).
     fn pick_final(&mut self, set: &[PlanId], required: Option<&Ordering>) -> PlanId {
         let required_key = required.and_then(|o| self.oracle.resolve(o));
+        let probes = required
+            .map(|o| Self::partial_sort_probes(self.oracle, o.attrs()))
+            .unwrap_or_default();
+        // Enforcement cost of plan p: None when satisfied, otherwise the
+        // cheaper of full sort and (admissible) partial sort, with the
+        // covered prefix length recorded for the partial sort.
+        let enforcement = |this: &Self, p: PlanId| -> Option<(f64, Option<usize>)> {
+            let n = this.arena.node(p);
+            let k = required_key?;
+            if this.oracle.satisfies(n.state, k) {
+                return None;
+            }
+            let full = (cost::sort(n.card), None);
+            match required.and_then(|o| this.best_partial_sort(n.state, n.card, o.attrs(), &probes))
+            {
+                Some((ps, covered)) if ps < full.0 => Some((ps, Some(covered))),
+                _ => Some(full),
+            }
+        };
         let mut best: Option<(f64, PlanId)> = None;
         for &p in set {
-            let n = self.arena.node(p);
-            let mut total = n.cost;
-            let satisfied = match required_key {
-                Some(k) => self.oracle.satisfies(n.state, k),
-                None => true,
-            };
-            if !satisfied {
-                total += cost::sort(n.card);
-            }
+            let total = self.arena.node(p).cost + enforcement(self, p).map_or(0.0, |(c, _)| c);
             if best.is_none_or(|(bc, _)| total < bc) {
                 best = Some((total, p));
             }
         }
         let (total, p) = best.expect("no complete plan");
-        let n = self.arena.node(p);
-        let satisfied = match required_key {
-            Some(k) => self.oracle.satisfies(n.state, k),
-            None => true,
-        };
-        if satisfied {
+        let Some((_, covered)) = enforcement(self, p) else {
             return p;
-        }
-        // Materialize the final sort.
+        };
+        // Materialize the final (partial) sort.
         let key = required_key.expect("unsatisfied requires a key");
+        let key_attrs = required
+            .expect("sort implies a requirement")
+            .attrs()
+            .to_vec();
+        let n = self.arena.node(p);
         let (d, fd_bits, mask, mark) = (n.card, n.applied_fds.clone(), n.mask.clone(), n.agg);
         let state = self.replay_fds(self.oracle.produce(key), &fd_bits);
-        self.arena.push(PlanNode {
-            op: PlanOp::Sort {
+        let op = match covered {
+            Some(covered) => PlanOp::PartialSort {
                 input: p,
-                key: required
-                    .expect("sort implies a requirement")
-                    .attrs()
-                    .to_vec(),
+                head: key_attrs[..covered].to_vec(),
+                key: key_attrs,
             },
+            None => PlanOp::Sort {
+                input: p,
+                key: key_attrs,
+            },
+        };
+        self.arena.push(PlanNode {
+            op,
             mask,
             cost: total,
             card: d,
@@ -1282,6 +1443,107 @@ mod tests {
         let e = run_explicit(&c, &q);
         assert!((r.cost - s.cost).abs() < 1e-6, "{} vs {}", r.cost, s.cost);
         assert!((r.cost - e.cost).abs() < 1e-6, "{} vs {}", r.cost, e.cost);
+    }
+
+    #[test]
+    fn order_by_group_key_plans_a_partial_sort_above_the_hash_aggregate() {
+        // GROUP BY f.g ORDER BY f.g with no useful index: hashing wins
+        // the aggregation, and its grouped-but-unsorted output makes
+        // the root ordering enforceable by a partial sort (blocks are
+        // already adjacent) instead of a full sort — the ROADMAP's
+        // head/tail payoff.
+        let mut c = Catalog::new();
+        c.add_relation("f", 100_000.0, &["g", "k"]);
+        c.add_relation("d", 100.0, &["k"]);
+        c.set_distinct_values(c.attr("f.g"), 1_000.0);
+        let q = QueryBuilder::new(&c)
+            .relation("f")
+            .relation("d")
+            .join("f.k", "d.k", 0.01)
+            .group_by(&["f.g"])
+            .order_by(&["f.g"])
+            .build();
+        let ex = ofw_query::extract(&c, &q, &ExtractOptions::default());
+        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        let r = PlanGen::new(&c, &q, &ex, &fw).run();
+        let root = r.arena.node(r.best);
+        let PlanOp::PartialSort { input, key, head } = &root.op else {
+            panic!(
+                "expected a root partial sort:\n{}",
+                r.arena.render(r.best, &|i| format!("r{i}"))
+            );
+        };
+        assert_eq!(key, &vec![c.attr("f.g")]);
+        assert_eq!(head, &vec![c.attr("f.g")]);
+        assert!(
+            matches!(
+                r.arena.node(*input).op,
+                PlanOp::HashAgg { partial: false, .. }
+            ),
+            "the partial sort must sit directly on the hash aggregate:\n{}",
+            r.arena.render(r.best, &|i| format!("r{i}"))
+        );
+        // The sort-only ceiling is strictly costlier, and never cheaper.
+        let full = PlanGen::new(&c, &q, &ex, &fw).partial_sort(false).run();
+        assert!(
+            r.cost < full.cost,
+            "partial sort must beat the full-sort ceiling: {} vs {}",
+            r.cost,
+            full.cost
+        );
+        // All three arms agree on the partial-sort optimum.
+        let s = run_simmen(&c, &q);
+        assert!((r.cost - s.cost).abs() < 1e-6, "{} vs {}", r.cost, s.cost);
+        let e = run_explicit(&c, &q);
+        assert!((r.cost - e.cost).abs() < 1e-6, "{} vs {}", r.cost, e.cost);
+    }
+
+    #[test]
+    fn partial_sort_exploits_within_group_order_for_finer_blocks() {
+        // Requirement (a, b) over a stream grouped by {a}: a partial
+        // sort with head {a} qualifies. The probe list prefers the
+        // deepest coverage, so when distinct stats make finer blocks
+        // cheaper the head/tail pair {a}(b) — satisfied after an FD
+        // a→b — refines the estimate. Here we at least pin the
+        // admission logic: grouped by {a} alone admits head [a].
+        let mut c = Catalog::new();
+        c.add_relation("f", 50_000.0, &["g", "h", "k"]);
+        c.add_relation("d", 50.0, &["k"]);
+        c.set_distinct_values(c.attr("f.g"), 100.0);
+        c.set_distinct_values(c.attr("f.h"), 5_000.0);
+        let q = QueryBuilder::new(&c)
+            .relation("f")
+            .relation("d")
+            .join("f.k", "d.k", 0.02)
+            .group_by(&["f.g", "f.h"])
+            .order_by(&["f.g", "f.h"])
+            .build();
+        let ex = ofw_query::extract(&c, &q, &ExtractOptions::default());
+        // The order-by decompositions are registered as interesting:
+        // the head grouping {g} (tested) and the pair {g}(h).
+        let g = Grouping::new(vec![c.attr("f.g")]);
+        let pair = ofw_core::HeadTail::new(g.clone(), Ordering::new(vec![c.attr("f.h")]));
+        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        assert!(fw.handle_grouping(&g).is_some());
+        assert!(fw.handle_head_tail(&pair).is_some());
+        let r = PlanGen::new(&c, &q, &ex, &fw).run();
+        let mut found_partial_sort = false;
+        let mut stack = vec![r.best];
+        while let Some(p) = stack.pop() {
+            let op = &r.arena.node(p).op;
+            if let PlanOp::PartialSort { head, .. } = op {
+                found_partial_sort = true;
+                assert!(!head.is_empty());
+            }
+            stack.extend(op.inputs());
+        }
+        assert!(
+            found_partial_sort,
+            "expected a partial sort:\n{}",
+            r.arena.render(r.best, &|i| format!("r{i}"))
+        );
+        let s = run_simmen(&c, &q);
+        assert!((r.cost - s.cost).abs() < 1e-6, "{} vs {}", r.cost, s.cost);
     }
 
     #[test]

@@ -51,6 +51,28 @@ impl Table {
         })
     }
 
+    /// Does the physical tuple sequence satisfy the *head/tail pair*
+    /// — all tuples with equal values on `head` consecutive, and within
+    /// each such run sorted lexicographically by `tail`? The pair
+    /// satisfaction condition, evaluated directly.
+    pub fn satisfies_head_tail(&self, head: &[AttrId], tail: &[AttrId]) -> bool {
+        if !self.satisfies_grouping(head) {
+            return false;
+        }
+        let hcols: Vec<usize> = head.iter().map(|&a| self.col(a)).collect();
+        let tcols: Vec<usize> = tail.iter().map(|&a| self.col(a)).collect();
+        self.rows.windows(2).all(|w| {
+            let (x, y) = (&w[0], &w[1]);
+            let same_group = hcols.iter().all(|&c| x[c] == y[c]);
+            if !same_group {
+                return true; // the tail only constrains within a group
+            }
+            let kx: Vec<i64> = tcols.iter().map(|&c| x[c]).collect();
+            let ky: Vec<i64> = tcols.iter().map(|&c| y[c]).collect();
+            kx <= ky
+        })
+    }
+
     /// Does the physical tuple sequence satisfy the logical *grouping*
     /// over `attrs` — are all tuples with equal values on `attrs`
     /// consecutive? The VLDB'04 grouping-satisfaction condition,
@@ -120,6 +142,14 @@ pub fn execute<S: Copy>(
             apply_selections(t, query, *qrel)
         }
         PlanOp::Sort { input, key } => {
+            let mut t = execute(arena, *input, catalog, query, data);
+            sort_table(&mut t, key);
+            t
+        }
+        PlanOp::PartialSort { input, key, .. } => {
+            // Physically a block-wise sort (the head groups are already
+            // adjacent); the output tuple sequence equals a full stable
+            // sort by the key, which is what the executor checks.
             let mut t = execute(arena, *input, catalog, query, data);
             sort_table(&mut t, key);
             t

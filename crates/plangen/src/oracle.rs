@@ -18,7 +18,7 @@
 use ofw_common::FxHashMap;
 use ofw_core::fd::{FdSet, FdSetId};
 use ofw_core::ordering::Ordering;
-use ofw_core::property::{Grouping, LogicalProperty};
+use ofw_core::property::{Grouping, HeadTail, LogicalProperty};
 use ofw_core::spec::InputSpec;
 use ofw_core::ExplicitOrderings;
 use std::fmt::Debug;
@@ -37,6 +37,9 @@ pub trait OrderOracle {
 
     /// Resolves a grouping to a handle once per query (cold path).
     fn resolve_grouping(&self, g: &Grouping) -> Option<Self::Key>;
+
+    /// Resolves a head/tail pair to a handle once per query (cold path).
+    fn resolve_head_tail(&self, h: &HeadTail) -> Option<Self::Key>;
 
     /// Whether a sort/scan/hash operator may produce this property
     /// (`O_P`).
@@ -64,6 +67,11 @@ pub trait OrderOracle {
     /// grouping behind `k`?
     fn satisfies_grouping(&self, s: Self::State, k: Self::Key) -> bool;
 
+    /// `contains` for head/tail pairs: is a stream in state `s` grouped
+    /// by the pair's head and sorted by its tail within each group —
+    /// the partial-sort admission and refinement probe?
+    fn satisfies_head_tail(&self, s: Self::State, k: Self::Key) -> bool;
+
     /// Property-wise plan domination (`a` at least as ordered/grouped as
     /// `b`).
     fn dominates(&self, a: Self::State, b: Self::State) -> bool;
@@ -86,6 +94,10 @@ impl OrderOracle for ofw_core::OrderingFramework {
 
     fn resolve_grouping(&self, g: &Grouping) -> Option<Self::Key> {
         self.handle_grouping(g)
+    }
+
+    fn resolve_head_tail(&self, h: &HeadTail) -> Option<Self::Key> {
+        self.handle_head_tail(h)
     }
 
     fn is_producible(&self, k: Self::Key) -> bool {
@@ -120,6 +132,11 @@ impl OrderOracle for ofw_core::OrderingFramework {
     }
 
     #[inline]
+    fn satisfies_head_tail(&self, s: Self::State, k: Self::Key) -> bool {
+        ofw_core::OrderingFramework::satisfies_head_tail(self, s, k)
+    }
+
+    #[inline]
     fn dominates(&self, a: Self::State, b: Self::State) -> bool {
         ofw_core::OrderingFramework::dominates(self, a, b)
     }
@@ -143,6 +160,10 @@ impl OrderOracle for ofw_simmen::SimmenFramework {
 
     fn resolve_grouping(&self, g: &Grouping) -> Option<Self::Key> {
         self.grouping_key(g)
+    }
+
+    fn resolve_head_tail(&self, h: &HeadTail) -> Option<Self::Key> {
+        self.head_tail_key(h)
     }
 
     fn is_producible(&self, k: Self::Key) -> bool {
@@ -177,6 +198,11 @@ impl OrderOracle for ofw_simmen::SimmenFramework {
     }
 
     #[inline]
+    fn satisfies_head_tail(&self, s: Self::State, k: Self::Key) -> bool {
+        ofw_simmen::SimmenFramework::satisfies(self, s, k)
+    }
+
+    #[inline]
     fn dominates(&self, a: Self::State, b: Self::State) -> bool {
         ofw_simmen::SimmenFramework::dominates(self, a, b)
     }
@@ -207,7 +233,7 @@ impl Debug for ExplicitStateId {
 pub struct ExplicitKey(u32);
 
 /// Canonical form of an explicit set (for interning).
-type Canon = (Vec<Ordering>, Vec<Grouping>);
+type Canon = (Vec<Ordering>, Vec<Grouping>, Vec<HeadTail>);
 
 struct ExplicitStore {
     states: Vec<ExplicitOrderings>,
@@ -263,7 +289,9 @@ impl ExplicitOracle {
         orderings.sort();
         let mut groupings: Vec<Grouping> = e.iter_groupings().cloned().collect();
         groupings.sort();
-        let canon = (orderings, groupings);
+        let mut pairs: Vec<HeadTail> = e.iter_head_tails().cloned().collect();
+        pairs.sort();
+        let canon = (orderings, groupings, pairs);
         if let Some(&id) = store.canon.get(&canon) {
             return ExplicitStateId(id);
         }
@@ -294,6 +322,12 @@ impl OrderOracle for ExplicitOracle {
             .copied()
     }
 
+    fn resolve_head_tail(&self, h: &HeadTail) -> Option<Self::Key> {
+        self.keys
+            .get(&LogicalProperty::HeadTail(h.clone()))
+            .copied()
+    }
+
     fn is_producible(&self, k: Self::Key) -> bool {
         self.producible[k.0 as usize]
     }
@@ -306,6 +340,7 @@ impl OrderOracle for ExplicitOracle {
         let e = match &self.props[k.0 as usize] {
             LogicalProperty::Ordering(o) => ExplicitOrderings::from_physical(o),
             LogicalProperty::Grouping(g) => ExplicitOrderings::from_grouping(g),
+            LogicalProperty::HeadTail(h) => ExplicitOrderings::from_head_tail(h),
         };
         self.intern(e)
     }
@@ -332,10 +367,15 @@ impl OrderOracle for ExplicitOracle {
         match &self.props[k.0 as usize] {
             LogicalProperty::Ordering(o) => e.contains(o),
             LogicalProperty::Grouping(g) => e.contains_grouping(g),
+            LogicalProperty::HeadTail(h) => e.contains_head_tail(h),
         }
     }
 
     fn satisfies_grouping(&self, s: Self::State, k: Self::Key) -> bool {
+        self.satisfies(s, k)
+    }
+
+    fn satisfies_head_tail(&self, s: Self::State, k: Self::Key) -> bool {
         self.satisfies(s, k)
     }
 
@@ -347,7 +387,9 @@ impl OrderOracle for ExplicitOracle {
         let (ea, eb) = (&store.states[a.0 as usize], &store.states[b.0 as usize]);
         // Set inclusion is future-proof: derivation is monotone in the
         // materialized sets.
-        eb.iter().all(|o| ea.contains(o)) && eb.iter_groupings().all(|g| ea.contains_grouping(g))
+        eb.iter().all(|o| ea.contains(o))
+            && eb.iter_groupings().all(|g| ea.contains_grouping(g))
+            && eb.iter_head_tails().all(|h| ea.contains_head_tail(h))
     }
 
     fn memory_bytes(&self, plan_nodes: usize) -> usize {
@@ -361,6 +403,9 @@ impl OrderOracle for ExplicitOracle {
                     .sum::<usize>()
                     + e.iter_groupings()
                         .map(|g| g.heap_bytes() + std::mem::size_of::<Grouping>())
+                        .sum::<usize>()
+                    + e.iter_head_tails()
+                        .map(|h| h.heap_bytes() + std::mem::size_of::<HeadTail>())
                         .sum::<usize>()
             })
             .sum();

@@ -105,6 +105,23 @@ pub enum PlanOp {
         /// The produced sort key (attribute sequence).
         key: Vec<ofw_catalog::AttrId>,
     },
+    /// Partial-sort enforcer to an interesting order, exploiting an
+    /// input whose `head` groups are already adjacent (and possibly
+    /// internally sorted by a tail prefix of `key`): blocks move as
+    /// units and only the residue inside each block is compared, so the
+    /// cost is `O(n · log(n/groups))` instead of a full sort's
+    /// `O(n · log n)`. Producible exactly when the input satisfies the
+    /// head grouping (or a head/tail pair covering more of `key`).
+    PartialSort {
+        input: PlanId,
+        /// The produced sort key (attribute sequence) — the full
+        /// interesting order, like [`PlanOp::Sort`].
+        key: Vec<ofw_catalog::AttrId>,
+        /// The key prefix the input's groups already cover (the head
+        /// set plus any within-group sorted tail prefix) — what the
+        /// `groups` estimate in the cost is taken over.
+        head: Vec<ofw_catalog::AttrId>,
+    },
     /// Merge join: both inputs sorted on the join attributes of `edge`.
     MergeJoin {
         left: PlanId,
@@ -170,6 +187,7 @@ impl PlanOp {
         let (a, b) = match self {
             PlanOp::Scan { .. } | PlanOp::IndexScan { .. } => (None, None),
             PlanOp::Sort { input, .. }
+            | PlanOp::PartialSort { input, .. }
             | PlanOp::StreamAgg { input, .. }
             | PlanOp::HashAgg { input, .. }
             | PlanOp::HashGroup { input, .. } => (Some(*input), None),
@@ -187,6 +205,7 @@ impl PlanOp {
         match self {
             PlanOp::Scan { .. } | PlanOp::IndexScan { .. } => {}
             PlanOp::Sort { input, .. }
+            | PlanOp::PartialSort { input, .. }
             | PlanOp::StreamAgg { input, .. }
             | PlanOp::HashAgg { input, .. }
             | PlanOp::HashGroup { input, .. } => *input = f(*input),
@@ -309,6 +328,18 @@ impl<S: Copy> PlanArena<S> {
                 let _ = writeln!(out, "{indent}Sort cost={:.0}", n.cost);
                 self.render_into(*input, relation_name, depth + 1, out);
             }
+            PlanOp::PartialSort { input, head, .. } => {
+                let _ = writeln!(
+                    out,
+                    "{indent}PartialSort(head=[{}]) cost={:.0}",
+                    head.iter()
+                        .map(|a| format!("{a:?}"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    n.cost
+                );
+                self.render_into(*input, relation_name, depth + 1, out);
+            }
             PlanOp::MergeJoin { left, right, edge } => {
                 let _ = writeln!(out, "{indent}MergeJoin(edge#{edge}) cost={:.0}", n.cost);
                 self.render_into(*left, relation_name, depth + 1, out);
@@ -359,7 +390,7 @@ impl<S: Copy> PlanArena<S> {
 
 /// A two-level arena: reads resolve against the shared global arena of
 /// earlier DP layers *or* this view's local arena (ids tagged with
-/// [`LOCAL_PLAN_BIT`]); writes always go to the local arena. One view
+/// `LOCAL_PLAN_BIT`); writes always go to the local arena. One view
 /// per connected subset makes subset construction thread-local — the
 /// unit of work the parallel driver hands to the pool.
 pub struct ArenaView<'g, S> {
@@ -377,7 +408,7 @@ impl<'g, S: Copy> ArenaView<'g, S> {
     }
 
     /// Allocates into the local arena; the returned id carries
-    /// [`LOCAL_PLAN_BIT`] until the driver splices it.
+    /// the local-arena tag bit until the driver splices it.
     pub fn push(&mut self, node: PlanNode<S>) -> PlanId {
         let id = self.local.push(node);
         PlanId(id.0 | LOCAL_PLAN_BIT)

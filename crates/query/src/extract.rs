@@ -20,7 +20,7 @@ use ofw_common::{BitSet, FxHashSet};
 use ofw_core::derive::minimize_grouping_key;
 use ofw_core::fd::{Fd, FdSetId};
 use ofw_core::ordering::Ordering;
-use ofw_core::property::Grouping;
+use ofw_core::property::{Grouping, HeadTail};
 use ofw_core::spec::InputSpec;
 
 /// Extraction tuning knobs.
@@ -42,6 +42,14 @@ pub struct ExtractOptions {
     /// interesting groupings (hash aggregation produces them). Off
     /// reproduces the pure ICDE'04 ordering extraction.
     pub grouping_properties: bool,
+    /// For `GROUP BY … ORDER BY` queries, register the head/tail
+    /// properties the partial-sort enforcer probes: every prefix
+    /// attribute *set* of the `order by` as a tested grouping, and
+    /// every (prefix set, continuation) decomposition as a tested
+    /// head/tail pair. Only active when the query both groups and
+    /// orders — everything else extracts byte-identically with the
+    /// option on or off.
+    pub head_tail_properties: bool,
     /// Make aggregation a plan-space dimension: register schema
     /// (key-constraint) FD sets from unique columns, and per-relation
     /// partial-aggregation key groupings, so the DP can place eager/lazy
@@ -58,6 +66,7 @@ impl Default for ExtractOptions {
             index_orders: true,
             tested_selection_orders: false,
             grouping_properties: true,
+            head_tail_properties: true,
             aggregation_placement: true,
         }
     }
@@ -75,6 +84,7 @@ impl ExtractOptions {
             index_orders: false,
             tested_selection_orders: false,
             grouping_properties: true,
+            head_tail_properties: true,
             aggregation_placement: true,
         }
     }
@@ -176,6 +186,25 @@ pub fn extract(catalog: &Catalog, query: &Query, options: &ExtractOptions) -> Ex
     }
     if !query.order_by.is_empty() {
         spec.add_produced(Ordering::new(query.order_by.clone()));
+    }
+    // Head/tail properties: for a query that both groups and orders,
+    // the partial-sort enforcer wants to ask "is the stream already
+    // grouped by a prefix set of the order by — and maybe sorted within
+    // those groups by a piece of the continuation?". Register every
+    // prefix set as a tested grouping and every (prefix set,
+    // continuation) decomposition as a tested head/tail pair; hash
+    // aggregates produce the former, partial sorts consume both.
+    if options.head_tail_properties
+        && options.grouping_properties
+        && !query.effective_group_by().is_empty()
+        && !query.order_by.is_empty()
+    {
+        for k in 1..=query.order_by.len() {
+            spec.add_tested(Grouping::new(query.order_by[..k].to_vec()));
+        }
+        for pair in HeadTail::decompositions(&Ordering::new(query.order_by.clone())) {
+            spec.add_tested(pair);
+        }
     }
     // Index scan outputs.
     if options.index_orders {
@@ -376,6 +405,46 @@ mod tests {
             },
         );
         assert_eq!(ex.spec.interesting_groupings().count(), 0);
+    }
+
+    #[test]
+    fn group_by_order_by_registers_head_tail_properties() {
+        use ofw_core::property::HeadTail;
+        let mut c = Catalog::new();
+        c.add_relation("t", 10.0, &["g", "h", "v"]);
+        c.add_relation("u", 10.0, &["w"]);
+        let q = QueryBuilder::new(&c)
+            .relation("t")
+            .relation("u")
+            .join("t.v", "u.w", 0.1)
+            .group_by(&["t.g", "t.h"])
+            .order_by(&["t.g", "t.h"])
+            .build();
+        let ex = extract(&c, &q, &ExtractOptions::default());
+        let g = c.attr("t.g");
+        let h = c.attr("t.h");
+        // Every order-by prefix set is a tested grouping ({g,h} is
+        // already produced via the group-by), and every decomposition a
+        // tested pair.
+        assert!(ex.spec.has_head_tails());
+        assert!(ex.spec.tested().contains(&Grouping::new(vec![g]).into()));
+        let pair = HeadTail::new(Grouping::new(vec![g]), Ordering::new(vec![h]));
+        assert!(ex.spec.tested().contains(&pair.into()));
+        // The option gates it off; a query without an order-by never
+        // registers pairs regardless of the option.
+        let off = extract(
+            &c,
+            &q,
+            &ExtractOptions {
+                head_tail_properties: false,
+                ..ExtractOptions::default()
+            },
+        );
+        assert!(!off.spec.has_head_tails());
+        let mut no_order = q.clone();
+        no_order.order_by.clear();
+        let plain = extract(&c, &no_order, &ExtractOptions::default());
+        assert!(!plain.spec.has_head_tails());
     }
 
     #[test]

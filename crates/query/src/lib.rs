@@ -8,7 +8,7 @@
 //! * [`graph`] — a select-project-join query model: relations, equi-join
 //!   edges, constant and filter predicates, `group by` / `order by`;
 //! * [`builder`] — a fluent, catalog-aware way to construct queries;
-//! * [`extract`] — derivation of the [`InputSpec`](ofw_core::InputSpec)
+//! * [`extract()`] — derivation of the [`InputSpec`](ofw_core::InputSpec)
 //!   (produced/tested interesting orders) and of one
 //!   [`FdSetId`](ofw_core::FdSetId) per operator, following the paper's
 //!   recipe for TPC-R Query 8 (§6.2): join and grouping attributes become

@@ -28,6 +28,52 @@
 //! `false` where `true` is correct and "some orderings remain
 //! unexploited". We reproduce that behaviour faithfully (see the
 //! non-confluence test in [`reduce`]).
+//!
+//! ## This crate as an oracle arm
+//!
+//! [`SimmenFramework`] is the baseline arm of the plan generator's
+//! `OrderOracle` seam (the others: `ofw-core`'s DFSM and `ofw-plangen`'s
+//! explicit-set oracle). Its arm invariants:
+//!
+//! * **persistent FD semantics** — a state carries its whole FD
+//!   *environment*, so `contains` may exploit dependencies applied many
+//!   operators ago (stronger per-probe information than the DFSM's
+//!   sequential edge-at-the-operator semantics — and Ω(n) to use);
+//! * **same optimal plans anyway** — on every workload in the suite the
+//!   DP reaches the same optimum through this arm as through the other
+//!   two (enforcer FD replay closes the semantic gap);
+//! * **weak dominance** — two plans compare only with equal physical
+//!   property and an environment superset, so this arm prunes fewer
+//!   plans than DFSM state dominance; its Pareto sets widen with query
+//!   size. That asymmetry *is* the paper's result, reproduced honestly;
+//! * grouping and head/tail probes materialize cached per-(state,
+//!   environment) closures — the Ω(n) price of a probe the DFSM answers
+//!   with one precomputed bit.
+//!
+//! ## Example: `produce` / `infer` / `satisfies` on the baseline
+//!
+//! ```
+//! use ofw_core::{Fd, InputSpec, Ordering};
+//! use ofw_simmen::SimmenFramework;
+//! use ofw_catalog::AttrId;
+//!
+//! let [a, b] = [AttrId(0), AttrId(1)];
+//! let mut spec = InputSpec::new();
+//! spec.add_produced(Ordering::new(vec![a]));
+//! spec.add_tested(Ordering::new(vec![a, b]));
+//! let f_ab = spec.add_fd_set(vec![Fd::functional(&[a], b)]);
+//!
+//! // "Preparation" is trivial — that is Simmen's advantage; the cost
+//! // shows up later, inside every probe.
+//! let fw = SimmenFramework::prepare(&spec);
+//! let k_a = fw.key(&Ordering::new(vec![a])).unwrap();
+//! let k_ab = fw.key(&Ordering::new(vec![a, b])).unwrap();
+//!
+//! let s = fw.produce(k_a);              // stream sorted by (a)
+//! assert!(!fw.satisfies(s, k_ab));      // reduce + prefix test
+//! let s = fw.infer(s, f_ab);            // extend the FD environment
+//! assert!(fw.satisfies(s, k_ab));       // (a,b) reduces to (a) under a→b
+//! ```
 
 pub mod env;
 pub mod oracle;

@@ -38,8 +38,9 @@ use ofw_common::{FxHashMap, FxHashSet, FxHasher, Interner};
 use ofw_core::derive::apply_fd_grouping;
 use ofw_core::fd::{Fd, FdSetId};
 use ofw_core::ordering::Ordering;
-use ofw_core::property::{Grouping, LogicalProperty};
+use ofw_core::property::{Grouping, HeadTail, LogicalProperty};
 use ofw_core::spec::InputSpec;
+use ofw_core::ExplicitOrderings;
 use std::hash::{Hash, Hasher};
 use std::sync::{Mutex, RwLock};
 
@@ -85,6 +86,12 @@ struct ShardCaches {
     /// Environment-extension cache: (environment, FD set) → extended
     /// environment (fronting [`EnvStore::extend`]).
     extend: FxHashMap<(FdEnvId, FdSetId), FdEnvId>,
+    /// Head/tail cache: (interned property, environment) → set of pairs
+    /// the stream satisfies under the environment. Computed from
+    /// scratch per (property, environment) via the explicit-set
+    /// machinery — the Ω(n) price the baseline pays for a probe the
+    /// DFSM answers with one bit.
+    head_tail: FxHashMap<(u32, FdEnvId), FxHashSet<HeadTail>>,
     /// `contains` result cache: (physical property, environment,
     /// required key) → answer. Makes a warm probe one shard-mutex
     /// acquisition — what keeps the sharded two-tier design no slower
@@ -163,6 +170,13 @@ impl SimmenFramework {
             .copied()
     }
 
+    /// Key of an interesting head/tail pair.
+    pub fn head_tail_key(&self, h: &HeadTail) -> Option<SimmenOrderKey> {
+        self.prop_keys
+            .get(&LogicalProperty::HeadTail(h.clone()))
+            .copied()
+    }
+
     /// Whether the property behind `k` is in `O_P`.
     pub fn is_producible(&self, k: SimmenOrderKey) -> bool {
         self.producible[k.0 as usize]
@@ -226,13 +240,16 @@ impl SimmenFramework {
     fn satisfies_uncached(&self, s: SimmenState, k: SimmenOrderKey) -> bool {
         match &self.props[k.0 as usize] {
             LogicalProperty::Ordering(_) => {
+                // Grouped and head/tail-shaped streams satisfy no
+                // ordering (their group blocks are unordered).
                 if self
                     .shared
                     .read()
                     .unwrap()
                     .props
                     .resolve(s.phys)
-                    .is_grouping()
+                    .as_ordering()
+                    .is_none()
                 {
                     return false;
                 }
@@ -249,7 +266,36 @@ impl SimmenFramework {
                 rr.is_some_and(|rr| rr.is_prefix_of(&rp))
             }
             LogicalProperty::Grouping(required) => self.groupings_contain(s.phys, s.env, required),
+            LogicalProperty::HeadTail(required) => self.head_tails_contain(s.phys, s.env, required),
         }
+    }
+
+    /// Membership probe against the cached head/tail set of the stream
+    /// in physical property `phys` under `env`. Simmen's scheme has no
+    /// compact representation for "grouped and sorted within groups", so
+    /// the baseline materializes the full explicit property closure once
+    /// per (property, environment) — persistent-FD semantics, like its
+    /// grouping probe — and caches the pair set in the calling worker's
+    /// shard.
+    fn head_tails_contain(&self, phys: u32, env: FdEnvId, required: &HeadTail) -> bool {
+        let mut shard = self.shard().lock().unwrap();
+        if let Some(hit) = shard.head_tail.get(&(phys, env)) {
+            return hit.contains(required);
+        }
+        // Lock order everywhere: shard first, shared (read) second.
+        let shared = self.shared.read().unwrap();
+        let mut truth = match shared.props.resolve(phys) {
+            LogicalProperty::Ordering(o) => ExplicitOrderings::from_physical(o),
+            LogicalProperty::Grouping(g) => ExplicitOrderings::from_grouping(g),
+            LogicalProperty::HeadTail(h) => ExplicitOrderings::from_head_tail(h),
+        };
+        let fds = shared.envs.env(env).fds.to_vec();
+        drop(shared);
+        truth.close_under(&fds);
+        let set: FxHashSet<HeadTail> = truth.iter_head_tails().cloned().collect();
+        let hit = set.contains(required);
+        shard.head_tail.insert((phys, env), set);
+        hit
     }
 
     /// Cached reduction of the interned ordering `phys` under `env`:
@@ -324,6 +370,17 @@ impl SimmenFramework {
                 * (std::mem::size_of::<(FdEnvId, FdSetId)>() + std::mem::size_of::<FdEnvId>());
             shard_bytes += shard.contains.len()
                 * (std::mem::size_of::<(u32, FdEnvId, u32)>() + std::mem::size_of::<bool>());
+            shard_bytes += shard
+                .head_tail
+                .values()
+                .map(|set| {
+                    std::mem::size_of::<(u32, FdEnvId)>()
+                        + set
+                            .iter()
+                            .map(|h| h.heap_bytes() + std::mem::size_of::<HeadTail>())
+                            .sum::<usize>()
+                })
+                .sum::<usize>();
         }
         let shared = self.shared.read().unwrap();
         let prop_bytes: usize = shared
@@ -409,6 +466,11 @@ impl SimmenFramework {
                     }
                     LogicalProperty::Grouping(g) => {
                         base.insert(g.clone());
+                    }
+                    LogicalProperty::HeadTail(h) => {
+                        // Grouped by the head, and by the head plus any
+                        // absorbed within-group-sorted tail prefix.
+                        base.extend(h.absorbed_heads());
                     }
                 }
                 let fds = shared.envs.env(anchor).fds.to_vec();

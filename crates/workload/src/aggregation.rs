@@ -112,6 +112,57 @@ pub fn star_agg_query(config: &StarAggConfig) -> (Catalog, Query) {
     (catalog, query)
 }
 
+/// [`star_agg_query`] with the output order pinned to the group key —
+/// the `GROUP BY k ORDER BY k` shape of the partial-sort experiment.
+/// The catalog and join graph are byte-identical to the base generator
+/// (the base query's own optional `order by` over the same attributes
+/// is simply made unconditional), so pre/post comparisons isolate the
+/// ordering requirement.
+pub fn star_agg_query_ordered(config: &StarAggConfig) -> (Catalog, Query) {
+    let (catalog, mut query) = star_agg_query(config);
+    query.order_by = query.group_by.clone();
+    (catalog, query)
+}
+
+/// The partial-sort showcase: TPC-H-flavored "orders per customer,
+/// listed by customer"
+///
+/// ```sql
+/// select o_custkey, count(*), sum(o_totalprice)
+/// from customer, orders
+/// where o_custkey = c_custkey
+/// group by o_custkey
+/// order by o_custkey
+/// ```
+///
+/// Unlike [`groupjoin_showcase_query`], *neither* relation has a useful
+/// index, so hash aggregation wins the `group by` — and its output is
+/// grouped by the 150 000-value key but unsorted. The `order by` over
+/// that key is then the dominant enforcement decision: a full root sort
+/// pays `O(G · log G)` over 150 000 groups, while the partial-sort
+/// enforcer sees the head grouping already satisfied and pays the
+/// linear block pass — the head/tail payoff at its most visible.
+pub fn partialsort_showcase_query() -> (Catalog, Query) {
+    let mut catalog = Catalog::new();
+    catalog.add_relation("customer", 150_000.0, &["c_custkey", "c_name"]);
+    catalog.add_relation("orders", 1_500_000.0, &["o_custkey", "o_totalprice"]);
+    let ck = catalog.attr("c_custkey");
+    let ok = catalog.attr("o_custkey");
+    catalog.set_distinct_values(ck, 150_000.0); // primary key
+    catalog.set_distinct_values(ok, 150_000.0);
+    catalog.set_distinct_values(catalog.attr("o_totalprice"), 1_000_000.0);
+    let query = QueryBuilder::new(&catalog)
+        .relation("customer")
+        .relation("orders")
+        .join("o_custkey", "c_custkey", 1.0 / 150_000.0)
+        .group_by(&["o_custkey"])
+        .order_by(&["o_custkey"])
+        .count_star()
+        .aggregate(AggFunc::Sum, "o_totalprice")
+        .build();
+    (catalog, query)
+}
+
 /// The group-join showcase: TPC-H-flavored "orders per customer"
 ///
 /// ```sql
@@ -175,6 +226,35 @@ mod tests {
                     assert!(dv <= 20.0, "selective group keys");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn ordered_star_pins_order_by_to_the_group_key() {
+        for seed in 0..10u64 {
+            let config = StarAggConfig {
+                dimensions: 2,
+                seed,
+            };
+            let (_, base) = star_agg_query(&config);
+            let (_, ordered) = star_agg_query_ordered(&config);
+            assert_eq!(ordered.order_by, ordered.group_by);
+            assert_eq!(ordered.group_by, base.group_by, "join graph untouched");
+            assert_eq!(ordered.aggregates, base.aggregates);
+        }
+    }
+
+    #[test]
+    fn partialsort_showcase_shape() {
+        let (c, q) = partialsort_showcase_query();
+        assert_eq!(q.num_relations(), 2);
+        assert_eq!(q.group_by, vec![c.attr("o_custkey")]);
+        assert_eq!(q.order_by, q.group_by);
+        assert!(q.has_aggregates());
+        // No indexes anywhere: the grouped-but-unsorted hash output is
+        // the only cheap path to adjacency.
+        for &rel in &q.relations {
+            assert!(c.relation(rel).indexes.is_empty());
         }
     }
 

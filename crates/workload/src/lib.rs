@@ -26,7 +26,10 @@ pub mod large;
 pub mod random;
 pub mod tpch;
 
-pub use aggregation::{groupjoin_showcase_query, star_agg_query, StarAggConfig};
+pub use aggregation::{
+    groupjoin_showcase_query, partialsort_showcase_query, star_agg_query, star_agg_query_ordered,
+    StarAggConfig,
+};
 pub use grouping::{grouping_query, q13_style_query, GroupingQueryConfig};
 pub use large::{large_query, LargeQueryConfig, Topology};
 pub use random::{random_query, RandomQueryConfig};

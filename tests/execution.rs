@@ -139,6 +139,18 @@ fn claimed_groupings_hold_physically() {
                         );
                     }
                 }
+                for (pair, handle) in fw.head_tails() {
+                    if covered(pair.attrs()) && fw.satisfies_head_tail(node.state, handle) {
+                        assert!(
+                            output.satisfies_head_tail(pair.head_attrs(), pair.tail_attrs()),
+                            "n={n} seed={seed} plan {pid:?}: head/tail {pair:?} violated\n{}",
+                            result.arena.render(pid, &|q| catalog
+                                .relation(query.relations[q])
+                                .name
+                                .clone()),
+                        );
+                    }
+                }
             }
         }
     }

@@ -3,7 +3,7 @@
 //!
 //! The build environment has no access to crates.io, so this crate
 //! vendors the subset of proptest 1.x's API the workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map` /
+//! tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
 //! `prop_filter_map` / `prop_flat_map`, range and tuple strategies,
 //! [`collection::vec`], [`strategy::Just`], and the [`proptest!`],
 //! [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
@@ -71,7 +71,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
