@@ -1,0 +1,123 @@
+//! H1 — the enumerator table: size-layered DPsize vs neighborhood-driven
+//! DPhyp vs the budgeted linearized fallback, over large
+//! chain/cycle/star/clique join graphs (DFSM arm).
+//!
+//! Usage: `table_hypergraph [--smoke | --full]`
+//!
+//! * `--smoke` — the CI configuration (seconds): identity cells where
+//!   both exhaustive enumerators run, plus the 20/50/100-relation
+//!   clique fallback cells under the default budget.
+//! * default — adds wider exact cells (100-relation chain and
+//!   50-relation cycle are exact under the default budget).
+//! * `--full` — adds the near-budget 13-relation clique (the largest
+//!   clique DPhyp finishes exactly under the default budget) and the
+//!   denser star cells.
+//!
+//! Wherever DPsize runs, every exhaustive strategy is asserted to match
+//! it exactly (same plans, same pairs, same cost — `ratio` 1.000); the
+//! `#considered` column is the enumeration work actually done, which is
+//! where DPhyp wins. `auto` rows with `resolved = linearized` crossed
+//! the budget: their `ratio` (where a reference exists) is the
+//! optimality price paid for planning a query no exhaustive enumerator
+//! can touch.
+
+use ofw_bench::{hypergraph_cell, hypergraph_row_json, hypergraph_row_line};
+use ofw_plangen::{Enumerator, DEFAULT_ENUMERATION_BUDGET};
+use ofw_workload::Topology;
+
+struct Cell {
+    topology: Topology,
+    n: usize,
+    lean: bool,
+    enumerators: Vec<Enumerator>,
+}
+
+fn cell(topology: Topology, n: usize, lean: bool, enumerators: &[Enumerator]) -> Cell {
+    Cell {
+        topology,
+        n,
+        lean,
+        enumerators: enumerators.to_vec(),
+    }
+}
+
+fn main() {
+    use Enumerator::{Auto, DpHyp, DpSize};
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    // Identity cells (DpSize + DpHyp + Auto) and the clique fallback
+    // ladder run in every mode — the 100-relation clique under the
+    // default budget is the acceptance cell.
+    let mut cells = vec![
+        cell(Topology::Chain, 20, false, &[DpSize, DpHyp, Auto]),
+        cell(Topology::Cycle, 12, false, &[DpSize, DpHyp, Auto]),
+        cell(Topology::Star, 10, false, &[DpSize, DpHyp]),
+        cell(Topology::Clique, 8, false, &[DpSize, DpHyp]),
+        cell(Topology::Clique, 20, true, &[Auto]),
+        cell(Topology::Clique, 50, true, &[Auto]),
+        cell(Topology::Clique, 100, true, &[Auto]),
+    ];
+    let label = match mode.as_str() {
+        "--smoke" => "smoke",
+        "--full" => {
+            cells.extend([
+                cell(Topology::Chain, 50, true, &[DpHyp, Auto]),
+                cell(Topology::Chain, 100, true, &[Auto]),
+                cell(Topology::Cycle, 50, true, &[Auto]),
+                cell(Topology::Cycle, 100, true, &[Auto]),
+                cell(Topology::Star, 14, false, &[DpSize, DpHyp]),
+                cell(Topology::Clique, 12, true, &[DpSize, DpHyp]),
+                // The largest clique DPhyp finishes exactly under the
+                // default 1M-pair budget (~789k pairs).
+                cell(Topology::Clique, 13, true, &[DpHyp, Auto]),
+            ]);
+            "full"
+        }
+        _ => {
+            cells.extend([
+                cell(Topology::Chain, 50, true, &[DpHyp, Auto]),
+                cell(Topology::Chain, 100, true, &[Auto]),
+                cell(Topology::Cycle, 50, true, &[Auto]),
+                cell(Topology::Clique, 12, true, &[DpSize, DpHyp]),
+            ]);
+            "default"
+        }
+    };
+
+    println!(
+        "Enumerator sweep ({label}; default budget = {} csg-cmp pairs)",
+        DEFAULT_ENUMERATION_BUDGET
+    );
+    println!();
+    println!(
+        "{:>6} {:>4} {:>5} {:>10} {:>10} | {:>10} {:>9} {:>10} {:>12} {:>7} {:>8}",
+        "shape",
+        "n",
+        "extr",
+        "strategy",
+        "resolved",
+        "t(ms)",
+        "#Plans",
+        "#pairs",
+        "#considered",
+        "#unions",
+        "ratio"
+    );
+    let mut sink = ofw_bench::json::BenchSink::with_meta("hypergraph", |m| m.str("mode", label));
+    for c in &cells {
+        let rows = hypergraph_cell(
+            c.topology,
+            c.n,
+            0x4279_u64 + c.n as u64,
+            c.lean,
+            &c.enumerators,
+            None,
+        );
+        for row in &rows {
+            println!("{}", hypergraph_row_line(row));
+            sink.push(hypergraph_row_json(row));
+        }
+        println!();
+    }
+
+    sink.finish();
+}

@@ -1,0 +1,210 @@
+//! The enumerator sweep (H1): DPsize vs DPhyp vs the budgeted
+//! linearized fallback, over the large chain/cycle/star/clique
+//! topologies.
+//!
+//! The experiment behind the enumerator seam: the two exhaustive
+//! enumerators must find **the same plans at the same cost** wherever
+//! both run (`pairs` equal, cost ratio exactly 1 — asserted), while
+//! `pairs_considered` exposes the rejected-candidate work DPsize pays
+//! and DPhyp skips. Past the enumeration budget the `Auto` strategy
+//! flips to the linearized window DP, which is what lets a 100-relation
+//! clique plan end to end in milliseconds — at a recorded, bounded cost
+//! ratio instead of a crash or a multi-hour enumeration.
+
+use crate::json;
+use ofw_core::{OrderingFramework, PruneConfig};
+use ofw_plangen::{Enumerator, PlanGen};
+use ofw_query::extract::ExtractOptions;
+use ofw_workload::{large_query, LargeQueryConfig, Topology};
+use std::time::{Duration, Instant};
+
+/// One measured run of the enumerator sweep.
+#[derive(Clone, Debug)]
+pub struct HypergraphRow {
+    /// Join-graph shape.
+    pub topology: &'static str,
+    /// Relation count.
+    pub n: usize,
+    /// Lean extraction (no per-join interesting orders)?
+    pub lean: bool,
+    /// Requested enumeration strategy.
+    pub enumerator: &'static str,
+    /// Strategy that actually ran (differs from `enumerator` only for
+    /// `auto`, which resolves to `dphyp` or `linearized`).
+    pub resolved: &'static str,
+    /// Did `Auto` fall back to linearization?
+    pub fallback: bool,
+    /// Wall-clock plan-generation time (preparation excluded; for
+    /// `auto`, includes any budget-tripped partial enumeration).
+    pub time: Duration,
+    /// Subplans generated.
+    pub plans: usize,
+    /// csg-cmp pairs emitted (deterministic).
+    pub pairs: u64,
+    /// Candidate pairs examined (deterministic; `== pairs` for the
+    /// neighborhood-driven enumerators, `>= pairs` for DPsize).
+    pub pairs_considered: u64,
+    /// Connected subsets planned beyond the base relations.
+    pub unions: u64,
+    /// Winning plan cost.
+    pub best_cost: f64,
+    /// `best_cost / DPsize best_cost` — 1.0 for the exhaustive
+    /// enumerators (asserted), the optimality price of the fallback
+    /// otherwise; `NaN` (JSON `null`) where DPsize cannot run the cell.
+    pub cost_ratio: f64,
+}
+
+/// Runs one cell of the enumerator sweep: a `topology` query over `n`
+/// relations, planned with the DFSM arm under each requested strategy.
+/// When `Enumerator::DpSize` is among them, it is run first and every
+/// exhaustive strategy is asserted to match its cost and plan count
+/// exactly.
+pub fn hypergraph_cell(
+    topology: Topology,
+    n: usize,
+    seed: u64,
+    lean: bool,
+    enumerators: &[Enumerator],
+    budget: Option<u64>,
+) -> Vec<HypergraphRow> {
+    let (catalog, query) = large_query(&LargeQueryConfig {
+        topology,
+        num_relations: n,
+        seed,
+    });
+    let options = if lean {
+        ExtractOptions::lean()
+    } else {
+        ExtractOptions::default()
+    };
+    let ex = ofw_query::extract(&catalog, &query, &options);
+    let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).expect("prepare");
+
+    let mut rows: Vec<HypergraphRow> = Vec::new();
+    let mut reference: Option<(f64, usize, u64)> = None;
+    for &e in enumerators {
+        let mut pg = PlanGen::new(&catalog, &query, &ex, &fw).enumerator(e);
+        if let Some(b) = budget {
+            pg = pg.enumeration_budget(b);
+        }
+        let t0 = Instant::now();
+        let r = pg.run();
+        let time = t0.elapsed();
+        if e == Enumerator::DpSize {
+            reference = Some((r.cost, r.stats.plans, r.stats.pairs_emitted));
+        }
+        let cost_ratio = match reference {
+            Some((cost, plans, pairs)) => {
+                if !r.stats.fallback {
+                    // Exhaustive strategies must reproduce DPsize bit
+                    // for bit — same plans, same pairs, same optimum.
+                    assert_eq!(r.stats.plans, plans, "{}/{n}: plan count", e.name());
+                    assert_eq!(r.stats.pairs_emitted, pairs, "{}/{n}: pair count", e.name());
+                    assert_eq!(r.cost.to_bits(), cost.to_bits(), "{}/{n}: cost", e.name());
+                }
+                r.cost / cost
+            }
+            None => f64::NAN,
+        };
+        rows.push(HypergraphRow {
+            topology: topology.name(),
+            n,
+            lean,
+            enumerator: e.name(),
+            resolved: r.stats.enumerator,
+            fallback: r.stats.fallback,
+            time,
+            plans: r.stats.plans,
+            pairs: r.stats.pairs_emitted,
+            pairs_considered: r.stats.pairs_considered,
+            unions: r.stats.unions,
+            best_cost: r.cost,
+            cost_ratio,
+        });
+    }
+    rows
+}
+
+/// A [`HypergraphRow`] as a flat JSON object for
+/// `BENCH_hypergraph.json`.
+pub fn hypergraph_row_json(row: &HypergraphRow) -> json::Obj {
+    json::Obj::new()
+        .str("topology", row.topology)
+        .int("n", row.n)
+        .int("lean", usize::from(row.lean))
+        .str("enumerator", row.enumerator)
+        .str("resolved", row.resolved)
+        .int("fallback", usize::from(row.fallback))
+        .num("time_ms", row.time.as_secs_f64() * 1e3)
+        .int("plans", row.plans)
+        .int("pairs", row.pairs as usize)
+        .int("pairs_considered", row.pairs_considered as usize)
+        .int("unions", row.unions as usize)
+        .num("best_cost", row.best_cost)
+        .num("cost_ratio", row.cost_ratio)
+}
+
+/// Renders one row for the stdout table.
+pub fn hypergraph_row_line(row: &HypergraphRow) -> String {
+    format!(
+        "{:>6} {:>4} {:>5} {:>10} {:>10} | {:>10} {:>9} {:>10} {:>12} {:>7} {:>8}",
+        row.topology,
+        row.n,
+        if row.lean { "lean" } else { "full" },
+        row.enumerator,
+        row.resolved,
+        crate::ms(row.time),
+        row.plans,
+        row.pairs,
+        row.pairs_considered,
+        row.unions,
+        if row.cost_ratio.is_nan() {
+            "-".to_string()
+        } else {
+            format!("{:.3}", row.cost_ratio)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_enumerators_agree_and_dphyp_considers_less() {
+        let rows = hypergraph_cell(
+            Topology::Cycle,
+            10,
+            7,
+            false,
+            &[Enumerator::DpSize, Enumerator::DpHyp, Enumerator::Auto],
+            None,
+        );
+        assert_eq!(rows.len(), 3);
+        let (dpsize, dphyp, auto) = (&rows[0], &rows[1], &rows[2]);
+        assert_eq!(dpsize.resolved, "dpsize");
+        assert_eq!(dphyp.resolved, "dphyp");
+        assert_eq!(auto.resolved, "dphyp");
+        assert!(!auto.fallback, "a 10-cycle fits any sane budget");
+        assert_eq!(dphyp.cost_ratio, 1.0);
+        assert_eq!(dphyp.pairs, dpsize.pairs);
+        assert!(dphyp.pairs_considered < dpsize.pairs_considered);
+        assert_eq!(dphyp.pairs_considered, dphyp.pairs);
+    }
+
+    #[test]
+    fn tight_budget_forces_the_fallback() {
+        let rows = hypergraph_cell(
+            Topology::Clique,
+            10,
+            7,
+            false,
+            &[Enumerator::Auto],
+            Some(500),
+        );
+        assert_eq!(rows[0].resolved, "linearized");
+        assert!(rows[0].fallback);
+        assert!(rows[0].best_cost.is_finite());
+        assert!(rows[0].cost_ratio.is_nan(), "no DPsize reference was run");
+    }
+}

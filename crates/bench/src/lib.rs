@@ -15,6 +15,7 @@
 //! | P1 | thread-scaling sweep (parallel DP) | `table_parallel` | [`parallel_cell`] |
 //! | GJ1 | aggregation-placement sweep (group-join + eager push-down) | `table_groupjoin` | [`groupjoin_cell`] |
 //! | PS1 | partial-sort sweep (head/tail properties, `GROUP BY k ORDER BY k`) | `table_partialsort` | [`partialsort_cell`] |
+//! | H1 | enumerator sweep (DPhyp vs DPsize + budgeted linearized fallback) | `table_hypergraph` | [`hypergraph_cell`] |
 //!
 //! Every table binary also emits its rows as machine-readable
 //! `BENCH_<name>.json` (see [`json`]) next to the stdout table, so the
@@ -35,9 +36,11 @@ use ofw_workload::{
 };
 use std::time::{Duration, Instant};
 
+pub mod hypergraph;
 pub mod json;
 pub mod parallel;
 
+pub use hypergraph::{hypergraph_cell, hypergraph_row_json, hypergraph_row_line, HypergraphRow};
 pub use parallel::{parallel_cell, parallel_row_json, parallel_row_line, ParallelRow};
 
 /// One row of the §6.2 preparation table.
@@ -96,6 +99,13 @@ pub struct PlanRow {
     pub memory_bytes: usize,
     /// Cost of the winning plan (for cross-checking both arms agree).
     pub best_cost: f64,
+    /// csg-cmp pairs emitted by the enumerator (deterministic).
+    pub pairs: u64,
+    /// Connected subsets planned beyond the base relations
+    /// (deterministic).
+    pub unions: u64,
+    /// Did the `Auto` enumerator fall back to linearization?
+    pub fallback: bool,
 }
 
 /// Runs plan generation for a query with the DFSM framework,
@@ -133,6 +143,9 @@ pub fn plan_row_json(row: &PlanRow) -> json::Obj {
         .num("time_per_plan_us", row.time_per_plan.as_secs_f64() * 1e6)
         .int("memory_bytes", row.memory_bytes)
         .num("best_cost", row.best_cost)
+        .int("pairs", row.pairs as usize)
+        .int("unions", row.unions as usize)
+        .int("fallback", usize::from(row.fallback))
 }
 
 /// A [`PrepRow`] as a flat JSON object for `BENCH_*.json` files.
@@ -159,6 +172,9 @@ fn finish_row<O: OrderOracle>(fw: &O, t0: Instant, stats: PlanGenStats, best_cos
         },
         memory_bytes: stats.memory_bytes,
         best_cost,
+        pairs: stats.pairs_emitted,
+        unions: stats.unions,
+        fallback: stats.fallback,
     }
 }
 
@@ -517,6 +533,9 @@ struct ZeroRow {
     plans: usize,
     memory: usize,
     cost: f64,
+    pairs: u64,
+    unions: u64,
+    fallback: bool,
 }
 
 impl ZeroRow {
@@ -527,6 +546,9 @@ impl ZeroRow {
             plans: 0,
             memory: 0,
             cost: 0.0,
+            pairs: 0,
+            unions: 0,
+            fallback: false,
         }
     }
 
@@ -535,6 +557,9 @@ impl ZeroRow {
         self.plans += row.plans;
         self.memory += row.memory_bytes;
         self.cost += row.best_cost;
+        self.pairs += row.pairs;
+        self.unions += row.unions;
+        self.fallback |= row.fallback;
     }
 
     fn avg(&self, k: usize) -> PlanRow {
@@ -551,6 +576,9 @@ impl ZeroRow {
             },
             memory_bytes: self.memory / k,
             best_cost: self.cost / k as f64,
+            pairs: self.pairs / k as u64,
+            unions: self.unions / k as u64,
+            fallback: self.fallback,
         }
     }
 }

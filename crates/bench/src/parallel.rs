@@ -49,6 +49,13 @@ pub struct ParallelRow {
     pub speedup: f64,
     /// Arena byte-identical to the serial driver's?
     pub identical: bool,
+    /// csg-cmp pairs emitted by the enumerator (deterministic).
+    pub pairs: u64,
+    /// Connected subsets planned beyond the base relations
+    /// (deterministic).
+    pub unions: u64,
+    /// Did the `Auto` enumerator fall back to linearization?
+    pub fallback: bool,
 }
 
 /// Order-*sensitive* 64-bit fingerprint of the full plan arena (nodes
@@ -124,6 +131,9 @@ where
         best_cost: serial.cost,
         speedup: 1.0,
         identical: true,
+        pairs: serial.stats.pairs_emitted,
+        unions: serial.stats.unions,
+        fallback: serial.stats.fallback,
     });
     for &t in threads {
         let pool = ThreadPool::new(t);
@@ -141,6 +151,9 @@ where
             best_cost: r.cost,
             speedup: serial_time.as_secs_f64() / time.as_secs_f64().max(1e-12),
             identical: fingerprint(&r) == reference,
+            pairs: r.stats.pairs_emitted,
+            unions: r.stats.unions,
+            fallback: r.stats.fallback,
         });
     }
     rows
@@ -224,6 +237,9 @@ pub fn parallel_row_json(row: &ParallelRow) -> crate::json::Obj {
         .num("best_cost", row.best_cost)
         .num("speedup", row.speedup)
         .int("identical", usize::from(row.identical))
+        .int("pairs", row.pairs as usize)
+        .int("unions", row.unions as usize)
+        .int("fallback", usize::from(row.fallback))
 }
 
 /// Renders one row for the stdout table.

@@ -1,12 +1,15 @@
-//! The parallel plan-generation driver: the size-layered DP of
-//! `ofw-plangen` executed on the work-stealing pool.
+//! The parallel plan-generation driver: the DP of `ofw-plangen`
+//! executed on the work-stealing pool.
 //!
-//! The DP partitions cleanly by subset size (every connected set of size
-//! `s` is built from strictly smaller sets), so the driver hands each
-//! size layer's connected subsets to the pool as chunks. Each chunk
-//! builds its subset's Pareto set in a thread-local arena; the layer
+//! The DP core schedules work as **csg-cmp work-list batches**: each
+//! enumerator ([`Enumerator`]) emits batches of union work items whose
+//! input subsets are all committed by earlier batches — one batch per
+//! subset size for the exhaustive enumerators, one per window×size for
+//! the linearized fallback. Within a batch every item is independent,
+//! so the driver hands the batch to the pool as chunks. Each chunk
+//! builds its subsets' Pareto sets in a thread-local arena; the batch
 //! barrier then merges the per-subset arenas into the global plan table
-//! in the layer's deterministic subset order. The result is byte-
+//! in the batch's deterministic item order. The result is byte-
 //! identical to the serial driver regardless of thread count — the
 //! entire schedule dependence is erased by the ordered merge.
 //!
@@ -19,7 +22,7 @@
 
 use crate::pool::ThreadPool;
 use ofw_catalog::Catalog;
-use ofw_plangen::{OrderOracle, PlanGen, PlanGenResult};
+use ofw_plangen::{Enumerator, OrderOracle, PlanGen, PlanGenResult};
 use ofw_query::{ExtractedQuery, Query};
 
 /// Plans `query` with the DP sharded across `pool`. Produces exactly the
@@ -43,6 +46,27 @@ where
     O::State: Send + Sync,
 {
     PlanGen::new(catalog, query, ex, oracle).run_with(pool)
+}
+
+/// [`plan_parallel`] with an explicit enumeration strategy — the
+/// parallel entry point for DPhyp runs and for `Auto`'s budgeted
+/// fallback on queries too wide for exhaustive enumeration.
+pub fn plan_parallel_with<O>(
+    catalog: &Catalog,
+    query: &Query,
+    ex: &ExtractedQuery,
+    oracle: &O,
+    pool: &ThreadPool,
+    enumerator: Enumerator,
+) -> PlanGenResult<O::State>
+where
+    O: OrderOracle + Sync,
+    O::Key: Sync,
+    O::State: Send + Sync,
+{
+    PlanGen::new(catalog, query, ex, oracle)
+        .enumerator(enumerator)
+        .run_with(pool)
 }
 
 #[cfg(test)]
@@ -76,6 +100,32 @@ mod tests {
             assert_eq!(par.best, serial.best, "threads={threads}");
             assert_eq!(par.cost.to_bits(), serial.cost.to_bits());
             assert_eq!(par.stats.plans, serial.stats.plans);
+        }
+    }
+
+    /// DPhyp under the pool: same winner, cost and plan count as the
+    /// serial size-layered DP, at every thread count.
+    #[test]
+    fn dphyp_under_the_pool_matches_serial_dpsize() {
+        let (c, q) = ofw_workload::large_query(&ofw_workload::LargeQueryConfig {
+            topology: ofw_workload::Topology::Cycle,
+            num_relations: 10,
+            seed: 42,
+        });
+        let ex = ofw_query::extract(&c, &q, &ExtractOptions::default());
+        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+
+        let serial = PlanGen::new(&c, &q, &ex, &fw).run();
+        assert_eq!(serial.stats.enumerator, "dpsize");
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let par = plan_parallel_with(&c, &q, &ex, &fw, &pool, Enumerator::DpHyp);
+            assert_eq!(par.stats.enumerator, "dphyp");
+            assert_eq!(par.best, serial.best, "threads={threads}");
+            assert_eq!(par.cost.to_bits(), serial.cost.to_bits());
+            assert_eq!(par.stats.plans, serial.stats.plans);
+            assert_eq!(par.stats.pairs_emitted, serial.stats.pairs_emitted);
+            assert!(par.stats.pairs_considered < serial.stats.pairs_considered);
         }
     }
 }

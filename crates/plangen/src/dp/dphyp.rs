@@ -1,0 +1,475 @@
+//! Connected-subgraph / complement-pair enumeration (DPccp/DPhyp-style)
+//! over [`JoinGraph`] neighborhoods.
+//!
+//! Instead of pairing all smaller subsets and rejecting the
+//! overlapping/disconnected combinations (the DPsize candidate loop),
+//! this enumerator *grows* connected subgraphs along the join graph:
+//! for every start relation (descending index), connected subgraphs
+//! (csg) are expanded through their neighborhood, and for each csg the
+//! connected complement subgraphs (cmp) are expanded the same way from
+//! the csg's higher-indexed neighbors. Min-index forbidden sets make
+//! every unordered csg-cmp pair appear exactly once, so enumeration
+//! time is proportional to the number of *valid* pairs — the quantity
+//! the optional budget counts and the reason `pairs_considered ==
+//! pairs_emitted` here.
+//!
+//! The emitted pair set is exactly DPsize's (every ordered partition of
+//! every connected subset, both directions), just discovered in a
+//! different order. A canonicalization pass restores DPsize's order —
+//! batches by subset size; within a layer, unions ranked by their
+//! minimal ordered-pair key `(left size, left rank, right rank)` and
+//! each union's pairs sorted by that key; ranks assigned per layer
+//! recursively — so the downstream plan table, arena layout and winner
+//! are **byte-identical** to the size-layered enumerator wherever both
+//! run.
+
+use super::{UnionWork, WorkSchedule};
+use ofw_common::{BitSet, FxHashMap};
+use ofw_query::{JoinGraph, Query};
+
+/// Enumeration exceeded its csg-cmp pair budget — the signal that flips
+/// [`Enumerator::Auto`](super::Enumerator::Auto) to the linearized
+/// fallback. Carries nothing: the point is aborting *before* planning
+/// work is spent.
+#[derive(Debug)]
+pub(crate) struct BudgetExceeded;
+
+/// csg-cmp enumeration state: interned connected subsets plus the
+/// unordered pair list in discovery order.
+struct CsgCmp {
+    graph: JoinGraph,
+    n: usize,
+    /// Interned subset → index into `sets` (singletons first, `0..n`).
+    index: FxHashMap<BitSet, u32>,
+    sets: Vec<BitSet>,
+    /// Unordered csg-cmp pairs as interned indices, discovery order.
+    pairs: Vec<(u32, u32)>,
+    /// csg visits — the backstop counter for graphs whose rare barren
+    /// subgraphs (no emittable complement) outnumber their pairs.
+    visits: u64,
+    budget: Option<u64>,
+}
+
+impl CsgCmp {
+    fn intern(&mut self, s: &BitSet) -> u32 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = self.sets.len() as u32;
+        self.index.insert(s.clone(), i);
+        self.sets.push(s.clone());
+        i
+    }
+
+    /// `{0, 1, …, i}` — the min-index forbidden prefix `Bᵢ`.
+    fn prefix(&self, i: usize) -> BitSet {
+        let mut b = BitSet::new(self.n);
+        for j in 0..=i {
+            b.insert(j);
+        }
+        b
+    }
+
+    fn singleton(&self, i: usize) -> BitSet {
+        let mut s = BitSet::new(self.n);
+        s.insert(i);
+        s
+    }
+
+    /// Calls `f` with `base ∪ S'` for every non-empty subset `S'` of
+    /// `members`, in counter order. Wide frontiers only ever matter on
+    /// graphs far past any exhaustible size, where the budget (checked
+    /// inside `f` via the emit counters) aborts the loop long before the
+    /// counter space is exhausted.
+    fn for_each_extension(
+        &mut self,
+        base: &BitSet,
+        members: &[usize],
+        mut f: impl FnMut(&mut Self, BitSet) -> Result<(), BudgetExceeded>,
+    ) -> Result<(), BudgetExceeded> {
+        if members.len() >= 128 {
+            // No u128 counter can walk this frontier. Budgeted runs
+            // treat it as the budget overflow it is about to become;
+            // unbudgeted explicit DpHyp has no sane continuation.
+            assert!(
+                self.budget.is_some(),
+                "DpHyp neighborhood of {} relations needs a budget (use Enumerator::Auto)",
+                members.len()
+            );
+            return Err(BudgetExceeded);
+        }
+        for bits in 1u128..(1u128 << members.len()) {
+            let mut s = base.clone();
+            let mut b = bits;
+            while b != 0 {
+                let j = b.trailing_zeros() as usize;
+                s.insert(members[j]);
+                b &= b - 1;
+            }
+            f(self, s)?;
+        }
+        Ok(())
+    }
+
+    fn emit_pair(&mut self, s1: &BitSet, s2: &BitSet) -> Result<(), BudgetExceeded> {
+        let a = self.intern(s1);
+        let b = self.intern(s2);
+        self.pairs.push((a, b));
+        if let Some(budget) = self.budget {
+            if self.pairs.len() as u64 > budget {
+                return Err(BudgetExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&mut self) -> Result<(), BudgetExceeded> {
+        for i in (0..self.n).rev() {
+            let s = self.singleton(i);
+            self.emit_csg(&s)?;
+            let bi = self.prefix(i);
+            self.enumerate_csg_rec(&s, &bi)?;
+        }
+        Ok(())
+    }
+
+    /// Emits every pair whose csg is `s1`: complements grow from `s1`'s
+    /// neighbors above its minimum index (lower ones belong to the
+    /// start relations that already covered those pairs).
+    fn emit_csg(&mut self, s1: &BitSet) -> Result<(), BudgetExceeded> {
+        self.visits += 1;
+        if let Some(budget) = self.budget {
+            // Backstop: barren csgs emit nothing, so on adversarial
+            // graphs the pair counter alone might never trip.
+            if self.visits > budget.saturating_mul(2) + 10_000 {
+                return Err(BudgetExceeded);
+            }
+        }
+        let min = s1.iter().next().expect("csg is non-empty");
+        let mut x = self.prefix(min);
+        x.union_with(s1);
+        let nb = self.graph.neighborhood(s1, &x);
+        let members: Vec<usize> = nb.iter().collect();
+        for &i in members.iter().rev() {
+            let s2 = self.singleton(i);
+            self.emit_pair(s1, &s2)?;
+            // Forbidden for the complement expansion: everything the
+            // csg side forbids, plus `s1`'s neighbors up to `i` (they
+            // seed their own complement enumerations).
+            let mut x2 = x.clone();
+            for &j in &members {
+                if j <= i {
+                    x2.insert(j);
+                }
+            }
+            self.enumerate_cmp_rec(s1, &s2, &x2)?;
+        }
+        Ok(())
+    }
+
+    fn enumerate_csg_rec(&mut self, s: &BitSet, x: &BitSet) -> Result<(), BudgetExceeded> {
+        let nb = self.graph.neighborhood(s, x);
+        if nb.is_empty() {
+            return Ok(());
+        }
+        let members: Vec<usize> = nb.iter().collect();
+        self.for_each_extension(s, &members, |this, grown| this.emit_csg(&grown))?;
+        let mut x2 = x.clone();
+        x2.union_with(&nb);
+        self.for_each_extension(s, &members, |this, grown| {
+            this.enumerate_csg_rec(&grown, &x2)
+        })
+    }
+
+    fn enumerate_cmp_rec(
+        &mut self,
+        s1: &BitSet,
+        s2: &BitSet,
+        x: &BitSet,
+    ) -> Result<(), BudgetExceeded> {
+        let nb = self.graph.neighborhood(s2, x);
+        if nb.is_empty() {
+            return Ok(());
+        }
+        let members: Vec<usize> = nb.iter().collect();
+        let s1c = s1.clone();
+        self.for_each_extension(s2, &members, |this, grown| this.emit_pair(&s1c, &grown))?;
+        let mut x2 = x.clone();
+        x2.union_with(&nb);
+        self.for_each_extension(s2, &members, |this, grown| {
+            this.enumerate_cmp_rec(&s1c, &grown, &x2)
+        })
+    }
+}
+
+/// The canonicalized schedule: all batches precomputed (enumeration
+/// needs only the graph), drained one per subset size.
+pub(crate) struct DpHypSchedule {
+    batches: std::vec::IntoIter<Vec<UnionWork>>,
+    emitted: u64,
+}
+
+impl DpHypSchedule {
+    /// Enumerates `query`'s csg-cmp pairs and canonicalizes them into
+    /// size-layered batches in DPsize order. `Err` iff the budget was
+    /// exceeded — before any planning work happened.
+    pub(crate) fn new(query: &Query, budget: Option<u64>) -> Result<Self, BudgetExceeded> {
+        let n = query.num_relations();
+        let mut enumeration = CsgCmp {
+            graph: JoinGraph::new(query),
+            n,
+            index: FxHashMap::default(),
+            sets: Vec::new(),
+            pairs: Vec::new(),
+            visits: 0,
+            budget,
+        };
+        // Singletons interned first: indices 0..n, matching the
+        // driver's flat numbering.
+        for q in 0..n {
+            let s = query.relation_set(q);
+            enumeration.intern(&s);
+        }
+        enumeration.run()?;
+        let CsgCmp {
+            mut index,
+            mut sets,
+            pairs,
+            ..
+        } = enumeration;
+
+        // Union of each pair (unions are csgs too, but the root set may
+        // not have been interned as a pair side).
+        let mut pair_union: Vec<u32> = Vec::with_capacity(pairs.len());
+        for &(a, b) in &pairs {
+            let mut u = sets[a as usize].clone();
+            u.union_with(&sets[b as usize]);
+            let ui = match index.get(&u) {
+                Some(&i) => i,
+                None => {
+                    let i = sets.len() as u32;
+                    index.insert(u.clone(), i);
+                    sets.push(u);
+                    i
+                }
+            };
+            pair_union.push(ui);
+        }
+        let sizes: Vec<u32> = sets.iter().map(|s| s.len() as u32).collect();
+        let mut members: FxHashMap<u32, Vec<(u32, u32)>> = FxHashMap::default();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            members.entry(pair_union[i]).or_default().push((a, b));
+        }
+        let mut unions_by_size: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        for &u in members.keys() {
+            unions_by_size[sizes[u as usize] as usize].push(u);
+        }
+
+        // Rank (position within the size layer) and flat global index
+        // per subset, assigned in DPsize discovery order layer by layer.
+        let mut rank: Vec<u32> = vec![u32::MAX; sets.len()];
+        let mut global: Vec<u32> = vec![u32::MAX; sets.len()];
+        for q in 0..n {
+            rank[q] = q as u32;
+            global[q] = q as u32;
+        }
+        let mut next_global = n as u32;
+        let mut batches: Vec<Vec<UnionWork>> = Vec::new();
+        let mut emitted = 0u64;
+        // Each union's ordered pairs, keyed and sorted the way the
+        // DPsize pair loop would discover them: `(left size, left
+        // rank, right rank)` ascending. Both directions of every
+        // unordered pair are planned, exactly like DPsize.
+        type KeyedPair = ((u32, u32, u32), (u32, u32));
+        for layer_unions in unions_by_size.iter_mut().take(n + 1).skip(2) {
+            let mut layer: Vec<(Vec<KeyedPair>, u32)> = Vec::new();
+            for u in std::mem::take(layer_unions) {
+                let mut ordered = Vec::with_capacity(members[&u].len() * 2);
+                for &(a, b) in &members[&u] {
+                    let (ra, rb) = (rank[a as usize], rank[b as usize]);
+                    debug_assert!(ra != u32::MAX && rb != u32::MAX, "side from a later layer");
+                    ordered.push(((sizes[a as usize], ra, rb), (a, b)));
+                    ordered.push(((sizes[b as usize], rb, ra), (b, a)));
+                }
+                ordered.sort_unstable_by_key(|&(key, _)| key);
+                layer.push((ordered, u));
+            }
+            // A union's first discovery is its minimal pair key; no two
+            // unions share one (the key identifies both sides).
+            layer.sort_unstable_by_key(|(ordered, _)| ordered[0].0);
+            let mut batch = Vec::with_capacity(layer.len());
+            for (ordered, u) in layer {
+                rank[u as usize] = batch.len() as u32;
+                global[u as usize] = next_global;
+                next_global += 1;
+                emitted += ordered.len() as u64;
+                let pairs = ordered
+                    .into_iter()
+                    .map(|(_, (a, b))| (global[a as usize], global[b as usize]))
+                    .collect();
+                batch.push(UnionWork::new(sets[u as usize].clone(), false, pairs));
+            }
+            batches.push(batch);
+        }
+        Ok(DpHypSchedule {
+            batches: batches.into_iter(),
+            emitted,
+        })
+    }
+}
+
+impl WorkSchedule for DpHypSchedule {
+    fn next_batch(&mut self) -> Option<Vec<UnionWork>> {
+        self.batches.next()
+    }
+
+    fn pairs_considered(&self) -> u64 {
+        // Neighborhood expansion never examines an invalid pair.
+        self.emitted
+    }
+
+    fn pairs_emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::DpSizeSchedule;
+    use super::*;
+    use ofw_catalog::Catalog;
+    use ofw_query::QueryBuilder;
+
+    /// Builds an n-relation query with the given edges (0.01 selectivity
+    /// each); attributes are one column per incident edge.
+    fn graph_query(n: usize, edges: &[(usize, usize)]) -> Query {
+        let mut c = Catalog::new();
+        let mut degree = vec![0usize; n];
+        for &(a, b) in edges {
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        for (i, &d) in degree.iter().enumerate() {
+            let cols: Vec<String> = (0..d.max(1)).map(|k| format!("c{k}")).collect();
+            let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+            c.add_relation(&format!("r{i}"), 1000.0, &col_refs);
+        }
+        let mut used = vec![0usize; n];
+        let mut qb = QueryBuilder::new(&c);
+        for i in 0..n {
+            qb = qb.relation(&format!("r{i}"));
+        }
+        for &(a, b) in edges {
+            let left = format!("r{a}.c{}", used[a]);
+            let right = format!("r{b}.c{}", used[b]);
+            used[a] += 1;
+            used[b] += 1;
+            qb = qb.join(&left, &right, 0.01);
+        }
+        qb.build()
+    }
+
+    /// Drains a schedule into (per-batch) resolved `(union, s1, s2)`
+    /// triples so two enumerators can be compared structurally.
+    fn drain(schedule: &mut dyn WorkSchedule, query: &Query) -> Vec<Vec<(BitSet, BitSet, BitSet)>> {
+        let n = query.num_relations();
+        let mut subsets: Vec<BitSet> = (0..n).map(|q| query.relation_set(q)).collect();
+        let mut out = Vec::new();
+        while let Some(batch) = schedule.next_batch() {
+            let mut resolved = Vec::new();
+            for work in &batch {
+                for &(l, r) in &work.pairs {
+                    resolved.push((
+                        work.union.clone(),
+                        subsets[l as usize].clone(),
+                        subsets[r as usize].clone(),
+                    ));
+                }
+            }
+            for work in batch {
+                subsets.push(work.union);
+            }
+            out.push(resolved);
+        }
+        out
+    }
+
+    /// DpHyp must reproduce DpSize's batches *exactly* — same unions,
+    /// same pairs, same order — on every small graph shape.
+    #[test]
+    fn dphyp_batches_equal_dpsize_batches() {
+        type Shape = (&'static str, usize, Vec<(usize, usize)>);
+        let shapes: Vec<Shape> = vec![
+            ("chain", 5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]),
+            ("star", 5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]),
+            (
+                "cycle",
+                6,
+                vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)],
+            ),
+            (
+                "clique",
+                5,
+                (0..5)
+                    .flat_map(|a| ((a + 1)..5).map(move |b| (a, b)))
+                    .collect(),
+            ),
+            (
+                "two-triangles",
+                6,
+                vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
+            ),
+            ("pair", 2, vec![(0, 1)]),
+        ];
+        for (name, n, edges) in shapes {
+            let q = graph_query(n, &edges);
+            let mut dpsize = DpSizeSchedule::new(&q);
+            let mut dphyp = DpHypSchedule::new(&q, None).unwrap_or_else(|_| unreachable!());
+            let a = drain(&mut dpsize, &q);
+            let b = drain(&mut dphyp, &q);
+            assert_eq!(a, b, "{name}: canonicalized DpHyp diverged from DpSize");
+            assert_eq!(
+                dpsize.pairs_emitted(),
+                dphyp.pairs_emitted(),
+                "{name}: emitted pair counts diverged"
+            );
+            assert!(
+                dpsize.pairs_considered() >= dphyp.pairs_considered(),
+                "{name}: DpSize must consider at least as many candidates"
+            );
+        }
+    }
+
+    /// On a cycle DPsize wades through quadratically many disconnected
+    /// candidates; DPhyp considers none.
+    #[test]
+    fn dphyp_skips_the_disconnected_candidates() {
+        let n = 12;
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let q = graph_query(n, &edges);
+        let mut dpsize = DpSizeSchedule::new(&q);
+        let mut dphyp = DpHypSchedule::new(&q, None).unwrap_or_else(|_| unreachable!());
+        while dpsize.next_batch().is_some() {}
+        while dphyp.next_batch().is_some() {}
+        assert_eq!(dpsize.pairs_emitted(), dphyp.pairs_emitted());
+        assert!(
+            dpsize.pairs_considered() > 4 * dphyp.pairs_considered(),
+            "cycle-12: dpsize considered {} vs dphyp {}",
+            dpsize.pairs_considered(),
+            dphyp.pairs_considered()
+        );
+    }
+
+    /// The budget trips before any batch exists, and a generous budget
+    /// does not.
+    #[test]
+    fn budget_trips_on_dense_graphs() {
+        let edges: Vec<(usize, usize)> = (0..10)
+            .flat_map(|a| ((a + 1)..10).map(move |b| (a, b)))
+            .collect();
+        let q = graph_query(10, &edges);
+        assert!(DpHypSchedule::new(&q, Some(100)).is_err());
+        let ok = DpHypSchedule::new(&q, Some(10_000_000));
+        assert!(ok.is_ok());
+    }
+}

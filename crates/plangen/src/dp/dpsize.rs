@@ -1,0 +1,112 @@
+//! The classic size-layered enumerator (DPsize, Lohman-style) — the
+//! historical hard-wired loop of the DP core, extracted verbatim behind
+//! the [`WorkSchedule`] seam so its output stays byte-identical.
+//!
+//! Every connected set of size `s` arises as the union of two disjoint
+//! connected sets joined by at least one predicate, so pairing every
+//! size-`k` subset with every size-`s−k` subset visits all ordered
+//! partitions of every connected set exactly once. The price is the
+//! *candidate* loop: most `(s1, s2)` combinations overlap or are
+//! disconnected and get rejected after the intersect/connects tests —
+//! on dense graphs that rejection work dominates (Θ(3ⁿ) on cliques,
+//! and `pairs_considered` ≫ `pairs_emitted` even on chains). The
+//! neighborhood-driven [`DpHypSchedule`](super::DpHypSchedule) exists
+//! to skip exactly that waste.
+//!
+//! One batch per subset size, unions in first-discovery order, pairs in
+//! pair-loop order `(k ascending, left index, right index)` — the
+//! canonical order [`DpHypSchedule`](super::DpHypSchedule) reproduces.
+
+use super::{UnionWork, WorkSchedule};
+use ofw_common::{BitSet, FxHashMap};
+use ofw_query::{JoinGraph, Query};
+
+/// Lazy size-layered schedule: each `next_batch` call enumerates one
+/// size layer from the subsets discovered so far, exactly as the old
+/// in-line `plan_layer` loop did.
+pub(crate) struct DpSizeSchedule<'a> {
+    query: &'a Query,
+    graph: JoinGraph,
+    /// Committed subsets in flat global-index order (mirrors the
+    /// driver's numbering: singletons first, then each batch's unions).
+    subsets: Vec<BitSet>,
+    /// Global indices of the subsets of each size.
+    by_size: Vec<Vec<u32>>,
+    /// Size of the last batch handed out (1 = just the singletons).
+    size: usize,
+    considered: u64,
+    emitted: u64,
+}
+
+impl<'a> DpSizeSchedule<'a> {
+    pub(crate) fn new(query: &'a Query) -> Self {
+        let n = query.num_relations();
+        let subsets: Vec<BitSet> = (0..n).map(|q| query.relation_set(q)).collect();
+        let mut by_size: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        by_size[1] = (0..n as u32).collect();
+        DpSizeSchedule {
+            query,
+            graph: JoinGraph::new(query),
+            subsets,
+            by_size,
+            size: 1,
+            considered: 0,
+            emitted: 0,
+        }
+    }
+}
+
+impl WorkSchedule for DpSizeSchedule<'_> {
+    fn next_batch(&mut self) -> Option<Vec<UnionWork>> {
+        self.size += 1;
+        let size = self.size;
+        if size > self.query.num_relations() {
+            return None;
+        }
+        let mut index: FxHashMap<BitSet, usize> = FxHashMap::default();
+        let mut layer: Vec<UnionWork> = Vec::new();
+        let (mut considered, mut emitted) = (0u64, 0u64);
+        for k in 1..size {
+            for &li in &self.by_size[k] {
+                let s1 = &self.subsets[li as usize];
+                for &ri in &self.by_size[size - k] {
+                    let s2 = &self.subsets[ri as usize];
+                    considered += 1;
+                    if s1.intersects(s2) {
+                        continue;
+                    }
+                    if !self.graph.connects(s1, s2) {
+                        continue; // would be a cross product
+                    }
+                    let mut union = s1.clone();
+                    union.union_with(s2);
+                    let at = match index.get(&union) {
+                        Some(&at) => at,
+                        None => {
+                            index.insert(union.clone(), layer.len());
+                            layer.push(UnionWork::new(union, false, Vec::new()));
+                            layer.len() - 1
+                        }
+                    };
+                    layer[at].push_pair(li, ri);
+                    emitted += 1;
+                }
+            }
+        }
+        self.considered += considered;
+        self.emitted += emitted;
+        for work in &layer {
+            self.by_size[size].push(self.subsets.len() as u32);
+            self.subsets.push(work.union.clone());
+        }
+        Some(layer)
+    }
+
+    fn pairs_considered(&self) -> u64 {
+        self.considered
+    }
+
+    fn pairs_emitted(&self) -> u64 {
+        self.emitted
+    }
+}

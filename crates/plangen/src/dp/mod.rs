@@ -36,18 +36,35 @@
 //! replicates the root-only search exactly, which is why enabling
 //! placement can never yield a costlier winner.
 //!
-//! # The two-driver layer API
+//! # The enumerator seam and the two-driver batch API
 //!
-//! The DP advances layer by layer (subset size 2, 3, … n). Each layer is
-//! *planned* first — `PlanGen::plan_layer` enumerates every connected
-//! union of the layer together with all its ordered partitions, in a
-//! deterministic first-discovery order — and then *executed*: each
-//! union's Pareto set is built independently in a thread-local
-//! [`ArenaView`] and spliced onto the global arena **in layer order** at
-//! the layer barrier. Execution is delegated to an
-//! [`ofw_common::OrderedExecutor`]: [`SerialExecutor`] for the classic
-//! single-threaded driver ([`PlanGen::run`]), the `ofw-parallel`
-//! work-stealing pool for the sharded driver ([`PlanGen::run_with`]).
+//! *Which* subsets get planned, and from *which* ordered partitions, is
+//! a strategy choice behind the [`Enumerator`] seam. An enumerator is a
+//! pure function of the join graph: it produces **batches** of
+//! [`UnionWork`] items (a connected subset plus its ordered partitions,
+//! referencing earlier subsets by flat index — singletons `0..n` first,
+//! then unions in emission order). The driver loop is enumerator-
+//! agnostic: each batch is *executed* — each union's Pareto set built
+//! independently in a thread-local [`ArenaView`] — and spliced onto the
+//! global arena **in batch order** at the batch barrier. Execution is
+//! delegated to an [`ofw_common::OrderedExecutor`]: [`SerialExecutor`]
+//! for the classic single-threaded driver ([`PlanGen::run`]), the
+//! `ofw-parallel` work-stealing pool for the sharded driver
+//! ([`PlanGen::run_with`]). Three enumerators exist:
+//!
+//! * [`Enumerator::DpSize`] (default) — the classic size-layered DP
+//!   (batch = size layer), byte-identical to the historical generator;
+//! * [`Enumerator::DpHyp`] — connected-subgraph/complement-pair
+//!   enumeration over [`ofw_query::JoinGraph`] neighborhoods, emitting
+//!   only valid csg-cmp pairs (no disconnected/overlapping candidates),
+//!   canonicalized to DpSize's discovery order so the output stays
+//!   byte-identical;
+//! * [`Enumerator::Linearized`] — greedy join-order linearization plus a
+//!   sliding local-DP refinement window; not exhaustive, but plans
+//!   100-relation cliques. [`Enumerator::Auto`] runs DpHyp under an
+//!   enumeration budget (counted in emitted csg-cmp pairs) and falls
+//!   back to Linearized beyond it.
+//!
 //! Because the splice order and the per-union work are both schedule-
 //! independent, the final plan table — operators, masks, costs,
 //! cardinalities, applied FDs, winner — is byte-identical for every
@@ -61,6 +78,10 @@
 //! Every [`PlanNode`] allocation is counted: that is the paper's
 //! `#Plans` metric ("the time to introduce one plan operator").
 
+mod dphyp;
+mod dpsize;
+mod linearize;
+
 use crate::cost;
 use crate::oracle::OrderOracle;
 use crate::plan::{AggMark, ArenaView, PlanArena, PlanId, PlanNode, PlanOp, LOCAL_PLAN_BIT};
@@ -69,11 +90,63 @@ use ofw_common::{BitSet, FxHashMap, OrderedExecutor, SerialExecutor, SmallBitSet
 use ofw_core::fd::FdSetId;
 use ofw_core::ordering::Ordering;
 use ofw_core::property::{Grouping, HeadTail, LogicalProperty};
-use ofw_query::{ExtractedQuery, Query};
+use ofw_query::{ExtractedQuery, JoinGraph, Query};
 use std::time::{Duration, Instant};
 
-/// Plan-generation metrics — the paper's §7 table columns.
-#[derive(Clone, Debug, Default)]
+pub(crate) use dphyp::DpHypSchedule;
+pub(crate) use dpsize::DpSizeSchedule;
+pub(crate) use linearize::LinearizedSchedule;
+
+/// Default ceiling on emitted csg-cmp pairs before [`Enumerator::Auto`]
+/// abandons exhaustive enumeration for the linearized fallback. Exact
+/// through ~13-relation cliques, 100-relation chains and cycles, and
+/// ~14-relation stars; dense graphs beyond that linearize.
+pub const DEFAULT_ENUMERATION_BUDGET: u64 = 1_000_000;
+
+/// Default linearized-fallback refinement-window width (see
+/// [`Enumerator::Linearized`]): each sliding window runs a local DP over
+/// this many consecutive relations of the greedy linear order.
+pub const DEFAULT_LINEARIZE_WINDOW: usize = 6;
+
+/// Join-enumeration strategy behind the DP core (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Enumerator {
+    /// Classic size-layered exhaustive DP — the default, byte-identical
+    /// to the historical generator. Θ(3ⁿ) on cliques.
+    DpSize,
+    /// Connected-subgraph/complement-pair (csg-cmp) enumeration over
+    /// join-graph neighborhoods: exhaustive like DpSize (and
+    /// canonicalized to its exact output), but it never *considers*
+    /// disconnected or overlapping candidate pairs, so sparse and
+    /// cyclic graphs enumerate in time proportional to the valid pairs.
+    DpHyp,
+    /// Greedy join-order linearization (smallest effective cardinality
+    /// first, then repeatedly append the adjacent relation minimizing
+    /// the running intermediate cardinality) refined by a sliding
+    /// local-DP window over the linear order. Not exhaustive; bounded
+    /// work even on 100-relation cliques.
+    Linearized,
+    /// DpHyp when it fits the enumeration budget, Linearized beyond it
+    /// (the budget is counted in emitted csg-cmp pairs; see
+    /// [`PlanGen::enumeration_budget`]).
+    Auto,
+}
+
+impl Enumerator {
+    /// Lower-case name for stats, tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Enumerator::DpSize => "dpsize",
+            Enumerator::DpHyp => "dphyp",
+            Enumerator::Linearized => "linearized",
+            Enumerator::Auto => "auto",
+        }
+    }
+}
+
+/// Plan-generation metrics — the paper's §7 table columns plus the
+/// deterministic enumeration counters.
+#[derive(Clone, Debug)]
 pub struct PlanGenStats {
     /// Total subplans generated (`#Plans`).
     pub plans: usize,
@@ -83,6 +156,42 @@ pub struct PlanGenStats {
     /// Bytes of order-annotation memory (per-plan states + shared
     /// structures of the order framework).
     pub memory_bytes: usize,
+    /// Name of the enumerator that actually ran (`"dpsize"`, `"dphyp"`
+    /// or `"linearized"` — [`Enumerator::Auto`] resolves to one of the
+    /// latter two).
+    pub enumerator: &'static str,
+    /// Candidate ordered partitions *examined* — for DpSize this
+    /// includes the disjointness/connectedness rejects its nested size
+    /// loops wade through; for DpHyp and Linearized every considered
+    /// pair is valid, so it equals `pairs_emitted`. Deterministic per
+    /// query.
+    pub pairs_considered: u64,
+    /// Valid ordered csg-cmp pairs handed to plan construction.
+    /// Identical between DpSize and DpHyp on every graph (they
+    /// enumerate the same pair set). Deterministic per query.
+    pub pairs_emitted: u64,
+    /// Union work items processed (connected subsets planned, counting
+    /// re-visits by the linearized fallback's overlapping windows).
+    /// Deterministic per query.
+    pub unions: u64,
+    /// Whether [`Enumerator::Auto`] exceeded the enumeration budget and
+    /// fell back to the linearized enumerator.
+    pub fallback: bool,
+}
+
+impl Default for PlanGenStats {
+    fn default() -> Self {
+        PlanGenStats {
+            plans: 0,
+            time: Duration::default(),
+            memory_bytes: 0,
+            enumerator: Enumerator::DpSize.name(),
+            pairs_considered: 0,
+            pairs_emitted: 0,
+            unions: 0,
+            fallback: false,
+        }
+    }
 }
 
 /// The winning plan plus metrics and the arena to inspect it.
@@ -125,21 +234,53 @@ struct PartialSortProbe<K> {
     covered: usize,
 }
 
-/// One connected subset of a DP layer with all its ordered partitions —
-/// the unit of work the executor schedules. Pairs are stored as indices
-/// into the by-size subset lists (`(left size, left index, right
-/// index)`), in the deterministic order the pair loop discovered them.
+/// One connected subset with its ordered partitions — the unit of work
+/// the executor schedules. Pairs reference earlier subsets by **flat
+/// global index**: singletons occupy `0..n` in query-relation order,
+/// and every union takes the next index in batch-emission order (the
+/// order the driver commits them). Pair order within a work item is the
+/// enumerator's deterministic emission order.
 pub struct UnionWork {
     /// The connected subset this work item builds plans for.
     pub union: BitSet,
-    pairs: Vec<(u32, u32, u32)>,
+    /// Seed the Pareto set from the subset's existing plan-table entry
+    /// instead of starting empty — the linearized enumerator re-visits
+    /// subsets shared between overlapping refinement windows and merges
+    /// rather than discards the earlier window's plans.
+    seed: bool,
+    pairs: Vec<(u32, u32)>,
 }
 
 impl UnionWork {
+    pub(crate) fn new(union: BitSet, seed: bool, pairs: Vec<(u32, u32)>) -> Self {
+        UnionWork { union, seed, pairs }
+    }
+
     /// Number of ordered partitions feeding this subset.
     pub fn num_pairs(&self) -> usize {
         self.pairs.len()
     }
+
+    pub(crate) fn push_pair(&mut self, left: u32, right: u32) {
+        self.pairs.push((left, right));
+    }
+}
+
+/// The enumerator side of the driver contract: a pure function of the
+/// join graph producing batches of [`UnionWork`]. Within a batch every
+/// pair may only reference subsets that were *committed before the
+/// batch started* (singletons `0..n`, then one index per union in
+/// emission order across all earlier batches); the driver executes the
+/// batch — possibly in parallel — then commits its unions in batch
+/// order. Counters must be deterministic per query.
+pub(crate) trait WorkSchedule {
+    /// The next batch of union work, or `None` when enumeration is
+    /// complete.
+    fn next_batch(&mut self) -> Option<Vec<UnionWork>>;
+    /// Candidate ordered partitions examined so far.
+    fn pairs_considered(&self) -> u64;
+    /// Valid ordered partitions emitted so far.
+    fn pairs_emitted(&self) -> u64;
 }
 
 /// Pre-resolved aggregation context: what placement enumeration needs
@@ -183,6 +324,16 @@ pub struct PlanGen<'a, O: OrderOracle> {
     query: &'a Query,
     ex: &'a ExtractedQuery,
     oracle: &'a O,
+    /// Precomputed join-graph adjacency (edge endpoints resolved once —
+    /// the pair loops and `emit_joins` ask crossing-edge questions
+    /// millions of times).
+    graph: JoinGraph,
+    /// Join-enumeration strategy (see [`Enumerator`]).
+    enumerator: Enumerator,
+    /// csg-cmp pair budget for [`Enumerator::Auto`].
+    budget: u64,
+    /// Refinement-window width for [`Enumerator::Linearized`].
+    window: usize,
     targets: Vec<EnforcerTarget<O::Key>>,
     /// Aggregation context (`Some` iff the query computes aggregates
     /// over a group-by and extraction ran with placement enabled).
@@ -275,6 +426,10 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             query,
             ex,
             oracle,
+            graph: JoinGraph::new(query),
+            enumerator: Enumerator::DpSize,
+            budget: DEFAULT_ENUMERATION_BUDGET,
+            window: DEFAULT_LINEARIZE_WINDOW,
             targets,
             agg,
             placement: true,
@@ -282,6 +437,34 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             arena: PlanArena::new(),
             table: FxHashMap::default(),
         }
+    }
+
+    /// Selects the join-enumeration strategy (default
+    /// [`Enumerator::DpSize`], the legacy byte-identical behavior).
+    pub fn enumerator(mut self, e: Enumerator) -> Self {
+        self.enumerator = e;
+        self
+    }
+
+    /// Sets the [`Enumerator::Auto`] budget: the number of emitted
+    /// csg-cmp pairs beyond which exhaustive DpHyp enumeration is
+    /// abandoned for the linearized fallback (default
+    /// [`DEFAULT_ENUMERATION_BUDGET`]). Emitted pairs are a faithful
+    /// work proxy — every pair costs at least one join alternative
+    /// downstream — and are counted *before* any planning happens, so
+    /// tripping the budget is cheap.
+    pub fn enumeration_budget(mut self, pairs: u64) -> Self {
+        self.budget = pairs;
+        self
+    }
+
+    /// Sets the linearized fallback's refinement-window width (default
+    /// [`DEFAULT_LINEARIZE_WINDOW`], capped at 16): wider windows
+    /// explore more local join orders per window at exponentially more
+    /// work per window.
+    pub fn linearize_window(mut self, relations: usize) -> Self {
+        self.window = relations;
+        self
     }
 
     /// Pre-resolves the partial-sort admission probes for the ordering
@@ -410,8 +593,10 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         let n = self.query.num_relations();
         let all = self.query.all_relations_set();
 
-        // Connected subsets discovered so far, grouped by size.
-        let mut by_size: Vec<Vec<BitSet>> = vec![Vec::new(); n + 1];
+        // Subsets committed so far, in flat global-index order: the
+        // numbering every enumerator's pair references use (singletons
+        // `0..n` first, then unions in batch-emission order).
+        let mut subsets: Vec<BitSet> = Vec::with_capacity(n);
 
         // Base relations (cheap — built inline on the driver thread).
         for qrel in 0..n {
@@ -426,32 +611,33 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             self.add_placement_variants(&mask, &mut set, &mut view);
             let set = self.commit(view.into_local(), set);
             self.table.insert(mask.clone(), set);
-            by_size[1].push(mask);
+            subsets.push(mask);
         }
 
-        // Size-ordered DP: every connected set of size `s` is the union
-        // of two disjoint connected sets with a connecting edge, both of
-        // smaller size — so the layer plan below enumerates all its
-        // ordered partitions (s1 = left/probe side) before any plan for
-        // the set is built. Each union is one executor chunk; the layer
-        // barrier splices the thread-local arenas in layer order, which
-        // makes the arena independent of the schedule.
-        for size in 2..=n {
-            let layer = self.plan_layer(size, &by_size);
+        // Enumerator-agnostic driver loop: the schedule hands over
+        // batches of union work whose pairs only reference committed
+        // subsets, so each batch's unions are independent of each other.
+        // Each union is one executor chunk; the batch barrier splices
+        // the thread-local arenas in batch order, which makes the arena
+        // independent of the parallel schedule.
+        let (mut schedule, enumerator_name, fallback) = self.make_schedule();
+        let mut unions = 0u64;
+        while let Some(batch) = schedule.next_batch() {
             let results = {
                 let this = &self;
-                let by_size = &by_size;
-                let layer = &layer;
-                exec.run_ordered(layer.len(), &|i| {
+                let subsets = &subsets;
+                let batch = &batch;
+                exec.run_ordered(batch.len(), &|i| {
                     let mut view = ArenaView::new(&this.arena);
-                    let set = this.process_union(size, &layer[i], by_size, &mut view);
+                    let set = this.process_union(&batch[i], subsets, &mut view);
                     (view.into_local(), set)
                 })
             };
-            for (work, (local, set)) in layer.into_iter().zip(results) {
+            for (work, (local, set)) in batch.into_iter().zip(results) {
                 let set = self.commit(local, set);
                 self.table.insert(work.union.clone(), set);
-                by_size[size].push(work.union);
+                subsets.push(work.union);
+                unions += 1;
             }
         }
 
@@ -483,6 +669,11 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             plans: self.arena.len(),
             time: t0.elapsed(),
             memory_bytes: self.oracle.memory_bytes(self.arena.len()),
+            enumerator: enumerator_name,
+            pairs_considered: schedule.pairs_considered(),
+            pairs_emitted: schedule.pairs_emitted(),
+            unions,
+            fallback,
         };
         PlanGenResult {
             best,
@@ -492,53 +683,50 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         }
     }
 
-    /// Plans one DP layer: every connected subset of `size` relations,
-    /// in deterministic first-discovery order, with all its ordered
-    /// partitions in pair-loop order. Pure enumeration — no plans are
-    /// built — so it stays on the driver thread.
-    fn plan_layer(&self, size: usize, by_size: &[Vec<BitSet>]) -> Vec<UnionWork> {
-        let mut index: FxHashMap<BitSet, usize> = FxHashMap::default();
-        let mut layer: Vec<UnionWork> = Vec::new();
-        for k in 1..size {
-            for (li, s1) in by_size[k].iter().enumerate() {
-                for (ri, s2) in by_size[size - k].iter().enumerate() {
-                    if s1.intersects(s2) {
-                        continue;
-                    }
-                    if self.query.connecting_joins_set(s1, s2).next().is_none() {
-                        continue; // would be a cross product
-                    }
-                    let mut union = s1.clone();
-                    union.union_with(s2);
-                    let at = *index.entry(union.clone()).or_insert_with(|| {
-                        layer.push(UnionWork {
-                            union,
-                            pairs: Vec::new(),
-                        });
-                        layer.len() - 1
-                    });
-                    layer[at].pairs.push((k as u32, li as u32, ri as u32));
-                }
+    /// Instantiates the configured enumerator: the schedule, the name of
+    /// what actually runs, and whether the auto budget forced the
+    /// linearized fallback. Enumeration is a pure function of the join
+    /// graph, so (for [`Enumerator::Auto`]) the budget trips before any
+    /// planning work is spent.
+    fn make_schedule(&self) -> (Box<dyn WorkSchedule + 'a>, &'static str, bool) {
+        let linearized = || LinearizedSchedule::new(self.catalog, self.query, self.window);
+        match self.enumerator {
+            Enumerator::DpSize => (
+                Box::new(DpSizeSchedule::new(self.query)),
+                Enumerator::DpSize.name(),
+                false,
+            ),
+            Enumerator::DpHyp => {
+                let s = DpHypSchedule::new(self.query, None)
+                    .expect("DpHyp without a budget cannot exceed it");
+                (Box::new(s), Enumerator::DpHyp.name(), false)
             }
+            Enumerator::Linearized => {
+                (Box::new(linearized()), Enumerator::Linearized.name(), false)
+            }
+            Enumerator::Auto => match DpHypSchedule::new(self.query, Some(self.budget)) {
+                Ok(s) => (Box::new(s), Enumerator::DpHyp.name(), false),
+                Err(_) => (Box::new(linearized()), Enumerator::Linearized.name(), true),
+            },
         }
-        layer
     }
 
     /// Builds one subset's Pareto set from its ordered partitions —
-    /// the executor chunk. Reads only frozen earlier-layer state
-    /// (`table`, `by_size`, the oracle); writes only into `view`.
+    /// the executor chunk. Reads only frozen earlier-batch state
+    /// (`table`, `subsets`, the oracle); writes only into `view`.
     fn process_union(
         &self,
-        size: usize,
         work: &UnionWork,
-        by_size: &[Vec<BitSet>],
+        subsets: &[BitSet],
         view: &mut ArenaView<'_, O::State>,
     ) -> Vec<PlanId> {
-        let mut set = Vec::new();
-        for &(k, li, ri) in &work.pairs {
-            let s1 = &by_size[k as usize][li as usize];
-            let s2 = &by_size[size - k as usize][ri as usize];
-            self.emit_joins(s1, s2, &mut set, view);
+        let mut set = if work.seed {
+            self.table[&work.union].clone()
+        } else {
+            Vec::new()
+        };
+        for &(l, r) in &work.pairs {
+            self.emit_joins(&subsets[l as usize], &subsets[r as usize], &mut set, view);
         }
         self.add_enforcer_variants(&work.union, &mut set, view);
         self.add_placement_variants(&work.union, &mut set, view);
@@ -802,7 +990,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         set: &mut Vec<PlanId>,
         view: &mut ArenaView<'_, O::State>,
     ) {
-        let edges: Vec<usize> = self.query.connecting_joins_set(s1, s2).collect();
+        let edges: Vec<usize> = self.graph.connecting_edges(s1, s2).collect();
         if edges.is_empty() {
             return; // would be a cross product
         }
@@ -1684,33 +1872,20 @@ mod tests {
             qb = qb.join(&format!("t{i}.f"), &format!("t{}.k", i + 1), 0.001);
         }
         let q = qb.build();
-        let ex = ofw_query::extract(&c, &q, &ExtractOptions::default());
-        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
-        let pg = PlanGen::new(&c, &q, &ex, &fw);
         // Chain of 5: connected subsets of size s are the 6-s intervals,
-        // each with 2(s-1) ordered partitions.
-        let by_size: Vec<Vec<BitSet>> = {
-            let mut v = vec![Vec::new(); 6];
-            v[1] = (0..5).map(|i| q.relation_set(i)).collect();
-            #[allow(clippy::needless_range_loop)] // s is the subset size
-            for s in 2..=5usize {
-                for start in 0..=(5 - s) {
-                    let mut set = BitSet::new(5);
-                    for i in start..start + s {
-                        set.insert(i);
-                    }
-                    v[s].push(set);
-                }
-            }
-            v
-        };
+        // each with 2(s-1) ordered partitions; one batch per size.
+        let mut schedule = DpSizeSchedule::new(&q);
         for size in 2..=5usize {
-            let layer = pg.plan_layer(size, &by_size);
+            let layer = schedule.next_batch().expect("one batch per size");
             assert_eq!(layer.len(), 6 - size, "intervals of length {size}");
             for work in &layer {
                 assert_eq!(work.union.len(), size);
                 assert_eq!(work.num_pairs(), 2 * (size - 1));
             }
         }
+        assert!(schedule.next_batch().is_none());
+        // Σ over sizes of (#intervals × 2(size−1)) ordered partitions.
+        assert_eq!(schedule.pairs_emitted(), 8 + 12 + 12 + 8);
+        assert!(schedule.pairs_considered() >= schedule.pairs_emitted());
     }
 }

@@ -62,7 +62,10 @@ pub mod exec;
 pub mod oracle;
 pub mod plan;
 
-pub use dp::{PlanGen, PlanGenResult, PlanGenStats};
+pub use dp::{
+    Enumerator, PlanGen, PlanGenResult, PlanGenStats, DEFAULT_ENUMERATION_BUDGET,
+    DEFAULT_LINEARIZE_WINDOW,
+};
 pub use exec::{execute, synthetic_data, Table};
 pub use oracle::{ExplicitKey, ExplicitOracle, ExplicitStateId, OrderOracle};
 pub use plan::{PlanId, PlanNode, PlanOp};

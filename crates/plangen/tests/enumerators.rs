@@ -1,0 +1,168 @@
+//! Enumerator-seam regression: DPhyp must be **byte-identical** to the
+//! size-layered DPsize enumerator — same arena layout, same plans, same
+//! costs, same winner — for every oracle arm, serial and at every
+//! thread count, across the random join and grouping workloads.
+//!
+//! The canonicalization pass inside `DpHypSchedule` is what makes this
+//! possible: csg-cmp pairs are discovered in neighborhood order but
+//! replayed in DPsize first-discovery order, so the only observable
+//! difference between the enumerators is `pairs_considered` (the
+//! rejected-candidate work DPsize pays and DPhyp skips).
+
+use proptest::prelude::*;
+use std::fmt::Debug;
+use std::fmt::Write as _;
+
+use ofw_catalog::Catalog;
+use ofw_core::{OrderingFramework, PruneConfig};
+use ofw_parallel::ThreadPool;
+use ofw_plangen::{Enumerator, ExplicitOracle, OrderOracle, PlanGen, PlanGenResult};
+use ofw_query::extract::ExtractOptions;
+use ofw_query::Query;
+use ofw_simmen::SimmenFramework;
+use ofw_workload::{
+    grouping_query, large_query, random_query, GroupingQueryConfig, LargeQueryConfig,
+    RandomQueryConfig, Topology,
+};
+
+/// Full byte-level fingerprint of a plan-generation result (operator
+/// trees, masks, cost/cardinality bit patterns, FDs, oracle states,
+/// winner and plan count).
+fn fingerprint<S: Copy + Debug>(r: &PlanGenResult<S>) -> String {
+    let mut out = String::new();
+    for n in r.arena.nodes() {
+        let _ = writeln!(
+            out,
+            "{:?}|{:?}|{:016x}|{:016x}|{:?}|{:?}|{:?}",
+            n.op,
+            n.mask,
+            n.cost.to_bits(),
+            n.card.to_bits(),
+            n.agg,
+            n.applied_fds,
+            n.state,
+        );
+    }
+    let _ = write!(
+        out,
+        "best={:?} cost={:016x} plans={}",
+        r.best,
+        r.cost.to_bits(),
+        r.stats.plans
+    );
+    out
+}
+
+/// Runs one oracle arm with DPsize serially (warming the oracle, so
+/// memoized state handles are bit-stable for all later runs), then
+/// DPhyp serially and at 1, 2 and 8 threads on the same instance, and
+/// asserts byte-identical fingerprints throughout.
+fn assert_enumerators_identical<O>(label: &str, catalog: &Catalog, query: &Query, oracle: &O)
+where
+    O: OrderOracle + Sync,
+    O::Key: Sync,
+    O::State: Send + Sync + Debug,
+{
+    let ex = ofw_query::extract(catalog, query, &ExtractOptions::default());
+    let dpsize = PlanGen::new(catalog, query, &ex, oracle).run();
+    assert_eq!(dpsize.stats.enumerator, "dpsize");
+    let reference = fingerprint(&dpsize);
+
+    let dphyp = PlanGen::new(catalog, query, &ex, oracle)
+        .enumerator(Enumerator::DpHyp)
+        .run();
+    assert_eq!(dphyp.stats.enumerator, "dphyp");
+    assert_eq!(
+        fingerprint(&dphyp),
+        reference,
+        "{label}: serial DpHyp diverged from DpSize"
+    );
+    assert_eq!(
+        dphyp.stats.pairs_emitted, dpsize.stats.pairs_emitted,
+        "{label}: the enumerators emitted different pair sets"
+    );
+    assert!(
+        dphyp.stats.pairs_considered <= dpsize.stats.pairs_considered,
+        "{label}: DpHyp considered more candidates than DpSize"
+    );
+    assert!(!dphyp.stats.fallback && !dpsize.stats.fallback);
+
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let parallel = PlanGen::new(catalog, query, &ex, oracle)
+            .enumerator(Enumerator::DpHyp)
+            .run_with(&pool);
+        assert_eq!(
+            fingerprint(&parallel),
+            reference,
+            "{label}: DpHyp at {threads} threads diverged from serial DpSize"
+        );
+    }
+}
+
+fn check_query(catalog: &Catalog, query: &Query, with_explicit: bool) {
+    let ex = ofw_query::extract(catalog, query, &ExtractOptions::default());
+    let dfsm = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+    assert_enumerators_identical("dfsm", catalog, query, &dfsm);
+    let simmen = SimmenFramework::prepare(&ex.spec);
+    assert_enumerators_identical("simmen", catalog, query, &simmen);
+    if with_explicit {
+        let explicit = ExplicitOracle::prepare(&ex.spec);
+        assert_enumerators_identical("explicit", catalog, query, &explicit);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random join queries: DPhyp == DPsize for all three oracle arms,
+    /// serial and parallel.
+    #[test]
+    fn dphyp_matches_dpsize_on_join_workloads(seed in 0u64..1000, extra in 0usize..2) {
+        let (catalog, query) = random_query(&RandomQueryConfig {
+            num_relations: 6,
+            extra_edges: extra,
+            seed,
+        });
+        check_query(&catalog, &query, true);
+    }
+
+    /// Grouping queries (group by / distinct / aggregates): the
+    /// enumerator seam must not disturb aggregation placement either.
+    #[test]
+    fn dphyp_matches_dpsize_on_grouping_workloads(seed in 0u64..1000) {
+        let (catalog, query) = grouping_query(&GroupingQueryConfig {
+            num_relations: 5,
+            extra_edges: 1,
+            seed,
+        });
+        check_query(&catalog, &query, true);
+    }
+}
+
+/// A 12-relation cycle — the shape where DPsize's candidate loop pays a
+/// quadratic rejected-pair overhead that DPhyp skips entirely, while
+/// the plans stay byte-identical.
+#[test]
+fn dphyp_matches_dpsize_on_a_twelve_relation_cycle() {
+    let (catalog, query) = large_query(&LargeQueryConfig {
+        topology: Topology::Cycle,
+        num_relations: 12,
+        seed: 12,
+    });
+    let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::lean());
+    let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+
+    let dpsize = PlanGen::new(&catalog, &query, &ex, &fw).run();
+    let dphyp = PlanGen::new(&catalog, &query, &ex, &fw)
+        .enumerator(Enumerator::DpHyp)
+        .run();
+    assert_eq!(fingerprint(&dphyp), fingerprint(&dpsize));
+    assert_eq!(dphyp.stats.pairs_emitted, dpsize.stats.pairs_emitted);
+    assert!(
+        dpsize.stats.pairs_considered > 4 * dphyp.stats.pairs_considered,
+        "cycle-12: dpsize considered {} vs dphyp {}",
+        dpsize.stats.pairs_considered,
+        dphyp.stats.pairs_considered
+    );
+}

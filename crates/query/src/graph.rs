@@ -1,12 +1,13 @@
 //! The select-project-join query model.
 //!
 //! Relations participating in a query are numbered `0..n` ("query
-//! relations"). Relation sets come in two flavors: the
-//! [`BitSet`]-based API (`*_set` methods) the plan generator uses, which
-//! scales to arbitrarily many relations, and a legacy `u64`-bitmask API
-//! kept for small-query convenience (capped at 64 relations, far beyond
-//! what exhaustive DP join enumeration can handle anyway — the paper
-//! evaluates up to 10).
+//! relations"). Relation sets are [`BitSet`]s (the `*_set` methods), so
+//! the model scales to arbitrarily many relations; the old `u64`-bitmask
+//! convenience API (capped at 64 relations) is gone. For enumeration
+//! that walks the join graph itself — neighborhoods, connectedness,
+//! crossing edges — [`JoinGraph`] precomputes the adjacency structure
+//! once and answers those queries without rescanning the predicate
+//! list.
 
 use ofw_catalog::{AttrId, Catalog, RelId};
 use ofw_common::{BitSet, FxHashMap};
@@ -180,17 +181,6 @@ impl Query {
         self.relations.len()
     }
 
-    /// Bitmask with every query relation set (legacy `u64` API, ≤ 64
-    /// relations).
-    pub fn all_relations_mask(&self) -> u64 {
-        assert!(self.relations.len() <= 64, "use all_relations_set()");
-        if self.relations.len() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.relations.len()) - 1
-        }
-    }
-
     /// Singleton relation set (universe = the query's relation count —
     /// every set handed to the set-based API must share it).
     pub fn relation_set(&self, qrel: usize) -> BitSet {
@@ -209,8 +199,7 @@ impl Query {
     }
 
     /// Join edges applicable when joining relation sets `a` and `b`
-    /// (edges with one endpoint in each) as indexes into `joins` —
-    /// the [`BitSet`] twin of [`connecting_joins`](Self::connecting_joins).
+    /// (edges with one endpoint in each) as indexes into `joins`.
     pub fn connecting_joins_set<'a>(
         &'a self,
         a: &'a BitSet,
@@ -224,8 +213,7 @@ impl Query {
         })
     }
 
-    /// True if the join graph restricted to `set` is connected (the
-    /// [`BitSet`] twin of [`is_connected`](Self::is_connected)).
+    /// True if the join graph restricted to `set` is connected.
     pub fn is_connected_set(&self, set: &BitSet) -> bool {
         let Some(first) = set.iter().next() else {
             return false;
@@ -253,50 +241,104 @@ impl Query {
         set.iter().all(|q| seen.contains(q))
     }
 
-    /// Join edges applicable when joining relation sets `a` and `b`
-    /// (edges with one endpoint in each) as indexes into `joins` —
-    /// legacy `u64` API, ≤ 64 relations.
-    pub fn connecting_joins(&self, a: u64, b: u64) -> impl Iterator<Item = usize> + '_ {
-        assert!(self.relations.len() <= 64, "use connecting_joins_set()");
-        self.joins.iter().enumerate().filter_map(move |(i, j)| {
-            let l = 1u64 << self.owner(j.left);
-            let r = 1u64 << self.owner(j.right);
-            let cross = (l & a != 0 && r & b != 0) || (l & b != 0 && r & a != 0);
-            cross.then_some(i)
-        })
-    }
-
-    /// True if the join graph restricted to `mask` is connected (legacy
-    /// `u64` API, ≤ 64 relations).
-    pub fn is_connected(&self, mask: u64) -> bool {
-        assert!(self.relations.len() <= 64, "use is_connected_set()");
-        if mask == 0 {
-            return false;
-        }
-        let mut seen = 1u64 << mask.trailing_zeros();
-        loop {
-            let mut grew = false;
-            for j in &self.joins {
-                let l = 1u64 << self.owner(j.left);
-                let r = 1u64 << self.owner(j.right);
-                if (l | r) & mask != (l | r) {
-                    continue; // edge leaves the subgraph
-                }
-                if (seen & l != 0) != (seen & r != 0) {
-                    seen |= l | r;
-                    grew = true;
-                }
-            }
-            if !grew {
-                break;
-            }
-        }
-        seen & mask == mask
-    }
-
     /// Whether the whole query graph is connected.
     pub fn is_fully_connected(&self) -> bool {
         self.is_connected_set(&self.all_relations_set())
+    }
+}
+
+/// Precomputed adjacency view of a query's join graph — the structure
+/// neighborhood-driven join enumeration (DPccp/DPhyp-style) walks.
+///
+/// The [`Query`] predicate-list methods answer set questions by
+/// rescanning every join edge; fine for one-off probes, ruinous inside
+/// an enumerator that asks them millions of times. `JoinGraph` resolves
+/// each edge's endpoint relations once and keeps per-relation neighbor
+/// [`BitSet`]s, so neighborhood expansion and crossing-edge tests are
+/// array reads.
+pub struct JoinGraph {
+    /// Per-relation neighbor sets (universe = the query's relation count).
+    neighbors: Vec<BitSet>,
+    /// Per-edge endpoints as query-relation indices, in `joins` order.
+    endpoints: Vec<(usize, usize)>,
+    n: usize,
+}
+
+impl JoinGraph {
+    /// Resolves `query`'s join edges into an adjacency structure.
+    pub fn new(query: &Query) -> Self {
+        let n = query.num_relations();
+        let mut neighbors = vec![BitSet::new(n); n];
+        let mut endpoints = Vec::with_capacity(query.joins.len());
+        for j in &query.joins {
+            let l = query.owner(j.left);
+            let r = query.owner(j.right);
+            endpoints.push((l, r));
+            if l != r {
+                neighbors[l].insert(r);
+                neighbors[r].insert(l);
+            }
+        }
+        JoinGraph {
+            neighbors,
+            endpoints,
+            n,
+        }
+    }
+
+    /// Number of query relations (the universe of every set handed in).
+    pub fn num_relations(&self) -> usize {
+        self.n
+    }
+
+    /// Relations directly joined to `qrel`.
+    pub fn neighbors(&self, qrel: usize) -> &BitSet {
+        &self.neighbors[qrel]
+    }
+
+    /// Endpoint relations of join edge `e`, in `joins` order.
+    pub fn edge_endpoints(&self, e: usize) -> (usize, usize) {
+        self.endpoints[e]
+    }
+
+    /// The neighborhood `N(s, x)`: relations adjacent to `s` that lie
+    /// neither in `s` nor in the forbidden set `x` — the csg/cmp
+    /// expansion frontier of hypergraph enumeration (min-index
+    /// enumeration passes the already-covered prefix as `x`).
+    pub fn neighborhood(&self, s: &BitSet, x: &BitSet) -> BitSet {
+        let mut nb = BitSet::new(self.n);
+        for i in s.iter() {
+            nb.union_with(&self.neighbors[i]);
+        }
+        nb.difference_with(s);
+        nb.difference_with(x);
+        nb
+    }
+
+    /// Whether at least one join edge crosses between the disjoint sets
+    /// `a` and `b` (the cross-product guard, without materializing the
+    /// edge list).
+    pub fn connects(&self, a: &BitSet, b: &BitSet) -> bool {
+        self.endpoints
+            .iter()
+            .any(|&(l, r)| (a.contains(l) && b.contains(r)) || (b.contains(l) && a.contains(r)))
+    }
+
+    /// Join-edge indexes crossing between the disjoint sets `a` and `b`,
+    /// ascending — the precomputed twin of
+    /// [`Query::connecting_joins_set`].
+    pub fn connecting_edges<'a>(
+        &'a self,
+        a: &'a BitSet,
+        b: &'a BitSet,
+    ) -> impl Iterator<Item = usize> + 'a {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, &(l, r))| {
+                let cross = (a.contains(l) && b.contains(r)) || (b.contains(l) && a.contains(r));
+                cross.then_some(i)
+            })
     }
 }
 
@@ -325,11 +367,20 @@ mod tests {
         (c, q)
     }
 
+    /// Builds the subset of query relations listed in `members`.
+    fn set(n: usize, members: &[usize]) -> BitSet {
+        let mut s = BitSet::new(n);
+        for &m in members {
+            s.insert(m);
+        }
+        s
+    }
+
     #[test]
     fn ownership_and_masks() {
         let (c, q) = chain(3);
         assert_eq!(q.num_relations(), 3);
-        assert_eq!(q.all_relations_mask(), 0b111);
+        assert_eq!(q.all_relations_set(), set(3, &[0, 1, 2]));
         assert_eq!(q.owner(c.attr("r0.k")), 0);
         assert_eq!(q.owner(c.attr("r2.f")), 2);
     }
@@ -338,22 +389,31 @@ mod tests {
     fn connectivity_of_chain() {
         let (_, q) = chain(4);
         assert!(q.is_fully_connected());
-        assert!(q.is_connected(0b0011));
-        assert!(q.is_connected(0b0110));
-        assert!(!q.is_connected(0b0101), "r0 and r2 are not adjacent");
-        assert!(q.is_connected(0b0001));
-        assert!(!q.is_connected(0));
+        assert!(q.is_connected_set(&set(4, &[0, 1])));
+        assert!(q.is_connected_set(&set(4, &[1, 2])));
+        assert!(
+            !q.is_connected_set(&set(4, &[0, 2])),
+            "r0 and r2 are not adjacent"
+        );
+        assert!(q.is_connected_set(&set(4, &[0])));
+        assert!(!q.is_connected_set(&set(4, &[])));
     }
 
     #[test]
     fn connecting_joins_cross_the_cut() {
         let (_, q) = chain(3);
         // Edge 0 joins r0–r1, edge 1 joins r1–r2.
-        let between: Vec<usize> = q.connecting_joins(0b001, 0b010).collect();
+        let between: Vec<usize> = q
+            .connecting_joins_set(&set(3, &[0]), &set(3, &[1]))
+            .collect();
         assert_eq!(between, vec![0]);
-        let between: Vec<usize> = q.connecting_joins(0b011, 0b100).collect();
+        let between: Vec<usize> = q
+            .connecting_joins_set(&set(3, &[0, 1]), &set(3, &[2]))
+            .collect();
         assert_eq!(between, vec![1]);
-        let none: Vec<usize> = q.connecting_joins(0b001, 0b100).collect();
+        let none: Vec<usize> = q
+            .connecting_joins_set(&set(3, &[0]), &set(3, &[2]))
+            .collect();
         assert!(none.is_empty());
     }
 
@@ -362,31 +422,57 @@ mod tests {
         let (_, mut q) = chain(3);
         q.joins.pop(); // drop r1–r2
         assert!(!q.is_fully_connected());
-        assert!(q.is_connected(0b011));
-        assert!(!q.is_connected(0b110));
+        assert!(q.is_connected_set(&set(3, &[0, 1])));
+        assert!(!q.is_connected_set(&set(3, &[1, 2])));
     }
 
     #[test]
-    fn set_api_mirrors_mask_api() {
+    fn join_graph_mirrors_the_predicate_scan() {
         let (_, q) = chain(4);
-        for mask in 1u64..=q.all_relations_mask() {
-            let set: BitSet = {
-                let mut s = BitSet::new(q.num_relations());
-                for i in 0..q.num_relations() {
-                    if mask & (1 << i) != 0 {
-                        s.insert(i);
-                    }
+        let g = JoinGraph::new(&q);
+        assert_eq!(g.num_relations(), 4);
+        // Every subset pair: the precomputed edge iterator and the
+        // rescanning Query method must agree exactly.
+        for a_bits in 0usize..16 {
+            for b_bits in 0usize..16 {
+                if a_bits & b_bits != 0 {
+                    continue;
                 }
-                s
-            };
-            assert_eq!(q.is_connected(mask), q.is_connected_set(&set), "{mask:b}");
+                let a = set(
+                    4,
+                    &(0..4).filter(|i| a_bits >> i & 1 == 1).collect::<Vec<_>>(),
+                );
+                let b = set(
+                    4,
+                    &(0..4).filter(|i| b_bits >> i & 1 == 1).collect::<Vec<_>>(),
+                );
+                let scan: Vec<usize> = q.connecting_joins_set(&a, &b).collect();
+                let fast: Vec<usize> = g.connecting_edges(&a, &b).collect();
+                assert_eq!(scan, fast, "a={a_bits:b} b={b_bits:b}");
+                assert_eq!(g.connects(&a, &b), !scan.is_empty());
+            }
         }
-        let a = q.relation_set(0);
-        let mut ab = a.clone();
-        ab.union_with(&q.relation_set(1));
-        let c = q.relation_set(2);
-        assert_eq!(q.connecting_joins_set(&ab, &c).collect::<Vec<_>>(), [1]);
-        assert_eq!(q.connecting_joins_set(&a, &c).count(), 0);
+        assert_eq!(g.edge_endpoints(0), (0, 1));
+        assert_eq!(g.edge_endpoints(2), (2, 3));
+    }
+
+    #[test]
+    fn neighborhood_excludes_the_set_and_the_forbidden() {
+        let (_, q) = chain(5);
+        let g = JoinGraph::new(&q);
+        assert_eq!(g.neighbors(0), &set(5, &[1]));
+        assert_eq!(g.neighbors(2), &set(5, &[1, 3]));
+        // N({1,2}, ∅) = {0, 3}; forbidding {0} leaves {3}; the set
+        // itself is never its own neighbor.
+        let s = set(5, &[1, 2]);
+        assert_eq!(g.neighborhood(&s, &set(5, &[])), set(5, &[0, 3]));
+        assert_eq!(g.neighborhood(&s, &set(5, &[0])), set(5, &[3]));
+        assert_eq!(g.neighborhood(&s, &set(5, &[0, 3])), set(5, &[]));
+        // A full set has an empty neighborhood.
+        assert_eq!(
+            g.neighborhood(&q.all_relations_set(), &set(5, &[])),
+            set(5, &[])
+        );
     }
 
     #[test]

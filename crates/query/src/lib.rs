@@ -21,4 +21,4 @@ pub mod graph;
 
 pub use builder::QueryBuilder;
 pub use extract::{extract, ExtractedQuery};
-pub use graph::{AggCall, AggFunc, ConstPred, FilterPred, JoinEdge, Query};
+pub use graph::{AggCall, AggFunc, ConstPred, FilterPred, JoinEdge, JoinGraph, Query};

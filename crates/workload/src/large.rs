@@ -1,11 +1,16 @@
 //! Large join-graph topologies for the parallel-DP scaling sweeps.
 //!
-//! Three classic shapes, sized well past the paper's 5–10 relations:
+//! Four classic shapes, sized well past the paper's 5–10 relations:
 //!
 //! * **chain** — `r0 — r1 — … — r(n-1)`. Connected subsets are the
 //!   O(n²) intervals, so exhaustive DP stays polynomial and the sweep
 //!   can run to 100+ relations. This is the shape that exercises the
 //!   >64-relation `BitSet` path end to end.
+//! * **cycle** — a chain plus the closing edge `r(n-1) — r0`. Still
+//!   O(n²) connected subsets (the circular intervals), but the size-`s`
+//!   pairing loop of a size-layered DP wades through quadratically many
+//!   disconnected candidates to find them — the cheapest shape that
+//!   separates candidate-driven from neighborhood-driven enumeration.
 //! * **star** — a center joined to `n-1` leaves (the canonical
 //!   snowflake/fact-table shape). Connected subsets are the center plus
 //!   any leaf subset: Θ(2ⁿ), so the sweep caps it low.
@@ -13,7 +18,8 @@
 //!   partitions, the densest per-layer parallelism available — and the
 //!   reason no exhaustive optimizer (serial or parallel) can sweep a
 //!   40-relation clique: at n = 40 the DP table alone would hold 2⁴⁰
-//!   subsets. The sweep sizes cliques so a cell stays in seconds.
+//!   subsets. The sweep sizes cliques so a cell stays in seconds; past
+//!   the enumeration budget, the linearized fallback takes over.
 //!
 //! Generators are deterministic per seed. Roughly half the relations
 //! get a clustered index on their first join attribute and the query
@@ -30,6 +36,10 @@ use rand::{Rng, SeedableRng};
 pub enum Topology {
     /// `r0 — r1 — … — r(n-1)`: O(n²) connected subsets.
     Chain,
+    /// A chain plus the closing edge `r(n-1) — r0`: still O(n²)
+    /// connected subsets, but size-layered DP pays a quadratic
+    /// disconnected-candidate overhead to find them.
+    Cycle,
     /// Center `r0` joined to every other relation: Θ(2ⁿ) subsets.
     Star,
     /// Every pair joined: Θ(3ⁿ) ordered partitions.
@@ -41,6 +51,7 @@ impl Topology {
     pub fn name(self) -> &'static str {
         match self {
             Topology::Chain => "chain",
+            Topology::Cycle => "cycle",
             Topology::Star => "star",
             Topology::Clique => "clique",
         }
@@ -66,7 +77,7 @@ pub fn large_query(config: &LargeQueryConfig) -> (Catalog, Query) {
 
     // Column budget: one column per potential incident edge.
     let max_degree = match config.topology {
-        Topology::Chain => 2,
+        Topology::Chain | Topology::Cycle => 2,
         Topology::Star => n - 1,
         Topology::Clique => n - 1,
     };
@@ -113,6 +124,12 @@ pub fn large_query(config: &LargeQueryConfig) -> (Catalog, Query) {
             for i in 0..n - 1 {
                 add_edge(&mut query, &catalog, &mut rng, i, i + 1);
             }
+        }
+        Topology::Cycle => {
+            for i in 0..n - 1 {
+                add_edge(&mut query, &catalog, &mut rng, i, i + 1);
+            }
+            add_edge(&mut query, &catalog, &mut rng, n - 1, 0);
         }
         Topology::Star => {
             for leaf in 1..n {
@@ -164,6 +181,13 @@ mod tests {
         assert_eq!(chain.joins.len(), 69);
         assert!(chain.is_fully_connected());
 
+        let (_, cycle) = large_query(&config(Topology::Cycle, 12, 1));
+        assert_eq!(cycle.joins.len(), 12);
+        assert!(cycle.is_fully_connected());
+        let last = cycle.joins.last().unwrap();
+        assert_eq!(cycle.owner(last.left), 11, "closing edge starts at r11");
+        assert_eq!(cycle.owner(last.right), 0, "closing edge ends at r0");
+
         let (_, star) = large_query(&config(Topology::Star, 12, 1));
         assert_eq!(star.joins.len(), 11);
         assert!(star.is_fully_connected());
@@ -175,7 +199,12 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        for t in [Topology::Chain, Topology::Star, Topology::Clique] {
+        for t in [
+            Topology::Chain,
+            Topology::Cycle,
+            Topology::Star,
+            Topology::Clique,
+        ] {
             let (c1, q1) = large_query(&config(t, 9, 77));
             let (c2, q2) = large_query(&config(t, 9, 77));
             assert_eq!(c1.num_attrs(), c2.num_attrs());
@@ -190,7 +219,12 @@ mod tests {
 
     #[test]
     fn attributes_are_not_reused_across_edges() {
-        for t in [Topology::Chain, Topology::Star, Topology::Clique] {
+        for t in [
+            Topology::Chain,
+            Topology::Cycle,
+            Topology::Star,
+            Topology::Clique,
+        ] {
             let (_, q) = large_query(&config(t, 7, 3));
             let mut seen = std::collections::HashSet::new();
             for j in &q.joins {

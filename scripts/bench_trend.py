@@ -58,7 +58,16 @@ VOLATILE = {"speedup", "memory_bytes", "avail_threads"}
 # Deterministic work counters: machine-independent, so enforced on every
 # machine. Excluded from identity (else a counter change would just
 # unmatch the row and dodge the gate).
-COUNTERS = {"plans", "nfsm_nodes", "nfsm_nodes_before", "dfsm_nodes", "precomputed_bytes"}
+COUNTERS = {
+    "plans",
+    "nfsm_nodes",
+    "nfsm_nodes_before",
+    "dfsm_nodes",
+    "precomputed_bytes",
+    "pairs",
+    "pairs_considered",
+    "unions",
+}
 
 
 def is_time_field(key):
