@@ -1,0 +1,61 @@
+//! PR1 — the preparation table: cold eager NFSM→DFSM construction vs
+//! lazy determinization under a DP-like probe load vs warm interned
+//! preparation, over family-structured specs with interesting-property
+//! counts into the hundreds.
+//!
+//! Usage: `table_prepare [--smoke | --full]`
+//!
+//! * `--smoke` — the CI configuration (seconds): two family counts,
+//!   few warm repetitions.
+//! * default — the sweep through 600 interesting properties.
+//! * `--full` — adds the 200/400-family cells (1200/2400 properties).
+//!
+//! Reading the table: `cold` is the eager preparation wall time and
+//! the price every query pays without this PR's machinery; `lazy` +
+//! `probe` is what a query actually pays under lazy determinization
+//! (`mat%` of the automaton materialized); `warm` is a repeat-shape
+//! preparation through the interning cache. The `eager probe` column
+//! shows the probe load is cheap against a hot automaton — in the
+//! wide cells preparation dominates probing by orders of magnitude,
+//! which is why making preparation near-free matters.
+
+use ofw_bench::prepare::{prepare_cell, prepare_row_json, prepare_row_line};
+use ofw_workload::PrepSpecConfig;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let (label, family_counts, warm_reps): (&str, Vec<usize>, usize) = match mode.as_str() {
+        "--smoke" => ("smoke", vec![10, 50], 3),
+        "--full" => ("full", vec![10, 25, 50, 100, 200, 400], 8),
+        _ => ("default", vec![10, 25, 50, 100], 5),
+    };
+
+    println!("Preparation sweep ({label}; cold eager vs lazy+probe vs warm interned)");
+    println!();
+    println!(
+        "{:>5} {:>6} {:>6} {:>6} {:>7} {:>8} {:>6} | {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "fam",
+        "probed",
+        "props",
+        "nfsm",
+        "dfsm",
+        "dfsm mat",
+        "mat%",
+        "cold(ms)",
+        "lazy(ms)",
+        "probe(ms)",
+        "eprobe",
+        "warm(ms)"
+    );
+    let mut sink = ofw_bench::json::BenchSink::with_meta("prepare", |m| m.str("mode", label));
+    for &families in &family_counts {
+        let config = PrepSpecConfig::with_families(families);
+        // A query rarely cares about more than a handful of the
+        // catalog's interesting-order families: probe a ~10% prefix.
+        let probe_families = (families / 10).max(1);
+        let row = prepare_cell(&config, probe_families, warm_reps);
+        println!("{}", prepare_row_line(&row));
+        sink.push(prepare_row_json(&row));
+    }
+    sink.finish();
+}

@@ -16,6 +16,7 @@
 //! | GJ1 | aggregation-placement sweep (group-join + eager push-down) | `table_groupjoin` | [`groupjoin_cell`] |
 //! | PS1 | partial-sort sweep (head/tail properties, `GROUP BY k ORDER BY k`) | `table_partialsort` | [`partialsort_cell`] |
 //! | H1 | enumerator sweep (DPhyp vs DPsize + budgeted linearized fallback) | `table_hypergraph` | [`hypergraph_cell`] |
+//! | PR1 | preparation sweep (lazy / minimized / interned automata) | `table_prepare` | [`prepare_cell`] |
 //!
 //! Every table binary also emits its rows as machine-readable
 //! `BENCH_<name>.json` (see [`json`]) next to the stdout table, so the
@@ -39,9 +40,11 @@ use std::time::{Duration, Instant};
 pub mod hypergraph;
 pub mod json;
 pub mod parallel;
+pub mod prepare;
 
 pub use hypergraph::{hypergraph_cell, hypergraph_row_json, hypergraph_row_line, HypergraphRow};
 pub use parallel::{parallel_cell, parallel_row_json, parallel_row_line, ParallelRow};
+pub use prepare::{prepare_cell, prepare_row_json, prepare_row_line, PrepareRow};
 
 /// One row of the §6.2 preparation table.
 #[derive(Clone, Debug)]

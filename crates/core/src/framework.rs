@@ -18,16 +18,43 @@
 //! one state space: a [`State`] annotates a plan node with *everything*
 //! the stream satisfies — the orderings it is sorted by and the
 //! groupings it is grouped by — still in four bytes.
+//!
+//! # Preparation modes
+//!
+//! Determinization is the framework's only real cost, and
+//! [`prepare_opts`](OrderingFramework::prepare_opts) lets the caller
+//! pick how to pay it ([`PrepareMode`]):
+//!
+//! * **Eager** — the classic full subset construction, optionally with
+//!   frontier parallelism on a [`PrepExecutor`]. Required for
+//!   [`dfsm`](OrderingFramework::dfsm) introspection and for
+//!   [`PrepareOptions::minimize`].
+//! * **Lazy** — only the entry states are built; further DFSM states
+//!   materialize on first probe (see [`crate::lazy`]). State numbering
+//!   is always a prefix of the eager numbering, so handles, probe
+//!   answers and plan tables are bit-identical across modes and thread
+//!   counts.
+//! * **Auto** (default) — lazy, but a construction that grows past
+//!   [`PrepareOptions::auto_threshold`] states completes eagerly at
+//!   once.
+//!
+//! Structurally identical specs can additionally share one prepared
+//! automaton through a [`PreparedCache`]
+//! ([`prepare_cached`](OrderingFramework::prepare_cached)): warm
+//! preparation is a canonicalization pass plus a hash lookup.
 
-use crate::dfsm::Dfsm;
+use crate::dfsm::{Dfsm, PrepExecutor};
 use crate::eqclass::EqClasses;
 use crate::fd::FdSetId;
+use crate::intern::{canonicalize, AttrCanonMap, CacheKey, PreparedCache};
+use crate::lazy::LazyDfsm;
 use crate::nfsm::{BuildError, Nfsm};
 use crate::ordering::Ordering;
 use crate::property::{Grouping, HeadTail, LogicalProperty};
 use crate::prune::{prune_fds, prune_nfsm, PruneConfig};
 use crate::spec::InputSpec;
 use ofw_common::FxHashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The per-plan-node annotation: a DFSM state. Four bytes, `Copy` — the
@@ -64,6 +91,108 @@ impl std::fmt::Display for PrepareError {
 
 impl std::error::Error for PrepareError {}
 
+/// When (and how far) to run the subset construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrepareMode {
+    /// Full determinization at prepare time.
+    Eager,
+    /// Entry states only; everything else on first probe.
+    Lazy,
+    /// Lazy until [`PrepareOptions::auto_threshold`] states exist, then
+    /// complete eagerly.
+    #[default]
+    Auto,
+}
+
+/// Default [`PrepareOptions::auto_threshold`]: past this many DFSM
+/// states the lattice is evidently being explored broadly and per-probe
+/// laziness stops paying for its locking.
+pub const DEFAULT_AUTO_MATERIALIZE_THRESHOLD: usize = 1024;
+
+/// Knobs of [`OrderingFramework::prepare_opts`].
+#[derive(Clone)]
+pub struct PrepareOptions {
+    /// Eager, lazy or auto determinization (default auto).
+    pub mode: PrepareMode,
+    /// Run Hopcroft-style minimization after (full) determinization.
+    /// Implies eager construction. Minimization preserves every probe
+    /// answer but renumbers states, so it is opt-in: a minimized
+    /// framework is probe-equivalent, not byte-identical, to an
+    /// unminimized one.
+    pub minimize: bool,
+    /// Auto-mode materialization threshold (states).
+    pub auto_threshold: usize,
+    /// Executor for preparation parallelism: eager builds (and lazy
+    /// builds crossing the threshold) fan each subset-construction
+    /// frontier out on it, with state numbering identical to the serial
+    /// build at any thread count.
+    pub exec: Option<Arc<dyn PrepExecutor>>,
+}
+
+impl Default for PrepareOptions {
+    fn default() -> Self {
+        PrepareOptions {
+            mode: PrepareMode::Auto,
+            minimize: false,
+            auto_threshold: DEFAULT_AUTO_MATERIALIZE_THRESHOLD,
+            exec: None,
+        }
+    }
+}
+
+impl PrepareOptions {
+    /// Eager determinization (the classic behavior of
+    /// [`OrderingFramework::prepare`]).
+    pub fn eager() -> Self {
+        PrepareOptions {
+            mode: PrepareMode::Eager,
+            ..Self::default()
+        }
+    }
+
+    /// Pure lazy determinization, no auto completion.
+    pub fn lazy() -> Self {
+        PrepareOptions {
+            mode: PrepareMode::Lazy,
+            ..Self::default()
+        }
+    }
+
+    /// Auto determinization with the default threshold.
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// Enables DFSM minimization (implies eager construction).
+    pub fn minimize(mut self, on: bool) -> Self {
+        self.minimize = on;
+        self
+    }
+
+    /// Sets the auto-mode materialization threshold.
+    pub fn auto_threshold(mut self, states: usize) -> Self {
+        self.auto_threshold = states;
+        self
+    }
+
+    /// Attaches a preparation executor.
+    pub fn exec(mut self, exec: Arc<dyn PrepExecutor>) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+}
+
+impl std::fmt::Debug for PrepareOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrepareOptions")
+            .field("mode", &self.mode)
+            .field("minimize", &self.minimize)
+            .field("auto_threshold", &self.auto_threshold)
+            .field("exec", &self.exec.is_some())
+            .finish()
+    }
+}
+
 /// Metrics of the preparation phase — the quantities of the paper's
 /// §6.2 table (NFSM size, DFSM size, total time, precomputed bytes).
 #[derive(Clone, Debug, Default)]
@@ -74,14 +203,88 @@ pub struct PrepStats {
     pub nfsm_nodes: usize,
     /// NFSM FD-edge count after pruning.
     pub nfsm_edges: usize,
-    /// DFSM states (including the empty-stream state).
+    /// DFSM states materialized at the end of preparation (including
+    /// the empty-stream state). For eager modes this is the total; for
+    /// lazy modes it is just the entry states —
+    /// [`OrderingFramework::dfsm_states_materialized`] reports the
+    /// live count as probes materialize more.
     pub dfsm_states: usize,
+    /// Total reachable DFSM states, when known at prepare time (eager
+    /// modes; `None` for a lazy automaton until materialized).
+    pub dfsm_states_total: Option<usize>,
+    /// State count before minimization, when it ran and merged states.
+    pub minimized_from: Option<usize>,
+    /// Whether preparation was satisfied from a [`PreparedCache`] hit.
+    pub interned_hit: bool,
     /// Functional dependencies removed by step 2(b).
     pub pruned_fds: usize,
-    /// Bytes of precomputed runtime data (transition + contains tables).
+    /// Bytes of precomputed runtime data (transition + contains tables)
+    /// at the end of preparation.
     pub precomputed_bytes: usize,
     /// Wall-clock time of the whole preparation phase.
     pub prep_time: Duration,
+}
+
+/// The automaton behind a prepared framework: one fully-built DFSM or
+/// its lazily-materializing twin. Both expose identical state ids.
+pub(crate) enum Automaton {
+    Eager(Dfsm),
+    Lazy(LazyDfsm),
+}
+
+impl Automaton {
+    fn columns(&self) -> &FxHashMap<LogicalProperty, u32> {
+        match self {
+            Automaton::Eager(d) => &d.columns,
+            Automaton::Lazy(l) => l.columns(),
+        }
+    }
+
+    fn start(&self) -> &FxHashMap<LogicalProperty, u32> {
+        match self {
+            Automaton::Eager(d) => &d.start,
+            Automaton::Lazy(l) => l.start(),
+        }
+    }
+
+    fn empty_state(&self) -> u32 {
+        match self {
+            Automaton::Eager(d) => d.empty_state,
+            Automaton::Lazy(l) => l.empty_state(),
+        }
+    }
+
+    fn materialized_states(&self) -> usize {
+        match self {
+            Automaton::Eager(d) => d.num_states(),
+            Automaton::Lazy(l) => l.materialized_states(),
+        }
+    }
+
+    fn total_states(&self) -> Option<usize> {
+        match self {
+            Automaton::Eager(d) => Some(d.num_states()),
+            Automaton::Lazy(l) => l.total_states(),
+        }
+    }
+
+    fn precomputed_bytes(&self) -> usize {
+        match self {
+            Automaton::Eager(d) => d.precomputed_bytes(),
+            Automaton::Lazy(l) => l.precomputed_bytes(),
+        }
+    }
+}
+
+/// One preparation result: the pruned NFSM, its automaton, and the
+/// spec-independent metrics. Shareable across queries through a
+/// [`PreparedCache`].
+pub(crate) struct Prepared {
+    pub(crate) nfsm: Nfsm,
+    pub(crate) automaton: Automaton,
+    nfsm_nodes_before_prune: usize,
+    pruned_fds: usize,
+    minimized_from: Option<usize>,
 }
 
 /// The prepared order-and-grouping framework for one query.
@@ -97,10 +300,9 @@ pub struct PrepStats {
 /// equivalences apply to attribute *sets* (insertion and removal of
 /// determined attributes, constants, equation substitution).
 pub struct OrderingFramework {
-    dfsm: Dfsm,
-    nfsm: Nfsm,
+    prepared: Arc<Prepared>,
     /// Interesting property (orderings prefix-closed, groupings as-is)
-    /// → contains-column handle.
+    /// → contains-column handle, in the query's own attribute space.
     handles: FxHashMap<LogicalProperty, OrderHandle>,
     /// Produced property → entry state (the `*` row).
     start_of: FxHashMap<OrderHandle, State>,
@@ -109,45 +311,147 @@ pub struct OrderingFramework {
 
 impl OrderingFramework {
     /// Runs the preparation phase of Fig. 3: FD filtering, NFSM
-    /// construction, NFSM pruning, determinization, precomputation.
+    /// construction, NFSM pruning, eager determinization,
+    /// precomputation. Equivalent to
+    /// [`prepare_opts`](Self::prepare_opts) with
+    /// [`PrepareOptions::eager`] — the classic entry point, kept eager
+    /// so [`dfsm`](Self::dfsm) introspection always works.
     pub fn prepare(spec: &InputSpec, config: PruneConfig) -> Result<Self, PrepareError> {
+        Self::prepare_opts(spec, config, &PrepareOptions::eager())
+    }
+
+    /// Preparation with explicit [`PrepareOptions`] (mode, minimization,
+    /// parallelism). All modes expose bit-identical handles, states and
+    /// probe answers — except under `minimize`, which renumbers states
+    /// while preserving every probe answer.
+    pub fn prepare_opts(
+        spec: &InputSpec,
+        config: PruneConfig,
+        options: &PrepareOptions,
+    ) -> Result<Self, PrepareError> {
         let t0 = Instant::now();
+        let prepared = Arc::new(Self::build_prepared(spec, &config, options)?);
+        Ok(Self::from_prepared(prepared, None, false, t0))
+    }
+
+    /// Preparation through an interning cache: the spec is canonicalized
+    /// (attributes renamed by first occurrence), and structurally
+    /// identical specs share one `Prepared` automaton — a warm prepare
+    /// is a canonicalization pass plus a hash lookup. Handles and states
+    /// returned by a cached framework are internally consistent but may
+    /// be numbered differently from an uncached prepare of the same spec
+    /// (canonical renaming can reorder set-valued properties), so mix
+    /// cached and uncached frameworks only through their probe answers,
+    /// never by comparing raw handle values.
+    pub fn prepare_cached(
+        spec: &InputSpec,
+        config: PruneConfig,
+        options: &PrepareOptions,
+        cache: &PreparedCache,
+    ) -> Result<Self, PrepareError> {
+        let t0 = Instant::now();
+        let (canon_spec, map) = canonicalize(spec);
+        let key = CacheKey::new(&canon_spec, &config, options.minimize);
+        let (prepared, hit) =
+            cache.get_or_build(key, || Self::build_prepared(&canon_spec, &config, options))?;
+        if hit && options.mode == PrepareMode::Eager {
+            // The cached entry may have been prepared lazily; an eager
+            // request still guarantees a complete automaton.
+            if let Automaton::Lazy(l) = &prepared.automaton {
+                l.materialize_all(&prepared.nfsm);
+            }
+        }
+        Ok(Self::from_prepared(prepared, Some(&map), hit, t0))
+    }
+
+    /// The mode-dispatched core of every prepare entry point.
+    fn build_prepared(
+        spec: &InputSpec,
+        config: &PruneConfig,
+        options: &PrepareOptions,
+    ) -> Result<Prepared, PrepareError> {
         let eq = EqClasses::from_fds(spec.fd_sets().iter().flat_map(|s| s.fds().iter()));
         let (fd_sets, pruned_fds) = if config.prune_fds {
-            prune_fds(spec, &eq, &config)
+            prune_fds(spec, &eq, config)
         } else {
             (spec.fd_sets().to_vec(), 0)
         };
-        let nfsm = Nfsm::build(spec, &fd_sets, &eq, &config).map_err(PrepareError)?;
+        let nfsm = Nfsm::build(spec, &fd_sets, &eq, config).map_err(PrepareError)?;
         let nfsm_nodes_before_prune = nfsm.num_nodes();
-        let nfsm = prune_nfsm(nfsm, &config);
-        let dfsm = Dfsm::build(&nfsm, &config).map_err(PrepareError)?;
+        let nfsm = prune_nfsm(nfsm, config);
 
+        let eager = options.minimize || options.mode == PrepareMode::Eager;
+        let (automaton, minimized_from) = if eager {
+            let mut dfsm =
+                Dfsm::build_with(&nfsm, config, options.exec.as_deref()).map_err(PrepareError)?;
+            let minimized_from = if options.minimize {
+                let before = dfsm.minimize();
+                (before > dfsm.num_states()).then_some(before)
+            } else {
+                None
+            };
+            (Automaton::Eager(dfsm), minimized_from)
+        } else {
+            let threshold = match options.mode {
+                PrepareMode::Auto => Some(options.auto_threshold.max(1)),
+                _ => None,
+            };
+            let lazy = LazyDfsm::new(&nfsm, config, threshold, options.exec.clone())
+                .map_err(PrepareError)?;
+            (Automaton::Lazy(lazy), None)
+        };
+        Ok(Prepared {
+            nfsm,
+            automaton,
+            nfsm_nodes_before_prune,
+            pruned_fds,
+            minimized_from,
+        })
+    }
+
+    /// Builds the per-query view over a (possibly shared) preparation:
+    /// handles and start states, translated back into the query's own
+    /// attribute space when the spec was canonicalized.
+    fn from_prepared(
+        prepared: Arc<Prepared>,
+        map: Option<&AttrCanonMap>,
+        interned_hit: bool,
+        t0: Instant,
+    ) -> Self {
         let mut handles: FxHashMap<LogicalProperty, OrderHandle> = FxHashMap::default();
-        for (p, &col) in &dfsm.columns {
-            handles.insert(p.clone(), OrderHandle(col));
+        for (p, &col) in prepared.automaton.columns() {
+            let p = match map {
+                Some(m) => m.prop_to_original(p),
+                None => p.clone(),
+            };
+            handles.insert(p, OrderHandle(col));
         }
         let mut start_of: FxHashMap<OrderHandle, State> = FxHashMap::default();
-        for (p, &s) in &dfsm.start {
-            start_of.insert(handles[p], State(s));
+        for (p, &s) in prepared.automaton.start() {
+            let p = match map {
+                Some(m) => m.prop_to_original(p),
+                None => p.clone(),
+            };
+            start_of.insert(handles[&p], State(s));
         }
-
         let stats = PrepStats {
-            nfsm_nodes_before_prune,
-            nfsm_nodes: nfsm.num_nodes(),
-            nfsm_edges: nfsm.num_edges(),
-            dfsm_states: dfsm.num_states(),
-            pruned_fds,
-            precomputed_bytes: dfsm.precomputed_bytes(),
+            nfsm_nodes_before_prune: prepared.nfsm_nodes_before_prune,
+            nfsm_nodes: prepared.nfsm.num_nodes(),
+            nfsm_edges: prepared.nfsm.num_edges(),
+            dfsm_states: prepared.automaton.materialized_states(),
+            dfsm_states_total: prepared.automaton.total_states(),
+            minimized_from: prepared.minimized_from,
+            interned_hit,
+            pruned_fds: prepared.pruned_fds,
+            precomputed_bytes: prepared.automaton.precomputed_bytes(),
             prep_time: t0.elapsed(),
         };
-        Ok(OrderingFramework {
-            dfsm,
-            nfsm,
+        OrderingFramework {
+            prepared,
             handles,
             start_of,
             stats,
-        })
+        }
     }
 
     /// Handle of an interesting order (or of a prefix of one — `Q_I` is
@@ -209,21 +513,28 @@ impl OrderingFramework {
     /// ADT constructor for an unordered tuple stream (heap scan).
     #[inline]
     pub fn produce_empty(&self) -> State {
-        State(self.dfsm.empty_state)
+        State(self.prepared.automaton.empty_state())
     }
 
     /// `inferNewLogicalOrderings`: applies an operator's FD set — one
-    /// transition-table lookup.
+    /// transition-table lookup (lazy mode materializes the row on first
+    /// use).
     #[inline]
     pub fn infer(&self, s: State, f: FdSetId) -> State {
-        State(self.dfsm.step(s.0, f.index()))
+        match &self.prepared.automaton {
+            Automaton::Eager(d) => State(d.step(s.0, f.index())),
+            Automaton::Lazy(l) => State(l.step(&self.prepared.nfsm, s.0, f.index())),
+        }
     }
 
     /// `contains`: does a stream in state `s` satisfy the interesting
     /// order `h`? One bit probe.
     #[inline]
     pub fn satisfies(&self, s: State, h: OrderHandle) -> bool {
-        self.dfsm.contains.get(s.0 as usize, h.0 as usize)
+        match &self.prepared.automaton {
+            Automaton::Eager(d) => d.contains.get(s.0 as usize, h.0 as usize),
+            Automaton::Lazy(l) => l.contains(s.0, h.0),
+        }
     }
 
     /// `contains` for groupings: does a stream in state `s` satisfy the
@@ -248,13 +559,19 @@ impl OrderingFramework {
     /// Plan-domination: `a`'s underlying NFSM node set is a superset of
     /// `b`'s, so `a` satisfies at least every interesting order `b` does
     /// — now and after any further FD application (transitions are
-    /// monotone in the node set). One precomputed bit probe. Because
-    /// DFSM states carry only query-relevant information, this prunes
-    /// more plans than Simmen's ordering+FD-set comparability — the
-    /// paper's explanation for the lower `#Plans` in §7.
+    /// monotone in the node set). One precomputed bit probe on the eager
+    /// path, an on-demand subset comparison on the lazy path — the same
+    /// relation either way. Because DFSM states carry only
+    /// query-relevant information, this prunes more plans than Simmen's
+    /// ordering+FD-set comparability — the paper's explanation for the
+    /// lower `#Plans` in §7.
     #[inline]
     pub fn dominates(&self, a: State, b: State) -> bool {
-        a == b || self.dfsm.state_dominates(a.0, b.0)
+        a == b
+            || match &self.prepared.automaton {
+                Automaton::Eager(d) => d.state_dominates(a.0, b.0),
+                Automaton::Lazy(l) => l.dominates(a.0, b.0),
+            }
     }
 
     /// All interesting *orderings* (prefix-closed) with their handles.
@@ -284,26 +601,54 @@ impl OrderingFramework {
         self.handles.iter().map(|(p, &h)| (p, h))
     }
 
-    /// Preparation metrics.
+    /// Preparation metrics, frozen at the end of the prepare call.
     pub fn stats(&self) -> &PrepStats {
         &self.stats
     }
 
-    /// The pruned NFSM (introspection for examples/tests).
-    pub fn nfsm(&self) -> &Nfsm {
-        &self.nfsm
+    /// DFSM states materialized *right now* — equals the total for
+    /// eager modes, grows with probes for lazy ones.
+    pub fn dfsm_states_materialized(&self) -> usize {
+        self.prepared.automaton.materialized_states()
     }
 
-    /// The DFSM (introspection for examples/tests).
+    /// Total reachable DFSM states, when known (always for eager modes;
+    /// for lazy ones only once fully materialized).
+    pub fn dfsm_states_total(&self) -> Option<usize> {
+        self.prepared.automaton.total_states()
+    }
+
+    /// Forces full determinization of a lazy automaton (no-op when
+    /// eager). Makes [`dfsm_states_total`](Self::dfsm_states_total)
+    /// available.
+    pub fn materialize_all(&self) {
+        if let Automaton::Lazy(l) = &self.prepared.automaton {
+            l.materialize_all(&self.prepared.nfsm);
+        }
+    }
+
+    /// The pruned NFSM (introspection for examples/tests).
+    pub fn nfsm(&self) -> &Nfsm {
+        &self.prepared.nfsm
+    }
+
+    /// The DFSM (introspection for examples/tests). Panics for lazily
+    /// prepared frameworks, which have no dense `Dfsm` even when fully
+    /// materialized — prepare eagerly when introspection is needed.
     pub fn dfsm(&self) -> &Dfsm {
-        &self.dfsm
+        match &self.prepared.automaton {
+            Automaton::Eager(d) => d,
+            Automaton::Lazy(_) => {
+                panic!("dfsm() introspection requires eager preparation (PrepareOptions::eager)")
+            }
+        }
     }
 
     /// Bytes of order-annotation storage a plan with `num_plan_nodes`
     /// nodes needs under this framework: 4 bytes per node plus the
-    /// shared precomputed tables.
+    /// shared precomputed tables (as currently materialized).
     pub fn memory_bytes(&self, num_plan_nodes: usize) -> usize {
-        num_plan_nodes * std::mem::size_of::<State>() + self.stats.precomputed_bytes
+        num_plan_nodes * std::mem::size_of::<State>() + self.prepared.automaton.precomputed_bytes()
     }
 }
 
@@ -508,9 +853,81 @@ mod tests {
         let fw = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
         let st = fw.stats();
         assert_eq!(st.dfsm_states, 4);
+        assert_eq!(st.dfsm_states_total, Some(4));
+        assert!(!st.interned_hit);
         assert!(st.nfsm_nodes <= st.nfsm_nodes_before_prune);
         assert!(st.precomputed_bytes > 0);
         // Memory: O(1) per plan node.
         assert_eq!(fw.memory_bytes(1000) - fw.memory_bytes(0), 4000);
+    }
+
+    /// Lazy and auto preparation answer the §5.6 walkthrough with the
+    /// exact same handle and state values as eager preparation.
+    #[test]
+    fn prepare_modes_are_byte_identical() {
+        let (spec, f_bc, f_bd) = running_example();
+        let eager = OrderingFramework::prepare(&spec, PruneConfig::default()).unwrap();
+        for options in [PrepareOptions::lazy(), PrepareOptions::auto()] {
+            let fw =
+                OrderingFramework::prepare_opts(&spec, PruneConfig::default(), &options).unwrap();
+            // Identical handle spaces...
+            for (p, h) in eager.properties() {
+                assert_eq!(fw.handle_property(p), Some(h));
+            }
+            assert_eq!(fw.produce_empty(), eager.produce_empty());
+            // ...and identical states along probe paths.
+            for (o, h) in eager.orders() {
+                if !eager.is_producible(h) {
+                    continue;
+                }
+                let _ = o;
+                let (se, sl) = (eager.produce(h), fw.produce(h));
+                assert_eq!(se, sl);
+                for f in [f_bc, f_bd] {
+                    assert_eq!(eager.infer(se, f), fw.infer(sl, f));
+                }
+                for (_, hh) in eager.properties() {
+                    assert_eq!(eager.satisfies(se, hh), fw.satisfies(sl, hh));
+                }
+            }
+            // Lazy starts small; probes materialize more; totals agree.
+            assert!(fw.dfsm_states_materialized() <= eager.dfsm_states_materialized());
+            fw.materialize_all();
+            assert_eq!(fw.dfsm_states_total(), eager.dfsm_states_total());
+        }
+    }
+
+    /// Minimization merges probe-equivalent states while preserving the
+    /// walkthrough's probe answers. Redundancy comes from artificial
+    /// nodes, so the test disables NFSM pruning (which removes most of
+    /// it before determinization) to give minimization something to do.
+    #[test]
+    fn minimized_framework_is_probe_equivalent() {
+        let (spec, f_bc, _) = running_example();
+        let plain = OrderingFramework::prepare(&spec, PruneConfig::none()).unwrap();
+        let min = OrderingFramework::prepare_opts(
+            &spec,
+            PruneConfig::none(),
+            &PrepareOptions::eager().minimize(true),
+        )
+        .unwrap();
+        let st = min.stats();
+        assert!(st.minimized_from.is_some(), "redundant orders must merge");
+        assert!(st.dfsm_states < st.minimized_from.unwrap());
+        for (p, h_plain) in plain.properties() {
+            let h_min = min.handle_property(p).unwrap();
+            if !plain.is_producible(h_plain) {
+                continue;
+            }
+            let (sp, sm) = (plain.produce(h_plain), min.produce(h_min));
+            for (q, hq_plain) in plain.properties() {
+                let hq_min = min.handle_property(q).unwrap();
+                assert_eq!(plain.satisfies(sp, hq_plain), min.satisfies(sm, hq_min));
+                assert_eq!(
+                    plain.satisfies(plain.infer(sp, f_bc), hq_plain),
+                    min.satisfies(min.infer(sm, f_bc), hq_min)
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,284 @@
+//! Lazy determinization: the subset construction of [`crate::dfsm`],
+//! truncated at the highest state a probe has actually touched.
+//!
+//! Most queries visit a small corner of the reachable subset lattice —
+//! plan generation starts from a handful of entry states and applies
+//! the few FD sets its operators induce, while the eager construction
+//! pays for *every* reachable subset up front. The lazy automaton keeps
+//! the same tables as the eager build but advances the BFS only as far
+//! as probes demand:
+//!
+//! * **Numbering contract.** States are interned in exactly the eager
+//!   BFS order (entry states first, then full transition rows in
+//!   `(state, symbol)` order). A probe that needs state `s`'s row
+//!   advances the BFS through states `processed..=s` — never partially,
+//!   never out of order — so at every instant the lazy id space is a
+//!   *prefix* of the eager one. `State` handles, `contains` answers and
+//!   dominance verdicts are therefore bit-identical to eager mode, which
+//!   is what lets `eager | lazy | auto` share one plan-table contract.
+//! * **Concurrency.** Tables live behind an `RwLock`: probes that hit
+//!   materialized rows take a read lock (the common case — plan
+//!   generation re-probes the same few states constantly); a miss takes
+//!   the write lock and advances the BFS. Which thread wins the race is
+//!   irrelevant: the BFS extension is a deterministic function of the
+//!   NFSM, not of the schedule.
+//! * **Auto threshold.** In auto mode a lazy automaton that crosses a
+//!   materialization threshold finishes the whole construction at once
+//!   (optionally on an executor) — past that point the lattice is
+//!   evidently being explored broadly and per-probe locking is pure
+//!   overhead.
+
+use crate::dfsm::{PrepExecutor, SubsetCtx, SubsetTables};
+use crate::nfsm::Nfsm;
+use crate::property::LogicalProperty;
+use crate::prune::PruneConfig;
+use ofw_common::FxHashMap;
+use std::sync::{Arc, RwLock};
+
+/// The on-demand DFSM. Same tables, same numbering, same probe answers
+/// as [`crate::dfsm::Dfsm`] — materialized incrementally.
+pub struct LazyDfsm {
+    ctx: SubsetCtx,
+    empty_state: u32,
+    start: FxHashMap<LogicalProperty, u32>,
+    columns: FxHashMap<LogicalProperty, u32>,
+    /// Materialize everything once this many states exist (auto mode).
+    auto_threshold: Option<usize>,
+    exec: Option<Arc<dyn PrepExecutor>>,
+    tables: RwLock<SubsetTables>,
+}
+
+impl LazyDfsm {
+    /// Prepares the lazy automaton: ε-closures, column map and the
+    /// entry states only — no BFS.
+    pub fn new(
+        nfsm: &Nfsm,
+        config: &PruneConfig,
+        auto_threshold: Option<usize>,
+        exec: Option<Arc<dyn PrepExecutor>>,
+    ) -> Result<Self, crate::nfsm::BuildError> {
+        let (ctx, columns) = SubsetCtx::new(nfsm, config);
+        let (tables, empty_state, start) = ctx.start_tables(nfsm)?;
+        Ok(LazyDfsm {
+            ctx,
+            empty_state,
+            start,
+            columns,
+            auto_threshold,
+            exec,
+            tables: RwLock::new(tables),
+        })
+    }
+
+    /// Successor state under an FD-set symbol. O(1) once `state`'s row
+    /// is materialized; otherwise advances the BFS up to and including
+    /// `state` first.
+    #[inline]
+    pub fn step(&self, nfsm: &Nfsm, state: u32, sym: usize) -> u32 {
+        {
+            let t = self.tables.read().unwrap();
+            if state < t.processed {
+                return t.transitions[state as usize * self.ctx.num_symbols + sym];
+            }
+        }
+        self.advance_past(nfsm, state, sym)
+    }
+
+    /// Slow path of [`step`](Self::step): advance the BFS until
+    /// `state`'s transition row exists.
+    #[cold]
+    fn advance_past(&self, nfsm: &Nfsm, state: u32, sym: usize) -> u32 {
+        let mut t = self.tables.write().unwrap();
+        while t.processed <= state {
+            self.ctx.process_next(nfsm, &mut t).unwrap_or_else(|e| {
+                panic!("lazy determinization exceeded the configured cap: {e}")
+            });
+        }
+        if let Some(limit) = self.auto_threshold {
+            if t.states.len() >= limit {
+                self.materialize_locked(nfsm, &mut t);
+            }
+        }
+        t.transitions[state as usize * self.ctx.num_symbols + sym]
+    }
+
+    /// `contains` bit probe. Always O(1): a state's contains row is
+    /// filled the moment the state is interned, and probes only ever
+    /// hold interned state ids.
+    #[inline]
+    pub fn contains(&self, state: u32, col: u32) -> bool {
+        let t = self.tables.read().unwrap();
+        self.ctx.contains_bit(&t, state, col)
+    }
+
+    /// Future-proof plan domination: node-set inclusion, computed on
+    /// demand from the interned subsets — the same relation the eager
+    /// build precomputes (or, past its matrix limit, also computes on
+    /// demand), so verdicts match eager mode bit for bit.
+    #[inline]
+    pub fn dominates(&self, a: u32, b: u32) -> bool {
+        if a == b {
+            return true;
+        }
+        let t = self.tables.read().unwrap();
+        t.states.resolve(a).is_superset(t.states.resolve(b))
+    }
+
+    /// Runs the BFS to the fixpoint (on the configured executor when
+    /// present), making every reachable state's row available.
+    pub fn materialize_all(&self, nfsm: &Nfsm) {
+        let mut t = self.tables.write().unwrap();
+        self.materialize_locked(nfsm, &mut t);
+    }
+
+    fn materialize_locked(&self, nfsm: &Nfsm, t: &mut SubsetTables) {
+        let result = match &self.exec {
+            Some(e) => self.ctx.run_to_fixpoint_with(nfsm, t, e.as_ref()),
+            None => self.ctx.run_to_fixpoint(nfsm, t),
+        };
+        result.unwrap_or_else(|e| panic!("lazy determinization exceeded the configured cap: {e}"));
+    }
+
+    /// States interned so far (materialized prefix of the eager id
+    /// space).
+    pub fn materialized_states(&self) -> usize {
+        self.tables.read().unwrap().states.len()
+    }
+
+    /// Whether the BFS has reached its fixpoint (every interned state
+    /// has a complete transition row and no new states remain).
+    pub fn is_complete(&self) -> bool {
+        let t = self.tables.read().unwrap();
+        t.processed as usize == t.states.len()
+    }
+
+    /// Total reachable states — only known once complete.
+    pub fn total_states(&self) -> Option<usize> {
+        let t = self.tables.read().unwrap();
+        (t.processed as usize == t.states.len()).then(|| t.states.len())
+    }
+
+    /// Runtime table bytes materialized so far (transition rows +
+    /// contains rows + start row), mirroring
+    /// [`Dfsm::precomputed_bytes`](crate::dfsm::Dfsm::precomputed_bytes).
+    pub fn precomputed_bytes(&self) -> usize {
+        let t = self.tables.read().unwrap();
+        self.ctx.table_bytes(&t, self.start.len())
+    }
+
+    /// Entry state for the property-less stream.
+    pub fn empty_state(&self) -> u32 {
+        self.empty_state
+    }
+
+    /// Entry states per produced property (the `*` row).
+    pub fn start(&self) -> &FxHashMap<LogicalProperty, u32> {
+        &self.start
+    }
+
+    /// Column index per interesting property.
+    pub fn columns(&self) -> &FxHashMap<LogicalProperty, u32> {
+        &self.columns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfsm::Dfsm;
+    use crate::eqclass::EqClasses;
+    use crate::fd::Fd;
+    use crate::ordering::Ordering;
+    use crate::prune::{prune_fds, prune_nfsm};
+    use crate::spec::InputSpec;
+    use ofw_catalog::AttrId;
+
+    const A: AttrId = AttrId(0);
+    const B: AttrId = AttrId(1);
+    const C: AttrId = AttrId(2);
+    const D: AttrId = AttrId(3);
+
+    fn o(ids: &[AttrId]) -> LogicalProperty {
+        Ordering::new(ids.to_vec()).into()
+    }
+
+    fn running_example_nfsm() -> (Nfsm, PruneConfig) {
+        let mut spec = InputSpec::new();
+        spec.add_produced(o(&[B]));
+        spec.add_produced(o(&[A, B]));
+        spec.add_tested(o(&[A, B, C]));
+        spec.add_fd_set(vec![Fd::functional(&[B], C)]);
+        spec.add_fd_set(vec![Fd::functional(&[B], D)]);
+        let config = PruneConfig::default();
+        let eq = EqClasses::new();
+        let (sets, _) = prune_fds(&spec, &eq, &config);
+        let nfsm = Nfsm::build(&spec, &sets, &eq, &config).unwrap();
+        (prune_nfsm(nfsm, &config), config)
+    }
+
+    /// Lazy and eager agree on every id, transition and probe — and the
+    /// lazy automaton starts with only the entry states interned.
+    #[test]
+    fn lazy_is_a_prefix_of_eager() {
+        let (nfsm, config) = running_example_nfsm();
+        let eager = Dfsm::build(&nfsm, &config).unwrap();
+        let lazy = LazyDfsm::new(&nfsm, &config, None, None).unwrap();
+
+        assert_eq!(lazy.empty_state(), eager.empty_state);
+        assert_eq!(*lazy.start(), eager.start);
+        assert_eq!(*lazy.columns(), eager.columns);
+        assert!(lazy.materialized_states() <= eager.num_states());
+        assert_eq!(lazy.total_states(), None, "BFS has not started");
+
+        // Probe every state along every 2-symbol path; ids must match.
+        for &s0 in eager.start.values() {
+            for a in 0..eager.num_symbols {
+                for b in 0..eager.num_symbols {
+                    let e = eager.step(eager.step(s0, a), b);
+                    let l = lazy.step(&nfsm, lazy.step(&nfsm, s0, a), b);
+                    assert_eq!(e, l);
+                    for &col in eager.columns.values() {
+                        assert_eq!(
+                            eager.contains.get(e as usize, col as usize),
+                            lazy.contains(l, col)
+                        );
+                    }
+                }
+            }
+        }
+        lazy.materialize_all(&nfsm);
+        assert_eq!(lazy.total_states(), Some(eager.num_states()));
+        assert!(lazy.precomputed_bytes() > 0);
+    }
+
+    /// Dominance verdicts match the eager precomputed matrix.
+    #[test]
+    fn lazy_dominance_matches_eager() {
+        let (nfsm, config) = running_example_nfsm();
+        let eager = Dfsm::build(&nfsm, &config).unwrap();
+        let lazy = LazyDfsm::new(&nfsm, &config, None, None).unwrap();
+        lazy.materialize_all(&nfsm);
+        let n = eager.num_states() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(eager.state_dominates(a, b), lazy.dominates(a, b));
+            }
+        }
+    }
+
+    /// Crossing the auto threshold completes the construction.
+    #[test]
+    fn auto_threshold_materializes_fully() {
+        let (nfsm, config) = running_example_nfsm();
+        let lazy = LazyDfsm::new(&nfsm, &config, Some(1), None).unwrap();
+        assert!(!lazy.is_complete() || lazy.materialized_states() > 0);
+        // Any miss trips the 1-state threshold and finishes the BFS.
+        let s0 = lazy.empty_state();
+        let _ = lazy.step(&nfsm, s0, 0);
+        assert!(lazy.is_complete());
+        assert_eq!(
+            lazy.total_states(),
+            Some(Dfsm::build(&nfsm, &config).unwrap().num_states())
+        );
+    }
+}

@@ -26,8 +26,17 @@
 //! local reorderings, with pair counts linear in `n · 2^w`: the
 //! 100-relation clique plans in milliseconds where both exact
 //! enumerators are unreachable.
+//!
+//! **Budget-adaptive width.** When no explicit window is pinned, the
+//! schedule starts at [`DEFAULT_LINEARIZE_WINDOW`] and widens one
+//! relation at a time while the *projected* pair count of the wider
+//! schedule still fits the enumeration budget (with 2× headroom before
+//! probing, so the probe itself never balloons). A fallback trip only
+//! happens because the exact enumerators would blow the budget — so
+//! whatever slack the budget leaves is spent on better local plans
+//! instead of being thrown away.
 
-use super::{UnionWork, WorkSchedule};
+use super::{UnionWork, WorkSchedule, DEFAULT_LINEARIZE_WINDOW};
 use ofw_catalog::Catalog;
 use ofw_common::{BitSet, FxHashMap};
 use ofw_query::Query;
@@ -122,117 +131,160 @@ fn linearize(eff: &[f64], adj: &[Vec<(usize, f64)>]) -> Vec<usize> {
     order
 }
 
+/// Builds the window-DP batch sequence for one fixed window width.
+/// Returns the batches plus the total csg-cmp pair count they emit —
+/// the quantity the adaptive widening loop compares against the budget.
+fn build_windows(
+    n: usize,
+    order: &[usize],
+    adj: &[Vec<(usize, f64)>],
+    w: usize,
+) -> (Vec<Vec<UnionWork>>, u64) {
+    let stride = (w / 2).max(1);
+
+    // Committed subset → the *latest* flat global index the driver
+    // will have assigned to it (re-committed seeds get fresh
+    // indices; the plan table is keyed by the set itself, so only
+    // the set identity matters for lookup).
+    let mut known: FxHashMap<BitSet, u32> = FxHashMap::default();
+    let mut next_idx = n as u32;
+    let mut batches: Vec<Vec<UnionWork>> = Vec::new();
+    let mut emitted = 0u64;
+
+    let mut p = 0usize;
+    loop {
+        let wend = (p + w).min(n);
+        let wrels = &order[p..wend];
+        let m = wrels.len();
+        // The frozen prefix, contracted to one pseudo-relation.
+        let mut anchor = BitSet::new(n);
+        for &q in &order[..p] {
+            anchor.insert(q);
+        }
+        let anchor_idx = if p == 0 {
+            u32::MAX
+        } else {
+            *known
+                .get(&anchor)
+                .expect("every linearization prefix is a committed subset")
+        };
+        // Window-local adjacency: bitmask of in-window neighbors
+        // and anchor adjacency per window position.
+        let mut win_nbrs = vec![0u64; m];
+        let mut anchor_adj = vec![false; m];
+        for (j, &r) in wrels.iter().enumerate() {
+            for &(partner, _) in &adj[r] {
+                if let Some(pos) = wrels.iter().position(|&x| x == partner) {
+                    win_nbrs[j] |= 1u64 << pos;
+                } else if anchor.contains(partner) {
+                    anchor_adj[j] = true;
+                }
+            }
+        }
+
+        let mut valid = vec![false; 1usize << m];
+        let mut idx_of = vec![u32::MAX; 1usize << m];
+        for k in 1..=m {
+            let mut batch: Vec<UnionWork> = Vec::new();
+            for mask in 1usize..(1usize << m) {
+                if (mask.count_ones() as usize) != k {
+                    continue;
+                }
+                if p == 0 && k == 1 {
+                    // Window-initial singletons are the driver's
+                    // base plans; they need no work item.
+                    let j = mask.trailing_zeros() as usize;
+                    valid[mask] = true;
+                    idx_of[mask] = wrels[j] as u32;
+                    continue;
+                }
+                let mut pairs: Vec<(u32, u32)> = Vec::new();
+                let mut b = mask;
+                while b != 0 {
+                    let j = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    let sub = mask & !(1usize << j);
+                    let (sub_ok, sub_idx) = if sub == 0 {
+                        (p > 0, anchor_idx)
+                    } else {
+                        (valid[sub], idx_of[sub])
+                    };
+                    let connected = anchor_adj[j] || (win_nbrs[j] & sub as u64) != 0;
+                    if sub_ok && connected {
+                        let r = wrels[j] as u32;
+                        pairs.push((sub_idx, r));
+                        pairs.push((r, sub_idx));
+                    }
+                }
+                if pairs.is_empty() {
+                    continue;
+                }
+                valid[mask] = true;
+                let mut mset = anchor.clone();
+                let mut b = mask;
+                while b != 0 {
+                    let j = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    mset.insert(wrels[j]);
+                }
+                let seed = known.contains_key(&mset);
+                emitted += pairs.len() as u64;
+                idx_of[mask] = next_idx;
+                known.insert(mset.clone(), next_idx);
+                next_idx += 1;
+                batch.push(UnionWork::new(mset, seed, pairs));
+            }
+            if !batch.is_empty() {
+                batches.push(batch);
+            }
+        }
+        if wend == n {
+            break;
+        }
+        p += stride;
+    }
+
+    (batches, emitted)
+}
+
 impl LinearizedSchedule {
-    pub(crate) fn new(catalog: &Catalog, query: &Query, window: usize) -> Self {
+    /// Builds the schedule. `window: Some(w)` pins the width to `w`
+    /// (clamped to `[2, MAX_WINDOW]` and the relation count); `None`
+    /// adapts it: start at [`DEFAULT_LINEARIZE_WINDOW`] and widen while
+    /// the wider schedule's pair count still fits `budget`.
+    pub(crate) fn new(
+        catalog: &Catalog,
+        query: &Query,
+        window: Option<usize>,
+        budget: u64,
+    ) -> Self {
         let n = query.num_relations();
         let eff = effective_cards(catalog, query);
         let adj = adjacency(query);
         let order = linearize(&eff, &adj);
+        let cap = MAX_WINDOW.min(n.max(2));
 
-        let w = window.clamp(2, MAX_WINDOW).min(n.max(2)).min(n.max(1));
-        let stride = (w / 2).max(1);
-
-        // Committed subset → the *latest* flat global index the driver
-        // will have assigned to it (re-committed seeds get fresh
-        // indices; the plan table is keyed by the set itself, so only
-        // the set identity matters for lookup).
-        let mut known: FxHashMap<BitSet, u32> = FxHashMap::default();
-        let mut next_idx = n as u32;
-        let mut batches: Vec<Vec<UnionWork>> = Vec::new();
-        let mut emitted = 0u64;
-
-        let mut p = 0usize;
-        loop {
-            let wend = (p + w).min(n);
-            let wrels = &order[p..wend];
-            let m = wrels.len();
-            // The frozen prefix, contracted to one pseudo-relation.
-            let mut anchor = BitSet::new(n);
-            for &q in &order[..p] {
-                anchor.insert(q);
-            }
-            let anchor_idx = if p == 0 {
-                u32::MAX
-            } else {
-                *known
-                    .get(&anchor)
-                    .expect("every linearization prefix is a committed subset")
-            };
-            // Window-local adjacency: bitmask of in-window neighbors
-            // and anchor adjacency per window position.
-            let mut win_nbrs = vec![0u64; m];
-            let mut anchor_adj = vec![false; m];
-            for (j, &r) in wrels.iter().enumerate() {
-                for &(partner, _) in &adj[r] {
-                    if let Some(pos) = wrels.iter().position(|&x| x == partner) {
-                        win_nbrs[j] |= 1u64 << pos;
-                    } else if anchor.contains(partner) {
-                        anchor_adj[j] = true;
+        let (batches, emitted) = match window {
+            Some(w) => build_windows(n, &order, &adj, w.clamp(2, cap)),
+            None => {
+                let mut w = DEFAULT_LINEARIZE_WINDOW.clamp(2, cap);
+                let (mut batches, mut emitted) = build_windows(n, &order, &adj, w);
+                // Widen only while the *current* schedule leaves 2×
+                // headroom — each +1 roughly doubles per-window work,
+                // so anything tighter would probe widths that cannot
+                // fit. Reject a probe that overshoots the budget.
+                while w < cap && emitted.saturating_mul(2) <= budget {
+                    let (wider, wider_emitted) = build_windows(n, &order, &adj, w + 1);
+                    if wider_emitted > budget {
+                        break;
                     }
+                    w += 1;
+                    batches = wider;
+                    emitted = wider_emitted;
                 }
+                (batches, emitted)
             }
-
-            let mut valid = vec![false; 1usize << m];
-            let mut idx_of = vec![u32::MAX; 1usize << m];
-            for k in 1..=m {
-                let mut batch: Vec<UnionWork> = Vec::new();
-                for mask in 1usize..(1usize << m) {
-                    if (mask.count_ones() as usize) != k {
-                        continue;
-                    }
-                    if p == 0 && k == 1 {
-                        // Window-initial singletons are the driver's
-                        // base plans; they need no work item.
-                        let j = mask.trailing_zeros() as usize;
-                        valid[mask] = true;
-                        idx_of[mask] = wrels[j] as u32;
-                        continue;
-                    }
-                    let mut pairs: Vec<(u32, u32)> = Vec::new();
-                    let mut b = mask;
-                    while b != 0 {
-                        let j = b.trailing_zeros() as usize;
-                        b &= b - 1;
-                        let sub = mask & !(1usize << j);
-                        let (sub_ok, sub_idx) = if sub == 0 {
-                            (p > 0, anchor_idx)
-                        } else {
-                            (valid[sub], idx_of[sub])
-                        };
-                        let connected = anchor_adj[j] || (win_nbrs[j] & sub as u64) != 0;
-                        if sub_ok && connected {
-                            let r = wrels[j] as u32;
-                            pairs.push((sub_idx, r));
-                            pairs.push((r, sub_idx));
-                        }
-                    }
-                    if pairs.is_empty() {
-                        continue;
-                    }
-                    valid[mask] = true;
-                    let mut mset = anchor.clone();
-                    let mut b = mask;
-                    while b != 0 {
-                        let j = b.trailing_zeros() as usize;
-                        b &= b - 1;
-                        mset.insert(wrels[j]);
-                    }
-                    let seed = known.contains_key(&mset);
-                    emitted += pairs.len() as u64;
-                    idx_of[mask] = next_idx;
-                    known.insert(mset.clone(), next_idx);
-                    next_idx += 1;
-                    batch.push(UnionWork::new(mset, seed, pairs));
-                }
-                if !batch.is_empty() {
-                    batches.push(batch);
-                }
-            }
-            if wend == n {
-                break;
-            }
-            p += stride;
-        }
+        };
 
         LinearizedSchedule {
             batches: batches.into_iter(),
@@ -307,7 +359,7 @@ mod tests {
         let n = 30;
         let cards: Vec<f64> = (0..n).map(|i| 1000.0 + i as f64).collect();
         let (c, q) = clique_query(&cards);
-        let mut schedule = LinearizedSchedule::new(&c, &q, 6);
+        let mut schedule = LinearizedSchedule::new(&c, &q, Some(6), 1_000_000);
         let mut covered = false;
         let mut total_pairs = 0u64;
         while let Some(batch) = schedule.next_batch() {
@@ -324,6 +376,33 @@ mod tests {
             schedule.pairs_emitted() < 20_000,
             "pair count should be linear-ish, got {}",
             schedule.pairs_emitted()
+        );
+    }
+
+    /// With no pinned window the width adapts to the budget: a roomy
+    /// budget widens past the default (more pairs than the pinned
+    /// default emits, never more than the budget), a tight budget stays
+    /// at the default, and a pinned window ignores the budget entirely.
+    #[test]
+    fn adaptive_window_spends_leftover_budget() {
+        let n = 30;
+        let cards: Vec<f64> = (0..n).map(|i| 1000.0 + i as f64).collect();
+        let (c, q) = clique_query(&cards);
+        let pinned = LinearizedSchedule::new(&c, &q, Some(DEFAULT_LINEARIZE_WINDOW), 1_000_000);
+        let baseline = pinned.emitted;
+
+        let roomy = LinearizedSchedule::new(&c, &q, None, 1_000_000);
+        assert!(
+            roomy.emitted > baseline,
+            "a 1M budget should widen past the default ({} vs {baseline})",
+            roomy.emitted
+        );
+        assert!(roomy.emitted <= 1_000_000, "never overshoots the budget");
+
+        let tight = LinearizedSchedule::new(&c, &q, None, baseline);
+        assert_eq!(
+            tight.emitted, baseline,
+            "a budget with no headroom keeps the default width"
         );
     }
 }

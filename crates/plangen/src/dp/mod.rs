@@ -177,6 +177,21 @@ pub struct PlanGenStats {
     /// Whether [`Enumerator::Auto`] exceeded the enumeration budget and
     /// fell back to the linearized enumerator.
     pub fallback: bool,
+    /// NFSM nodes of the oracle's prepared automaton (0 for oracles
+    /// without a preparation automaton). Deterministic per query.
+    pub nfsm_states: usize,
+    /// DFSM states materialized by the end of the run — for an eager
+    /// preparation this equals the total; for a lazy one it counts only
+    /// the states plan generation actually touched. Deterministic per
+    /// query: the probe set is schedule-independent. 0 for
+    /// automaton-less oracles.
+    pub dfsm_states_materialized: usize,
+    /// Total reachable DFSM states, when the oracle knows it (eager
+    /// preparation, or a lazy automaton that materialized fully).
+    pub dfsm_states_total: Option<usize>,
+    /// Whether the oracle's preparation was served from an interning
+    /// cache (see `ofw_core::PreparedCache`).
+    pub prep_interned_hits: u64,
 }
 
 impl Default for PlanGenStats {
@@ -190,6 +205,10 @@ impl Default for PlanGenStats {
             pairs_emitted: 0,
             unions: 0,
             fallback: false,
+            nfsm_states: 0,
+            dfsm_states_materialized: 0,
+            dfsm_states_total: None,
+            prep_interned_hits: 0,
         }
     }
 }
@@ -332,8 +351,11 @@ pub struct PlanGen<'a, O: OrderOracle> {
     enumerator: Enumerator,
     /// csg-cmp pair budget for [`Enumerator::Auto`].
     budget: u64,
-    /// Refinement-window width for [`Enumerator::Linearized`].
-    window: usize,
+    /// Refinement-window width for [`Enumerator::Linearized`]. `None`
+    /// (the default) adapts the width to the enumeration budget: the
+    /// schedule widens past [`DEFAULT_LINEARIZE_WINDOW`] as long as the
+    /// projected pair count stays within `budget`.
+    window: Option<usize>,
     targets: Vec<EnforcerTarget<O::Key>>,
     /// Aggregation context (`Some` iff the query computes aggregates
     /// over a group-by and extraction ran with placement enabled).
@@ -429,7 +451,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             graph: JoinGraph::new(query),
             enumerator: Enumerator::DpSize,
             budget: DEFAULT_ENUMERATION_BUDGET,
-            window: DEFAULT_LINEARIZE_WINDOW,
+            window: None,
             targets,
             agg,
             placement: true,
@@ -458,12 +480,15 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         self
     }
 
-    /// Sets the linearized fallback's refinement-window width (default
-    /// [`DEFAULT_LINEARIZE_WINDOW`], capped at 16): wider windows
-    /// explore more local join orders per window at exponentially more
-    /// work per window.
+    /// Pins the linearized fallback's refinement-window width (capped
+    /// at 16): wider windows explore more local join orders per window
+    /// at exponentially more work per window. Without this call the
+    /// width is budget-adaptive: it starts at
+    /// [`DEFAULT_LINEARIZE_WINDOW`] and widens while the projected pair
+    /// count stays within the enumeration budget — spending whatever
+    /// budget the DPhyp trip left unused on better local plans.
     pub fn linearize_window(mut self, relations: usize) -> Self {
-        self.window = relations;
+        self.window = Some(relations);
         self
     }
 
@@ -665,6 +690,9 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         };
         let best = self.pick_final(&final_set, required.as_ref());
         let cost = self.arena.node(best).cost;
+        // Preparation counters are read *after* the run so a lazy
+        // oracle reports the states this query's probes materialized.
+        let prep = self.oracle.prep_counters();
         let stats = PlanGenStats {
             plans: self.arena.len(),
             time: t0.elapsed(),
@@ -674,6 +702,10 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             pairs_emitted: schedule.pairs_emitted(),
             unions,
             fallback,
+            nfsm_states: prep.nfsm_states,
+            dfsm_states_materialized: prep.dfsm_states_materialized,
+            dfsm_states_total: prep.dfsm_states_total,
+            prep_interned_hits: prep.interned_hits,
         };
         PlanGenResult {
             best,
@@ -689,7 +721,8 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// graph, so (for [`Enumerator::Auto`]) the budget trips before any
     /// planning work is spent.
     fn make_schedule(&self) -> (Box<dyn WorkSchedule + 'a>, &'static str, bool) {
-        let linearized = || LinearizedSchedule::new(self.catalog, self.query, self.window);
+        let linearized =
+            || LinearizedSchedule::new(self.catalog, self.query, self.window, self.budget);
         match self.enumerator {
             Enumerator::DpSize => (
                 Box::new(DpSizeSchedule::new(self.query)),

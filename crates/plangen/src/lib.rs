@@ -67,5 +67,5 @@ pub use dp::{
     DEFAULT_LINEARIZE_WINDOW,
 };
 pub use exec::{execute, synthetic_data, Table};
-pub use oracle::{ExplicitKey, ExplicitOracle, ExplicitStateId, OrderOracle};
+pub use oracle::{ExplicitKey, ExplicitOracle, ExplicitStateId, OrderOracle, PrepCounters};
 pub use plan::{PlanId, PlanNode, PlanOp};

@@ -25,6 +25,25 @@ use std::fmt::Debug;
 use std::hash::Hash;
 use std::sync::Mutex;
 
+/// Preparation-side counters an oracle can report after a run. Only the
+/// DFSM framework has a non-trivial preparation phase; the other arms
+/// return the default (all zero / unknown), which the stats plumbing
+/// passes through unchanged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrepCounters {
+    /// NFSM nodes after pruning (0 when the arm has no NFSM).
+    pub nfsm_states: usize,
+    /// DFSM states materialized so far — under lazy preparation, the
+    /// states this query's probes actually forced into existence.
+    pub dfsm_states_materialized: usize,
+    /// Total DFSM states, when known (`None` until a lazy automaton
+    /// reaches its fixpoint).
+    pub dfsm_states_total: Option<usize>,
+    /// Preparation-cache hits that served this oracle (0 or 1 for a
+    /// single prepared framework).
+    pub interned_hits: u64,
+}
+
 /// Order/grouping-optimization ADT as seen by the plan generator.
 pub trait OrderOracle {
     /// Per-plan-node order annotation.
@@ -79,6 +98,13 @@ pub trait OrderOracle {
     /// Bytes of order-annotation storage for `plan_nodes` plan nodes,
     /// including shared structures.
     fn memory_bytes(&self, plan_nodes: usize) -> usize;
+
+    /// Preparation counters, read *after* a DP run so lazy automata
+    /// report what the run materialized. Defaults to all-zero for arms
+    /// without a preparation phase.
+    fn prep_counters(&self) -> PrepCounters {
+        PrepCounters::default()
+    }
 
     /// Display name for experiment tables.
     fn name(&self) -> &'static str;
@@ -143,6 +169,16 @@ impl OrderOracle for ofw_core::OrderingFramework {
 
     fn memory_bytes(&self, plan_nodes: usize) -> usize {
         ofw_core::OrderingFramework::memory_bytes(self, plan_nodes)
+    }
+
+    fn prep_counters(&self) -> PrepCounters {
+        let stats = self.stats();
+        PrepCounters {
+            nfsm_states: stats.nfsm_nodes,
+            dfsm_states_materialized: self.dfsm_states_materialized(),
+            dfsm_states_total: self.dfsm_states_total(),
+            interned_hits: stats.interned_hit as u64,
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -69,7 +69,9 @@ fn hundred_relation_clique_falls_back_and_plans() {
     // An explicit (smaller) budget keeps the debug-mode budget trip
     // cheap; the clique exceeds the default budget by orders of
     // magnitude either way (`table_hypergraph` measures that in
-    // release mode).
+    // release mode). No window is pinned, so this also exercises the
+    // budget-adaptive width: the fallback may widen past the default
+    // only while its pair count fits the same budget.
     let budget = 25_000;
     let serial = PlanGen::new(&catalog, &query, &ex, &fw)
         .enumerator(ofw_plangen::Enumerator::Auto)

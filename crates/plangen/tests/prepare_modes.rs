@@ -1,0 +1,172 @@
+//! Preparation-mode regression: the DP must produce **byte-identical**
+//! plan tables whether the DFSM oracle was prepared eagerly, lazily or
+//! in auto mode, with or without preparation parallelism, at every DP
+//! thread count.
+//!
+//! This is the contract that makes lazy determinization safe to turn on
+//! by default: laziness is a *truncated* eager BFS, so every state the
+//! DP ever sees carries the same 4-byte handle it would have carried
+//! under an eager build — the plan arena (operator trees, masks, cost
+//! bit patterns, applied FDs, oracle states) cannot tell the modes
+//! apart. Minimization deliberately breaks handle stability (it
+//! renumbers states) in exchange for a smaller automaton, so it is held
+//! to the state-blind tier: identical plans, costs and winners, handle
+//! values free.
+
+use std::fmt::Debug;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use ofw_catalog::Catalog;
+use ofw_core::{OrderingFramework, PrepareOptions, PruneConfig};
+use ofw_parallel::ThreadPool;
+use ofw_plangen::{PlanGen, PlanGenResult};
+use ofw_query::extract::ExtractOptions;
+use ofw_query::Query;
+use ofw_workload::{grouping_query, random_query, GroupingQueryConfig, RandomQueryConfig};
+
+/// Arena fingerprint; with `with_state`, includes the oracle state
+/// handles (the full tier — only modes with eager-compatible state
+/// numbering can pass it).
+fn fingerprint_opt<S: Copy + Debug>(r: &PlanGenResult<S>, with_state: bool) -> String {
+    let mut out = String::new();
+    for n in r.arena.nodes() {
+        let _ = write!(
+            out,
+            "{:?}|{:?}|{:016x}|{:016x}|{:?}|{:?}",
+            n.op,
+            n.mask,
+            n.cost.to_bits(),
+            n.card.to_bits(),
+            n.agg,
+            n.applied_fds,
+        );
+        if with_state {
+            let _ = write!(out, "|{:?}", n.state);
+        }
+        out.push('\n');
+    }
+    let _ = write!(
+        out,
+        "best={:?} cost={:016x} plans={}",
+        r.best,
+        r.cost.to_bits(),
+        r.stats.plans
+    );
+    out
+}
+
+/// Runs the DP over a freshly prepared framework, serially or on a
+/// pool of `threads` workers.
+fn run_dp(
+    catalog: &Catalog,
+    query: &Query,
+    options: &PrepareOptions,
+    threads: Option<usize>,
+) -> PlanGenResult<ofw_core::State> {
+    let ex = ofw_query::extract(catalog, query, &ExtractOptions::default());
+    let oracle = OrderingFramework::prepare_opts(&ex.spec, PruneConfig::default(), options)
+        .expect("preparation");
+    let pg = PlanGen::new(catalog, query, &ex, &oracle);
+    match threads {
+        None => pg.run(),
+        Some(t) => pg.run_with(&ThreadPool::new(t)),
+    }
+}
+
+/// The headline contract: eager, lazy and auto preparation — the auto
+/// arm once with a tiny threshold so it *completes* mid-build and once
+/// with the default so it stays lazy — produce byte-identical plan
+/// tables at every DP thread count, including the oracle state column.
+fn check_modes(catalog: &Catalog, query: &Query) {
+    let reference = fingerprint_opt(
+        &run_dp(catalog, query, &PrepareOptions::eager(), None),
+        true,
+    );
+    let pool = Arc::new(ThreadPool::new(4));
+    let arms: Vec<(&str, PrepareOptions)> = vec![
+        ("lazy", PrepareOptions::lazy()),
+        ("auto", PrepareOptions::auto()),
+        ("auto-tiny", PrepareOptions::auto().auto_threshold(2)),
+        ("eager-pooled", PrepareOptions::eager().exec(pool.clone())),
+        ("lazy-pooled", PrepareOptions::lazy().exec(pool)),
+    ];
+    for (label, options) in &arms {
+        for threads in [None, Some(1), Some(2), Some(8)] {
+            let r = run_dp(catalog, query, options, threads);
+            assert_eq!(
+                fingerprint_opt(&r, true),
+                reference,
+                "{label} preparation diverged from eager at {threads:?} DP threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_tables_are_identical_across_preparation_modes_on_a_join_query() {
+    let (catalog, query) = random_query(&RandomQueryConfig {
+        num_relations: 7,
+        extra_edges: 1,
+        seed: 0x5EED,
+    });
+    check_modes(&catalog, &query);
+}
+
+#[test]
+fn plan_tables_are_identical_across_preparation_modes_on_a_grouping_query() {
+    let (catalog, query) = grouping_query(&GroupingQueryConfig {
+        num_relations: 5,
+        extra_edges: 1,
+        seed: 42,
+    });
+    check_modes(&catalog, &query);
+}
+
+/// Minimization renumbers states, so it owes only the state-blind tier:
+/// plans, costs, masks, FDs and the winner must match the eager build
+/// exactly, while the handle column is free to differ.
+#[test]
+fn minimized_preparation_is_plan_equivalent() {
+    let (catalog, query) = grouping_query(&GroupingQueryConfig {
+        num_relations: 5,
+        extra_edges: 1,
+        seed: 7,
+    });
+    let eager = run_dp(&catalog, &query, &PrepareOptions::eager(), None);
+    let minimized = run_dp(
+        &catalog,
+        &query,
+        &PrepareOptions::eager().minimize(true),
+        None,
+    );
+    assert_eq!(
+        fingerprint_opt(&minimized, false),
+        fingerprint_opt(&eager, false),
+        "minimized automaton changed the plan table"
+    );
+}
+
+/// The preparation counters surface through `PlanGenStats`: an eager
+/// run reports a complete automaton, a lazy run reports how much of it
+/// the DP actually forced — never more than the eager total.
+#[test]
+fn plan_stats_carry_preparation_counters() {
+    let (catalog, query) = random_query(&RandomQueryConfig {
+        num_relations: 6,
+        extra_edges: 1,
+        seed: 99,
+    });
+    let eager = run_dp(&catalog, &query, &PrepareOptions::eager(), None);
+    assert!(eager.stats.nfsm_states > 0);
+    let total = eager
+        .stats
+        .dfsm_states_total
+        .expect("eager preparation knows the full automaton size");
+    assert_eq!(eager.stats.dfsm_states_materialized, total);
+
+    let lazy = run_dp(&catalog, &query, &PrepareOptions::lazy(), None);
+    assert_eq!(lazy.stats.nfsm_states, eager.stats.nfsm_states);
+    assert!(lazy.stats.dfsm_states_materialized <= total);
+    assert!(lazy.stats.dfsm_states_materialized > 0, "the DP probed");
+}

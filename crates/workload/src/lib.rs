@@ -19,10 +19,14 @@
 //! * [`aggregation`] — star-schema aggregation queries with selective
 //!   group keys and distinct-value statistics, the workload class where
 //!   eager aggregation push-down and group-joins pay off.
+//! * [`prep`] — preparation-stress `InputSpec`s made of independent
+//!   property families over disjoint attribute blocks, sized into the
+//!   hundreds of interesting orders for the `table_prepare` bench.
 
 pub mod aggregation;
 pub mod grouping;
 pub mod large;
+pub mod prep;
 pub mod random;
 pub mod tpch;
 
@@ -32,5 +36,6 @@ pub use aggregation::{
 };
 pub use grouping::{grouping_query, q13_style_query, GroupingQueryConfig};
 pub use large::{large_query, LargeQueryConfig, Topology};
+pub use prep::{prep_spec, PrepSpecConfig};
 pub use random::{random_query, RandomQueryConfig};
 pub use tpch::q8_query;

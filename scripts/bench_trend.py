@@ -29,7 +29,11 @@ Two kinds of regression are enforced:
   `avail_threads`) disagrees between the baseline and the current run,
   time regressions are demoted to warnings; on the same machine class
   they fail. Regenerate baselines on the enforcing machine class with
-  --update.
+  --update. When the current run reports *fewer* hardware threads than
+  the baseline, time comparisons are skipped outright (not even
+  warnings): a narrower machine is slower across the board — for the
+  parallel cells by design — so every row would "regress" and the real
+  signal (the counter gate) would drown in noise.
 
 Rows that find no baseline counterpart (new cells, changed plan counts
 after a legitimate optimizer change) are reported as warnings — rerun
@@ -67,6 +71,14 @@ COUNTERS = {
     "pairs",
     "pairs_considered",
     "unions",
+    # Preparation sweep (table_prepare): automaton sizes, the lazy arm's
+    # materialization count and probe checksum, and warm cache hits are
+    # all index-arithmetic deterministic.
+    "nfsm_states",
+    "dfsm_states_total",
+    "dfsm_states_materialized",
+    "probes",
+    "prep_interned_hits",
 }
 
 
@@ -123,12 +135,29 @@ def check_file(path, threshold_pct):
     baseline_rows = load_rows(base_path)
     baseline = {identity(r): r for r in baseline_rows}
     regressions, warnings = [], []
-    same_machine = machine_proxy(current) == machine_proxy(baseline_rows)
-    if not same_machine:
+    current_threads = machine_proxy(current)
+    baseline_threads = machine_proxy(baseline_rows)
+    same_machine = current_threads == baseline_threads
+    # A machine with fewer hardware threads than the baseline's is
+    # slower across the board (the parallel cells by design), so time
+    # comparisons carry no signal at all — skip them entirely and rely
+    # on the deterministic counter gate.
+    skip_times = (
+        isinstance(current_threads, (int, float))
+        and isinstance(baseline_threads, (int, float))
+        and current_threads < baseline_threads
+    )
+    if skip_times:
+        warnings.append(
+            f"{path}: current machine has fewer hardware threads than the "
+            f"baseline's (avail_threads {current_threads} < "
+            f"{baseline_threads}); time comparisons skipped"
+        )
+    elif not same_machine:
         warnings.append(
             f"{path}: baseline was measured on different hardware "
-            f"(avail_threads {machine_proxy(baseline_rows)} vs "
-            f"{machine_proxy(current)}); time regressions demoted to warnings"
+            f"(avail_threads {baseline_threads} vs "
+            f"{current_threads}); time regressions demoted to warnings"
         )
     for row in current:
         base = baseline.get(identity(row))
@@ -141,6 +170,8 @@ def check_file(path, threshold_pct):
         found_times, found_counters = [], []
         compare_rows(row, base, "", threshold_pct, found_times, found_counters)
         for field, old_value, new_value, growth_pct in found_times:
+            if skip_times:
+                continue
             message = (
                 f"{path}: {field} {old_value:.2f} -> {new_value:.2f} "
                 f"(+{growth_pct:.0f}% > {threshold_pct:.0f}%) in row {label}"
