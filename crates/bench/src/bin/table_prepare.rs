@@ -48,6 +48,7 @@ fn main() {
         "warm(ms)"
     );
     let mut sink = ofw_bench::json::BenchSink::with_meta("prepare", |m| m.str("mode", label));
+    let (mut total_states, mut total_materialized, mut total_hits) = (0usize, 0usize, 0u64);
     for &families in &family_counts {
         let config = PrepSpecConfig::with_families(families);
         // A query rarely cares about more than a handful of the
@@ -55,7 +56,18 @@ fn main() {
         let probe_families = (families / 10).max(1);
         let row = prepare_cell(&config, probe_families, warm_reps);
         println!("{}", prepare_row_line(&row));
+        total_states += row.dfsm_states_total;
+        total_materialized += row.dfsm_states_materialized;
+        total_hits += row.prep_interned_hits;
         sink.push(prepare_row_json(&row));
     }
+    println!();
+    println!(
+        "summary: lazy determinization materialized {}/{} DFSM states ({:.1}%) across the sweep; {} interned cache hits",
+        total_materialized,
+        total_states,
+        total_materialized as f64 / total_states.max(1) as f64 * 100.0,
+        total_hits,
+    );
     sink.finish();
 }

@@ -1,0 +1,107 @@
+//! TR1 — the observability table: plan generation with the trace sink
+//! disabled vs recording, over the canonical workloads (DFSM arm).
+//!
+//! Usage: `table_trace [--smoke | --full]`
+//!
+//! * `--smoke` — the CI configuration: 2 interleaved run pairs per
+//!   workload;
+//! * default — 5 run pairs;
+//! * `--full` — 20 run pairs (tighter minima).
+//!
+//! Three workloads: TPC-R Q8 (the paper's §7 measurement), a 7-relation
+//! grouping query (aggregation + enforcer traffic), and the 20-relation
+//! clique under lean extraction (the `Auto` enumerator's linearized
+//! fallback). Every recording run is asserted **byte-identical** to the
+//! untraced run before its time is reported; `over%` is the cost of
+//! *enabling* the sink (wall-clock — volatile for the trend gate, like
+//! the `share_*_pct` phase columns), while the span/plan/probe counters
+//! are deterministic and gated across commits.
+//!
+//! Each workload's Chrome trace-event export is written next to the
+//! table as `TRACE_<workload>.json` — load it in `about:tracing` /
+//! Perfetto, or validate with `scripts/check_trace.py`. The q8 span
+//! tree is printed in full as the human-readable sample.
+
+use ofw_bench::{trace_cell, trace_row_json, trace_row_line};
+use ofw_plangen::Enumerator;
+use ofw_query::extract::ExtractOptions;
+use ofw_workload::{
+    grouping_query, large_query, q8_query, GroupingQueryConfig, LargeQueryConfig, Topology,
+};
+use std::io::Write as _;
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let (label, reps) = match mode.as_str() {
+        "--smoke" => ("smoke", 2),
+        "--full" => ("full", 20),
+        _ => ("default", 5),
+    };
+
+    println!("Observability overhead ({label}; {reps} interleaved run pairs per row)");
+    println!();
+    println!(
+        "{:>9} {:>5} | {:>11} {:>11} {:>9} | {:>7} {:>9} {:>8} {:>10} {:>7}",
+        "workload",
+        "reps",
+        "off t(ms)",
+        "on t(ms)",
+        "over%",
+        "#spans",
+        "#Plans",
+        "#pairs",
+        "#probes",
+        "dp%",
+    );
+
+    let mut sink = ofw_bench::json::BenchSink::with_meta("trace", |m| m.str("mode", label));
+
+    // q8: the paper's measurement query, default extraction.
+    let (catalog, query) = q8_query();
+    let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+    let (row, trace) = trace_cell("q8", &catalog, &query, &ex, Enumerator::Auto, reps);
+    println!("{}", trace_row_line(&row));
+    sink.push(trace_row_json(&row));
+    write_chrome("q8", &trace);
+    let q8_tree = trace.summary_tree();
+
+    // grouping: aggregation placement + enforcer traffic.
+    let (catalog, query) = grouping_query(&GroupingQueryConfig {
+        num_relations: 7,
+        extra_edges: 1,
+        seed: 42,
+    });
+    let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+    let (row, trace) = trace_cell("grouping", &catalog, &query, &ex, Enumerator::Auto, reps);
+    println!("{}", trace_row_line(&row));
+    sink.push(trace_row_json(&row));
+    write_chrome("grouping", &trace);
+
+    // clique20: the linearized fallback under lean extraction.
+    let (catalog, query) = large_query(&LargeQueryConfig {
+        topology: Topology::Clique,
+        num_relations: 20,
+        seed: 7,
+    });
+    let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::lean());
+    let (row, trace) = trace_cell("clique20", &catalog, &query, &ex, Enumerator::Auto, reps);
+    println!("{}", trace_row_line(&row));
+    sink.push(trace_row_json(&row));
+    write_chrome("clique20", &trace);
+
+    println!();
+    println!("q8 span tree (recording run):");
+    print!("{q8_tree}");
+    println!();
+    sink.finish();
+}
+
+/// Writes one workload's Chrome trace-event export as
+/// `TRACE_<name>.json` into the current directory.
+fn write_chrome(name: &str, trace: &ofw_obs::Trace) {
+    let path = format!("TRACE_{name}.json");
+    let mut f = std::fs::File::create(&path).expect("create TRACE json");
+    f.write_all(trace.chrome_json().as_bytes())
+        .expect("write TRACE json");
+    println!("chrome trace: {path}");
+}

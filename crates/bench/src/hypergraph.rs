@@ -52,6 +52,12 @@ pub struct HypergraphRow {
     /// enumerators (asserted), the optimality price of the fallback
     /// otherwise; `NaN` (JSON `null`) where DPsize cannot run the cell.
     pub cost_ratio: f64,
+    /// Plans surviving Pareto pruning (deterministic).
+    pub pruned_kept: u64,
+    /// Candidates killed by Pareto domination (deterministic).
+    pub pruned_dominated: u64,
+    /// Order-oracle probes made by the DP (deterministic).
+    pub oracle_probes: u64,
 }
 
 /// Runs one cell of the enumerator sweep: a `topology` query over `n`
@@ -120,6 +126,9 @@ pub fn hypergraph_cell(
             unions: r.stats.unions,
             best_cost: r.cost,
             cost_ratio,
+            pruned_kept: r.stats.decisions.pruning.kept_total(),
+            pruned_dominated: r.stats.decisions.pruning.dominated_total(),
+            oracle_probes: r.stats.decisions.probes.total(),
         });
     }
     rows
@@ -142,6 +151,9 @@ pub fn hypergraph_row_json(row: &HypergraphRow) -> json::Obj {
         .int("unions", row.unions as usize)
         .num("best_cost", row.best_cost)
         .num("cost_ratio", row.cost_ratio)
+        .int("pruned_kept", row.pruned_kept as usize)
+        .int("pruned_dominated", row.pruned_dominated as usize)
+        .int("oracle_probes", row.oracle_probes as usize)
 }
 
 /// Renders one row for the stdout table.

@@ -17,6 +17,7 @@
 //! | PS1 | partial-sort sweep (head/tail properties, `GROUP BY k ORDER BY k`) | `table_partialsort` | [`partialsort_cell`] |
 //! | H1 | enumerator sweep (DPhyp vs DPsize + budgeted linearized fallback) | `table_hypergraph` | [`hypergraph_cell`] |
 //! | PR1 | preparation sweep (lazy / minimized / interned automata) | `table_prepare` | [`prepare_cell`] |
+//! | TR1 | observability overhead (disabled vs recording trace sink) | `table_trace` | [`trace_cell`] |
 //!
 //! Every table binary also emits its rows as machine-readable
 //! `BENCH_<name>.json` (see [`json`]) next to the stdout table, so the
@@ -41,10 +42,12 @@ pub mod hypergraph;
 pub mod json;
 pub mod parallel;
 pub mod prepare;
+pub mod trace;
 
 pub use hypergraph::{hypergraph_cell, hypergraph_row_json, hypergraph_row_line, HypergraphRow};
 pub use parallel::{parallel_cell, parallel_row_json, parallel_row_line, ParallelRow};
 pub use prepare::{prepare_cell, prepare_row_json, prepare_row_line, PrepareRow};
+pub use trace::{trace_cell, trace_row_json, trace_row_line, TraceRow};
 
 /// One row of the §6.2 preparation table.
 #[derive(Clone, Debug)]
@@ -109,6 +112,18 @@ pub struct PlanRow {
     pub unions: u64,
     /// Did the `Auto` enumerator fall back to linearization?
     pub fallback: bool,
+    /// Plans that survived Pareto pruning, over all comparability
+    /// classes (deterministic).
+    pub pruned_kept: u64,
+    /// Candidate plans killed by Pareto domination (deterministic).
+    pub pruned_dominated: u64,
+    /// Order-oracle probes made by the DP — produce + infer +
+    /// satisfies + dominates (deterministic).
+    pub oracle_probes: u64,
+    /// Enforcer candidates admitted into a Pareto set (deterministic).
+    pub enforcers_admitted: u64,
+    /// Enforcer candidates that survived insertion (deterministic).
+    pub enforcers_won: u64,
 }
 
 /// Runs plan generation for a query with the DFSM framework,
@@ -149,6 +164,11 @@ pub fn plan_row_json(row: &PlanRow) -> json::Obj {
         .int("pairs", row.pairs as usize)
         .int("unions", row.unions as usize)
         .int("fallback", usize::from(row.fallback))
+        .int("pruned_kept", row.pruned_kept as usize)
+        .int("pruned_dominated", row.pruned_dominated as usize)
+        .int("oracle_probes", row.oracle_probes as usize)
+        .int("enforcers_admitted", row.enforcers_admitted as usize)
+        .int("enforcers_won", row.enforcers_won as usize)
 }
 
 /// A [`PrepRow`] as a flat JSON object for `BENCH_*.json` files.
@@ -164,6 +184,7 @@ pub fn prep_row_json(row: &PrepRow) -> json::Obj {
 
 fn finish_row<O: OrderOracle>(fw: &O, t0: Instant, stats: PlanGenStats, best_cost: f64) -> PlanRow {
     let time = t0.elapsed();
+    let d = &stats.decisions;
     PlanRow {
         framework: fw.name(),
         time,
@@ -178,6 +199,11 @@ fn finish_row<O: OrderOracle>(fw: &O, t0: Instant, stats: PlanGenStats, best_cos
         pairs: stats.pairs_emitted,
         unions: stats.unions,
         fallback: stats.fallback,
+        pruned_kept: d.pruning.kept_total(),
+        pruned_dominated: d.pruning.dominated_total(),
+        oracle_probes: d.probes.total(),
+        enforcers_admitted: d.enforcers.admitted_total(),
+        enforcers_won: d.enforcers.won_total(),
     }
 }
 
@@ -539,6 +565,11 @@ struct ZeroRow {
     pairs: u64,
     unions: u64,
     fallback: bool,
+    pruned_kept: u64,
+    pruned_dominated: u64,
+    oracle_probes: u64,
+    enforcers_admitted: u64,
+    enforcers_won: u64,
 }
 
 impl ZeroRow {
@@ -552,6 +583,11 @@ impl ZeroRow {
             pairs: 0,
             unions: 0,
             fallback: false,
+            pruned_kept: 0,
+            pruned_dominated: 0,
+            oracle_probes: 0,
+            enforcers_admitted: 0,
+            enforcers_won: 0,
         }
     }
 
@@ -563,6 +599,11 @@ impl ZeroRow {
         self.pairs += row.pairs;
         self.unions += row.unions;
         self.fallback |= row.fallback;
+        self.pruned_kept += row.pruned_kept;
+        self.pruned_dominated += row.pruned_dominated;
+        self.oracle_probes += row.oracle_probes;
+        self.enforcers_admitted += row.enforcers_admitted;
+        self.enforcers_won += row.enforcers_won;
     }
 
     fn avg(&self, k: usize) -> PlanRow {
@@ -582,6 +623,11 @@ impl ZeroRow {
             pairs: self.pairs / k as u64,
             unions: self.unions / k as u64,
             fallback: self.fallback,
+            pruned_kept: self.pruned_kept / k as u64,
+            pruned_dominated: self.pruned_dominated / k as u64,
+            oracle_probes: self.oracle_probes / k as u64,
+            enforcers_admitted: self.enforcers_admitted / k as u64,
+            enforcers_won: self.enforcers_won / k as u64,
         }
     }
 }

@@ -24,6 +24,11 @@ pub trait OrderedExecutor {
     fn thread_count(&self) -> usize {
         1
     }
+
+    /// Short name for traces and diagnostics (`"serial"`, `"pool"`).
+    fn label(&self) -> &'static str {
+        "serial"
+    }
 }
 
 /// The trivial executor: runs every task inline, in index order.
@@ -67,6 +72,7 @@ mod tests {
         let r = SerialExecutor.run_ordered(5, &|i| i * 10);
         assert_eq!(r, vec![0, 10, 20, 30, 40]);
         assert_eq!(SerialExecutor.thread_count(), 1);
+        assert_eq!(SerialExecutor.label(), "serial");
     }
 
     #[test]

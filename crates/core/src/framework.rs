@@ -54,6 +54,7 @@ use crate::property::{Grouping, HeadTail, LogicalProperty};
 use crate::prune::{prune_fds, prune_nfsm, PruneConfig};
 use crate::spec::InputSpec;
 use ofw_common::FxHashMap;
+use ofw_obs::Trace;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -127,6 +128,10 @@ pub struct PrepareOptions {
     /// frontier out on it, with state numbering identical to the serial
     /// build at any thread count.
     pub exec: Option<Arc<dyn PrepExecutor>>,
+    /// Span sink for preparation phases (nfsm / determinize / minimize
+    /// / intern). Disabled by default; never affects the prepared
+    /// result and is excluded from interning cache keys.
+    pub trace: Trace,
 }
 
 impl Default for PrepareOptions {
@@ -136,6 +141,7 @@ impl Default for PrepareOptions {
             minimize: false,
             auto_threshold: DEFAULT_AUTO_MATERIALIZE_THRESHOLD,
             exec: None,
+            trace: Trace::disabled(),
         }
     }
 }
@@ -180,6 +186,12 @@ impl PrepareOptions {
         self.exec = Some(exec);
         self
     }
+
+    /// Attaches a span sink (default: disabled).
+    pub fn trace(mut self, trace: &Trace) -> Self {
+        self.trace = trace.clone();
+        self
+    }
 }
 
 impl std::fmt::Debug for PrepareOptions {
@@ -189,6 +201,7 @@ impl std::fmt::Debug for PrepareOptions {
             .field("minimize", &self.minimize)
             .field("auto_threshold", &self.auto_threshold)
             .field("exec", &self.exec.is_some())
+            .field("trace", &self.trace.is_enabled())
             .finish()
     }
 }
@@ -330,7 +343,13 @@ impl OrderingFramework {
         options: &PrepareOptions,
     ) -> Result<Self, PrepareError> {
         let t0 = Instant::now();
+        let mut sp = options.trace.span("prepare");
         let prepared = Arc::new(Self::build_prepared(spec, &config, options)?);
+        sp.count("nfsm_nodes", prepared.nfsm.num_nodes() as u64);
+        sp.count(
+            "dfsm_states",
+            prepared.automaton.materialized_states() as u64,
+        );
         Ok(Self::from_prepared(prepared, None, false, t0))
     }
 
@@ -350,10 +369,16 @@ impl OrderingFramework {
         cache: &PreparedCache,
     ) -> Result<Self, PrepareError> {
         let t0 = Instant::now();
-        let (canon_spec, map) = canonicalize(spec);
-        let key = CacheKey::new(&canon_spec, &config, options.minimize);
+        let mut sp = options.trace.span("prepare");
+        let (canon_spec, map, key) = {
+            let _intern = sp.child("intern");
+            let (canon_spec, map) = canonicalize(spec);
+            let key = CacheKey::new(&canon_spec, &config, options.minimize);
+            (canon_spec, map, key)
+        };
         let (prepared, hit) =
             cache.get_or_build(key, || Self::build_prepared(&canon_spec, &config, options))?;
+        sp.count("interned_hit", u64::from(hit));
         if hit && options.mode == PrepareMode::Eager {
             // The cached entry may have been prepared lazily; an eager
             // request still guarantees a complete automaton.
@@ -376,16 +401,31 @@ impl OrderingFramework {
         } else {
             (spec.fd_sets().to_vec(), 0)
         };
-        let nfsm = Nfsm::build(spec, &fd_sets, &eq, config).map_err(PrepareError)?;
-        let nfsm_nodes_before_prune = nfsm.num_nodes();
-        let nfsm = prune_nfsm(nfsm, config);
+        let (nfsm, nfsm_nodes_before_prune) = {
+            let mut sp = options.trace.span_at("nfsm", 1);
+            let nfsm = Nfsm::build(spec, &fd_sets, &eq, config).map_err(PrepareError)?;
+            let before = nfsm.num_nodes();
+            let nfsm = prune_nfsm(nfsm, config);
+            sp.count("nodes_before_prune", before as u64);
+            sp.count("nodes", nfsm.num_nodes() as u64);
+            sp.count("pruned_fds", pruned_fds as u64);
+            (nfsm, before)
+        };
 
         let eager = options.minimize || options.mode == PrepareMode::Eager;
         let (automaton, minimized_from) = if eager {
-            let mut dfsm =
-                Dfsm::build_with(&nfsm, config, options.exec.as_deref()).map_err(PrepareError)?;
+            let mut dfsm = {
+                let mut sp = options.trace.span_at("determinize", 1);
+                let dfsm = Dfsm::build_with(&nfsm, config, options.exec.as_deref())
+                    .map_err(PrepareError)?;
+                sp.count("states", dfsm.num_states() as u64);
+                dfsm
+            };
             let minimized_from = if options.minimize {
+                let mut sp = options.trace.span_at("minimize", 1);
                 let before = dfsm.minimize();
+                sp.count("states_before", before as u64);
+                sp.count("states", dfsm.num_states() as u64);
                 (before > dfsm.num_states()).then_some(before)
             } else {
                 None
@@ -396,8 +436,11 @@ impl OrderingFramework {
                 PrepareMode::Auto => Some(options.auto_threshold.max(1)),
                 _ => None,
             };
+            let mut sp = options.trace.span_at("determinize", 1);
             let lazy = LazyDfsm::new(&nfsm, config, threshold, options.exec.clone())
                 .map_err(PrepareError)?;
+            sp.count("states", lazy.materialized_states() as u64);
+            sp.label("lazy");
             (Automaton::Lazy(lazy), None)
         };
         Ok(Prepared {

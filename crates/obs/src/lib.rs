@@ -1,0 +1,63 @@
+//! # ofw-obs — structured tracing and decision telemetry
+//!
+//! A dependency-free observability layer for the optimizer stack:
+//!
+//! - [`Trace`] — a cloneable span sink. The default ([`Trace::disabled`])
+//!   is a `None` behind an `Option<Arc<..>>`, so every instrumentation
+//!   site reduces to one branch on a pointer check and the hot path
+//!   stays byte-identical in behaviour. [`Trace::recording`] buffers
+//!   [`SpanRecord`]s that export as a Chrome trace-event JSON
+//!   ([`Trace::chrome_json`], openable in Perfetto), a plain-text
+//!   summary tree ([`Trace::summary_tree`]), and a deterministic
+//!   skeleton ([`Trace::skeleton`]) used by cross-thread-count
+//!   stability tests.
+//! - [`metrics`] — plain-old-data counters for optimizer decisions:
+//!   Pareto pruning per comparability class ([`PruneCounters`]),
+//!   enforcer admissions/wins ([`EnforcerCounters`]), oracle probe
+//!   counts ([`ProbeCounters`]), all bundled as [`DecisionCounters`]
+//!   and aggregated per phase in [`PhaseStats`].
+//!
+//! Determinism contract: records are appended at span *start* (the
+//! index is reserved under the sink lock; duration is back-filled on
+//! drop), and per-worker buffers ([`LocalSpans`]) are absorbed by the
+//! driver in deterministic batch order — so the skeleton (names,
+//! labels, depths, counters) is identical across thread counts, while
+//! timestamps and thread lanes are wall-clock-class data excluded from
+//! it.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    DecisionCounters, EnforcerCounters, PhaseStats, ProbeCounters, PruneCounters, AGG_CLASSES,
+};
+pub use trace::{LocalSpans, Span, SpanRecord, Trace};
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -22,6 +22,7 @@
 
 use crate::pool::ThreadPool;
 use ofw_catalog::Catalog;
+use ofw_obs::Trace;
 use ofw_plangen::{Enumerator, OrderOracle, PlanGen, PlanGenResult};
 use ofw_query::{ExtractedQuery, Query};
 
@@ -66,6 +67,31 @@ where
 {
     PlanGen::new(catalog, query, ex, oracle)
         .enumerator(enumerator)
+        .run_with(pool)
+}
+
+/// [`plan_parallel_with`] under a span sink: per-worker span buffers
+/// are merged at each batch barrier in deterministic item order, so the
+/// trace *skeleton* (names, labels, depths, counters) — like the plan
+/// table itself — is identical at every thread count; only timestamps
+/// and thread lanes differ.
+pub fn plan_parallel_traced<O>(
+    catalog: &Catalog,
+    query: &Query,
+    ex: &ExtractedQuery,
+    oracle: &O,
+    pool: &ThreadPool,
+    enumerator: Enumerator,
+    trace: &Trace,
+) -> PlanGenResult<O::State>
+where
+    O: OrderOracle + Sync,
+    O::Key: Sync,
+    O::State: Send + Sync,
+{
+    PlanGen::new(catalog, query, ex, oracle)
+        .enumerator(enumerator)
+        .trace(trace)
         .run_with(pool)
 }
 

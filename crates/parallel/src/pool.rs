@@ -226,6 +226,10 @@ impl OrderedExecutor for ThreadPool {
     fn thread_count(&self) -> usize {
         self.threads
     }
+
+    fn label(&self) -> &'static str {
+        "pool"
+    }
 }
 
 impl Drop for ThreadPool {

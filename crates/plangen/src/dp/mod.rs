@@ -90,6 +90,7 @@ use ofw_common::{BitSet, FxHashMap, OrderedExecutor, SerialExecutor, SmallBitSet
 use ofw_core::fd::FdSetId;
 use ofw_core::ordering::Ordering;
 use ofw_core::property::{Grouping, HeadTail, LogicalProperty};
+use ofw_obs::{DecisionCounters, PhaseStats, Trace};
 use ofw_query::{ExtractedQuery, JoinGraph, Query};
 use std::time::{Duration, Instant};
 
@@ -146,7 +147,11 @@ impl Enumerator {
 
 /// Plan-generation metrics — the paper's §7 table columns plus the
 /// deterministic enumeration counters.
-#[derive(Clone, Debug)]
+///
+/// The derived default is honest: `enumerator` is `""` (no enumerator
+/// has run — `run_with` always overwrites it with what actually ran),
+/// every counter is zero and the phase ledger is empty.
+#[derive(Clone, Debug, Default)]
 pub struct PlanGenStats {
     /// Total subplans generated (`#Plans`).
     pub plans: usize,
@@ -192,25 +197,15 @@ pub struct PlanGenStats {
     /// Whether the oracle's preparation was served from an interning
     /// cache (see `ofw_core::PreparedCache`).
     pub prep_interned_hits: u64,
-}
-
-impl Default for PlanGenStats {
-    fn default() -> Self {
-        PlanGenStats {
-            plans: 0,
-            time: Duration::default(),
-            memory_bytes: 0,
-            enumerator: Enumerator::DpSize.name(),
-            pairs_considered: 0,
-            pairs_emitted: 0,
-            unions: 0,
-            fallback: false,
-            nfsm_states: 0,
-            dfsm_states_materialized: 0,
-            dfsm_states_total: None,
-            prep_interned_hits: 0,
-        }
-    }
+    /// Per-phase breakdown: base relations, each DP layer, aggregate
+    /// finalization, final pick (plus an "enumerate" entry carrying the
+    /// schedule-construction counters). Everything but
+    /// [`PhaseStats::time`] is deterministic per query.
+    pub phases: Vec<PhaseStats>,
+    /// Whole-run decision telemetry: Pareto-pruning outcomes per
+    /// comparability class, enforcer admissions/wins, oracle probe
+    /// counts. Deterministic per query at any thread count.
+    pub decisions: DecisionCounters,
 }
 
 /// The winning plan plus metrics and the arena to inspect it.
@@ -370,6 +365,9 @@ pub struct PlanGen<'a, O: OrderOracle> {
     /// grouping? Off reproduces the sort-only enforcer behavior — the
     /// ceiling the partial-sort search is measured against.
     partial_sort: bool,
+    /// Span sink for phase-level tracing (disabled by default — one
+    /// pointer check per phase, nothing in the per-plan hot path).
+    trace: Trace,
     arena: PlanArena<O::State>,
     table: FxHashMap<BitSet, Vec<PlanId>>,
 }
@@ -456,9 +454,18 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             agg,
             placement: true,
             partial_sort: true,
+            trace: Trace::disabled(),
             arena: PlanArena::new(),
             table: FxHashMap::default(),
         }
+    }
+
+    /// Attaches a span sink (default: disabled). A recording sink never
+    /// changes the generated plan table — spans observe phase
+    /// boundaries, not decisions.
+    pub fn trace(mut self, trace: &Trace) -> Self {
+        self.trace = trace.clone();
+        self
     }
 
     /// Selects the join-enumeration strategy (default
@@ -533,11 +540,13 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         card: f64,
         attrs: &[AttrId],
         probes: &[PartialSortProbe<O::Key>],
+        dc: &mut DecisionCounters,
     ) -> Option<(f64, usize)> {
         if !self.partial_sort {
             return None;
         }
         for p in probes {
+            dc.probes.satisfies += 1;
             if self.oracle.satisfies_head_tail(state, p.key) {
                 let groups = self.group_count(card, &attrs[..p.covered]);
                 return Some((cost::partial_sort(card, groups), p.covered));
@@ -615,8 +624,16 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         O::State: Send + Sync,
     {
         let t0 = Instant::now();
+        let trace = self.trace.clone();
+        let mut root = trace.span("plangen");
+        // Executor kind only — no thread count, so the trace skeleton
+        // stays byte-identical across thread counts (the Chrome
+        // export's tid lanes show the actual parallelism).
+        root.label(exec.label());
         let n = self.query.num_relations();
         let all = self.query.all_relations_set();
+        let mut phases: Vec<PhaseStats> = Vec::new();
+        let mut run_dc = DecisionCounters::default();
 
         // Subsets committed so far, in flat global-index order: the
         // numbering every enumerator's pair references use (singletons
@@ -624,19 +641,37 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         let mut subsets: Vec<BitSet> = Vec::with_capacity(n);
 
         // Base relations (cheap — built inline on the driver thread).
-        for qrel in 0..n {
-            let mask = self.query.relation_set(qrel);
-            let mut view = ArenaView::new(&self.arena);
-            let mut set = Vec::new();
-            let plans = self.base_plans(qrel, &mut view);
-            for p in plans {
-                self.insert_pruned(&view, &mut set, p);
+        {
+            let mut sp = root.child("base_plans");
+            let tp = Instant::now();
+            let mut dc = DecisionCounters::default();
+            for qrel in 0..n {
+                let mask = self.query.relation_set(qrel);
+                let mut view = ArenaView::new(&self.arena);
+                let mut set = Vec::new();
+                let plans = self.base_plans(qrel, &mut view, &mut dc);
+                for p in plans {
+                    self.insert_pruned(&view, &mut set, p, &mut dc);
+                }
+                self.add_enforcer_variants(&mask, &mut set, &mut view, &mut dc);
+                self.add_placement_variants(&mask, &mut set, &mut view, &mut dc);
+                let set = self.commit(view.into_local(), set);
+                self.table.insert(mask.clone(), set);
+                subsets.push(mask);
             }
-            self.add_enforcer_variants(&mask, &mut set, &mut view);
-            self.add_placement_variants(&mask, &mut set, &mut view);
-            let set = self.commit(view.into_local(), set);
-            self.table.insert(mask.clone(), set);
-            subsets.push(mask);
+            let plans = self.arena.len() as u64;
+            sp.count("plans", plans);
+            sp.count("kept", dc.pruning.kept_total());
+            phases.push(PhaseStats {
+                name: "base".into(),
+                time: tp.elapsed(),
+                unions: n as u64,
+                pairs_considered: 0,
+                pairs_emitted: 0,
+                plans,
+                decisions: dc.clone(),
+            });
+            run_dc.merge(&dc);
         }
 
         // Enumerator-agnostic driver loop: the schedule hands over
@@ -645,25 +680,97 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         // Each union is one executor chunk; the batch barrier splices
         // the thread-local arenas in batch order, which makes the arena
         // independent of the parallel schedule.
-        let (mut schedule, enumerator_name, fallback) = self.make_schedule();
+        let (mut schedule, enumerator_name, fallback) = {
+            let mut sp = root.child("enumerate");
+            let tp = Instant::now();
+            let (schedule, name, fallback) = self.make_schedule();
+            // DpHyp counts its full pair set at construction; DpSize and
+            // Linearized count during batching — so this entry carries
+            // the pre-counted totals and the layer entries the diffs.
+            sp.label(name);
+            sp.count("pairs_considered", schedule.pairs_considered());
+            sp.count("pairs_emitted", schedule.pairs_emitted());
+            phases.push(PhaseStats {
+                name: "enumerate".into(),
+                time: tp.elapsed(),
+                unions: 0,
+                pairs_considered: schedule.pairs_considered(),
+                pairs_emitted: schedule.pairs_emitted(),
+                plans: 0,
+                decisions: DecisionCounters::default(),
+            });
+            (schedule, name, fallback)
+        };
         let mut unions = 0u64;
+        let mut layer = 0usize;
+        let (mut prev_considered, mut prev_emitted) =
+            (schedule.pairs_considered(), schedule.pairs_emitted());
         while let Some(batch) = schedule.next_batch() {
+            layer += 1;
+            let mut sp = root.child("dp_layer");
+            if trace.is_enabled() {
+                sp.label(format!("layer {layer}"));
+            }
+            let tp = Instant::now();
+            let plans_before = self.arena.len();
+            let batch_len = batch.len() as u64;
             let results = {
                 let this = &self;
                 let subsets = &subsets;
                 let batch = &batch;
+                let trace = &trace;
+                let depth = sp.depth() + 1;
                 exec.run_ordered(batch.len(), &|i| {
                     let mut view = ArenaView::new(&this.arena);
-                    let set = this.process_union(&batch[i], subsets, &mut view);
-                    (view.into_local(), set)
+                    let mut dc = DecisionCounters::default();
+                    let mut spans = trace.local(depth);
+                    let started = spans.start();
+                    let set = this.process_union(&batch[i], subsets, &mut view, &mut dc);
+                    let local = view.into_local();
+                    if started.is_some() {
+                        spans.push(
+                            "union",
+                            format!("|{}| pairs={}", batch[i].union.len(), batch[i].num_pairs()),
+                            started,
+                            vec![
+                                ("plans", local.len() as u64),
+                                ("kept", dc.pruning.kept_total()),
+                                ("dominated", dc.pruning.dominated_total()),
+                            ],
+                        );
+                    }
+                    (local, set, dc, spans)
                 })
             };
-            for (work, (local, set)) in batch.into_iter().zip(results) {
+            // Per-worker span buffers and counters merge in batch order
+            // — the same deterministic order the arenas splice in, so
+            // the trace skeleton is thread-count-independent.
+            let mut dc = DecisionCounters::default();
+            for (work, (local, set, union_dc, spans)) in batch.into_iter().zip(results) {
                 let set = self.commit(local, set);
                 self.table.insert(work.union.clone(), set);
                 subsets.push(work.union);
                 unions += 1;
+                dc.merge(&union_dc);
+                trace.absorb(spans);
             }
+            let (considered, emitted) = (schedule.pairs_considered(), schedule.pairs_emitted());
+            let plans = (self.arena.len() - plans_before) as u64;
+            sp.count("unions", batch_len);
+            sp.count("plans", plans);
+            sp.count("kept", dc.pruning.kept_total());
+            sp.count("dominated", dc.pruning.dominated_total());
+            phases.push(PhaseStats {
+                name: format!("layer {layer}"),
+                time: tp.elapsed(),
+                unions: batch_len,
+                pairs_considered: considered - prev_considered,
+                pairs_emitted: emitted - prev_emitted,
+                plans,
+                decisions: dc.clone(),
+            });
+            run_dc.merge(&dc);
+            (prev_considered, prev_emitted) = (considered, emitted);
         }
 
         // Aggregation: a streaming aggregate exploits an input ordered
@@ -676,7 +783,23 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         // (which do not).
         let mut final_set = self.table[&all].clone();
         if !self.query.effective_group_by().is_empty() {
-            final_set = self.finalize_aggregates(&final_set);
+            let mut sp = root.child("finalize_aggregates");
+            let tp = Instant::now();
+            let mut dc = DecisionCounters::default();
+            let plans_before = self.arena.len();
+            final_set = self.finalize_aggregates(&final_set, &mut dc);
+            let plans = (self.arena.len() - plans_before) as u64;
+            sp.count("plans", plans);
+            phases.push(PhaseStats {
+                name: "finalize".into(),
+                time: tp.elapsed(),
+                unions: 0,
+                pairs_considered: 0,
+                pairs_emitted: 0,
+                plans,
+                decisions: dc.clone(),
+            });
+            run_dc.merge(&dc);
         }
         let final_set = final_set;
 
@@ -688,11 +811,33 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         } else {
             None
         };
-        let best = self.pick_final(&final_set, required.as_ref());
+        let best = {
+            let mut sp = root.child("pick_final");
+            let tp = Instant::now();
+            let mut dc = DecisionCounters::default();
+            let plans_before = self.arena.len();
+            let best = self.pick_final(&final_set, required.as_ref(), &mut dc);
+            let plans = (self.arena.len() - plans_before) as u64;
+            sp.count("plans", plans);
+            phases.push(PhaseStats {
+                name: "pick_final".into(),
+                time: tp.elapsed(),
+                unions: 0,
+                pairs_considered: 0,
+                pairs_emitted: 0,
+                plans,
+                decisions: dc.clone(),
+            });
+            run_dc.merge(&dc);
+            best
+        };
         let cost = self.arena.node(best).cost;
         // Preparation counters are read *after* the run so a lazy
         // oracle reports the states this query's probes materialized.
         let prep = self.oracle.prep_counters();
+        root.count("plans", self.arena.len() as u64);
+        root.count("unions", unions);
+        drop(root);
         let stats = PlanGenStats {
             plans: self.arena.len(),
             time: t0.elapsed(),
@@ -706,6 +851,8 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             dfsm_states_materialized: prep.dfsm_states_materialized,
             dfsm_states_total: prep.dfsm_states_total,
             prep_interned_hits: prep.interned_hits,
+            phases,
+            decisions: run_dc,
         };
         PlanGenResult {
             best,
@@ -752,6 +899,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         work: &UnionWork,
         subsets: &[BitSet],
         view: &mut ArenaView<'_, O::State>,
+        dc: &mut DecisionCounters,
     ) -> Vec<PlanId> {
         let mut set = if work.seed {
             self.table[&work.union].clone()
@@ -759,10 +907,16 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             Vec::new()
         };
         for &(l, r) in &work.pairs {
-            self.emit_joins(&subsets[l as usize], &subsets[r as usize], &mut set, view);
+            self.emit_joins(
+                &subsets[l as usize],
+                &subsets[r as usize],
+                &mut set,
+                view,
+                dc,
+            );
         }
-        self.add_enforcer_variants(&work.union, &mut set, view);
-        self.add_placement_variants(&work.union, &mut set, view);
+        self.add_enforcer_variants(&work.union, &mut set, view, dc);
+        self.add_placement_variants(&work.union, &mut set, view, dc);
         set
     }
 
@@ -817,21 +971,26 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         keys: &AggKeyHandles<O::Key>,
         mark: AggMark,
         groups: f64,
+        dc: &mut DecisionCounters,
     ) -> PlanId {
         let node = view.node(p);
         let (c, d, st) = (node.cost, node.card, node.state);
         let fd_bits = node.applied_fds.clone();
         let mask = node.mask.clone();
         let partial = !mark.is_final();
-        let streaming = keys.order.is_some_and(|k| self.oracle.satisfies(st, k))
-            || keys
-                .group
-                .is_some_and(|k| self.oracle.satisfies_grouping(st, k));
+        let streaming = keys.order.is_some_and(|k| {
+            dc.probes.satisfies += 1;
+            self.oracle.satisfies(st, k)
+        }) || keys.group.is_some_and(|k| {
+            dc.probes.satisfies += 1;
+            self.oracle.satisfies_grouping(st, k)
+        });
         let (op_cost, state, fds_out) = if streaming {
             (cost::streaming_aggregate(d), st, fd_bits)
         } else {
+            dc.probes.produce += 1;
             let state = match keys.producible {
-                Some(k) => self.replay_fds(self.oracle.produce_grouping(k), &fd_bits),
+                Some(k) => self.replay_fds(self.oracle.produce_grouping(k), &fd_bits, dc),
                 None => self.oracle.produce_empty(),
             };
             (cost::hash_aggregate(d), state, SmallBitSet::new())
@@ -865,7 +1024,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// pre-aggregated plans finalize the same way — the root aggregate
     /// combines their partials — while group-join plans are already
     /// final and pass through untouched.
-    fn finalize_aggregates(&mut self, plans: &[PlanId]) -> Vec<PlanId> {
+    fn finalize_aggregates(&mut self, plans: &[PlanId], dc: &mut DecisionCounters) -> Vec<PlanId> {
         let keys = self.resolve_agg_key(self.query.effective_group_by().to_vec());
         let mut view = ArenaView::new(&self.arena);
         let mut out: Vec<PlanId> = Vec::new();
@@ -873,13 +1032,13 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             let node = view.node(p);
             if node.agg.is_final() {
                 // Group-join output: the aggregation already happened.
-                self.insert_pruned(&view, &mut out, p);
+                self.insert_pruned(&view, &mut out, p, dc);
                 continue;
             }
             let mark = node.agg.union(AggMark::FINAL);
             let groups = self.final_group_count(node.card, &keys.attrs);
-            let agg = self.push_aggregate(&mut view, p, &keys, mark, groups);
-            self.insert_pruned(&view, &mut out, agg);
+            let agg = self.push_aggregate(&mut view, p, &keys, mark, groups, dc);
+            self.insert_pruned(&view, &mut out, agg, dc);
         }
         let local = view.into_local();
         self.commit(local, out)
@@ -904,6 +1063,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         mask: &BitSet,
         set: &mut Vec<PlanId>,
         view: &mut ArenaView<'_, O::State>,
+        dc: &mut DecisionCounters,
     ) {
         if !self.placement {
             return;
@@ -936,14 +1096,19 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             .collect();
         for p in snapshot {
             let groups = self.group_count(view.node(p).card, &keys.attrs);
-            let placed = self.push_aggregate(view, p, &keys, mark, groups);
-            self.insert_pruned(view, set, placed);
+            let placed = self.push_aggregate(view, p, &keys, mark, groups, dc);
+            self.insert_pruned(view, set, placed, dc);
         }
     }
 
     /// Scan and index-scan plans for one relation, with constant-
     /// predicate FDs applied and filter selectivities folded in.
-    fn base_plans(&self, qrel: usize, view: &mut ArenaView<'_, O::State>) -> Vec<PlanId> {
+    fn base_plans(
+        &self,
+        qrel: usize,
+        view: &mut ArenaView<'_, O::State>,
+        dc: &mut DecisionCounters,
+    ) -> Vec<PlanId> {
         let rel = self.query.relations[qrel];
         let raw_card = self.catalog.relation(rel).cardinality;
         let mut sel = 1.0;
@@ -974,8 +1139,10 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
 
         let mut out = Vec::new();
         // Heap scan.
+        dc.probes.produce += 1;
         let mut state = self.oracle.produce_empty();
         for &f in &fds {
+            dc.probes.infer += 1;
             state = self.oracle.infer(state, f);
         }
         out.push(view.push(PlanNode {
@@ -998,8 +1165,10 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             if !self.oracle.is_producible(key) {
                 continue;
             }
+            dc.probes.produce += 1;
             let mut state = self.oracle.produce(key);
             for &f in &fds {
+                dc.probes.infer += 1;
                 state = self.oracle.infer(state, f);
             }
             out.push(view.push(PlanNode {
@@ -1022,6 +1191,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         s2: &BitSet,
         set: &mut Vec<PlanId>,
         view: &mut ArenaView<'_, O::State>,
+        dc: &mut DecisionCounters,
     ) {
         let edges: Vec<usize> = self.graph.connecting_edges(s1, s2).collect();
         if edges.is_empty() {
@@ -1060,6 +1230,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 fd_bits.union_with(&fd2);
                 for &e in &edges {
                     let f = self.ex.join_fd[e];
+                    dc.probes.infer += 1;
                     state = self.oracle.infer(state, f);
                     fd_bits.insert(f.index());
                 }
@@ -1072,6 +1243,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 if self.agg.is_some() {
                     for r in s2.iter() {
                         if let Some(f) = self.ex.rel_fd.get(r).copied().flatten() {
+                            dc.probes.infer += 1;
                             state = self.oracle.infer(state, f);
                         }
                     }
@@ -1091,7 +1263,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     agg: mark,
                     applied_fds: fd_bits.clone(),
                 });
-                self.insert_pruned(view, set, hj);
+                self.insert_pruned(view, set, hj, dc);
                 // Nested-loop join.
                 let nl = view.push(PlanNode {
                     op: PlanOp::NestedLoopJoin {
@@ -1105,7 +1277,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     agg: mark,
                     applied_fds: fd_bits.clone(),
                 });
-                self.insert_pruned(view, set, nl);
+                self.insert_pruned(view, set, nl, dc);
                 // Group-join: the top join fused with the final
                 // aggregation, admissible when the probe side's groups
                 // are already adjacent — its properties, the schema FDs,
@@ -1115,12 +1287,13 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 // post-inference `state` answers in O(1).
                 if at_root && self.placement && !mark.is_final() {
                     if let Some(agg) = &self.agg {
-                        let streaming_ok = agg
-                            .order_key
-                            .is_some_and(|k| self.oracle.satisfies(state, k))
-                            || agg
-                                .group_key
-                                .is_some_and(|k| self.oracle.satisfies_grouping(state, k));
+                        let streaming_ok = agg.order_key.is_some_and(|k| {
+                            dc.probes.satisfies += 1;
+                            self.oracle.satisfies(state, k)
+                        }) || agg.group_key.is_some_and(|k| {
+                            dc.probes.satisfies += 1;
+                            self.oracle.satisfies_grouping(state, k)
+                        });
                         if streaming_ok {
                             let groups = self.group_count(out_card, &agg.group_by);
                             let gj = view.push(PlanNode {
@@ -1136,7 +1309,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                                 agg: mark.union(AggMark::FINAL),
                                 applied_fds: fd_bits.clone(),
                             });
-                            self.insert_pruned(view, set, gj);
+                            self.insert_pruned(view, set, gj, dc);
                         }
                     }
                 }
@@ -1155,7 +1328,12 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                         continue;
                     };
                     let st2 = view.node(p2).state;
-                    if !self.oracle.satisfies(st1, kl) || !self.oracle.satisfies(st2, kr) {
+                    dc.probes.satisfies += 1;
+                    if !self.oracle.satisfies(st1, kl) {
+                        continue;
+                    }
+                    dc.probes.satisfies += 1;
+                    if !self.oracle.satisfies(st2, kr) {
                         continue;
                     }
                     let mj = view.push(PlanNode {
@@ -1171,7 +1349,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                         agg: mark,
                         applied_fds: fd_bits.clone(),
                     });
-                    self.insert_pruned(view, set, mj);
+                    self.insert_pruned(view, set, mj, dc);
                 }
             }
         }
@@ -1181,8 +1359,14 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// produced state (§5.6: the enforcer's state follows the `*` edge,
     /// "and then another edge corresponding to the set of functional
     /// dependencies that currently hold").
-    fn replay_fds(&self, mut state: O::State, bits: &SmallBitSet) -> O::State {
+    fn replay_fds(
+        &self,
+        mut state: O::State,
+        bits: &SmallBitSet,
+        dc: &mut DecisionCounters,
+    ) -> O::State {
         for f in bits.iter() {
+            dc.probes.infer += 1;
             state = self.oracle.infer(state, FdSetId(f as u32));
         }
         state
@@ -1202,6 +1386,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         mask: &BitSet,
         set: &mut Vec<PlanId>,
         view: &mut ArenaView<'_, O::State>,
+        dc: &mut DecisionCounters,
     ) {
         let Some(&cheapest) = set
             .iter()
@@ -1216,7 +1401,8 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             if !mask.is_superset(&self.targets[t].rel_mask) {
                 continue; // mentions relations outside this subset
             }
-            let satisfied = |oracle: &O, s: O::State| {
+            let satisfied = |oracle: &O, s: O::State, dc: &mut DecisionCounters| {
+                dc.probes.satisfies += 1;
                 if grouping {
                     oracle.satisfies_grouping(s, key)
                 } else {
@@ -1226,7 +1412,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             if set
                 .iter()
                 .filter(|&&p| view.node(p).agg.is_none())
-                .any(|&p| satisfied(self.oracle, view.node(p).state))
+                .any(|&p| satisfied(self.oracle, view.node(p).state, dc))
             {
                 continue;
             }
@@ -1234,6 +1420,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             let node = view.node(cheapest);
             let (c, d) = (node.cost, node.card);
             let fd_bits = node.applied_fds.clone();
+            dc.probes.produce += 1;
             let (op, op_cost, produced) = if grouping {
                 (
                     PlanOp::HashGroup {
@@ -1253,7 +1440,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     self.oracle.produce(key),
                 )
             };
-            let state = self.replay_fds(produced, &fd_bits);
+            let state = self.replay_fds(produced, &fd_bits, dc);
             let enforced = view.push(PlanNode {
                 op,
                 mask: mask.clone(),
@@ -1263,7 +1450,14 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 agg: AggMark::NONE,
                 applied_fds: fd_bits,
             });
-            self.insert_pruned(view, set, enforced);
+            let won = self.insert_pruned(view, set, enforced, dc);
+            if grouping {
+                dc.enforcers.hash_group_admitted += 1;
+                dc.enforcers.hash_group_won += u64::from(won);
+            } else {
+                dc.enforcers.sort_admitted += 1;
+                dc.enforcers.sort_won += u64::from(won);
+            }
             // Partial-sort alternative for ordering targets: the best
             // (input cost + partial-sort cost) over plans whose state
             // already satisfies a head grouping — typically *not* the
@@ -1276,7 +1470,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             let mut best: Option<(f64, PlanId, f64, usize)> = None;
             for &p in set.iter() {
                 let n = view.node(p);
-                if !n.agg.is_none() || satisfied(self.oracle, n.state) {
+                if !n.agg.is_none() || satisfied(self.oracle, n.state, dc) {
                     continue;
                 }
                 let Some((ps_cost, covered)) = self.best_partial_sort(
@@ -1284,6 +1478,7 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     n.card,
                     &self.targets[t].attrs,
                     &self.targets[t].psort,
+                    dc,
                 ) else {
                     continue;
                 };
@@ -1294,7 +1489,8 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             }
             if let Some((total, input, card, covered)) = best {
                 let fd_bits = view.node(input).applied_fds.clone();
-                let state = self.replay_fds(self.oracle.produce(key), &fd_bits);
+                dc.probes.produce += 1;
+                let state = self.replay_fds(self.oracle.produce(key), &fd_bits, dc);
                 let enforced = view.push(PlanNode {
                     op: PlanOp::PartialSort {
                         input,
@@ -1308,7 +1504,9 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     agg: AggMark::NONE,
                     applied_fds: fd_bits,
                 });
-                self.insert_pruned(view, set, enforced);
+                let won = self.insert_pruned(view, set, enforced, dc);
+                dc.enforcers.partial_sort_admitted += 1;
+                dc.enforcers.partial_sort_won += u64::from(won);
             }
         }
     }
@@ -1328,7 +1526,18 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// carries more rows into every operator above). Unaggregated plans
     /// of one subset all compute the same relation, so they keep the
     /// classic cost-plus-property test bit-for-bit.
-    fn insert_pruned(&self, view: &ArenaView<'_, O::State>, set: &mut Vec<PlanId>, cand: PlanId) {
+    ///
+    /// Returns whether the candidate entered the set (`false` = it was
+    /// dominated on arrival) and charges the pruning outcome — plus one
+    /// `dominates` probe per Pareto comparison actually made — to the
+    /// candidate's comparability class in `dc`.
+    fn insert_pruned(
+        &self,
+        view: &ArenaView<'_, O::State>,
+        set: &mut Vec<PlanId>,
+        cand: PlanId,
+        dc: &mut DecisionCounters,
+    ) -> bool {
         let cand_node = view.node(cand);
         let (c_cost, c_card, c_state, c_agg) = (
             cand_node.cost,
@@ -1336,25 +1545,35 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             cand_node.state,
             cand_node.agg,
         );
+        let class = c_agg.class_index();
         let card_ok = |dom_card: f64, sub_card: f64| c_agg.is_none() || dom_card <= sub_card;
         for &p in set.iter() {
             let n = view.node(p);
-            if n.agg == c_agg
-                && n.cost <= c_cost
-                && card_ok(n.card, c_card)
-                && self.oracle.dominates(n.state, c_state)
-            {
-                return;
+            if n.agg != c_agg || n.cost > c_cost || !card_ok(n.card, c_card) {
+                continue;
+            }
+            dc.probes.dominates += 1;
+            if self.oracle.dominates(n.state, c_state) {
+                dc.pruning.dominated[class] += 1;
+                return false;
             }
         }
         set.retain(|&p| {
             let n = view.node(p);
-            !(n.agg == c_agg
-                && c_cost <= n.cost
-                && card_ok(c_card, n.card)
-                && self.oracle.dominates(c_state, n.state))
+            if n.agg != c_agg || c_cost > n.cost || !card_ok(c_card, n.card) {
+                return true;
+            }
+            dc.probes.dominates += 1;
+            if self.oracle.dominates(c_state, n.state) {
+                dc.pruning.dominated[class] += 1;
+                false
+            } else {
+                true
+            }
         });
         set.push(cand);
+        dc.pruning.kept[class] += 1;
+        true
     }
 
     /// Cheapest complete plan, enforcing the required output order at
@@ -1363,7 +1582,12 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// grouping of the requirement (the `ORDER BY group-key` case above
     /// a hash aggregate, whose grouped output makes the root sort
     /// nearly free).
-    fn pick_final(&mut self, set: &[PlanId], required: Option<&Ordering>) -> PlanId {
+    fn pick_final(
+        &mut self,
+        set: &[PlanId],
+        required: Option<&Ordering>,
+        dc: &mut DecisionCounters,
+    ) -> PlanId {
         let required_key = required.and_then(|o| self.oracle.resolve(o));
         let probes = required
             .map(|o| Self::partial_sort_probes(self.oracle, o.attrs()))
@@ -1371,28 +1595,31 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         // Enforcement cost of plan p: None when satisfied, otherwise the
         // cheaper of full sort and (admissible) partial sort, with the
         // covered prefix length recorded for the partial sort.
-        let enforcement = |this: &Self, p: PlanId| -> Option<(f64, Option<usize>)> {
-            let n = this.arena.node(p);
-            let k = required_key?;
-            if this.oracle.satisfies(n.state, k) {
-                return None;
-            }
-            let full = (cost::sort(n.card), None);
-            match required.and_then(|o| this.best_partial_sort(n.state, n.card, o.attrs(), &probes))
-            {
-                Some((ps, covered)) if ps < full.0 => Some((ps, Some(covered))),
-                _ => Some(full),
-            }
-        };
+        let enforcement =
+            |this: &Self, p: PlanId, dc: &mut DecisionCounters| -> Option<(f64, Option<usize>)> {
+                let n = this.arena.node(p);
+                let k = required_key?;
+                dc.probes.satisfies += 1;
+                if this.oracle.satisfies(n.state, k) {
+                    return None;
+                }
+                let full = (cost::sort(n.card), None);
+                match required
+                    .and_then(|o| this.best_partial_sort(n.state, n.card, o.attrs(), &probes, dc))
+                {
+                    Some((ps, covered)) if ps < full.0 => Some((ps, Some(covered))),
+                    _ => Some(full),
+                }
+            };
         let mut best: Option<(f64, PlanId)> = None;
         for &p in set {
-            let total = self.arena.node(p).cost + enforcement(self, p).map_or(0.0, |(c, _)| c);
+            let total = self.arena.node(p).cost + enforcement(self, p, dc).map_or(0.0, |(c, _)| c);
             if best.is_none_or(|(bc, _)| total < bc) {
                 best = Some((total, p));
             }
         }
         let (total, p) = best.expect("no complete plan");
-        let Some((_, covered)) = enforcement(self, p) else {
+        let Some((_, covered)) = enforcement(self, p, dc) else {
             return p;
         };
         // Materialize the final (partial) sort.
@@ -1403,7 +1630,15 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             .to_vec();
         let n = self.arena.node(p);
         let (d, fd_bits, mask, mark) = (n.card, n.applied_fds.clone(), n.mask.clone(), n.agg);
-        let state = self.replay_fds(self.oracle.produce(key), &fd_bits);
+        if covered.is_some() {
+            dc.enforcers.partial_sort_admitted += 1;
+            dc.enforcers.partial_sort_won += 1;
+        } else {
+            dc.enforcers.sort_admitted += 1;
+            dc.enforcers.sort_won += 1;
+        }
+        dc.probes.produce += 1;
+        let state = self.replay_fds(self.oracle.produce(key), &fd_bits, dc);
         let op = match covered {
             Some(covered) => PlanOp::PartialSort {
                 input: p,

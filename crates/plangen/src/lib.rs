@@ -59,6 +59,7 @@
 pub mod cost;
 pub mod dp;
 pub mod exec;
+pub mod explain;
 pub mod oracle;
 pub mod plan;
 
@@ -67,5 +68,6 @@ pub use dp::{
     DEFAULT_LINEARIZE_WINDOW,
 };
 pub use exec::{execute, synthetic_data, Table};
+pub use explain::{Explain, ExplainNode};
 pub use oracle::{ExplicitKey, ExplicitOracle, ExplicitStateId, OrderOracle, PrepCounters};
 pub use plan::{PlanId, PlanNode, PlanOp};

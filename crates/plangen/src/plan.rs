@@ -74,6 +74,13 @@ impl AggMark {
     pub fn is_final(self) -> bool {
         self.0 & AggMark::FINAL.0 != 0
     }
+
+    /// Index of this mark's comparability class, `0..AGG_CLASSES` —
+    /// the 3-bit encoding as a telemetry bucket (see
+    /// `ofw_obs::PruneCounters`).
+    pub fn class_index(self) -> usize {
+        (self.0 & 7) as usize
+    }
 }
 
 impl std::fmt::Debug for AggMark {

@@ -22,6 +22,7 @@ use ofw_core::fd::{Fd, FdSetId};
 use ofw_core::ordering::Ordering;
 use ofw_core::property::{Grouping, HeadTail};
 use ofw_core::spec::InputSpec;
+use ofw_obs::Trace;
 
 /// Extraction tuning knobs.
 #[derive(Clone, Debug)]
@@ -297,6 +298,23 @@ pub fn extract(catalog: &Catalog, query: &Query, options: &ExtractOptions) -> Ex
             }
         }
     }
+    ex
+}
+
+/// Runs the extraction under a span sink: one `"extract"` span
+/// recording the interesting-property and FD-set counts. Identical
+/// output to [`extract`].
+pub fn extract_traced(
+    catalog: &Catalog,
+    query: &Query,
+    options: &ExtractOptions,
+    trace: &Trace,
+) -> ExtractedQuery {
+    let mut sp = trace.span("extract");
+    let ex = extract(catalog, query, options);
+    sp.count("produced", ex.spec.produced().len() as u64);
+    sp.count("tested", ex.spec.tested().len() as u64);
+    sp.count("fd_sets", ex.spec.fd_sets().len() as u64);
     ex
 }
 

@@ -20,5 +20,5 @@ pub mod extract;
 pub mod graph;
 
 pub use builder::QueryBuilder;
-pub use extract::{extract, ExtractedQuery};
+pub use extract::{extract, extract_traced, ExtractedQuery};
 pub use graph::{AggCall, AggFunc, ConstPred, FilterPred, JoinEdge, JoinGraph, Query};

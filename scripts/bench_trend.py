@@ -12,7 +12,9 @@ measurement (so topology/n/framework/threads/labels **and** plan
 counts, which are deterministic per seed). For each matched row, every
 `*_ms`/`*_us` field is compared: if the new value exceeds the baseline
 by more than BENCH_TREND_MAX_REGRESSION percent (default 25), the check
-fails. Baselines under ten milliseconds (10.0 for `_ms` fields,
+fails. `*_pct` fields (overhead and phase time shares — ratios of
+wall-clock times) are volatile: excluded from identity and never
+compared. Baselines under ten milliseconds (10.0 for `_ms` fields,
 10_000.0 for `_us` fields) are skipped — on small cells, scheduler
 jitter alone exceeds the threshold even on an idle machine.
 
@@ -57,8 +59,11 @@ BASELINE_DIR = os.path.join(
 # the regression threshold.
 TIME_SUFFIXES = ("_ms", "_us")
 # Derived-from-time or machine-dependent fields: excluded from identity,
-# not checked.
+# not checked. The `_pct` suffix covers the observability table's
+# overhead and per-phase time shares — ratios of wall-clock times, so
+# pure noise across machines and runs.
 VOLATILE = {"speedup", "memory_bytes", "avail_threads"}
+VOLATILE_SUFFIXES = ("_pct",)
 # Deterministic work counters: machine-independent, so enforced on every
 # machine. Excluded from identity (else a counter change would just
 # unmatch the row and dodge the gate).
@@ -71,6 +76,15 @@ COUNTERS = {
     "pairs",
     "pairs_considered",
     "unions",
+    # Decision telemetry (always-on observability counters): Pareto
+    # pruning, oracle probe and enforcer admission counts, plus the
+    # recording sink's span count — all schedule-independent.
+    "pruned_kept",
+    "pruned_dominated",
+    "oracle_probes",
+    "enforcers_admitted",
+    "enforcers_won",
+    "spans",
     # Preparation sweep (table_prepare): automaton sizes, the lazy arm's
     # materialization count and probe checksum, and warm cache hits are
     # all index-arithmetic deterministic.
@@ -84,6 +98,10 @@ COUNTERS = {
 
 def is_time_field(key):
     return key.endswith(TIME_SUFFIXES)
+
+
+def is_volatile_field(key):
+    return key in VOLATILE or key.endswith(VOLATILE_SUFFIXES)
 
 
 def min_baseline(key):
@@ -100,7 +118,7 @@ def strip_volatile(value):
         return {
             k: strip_volatile(v)
             for k, v in value.items()
-            if not is_time_field(k) and k not in VOLATILE and k not in COUNTERS
+            if not is_time_field(k) and not is_volatile_field(k) and k not in COUNTERS
         }
     if isinstance(value, list):
         return [strip_volatile(v) for v in value]

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Validator for the Chrome trace-event exports (`TRACE_*.json`) the
+`table_trace` binary writes.
+
+Usage:
+    python3 scripts/check_trace.py TRACE_a.json [TRACE_b.json ...]
+
+Checks the minimal contract `about:tracing` / Perfetto rely on: a
+top-level `traceEvents` list, non-empty, every event a complete-phase
+("ph": "X") record with a string `name`, non-negative numeric
+`ts`/`dur`, and integer `pid`/`tid`. Exit status: 0 = all files valid,
+1 = contract violation, 2 = usage/IO error.
+"""
+
+import json
+import sys
+
+
+def check_file(path):
+    """Returns a list of violations for one trace file."""
+    with open(path) as f:
+        payload = json.load(f)
+    errors = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents list"]
+    if not events:
+        return [f"{path}: traceEvents is empty"]
+    for i, event in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}: missing/empty name")
+        if event.get("ph") != "X":
+            errors.append(f"{where}: ph must be 'X', got {event.get('ph')!r}")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or value < 0:
+                errors.append(f"{where}: {key} must be a non-negative number")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: {key} must be an integer")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        try:
+            all_errors.extend(check_file(path))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {path}: {e}", file=sys.stderr)
+            return 2
+    if all_errors:
+        for e in all_errors:
+            print(f"  {e}")
+        print(f"FAIL: {len(all_errors)} trace contract violation(s)")
+        return 1
+    print(f"trace contract OK ({len(argv) - 1} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

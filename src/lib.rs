@@ -27,6 +27,7 @@
 //! | [`plangen`] | bottom-up DP plan generator exercising both frameworks |
 //! | [`parallel`] | deterministic work-stealing pool + parallel DP driver |
 //! | [`workload`] | random join-graph workloads, TPC-R Query 8, large topologies |
+//! | [`obs`] | observability: phase spans, decision telemetry, trace export |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@
 pub use ofw_catalog as catalog;
 pub use ofw_common as common;
 pub use ofw_core as core;
+pub use ofw_obs as obs;
 pub use ofw_parallel as parallel;
 pub use ofw_plangen as plangen;
 pub use ofw_query as query;
