@@ -58,6 +58,12 @@ pub struct HypergraphRow {
     pub pruned_dominated: u64,
     /// Order-oracle probes made by the DP (deterministic).
     pub oracle_probes: u64,
+    /// Candidates rejected by the cost upper bound before allocation
+    /// (deterministic).
+    pub bound_pruned: u64,
+    /// Dominance checks answered by the per-union memo or by state
+    /// equality instead of an oracle probe (deterministic).
+    pub dominance_memo_hits: u64,
 }
 
 /// Runs one cell of the enumerator sweep: a `topology` query over `n`
@@ -129,6 +135,8 @@ pub fn hypergraph_cell(
             pruned_kept: r.stats.decisions.pruning.kept_total(),
             pruned_dominated: r.stats.decisions.pruning.dominated_total(),
             oracle_probes: r.stats.decisions.probes.total(),
+            bound_pruned: r.stats.decisions.pruning.bound_pruned,
+            dominance_memo_hits: r.stats.decisions.probes.dominance_memo_hits,
         });
     }
     rows
@@ -154,6 +162,8 @@ pub fn hypergraph_row_json(row: &HypergraphRow) -> json::Obj {
         .int("pruned_kept", row.pruned_kept as usize)
         .int("pruned_dominated", row.pruned_dominated as usize)
         .int("oracle_probes", row.oracle_probes as usize)
+        .int("bound_pruned", row.bound_pruned as usize)
+        .int("dominance_memo_hits", row.dominance_memo_hits as usize)
 }
 
 /// Renders one row for the stdout table.

@@ -125,6 +125,7 @@ pub fn write_bench(name: &str, rows: Vec<String>) -> std::io::Result<PathBuf> {
 pub struct BenchSink {
     name: String,
     rows: Vec<String>,
+    allocs_mark: u64,
 }
 
 impl BenchSink {
@@ -139,12 +140,21 @@ impl BenchSink {
         BenchSink {
             name: name.to_string(),
             rows: vec![extend(machine_meta_row()).build()],
+            allocs_mark: ofw_common::alloc::allocation_count(),
         }
     }
 
-    /// Appends one data row.
+    /// Appends one data row, stamped with an `allocs` column: the
+    /// process-wide allocation count since the previous row (or since
+    /// the sink was created). Because each table binary builds one row
+    /// right after measuring its cell, the delta is a deterministic
+    /// allocation-pressure proxy for that cell's work, trend-gated as a
+    /// counter next to `plans` and `oracle_probes`.
     pub fn push(&mut self, row: Obj) {
-        self.rows.push(row.build());
+        let now = ofw_common::alloc::allocation_count();
+        let delta = now - self.allocs_mark;
+        self.allocs_mark = now;
+        self.rows.push(row.int("allocs", delta as usize).build());
     }
 
     /// Writes the file into the current directory and prints the
@@ -188,7 +198,11 @@ mod tests {
         assert!(sink.rows[0].contains("\"meta\":1"));
         assert!(sink.rows[0].contains("\"avail_threads\":"));
         assert!(sink.rows[0].contains("\"mode\":\"smoke\""));
-        assert_eq!(sink.rows[1], r#"{"a":1}"#);
+        assert!(
+            sink.rows[1].starts_with(r#"{"a":1,"allocs":"#),
+            "{}",
+            sink.rows[1]
+        );
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //! baselines committed under `baselines/` and fails CI on large
 //! plan-time regressions.
 
+/// Process-global counting allocator: every table binary and Criterion
+/// bench linking this crate counts allocations, so [`json::BenchSink`]
+/// can stamp each row with an `allocs` column (allocation-pressure
+/// delta since the previous row) for the trend gate.
+#[global_allocator]
+static ALLOC: ofw_common::alloc::CountingAlloc = ofw_common::alloc::CountingAlloc;
+
 use ofw_catalog::Catalog;
 use ofw_core::{OrderingFramework, PrepStats, PruneConfig};
 use ofw_plangen::{ExplicitOracle, OrderOracle, PlanGen, PlanGenResult, PlanGenStats};

@@ -56,6 +56,11 @@ pub struct ParallelRow {
     pub unions: u64,
     /// Did the `Auto` enumerator fall back to linearization?
     pub fallback: bool,
+    /// The machine cannot actually run this row's threads in parallel
+    /// (single hardware thread, or the pool oversubscribes the
+    /// machine): its time and speedup measure scheduling overhead, not
+    /// scaling, so the trend gate skips time comparisons for it.
+    pub degraded: bool,
 }
 
 /// Order-*sensitive* 64-bit fingerprint of the full plan arena (nodes
@@ -112,6 +117,9 @@ where
     O::Key: Sync,
     O::State: Send + Sync + Debug,
 {
+    let avail = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut rows = Vec::new();
     if warm_up {
         let _ = PlanGen::new(cell.catalog, cell.query, cell.ex, oracle).run();
@@ -134,6 +142,7 @@ where
         pairs: serial.stats.pairs_emitted,
         unions: serial.stats.unions,
         fallback: serial.stats.fallback,
+        degraded: false,
     });
     for &t in threads {
         let pool = ThreadPool::new(t);
@@ -154,6 +163,7 @@ where
             pairs: r.stats.pairs_emitted,
             unions: r.stats.unions,
             fallback: r.stats.fallback,
+            degraded: avail == 1 || t > avail,
         });
     }
     rows
@@ -240,6 +250,7 @@ pub fn parallel_row_json(row: &ParallelRow) -> crate::json::Obj {
         .int("pairs", row.pairs as usize)
         .int("unions", row.unions as usize)
         .int("fallback", usize::from(row.fallback))
+        .int("degraded", usize::from(row.degraded))
 }
 
 /// Renders one row for the stdout table.
@@ -250,7 +261,7 @@ pub fn parallel_row_line(row: &ParallelRow) -> String {
         format!("{}T", row.threads)
     };
     format!(
-        "{:>6} {:>4} {:>5} {:>22} {:>7} | {:>10} {:>9} {:>7.2}x {:>9}",
+        "{:>6} {:>4} {:>5} {:>22} {:>7} | {:>10} {:>9} {:>7.2}x {:>9}{}",
         row.topology,
         row.n,
         if row.lean { "lean" } else { "full" },
@@ -264,6 +275,7 @@ pub fn parallel_row_line(row: &ParallelRow) -> String {
         } else {
             "DIVERGED"
         },
+        if row.degraded { " (degraded)" } else { "" },
     )
 }
 

@@ -164,6 +164,7 @@ pub fn trace_cell(
             * 100.0
     };
     let phase_shares = vec![
+        ("bound", share(&|n| n == "bound")),
         ("base", share(&|n| n == "base")),
         ("enumerate", share(&|n| n == "enumerate")),
         ("dp", share(&|n| n.starts_with("layer "))),

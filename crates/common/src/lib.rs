@@ -19,7 +19,12 @@
 //! * [`exec`] — the ordered chunk-execution seam ([`OrderedExecutor`])
 //!   between the DP drivers and the `ofw-parallel` thread pool, plus the
 //!   deterministic block partitioner [`chunk_ranges`].
+//! * [`alloc`] (feature `count-allocs`) — a counting global allocator
+//!   so benchmark binaries can report allocation pressure as a
+//!   deterministic, trend-gated `allocs` column.
 
+#[cfg(feature = "count-allocs")]
+pub mod alloc;
 pub mod bitmatrix;
 pub mod bitset;
 pub mod exec;

@@ -19,6 +19,12 @@ pub struct PruneCounters {
     /// Candidates rejected as dominated (or evicted by a later
     /// dominating candidate), per class.
     pub dominated: [u64; AGG_CLASSES],
+    /// Candidates rejected by the branch-and-bound cost bound *before*
+    /// a plan node was materialized or the oracle was probed (see the
+    /// plan generator's pruning seam). Not split by class: the bound is
+    /// checked before the candidate's state — and sometimes before its
+    /// operator — exists.
+    pub bound_pruned: u64,
 }
 
 impl PruneCounters {
@@ -38,6 +44,7 @@ impl PruneCounters {
             self.kept[i] += other.kept[i];
             self.dominated[i] += other.dominated[i];
         }
+        self.bound_pruned += other.bound_pruned;
     }
 }
 
@@ -91,12 +98,20 @@ pub struct ProbeCounters {
     pub infer: u64,
     /// `satisfies` / `satisfies_grouping` / `satisfies_head_tail` calls.
     pub satisfies: u64,
-    /// `dominates` calls (one per Pareto comparison).
+    /// `dominates` calls (one per Pareto comparison that actually
+    /// reached the oracle).
     pub dominates: u64,
+    /// Pareto comparisons answered *without* an oracle call: exact
+    /// state equality (dominance is reflexive) or a per-union
+    /// `(state, state) → bool` memo hit. Kept out of
+    /// [`total`](Self::total) so `oracle_probes` keeps counting real
+    /// oracle work.
+    pub dominance_memo_hits: u64,
 }
 
 impl ProbeCounters {
-    /// Total probes across families.
+    /// Total probes across families — the work the oracle actually
+    /// performed (memo hits excluded by design).
     pub fn total(&self) -> u64 {
         self.produce + self.infer + self.satisfies + self.dominates
     }
@@ -107,6 +122,7 @@ impl ProbeCounters {
         self.infer += other.infer;
         self.satisfies += other.satisfies;
         self.dominates += other.dominates;
+        self.dominance_memo_hits += other.dominance_memo_hits;
     }
 }
 

@@ -92,6 +92,18 @@ pub fn hash_group(card: f64) -> f64 {
     1.3 * card
 }
 
+/// Lower bound on the cost of *any* join operator over inputs of
+/// `left`/`right` tuples producing `out` — the pair-level floor of the
+/// branch-and-bound pruning seam (see ARCHITECTURE.md, "The pruning
+/// seam"). It is the minimum of [`merge_join`] and [`nested_loop_join`]
+/// (a nested-loop over a tiny outer can undercut the merge join's
+/// `+right` term); [`hash_join`] and [`group_join`] dominate the merge
+/// join term-by-term. Any new join operator must keep this function a
+/// true lower bound or bounded search loses admissibility.
+pub fn join_floor(left: f64, right: f64, out: f64) -> f64 {
+    merge_join(left, right, out).min(nested_loop_join(left, right, out))
+}
+
 /// Cost of a group-join: a hash join and the final aggregation fused
 /// into one pass over a probe input whose groups are already adjacent.
 /// The join work is the hash join's; the aggregation folds into the
@@ -192,6 +204,26 @@ mod tests {
         // Degenerate inputs stay positive and finite.
         assert!(partial_sort(0.0, 1.0) > 0.0);
         assert!(partial_sort(1.0, 5.0) > 0.0);
+    }
+
+    #[test]
+    fn join_floor_is_a_true_lower_bound() {
+        // Across small/large/skewed shapes the floor never exceeds any
+        // join operator's cost — the admissibility requirement of the
+        // bounded search.
+        for &(l, r, out) in &[
+            (10.0, 10.0, 1.0),
+            (10.0, 1_000_000.0, 50.0),
+            (1_000_000.0, 10.0, 50.0),
+            (100_000.0, 100_000.0, 1_000_000.0),
+            (1.0, 1.0, 1.0),
+        ] {
+            let floor = join_floor(l, r, out);
+            assert!(floor <= merge_join(l, r, out));
+            assert!(floor <= hash_join(l, r, out));
+            assert!(floor <= nested_loop_join(l, r, out));
+            assert!(floor <= group_join(l, r, out));
+        }
     }
 
     #[test]

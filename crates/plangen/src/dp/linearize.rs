@@ -192,10 +192,17 @@ fn build_windows(
                 }
                 if p == 0 && k == 1 {
                     // Window-initial singletons are the driver's
-                    // base plans; they need no work item.
+                    // base plans; they need no work item — but they
+                    // *are* committed subsets (driver indices 0..n),
+                    // and a width-2/3 schedule (stride 1) anchors its
+                    // second window on the first singleton prefix, so
+                    // record them.
                     let j = mask.trailing_zeros() as usize;
                     valid[mask] = true;
                     idx_of[mask] = wrels[j] as u32;
+                    let mut s = BitSet::new(n);
+                    s.insert(wrels[j]);
+                    known.insert(s, wrels[j] as u32);
                     continue;
                 }
                 let mut pairs: Vec<(u32, u32)> = Vec::new();

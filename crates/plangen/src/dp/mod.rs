@@ -75,8 +75,23 @@
 //! there additionally requires a warmed instance (serial run first) —
 //! cold, their handles stay semantically equal but may renumber.
 //!
-//! Every [`PlanNode`] allocation is counted: that is the paper's
-//! `#Plans` metric ("the time to introduce one plan operator").
+//! # The pruning seam
+//!
+//! The inner loop prunes before it builds. A cheap greedy linearized
+//! run seeds a global cost upper bound `B`; every candidate is tested
+//! against `B` minus an admissible floor on the cost still to be paid
+//! outside its subset — *before* its plan node is allocated, and
+//! usually before the oracle is probed ([`PlanGen::cost_bounding`]
+//! turns this off). Pareto sets are bucketed by `(comparability class,
+//! oracle state)` with a per-union dominance memo, so most Pareto
+//! comparisons never reach the oracle. Candidates travel as stack-only
+//! `CandidatePlan`s and are committed into the arena only after
+//! surviving both gates. The chosen plan and its cost are identical
+//! with bounding on or off (the contract and its proof obligations are
+//! written down in ARCHITECTURE.md, "The pruning seam"); every
+//! [`PlanNode`] that enters the table is counted — the paper's
+//! `#Plans` metric ("the time to introduce one plan operator") for the
+//! work actually performed.
 
 mod dphyp;
 mod dpsize;
@@ -84,7 +99,9 @@ mod linearize;
 
 use crate::cost;
 use crate::oracle::OrderOracle;
-use crate::plan::{AggMark, ArenaView, PlanArena, PlanId, PlanNode, PlanOp, LOCAL_PLAN_BIT};
+use crate::plan::{
+    AggMark, ArenaView, CandidatePlan, PlanArena, PlanId, PlanNode, PlanOp, LOCAL_PLAN_BIT,
+};
 use ofw_catalog::{AttrId, Catalog};
 use ofw_common::{BitSet, FxHashMap, OrderedExecutor, SerialExecutor, SmallBitSet};
 use ofw_core::fd::FdSetId;
@@ -332,6 +349,199 @@ struct AggKeyHandles<K> {
     producible: Option<K>,
 }
 
+/// One admitted member of a [`ParetoSet`]. Eviction tombstones the
+/// entry (`alive = false`) instead of removing it so the surviving
+/// members keep their insertion order — the order the legacy linear
+/// scan produced, which downstream consumers (enforcer scans, the
+/// committed plan table) depend on for determinism.
+struct ParetoEntry<S> {
+    id: PlanId,
+    cost: f64,
+    card: f64,
+    agg: AggMark,
+    state: S,
+    alive: bool,
+}
+
+/// One dominance bucket of a [`ParetoSet`]: all members sharing a
+/// `(comparability class, oracle state)` pair. Dominance is a pure
+/// function of the state (and reflexive — see
+/// [`OrderOracle::dominates`]), so one probe against the bucket's
+/// state answers the property half of the Pareto test for every
+/// member at once.
+struct ParetoBucket<S> {
+    agg: AggMark,
+    state: S,
+    /// Alive member indices into [`ParetoSet::entries`], insertion
+    /// order.
+    members: Vec<usize>,
+}
+
+/// The Pareto set of one subset under construction, bucketed by
+/// `(comparability class, oracle state)`. Replaces the legacy linear
+/// `Vec<PlanId>` scan: exact-state arrivals resolve against their own
+/// bucket without any oracle call, cross-state comparisons probe one
+/// bucket representative instead of every member, and repeated state
+/// pairs are answered by a per-union `(state, state) → bool` memo.
+/// Buckets are probed in creation order (a `Vec`, not the hash map) so
+/// probe counts stay deterministic even when a memoizing oracle
+/// renumbers its state handles.
+struct ParetoSet<S> {
+    entries: Vec<ParetoEntry<S>>,
+    buckets: Vec<ParetoBucket<S>>,
+    /// `(AggMark::class_index(), state)` → bucket position.
+    index: FxHashMap<(usize, S), usize>,
+    /// Per-union dominance memo: `(dominator state, subordinate state)`
+    /// → oracle verdict. Lives and dies with the subset's set — state
+    /// pairs recur heavily within one union (every candidate is
+    /// compared against the same few buckets) and union-local scope
+    /// keeps the memo out of the shared-state determinism story.
+    memo: FxHashMap<(S, S), bool>,
+}
+
+impl<S: Copy + Eq + std::hash::Hash> ParetoSet<S> {
+    fn new() -> Self {
+        ParetoSet {
+            entries: Vec::new(),
+            buckets: Vec::new(),
+            index: FxHashMap::default(),
+            memo: FxHashMap::default(),
+        }
+    }
+
+    /// Inserts a member without any dominance checks — used for seeds
+    /// (already a Pareto set) and for candidates that survived them.
+    fn insert_unchecked(&mut self, id: PlanId, cost: f64, card: f64, agg: AggMark, state: S) {
+        let e = self.entries.len();
+        self.entries.push(ParetoEntry {
+            id,
+            cost,
+            card,
+            agg,
+            state,
+            alive: true,
+        });
+        let key = (agg.class_index(), state);
+        let b = match self.index.get(&key) {
+            Some(&b) => b,
+            None => {
+                let b = self.buckets.len();
+                self.buckets.push(ParetoBucket {
+                    agg,
+                    state,
+                    members: Vec::new(),
+                });
+                self.index.insert(key, b);
+                b
+            }
+        };
+        self.buckets[b].members.push(e);
+    }
+
+    /// Memoized dominance probe: does `dom`'s state dominate `sub`'s?
+    /// Equal states short-circuit through reflexivity; repeated pairs
+    /// hit the memo. Both are charged to `dominance_memo_hits`, real
+    /// oracle calls to `dominates`.
+    fn dominates_memo<O: OrderOracle<State = S>>(
+        &mut self,
+        oracle: &O,
+        dom: S,
+        sub: S,
+        dc: &mut DecisionCounters,
+    ) -> bool {
+        if dom == sub {
+            dc.probes.dominance_memo_hits += 1;
+            return true;
+        }
+        if let Some(&v) = self.memo.get(&(dom, sub)) {
+            dc.probes.dominance_memo_hits += 1;
+            return v;
+        }
+        dc.probes.dominates += 1;
+        let v = oracle.dominates(dom, sub);
+        self.memo.insert((dom, sub), v);
+        v
+    }
+
+    /// Arrival test: is `cand` dominated by an existing member at
+    /// lower-or-equal cost (and, within aggregated classes, no larger
+    /// cardinality)? Charges the rejection to the candidate's class.
+    fn arrival_dominated<O: OrderOracle<State = S>>(
+        &mut self,
+        oracle: &O,
+        cand: &CandidatePlan<S>,
+        dc: &mut DecisionCounters,
+    ) -> bool {
+        let class = cand.agg.class_index();
+        for bi in 0..self.buckets.len() {
+            let (b_agg, b_state) = (self.buckets[bi].agg, self.buckets[bi].state);
+            if b_agg != cand.agg {
+                continue;
+            }
+            // Cost/cardinality prefilter first: a bucket whose members
+            // are all too expensive never needs a dominance probe.
+            let qualifies = self.buckets[bi].members.iter().any(|&e| {
+                let m = &self.entries[e];
+                m.cost <= cand.cost && (cand.agg.is_none() || m.card <= cand.card)
+            });
+            if qualifies && self.dominates_memo(oracle, b_state, cand.state, dc) {
+                dc.pruning.dominated[class] += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Admits a surviving candidate (already materialized as `id`):
+    /// evicts every member it dominates at lower-or-equal cost, then
+    /// inserts it.
+    fn admit<O: OrderOracle<State = S>>(
+        &mut self,
+        oracle: &O,
+        id: PlanId,
+        cand: &CandidatePlan<S>,
+        dc: &mut DecisionCounters,
+    ) {
+        let class = cand.agg.class_index();
+        for bi in 0..self.buckets.len() {
+            let (b_agg, b_state) = (self.buckets[bi].agg, self.buckets[bi].state);
+            if b_agg != cand.agg {
+                continue;
+            }
+            let qualifies = self.buckets[bi].members.iter().any(|&e| {
+                let m = &self.entries[e];
+                cand.cost <= m.cost && (cand.agg.is_none() || cand.card <= m.card)
+            });
+            if !qualifies || !self.dominates_memo(oracle, cand.state, b_state, dc) {
+                continue;
+            }
+            let entries = &mut self.entries;
+            self.buckets[bi].members.retain(|&e| {
+                let m = &mut entries[e];
+                if cand.cost <= m.cost && (cand.agg.is_none() || cand.card <= m.card) {
+                    m.alive = false;
+                    dc.pruning.dominated[class] += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.insert_unchecked(id, cand.cost, cand.card, cand.agg, cand.state);
+    }
+
+    /// Alive members in insertion order.
+    fn members(&self) -> impl Iterator<Item = &ParetoEntry<S>> + '_ {
+        self.entries.iter().filter(|e| e.alive)
+    }
+
+    /// The surviving plan ids in insertion order — what the plan table
+    /// commits.
+    fn ids(&self) -> Vec<PlanId> {
+        self.members().map(|e| e.id).collect()
+    }
+}
+
 /// The generator, parameterized by the order oracle.
 pub struct PlanGen<'a, O: OrderOracle> {
     catalog: &'a Catalog,
@@ -365,6 +575,22 @@ pub struct PlanGen<'a, O: OrderOracle> {
     /// grouping? Off reproduces the sort-only enforcer behavior — the
     /// ceiling the partial-sort search is measured against.
     partial_sort: bool,
+    /// Branch-and-bound cost pruning (on by default): seed a global
+    /// upper bound from one greedy linearized run and reject candidates
+    /// whose cost lower bound exceeds it before they are materialized.
+    /// The chosen plan and its cost are identical either way (see "The
+    /// pruning seam" in ARCHITECTURE.md); off reproduces the unbounded
+    /// search for A/B measurement.
+    bounding: bool,
+    /// Cheapest possible access cost per query relation (min over heap
+    /// scan and index scans) — the per-leaf term of the admissible
+    /// remaining-cost floor.
+    min_access: Vec<f64>,
+    /// Σ [`min_access`](Self::min_access).
+    total_access: f64,
+    /// The global cost upper bound `B` (∞ until the bound provider has
+    /// run, and always ∞ with bounding off).
+    bound: f64,
     /// Span sink for phase-level tracing (disabled by default — one
     /// pointer check per phase, nothing in the per-plan hot path).
     trace: Trace,
@@ -441,6 +667,20 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     .all(|a| a.func.count_scalable() || a.func.duplicate_insensitive()),
             }
         });
+        // Cheapest conceivable access path per relation: the admissible
+        // remaining-cost floor of the bounded search charges at least
+        // this much for every relation a subplan has not joined yet.
+        let min_access: Vec<f64> = (0..query.num_relations())
+            .map(|qrel| {
+                let rel = catalog.relation(query.relations[qrel]);
+                let mut m = cost::scan(rel.cardinality);
+                for index in &rel.indexes {
+                    m = m.min(cost::index_scan(rel.cardinality, index.clustered));
+                }
+                m
+            })
+            .collect();
+        let total_access = min_access.iter().sum();
         PlanGen {
             catalog,
             query,
@@ -454,6 +694,10 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             agg,
             placement: true,
             partial_sort: true,
+            bounding: true,
+            min_access,
+            total_access,
+            bound: f64::INFINITY,
             trace: Trace::disabled(),
             arena: PlanArena::new(),
             table: FxHashMap::default(),
@@ -575,6 +819,36 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         self
     }
 
+    /// Enables/disables branch-and-bound cost pruning (on by default).
+    /// One greedy linearized run seeds a global upper bound `B`; a
+    /// candidate for subset `S` is rejected — before its plan node is
+    /// materialized, and usually before the oracle is probed — when
+    /// `cost + rem(S) > B`, where `rem(S)` charges every relation
+    /// outside `S` its cheapest access path. The bound is admissible
+    /// (see "The pruning seam" in ARCHITECTURE.md), so the chosen plan
+    /// and its cost are identical either way; only the work counters
+    /// change. Off reproduces the unbounded search for A/B measurement.
+    pub fn cost_bounding(mut self, enabled: bool) -> Self {
+        self.bounding = enabled;
+        self
+    }
+
+    /// The per-subset cost upper bound: `B − rem(mask)`, where
+    /// `rem(mask)` is the admissible floor on the cost any complete
+    /// plan still has to pay outside `mask` (the cheapest access path
+    /// of every relation not yet joined — joins, enforcers and
+    /// aggregates only ever add on top). ∞ when no bound is active.
+    fn upper_bound(&self, mask: &BitSet) -> f64 {
+        if self.bound.is_infinite() {
+            return f64::INFINITY;
+        }
+        let mut inside = 0.0;
+        for r in mask.iter() {
+            inside += self.min_access[r];
+        }
+        self.bound - (self.total_access - inside)
+    }
+
     /// Estimated group count of aggregating `card` rows on `attrs`:
     /// the product of per-attribute distinct-value estimates when the
     /// catalog has them all, capped by the input cardinality; otherwise
@@ -640,6 +914,40 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         // `0..n` first, then unions in batch-emission order).
         let mut subsets: Vec<BitSet> = Vec::with_capacity(n);
 
+        // Bound provider: one cheap greedy linearized run (window 2,
+        // itself unbounded) seeds the global upper bound `B` every
+        // later phase prunes against. Its plan space is a subset of
+        // every enumerator's search space, so `B` is always achievable
+        // — the admissibility contract lives in ARCHITECTURE.md, "The
+        // pruning seam". Serial, and run before anything else: on
+        // memoizing oracles this also warms the state interner
+        // deterministically. Its decision counters merge into the run
+        // totals via the "bound" phase; its plan nodes live in its own
+        // discarded arena and do not count toward `#Plans`.
+        if self.bounding && n >= 3 {
+            let mut sp = root.child("bound");
+            let tp = Instant::now();
+            let provider = PlanGen::new(self.catalog, self.query, self.ex, self.oracle)
+                .enumerator(Enumerator::Linearized)
+                .linearize_window(2)
+                .cost_bounding(false)
+                .aggregation_placement(self.placement)
+                .partial_sort(self.partial_sort)
+                .run();
+            self.bound = provider.cost;
+            sp.count("plans", provider.stats.plans as u64);
+            phases.push(PhaseStats {
+                name: "bound".into(),
+                time: tp.elapsed(),
+                unions: provider.stats.unions,
+                pairs_considered: provider.stats.pairs_considered,
+                pairs_emitted: provider.stats.pairs_emitted,
+                plans: provider.stats.plans as u64,
+                decisions: provider.stats.decisions.clone(),
+            });
+            run_dc.merge(&provider.stats.decisions);
+        }
+
         // Base relations (cheap — built inline on the driver thread).
         {
             let mut sp = root.child("base_plans");
@@ -647,15 +955,13 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             let mut dc = DecisionCounters::default();
             for qrel in 0..n {
                 let mask = self.query.relation_set(qrel);
+                let ub = self.upper_bound(&mask);
                 let mut view = ArenaView::new(&self.arena);
-                let mut set = Vec::new();
-                let plans = self.base_plans(qrel, &mut view, &mut dc);
-                for p in plans {
-                    self.insert_pruned(&view, &mut set, p, &mut dc);
-                }
-                self.add_enforcer_variants(&mask, &mut set, &mut view, &mut dc);
-                self.add_placement_variants(&mask, &mut set, &mut view, &mut dc);
-                let set = self.commit(view.into_local(), set);
+                let mut set = ParetoSet::new();
+                self.base_plans(qrel, &mut set, &mut view, ub, &mut dc);
+                self.add_enforcer_variants(&mask, &mut set, &mut view, ub, &mut dc);
+                self.add_placement_variants(&mask, &mut set, &mut view, ub, &mut dc);
+                let set = self.commit(view.into_local(), set.ids());
                 self.table.insert(mask.clone(), set);
                 subsets.push(mask);
             }
@@ -756,10 +1062,13 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             }
             let (considered, emitted) = (schedule.pairs_considered(), schedule.pairs_emitted());
             let plans = (self.arena.len() - plans_before) as u64;
+            // Pruning work (kept/dominated) is charged once, on the
+            // per-union spans — repeating the totals here would
+            // double-charge the layer in the span ledger. The layer
+            // span carries only what the unions cannot: batch size and
+            // the spliced plan count.
             sp.count("unions", batch_len);
             sp.count("plans", plans);
-            sp.count("kept", dc.pruning.kept_total());
-            sp.count("dominated", dc.pruning.dominated_total());
             phases.push(PhaseStats {
                 name: format!("layer {layer}"),
                 time: tp.elapsed(),
@@ -901,23 +1210,31 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         view: &mut ArenaView<'_, O::State>,
         dc: &mut DecisionCounters,
     ) -> Vec<PlanId> {
-        let mut set = if work.seed {
-            self.table[&work.union].clone()
-        } else {
-            Vec::new()
-        };
+        let ub = self.upper_bound(&work.union);
+        let mut set = ParetoSet::new();
+        if work.seed {
+            // Seeds are the subset's committed Pareto set — already
+            // mutually non-dominated and bound-admissible, so they
+            // enter unchecked (and uncounted: they were counted when
+            // first kept).
+            for &p in &self.table[&work.union] {
+                let n = view.node(p);
+                set.insert_unchecked(p, n.cost, n.card, n.agg, n.state);
+            }
+        }
         for &(l, r) in &work.pairs {
             self.emit_joins(
                 &subsets[l as usize],
                 &subsets[r as usize],
                 &mut set,
                 view,
+                ub,
                 dc,
             );
         }
-        self.add_enforcer_variants(&work.union, &mut set, view, dc);
-        self.add_placement_variants(&work.union, &mut set, view, dc);
-        set
+        self.add_enforcer_variants(&work.union, &mut set, view, ub, dc);
+        self.add_placement_variants(&work.union, &mut set, view, ub, dc);
+        set.ids()
     }
 
     /// Splices a thread-local arena onto the global one, rewriting local
@@ -956,27 +1273,44 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         }
     }
 
-    /// Builds one aggregate node on `keys` over plan `p` — the single
-    /// implementation behind final aggregates and pushed-down partials:
-    /// streaming when the input satisfies the key as an ordering *or* a
-    /// grouping (its output is a subsequence — first row per group — so
-    /// every input property and applied FD survives), hashing otherwise
-    /// (destroys all orderings but *produces* the key's grouping).
-    /// Whether the node is a partial follows from `mark`: final marks
-    /// combine partials, everything else *is* a partial.
-    fn push_aggregate(
+    /// Builds one aggregate candidate on `keys` over plan `p` — the
+    /// single implementation behind final aggregates and pushed-down
+    /// partials: streaming when the input satisfies the key as an
+    /// ordering *or* a grouping (its output is a subsequence — first
+    /// row per group — so every input property and applied FD
+    /// survives), hashing otherwise (destroys all orderings but
+    /// *produces* the key's grouping). Whether the node is a partial
+    /// follows from `mark`: final marks combine partials, everything
+    /// else *is* a partial.
+    ///
+    /// Bound-checked before the admission probes with the aggregate
+    /// cost floor (a streaming aggregate, the cheapest variant), and
+    /// inserted through [`try_insert`](Self::try_insert) — a pruned
+    /// aggregate costs no allocation.
+    #[allow(clippy::too_many_arguments)]
+    fn try_push_aggregate(
         &self,
         view: &mut ArenaView<'_, O::State>,
+        set: &mut ParetoSet<O::State>,
+        ub: f64,
         p: PlanId,
         keys: &AggKeyHandles<O::Key>,
         mark: AggMark,
         groups: f64,
         dc: &mut DecisionCounters,
-    ) -> PlanId {
-        let node = view.node(p);
-        let (c, d, st) = (node.cost, node.card, node.state);
-        let fd_bits = node.applied_fds.clone();
-        let mask = node.mask.clone();
+    ) -> Option<PlanId> {
+        let (c, d, st) = {
+            let n = view.node(p);
+            (n.cost, n.card, n.state)
+        };
+        if c + cost::streaming_aggregate(d) > ub {
+            dc.pruning.bound_pruned += 1;
+            return None;
+        }
+        let (fd_bits, mask) = {
+            let n = view.node(p);
+            (n.applied_fds.clone(), n.mask.clone())
+        };
         let partial = !mark.is_final();
         let streaming = keys.order.is_some_and(|k| {
             dc.probes.satisfies += 1;
@@ -995,28 +1329,43 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             };
             (cost::hash_aggregate(d), state, SmallBitSet::new())
         };
-        let op = if streaming {
-            PlanOp::StreamAgg {
-                input: p,
-                key: keys.attrs.clone(),
-                partial,
-            }
-        } else {
-            PlanOp::HashAgg {
-                input: p,
-                key: keys.attrs.clone(),
-                partial,
-            }
-        };
-        view.push(PlanNode {
-            op,
-            mask,
+        let cand = CandidatePlan {
             cost: c + op_cost,
             card: groups,
             state,
             agg: mark,
-            applied_fds: fds_out,
-        })
+        };
+        self.try_insert(
+            view,
+            set,
+            ub,
+            cand,
+            || {
+                let op = if streaming {
+                    PlanOp::StreamAgg {
+                        input: p,
+                        key: keys.attrs.clone(),
+                        partial,
+                    }
+                } else {
+                    PlanOp::HashAgg {
+                        input: p,
+                        key: keys.attrs.clone(),
+                        partial,
+                    }
+                };
+                PlanNode {
+                    op,
+                    mask,
+                    cost: cand.cost,
+                    card: groups,
+                    state,
+                    agg: mark,
+                    applied_fds: fds_out,
+                }
+            },
+            dc,
+        )
     }
 
     /// Final-aggregation alternatives for every complete plan (streaming
@@ -1026,22 +1375,27 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// final and pass through untouched.
     fn finalize_aggregates(&mut self, plans: &[PlanId], dc: &mut DecisionCounters) -> Vec<PlanId> {
         let keys = self.resolve_agg_key(self.query.effective_group_by().to_vec());
+        // At the root nothing remains outside the mask: the bound
+        // applies with a zero remainder.
+        let ub = self.bound;
         let mut view = ArenaView::new(&self.arena);
-        let mut out: Vec<PlanId> = Vec::new();
+        let mut out: ParetoSet<O::State> = ParetoSet::new();
         for &p in plans {
-            let node = view.node(p);
-            if node.agg.is_final() {
+            let (n_agg, n_card) = {
+                let n = view.node(p);
+                (n.agg, n.card)
+            };
+            if n_agg.is_final() {
                 // Group-join output: the aggregation already happened.
-                self.insert_pruned(&view, &mut out, p, dc);
+                self.try_insert_existing(&view, &mut out, ub, p, dc);
                 continue;
             }
-            let mark = node.agg.union(AggMark::FINAL);
-            let groups = self.final_group_count(node.card, &keys.attrs);
-            let agg = self.push_aggregate(&mut view, p, &keys, mark, groups, dc);
-            self.insert_pruned(&view, &mut out, agg, dc);
+            let mark = n_agg.union(AggMark::FINAL);
+            let groups = self.final_group_count(n_card, &keys.attrs);
+            self.try_push_aggregate(&mut view, &mut out, ub, p, &keys, mark, groups, dc);
         }
         let local = view.into_local();
-        self.commit(local, out)
+        self.commit(local, out.ids())
     }
 
     /// Aggregation-placement variants for one subset — the tentpole of
@@ -1061,8 +1415,9 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     fn add_placement_variants(
         &self,
         mask: &BitSet,
-        set: &mut Vec<PlanId>,
+        set: &mut ParetoSet<O::State>,
         view: &mut ArenaView<'_, O::State>,
+        ub: f64,
         dc: &mut DecisionCounters,
     ) {
         if !self.placement {
@@ -1089,26 +1444,32 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             return;
         }
         let keys = self.resolve_agg_key(key.attrs().to_vec());
-        let snapshot: Vec<PlanId> = set
-            .iter()
-            .copied()
-            .filter(|&p| view.node(p).agg.is_none())
+        let snapshot: Vec<(PlanId, f64)> = set
+            .members()
+            .filter(|m| m.agg.is_none())
+            .map(|m| (m.id, m.card))
             .collect();
-        for p in snapshot {
-            let groups = self.group_count(view.node(p).card, &keys.attrs);
-            let placed = self.push_aggregate(view, p, &keys, mark, groups, dc);
-            self.insert_pruned(view, set, placed, dc);
+        for (p, card) in snapshot {
+            let groups = self.group_count(card, &keys.attrs);
+            self.try_push_aggregate(view, set, ub, p, &keys, mark, groups, dc);
         }
     }
 
     /// Scan and index-scan plans for one relation, with constant-
-    /// predicate FDs applied and filter selectivities folded in.
+    /// predicate FDs applied and filter selectivities folded in —
+    /// inserted straight into the singleton's Pareto set. The cheapest
+    /// access path can never bust the bound (the bound provider's plan
+    /// pays at least that much for this relation), so the set is never
+    /// left empty; pricier index scans are bound-checked before their
+    /// state is produced.
     fn base_plans(
         &self,
         qrel: usize,
+        set: &mut ParetoSet<O::State>,
         view: &mut ArenaView<'_, O::State>,
+        ub: f64,
         dc: &mut DecisionCounters,
-    ) -> Vec<PlanId> {
+    ) {
         let rel = self.query.relations[qrel];
         let raw_card = self.catalog.relation(rel).cardinality;
         let mut sel = 1.0;
@@ -1137,7 +1498,6 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         let card = (raw_card * sel).max(1.0);
         let mask = self.query.relation_set(qrel);
 
-        let mut out = Vec::new();
         // Heap scan.
         dc.probes.produce += 1;
         let mut state = self.oracle.produce_empty();
@@ -1145,18 +1505,32 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             dc.probes.infer += 1;
             state = self.oracle.infer(state, f);
         }
-        out.push(view.push(PlanNode {
-            op: PlanOp::Scan { qrel },
-            mask: mask.clone(),
+        let scan = CandidatePlan {
             cost: cost::scan(raw_card),
             card,
             state,
             agg: AggMark::NONE,
-            applied_fds: fd_bits.clone(),
-        }));
+        };
+        self.try_insert(
+            view,
+            set,
+            ub,
+            scan,
+            || PlanNode {
+                op: PlanOp::Scan { qrel },
+                mask: mask.clone(),
+                cost: scan.cost,
+                card,
+                state,
+                agg: AggMark::NONE,
+                applied_fds: fd_bits.clone(),
+            },
+            dc,
+        );
         // Index scans (only when the index order is interesting —
         // otherwise the order information is useless for this query and
-        // the heap scan dominates).
+        // the heap scan dominates). Bound-checked before the state is
+        // produced: the cost needs no oracle.
         for (idx, index) in self.catalog.relation(rel).indexes.iter().enumerate() {
             let ordering = Ordering::new(index.key.clone());
             let Some(key) = self.oracle.resolve(&ordering) else {
@@ -1165,32 +1539,59 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             if !self.oracle.is_producible(key) {
                 continue;
             }
+            let ix_cost = cost::index_scan(raw_card, index.clustered);
+            if ix_cost > ub {
+                dc.pruning.bound_pruned += 1;
+                continue;
+            }
             dc.probes.produce += 1;
             let mut state = self.oracle.produce(key);
             for &f in &fds {
                 dc.probes.infer += 1;
                 state = self.oracle.infer(state, f);
             }
-            out.push(view.push(PlanNode {
-                op: PlanOp::IndexScan { qrel, index: idx },
-                mask: mask.clone(),
-                cost: cost::index_scan(raw_card, index.clustered),
+            let ix = CandidatePlan {
+                cost: ix_cost,
                 card,
                 state,
                 agg: AggMark::NONE,
-                applied_fds: fd_bits.clone(),
-            }));
+            };
+            self.try_insert(
+                view,
+                set,
+                ub,
+                ix,
+                || PlanNode {
+                    op: PlanOp::IndexScan { qrel, index: idx },
+                    mask: mask.clone(),
+                    cost: ix_cost,
+                    card,
+                    state,
+                    agg: AggMark::NONE,
+                    applied_fds: fd_bits.clone(),
+                },
+                dc,
+            );
         }
-        out
     }
 
     /// All join alternatives for the ordered partition (s1, s2).
+    ///
+    /// Prune-before-build: each plan combination is first tested
+    /// against the subset's cost upper bound with
+    /// [`cost::join_floor`] — a bust rejects every join alternative of
+    /// the combination before any oracle inference, FD-set clone or
+    /// node allocation happens. Survivors build stack-only
+    /// [`CandidatePlan`]s per alternative; [`try_insert`]
+    /// (Self::try_insert) materializes a node only after the bound and
+    /// arrival-dominance checks pass.
     fn emit_joins(
         &self,
         s1: &BitSet,
         s2: &BitSet,
-        set: &mut Vec<PlanId>,
+        set: &mut ParetoSet<O::State>,
         view: &mut ArenaView<'_, O::State>,
+        ub: f64,
         dc: &mut DecisionCounters,
     ) {
         let edges: Vec<usize> = self.graph.connecting_edges(s1, s2).collect();
@@ -1214,20 +1615,26 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
         for &p1 in left_plans {
             for &p2 in right_plans {
                 let n1 = view.node(p1);
-                let (c1, d1, st1) = (n1.cost, n1.card, n1.state);
-                let fd1 = n1.applied_fds.clone();
-                let mark1 = n1.agg;
+                let (c1, d1, st1, mark1) = (n1.cost, n1.card, n1.state, n1.agg);
                 let n2 = view.node(p2);
-                let (c2, d2) = (n2.cost, n2.card);
-                let fd2 = n2.applied_fds.clone();
-                let mark = mark1.union(n2.agg);
+                let (c2, d2, mark2) = (n2.cost, n2.card, n2.agg);
+                let mark = mark1.union(mark2);
                 let out_card = (d1 * d2 * sel).max(1.0);
+                // Pair-level bound check: no join operator over these
+                // two inputs can cost less than the floor, so a bust
+                // rejects the two unconditional alternatives (hash,
+                // nested-loop) at once — counted as such — and skips
+                // the conditional ones before any state is inferred.
+                if c1 + c2 + cost::join_floor(d1, d2, out_card) > ub {
+                    dc.pruning.bound_pruned += 2;
+                    continue;
+                }
                 // Property state: the probe/outer (left) side's
                 // orderings and groupings survive; all connecting
                 // predicates' equations now hold.
+                let mut fd_bits = view.node(p1).applied_fds.clone();
+                fd_bits.union_with(&view.node(p2).applied_fds);
                 let mut state = st1;
-                let mut fd_bits = fd1;
-                fd_bits.union_with(&fd2);
                 for &e in &edges {
                     let f = self.ex.join_fd[e];
                     dc.probes.infer += 1;
@@ -1250,70 +1657,113 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 }
                 // Hash join (on the first edge; the rest are residual
                 // predicates either way).
-                let hj = view.push(PlanNode {
-                    op: PlanOp::HashJoin {
-                        left: p1,
-                        right: p2,
-                        edge: edges[0],
-                    },
-                    mask: mask.clone(),
+                let hj = CandidatePlan {
                     cost: c1 + c2 + cost::hash_join(d1, d2, out_card),
                     card: out_card,
                     state,
                     agg: mark,
-                    applied_fds: fd_bits.clone(),
-                });
-                self.insert_pruned(view, set, hj, dc);
-                // Nested-loop join.
-                let nl = view.push(PlanNode {
-                    op: PlanOp::NestedLoopJoin {
-                        left: p1,
-                        right: p2,
+                };
+                self.try_insert(
+                    view,
+                    set,
+                    ub,
+                    hj,
+                    || PlanNode {
+                        op: PlanOp::HashJoin {
+                            left: p1,
+                            right: p2,
+                            edge: edges[0],
+                        },
+                        mask: mask.clone(),
+                        cost: hj.cost,
+                        card: hj.card,
+                        state,
+                        agg: mark,
+                        applied_fds: fd_bits.clone(),
                     },
-                    mask: mask.clone(),
+                    dc,
+                );
+                // Nested-loop join.
+                let nl = CandidatePlan {
                     cost: c1 + c2 + cost::nested_loop_join(d1, d2, out_card),
                     card: out_card,
                     state,
                     agg: mark,
-                    applied_fds: fd_bits.clone(),
-                });
-                self.insert_pruned(view, set, nl, dc);
+                };
+                self.try_insert(
+                    view,
+                    set,
+                    ub,
+                    nl,
+                    || PlanNode {
+                        op: PlanOp::NestedLoopJoin {
+                            left: p1,
+                            right: p2,
+                        },
+                        mask: mask.clone(),
+                        cost: nl.cost,
+                        card: nl.card,
+                        state,
+                        agg: mark,
+                        applied_fds: fd_bits.clone(),
+                    },
+                    dc,
+                );
                 // Group-join: the top join fused with the final
                 // aggregation, admissible when the probe side's groups
                 // are already adjacent — its properties, the schema FDs,
                 // and the join's own equations together make the join
                 // key (or whatever the probe is grouped by) functionally
                 // determine the group, which is exactly what the
-                // post-inference `state` answers in O(1).
+                // post-inference `state` answers in O(1). The bound is
+                // checked before the admission probes: a busted fused
+                // plan never reaches the oracle.
                 if at_root && self.placement && !mark.is_final() {
                     if let Some(agg) = &self.agg {
-                        let streaming_ok = agg.order_key.is_some_and(|k| {
-                            dc.probes.satisfies += 1;
-                            self.oracle.satisfies(state, k)
-                        }) || agg.group_key.is_some_and(|k| {
-                            dc.probes.satisfies += 1;
-                            self.oracle.satisfies_grouping(state, k)
-                        });
-                        if streaming_ok {
-                            let groups = self.group_count(out_card, &agg.group_by);
-                            let gj = view.push(PlanNode {
-                                op: PlanOp::GroupJoin {
-                                    left: p1,
-                                    right: p2,
-                                    edge: edges[0],
-                                },
-                                mask: mask.clone(),
-                                cost: c1 + c2 + cost::group_join(d1, d2, out_card),
-                                card: groups,
-                                state,
-                                agg: mark.union(AggMark::FINAL),
-                                applied_fds: fd_bits.clone(),
+                        let gj_cost = c1 + c2 + cost::group_join(d1, d2, out_card);
+                        if gj_cost > ub {
+                            dc.pruning.bound_pruned += 1;
+                        } else {
+                            let streaming_ok = agg.order_key.is_some_and(|k| {
+                                dc.probes.satisfies += 1;
+                                self.oracle.satisfies(state, k)
+                            }) || agg.group_key.is_some_and(|k| {
+                                dc.probes.satisfies += 1;
+                                self.oracle.satisfies_grouping(state, k)
                             });
-                            self.insert_pruned(view, set, gj, dc);
+                            if streaming_ok {
+                                let gj = CandidatePlan {
+                                    cost: gj_cost,
+                                    card: self.group_count(out_card, &agg.group_by),
+                                    state,
+                                    agg: mark.union(AggMark::FINAL),
+                                };
+                                self.try_insert(
+                                    view,
+                                    set,
+                                    ub,
+                                    gj,
+                                    || PlanNode {
+                                        op: PlanOp::GroupJoin {
+                                            left: p1,
+                                            right: p2,
+                                            edge: edges[0],
+                                        },
+                                        mask: mask.clone(),
+                                        cost: gj.cost,
+                                        card: gj.card,
+                                        state,
+                                        agg: gj.agg,
+                                        applied_fds: fd_bits.clone(),
+                                    },
+                                    dc,
+                                );
+                            }
                         }
                     }
                 }
-                // Merge joins: need both inputs sorted on the edge.
+                // Merge joins: need both inputs sorted on the edge. The
+                // bound is checked before the satisfies probes.
                 for &e in &edges {
                     let j = &self.query.joins[e];
                     let (la, ra) = if s1.contains(self.query.owner(j.left)) {
@@ -1327,6 +1777,11 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     ) else {
                         continue;
                     };
+                    let mj_cost = c1 + c2 + cost::merge_join(d1, d2, out_card);
+                    if mj_cost > ub {
+                        dc.pruning.bound_pruned += 1;
+                        continue;
+                    }
                     let st2 = view.node(p2).state;
                     dc.probes.satisfies += 1;
                     if !self.oracle.satisfies(st1, kl) {
@@ -1336,20 +1791,32 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                     if !self.oracle.satisfies(st2, kr) {
                         continue;
                     }
-                    let mj = view.push(PlanNode {
-                        op: PlanOp::MergeJoin {
-                            left: p1,
-                            right: p2,
-                            edge: e,
-                        },
-                        mask: mask.clone(),
-                        cost: c1 + c2 + cost::merge_join(d1, d2, out_card),
+                    let mj = CandidatePlan {
+                        cost: mj_cost,
                         card: out_card,
                         state,
                         agg: mark,
-                        applied_fds: fd_bits.clone(),
-                    });
-                    self.insert_pruned(view, set, mj, dc);
+                    };
+                    self.try_insert(
+                        view,
+                        set,
+                        ub,
+                        mj,
+                        || PlanNode {
+                            op: PlanOp::MergeJoin {
+                                left: p1,
+                                right: p2,
+                                edge: e,
+                            },
+                            mask: mask.clone(),
+                            cost: mj.cost,
+                            card: mj.card,
+                            state,
+                            agg: mark,
+                            applied_fds: fd_bits.clone(),
+                        },
+                        dc,
+                    );
                 }
             }
         }
@@ -1373,25 +1840,47 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     }
 
     /// Enforcer variants: for every producible interesting property
-    /// covered by `mask`, enforce it on the cheapest plan if nothing
-    /// satisfies it yet — a sort for orderings, a linear hash-group for
-    /// groupings (grouping-aware Pareto pruning keeps whichever
-    /// combinations survive). Enforcers operate on the unaggregated
-    /// ([`AggMark::NONE`]) class only: that keeps the class an exact
-    /// replica of the root-only-aggregation search (the guarantee that
-    /// placement can never lose), and placement variants stacked on top
-    /// of the enforced plans inherit their properties anyway.
+    /// covered by `mask`, a full enforcer on the cheapest unaggregated
+    /// plan — a sort for orderings, a linear hash-group for groupings —
+    /// plus a partial-sort alternative on whichever input makes it
+    /// cheapest (grouping-aware Pareto pruning keeps whichever
+    /// combinations survive).
+    ///
+    /// A variant is suppressed when some unaggregated member already
+    /// satisfies the target at a cost no higher than the variant's own
+    /// total — the *cost-window* rule. (The legacy rule skipped the
+    /// target as soon as *any* member satisfied it; the window form is
+    /// what keeps the bounded and unbounded searches identical: every
+    /// member inside a variant's cost window is bound-admissible
+    /// exactly when the variant is, so both modes reach the same
+    /// suppression decision — see "The pruning seam" in
+    /// ARCHITECTURE.md.) Surviving variants are bound-checked before
+    /// the enforcer state is produced.
+    ///
+    /// Enforcers operate on the unaggregated ([`AggMark::NONE`]) class
+    /// only: that keeps the class an exact replica of the
+    /// root-only-aggregation search (the guarantee that placement can
+    /// never lose), and placement variants stacked on top of the
+    /// enforced plans inherit their properties anyway.
     fn add_enforcer_variants(
         &self,
         mask: &BitSet,
-        set: &mut Vec<PlanId>,
+        set: &mut ParetoSet<O::State>,
         view: &mut ArenaView<'_, O::State>,
+        ub: f64,
         dc: &mut DecisionCounters,
     ) {
-        let Some(&cheapest) = set
-            .iter()
-            .filter(|&&p| view.node(p).agg.is_none())
-            .min_by(|&&a, &&b| view.node(a).cost.total_cmp(&view.node(b).cost))
+        // First-minimum over the unaggregated members. Never evicted
+        // later: every enforcer variant costs strictly more than its
+        // input.
+        let Some(cheapest) = set
+            .members()
+            .filter(|m| m.agg.is_none())
+            .fold(None::<(PlanId, f64)>, |best, m| match best {
+                Some((_, bc)) if bc <= m.cost => best,
+                _ => Some((m.id, m.cost)),
+            })
+            .map(|(id, _)| id)
         else {
             return;
         };
@@ -1401,65 +1890,92 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
             if !mask.is_superset(&self.targets[t].rel_mask) {
                 continue; // mentions relations outside this subset
             }
-            let satisfied = |oracle: &O, s: O::State, dc: &mut DecisionCounters| {
-                dc.probes.satisfies += 1;
-                if grouping {
-                    oracle.satisfies_grouping(s, key)
+            // Alive unaggregated members and their satisfaction of the
+            // target, snapshotted per target (earlier targets' variants
+            // compete here, as before): (id, cost, card, state, sat).
+            let members: Vec<(PlanId, f64, f64, O::State, bool)> = set
+                .members()
+                .filter(|m| m.agg.is_none())
+                .map(|m| {
+                    dc.probes.satisfies += 1;
+                    let sat = if grouping {
+                        self.oracle.satisfies_grouping(m.state, key)
+                    } else {
+                        self.oracle.satisfies(m.state, key)
+                    };
+                    (m.id, m.cost, m.card, m.state, sat)
+                })
+                .collect();
+            let (c, d) = {
+                let n = view.node(cheapest);
+                (n.cost, n.card)
+            };
+            let op_cost = if grouping {
+                cost::hash_group(d)
+            } else {
+                cost::sort(d)
+            };
+            let enforced_cost = c + op_cost;
+            let in_window =
+                |limit: f64| members.iter().any(|&(_, mc, _, _, sat)| sat && mc <= limit);
+            if !in_window(enforced_cost) {
+                if enforced_cost > ub {
+                    dc.pruning.bound_pruned += 1;
                 } else {
-                    oracle.satisfies(s, key)
+                    let fd_bits = view.node(cheapest).applied_fds.clone();
+                    dc.probes.produce += 1;
+                    let produced = if grouping {
+                        self.oracle.produce_grouping(key)
+                    } else {
+                        self.oracle.produce(key)
+                    };
+                    let state = self.replay_fds(produced, &fd_bits, dc);
+                    let cand = CandidatePlan {
+                        cost: enforced_cost,
+                        card: d,
+                        state,
+                        agg: AggMark::NONE,
+                    };
+                    let key_attrs = self.targets[t].attrs.clone();
+                    let won = self
+                        .try_insert(
+                            view,
+                            set,
+                            ub,
+                            cand,
+                            || PlanNode {
+                                op: if grouping {
+                                    PlanOp::HashGroup {
+                                        input: cheapest,
+                                        key: key_attrs,
+                                    }
+                                } else {
+                                    PlanOp::Sort {
+                                        input: cheapest,
+                                        key: key_attrs,
+                                    }
+                                },
+                                mask: mask.clone(),
+                                cost: enforced_cost,
+                                card: d,
+                                state,
+                                agg: AggMark::NONE,
+                                applied_fds: fd_bits,
+                            },
+                            dc,
+                        )
+                        .is_some();
+                    if grouping {
+                        dc.enforcers.hash_group_admitted += 1;
+                        dc.enforcers.hash_group_won += u64::from(won);
+                    } else {
+                        dc.enforcers.sort_admitted += 1;
+                        dc.enforcers.sort_won += u64::from(won);
+                    }
                 }
-            };
-            if set
-                .iter()
-                .filter(|&&p| view.node(p).agg.is_none())
-                .any(|&p| satisfied(self.oracle, view.node(p).state, dc))
-            {
-                continue;
-            }
-            let key_attrs = self.targets[t].attrs.clone();
-            let node = view.node(cheapest);
-            let (c, d) = (node.cost, node.card);
-            let fd_bits = node.applied_fds.clone();
-            dc.probes.produce += 1;
-            let (op, op_cost, produced) = if grouping {
-                (
-                    PlanOp::HashGroup {
-                        input: cheapest,
-                        key: key_attrs,
-                    },
-                    cost::hash_group(d),
-                    self.oracle.produce_grouping(key),
-                )
-            } else {
-                (
-                    PlanOp::Sort {
-                        input: cheapest,
-                        key: key_attrs,
-                    },
-                    cost::sort(d),
-                    self.oracle.produce(key),
-                )
-            };
-            let state = self.replay_fds(produced, &fd_bits, dc);
-            let enforced = view.push(PlanNode {
-                op,
-                mask: mask.clone(),
-                cost: c + op_cost,
-                card: d,
-                state,
-                agg: AggMark::NONE,
-                applied_fds: fd_bits,
-            });
-            let won = self.insert_pruned(view, set, enforced, dc);
-            if grouping {
-                dc.enforcers.hash_group_admitted += 1;
-                dc.enforcers.hash_group_won += u64::from(won);
-            } else {
-                dc.enforcers.sort_admitted += 1;
-                dc.enforcers.sort_won += u64::from(won);
             }
             // Partial-sort alternative for ordering targets: the best
-            // (input cost + partial-sort cost) over plans whose state
+            // (input cost + partial-sort cost) over members whose state
             // already satisfies a head grouping — typically *not* the
             // cheapest plan (a grouped plan costs a bit more but makes
             // the enforcement nearly free). The full sort above stays in
@@ -1468,54 +1984,76 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
                 continue;
             }
             let mut best: Option<(f64, PlanId, f64, usize)> = None;
-            for &p in set.iter() {
-                let n = view.node(p);
-                if !n.agg.is_none() || satisfied(self.oracle, n.state, dc) {
+            for &(id, mc, mcard, mstate, sat) in &members {
+                if sat {
                     continue;
                 }
                 let Some((ps_cost, covered)) = self.best_partial_sort(
-                    n.state,
-                    n.card,
+                    mstate,
+                    mcard,
                     &self.targets[t].attrs,
                     &self.targets[t].psort,
                     dc,
                 ) else {
                     continue;
                 };
-                let total = n.cost + ps_cost;
+                let total = mc + ps_cost;
                 if best.is_none_or(|(bt, ..)| total < bt) {
-                    best = Some((total, p, n.card, covered));
+                    best = Some((total, id, mcard, covered));
                 }
             }
             if let Some((total, input, card, covered)) = best {
+                if in_window(total) {
+                    continue;
+                }
+                if total > ub {
+                    dc.pruning.bound_pruned += 1;
+                    continue;
+                }
                 let fd_bits = view.node(input).applied_fds.clone();
                 dc.probes.produce += 1;
                 let state = self.replay_fds(self.oracle.produce(key), &fd_bits, dc);
-                let enforced = view.push(PlanNode {
-                    op: PlanOp::PartialSort {
-                        input,
-                        key: self.targets[t].attrs.clone(),
-                        head: self.targets[t].attrs[..covered].to_vec(),
-                    },
-                    mask: mask.clone(),
+                let cand = CandidatePlan {
                     cost: total,
                     card,
                     state,
                     agg: AggMark::NONE,
-                    applied_fds: fd_bits,
-                });
-                let won = self.insert_pruned(view, set, enforced, dc);
+                };
+                let won = self
+                    .try_insert(
+                        view,
+                        set,
+                        ub,
+                        cand,
+                        || PlanNode {
+                            op: PlanOp::PartialSort {
+                                input,
+                                key: self.targets[t].attrs.clone(),
+                                head: self.targets[t].attrs[..covered].to_vec(),
+                            },
+                            mask: mask.clone(),
+                            cost: total,
+                            card,
+                            state,
+                            agg: AggMark::NONE,
+                            applied_fds: fd_bits,
+                        },
+                        dc,
+                    )
+                    .is_some();
                 dc.enforcers.partial_sort_admitted += 1;
                 dc.enforcers.partial_sort_won += u64::from(won);
             }
         }
     }
 
-    /// Pareto insertion: drop the candidate if a cheaper-or-equal plan
-    /// property-dominates it; evict plans it dominates at lower-or-equal
-    /// cost. (The candidate is already allocated — pruned plans still
-    /// count toward `#Plans`, as in the paper, which counts the "time to
-    /// introduce one plan operator".)
+    /// Pareto insertion, prune-before-build: the candidate arrives as a
+    /// stack-only [`CandidatePlan`] and is materialized (via `build`)
+    /// only after it clears the cost bound and the arrival-dominance
+    /// test. Pruned candidates therefore cost no arena allocation —
+    /// `#Plans` counts plans that entered the table (including ones a
+    /// later candidate evicts), which is still "the time to introduce
+    /// one plan operator" for the work actually performed.
     ///
     /// Aggregation placement adds a comparability dimension: plans with
     /// different [`AggMark`]s compute different intermediate relations
@@ -1525,54 +2063,62 @@ impl<'a, O: OrderOracle> PlanGen<'a, O> {
     /// different row counts — the cheaper one is not better if it
     /// carries more rows into every operator above). Unaggregated plans
     /// of one subset all compute the same relation, so they keep the
-    /// classic cost-plus-property test bit-for-bit.
+    /// classic cost-plus-property test. The [`ParetoSet`] buckets make
+    /// the property half of the test one memoized probe per distinct
+    /// state instead of one oracle call per member.
     ///
-    /// Returns whether the candidate entered the set (`false` = it was
-    /// dominated on arrival) and charges the pruning outcome — plus one
-    /// `dominates` probe per Pareto comparison actually made — to the
-    /// candidate's comparability class in `dc`.
-    fn insert_pruned(
+    /// Returns the admitted plan's id, or `None` when the candidate was
+    /// bound-pruned or dominated on arrival.
+    fn try_insert(
+        &self,
+        view: &mut ArenaView<'_, O::State>,
+        set: &mut ParetoSet<O::State>,
+        ub: f64,
+        cand: CandidatePlan<O::State>,
+        build: impl FnOnce() -> PlanNode<O::State>,
+        dc: &mut DecisionCounters,
+    ) -> Option<PlanId> {
+        if cand.cost > ub {
+            dc.pruning.bound_pruned += 1;
+            return None;
+        }
+        if set.arrival_dominated(self.oracle, &cand, dc) {
+            return None;
+        }
+        let id = view.push(build());
+        set.admit(self.oracle, id, &cand, dc);
+        dc.pruning.kept[cand.agg.class_index()] += 1;
+        Some(id)
+    }
+
+    /// [`try_insert`](Self::try_insert) for a plan that already exists
+    /// in the arena (group-join passthrough at finalization): same
+    /// bound and dominance gates, no build. Returns whether the plan
+    /// entered the set.
+    fn try_insert_existing(
         &self,
         view: &ArenaView<'_, O::State>,
-        set: &mut Vec<PlanId>,
-        cand: PlanId,
+        set: &mut ParetoSet<O::State>,
+        ub: f64,
+        p: PlanId,
         dc: &mut DecisionCounters,
     ) -> bool {
-        let cand_node = view.node(cand);
-        let (c_cost, c_card, c_state, c_agg) = (
-            cand_node.cost,
-            cand_node.card,
-            cand_node.state,
-            cand_node.agg,
-        );
-        let class = c_agg.class_index();
-        let card_ok = |dom_card: f64, sub_card: f64| c_agg.is_none() || dom_card <= sub_card;
-        for &p in set.iter() {
-            let n = view.node(p);
-            if n.agg != c_agg || n.cost > c_cost || !card_ok(n.card, c_card) {
-                continue;
-            }
-            dc.probes.dominates += 1;
-            if self.oracle.dominates(n.state, c_state) {
-                dc.pruning.dominated[class] += 1;
-                return false;
-            }
+        let n = view.node(p);
+        let cand = CandidatePlan {
+            cost: n.cost,
+            card: n.card,
+            state: n.state,
+            agg: n.agg,
+        };
+        if cand.cost > ub {
+            dc.pruning.bound_pruned += 1;
+            return false;
         }
-        set.retain(|&p| {
-            let n = view.node(p);
-            if n.agg != c_agg || c_cost > n.cost || !card_ok(c_card, n.card) {
-                return true;
-            }
-            dc.probes.dominates += 1;
-            if self.oracle.dominates(c_state, n.state) {
-                dc.pruning.dominated[class] += 1;
-                false
-            } else {
-                true
-            }
-        });
-        set.push(cand);
-        dc.pruning.kept[class] += 1;
+        if set.arrival_dominated(self.oracle, &cand, dc) {
+            return false;
+        }
+        set.admit(self.oracle, p, &cand, dc);
+        dc.pruning.kept[cand.agg.class_index()] += 1;
         true
     }
 
@@ -1795,7 +2341,19 @@ mod tests {
         let ours = run_ours(&c, &q);
         let simmen = run_simmen(&c, &q);
         assert!((ours.cost - simmen.cost).abs() < 1e-6);
-        assert!(ours.stats.plans > 20);
+        // Prune-before-build: the bounded default materializes fewer
+        // plans than the unbounded search over the same space, at the
+        // exact same winning cost.
+        let ex = ofw_query::extract(&c, &q, &ExtractOptions::default());
+        let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+        let unbounded = PlanGen::new(&c, &q, &ex, &fw).cost_bounding(false).run();
+        assert_eq!(unbounded.cost.to_bits(), ours.cost.to_bits());
+        assert!(unbounded.stats.plans > 20);
+        assert!(ours.stats.plans <= unbounded.stats.plans);
+        assert!(
+            ours.stats.plans >= 11,
+            "4 base plans plus at least one plan per larger connected subset"
+        );
         assert!(ours.arena.tree_size(ours.best) >= 7, "4 scans + 3 joins");
     }
 

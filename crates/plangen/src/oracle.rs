@@ -93,6 +93,13 @@ pub trait OrderOracle {
 
     /// Property-wise plan domination (`a` at least as ordered/grouped as
     /// `b`).
+    ///
+    /// Contract: domination is **reflexive** — `dominates(s, s)` must be
+    /// `true` for every state. The DP's bucketed Pareto sets rely on it:
+    /// two plans carrying the *same* state handle are compared on cost
+    /// alone, without calling the oracle (counted as
+    /// `dominance_memo_hits`, not probes). All three arms short-circuit
+    /// `a == b` today; a new oracle must too.
     fn dominates(&self, a: Self::State, b: Self::State) -> bool;
 
     /// Bytes of order-annotation storage for `plan_nodes` plan nodes,

@@ -250,6 +250,25 @@ pub struct PlanNode<S> {
     pub applied_fds: SmallBitSet,
 }
 
+/// A candidate plan *before* materialization: the four scalars the
+/// branch-and-bound and Pareto checks need, on the stack. The DP builds
+/// one of these per alternative, runs the cost bound and the
+/// arrival-dominance test against it, and only constructs the full
+/// [`PlanNode`] (operator, mask clone, FD mask clone — the heap work)
+/// for survivors. That is what keeps `#Plans` ≈ plans kept instead of
+/// plans imagined.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CandidatePlan<S> {
+    /// Cumulative cost estimate.
+    pub cost: f64,
+    /// Output cardinality estimate.
+    pub card: f64,
+    /// Order-oracle state.
+    pub state: S,
+    /// Aggregation comparability class.
+    pub agg: AggMark,
+}
+
 /// The arena.
 #[derive(Clone, Debug, Default)]
 pub struct PlanArena<S> {

@@ -1,0 +1,187 @@
+//! Cost-bounded pruning must be invisible in the answer: for every
+//! workload shape, oracle arm and driver, the bounded search picks a
+//! winner with the **same rendered plan tree and bit-identical cost**
+//! as the unbounded search. Only the amount of work (plans
+//! materialized, oracle probes, candidates bound-pruned) may differ.
+//!
+//! This is the black-box pin behind the mode-stability argument in
+//! `dp/mod.rs`: the Pareto table under bounding is exactly the
+//! unbounded table intersected with the bound-admissible plans, and
+//! ties are kept (strict-inequality rejection), so every optimum-tying
+//! plan survives and the deterministic tie-break picks the same winner.
+//!
+//! Protocol per arm: the unbounded serial run goes first on the shared
+//! oracle instance (warming the memoizing oracles so state handles are
+//! stable), then the bounded serial run and bounded pool runs at 1, 2
+//! and 8 threads are compared against it.
+
+use proptest::prelude::*;
+use std::fmt::Debug;
+
+use ofw_catalog::Catalog;
+use ofw_core::{OrderingFramework, PruneConfig};
+use ofw_parallel::ThreadPool;
+use ofw_plangen::{ExplicitOracle, OrderOracle, PlanGen, PlanGenResult};
+use ofw_query::extract::ExtractOptions;
+use ofw_query::Query;
+use ofw_workload::{
+    grouping_query, large_query, random_query, GroupingQueryConfig, LargeQueryConfig,
+    RandomQueryConfig, Topology,
+};
+
+/// The observable answer: the winner's rendered operator tree plus the
+/// exact cost bits. Deliberately *not* the full arena — bounding exists
+/// to materialize fewer plans, so plan tables legitimately differ.
+fn winner<S: Copy + Debug>(catalog: &Catalog, query: &Query, r: &PlanGenResult<S>) -> String {
+    format!(
+        "{}\ncost={:016x}",
+        r.arena.render(r.best, &|i| catalog
+            .relation(query.relations[i])
+            .name
+            .clone()),
+        r.cost.to_bits()
+    )
+}
+
+fn assert_arm_bounding_invisible<O>(label: &str, catalog: &Catalog, query: &Query, oracle: &O)
+where
+    O: OrderOracle + Sync,
+    O::Key: Sync,
+    O::State: Send + Sync + Debug,
+{
+    let ex = ofw_query::extract(catalog, query, &ExtractOptions::default());
+
+    // Unbounded serial reference (also the oracle warm-up run).
+    let unbounded = PlanGen::new(catalog, query, &ex, oracle)
+        .cost_bounding(false)
+        .run();
+    let reference = winner(catalog, query, &unbounded);
+    assert_eq!(unbounded.stats.decisions.pruning.bound_pruned, 0, "{label}");
+
+    let bounded = PlanGen::new(catalog, query, &ex, oracle).run();
+    assert_eq!(
+        winner(catalog, query, &bounded),
+        reference,
+        "{label}: bounding changed the serial winner"
+    );
+    assert!(
+        bounded.stats.plans <= unbounded.stats.plans,
+        "{label}: bounding must never materialize more plans \
+         ({} vs {})",
+        bounded.stats.plans,
+        unbounded.stats.plans
+    );
+
+    for threads in [1usize, 2, 8] {
+        let pool = ThreadPool::new(threads);
+        let r = PlanGen::new(catalog, query, &ex, oracle).run_with(&pool);
+        assert_eq!(
+            winner(catalog, query, &r),
+            reference,
+            "{label}: bounding changed the winner at {threads} threads"
+        );
+        assert_eq!(
+            r.stats.plans, bounded.stats.plans,
+            "{label}: thread count changed the bounded plan table size"
+        );
+    }
+}
+
+fn check_query(catalog: &Catalog, query: &Query) {
+    let ex = ofw_query::extract(catalog, query, &ExtractOptions::default());
+    let dfsm = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+    assert_arm_bounding_invisible("dfsm", catalog, query, &dfsm);
+    let simmen = ofw_simmen::SimmenFramework::prepare(&ex.spec);
+    assert_arm_bounding_invisible("simmen", catalog, query, &simmen);
+    let explicit = ExplicitOracle::prepare(&ex.spec);
+    assert_arm_bounding_invisible("explicit", catalog, query, &explicit);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random join queries: bounded and unbounded searches agree for
+    /// all three oracle arms at every thread count.
+    #[test]
+    fn bounding_never_changes_join_plans(seed in 0u64..1000, extra in 0usize..2) {
+        let (catalog, query) = random_query(&RandomQueryConfig {
+            num_relations: 5,
+            extra_edges: extra,
+            seed,
+        });
+        check_query(&catalog, &query);
+    }
+
+    /// Grouping queries (group by / distinct): same guarantee through
+    /// the aggregation-placement and finalize paths.
+    #[test]
+    fn bounding_never_changes_grouping_plans(seed in 0u64..1000) {
+        let (catalog, query) = grouping_query(&GroupingQueryConfig {
+            num_relations: 5,
+            extra_edges: 1,
+            seed,
+        });
+        check_query(&catalog, &query);
+    }
+
+    /// Structured topologies — chains, stars and cycles: the shapes
+    /// where the greedy bound provider is respectively near-perfect,
+    /// adversarial (hub joins), and forced around a cycle.
+    #[test]
+    fn bounding_never_changes_topology_plans(seed in 0u64..1000, shape in 0usize..3) {
+        let topology = [Topology::Chain, Topology::Star, Topology::Cycle][shape];
+        let (catalog, query) = large_query(&LargeQueryConfig {
+            topology,
+            num_relations: 7,
+            seed,
+        });
+        check_query(&catalog, &query);
+    }
+}
+
+/// The acceptance workload: on a 20-relation chain the bound must
+/// actually fire (work pruned, not just allowed to be), while the
+/// winner stays bit-identical to the unbounded search.
+#[test]
+fn chain_20_bound_fires_and_winner_is_identical() {
+    let (catalog, query) = large_query(&LargeQueryConfig {
+        topology: Topology::Chain,
+        num_relations: 20,
+        seed: 42,
+    });
+    let ex = ofw_query::extract(&catalog, &query, &ExtractOptions::default());
+    let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+
+    let bounded = PlanGen::new(&catalog, &query, &ex, &fw).run();
+    let unbounded = PlanGen::new(&catalog, &query, &ex, &fw)
+        .cost_bounding(false)
+        .run();
+
+    assert_eq!(unbounded.cost.to_bits(), bounded.cost.to_bits());
+    assert_eq!(
+        winner(&catalog, &query, &bounded),
+        winner(&catalog, &query, &unbounded)
+    );
+    assert!(
+        bounded.stats.decisions.pruning.bound_pruned > 1000,
+        "the bound barely fired on chain-20: {}",
+        bounded.stats.decisions.pruning.bound_pruned
+    );
+    assert!(
+        bounded.stats.plans <= unbounded.stats.plans,
+        "bounding must never materialize more plans: {} vs {}",
+        bounded.stats.plans,
+        unbounded.stats.plans
+    );
+    // The bucketed sets answer the overwhelming majority of dominance
+    // checks from the per-union memo / state equality instead of oracle
+    // probes — that, not the bound, is where chain-20's probe budget
+    // goes (the bound's job is to skip candidate *construction*).
+    let d = &bounded.stats.decisions;
+    assert!(
+        d.probes.dominance_memo_hits > d.probes.dominates,
+        "memo hits ({}) should dwarf residual dominance probes ({})",
+        d.probes.dominance_memo_hits,
+        d.probes.dominates
+    );
+}

@@ -157,22 +157,46 @@ fn phase_stats_are_always_populated() {
     let r = PlanGen::new(&catalog, &query, &ex, &fw).run();
 
     let names: Vec<&str> = r.stats.phases.iter().map(|p| p.name.as_str()).collect();
-    assert_eq!(names.first(), Some(&"base"));
-    assert_eq!(names.get(1), Some(&"enumerate"));
+    assert_eq!(names.first(), Some(&"bound"), "bound provider runs first");
+    assert_eq!(names.get(1), Some(&"base"));
+    assert_eq!(names.get(2), Some(&"enumerate"));
     assert_eq!(names.last(), Some(&"pick_final"));
     assert!(names.contains(&"layer 2"), "no layer phases in {names:?}");
 
     // Decision counters saw real work on every axis.
     let d = &r.stats.decisions;
     assert!(d.pruning.kept_total() > 0);
+    assert!(d.pruning.bound_pruned > 0, "the bound never fired");
     assert!(d.probes.total() > 0);
     assert!(d.enforcers.admitted_total() > 0);
-    // The per-phase ledger sums to the run totals.
-    let summed: u64 = r
+    // The per-phase ledger sums to the run totals on *every* decision
+    // axis — kept, dominated, bound_pruned, each probe family (memo
+    // hits included) and each enforcer counter. This is the pin that
+    // pruning work is charged to exactly one phase: a double-charge
+    // (e.g. to a layer *and* its unions) would break the equality.
+    let mut summed = ofw_obs::DecisionCounters::default();
+    for p in &r.stats.phases {
+        summed.merge(&p.decisions);
+    }
+    assert_eq!(&summed, d);
+
+    // With bounding off, the bound phase disappears and nothing is
+    // bound-pruned — and the ledger still sums exactly.
+    let unbounded = PlanGen::new(&catalog, &query, &ex, &fw)
+        .cost_bounding(false)
+        .run();
+    let names: Vec<&str> = unbounded
         .stats
         .phases
         .iter()
-        .map(|p| p.decisions.pruning.kept_total())
-        .sum();
-    assert_eq!(summed, d.pruning.kept_total());
+        .map(|p| p.name.as_str())
+        .collect();
+    assert_eq!(names.first(), Some(&"base"));
+    assert_eq!(unbounded.stats.decisions.pruning.bound_pruned, 0);
+    assert_eq!(unbounded.cost.to_bits(), r.cost.to_bits());
+    let mut summed = ofw_obs::DecisionCounters::default();
+    for p in &unbounded.stats.phases {
+        summed.merge(&p.decisions);
+    }
+    assert_eq!(&summed, &unbounded.stats.decisions);
 }

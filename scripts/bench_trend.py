@@ -5,6 +5,13 @@ plan-time regressions.
 
 Usage:
     python3 scripts/bench_trend.py [--update] BENCH_a.json [BENCH_b.json ...]
+    python3 scripts/bench_trend.py --record
+
+`--record` rebuilds the release table binaries, runs every baselined
+configuration (the `--smoke` sweeps plus the default-argument tables)
+in a temporary directory, and installs the produced BENCH files as the
+new committed baselines in one pass — the one way to re-baseline after
+a legitimate optimizer change that shifts the deterministic counters.
 
 For every file, rows are matched against the baseline rows by their
 *deterministic identity* — every field that is not a wall-clock
@@ -62,7 +69,7 @@ TIME_SUFFIXES = ("_ms", "_us")
 # not checked. The `_pct` suffix covers the observability table's
 # overhead and per-phase time shares — ratios of wall-clock times, so
 # pure noise across machines and runs.
-VOLATILE = {"speedup", "memory_bytes", "avail_threads"}
+VOLATILE = {"speedup", "memory_bytes", "avail_threads", "degraded"}
 VOLATILE_SUFFIXES = ("_pct",)
 # Deterministic work counters: machine-independent, so enforced on every
 # machine. Excluded from identity (else a counter change would just
@@ -93,7 +100,22 @@ COUNTERS = {
     "dfsm_states_materialized",
     "probes",
     "prep_interned_hits",
+    # Branch-and-bound DP: candidates rejected by the cost upper bound
+    # and dominance checks answered without an oracle probe.
+    "bound_pruned",
+    "dominance_memo_hits",
+    # Allocation pressure from the counting global allocator — not
+    # wall-clock, so enforced like any other deterministic work counter
+    # (modulo ALLOCS_JITTER below).
+    "allocs",
 }
+# The allocation counter is process-global, so a handful of allocations
+# of ambient jitter (environment lookups, IO buffering, thread startup)
+# leak into every row. Changes within this band — whichever of the
+# absolute or relative floor is larger — are ignored outright; beyond
+# it, `allocs` is enforced like any deterministic counter.
+ALLOCS_JITTER_ABS = 64
+ALLOCS_JITTER_REL = 0.02
 
 
 def is_time_field(key):
@@ -185,10 +207,14 @@ def check_file(path, threshold_pct):
             )
             continue
         label = json.dumps(identity_label(row))[:120]
+        # Rows flagged `degraded` measured threads the machine cannot
+        # actually run in parallel — their times are scheduling
+        # overhead, not work, so only their counters are compared.
+        row_degraded = isinstance(row, dict) and row.get("degraded") == 1
         found_times, found_counters = [], []
         compare_rows(row, base, "", threshold_pct, found_times, found_counters)
         for field, old_value, new_value, growth_pct in found_times:
-            if skip_times:
+            if skip_times or row_degraded:
                 continue
             message = (
                 f"{path}: {field} {old_value:.2f} -> {new_value:.2f} "
@@ -228,6 +254,10 @@ def compare_rows(new, old, prefix, threshold_pct, out_times, out_counters):
                     and isinstance(old_value, (int, float))
                     and value != old_value
                 ):
+                    if key == "allocs" and abs(value - old_value) <= max(
+                        ALLOCS_JITTER_ABS, ALLOCS_JITTER_REL * old_value
+                    ):
+                        continue
                     growth_pct = 100.0 * (value - old_value) / max(old_value, 1)
                     out_counters.append((prefix + key, old_value, value, growth_pct))
             elif isinstance(value, (dict, list)):
@@ -246,7 +276,53 @@ def identity_label(row):
     return label
 
 
+# Every baselined configuration: (binary, arguments, output file) —
+# exactly the invocations CI's "Table-binary smoke" step runs, kept in
+# one place so `--record` cannot drift from what CI compares against.
+RECORD_BINS = [
+    ("table_hypergraph", ["--smoke"], "BENCH_hypergraph.json"),
+    ("table_parallel", ["--smoke"], "BENCH_parallel.json"),
+    ("table_prepare", ["--smoke"], "BENCH_prepare.json"),
+    ("table_trace", ["--smoke"], "BENCH_trace.json"),
+    ("table_groupjoin", ["2", "3"], "BENCH_groupjoin.json"),
+    ("table_partialsort", ["3", "3"], "BENCH_partialsort.json"),
+    ("table_grouping", ["2", "5"], "BENCH_table_grouping.json"),
+    ("table_prep_q8", [], "BENCH_table_prep_q8.json"),
+]
+
+
+def record():
+    """Rebuilds the release binaries, runs every baselined
+    configuration, and installs the outputs as the new baselines."""
+    import subprocess
+    import tempfile
+
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    subprocess.run(
+        ["cargo", "build", "--release", "-p", "ofw-bench", "--bins"],
+        cwd=repo,
+        check=True,
+    )
+    os.makedirs(BASELINE_DIR, exist_ok=True)
+    with tempfile.TemporaryDirectory() as tmp:
+        for bin_name, bin_args, out in RECORD_BINS:
+            exe = os.path.join(repo, "target", "release", bin_name)
+            print(f"recording {out}: {bin_name} {' '.join(bin_args)}".rstrip())
+            subprocess.run(
+                [exe, *bin_args], cwd=tmp, check=True, stdout=subprocess.DEVNULL
+            )
+            produced = os.path.join(tmp, out)
+            if not os.path.exists(produced):
+                print(f"error: {bin_name} did not write {out}", file=sys.stderr)
+                return 2
+            shutil.copyfile(produced, os.path.join(BASELINE_DIR, out))
+            print(f"baselined {out}")
+    return 0
+
+
 def main(argv):
+    if argv[1:] == ["--record"]:
+        return record()
     args = [a for a in argv[1:] if a != "--update"]
     update = "--update" in argv[1:]
     if not args:
