@@ -1,0 +1,538 @@
+//! EX1 — the executor table: DP winners of the differential harness's
+//! workload families *executed* by the morsel-driven vectorized engine
+//! on statistics-shaped columns, serial and pooled, with execution
+//! wall-clock and throughput printed next to the plan time the other
+//! tables track. Each cell self-checks: the DP plan's result signature
+//! must equal the canonical reference plan's, and the pooled run must
+//! be byte-identical to the serial one.
+//!
+//! Ends with the cost-model calibration table: micro-plans that isolate
+//! one operator each, timed over the same generator, so the measured
+//! nanoseconds per cost unit show how uniform (or not) the abstract
+//! cost model's currency is across operators.
+//!
+//! Usage: `table_exec [--smoke|--full]` (default: a mid-size sweep;
+//! `--smoke` shrinks rows for CI, `--full` scales to 10^6..10^7-row
+//! base relations).
+
+use std::time::{Duration, Instant};
+
+use ofw_catalog::Catalog;
+use ofw_common::SerialExecutor;
+use ofw_core::{OrderingFramework, PruneConfig};
+use ofw_exec::{
+    execute_plan, execute_serial, reference_plan, result_signature, ExecOptions, ExecStats,
+};
+use ofw_obs::Trace;
+use ofw_parallel::ThreadPool;
+use ofw_plangen::plan::AggMark;
+use ofw_plangen::{cost, PlanArena, PlanGen, PlanId, PlanNode, PlanOp};
+use ofw_query::extract::ExtractOptions;
+use ofw_query::{AggCall, AggFunc, Query, QueryBuilder};
+use ofw_workload::{
+    generate_columns, grouping_query, random_query, star_agg_query, DataConfig,
+    GroupingQueryConfig, RandomQueryConfig, StarAggConfig,
+};
+
+/// Run mode: how large the generated base relations are.
+#[derive(Clone, Copy)]
+struct Mode {
+    name: &'static str,
+    /// [`DataConfig`] shape for the workload cells.
+    scale: f64,
+    min_rows: usize,
+    max_rows: usize,
+    /// Base rows for the single-relation calibration micro-plans.
+    calib_rows: usize,
+    /// Rows per side for the join calibration micro-plans.
+    calib_join_rows: usize,
+    /// Rows per side for the nested-loop micro-plan (quadratic!).
+    calib_nl_rows: usize,
+}
+
+const SMOKE: Mode = Mode {
+    name: "smoke",
+    scale: 0.02,
+    min_rows: 2_000,
+    max_rows: 20_000,
+    calib_rows: 100_000,
+    calib_join_rows: 50_000,
+    calib_nl_rows: 1_000,
+};
+const DEFAULT: Mode = Mode {
+    name: "default",
+    scale: 0.2,
+    min_rows: 20_000,
+    max_rows: 200_000,
+    calib_rows: 500_000,
+    calib_join_rows: 200_000,
+    calib_nl_rows: 3_000,
+};
+const FULL: Mode = Mode {
+    name: "full",
+    scale: 2.0,
+    min_rows: 200_000,
+    max_rows: 10_000_000,
+    calib_rows: 2_000_000,
+    calib_join_rows: 1_000_000,
+    calib_nl_rows: 8_000,
+};
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Total rows pushed through all operators — the engine's work measure.
+fn processed_rows(stats: &ExecStats) -> u64 {
+    stats.ops.values().map(|s| s.rows).sum()
+}
+
+/// One workload cell: plan with the DFSM arm, execute serial + pooled,
+/// self-check against the reference plan, return the JSON row.
+fn workload_cell(
+    family: &str,
+    catalog: &Catalog,
+    query: &Query,
+    mode: &Mode,
+    data_seed: u64,
+    pool: &ThreadPool,
+) -> ofw_bench::json::Obj {
+    let ex = ofw_query::extract(catalog, query, &ExtractOptions::default());
+    let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+    let plan_start = Instant::now();
+    let r = PlanGen::new(catalog, query, &ex, &fw).run();
+    let plan_time = plan_start.elapsed();
+
+    let data = generate_columns(
+        catalog,
+        query,
+        &DataConfig {
+            scale: mode.scale,
+            min_rows: mode.min_rows,
+            max_rows: mode.max_rows,
+            domain_cap: None,
+            seed: data_seed,
+        },
+    );
+    let base_rows: usize = data.iter().map(|cols| cols[0].len()).sum();
+
+    let opts = ExecOptions::default();
+    let exec_start = Instant::now();
+    let (out, stats) = execute_plan(
+        &r.arena,
+        r.best,
+        catalog,
+        query,
+        &data,
+        &SerialExecutor,
+        &opts,
+        &Trace::disabled(),
+    )
+    .unwrap_or_else(|e| panic!("{family}: serial execution failed: {e}"));
+    let serial_time = exec_start.elapsed();
+
+    let pool_start = Instant::now();
+    let (pooled_out, pooled_stats) = execute_plan(
+        &r.arena,
+        r.best,
+        catalog,
+        query,
+        &data,
+        pool,
+        &opts,
+        &Trace::disabled(),
+    )
+    .unwrap_or_else(|e| panic!("{family}: pooled execution failed: {e}"));
+    let pool_time = pool_start.elapsed();
+    assert_eq!(
+        pooled_out, out,
+        "{family}: pooled output not byte-identical"
+    );
+    assert_eq!(pooled_stats, stats, "{family}: pooled counters diverge");
+
+    // Differential self-check: the DP winner answers the query exactly
+    // like the canonical reference plan.
+    let (ref_arena, ref_root) = reference_plan(query);
+    let (ref_out, _) = execute_serial(&ref_arena, ref_root, catalog, query, &data)
+        .unwrap_or_else(|e| panic!("{family}: reference plan failed: {e}"));
+    assert_eq!(
+        result_signature(query, &out),
+        result_signature(query, &ref_out),
+        "{family}: DP plan result diverges from the reference plan"
+    );
+
+    let proc = processed_rows(&stats);
+    let rows_per_sec = proc as f64 / serial_time.as_secs_f64();
+    println!(
+        "{:<14} {:>9} {:>9} | {:>8.2} | {:>9.2} {:>9.2} {:>7.1}M | {:>7} {:>6}",
+        family,
+        base_rows,
+        stats.rows_out,
+        ms(plan_time),
+        ms(serial_time),
+        ms(pool_time),
+        rows_per_sec / 1e6,
+        stats.morsels,
+        stats.op_batches(),
+    );
+    ofw_bench::json::Obj::new()
+        .str("family", family)
+        .int("base_rows", base_rows)
+        .int("rows_out", stats.rows_out as usize)
+        .int("morsels", stats.morsels as usize)
+        .int("op_batches", stats.op_batches() as usize)
+        .num("plan_ms", ms(plan_time))
+        .num("exec_serial_ms", ms(serial_time))
+        .num("exec_pool_ms", ms(pool_time))
+        .num("rows_per_sec", rows_per_sec)
+}
+
+/// A single-relation grouping fixture for the calibration micro-plans.
+fn calib_single(rows: usize, seed: u64) -> (Catalog, Query, Vec<Vec<Vec<i64>>>) {
+    let mut catalog = Catalog::new();
+    let rel = catalog.add_relation("r0", rows as f64, &["g", "v"]);
+    catalog.set_distinct_values(catalog.attr("r0.g"), (rows as f64 / 64.0).max(2.0));
+    let mut query = Query::new();
+    query.add_relation(&catalog, rel);
+    query.group_by = vec![catalog.attr("r0.g")];
+    query.aggregates = vec![
+        AggCall {
+            func: AggFunc::Sum,
+            input: Some(catalog.attr("r0.v")),
+        },
+        AggCall {
+            func: AggFunc::Count,
+            input: None,
+        },
+    ];
+    let data = generate_columns(
+        &catalog,
+        &query,
+        &DataConfig {
+            scale: 1.0,
+            min_rows: rows,
+            max_rows: rows,
+            domain_cap: None,
+            seed,
+        },
+    );
+    (catalog, query, data)
+}
+
+/// A two-relation equi-join fixture (`r0.k = r1.k`), keys shaped so the
+/// join output is a small multiple of the input.
+fn calib_join(rows: usize, seed: u64) -> (Catalog, Query, Vec<Vec<Vec<i64>>>) {
+    let mut catalog = Catalog::new();
+    catalog.add_relation("r0", rows as f64, &["a", "k"]);
+    catalog.add_relation("r1", rows as f64, &["k2", "b"]);
+    let distinct = (rows as f64 / 4.0).max(2.0);
+    catalog.set_distinct_values(catalog.attr("r0.k"), distinct);
+    catalog.set_distinct_values(catalog.attr("r1.k2"), distinct);
+    let query = QueryBuilder::new(&catalog)
+        .relation("r0")
+        .relation("r1")
+        .join("r0.k", "r1.k2", 1.0 / distinct)
+        .build();
+    let data = generate_columns(
+        &catalog,
+        &query,
+        &DataConfig {
+            scale: 1.0,
+            min_rows: rows,
+            max_rows: rows,
+            domain_cap: None,
+            seed,
+        },
+    );
+    (catalog, query, data)
+}
+
+/// Builds a tiny hand-rolled arena: each closure gets the ids pushed so
+/// far and returns the next operator.
+#[allow(clippy::type_complexity)]
+fn micro_plan(query: &Query, ops: &[&dyn Fn(&[PlanId]) -> PlanOp]) -> (PlanArena<()>, PlanId) {
+    let mut arena: PlanArena<()> = PlanArena::new();
+    let mut ids: Vec<PlanId> = Vec::new();
+    for op in ops {
+        let op = op(&ids);
+        let mask = match &op {
+            PlanOp::Scan { qrel } | PlanOp::IndexScan { qrel, .. } => query.relation_set(*qrel),
+            _ => query.all_relations_set(),
+        };
+        ids.push(arena.push(PlanNode {
+            op,
+            mask,
+            cost: 0.0,
+            card: 0.0,
+            state: (),
+            agg: AggMark::NONE,
+            applied_fds: Default::default(),
+        }));
+    }
+    let root = *ids.last().unwrap();
+    (arena, root)
+}
+
+/// One calibration row: execute the micro-plan serially, compare the
+/// measured wall-clock against the abstract cost units of the *whole*
+/// plan (computed from actual cardinalities, like the cost model would
+/// with perfect estimates).
+fn calibration_row(
+    op_name: &str,
+    catalog: &Catalog,
+    query: &Query,
+    data: &[Vec<Vec<i64>>],
+    arena: &PlanArena<()>,
+    root: PlanId,
+    units: &dyn Fn(u64) -> f64,
+) -> ofw_bench::json::Obj {
+    let rows_in: usize = data.iter().map(|cols| cols[0].len()).sum();
+    let start = Instant::now();
+    let (out, stats) = execute_serial(arena, root, catalog, query, data)
+        .unwrap_or_else(|e| panic!("calibration {op_name}: {e}"));
+    let time = start.elapsed();
+    let cost_units = units(out.num_rows() as u64);
+    let proc = processed_rows(&stats);
+    let rows_per_sec = proc as f64 / time.as_secs_f64();
+    let ns_per_unit = time.as_secs_f64() * 1e9 / cost_units;
+    println!(
+        "{:<12} {:>9} {:>9} | {:>12.0} {:>9.2} | {:>7.1}M {:>8.1}",
+        op_name,
+        rows_in,
+        out.num_rows(),
+        cost_units,
+        ms(time),
+        rows_per_sec / 1e6,
+        ns_per_unit,
+    );
+    ofw_bench::json::Obj::new()
+        .str("op", op_name)
+        .int("rows_in", rows_in)
+        .int("rows_out", out.num_rows())
+        .int("morsels", stats.morsels as usize)
+        .int("op_batches", stats.op_batches() as usize)
+        .num("cost_units", cost_units)
+        .num("exec_ms", ms(time))
+        .num("rows_per_sec", rows_per_sec)
+        .num("ns_per_unit", ns_per_unit)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = match args.get(1).map(String::as_str) {
+        Some("--smoke") => SMOKE,
+        Some("--full") => FULL,
+        _ => DEFAULT,
+    };
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8);
+    let pool = ThreadPool::new(threads);
+    println!(
+        "Vectorized execution — morsel-driven DP winners, {} mode, pool of {threads}",
+        mode.name
+    );
+    println!();
+    println!(
+        "{:<14} {:>9} {:>9} | {:>8} | {:>9} {:>9} {:>8} | {:>7} {:>6}",
+        "family",
+        "base rows",
+        "rows out",
+        "plan ms",
+        "serial ms",
+        "pool ms",
+        "Mrows/s",
+        "morsels",
+        "batch"
+    );
+    let mut sink =
+        ofw_bench::json::BenchSink::with_meta("exec", |meta| meta.str("mode", mode.name));
+
+    let (catalog, query) = random_query(&RandomQueryConfig {
+        num_relations: 4,
+        extra_edges: 0,
+        seed: 1,
+    });
+    sink.push(workload_cell(
+        "chain-4", &catalog, &query, &mode, 101, &pool,
+    ));
+    let (catalog, query) = random_query(&RandomQueryConfig {
+        num_relations: 5,
+        extra_edges: 2,
+        seed: 2,
+    });
+    sink.push(workload_cell(
+        "cyclic-5", &catalog, &query, &mode, 102, &pool,
+    ));
+    let (catalog, query) = star_agg_query(&StarAggConfig {
+        dimensions: 3,
+        seed: 3,
+    });
+    sink.push(workload_cell(
+        "star-agg-3",
+        &catalog,
+        &query,
+        &mode,
+        103,
+        &pool,
+    ));
+    let (catalog, query) = grouping_query(&GroupingQueryConfig {
+        num_relations: 4,
+        extra_edges: 0,
+        seed: 4,
+    });
+    sink.push(workload_cell(
+        "grouping-4",
+        &catalog,
+        &query,
+        &mode,
+        104,
+        &pool,
+    ));
+    println!();
+    println!("serial/pool = vectorized execution wall-clock at 1/{threads} threads;");
+    println!("Mrows/s = total operator-processed rows per serial second; every cell");
+    println!("self-checks DP-vs-reference result signatures and pooled byte identity.");
+    println!();
+
+    // The calibration table: one isolated operator per micro-plan,
+    // measured ns per abstract cost unit. A perfectly calibrated model
+    // would show one constant down this column.
+    println!("Cost-model calibration ({} mode):", mode.name);
+    println!(
+        "{:<12} {:>9} {:>9} | {:>12} {:>9} | {:>8} {:>8}",
+        "operator", "rows in", "rows out", "cost units", "exec ms", "Mrows/s", "ns/unit"
+    );
+    let n = mode.calib_rows;
+    let (catalog, query, data) = calib_single(n, 7);
+    let key = query.group_by.clone();
+    let nf = n as f64;
+    let scan: &dyn Fn(&[PlanId]) -> PlanOp = &|_| PlanOp::Scan { qrel: 0 };
+    for (name, ops, units) in [
+        (
+            "Scan",
+            vec![scan],
+            Box::new(move |_out| cost::scan(nf)) as Box<dyn Fn(u64) -> f64>,
+        ),
+        (
+            "Sort",
+            vec![scan, &|ids: &[PlanId]| PlanOp::Sort {
+                input: ids[0],
+                key: key.clone(),
+            }],
+            Box::new(move |_out| cost::scan(nf) + cost::sort(nf)),
+        ),
+        (
+            "HashAgg",
+            vec![scan, &|ids: &[PlanId]| PlanOp::HashAgg {
+                input: ids[0],
+                key: key.clone(),
+                partial: false,
+            }],
+            Box::new(move |_out| cost::scan(nf) + cost::hash_aggregate(nf)),
+        ),
+        (
+            "HashGroup",
+            vec![scan, &|ids: &[PlanId]| PlanOp::HashGroup {
+                input: ids[0],
+                key: key.clone(),
+            }],
+            Box::new(move |_out| cost::scan(nf) + cost::hash_group(nf)),
+        ),
+        (
+            "StreamAgg",
+            vec![
+                scan,
+                &|ids: &[PlanId]| PlanOp::Sort {
+                    input: ids[0],
+                    key: key.clone(),
+                },
+                &|ids: &[PlanId]| PlanOp::StreamAgg {
+                    input: ids[1],
+                    key: key.clone(),
+                    partial: false,
+                },
+            ],
+            Box::new(move |_out| cost::scan(nf) + cost::sort(nf) + cost::streaming_aggregate(nf)),
+        ),
+    ] {
+        let (arena, root) = micro_plan(&query, &ops);
+        sink.push(calibration_row(
+            name, &catalog, &query, &data, &arena, root, &units,
+        ));
+    }
+
+    let jn = mode.calib_join_rows as f64;
+    let (catalog, query, data) = calib_join(mode.calib_join_rows, 8);
+    let join_key = vec![catalog.attr("r0.k")];
+    let build_key = vec![catalog.attr("r1.k2")];
+    let scan1: &dyn Fn(&[PlanId]) -> PlanOp = &|_| PlanOp::Scan { qrel: 1 };
+    for (name, ops, units) in [
+        (
+            "HashJoin",
+            vec![scan, scan1, &|ids: &[PlanId]| PlanOp::HashJoin {
+                left: ids[0],
+                right: ids[1],
+                edge: 0,
+            }],
+            Box::new(move |out: u64| 2.0 * cost::scan(jn) + cost::hash_join(jn, jn, out as f64))
+                as Box<dyn Fn(u64) -> f64>,
+        ),
+        (
+            "MergeJoin",
+            vec![
+                scan,
+                scan1,
+                &|ids: &[PlanId]| PlanOp::Sort {
+                    input: ids[0],
+                    key: join_key.clone(),
+                },
+                &|ids: &[PlanId]| PlanOp::Sort {
+                    input: ids[1],
+                    key: build_key.clone(),
+                },
+                &|ids: &[PlanId]| PlanOp::MergeJoin {
+                    left: ids[2],
+                    right: ids[3],
+                    edge: 0,
+                },
+            ],
+            Box::new(move |out: u64| {
+                2.0 * (cost::scan(jn) + cost::sort(jn)) + cost::merge_join(jn, jn, out as f64)
+            }),
+        ),
+    ] {
+        let (arena, root) = micro_plan(&query, &ops);
+        sink.push(calibration_row(
+            name, &catalog, &query, &data, &arena, root, &units,
+        ));
+    }
+
+    let nl = mode.calib_nl_rows as f64;
+    let (catalog, query, data) = calib_join(mode.calib_nl_rows, 9);
+    let (arena, root) = micro_plan(
+        &query,
+        &[scan, scan1, &|ids: &[PlanId]| PlanOp::NestedLoopJoin {
+            left: ids[0],
+            right: ids[1],
+        }],
+    );
+    let nl_units =
+        move |out: u64| 2.0 * cost::scan(nl) + cost::nested_loop_join(nl, nl, out as f64);
+    sink.push(calibration_row(
+        "NestedLoop",
+        &catalog,
+        &query,
+        &data,
+        &arena,
+        root,
+        &nl_units,
+    ));
+    println!();
+    println!("cost units = abstract model cost of the whole micro-plan at the *actual*");
+    println!("cardinalities; ns/unit = measured serial wall-clock per unit — a flat");
+    println!("column means the model's currency converts uniformly across operators.");
+
+    sink.finish();
+}

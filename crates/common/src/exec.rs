@@ -63,6 +63,24 @@ pub fn chunk_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Splits `0..len` into fixed-size morsels of `morsel` rows (the last
+/// one shorter). Unlike [`chunk_ranges`], the partition depends only on
+/// `len` — never on the thread count — which is the first half of the
+/// executor's determinism contract: identical morsel boundaries at 1, 2
+/// or 8 threads (the second half is merging morsel results in index
+/// order via [`OrderedExecutor::run_ordered`]).
+pub fn morsel_ranges(len: usize, morsel: usize) -> Vec<Range<usize>> {
+    assert!(morsel > 0, "morsel size must be positive");
+    let mut out = Vec::with_capacity(len.div_ceil(morsel));
+    let mut start = 0;
+    while start < len {
+        let end = (start + morsel).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +118,23 @@ mod tests {
         let ranges = chunk_ranges(10, 4);
         let sizes: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
         assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn morsel_ranges_are_fixed_size_and_cover_exactly_once() {
+        for len in 0..50 {
+            for morsel in 1..8 {
+                let ranges = morsel_ranges(len, morsel);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                let expect: Vec<usize> = (0..len).collect();
+                assert_eq!(flat, expect, "len={len} morsel={morsel}");
+                // Every morsel but the last is exactly `morsel` rows —
+                // the partition never depends on a thread count.
+                for r in ranges.iter().take(ranges.len().saturating_sub(1)) {
+                    assert_eq!(r.len(), morsel);
+                }
+            }
+        }
+        assert!(morsel_ranges(0, 4).is_empty());
     }
 }

@@ -18,7 +18,8 @@
 //!   reproduce the paper's memory-consumption experiments (Fig. 14).
 //! * [`exec`] — the ordered chunk-execution seam ([`OrderedExecutor`])
 //!   between the DP drivers and the `ofw-parallel` thread pool, plus the
-//!   deterministic block partitioner [`chunk_ranges`].
+//!   deterministic block partitioner [`chunk_ranges`] and the
+//!   thread-count-independent morsel partitioner [`morsel_ranges`].
 //! * [`alloc`] (feature `count-allocs`) — a counting global allocator
 //!   so benchmark binaries can report allocation pressure as a
 //!   deterministic, trend-gated `allocs` column.
@@ -35,7 +36,7 @@ pub mod smallset;
 
 pub use bitmatrix::BitMatrix;
 pub use bitset::BitSet;
-pub use exec::{chunk_ranges, OrderedExecutor, SerialExecutor};
+pub use exec::{chunk_ranges, morsel_ranges, OrderedExecutor, SerialExecutor};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use interner::Interner;
 pub use mem::MemoryMeter;

@@ -1,0 +1,1036 @@
+//! The morsel-driven vectorized engine.
+//!
+//! Every operator works vector-at-a-time over [`ColTable`] batches and
+//! parallelizes by *morsel*: the input row range is cut into fixed-size
+//! morsels ([`ofw_common::morsel_ranges`] — never a function of the
+//! thread count), each morsel is processed as one task on an
+//! [`OrderedExecutor`], and the per-morsel results are merged in morsel
+//! index order. Scheduling freedom lives entirely below that seam, so
+//! the output is **byte-identical at 1, 2 or 8 pool threads** — the
+//! executor-level twin of the parallel DP's determinism story.
+//!
+//! Operator semantics replicate the legacy tuple-at-a-time oracle
+//! (`ofw_plangen::exec`) exactly on the attribute columns — including
+//! the hash aggregate's deliberate deterministic group-order scramble —
+//! and extend it with real aggregate *values*: weight and accumulator
+//! columns (see [`crate::batch`]) implement Yan/Larson eager aggregation
+//! so a DP plan with partial aggregates below joins computes the same
+//! sums, counts, mins and maxes as the canonical root-only-aggregation
+//! reference plan.
+
+use crate::batch::{ColRef, ColTable};
+use ofw_catalog::{AttrId, Catalog};
+use ofw_common::{morsel_ranges, FxHashMap, OrderedExecutor, SerialExecutor};
+use ofw_obs::Trace;
+use ofw_plangen::exec::CONST_VALUE;
+use ofw_plangen::plan::PlanArena;
+use ofw_plangen::{PlanId, PlanOp};
+use ofw_query::{AggFunc, Query};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// Default rows per morsel — the unit of parallel work. Fixed, so the
+/// morsel partition (and therefore every merge order) is independent of
+/// the thread count.
+pub const MORSEL_ROWS: usize = 4096;
+
+/// Execution tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ExecOptions {
+    /// Rows per morsel. Must not be derived from the thread count —
+    /// that would break the byte-identical-across-threads contract.
+    pub morsel_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            morsel_rows: MORSEL_ROWS,
+        }
+    }
+}
+
+/// Deterministic per-operator counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStat {
+    /// Morsel batches the operator processed.
+    pub batches: u64,
+    /// Rows the operator produced.
+    pub rows: u64,
+}
+
+/// Deterministic execution counters: identical at any thread count, so
+/// the bench trend gate can treat them like `plans` or `allocs`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Total morsel batches across all operators.
+    pub morsels: u64,
+    /// Rows produced by the root operator.
+    pub rows_out: u64,
+    /// Per-operator batch/row counts, keyed by [`PlanOp::name`]
+    /// (`BTreeMap` so iteration order is deterministic).
+    pub ops: BTreeMap<&'static str, OpStat>,
+}
+
+impl ExecStats {
+    fn record(&mut self, op: &'static str, batches: u64, rows: u64) {
+        self.morsels += batches;
+        let e = self.ops.entry(op).or_default();
+        e.batches += batches;
+        e.rows += rows;
+    }
+
+    /// Total batches across operators (equals [`ExecStats::morsels`]).
+    pub fn op_batches(&self) -> u64 {
+        self.ops.values().map(|s| s.batches).sum()
+    }
+}
+
+/// Execution failure, located: the offending plan node, operator and
+/// (when the failure is an attribute lookup) attribute — what a
+/// differential-harness failure reports instead of aborting the whole
+/// test binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecError {
+    /// The plan node whose operator failed.
+    pub plan: PlanId,
+    /// The failing operator's display name.
+    pub op: &'static str,
+    /// The attribute that could not be resolved, if that is the cause.
+    pub attr: Option<AttrId>,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan {:?} ({}): {}", self.plan, self.op, self.detail)?;
+        if let Some(a) = self.attr {
+            write!(f, " (attribute {a:?})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Executes the plan rooted at `plan` over per-relation base columns
+/// (`data[qrel][attr][row]`, attributes in catalog declaration order),
+/// morsel-parallel on `pool`. Returns the output batch and the
+/// deterministic execution counters.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan<S: Copy, E: OrderedExecutor>(
+    arena: &PlanArena<S>,
+    plan: PlanId,
+    catalog: &Catalog,
+    query: &Query,
+    data: &[Vec<Vec<i64>>],
+    pool: &E,
+    opts: &ExecOptions,
+    trace: &Trace,
+) -> Result<(ColTable, ExecStats), ExecError> {
+    let mut span = trace.span("execute");
+    span.label(pool.label());
+    let mut eng = Engine {
+        arena,
+        catalog,
+        query,
+        data,
+        pool,
+        morsel: opts.morsel_rows.max(1),
+        stats: ExecStats::default(),
+    };
+    let out = eng.exec(plan)?;
+    eng.stats.rows_out = out.num_rows() as u64;
+    span.count("rows_out", eng.stats.rows_out);
+    span.count("morsels", eng.stats.morsels);
+    Ok((out, eng.stats))
+}
+
+/// [`execute_plan`] on the inline serial executor with default options
+/// and no tracing — the convenience entry tests reach for.
+pub fn execute_serial<S: Copy>(
+    arena: &PlanArena<S>,
+    plan: PlanId,
+    catalog: &Catalog,
+    query: &Query,
+    data: &[Vec<Vec<i64>>],
+) -> Result<(ColTable, ExecStats), ExecError> {
+    execute_plan(
+        arena,
+        plan,
+        catalog,
+        query,
+        data,
+        &SerialExecutor,
+        &ExecOptions::default(),
+        &Trace::disabled(),
+    )
+}
+
+/// The legacy hash-aggregate / hash-group scramble: reverse the list,
+/// then interleave even and odd positions. Deterministic, order-
+/// destroying — so no ordering claim can survive a hash operator by
+/// luck — and replicated here exactly so vectorized output stays
+/// byte-identical with the tuple-at-a-time oracle.
+fn scramble_order(n: usize) -> Vec<usize> {
+    let rev: Vec<usize> = (0..n).rev().collect();
+    let mut out = Vec::with_capacity(n);
+    out.extend(rev.iter().copied().step_by(2));
+    out.extend(rev.iter().copied().skip(1).step_by(2));
+    out
+}
+
+/// Cuts `0..len` into fixed-size morsels and runs `f` per morsel on the
+/// pool; results come back in morsel index order (the determinism seam).
+fn run_morsels<R: Send, E: OrderedExecutor>(
+    pool: &E,
+    len: usize,
+    morsel: usize,
+    f: &(dyn Fn(Range<usize>) -> R + Sync),
+) -> (Vec<R>, u64) {
+    let ranges = morsel_ranges(len, morsel);
+    let n = ranges.len() as u64;
+    let out = pool.run_ordered(ranges.len(), &|i| f(ranges[i].clone()));
+    (out, n)
+}
+
+/// Concatenates per-morsel column chunks in morsel order.
+fn concat_columns(schema: Vec<ColRef>, total: usize, chunks: Vec<Vec<Vec<i64>>>) -> ColTable {
+    let mut cols: Vec<Vec<i64>> = schema.iter().map(|_| Vec::with_capacity(total)).collect();
+    for chunk in chunks {
+        for (i, c) in chunk.into_iter().enumerate() {
+            cols[i].extend(c);
+        }
+    }
+    ColTable::new(schema, cols)
+}
+
+/// Morsel-parallel row gather: `out[i] = t[idx[i]]`, all columns.
+fn gather_par<E: OrderedExecutor>(
+    pool: &E,
+    morsel: usize,
+    t: &ColTable,
+    idx: &[u32],
+) -> (ColTable, u64) {
+    let (chunks, batches) = run_morsels(pool, idx.len(), morsel, &|r| {
+        t.cols
+            .iter()
+            .map(|c| idx[r.clone()].iter().map(|&i| c[i as usize]).collect())
+            .collect::<Vec<Vec<i64>>>()
+    });
+    (concat_columns(t.schema.clone(), idx.len(), chunks), batches)
+}
+
+/// Compares two rows on a column list.
+fn cmp_rows(cols: &[&[i64]], a: u32, b: u32) -> std::cmp::Ordering {
+    for c in cols {
+        match c[a as usize].cmp(&c[b as usize]) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Merges index runs, each sorted by `(key, index)`, into the global
+/// stable sort order. Correct for *any* run partition of the input —
+/// fixed morsels (full sort) or head-group blocks (partial sort).
+fn merge_sorted_runs(cols: &[&[i64]], mut runs: Vec<Vec<u32>>) -> Vec<u32> {
+    if runs.len() <= 1 {
+        return runs.pop().unwrap_or_default();
+    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let key = |i: u32| -> Vec<i64> { cols.iter().map(|c| c[i as usize]).collect() };
+    let mut heap: BinaryHeap<Reverse<(Vec<i64>, u32, usize)>> = BinaryHeap::new();
+    let mut pos = vec![0usize; runs.len()];
+    for (r, run) in runs.iter().enumerate() {
+        if let Some(&i) = run.first() {
+            heap.push(Reverse((key(i), i, r)));
+        }
+    }
+    let mut out = Vec::with_capacity(runs.iter().map(Vec::len).sum());
+    while let Some(Reverse((_, i, r))) = heap.pop() {
+        out.push(i);
+        pos[r] += 1;
+        if let Some(&j) = runs[r].get(pos[r]) {
+            heap.push(Reverse((key(j), j, r)));
+        }
+    }
+    out
+}
+
+/// Maximal consecutive runs of rows equal on `cols` — the blocks a
+/// partial sort moves as units.
+fn head_blocks(cols: &[&[i64]], n: usize) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for r in 1..n {
+        if cols.iter().any(|c| c[r] != c[r - 1]) {
+            out.push(start..r);
+            start = r;
+        }
+    }
+    if n > 0 {
+        out.push(start..n);
+    }
+    out
+}
+
+/// What a join pair-list materialization writes into each output column.
+enum OutSrc {
+    /// Left input column, gathered by the pair's left index.
+    L(usize),
+    /// Right input column, gathered by the pair's right index.
+    R(usize),
+    /// Product of both sides' weights (an absent column means 1).
+    Weight,
+    /// Left accumulator column, optionally scaled by the right weight
+    /// (`sum` accumulators scale; `min`/`max` pass through).
+    AccL(usize, bool),
+    /// Right accumulator column, optionally scaled by the left weight.
+    AccR(usize, bool),
+}
+
+enum JoinKind {
+    Merge(usize),
+    Hash,
+    NestedLoop,
+}
+
+/// How an aggregate emits one output accumulator column.
+enum Emit {
+    /// `count`: the group's weight sum *is* the value.
+    FromWeight,
+    /// A fold slot in the group state (`sum`/`min`/`max`).
+    Fold(usize),
+}
+
+/// One fold slot: function plus where a row's contribution comes from.
+struct FoldSpec {
+    func: AggFunc,
+    /// Input accumulator column for this call, if materialized below.
+    acc: Option<usize>,
+    /// Raw input attribute column, the fallback source.
+    raw: Option<usize>,
+}
+
+/// Per-group aggregation state.
+struct Group {
+    /// Global row index of the group's first row (the attribute
+    /// representative, mirroring the legacy first-row-per-group rule).
+    first: u32,
+    /// Σ weight — the number of logical tuples in the group.
+    weight: i64,
+    /// Fold values, parallel to the operator's `FoldSpec` list.
+    folds: Vec<i64>,
+}
+
+struct Engine<'a, S, E: OrderedExecutor> {
+    arena: &'a PlanArena<S>,
+    catalog: &'a Catalog,
+    query: &'a Query,
+    data: &'a [Vec<Vec<i64>>],
+    pool: &'a E,
+    morsel: usize,
+    stats: ExecStats,
+}
+
+impl<S: Copy, E: OrderedExecutor> Engine<'_, S, E> {
+    fn err(
+        &self,
+        plan: PlanId,
+        op: &'static str,
+        attr: Option<AttrId>,
+        detail: String,
+    ) -> ExecError {
+        ExecError {
+            plan,
+            op,
+            attr,
+            detail,
+        }
+    }
+
+    fn attr_col(
+        &self,
+        plan: PlanId,
+        op: &'static str,
+        t: &ColTable,
+        attr: AttrId,
+    ) -> Result<usize, ExecError> {
+        t.col_index(ColRef::Attr(attr)).ok_or_else(|| {
+            self.err(
+                plan,
+                op,
+                Some(attr),
+                format!(
+                    "attribute {} not in input schema {:?}",
+                    self.catalog.attr_name(attr),
+                    t.schema
+                ),
+            )
+        })
+    }
+
+    fn exec(&mut self, plan: PlanId) -> Result<ColTable, ExecError> {
+        let op = self.arena.node(plan).op.clone();
+        match op {
+            PlanOp::Scan { qrel } => self.scan(plan, qrel),
+            PlanOp::IndexScan { qrel, index } => self.index_scan(plan, qrel, index),
+            PlanOp::Sort { input, key } => {
+                let t = self.exec(input)?;
+                self.sort(plan, "Sort", t, &key, None)
+            }
+            PlanOp::PartialSort { input, key, head } => {
+                let t = self.exec(input)?;
+                self.sort(plan, "PartialSort", t, &key, Some(&head))
+            }
+            PlanOp::MergeJoin { left, right, edge } => {
+                self.join(plan, "MergeJoin", left, right, JoinKind::Merge(edge))
+            }
+            PlanOp::HashJoin { left, right, .. } => {
+                self.join(plan, "HashJoin", left, right, JoinKind::Hash)
+            }
+            PlanOp::NestedLoopJoin { left, right } => {
+                self.join(plan, "NestedLoopJoin", left, right, JoinKind::NestedLoop)
+            }
+            PlanOp::GroupJoin { left, right, .. } => {
+                let joined = self.join(plan, "GroupJoin", left, right, JoinKind::Hash)?;
+                let key = self.query.effective_group_by().to_vec();
+                self.aggregate(plan, "GroupJoin", joined, &key, false, false)
+            }
+            PlanOp::StreamAgg {
+                input,
+                key,
+                partial,
+            } => {
+                let t = self.exec(input)?;
+                self.aggregate(plan, "StreamAgg", t, &key, partial, false)
+            }
+            PlanOp::HashAgg {
+                input,
+                key,
+                partial,
+            } => {
+                let t = self.exec(input)?;
+                self.aggregate(plan, "HashAgg", t, &key, partial, true)
+            }
+            PlanOp::HashGroup { input, key } => {
+                let t = self.exec(input)?;
+                self.hash_group(plan, t, &key)
+            }
+        }
+    }
+
+    /// Heap scan: base columns in insertion order, then the relation's
+    /// constant (`= CONST_VALUE`) and filter (`≤ 1`) predicates, applied
+    /// vectorized per morsel.
+    fn scan(&mut self, plan: PlanId, qrel: usize) -> Result<ColTable, ExecError> {
+        let rel = self.query.relations[qrel];
+        let attrs = self.catalog.relation(rel).attrs.clone();
+        let base = &self.data[qrel];
+        if base.len() != attrs.len() {
+            return Err(self.err(
+                plan,
+                "Scan",
+                None,
+                format!(
+                    "base data for relation {} has {} columns, catalog declares {}",
+                    self.catalog.relation(rel).name,
+                    base.len(),
+                    attrs.len()
+                ),
+            ));
+        }
+        let schema: Vec<ColRef> = attrs.iter().map(|&a| ColRef::Attr(a)).collect();
+        let t = ColTable::new(schema, base.clone());
+        self.selections(plan, qrel, t, &attrs)
+    }
+
+    /// Index scan: stable sort by the index key, then the selections —
+    /// the tuple order the planner models for an ordered scan.
+    fn index_scan(
+        &mut self,
+        plan: PlanId,
+        qrel: usize,
+        index: usize,
+    ) -> Result<ColTable, ExecError> {
+        let rel = self.query.relations[qrel];
+        let attrs = self.catalog.relation(rel).attrs.clone();
+        let key = self.catalog.relation(rel).indexes[index].key.clone();
+        let base = &self.data[qrel];
+        let schema: Vec<ColRef> = attrs.iter().map(|&a| ColRef::Attr(a)).collect();
+        let t = ColTable::new(schema, base.clone());
+        let sorted = self.sort(plan, "IndexScan", t, &key, None)?;
+        self.selections(plan, qrel, sorted, &attrs)
+    }
+
+    fn selections(
+        &mut self,
+        plan: PlanId,
+        qrel: usize,
+        t: ColTable,
+        attrs: &[AttrId],
+    ) -> Result<ColTable, ExecError> {
+        // (column, is_constant): constants keep `== CONST_VALUE`,
+        // filters keep `<= 1` — the legacy oracle's predicate stand-ins.
+        let mut preds: Vec<(usize, bool)> = Vec::new();
+        for c in &self.query.constants {
+            if self.query.owner(c.attr) == qrel {
+                preds.push((self.attr_col(plan, "Scan", &t, c.attr)?, true));
+            }
+        }
+        for f in &self.query.filters {
+            if self.query.owner(f.attr) == qrel {
+                preds.push((self.attr_col(plan, "Scan", &t, f.attr)?, false));
+            }
+        }
+        let _ = attrs;
+        let n = t.num_rows();
+        if preds.is_empty() {
+            self.stats
+                .record("Scan", morsel_ranges(n, self.morsel).len() as u64, n as u64);
+            return Ok(t);
+        }
+        let (chunks, batches) = run_morsels(self.pool, n, self.morsel, &|range| {
+            let mut keep: Vec<u32> = Vec::new();
+            for r in range {
+                let ok = preds.iter().all(|&(c, is_const)| {
+                    let v = t.cols[c][r];
+                    if is_const {
+                        v == CONST_VALUE
+                    } else {
+                        v <= 1
+                    }
+                });
+                if ok {
+                    keep.push(r as u32);
+                }
+            }
+            keep
+        });
+        let idx: Vec<u32> = chunks.concat();
+        let (out, gb) = gather_par(self.pool, self.morsel, &t, &idx);
+        self.stats
+            .record("Scan", batches + gb, out.num_rows() as u64);
+        Ok(out)
+    }
+
+    /// Stable sort by `key`. With `head` (the partial-sort enforcer) the
+    /// initial runs are the input's already-adjacent head-group blocks —
+    /// each block is tiny, so the per-run sort is the
+    /// `O(n · log(n/groups))` work the cost model charges; without, the
+    /// runs are fixed morsels. Either way the `(key, index)` merge of
+    /// sorted runs reproduces exactly the global stable sort, which is
+    /// how the partial strategy stays byte-identical with a full sort.
+    fn sort(
+        &mut self,
+        plan: PlanId,
+        op: &'static str,
+        t: ColTable,
+        key: &[AttrId],
+        head: Option<&[AttrId]>,
+    ) -> Result<ColTable, ExecError> {
+        let mut key_cols: Vec<&[i64]> = Vec::with_capacity(key.len());
+        for &a in key {
+            let c = self.attr_col(plan, op, &t, a)?;
+            key_cols.push(&t.cols[c]);
+        }
+        let n = t.num_rows();
+        let runs: Vec<Range<usize>> = match head {
+            Some(head_attrs) => {
+                // The key prefix the input's blocks already group on.
+                let k = key.iter().take_while(|a| head_attrs.contains(a)).count();
+                if k == 0 {
+                    morsel_ranges(n, self.morsel)
+                } else {
+                    head_blocks(&key_cols[..k], n)
+                }
+            }
+            None => morsel_ranges(n, self.morsel),
+        };
+        let key_cols_ref = &key_cols;
+        let sorted_runs: Vec<Vec<u32>> = self.pool.run_ordered(runs.len(), &|i| {
+            let mut idx: Vec<u32> = (runs[i].start as u32..runs[i].end as u32).collect();
+            idx.sort_unstable_by(|&a, &b| cmp_rows(key_cols_ref, a, b).then(a.cmp(&b)));
+            idx
+        });
+        let batches = runs.len() as u64;
+        let idx = merge_sorted_runs(&key_cols, sorted_runs);
+        let (out, gb) = gather_par(self.pool, self.morsel, &t, &idx);
+        self.stats.record(op, batches + gb, out.num_rows() as u64);
+        Ok(out)
+    }
+
+    fn join(
+        &mut self,
+        plan: PlanId,
+        op: &'static str,
+        left: PlanId,
+        right: PlanId,
+        kind: JoinKind,
+    ) -> Result<ColTable, ExecError> {
+        let lt = self.exec(left)?;
+        let rt = self.exec(right)?;
+        let lmask = self.arena.node(left).mask.clone();
+        let rmask = self.arena.node(right).mask.clone();
+
+        // Resolve every connecting equi-join predicate's columns — the
+        // planner applies them all at this operator, so the executor
+        // must too.
+        let mut edges: Vec<(usize, usize, usize)> = Vec::new(); // (edge, lcol, rcol)
+        for e in self.query.connecting_joins_set(&lmask, &rmask) {
+            let j = &self.query.joins[e];
+            let (la, ra) = if lmask.contains(self.query.owner(j.left)) {
+                (j.left, j.right)
+            } else {
+                (j.right, j.left)
+            };
+            let lc = self.attr_col(plan, op, &lt, la)?;
+            let rc = self.attr_col(plan, op, &rt, ra)?;
+            edges.push((e, lc, rc));
+        }
+
+        // Emit (left, right) row pairs in the legacy order: left rows
+        // outer, matching right rows in right-table order.
+        let (pair_chunks, batches) = match kind {
+            JoinKind::Hash => {
+                let key_of = |r: usize| -> Vec<i64> {
+                    edges.iter().map(|&(_, _, rc)| rt.cols[rc][r]).collect()
+                };
+                let mut table: FxHashMap<Vec<i64>, Vec<u32>> = FxHashMap::default();
+                for r in 0..rt.num_rows() {
+                    table.entry(key_of(r)).or_default().push(r as u32);
+                }
+                run_morsels(self.pool, lt.num_rows(), self.morsel, &|range| {
+                    let mut pairs: Vec<(u32, u32)> = Vec::new();
+                    for l in range {
+                        let key: Vec<i64> =
+                            edges.iter().map(|&(_, lc, _)| lt.cols[lc][l]).collect();
+                        if let Some(rs) = table.get(&key) {
+                            pairs.extend(rs.iter().map(|&r| (l as u32, r)));
+                        }
+                    }
+                    pairs
+                })
+            }
+            JoinKind::Merge(edge) => {
+                let &(_, plc, prc) =
+                    edges.iter().find(|&&(e, _, _)| e == edge).ok_or_else(|| {
+                        self.err(
+                            plan,
+                            op,
+                            None,
+                            format!("edge #{edge} does not connect the join's inputs"),
+                        )
+                    })?;
+                let rcol: &[i64] = &rt.cols[prc];
+                if rcol.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(self.err(
+                        plan,
+                        op,
+                        None,
+                        "merge join build side is not sorted on the join attribute".to_string(),
+                    ));
+                }
+                let residual: Vec<(usize, usize)> = edges
+                    .iter()
+                    .filter(|&&(e, _, _)| e != edge)
+                    .map(|&(_, lc, rc)| (lc, rc))
+                    .collect();
+                run_morsels(self.pool, lt.num_rows(), self.morsel, &|range| {
+                    let mut pairs: Vec<(u32, u32)> = Vec::new();
+                    for l in range {
+                        let v = lt.cols[plc][l];
+                        let lo = rcol.partition_point(|&x| x < v);
+                        let hi = rcol.partition_point(|&x| x <= v);
+                        for r in lo..hi {
+                            if residual
+                                .iter()
+                                .all(|&(lc, rc)| lt.cols[lc][l] == rt.cols[rc][r])
+                            {
+                                pairs.push((l as u32, r as u32));
+                            }
+                        }
+                    }
+                    pairs
+                })
+            }
+            JoinKind::NestedLoop => run_morsels(self.pool, lt.num_rows(), self.morsel, &|range| {
+                let mut pairs: Vec<(u32, u32)> = Vec::new();
+                for l in range {
+                    for r in 0..rt.num_rows() {
+                        if edges
+                            .iter()
+                            .all(|&(_, lc, rc)| lt.cols[lc][l] == rt.cols[rc][r])
+                        {
+                            pairs.push((l as u32, r as u32));
+                        }
+                    }
+                }
+                pairs
+            }),
+        };
+        let pairs: Vec<(u32, u32)> = pair_chunks.concat();
+        let (out, gb) = self.join_output(&lt, &rt, &pairs);
+        self.stats.record(op, batches + gb, out.num_rows() as u64);
+        Ok(out)
+    }
+
+    /// Materializes a join pair list: attribute columns concatenate
+    /// (left then right, like the legacy row concat), weights multiply,
+    /// and `sum` accumulators scale by the partner side's weight — the
+    /// invariant that makes eager partial aggregates compose (see
+    /// [`crate::batch`]).
+    fn join_output(&self, lt: &ColTable, rt: &ColTable, pairs: &[(u32, u32)]) -> (ColTable, u64) {
+        let lw = lt.col_index(ColRef::Weight);
+        let rw = rt.col_index(ColRef::Weight);
+        let mut schema: Vec<ColRef> = Vec::new();
+        let mut srcs: Vec<OutSrc> = Vec::new();
+        for (i, c) in lt.schema.iter().enumerate() {
+            if let ColRef::Attr(a) = c {
+                schema.push(ColRef::Attr(*a));
+                srcs.push(OutSrc::L(i));
+            }
+        }
+        for (i, c) in rt.schema.iter().enumerate() {
+            if let ColRef::Attr(a) = c {
+                schema.push(ColRef::Attr(*a));
+                srcs.push(OutSrc::R(i));
+            }
+        }
+        if lw.is_some() || rw.is_some() {
+            schema.push(ColRef::Weight);
+            srcs.push(OutSrc::Weight);
+        }
+        // Accumulators, merged across sides in call order.
+        let mut accs: Vec<(usize, OutSrc)> = Vec::new();
+        for (i, c) in lt.schema.iter().enumerate() {
+            if let ColRef::Acc(call) = c {
+                let scale = self.query.aggregates[*call].func == AggFunc::Sum && rw.is_some();
+                accs.push((*call, OutSrc::AccL(i, scale)));
+            }
+        }
+        for (i, c) in rt.schema.iter().enumerate() {
+            if let ColRef::Acc(call) = c {
+                let scale = self.query.aggregates[*call].func == AggFunc::Sum && lw.is_some();
+                accs.push((*call, OutSrc::AccR(i, scale)));
+            }
+        }
+        accs.sort_by_key(|&(call, _)| call);
+        for (call, src) in accs {
+            schema.push(ColRef::Acc(call));
+            srcs.push(src);
+        }
+
+        let (chunks, batches) = run_morsels(self.pool, pairs.len(), self.morsel, &|range| {
+            let slice = &pairs[range];
+            srcs.iter()
+                .map(|src| {
+                    slice
+                        .iter()
+                        .map(|&(l, r)| {
+                            let (l, r) = (l as usize, r as usize);
+                            match *src {
+                                OutSrc::L(c) => lt.cols[c][l],
+                                OutSrc::R(c) => rt.cols[c][r],
+                                OutSrc::Weight => {
+                                    lw.map_or(1, |c| lt.cols[c][l])
+                                        * rw.map_or(1, |c| rt.cols[c][r])
+                                }
+                                OutSrc::AccL(c, scale) => {
+                                    let v = lt.cols[c][l];
+                                    if scale {
+                                        v * rw.map_or(1, |c| rt.cols[c][r])
+                                    } else {
+                                        v
+                                    }
+                                }
+                                OutSrc::AccR(c, scale) => {
+                                    let v = rt.cols[c][r];
+                                    if scale {
+                                        v * lw.map_or(1, |c| lt.cols[c][l])
+                                    } else {
+                                        v
+                                    }
+                                }
+                            }
+                        })
+                        .collect::<Vec<i64>>()
+                })
+                .collect::<Vec<Vec<i64>>>()
+        });
+        (concat_columns(schema, pairs.len(), chunks), batches)
+    }
+
+    /// Group-by over `key`. Per-morsel first-seen group maps are merged
+    /// serially in morsel order, which reproduces the legacy executor's
+    /// single-pass first-seen group order exactly; a hash aggregate then
+    /// applies the legacy scramble to the group order. A *partial*
+    /// aggregate keeps all attribute columns (first row per group),
+    /// materializes the weight column and one accumulator per aggregate
+    /// call whose input it carries; the *final* aggregate emits one
+    /// finalized accumulator per call and drops the weight.
+    fn aggregate(
+        &mut self,
+        plan: PlanId,
+        op: &'static str,
+        t: ColTable,
+        key: &[AttrId],
+        partial: bool,
+        scramble: bool,
+    ) -> Result<ColTable, ExecError> {
+        let mut key_cols: Vec<usize> = Vec::with_capacity(key.len());
+        for &a in key {
+            key_cols.push(self.attr_col(plan, op, &t, a)?);
+        }
+        let w_col = t.col_index(ColRef::Weight);
+
+        // Which accumulator columns this aggregate emits, and where each
+        // row's contribution comes from.
+        let mut folds: Vec<FoldSpec> = Vec::new();
+        let mut emits: Vec<(usize, Emit)> = Vec::new();
+        for (call, agg) in self.query.aggregates.iter().enumerate() {
+            let acc = t.col_index(ColRef::Acc(call));
+            let raw = agg.input.and_then(|a| t.col_index(ColRef::Attr(a)));
+            if agg.func == AggFunc::Count {
+                if !partial {
+                    emits.push((call, Emit::FromWeight));
+                }
+                // Partial counts live entirely in the weight column.
+                continue;
+            }
+            if acc.is_none() && raw.is_none() {
+                if partial {
+                    // This side does not carry the call's input — an
+                    // eager-count partial contributes weight only.
+                    continue;
+                }
+                return Err(self.err(
+                    plan,
+                    op,
+                    agg.input,
+                    format!(
+                        "final aggregate has neither an accumulator nor the raw input \
+                         for {}(#{call})",
+                        agg.func.name()
+                    ),
+                ));
+            }
+            emits.push((call, Emit::Fold(folds.len())));
+            folds.push(FoldSpec {
+                func: agg.func,
+                acc,
+                raw,
+            });
+        }
+
+        // A row's contribution to fold slot `s`.
+        let contrib = |s: &FoldSpec, r: usize| -> i64 {
+            match s.func {
+                AggFunc::Sum => match s.acc {
+                    Some(c) => t.cols[c][r],
+                    None => {
+                        let w = w_col.map_or(1, |c| t.cols[c][r]);
+                        t.cols[s.raw.expect("sum without source")][r] * w
+                    }
+                },
+                AggFunc::Min | AggFunc::Max => {
+                    let c = s.acc.or(s.raw).expect("min/max without source");
+                    t.cols[c][r]
+                }
+                AggFunc::Count => unreachable!("count never folds"),
+            }
+        };
+        let combine = |func: AggFunc, a: i64, b: i64| -> i64 {
+            match func {
+                AggFunc::Sum | AggFunc::Count => a + b,
+                AggFunc::Min => a.min(b),
+                AggFunc::Max => a.max(b),
+            }
+        };
+
+        // Per-morsel local aggregation, merged serially in morsel order
+        // (= the global first-seen order of a single pass).
+        type LocalGroups = (Vec<(Vec<i64>, Group)>,);
+        let (chunks, batches): (Vec<LocalGroups>, u64) =
+            run_morsels(self.pool, t.num_rows(), self.morsel, &|range| {
+                let mut index: FxHashMap<Vec<i64>, usize> = FxHashMap::default();
+                let mut groups: Vec<(Vec<i64>, Group)> = Vec::new();
+                for r in range {
+                    let k: Vec<i64> = key_cols.iter().map(|&c| t.cols[c][r]).collect();
+                    let w = w_col.map_or(1, |c| t.cols[c][r]);
+                    match index.entry(k.clone()) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(groups.len());
+                            groups.push((
+                                k,
+                                Group {
+                                    first: r as u32,
+                                    weight: w,
+                                    folds: folds.iter().map(|s| contrib(s, r)).collect(),
+                                },
+                            ));
+                        }
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            let g = &mut groups[*e.get()].1;
+                            g.weight += w;
+                            for (f, s) in g.folds.iter_mut().zip(&folds) {
+                                *f = combine(s.func, *f, contrib(s, r));
+                            }
+                        }
+                    }
+                }
+                (groups,)
+            });
+        let mut index: FxHashMap<Vec<i64>, usize> = FxHashMap::default();
+        let mut groups: Vec<Group> = Vec::new();
+        for (chunk,) in chunks {
+            for (k, g) in chunk {
+                match index.entry(k) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(groups.len());
+                        groups.push(g);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let dst = &mut groups[*e.get()];
+                        dst.weight += g.weight;
+                        for (f, (s, v)) in dst.folds.iter_mut().zip(folds.iter().zip(g.folds)) {
+                            *f = combine(s.func, *f, v);
+                        }
+                    }
+                }
+            }
+        }
+
+        let order: Vec<usize> = if scramble {
+            scramble_order(groups.len())
+        } else {
+            (0..groups.len()).collect()
+        };
+
+        // Attribute columns: the group's first row, in output order.
+        let first_rows: Vec<u32> = order.iter().map(|&g| groups[g].first).collect();
+        let attr_keep: Vec<usize> = t
+            .schema
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| matches!(c, ColRef::Attr(_)).then_some(i))
+            .collect();
+        let mut schema: Vec<ColRef> = attr_keep.iter().map(|&i| t.schema[i]).collect();
+        let mut cols: Vec<Vec<i64>> = attr_keep
+            .iter()
+            .map(|&c| first_rows.iter().map(|&r| t.cols[c][r as usize]).collect())
+            .collect();
+        if partial {
+            schema.push(ColRef::Weight);
+            cols.push(order.iter().map(|&g| groups[g].weight).collect());
+        }
+        for (call, emit) in emits {
+            schema.push(ColRef::Acc(call));
+            cols.push(match emit {
+                Emit::FromWeight => order.iter().map(|&g| groups[g].weight).collect(),
+                Emit::Fold(slot) => order.iter().map(|&g| groups[g].folds[slot]).collect(),
+            });
+        }
+        let out = ColTable::new(schema, cols);
+        self.stats.record(op, batches, out.num_rows() as u64);
+        Ok(out)
+    }
+
+    /// The hash-grouping enforcer: rows equal on `key` become adjacent.
+    /// Blocks keep row order, block order is deterministically scrambled
+    /// — byte-identical with the legacy operator.
+    fn hash_group(
+        &mut self,
+        plan: PlanId,
+        t: ColTable,
+        key: &[AttrId],
+    ) -> Result<ColTable, ExecError> {
+        let mut key_cols: Vec<usize> = Vec::with_capacity(key.len());
+        for &a in key {
+            key_cols.push(self.attr_col(plan, "HashGroup", &t, a)?);
+        }
+        let (chunks, batches) = run_morsels(self.pool, t.num_rows(), self.morsel, &|range| {
+            let mut index: FxHashMap<Vec<i64>, usize> = FxHashMap::default();
+            let mut blocks: Vec<(Vec<i64>, Vec<u32>)> = Vec::new();
+            for r in range {
+                let k: Vec<i64> = key_cols.iter().map(|&c| t.cols[c][r]).collect();
+                match index.entry(k.clone()) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(blocks.len());
+                        blocks.push((k, vec![r as u32]));
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        blocks[*e.get()].1.push(r as u32);
+                    }
+                }
+            }
+            blocks
+        });
+        let mut index: FxHashMap<Vec<i64>, usize> = FxHashMap::default();
+        let mut blocks: Vec<Vec<u32>> = Vec::new();
+        for chunk in chunks {
+            for (k, rows) in chunk {
+                match index.entry(k) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(blocks.len());
+                        blocks.push(rows);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        blocks[*e.get()].extend(rows);
+                    }
+                }
+            }
+        }
+        let idx: Vec<u32> = scramble_order(blocks.len())
+            .into_iter()
+            .flat_map(|b| blocks[b].to_vec())
+            .collect();
+        let (out, gb) = gather_par(self.pool, self.morsel, &t, &idx);
+        self.stats
+            .record("HashGroup", batches + gb, out.num_rows() as u64);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scramble_matches_the_legacy_reverse_interleave() {
+        // Legacy: reverse [0..5] = [4,3,2,1,0]; evens then odds of the
+        // reversed list = [4,2,0] ++ [3,1].
+        assert_eq!(scramble_order(5), vec![4, 2, 0, 3, 1]);
+        assert_eq!(scramble_order(0), Vec::<usize>::new());
+        assert_eq!(scramble_order(1), vec![0]);
+        assert_eq!(scramble_order(2), vec![1, 0]);
+    }
+
+    #[test]
+    fn merge_sorted_runs_is_a_stable_sort() {
+        let col: Vec<i64> = vec![3, 1, 2, 1, 3, 0, 2, 1];
+        let cols: Vec<&[i64]> = vec![&col];
+        // Two runs, each sorted by (key, index).
+        let mut r1: Vec<u32> = vec![0, 1, 2, 3];
+        let mut r2: Vec<u32> = vec![4, 5, 6, 7];
+        r1.sort_unstable_by(|&a, &b| cmp_rows(&cols, a, b).then(a.cmp(&b)));
+        r2.sort_unstable_by(|&a, &b| cmp_rows(&cols, a, b).then(a.cmp(&b)));
+        let merged = merge_sorted_runs(&cols, vec![r1, r2]);
+        let mut expect: Vec<u32> = (0..8).collect();
+        expect.sort_by(|&a, &b| cmp_rows(&cols, a, b).then(a.cmp(&b)));
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn head_blocks_split_on_any_column_change() {
+        let a: Vec<i64> = vec![1, 1, 2, 2, 2, 3];
+        let b: Vec<i64> = vec![0, 0, 0, 1, 1, 1];
+        let blocks = head_blocks(&[&a, &b], 6);
+        assert_eq!(blocks, vec![0..2, 2..3, 3..5, 5..6]);
+        assert!(head_blocks(&[&a[..0]], 0).is_empty());
+    }
+}

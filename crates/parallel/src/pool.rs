@@ -383,6 +383,26 @@ mod tests {
     }
 
     #[test]
+    fn morsel_execution_is_order_preserving_at_any_width() {
+        // The vectorized executor's contract: partition rows into
+        // fixed-size morsels (boundaries never depend on the pool),
+        // process each morsel on whatever thread, and reassemble the
+        // per-morsel results in morsel *index* order — so the
+        // concatenated output is byte-identical to the serial run at
+        // every pool width.
+        let rows: Vec<i64> = (0..10_000).map(|i| (i * 37) % 101).collect();
+        let ranges = ofw_common::morsel_ranges(rows.len(), 256);
+        let per_morsel = |m: usize| -> Vec<i64> { rows[ranges[m].clone()].to_vec() };
+        let serial = ofw_common::SerialExecutor.run_ordered(ranges.len(), &per_morsel);
+        assert_eq!(serial.concat(), rows, "morsels cover the input in order");
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            let pooled = pool.run_ordered(ranges.len(), &per_morsel);
+            assert_eq!(pooled, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
         assert!(ThreadPool::with_available_parallelism().threads() >= 1);

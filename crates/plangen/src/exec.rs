@@ -30,12 +30,66 @@ pub struct Table {
     pub rows: Vec<Vec<i64>>,
 }
 
+/// An operator referenced an attribute its input does not carry — the
+/// raw lookup failure. [`try_execute`] wraps it with the offending plan
+/// node so a harness failure names the plan and attribute instead of
+/// aborting the whole test binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MissingAttr {
+    /// The attribute that was looked up.
+    pub attr: AttrId,
+    /// The columns the table actually carries.
+    pub available: Vec<AttrId>,
+}
+
+impl std::fmt::Display for MissingAttr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "attribute {:?} not in table (columns: {:?})",
+            self.attr, self.available
+        )
+    }
+}
+
+impl std::error::Error for MissingAttr {}
+
+/// Execution failure, located: which plan node, which operator, which
+/// attribute. Produced by [`try_execute`]; `Display` renders everything
+/// a differential-harness failure report needs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecError {
+    /// The plan node whose operator failed.
+    pub plan: PlanId,
+    /// The failing operator's display name.
+    pub op: &'static str,
+    /// The underlying lookup failure.
+    pub cause: MissingAttr,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan {:?} ({}): {}", self.plan, self.op, self.cause)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 impl Table {
-    fn col(&self, attr: AttrId) -> usize {
+    /// Column index of `attr`, or a [`MissingAttr`] naming the
+    /// attribute and the columns actually present.
+    pub fn try_col(&self, attr: AttrId) -> Result<usize, MissingAttr> {
         self.attrs
             .iter()
             .position(|&a| a == attr)
-            .unwrap_or_else(|| panic!("attribute {attr:?} not in table"))
+            .ok_or_else(|| MissingAttr {
+                attr,
+                available: self.attrs.clone(),
+            })
+    }
+
+    fn col(&self, attr: AttrId) -> usize {
+        self.try_col(attr).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Does the physical tuple sequence satisfy the logical ordering
@@ -125,6 +179,8 @@ pub fn synthetic_data(
 }
 
 /// Executes the plan rooted at `plan` and returns its output table.
+/// Panics on a malformed plan; harnesses that must survive a bad plan
+/// use [`try_execute`].
 pub fn execute<S: Copy>(
     arena: &PlanArena<S>,
     plan: PlanId,
@@ -132,84 +188,109 @@ pub fn execute<S: Copy>(
     query: &Query,
     data: &[Table],
 ) -> Table {
-    match &arena.node(plan).op {
-        PlanOp::Scan { qrel } => apply_selections(data[*qrel].clone(), query, *qrel),
+    try_execute(arena, plan, catalog, query, data).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Executes the plan rooted at `plan`, reporting a malformed attribute
+/// reference as an [`ExecError`] naming the offending plan node and
+/// attribute instead of aborting the process.
+pub fn try_execute<S: Copy>(
+    arena: &PlanArena<S>,
+    plan: PlanId,
+    catalog: &Catalog,
+    query: &Query,
+    data: &[Table],
+) -> Result<Table, ExecError> {
+    let node = &arena.node(plan);
+    let locate = |cause: MissingAttr| ExecError {
+        plan,
+        op: node.op.name(),
+        cause,
+    };
+    let table = match &node.op {
+        PlanOp::Scan { qrel } => {
+            apply_selections(data[*qrel].clone(), query, *qrel).map_err(locate)?
+        }
         PlanOp::IndexScan { qrel, index } => {
             let rel = query.relations[*qrel];
             let key = catalog.relation(rel).indexes[*index].key.clone();
             let mut t = data[*qrel].clone();
-            sort_table(&mut t, &key);
-            apply_selections(t, query, *qrel)
+            sort_table(&mut t, &key).map_err(locate)?;
+            apply_selections(t, query, *qrel).map_err(locate)?
         }
         PlanOp::Sort { input, key } => {
-            let mut t = execute(arena, *input, catalog, query, data);
-            sort_table(&mut t, key);
+            let mut t = try_execute(arena, *input, catalog, query, data)?;
+            sort_table(&mut t, key).map_err(locate)?;
             t
         }
         PlanOp::PartialSort { input, key, .. } => {
             // Physically a block-wise sort (the head groups are already
             // adjacent); the output tuple sequence equals a full stable
             // sort by the key, which is what the executor checks.
-            let mut t = execute(arena, *input, catalog, query, data);
-            sort_table(&mut t, key);
+            let mut t = try_execute(arena, *input, catalog, query, data)?;
+            sort_table(&mut t, key).map_err(locate)?;
             t
         }
         PlanOp::MergeJoin { left, right, .. }
         | PlanOp::HashJoin { left, right, .. }
         | PlanOp::NestedLoopJoin { left, right } => {
-            let lt = execute(arena, *left, catalog, query, data);
-            let rt = execute(arena, *right, catalog, query, data);
+            let lt = try_execute(arena, *left, catalog, query, data)?;
+            let rt = try_execute(arena, *right, catalog, query, data)?;
             let lmask = arena.node(*left).mask.clone();
             let rmask = arena.node(*right).mask.clone();
-            join(&lt, &rt, query, &lmask, &rmask)
+            join(&lt, &rt, query, &lmask, &rmask).map_err(locate)?
         }
         PlanOp::GroupJoin { left, right, .. } => {
             // Join fused with the final aggregation: the probe side's
             // groups are adjacent, so one streaming pass per group.
-            let lt = execute(arena, *left, catalog, query, data);
-            let rt = execute(arena, *right, catalog, query, data);
+            let lt = try_execute(arena, *left, catalog, query, data)?;
+            let rt = try_execute(arena, *right, catalog, query, data)?;
             let lmask = arena.node(*left).mask.clone();
             let rmask = arena.node(*right).mask.clone();
-            let joined = join(&lt, &rt, query, &lmask, &rmask);
-            aggregate(joined, query.effective_group_by(), true)
+            let joined = join(&lt, &rt, query, &lmask, &rmask).map_err(locate)?;
+            aggregate(joined, query.effective_group_by(), true).map_err(locate)?
         }
         PlanOp::StreamAgg { input, key, .. } => {
-            let t = execute(arena, *input, catalog, query, data);
-            aggregate(t, key, true)
+            let t = try_execute(arena, *input, catalog, query, data)?;
+            aggregate(t, key, true).map_err(locate)?
         }
         PlanOp::HashAgg { input, key, .. } => {
-            let t = execute(arena, *input, catalog, query, data);
-            aggregate(t, key, false)
+            let t = try_execute(arena, *input, catalog, query, data)?;
+            aggregate(t, key, false).map_err(locate)?
         }
         PlanOp::HashGroup { input, key } => {
-            let t = execute(arena, *input, catalog, query, data);
-            hash_group(t, key)
+            let t = try_execute(arena, *input, catalog, query, data)?;
+            hash_group(t, key).map_err(locate)?
         }
-    }
+    };
+    Ok(table)
 }
 
 /// Applies the relation's constant and filter predicates (constants
 /// compare against [`CONST_VALUE`]; filters keep the smaller half of the
 /// domain, a stand-in for a range predicate).
-fn apply_selections(mut t: Table, query: &Query, qrel: usize) -> Table {
+fn apply_selections(mut t: Table, query: &Query, qrel: usize) -> Result<Table, MissingAttr> {
     for c in &query.constants {
         if query.owner(c.attr) == qrel {
-            let col = t.col(c.attr);
+            let col = t.try_col(c.attr)?;
             t.rows.retain(|r| r[col] == CONST_VALUE);
         }
     }
     for f in &query.filters {
         if query.owner(f.attr) == qrel {
-            let col = t.col(f.attr);
+            let col = t.try_col(f.attr)?;
             t.rows.retain(|r| r[col] <= 1);
         }
     }
-    t
+    Ok(t)
 }
 
 /// Stable sort by the key attributes.
-fn sort_table(t: &mut Table, key: &[AttrId]) {
-    let cols: Vec<usize> = key.iter().map(|&a| t.col(a)).collect();
+fn sort_table(t: &mut Table, key: &[AttrId]) -> Result<(), MissingAttr> {
+    let cols: Vec<usize> = key
+        .iter()
+        .map(|&a| t.try_col(a))
+        .collect::<Result<_, _>>()?;
     t.rows.sort_by(|x, y| {
         for &c in &cols {
             match x[c].cmp(&y[c]) {
@@ -219,27 +300,37 @@ fn sort_table(t: &mut Table, key: &[AttrId]) {
         }
         std::cmp::Ordering::Equal
     });
+    Ok(())
 }
 
 /// Left-order-preserving join evaluating every connecting equi-join
 /// predicate between the two relation sets (the planner applies them
 /// all at this operator too).
-fn join(lt: &Table, rt: &Table, query: &Query, lmask: &BitSet, rmask: &BitSet) -> Table {
-    let edges: Vec<usize> = query.connecting_joins_set(lmask, rmask).collect();
+fn join(
+    lt: &Table,
+    rt: &Table,
+    query: &Query,
+    lmask: &BitSet,
+    rmask: &BitSet,
+) -> Result<Table, MissingAttr> {
+    // Resolve every edge's columns up front so a bad reference surfaces
+    // as an error, not mid-loop.
+    let mut edge_cols = Vec::new();
+    for e in query.connecting_joins_set(lmask, rmask) {
+        let j = &query.joins[e];
+        let (la, ra) = if lmask.contains(query.owner(j.left)) {
+            (j.left, j.right)
+        } else {
+            (j.right, j.left)
+        };
+        edge_cols.push((lt.try_col(la)?, rt.try_col(ra)?));
+    }
     let mut attrs = lt.attrs.clone();
     attrs.extend_from_slice(&rt.attrs);
     let mut rows = Vec::new();
     for lrow in &lt.rows {
         for rrow in &rt.rows {
-            let matches = edges.iter().all(|&e| {
-                let j = &query.joins[e];
-                let (la, ra) = if lmask.contains(query.owner(j.left)) {
-                    (j.left, j.right)
-                } else {
-                    (j.right, j.left)
-                };
-                lrow[lt.col(la)] == rrow[rt.col(ra)]
-            });
+            let matches = edge_cols.iter().all(|&(lc, rc)| lrow[lc] == rrow[rc]);
             if matches {
                 let mut row = lrow.clone();
                 row.extend_from_slice(rrow);
@@ -247,15 +338,18 @@ fn join(lt: &Table, rt: &Table, query: &Query, lmask: &BitSet, rmask: &BitSet) -
             }
         }
     }
-    Table { attrs, rows }
+    Ok(Table { attrs, rows })
 }
 
 /// Group-by over `group` attributes. Streaming keeps first-seen group
 /// order (valid only on grouped input — which the planner guarantees);
 /// hashing emits groups in a deterministically scrambled order so no
 /// ordering claim can survive it by luck.
-fn aggregate(t: Table, group: &[AttrId], streaming: bool) -> Table {
-    let cols: Vec<usize> = group.iter().map(|&a| t.col(a)).collect();
+fn aggregate(t: Table, group: &[AttrId], streaming: bool) -> Result<Table, MissingAttr> {
+    let cols: Vec<usize> = group
+        .iter()
+        .map(|&a| t.try_col(a))
+        .collect::<Result<_, _>>()?;
     let mut seen: FxHashMap<Vec<i64>, usize> = FxHashMap::default();
     let mut out_rows: Vec<Vec<i64>> = Vec::new();
     for row in &t.rows {
@@ -281,18 +375,21 @@ fn aggregate(t: Table, group: &[AttrId], streaming: bool) -> Table {
         }
         out_rows = scrambled;
     }
-    Table {
+    Ok(Table {
         attrs: t.attrs,
         rows: out_rows,
-    }
+    })
 }
 
 /// The hash-group enforcer: rearranges rows so tuples equal on `key`
 /// become adjacent. Blocks keep the rows' relative order, but the block
 /// sequence is deterministically scrambled (like the hash aggregate) so
 /// no *ordering* claim can survive the operator by luck.
-fn hash_group(t: Table, key: &[AttrId]) -> Table {
-    let cols: Vec<usize> = key.iter().map(|&a| t.col(a)).collect();
+fn hash_group(t: Table, key: &[AttrId]) -> Result<Table, MissingAttr> {
+    let cols: Vec<usize> = key
+        .iter()
+        .map(|&a| t.try_col(a))
+        .collect::<Result<_, _>>()?;
     let mut block_of: FxHashMap<Vec<i64>, usize> = FxHashMap::default();
     let mut blocks: Vec<Vec<Vec<i64>>> = Vec::new();
     for row in &t.rows {
@@ -316,10 +413,10 @@ fn hash_group(t: Table, key: &[AttrId]) -> Table {
         rows.extend(std::mem::take(&mut rev[i]));
         i += 2;
     }
-    Table {
+    Ok(Table {
         attrs: t.attrs,
         rows,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -355,7 +452,7 @@ mod tests {
     #[test]
     fn sort_is_stable_and_correct() {
         let mut t = table(&[[2, 1], [1, 9], [1, 3], [2, 0]]);
-        sort_table(&mut t, &[A]);
+        sort_table(&mut t, &[A]).unwrap();
         assert!(t.satisfies_ordering(&[A]));
         // Stability: [1,9] stays before [1,3] (both key 1).
         assert_eq!(t.rows[0], vec![1, 9]);
@@ -365,7 +462,7 @@ mod tests {
     #[test]
     fn hash_aggregate_scramble_breaks_order() {
         let t = table(&[[1, 0], [2, 0], [3, 0], [4, 0], [5, 0]]);
-        let agg = aggregate(t, &[A], false);
+        let agg = aggregate(t, &[A], false).unwrap();
         assert_eq!(agg.rows.len(), 5);
         assert!(!agg.satisfies_ordering(&[A]), "scramble must destroy order");
     }
@@ -373,7 +470,7 @@ mod tests {
     #[test]
     fn streaming_aggregate_preserves_order() {
         let t = table(&[[1, 0], [1, 1], [2, 0], [3, 0], [3, 2]]);
-        let agg = aggregate(t, &[A], true);
+        let agg = aggregate(t, &[A], true).unwrap();
         assert_eq!(agg.rows.len(), 3);
         assert!(agg.satisfies_ordering(&[A]));
     }
@@ -391,7 +488,7 @@ mod tests {
     #[test]
     fn hash_group_makes_groups_adjacent_without_sorting() {
         let t = table(&[[1, 0], [2, 0], [1, 1], [3, 0], [2, 1], [1, 2]]);
-        let g = hash_group(t, &[A]);
+        let g = hash_group(t, &[A]).unwrap();
         assert_eq!(g.rows.len(), 6, "no rows lost");
         assert!(g.satisfies_grouping(&[A]));
         assert!(!g.satisfies_ordering(&[A]), "scramble must destroy order");
@@ -403,7 +500,7 @@ mod tests {
     #[test]
     fn streaming_aggregate_works_on_grouped_input() {
         let t = table(&[[2, 0], [2, 1], [1, 0], [3, 0]]);
-        let agg = aggregate(t, &[A], true);
+        let agg = aggregate(t, &[A], true).unwrap();
         assert_eq!(agg.rows.len(), 3, "one row per adjacent group");
         assert!(agg.satisfies_grouping(&[A]));
     }

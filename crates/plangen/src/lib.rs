@@ -67,7 +67,7 @@ pub use dp::{
     Enumerator, PlanGen, PlanGenResult, PlanGenStats, DEFAULT_ENUMERATION_BUDGET,
     DEFAULT_LINEARIZE_WINDOW,
 };
-pub use exec::{execute, synthetic_data, Table};
+pub use exec::{execute, synthetic_data, try_execute, ExecError, MissingAttr, Table};
 pub use explain::{Explain, ExplainNode};
 pub use oracle::{ExplicitKey, ExplicitOracle, ExplicitStateId, OrderOracle, PrepCounters};
-pub use plan::{PlanId, PlanNode, PlanOp};
+pub use plan::{PlanArena, PlanId, PlanNode, PlanOp};

@@ -187,6 +187,25 @@ pub enum PlanOp {
 }
 
 impl PlanOp {
+    /// The operator's display name — the label execution telemetry,
+    /// error reports and the cost-calibration table key per-operator
+    /// data on.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlanOp::Scan { .. } => "Scan",
+            PlanOp::IndexScan { .. } => "IndexScan",
+            PlanOp::Sort { .. } => "Sort",
+            PlanOp::PartialSort { .. } => "PartialSort",
+            PlanOp::MergeJoin { .. } => "MergeJoin",
+            PlanOp::HashJoin { .. } => "HashJoin",
+            PlanOp::NestedLoopJoin { .. } => "NestedLoopJoin",
+            PlanOp::StreamAgg { .. } => "StreamAgg",
+            PlanOp::HashAgg { .. } => "HashAgg",
+            PlanOp::GroupJoin { .. } => "GroupJoin",
+            PlanOp::HashGroup { .. } => "HashGroup",
+        }
+    }
+
     /// The operator's child plans (0, 1 or 2) — the single source of
     /// truth for tree traversal, so adding an operator variant cannot
     /// silently break a walker.

@@ -19,11 +19,15 @@
 //! * [`aggregation`] — star-schema aggregation queries with selective
 //!   group keys and distinct-value statistics, the workload class where
 //!   eager aggregation push-down and group-joins pay off.
+//! * [`data`] — deterministic column-major base data scaled to the
+//!   catalog's cardinality and distinct-value statistics, feeding the
+//!   vectorized executor's differential harness and benches.
 //! * [`prep`] — preparation-stress `InputSpec`s made of independent
 //!   property families over disjoint attribute blocks, sized into the
 //!   hundreds of interesting orders for the `table_prepare` bench.
 
 pub mod aggregation;
+pub mod data;
 pub mod grouping;
 pub mod large;
 pub mod prep;
@@ -34,6 +38,7 @@ pub use aggregation::{
     groupjoin_showcase_query, partialsort_showcase_query, star_agg_query, star_agg_query_ordered,
     StarAggConfig,
 };
+pub use data::{generate_columns, DataConfig};
 pub use grouping::{grouping_query, q13_style_query, GroupingQueryConfig};
 pub use large::{large_query, LargeQueryConfig, Topology};
 pub use prep::{prep_spec, PrepSpecConfig};

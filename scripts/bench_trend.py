@@ -68,9 +68,12 @@ TIME_SUFFIXES = ("_ms", "_us")
 # Derived-from-time or machine-dependent fields: excluded from identity,
 # not checked. The `_pct` suffix covers the observability table's
 # overhead and per-phase time shares — ratios of wall-clock times, so
-# pure noise across machines and runs.
-VOLATILE = {"speedup", "memory_bytes", "avail_threads", "degraded"}
-VOLATILE_SUFFIXES = ("_pct",)
+# pure noise across machines and runs. `_per_sec` covers the executor
+# table's throughput columns (rows / wall-clock), volatile for the same
+# reason; the work they measure is gated via the deterministic
+# `rows_out`/`morsels`/`op_batches` counters instead.
+VOLATILE = {"speedup", "memory_bytes", "avail_threads", "degraded", "ns_per_unit"}
+VOLATILE_SUFFIXES = ("_pct", "_per_sec")
 # Deterministic work counters: machine-independent, so enforced on every
 # machine. Excluded from identity (else a counter change would just
 # unmatch the row and dodge the gate).
@@ -104,6 +107,12 @@ COUNTERS = {
     # and dominance checks answered without an oracle probe.
     "bound_pruned",
     "dominance_memo_hits",
+    # Vectorized executor (table_exec): output rows, morsels scheduled
+    # and operator batches processed are all fixed by (plan, data, morsel
+    # size) — thread-count- and machine-independent by construction.
+    "rows_out",
+    "morsels",
+    "op_batches",
     # Allocation pressure from the counting global allocator — not
     # wall-clock, so enforced like any other deterministic work counter
     # (modulo ALLOCS_JITTER below).
@@ -288,6 +297,7 @@ RECORD_BINS = [
     ("table_partialsort", ["3", "3"], "BENCH_partialsort.json"),
     ("table_grouping", ["2", "5"], "BENCH_table_grouping.json"),
     ("table_prep_q8", [], "BENCH_table_prep_q8.json"),
+    ("table_exec", ["--smoke"], "BENCH_exec.json"),
 ]
 
 

@@ -26,6 +26,7 @@
 //! | [`query`] | query graphs + interesting-order/FD extraction |
 //! | [`plangen`] | bottom-up DP plan generator exercising both frameworks |
 //! | [`parallel`] | deterministic work-stealing pool + parallel DP driver |
+//! | [`exec`] | morsel-driven vectorized executor + differential reference plan |
 //! | [`workload`] | random join-graph workloads, TPC-R Query 8, large topologies |
 //! | [`obs`] | observability: phase spans, decision telemetry, trace export |
 //!
@@ -38,6 +39,7 @@
 pub use ofw_catalog as catalog;
 pub use ofw_common as common;
 pub use ofw_core as core;
+pub use ofw_exec as exec;
 pub use ofw_obs as obs;
 pub use ofw_parallel as parallel;
 pub use ofw_plangen as plangen;

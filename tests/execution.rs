@@ -8,6 +8,7 @@
 //! proves the derivation rules agree with reality.
 
 use ofw::core::{OrderingFramework, PruneConfig};
+use ofw::exec::{columns_from_tables, execute_serial};
 use ofw::plangen::{execute, synthetic_data, PlanGen};
 use ofw::query::extract::ExtractOptions;
 use ofw::workload::{
@@ -154,6 +155,71 @@ fn claimed_groupings_hold_physically() {
             }
         }
     }
+}
+
+/// The legacy tuple-at-a-time executor as a test oracle for the
+/// vectorized engine: for every plan the DP allocated — winners and
+/// intermediates, over ordering *and* grouping workloads — both
+/// executors must produce byte-identical attribute streams (same rows,
+/// same physical order, including through the hash operators'
+/// deterministic scramble).
+#[test]
+fn vectorized_executor_matches_the_legacy_oracle_on_every_plan() {
+    let mut checked = 0usize;
+    for (grouping, n, seeds) in [
+        (false, 3usize, 0..8u64),
+        (true, 3, 0..6u64),
+        (false, 4, 0..4u64),
+    ] {
+        for seed in seeds {
+            let (catalog, query) = if grouping {
+                grouping_query(&GroupingQueryConfig {
+                    num_relations: n,
+                    extra_edges: 0,
+                    seed,
+                })
+            } else {
+                random_query(&RandomQueryConfig {
+                    num_relations: n,
+                    extra_edges: 0,
+                    seed,
+                })
+            };
+            let ex = ofw::query::extract(&catalog, &query, &ExtractOptions::default());
+            let fw = OrderingFramework::prepare(&ex.spec, PruneConfig::default()).unwrap();
+            let result = PlanGen::new(&catalog, &query, &ex, &fw).run();
+            let data = synthetic_data(&catalog, &query, 7, 3, seed.wrapping_mul(29) + 13);
+            let cols = columns_from_tables(&data);
+
+            for id in 0..result.arena.len() as u32 {
+                let pid = ofw::plangen::PlanId(id);
+                let legacy = execute(&result.arena, pid, &catalog, &query, &data);
+                let (vec_out, _) = execute_serial(&result.arena, pid, &catalog, &query, &cols)
+                    .unwrap_or_else(|e| {
+                        panic!("grouping={grouping} n={n} seed={seed}: vectorized failed: {e}")
+                    });
+                let vec_table = vec_out.attr_table();
+                assert_eq!(
+                    vec_table.attrs, legacy.attrs,
+                    "grouping={grouping} n={n} seed={seed} plan {pid:?}: schema diverges"
+                );
+                assert_eq!(
+                    vec_table.rows,
+                    legacy.rows,
+                    "grouping={grouping} n={n} seed={seed} plan {pid:?}: \
+                     vectorized row stream diverges from the legacy oracle\n{}",
+                    result
+                        .arena
+                        .render(pid, &|q| catalog.relation(query.relations[q]).name.clone()),
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked > 100,
+        "expected a meaningful plan sample, got {checked}"
+    );
 }
 
 /// Q8 end to end on synthetic rows: the output is physically grouped by
